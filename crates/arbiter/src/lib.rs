@@ -1,0 +1,63 @@
+//! Bus-arbitration policies: implementations of the paper's `IBUS`
+//! worst-case interference function.
+//!
+//! The analysis algorithms of `mia-core` and `mia-baseline` are generic
+//! over the [`Arbiter`] trait of `mia-model`; this crate provides the
+//! concrete policies:
+//!
+//! | Policy | Bound per bank | Additive | Paper reference |
+//! |--------|----------------|----------|-----------------|
+//! | [`RoundRobin`] | `Σⱼ min(d_v, dⱼ)` | yes | §II.A example (flat RR, Kalray MPPA-256 bank arbiter) |
+//! | [`MppaTree`] | multi-level RR over an arbitration tree | no | §I/§V "Kalray MPPA-256 RR from \[6\]" |
+//! | [`Tdm`] | `d_v · #active interferers` | yes | §II.A "multiple types of arbitration policies" |
+//! | [`FixedPriority`] | `Σ_higher dⱼ + min(d_v, Σ_lower dⱼ)` | no | idem |
+//! | [`Fifo`] | `Σⱼ dⱼ` | yes | idem |
+//! | [`WeightedRoundRobin`] | `Σⱼ min(d_v·wⱼ, dⱼ)` | yes | idem (bandwidth-regulated shares) |
+//! | [`Regulated`] | `Σⱼ min(d_v, dⱼ, windows·budget)` | yes | idem (MemGuard-style regulation) |
+//!
+//! where `d_v` is the victim's access count to the bank and `dⱼ` the
+//! (per-core aggregated) interferer demands.
+//!
+//! All policies are **monotone** (more demand never means less computed
+//! interference) — the property the incremental algorithm relies on; the
+//! property tests in `tests/axioms.rs` enforce it.
+//!
+//! # Example
+//!
+//! The paper's §II.A round-robin example: three cores each writing 8 words
+//! through a 1-word-wide bus — every core is halted 8+8 cycles.
+//!
+//! ```
+//! use mia_arbiter::RoundRobin;
+//! use mia_model::{arbiter::InterfererDemand, Arbiter, CoreId, Cycles};
+//!
+//! let rr = RoundRobin::new();
+//! let others = [
+//!     InterfererDemand { core: CoreId(1), accesses: 8 },
+//!     InterfererDemand { core: CoreId(2), accesses: 8 },
+//! ];
+//! let delay = rr.bank_interference(CoreId(0), 8, &others, Cycles(1));
+//! assert_eq!(delay, Cycles(16));
+//! ```
+
+mod fifo;
+mod fixed_priority;
+mod mppa;
+mod regulated;
+mod round_robin;
+mod tdm;
+mod tree;
+mod weighted;
+
+pub use fifo::Fifo;
+pub use fixed_priority::FixedPriority;
+pub use mppa::MppaTree;
+pub use regulated::Regulated;
+pub use round_robin::RoundRobin;
+pub use tdm::Tdm;
+pub use tree::{ArbitrationNode, ArbitrationTree};
+pub use weighted::WeightedRoundRobin;
+
+// Re-export the trait and demand type so users of this crate rarely need
+// to import mia-model explicitly.
+pub use mia_model::arbiter::{Arbiter, InterfererDemand};

@@ -1,0 +1,189 @@
+//! Budget-regulated arbitration (MemGuard-style bandwidth reservation).
+
+use mia_model::arbiter::{Arbiter, InterfererDemand};
+use mia_model::{CoreId, Cycles};
+
+/// A regulation layer in front of round-robin arbitration: every core is
+/// throttled to a *budget* of `budget` accesses per regulation `period`,
+/// measured in **bus slots** (one slot = the service time of one access),
+/// as done by software bandwidth regulators (MemGuard) and by the MPPA's
+/// DDR access limiters.
+///
+/// The interference a victim with `d_v` accesses can suffer from core `j`
+/// is bounded both by `j`'s actual demand (the round-robin argument) and
+/// by what the regulator lets `j` issue while the victim is on the bank:
+/// the victim occupies the bank for `d_v` slots, spanning at most
+/// `⌈d_v/P⌉ + 1` regulation windows (one partial window of carry-in):
+///
+/// ```text
+/// I(victim, S) = Σ_{j ∈ S} min(d_v, d_j, (⌈d_v/P⌉ + 1) · budget) · a
+/// ```
+///
+/// With an infinite budget this degrades exactly to
+/// [`RoundRobin`](crate::RoundRobin); with a tight budget it caps how much
+/// a memory-hungry neighbour can hurt — the property bandwidth regulation
+/// exists to provide.
+///
+/// The bound is additive (each interferer is capped independently).
+///
+/// # Example
+///
+/// ```
+/// use mia_arbiter::Regulated;
+/// use mia_model::{arbiter::InterfererDemand, Arbiter, CoreId, Cycles};
+///
+/// // 2 accesses allowed per 100-slot window.
+/// let reg = Regulated::new(2, 100);
+/// let hog = [InterfererDemand { core: CoreId(1), accesses: 1_000 }];
+/// // A 10-access victim spans ⌈10/100⌉ + 1 = 2 windows → 4 accesses max.
+/// assert_eq!(reg.bank_interference(CoreId(0), 10, &hog, Cycles(1)), Cycles(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Regulated {
+    budget: u64,
+    period: u64,
+}
+
+impl Regulated {
+    /// A regulator granting `budget` accesses per `period` bus slots to
+    /// each core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(budget: u64, period: u64) -> Self {
+        assert!(period > 0, "regulation period must be positive");
+        Regulated { budget, period }
+    }
+
+    /// The per-window access budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// The regulation window length in bus slots.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Accesses a regulated core can issue while the victim holds the bank
+    /// for `victim_slots` slots.
+    fn allowance(&self, victim_slots: u64) -> u64 {
+        (victim_slots.div_ceil(self.period) + 1).saturating_mul(self.budget)
+    }
+}
+
+impl Arbiter for Regulated {
+    fn name(&self) -> &str {
+        "regulated"
+    }
+
+    fn bank_interference(
+        &self,
+        _victim: CoreId,
+        demand: u64,
+        interferers: &[InterfererDemand],
+        access_cycles: Cycles,
+    ) -> Cycles {
+        let cap = self.allowance(demand);
+        let blocked: u64 = interferers
+            .iter()
+            .map(|i| demand.min(i.accesses).min(cap))
+            .sum();
+        access_cycles * blocked
+    }
+
+    fn is_additive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoundRobin;
+
+    fn demands(ds: &[u64]) -> Vec<InterfererDemand> {
+        ds.iter()
+            .enumerate()
+            .map(|(i, &accesses)| InterfererDemand {
+                core: CoreId(i as u32 + 1),
+                accesses,
+            })
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = Regulated::new(1, 0);
+    }
+
+    #[test]
+    fn empty_set_no_delay() {
+        let reg = Regulated::new(4, 100);
+        assert_eq!(
+            reg.bank_interference(CoreId(0), 50, &[], Cycles(1)),
+            Cycles::ZERO
+        );
+    }
+
+    #[test]
+    fn generous_budget_matches_round_robin() {
+        let reg = Regulated::new(u64::MAX / 4, 1_000);
+        let rr = RoundRobin::new();
+        for d in [0u64, 1, 7, 300] {
+            let s = demands(&[3, 250, 40]);
+            assert_eq!(
+                reg.bank_interference(CoreId(0), d, &s, Cycles(2)),
+                rr.bank_interference(CoreId(0), d, &s, Cycles(2)),
+            );
+        }
+    }
+
+    #[test]
+    fn tight_budget_caps_a_memory_hog() {
+        let reg = Regulated::new(1, 1_000);
+        // Victim: 100 accesses, 1 cycle each → 1 window + 1 carry-in.
+        let i = reg.bank_interference(CoreId(0), 100, &demands(&[10_000]), Cycles(1));
+        assert_eq!(i, Cycles(2));
+    }
+
+    #[test]
+    fn cap_applies_per_interferer() {
+        let reg = Regulated::new(1, 1_000);
+        let i = reg.bank_interference(CoreId(0), 100, &demands(&[10_000, 10_000]), Cycles(1));
+        assert_eq!(i, Cycles(4));
+    }
+
+    #[test]
+    fn never_exceeds_round_robin() {
+        let rr = RoundRobin::new();
+        for budget in [0u64, 1, 3, 1_000] {
+            let reg = Regulated::new(budget, 64);
+            for d in [0u64, 5, 64, 500] {
+                let s = demands(&[12, 90, 4]);
+                assert!(
+                    reg.bank_interference(CoreId(0), d, &s, Cycles(1))
+                        <= rr.bank_interference(CoreId(0), d, &s, Cycles(1))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_silences_everyone() {
+        let reg = Regulated::new(0, 10);
+        let i = reg.bank_interference(CoreId(0), 100, &demands(&[50, 50]), Cycles(1));
+        assert_eq!(i, Cycles::ZERO);
+    }
+
+    #[test]
+    fn accessors_and_name() {
+        let reg = Regulated::new(3, 77);
+        assert_eq!(reg.budget(), 3);
+        assert_eq!(reg.period(), 77);
+        assert_eq!(reg.name(), "regulated");
+        assert!(reg.is_additive());
+    }
+}

@@ -1,0 +1,120 @@
+//! Flat round-robin arbitration.
+
+use mia_model::arbiter::{Arbiter, InterfererDemand};
+use mia_model::{CoreId, Cycles};
+
+/// Flat round-robin arbitration among all cores, as in the paper's §II.A:
+/// each initiator gets one grant per round, "conditioned to the use of this
+/// share … otherwise they are skipped".
+///
+/// Each of the victim's `d_v` accesses can be delayed by at most one access
+/// of every other requesting core, and core *j* can delay the victim at
+/// most `d_j` times in total (after which it has nothing left to issue), so
+///
+/// ```text
+/// I(victim, S) = Σ_{j ∈ S} min(d_v, d_j) · access_cycles
+/// ```
+///
+/// The bound is *additive* (the delay of a set is the sum of pairwise
+/// delays), which lets the incremental analysis use its fast path.
+///
+/// This is the single-bank arbiter of the Kalray MPPA-256 model used in the
+/// paper's evaluation (each memory bank has its own round-robin arbiter).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin {
+    _priv: (),
+}
+
+impl RoundRobin {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        RoundRobin { _priv: () }
+    }
+}
+
+impl Arbiter for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn bank_interference(
+        &self,
+        _victim: CoreId,
+        demand: u64,
+        interferers: &[InterfererDemand],
+        access_cycles: Cycles,
+    ) -> Cycles {
+        let rounds: u64 = interferers.iter().map(|i| demand.min(i.accesses)).sum();
+        access_cycles * rounds
+    }
+
+    fn is_additive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demands(ds: &[u64]) -> Vec<InterfererDemand> {
+        ds.iter()
+            .enumerate()
+            .map(|(i, &accesses)| InterfererDemand {
+                core: CoreId(i as u32 + 1),
+                accesses,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_section_2a_example() {
+        // Three cores, 8 words each: every core is halted 8 + 8 cycles.
+        let rr = RoundRobin::new();
+        let i = rr.bank_interference(CoreId(0), 8, &demands(&[8, 8]), Cycles(1));
+        assert_eq!(i, Cycles(16));
+    }
+
+    #[test]
+    fn empty_set_means_no_interference() {
+        let rr = RoundRobin::new();
+        assert_eq!(
+            rr.bank_interference(CoreId(0), 100, &[], Cycles(1)),
+            Cycles::ZERO
+        );
+    }
+
+    #[test]
+    fn small_interferer_is_capped_by_its_own_demand() {
+        let rr = RoundRobin::new();
+        let i = rr.bank_interference(CoreId(0), 100, &demands(&[3]), Cycles(1));
+        assert_eq!(i, Cycles(3));
+    }
+
+    #[test]
+    fn victim_demand_caps_each_interferer() {
+        let rr = RoundRobin::new();
+        let i = rr.bank_interference(CoreId(0), 2, &demands(&[50, 60, 70]), Cycles(1));
+        assert_eq!(i, Cycles(6));
+    }
+
+    #[test]
+    fn zero_demand_interferer_contributes_nothing() {
+        let rr = RoundRobin::new();
+        let i = rr.bank_interference(CoreId(0), 10, &demands(&[0, 5]), Cycles(1));
+        assert_eq!(i, Cycles(5));
+    }
+
+    #[test]
+    fn access_cycles_scale_the_bound() {
+        let rr = RoundRobin::new();
+        let i = rr.bank_interference(CoreId(0), 4, &demands(&[4]), Cycles(3));
+        assert_eq!(i, Cycles(12));
+    }
+
+    #[test]
+    fn is_additive() {
+        assert!(RoundRobin::new().is_additive());
+        assert_eq!(RoundRobin::new().name(), "round-robin");
+    }
+}

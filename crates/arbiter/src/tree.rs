@@ -1,0 +1,308 @@
+//! Generic multi-level arbitration trees.
+//!
+//! Real many-core memory interconnects arbitrate in stages: initiators are
+//! grouped, each group has a local arbiter, and group winners compete at
+//! the next level. [`ArbitrationTree`] models any such hierarchy with
+//! round-robin or fixed-priority stages; [`MppaTree`](crate::MppaTree) is
+//! the Kalray-shaped preset built on top of it.
+
+use mia_model::arbiter::{Arbiter, InterfererDemand};
+use mia_model::{CoreId, Cycles};
+
+/// One node of an arbitration hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArbitrationNode {
+    /// An initiator (a core).
+    Leaf(CoreId),
+    /// Round-robin among the children: per victim grant, each sibling
+    /// subtree may win at most once.
+    RoundRobin(Vec<ArbitrationNode>),
+    /// Fixed priority among the children, first child = highest priority.
+    /// Higher-priority subtrees delay the victim by their full demand;
+    /// lower-priority subtrees only block (at most one access per victim
+    /// access, and no more than their own total demand).
+    FixedPriority(Vec<ArbitrationNode>),
+}
+
+impl ArbitrationNode {
+    /// Total demand of the subtree given per-core demands.
+    fn demand(&self, lookup: &dyn Fn(CoreId) -> u64) -> u64 {
+        match self {
+            ArbitrationNode::Leaf(core) => lookup(*core),
+            ArbitrationNode::RoundRobin(children) | ArbitrationNode::FixedPriority(children) => {
+                children.iter().map(|c| c.demand(lookup)).sum()
+            }
+        }
+    }
+
+    /// True if the subtree contains the given core.
+    fn contains(&self, core: CoreId) -> bool {
+        match self {
+            ArbitrationNode::Leaf(c) => *c == core,
+            ArbitrationNode::RoundRobin(children) | ArbitrationNode::FixedPriority(children) => {
+                children.iter().any(|c| c.contains(core))
+            }
+        }
+    }
+
+    /// Worst-case number of *access slots* delaying the victim's `demand`
+    /// accesses within this subtree (the victim is inside this subtree).
+    fn delay_slots(&self, victim: CoreId, demand: u64, lookup: &dyn Fn(CoreId) -> u64) -> u64 {
+        match self {
+            ArbitrationNode::Leaf(_) => 0,
+            ArbitrationNode::RoundRobin(children) => {
+                let inner = children
+                    .iter()
+                    .find(|c| c.contains(victim))
+                    .expect("victim must be in subtree");
+                let own = inner.delay_slots(victim, demand, lookup);
+                // Each victim grant at this stage can be overtaken once per
+                // sibling subtree, but no sibling can exceed its total demand.
+                let siblings: u64 = children
+                    .iter()
+                    .filter(|c| !c.contains(victim))
+                    .map(|c| demand.min(c.demand(lookup)))
+                    .sum();
+                own + siblings
+            }
+            ArbitrationNode::FixedPriority(children) => {
+                let pos = children
+                    .iter()
+                    .position(|c| c.contains(victim))
+                    .expect("victim must be in subtree");
+                let own = children[pos].delay_slots(victim, demand, lookup);
+                let higher: u64 = children[..pos].iter().map(|c| c.demand(lookup)).sum();
+                let lower: u64 = children[pos + 1..].iter().map(|c| c.demand(lookup)).sum();
+                own + higher + demand.min(lower)
+            }
+        }
+    }
+}
+
+/// A composable multi-level arbiter.
+///
+/// The interference bound is computed compositionally along the path from
+/// the victim's leaf to the root: at each stage the victim's accesses
+/// compete against the *aggregated* demand of each sibling subtree.
+///
+/// Cores that do not appear in the tree are assumed to reach the bank
+/// through an implicit extra top-level round-robin input (so a partially
+/// specified tree still yields sound bounds).
+///
+/// # Example
+///
+/// A two-level hierarchy: cores 0 and 1 share a pair arbiter, core 2
+/// arrives at the top level directly.
+///
+/// ```
+/// use mia_arbiter::{ArbitrationNode, ArbitrationTree};
+/// use mia_model::{arbiter::InterfererDemand, Arbiter, CoreId, Cycles};
+///
+/// let tree = ArbitrationTree::new(ArbitrationNode::RoundRobin(vec![
+///     ArbitrationNode::RoundRobin(vec![
+///         ArbitrationNode::Leaf(CoreId(0)),
+///         ArbitrationNode::Leaf(CoreId(1)),
+///     ]),
+///     ArbitrationNode::Leaf(CoreId(2)),
+/// ]));
+/// let others = [
+///     InterfererDemand { core: CoreId(1), accesses: 4 },
+///     InterfererDemand { core: CoreId(2), accesses: 4 },
+/// ];
+/// // Pair stage: min(4,4)=4; top stage: min(4,4)=4 → 8 cycles.
+/// assert_eq!(
+///     tree.bank_interference(CoreId(0), 4, &others, Cycles(1)),
+///     Cycles(8),
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArbitrationTree {
+    root: ArbitrationNode,
+    name: String,
+}
+
+impl ArbitrationTree {
+    /// Wraps a hierarchy description into an arbiter.
+    pub fn new(root: ArbitrationNode) -> Self {
+        ArbitrationTree {
+            root,
+            name: "arbitration-tree".to_owned(),
+        }
+    }
+
+    /// Sets the display name used in reports.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The root node of the hierarchy.
+    pub fn root(&self) -> &ArbitrationNode {
+        &self.root
+    }
+}
+
+impl Arbiter for ArbitrationTree {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bank_interference(
+        &self,
+        victim: CoreId,
+        demand: u64,
+        interferers: &[InterfererDemand],
+        access_cycles: Cycles,
+    ) -> Cycles {
+        if demand == 0 || interferers.is_empty() {
+            return Cycles::ZERO;
+        }
+        let lookup = |core: CoreId| -> u64 {
+            interferers
+                .iter()
+                .find(|i| i.core == core)
+                .map_or(0, |i| i.accesses)
+        };
+        // Interferers outside the tree compete at an implicit top-level
+        // round-robin input.
+        let outside: u64 = interferers
+            .iter()
+            .filter(|i| !self.root.contains(i.core))
+            .map(|i| demand.min(i.accesses))
+            .sum();
+        let slots = if self.root.contains(victim) {
+            self.root.delay_slots(victim, demand, &lookup) + outside
+        } else {
+            // Victim outside the tree: it competes round-robin against the
+            // whole tree (one aggregated opponent) plus outside cores.
+            demand.min(self.root.demand(&lookup)) + outside
+        };
+        access_cycles * slots
+    }
+
+    fn is_additive(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(core: u32, accesses: u64) -> InterfererDemand {
+        InterfererDemand {
+            core: CoreId(core),
+            accesses,
+        }
+    }
+
+    fn pair_tree() -> ArbitrationTree {
+        ArbitrationTree::new(ArbitrationNode::RoundRobin(vec![
+            ArbitrationNode::RoundRobin(vec![
+                ArbitrationNode::Leaf(CoreId(0)),
+                ArbitrationNode::Leaf(CoreId(1)),
+            ]),
+            ArbitrationNode::RoundRobin(vec![
+                ArbitrationNode::Leaf(CoreId(2)),
+                ArbitrationNode::Leaf(CoreId(3)),
+            ]),
+        ]))
+    }
+
+    #[test]
+    fn no_interferers_no_delay() {
+        let t = pair_tree();
+        assert_eq!(
+            t.bank_interference(CoreId(0), 10, &[], Cycles(1)),
+            Cycles::ZERO
+        );
+    }
+
+    #[test]
+    fn partner_then_sibling_pair() {
+        let t = pair_tree();
+        // Partner delays min(6, 2) = 2; sibling pair aggregates 3+4=7,
+        // capped by victim demand 6 → 6. Total 8.
+        let others = [demand(1, 2), demand(2, 3), demand(3, 4)];
+        assert_eq!(
+            t.bank_interference(CoreId(0), 6, &others, Cycles(1)),
+            Cycles(8)
+        );
+    }
+
+    #[test]
+    fn tree_bound_never_exceeds_flat_rr_with_saturated_pairs() {
+        // When a sibling pair's total demand saturates the victim cap, the
+        // tree bound is lower than flat RR's per-core sum.
+        let t = pair_tree();
+        let others = [demand(2, 10), demand(3, 10)];
+        // Tree: pair total 20, capped at 5 → 5.
+        assert_eq!(
+            t.bank_interference(CoreId(0), 5, &others, Cycles(1)),
+            Cycles(5)
+        );
+        // Flat RR would give min(5,10)+min(5,10) = 10.
+    }
+
+    #[test]
+    fn fixed_priority_stage() {
+        let t = ArbitrationTree::new(ArbitrationNode::FixedPriority(vec![
+            ArbitrationNode::Leaf(CoreId(0)), // highest priority
+            ArbitrationNode::Leaf(CoreId(1)),
+            ArbitrationNode::Leaf(CoreId(2)), // lowest priority
+        ]));
+        // Victim = middle priority: core 0 delays fully (7), core 2 blocks
+        // at most min(4, 9) = 4.
+        let others = [demand(0, 7), demand(2, 9)];
+        assert_eq!(
+            t.bank_interference(CoreId(1), 4, &others, Cycles(1)),
+            Cycles(11)
+        );
+        // Highest priority victim suffers only blocking.
+        let others = [demand(1, 3), demand(2, 9)];
+        assert_eq!(
+            t.bank_interference(CoreId(0), 4, &others, Cycles(1)),
+            Cycles(4)
+        );
+    }
+
+    #[test]
+    fn victim_outside_tree_competes_against_aggregate() {
+        let t = pair_tree();
+        let others = [demand(0, 3), demand(1, 3)];
+        // Victim core 9 is not in the tree: one aggregated opponent of 6,
+        // capped by demand 4 → 4.
+        assert_eq!(
+            t.bank_interference(CoreId(9), 4, &others, Cycles(1)),
+            Cycles(4)
+        );
+    }
+
+    #[test]
+    fn interferer_outside_tree_adds_round_robin_share() {
+        let t = pair_tree();
+        let others = [demand(1, 2), demand(9, 5)];
+        // Partner 2 + outsider min(3,5)=3 → 5.
+        assert_eq!(
+            t.bank_interference(CoreId(0), 3, &others, Cycles(1)),
+            Cycles(5)
+        );
+    }
+
+    #[test]
+    fn zero_demand_victim_suffers_nothing() {
+        let t = pair_tree();
+        let others = [demand(1, 5)];
+        assert_eq!(
+            t.bank_interference(CoreId(0), 0, &others, Cycles(1)),
+            Cycles::ZERO
+        );
+    }
+
+    #[test]
+    fn named() {
+        let t = pair_tree().with_name("custom");
+        assert_eq!(t.name(), "custom");
+        assert!(!t.is_additive());
+    }
+}

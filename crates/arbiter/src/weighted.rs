@@ -1,0 +1,146 @@
+//! Weighted round-robin arbitration.
+
+use mia_model::arbiter::{Arbiter, InterfererDemand};
+use mia_model::{CoreId, Cycles};
+
+/// Weighted round-robin: core *j* receives up to `w_j` back-to-back grants
+/// per arbitration round (bandwidth regulation à la MemGuard, or the
+/// unequal grant shares some interconnects give DMA engines).
+///
+/// Per round the victim gets one grant and each interfering core *j* at
+/// most `w_j`, and core *j* can never delay the victim by more than its
+/// own total demand:
+///
+/// ```text
+/// I(victim, S) = Σ_{j ∈ S} min(d_v · w_j, d_j) · access_cycles
+/// ```
+///
+/// With all weights 1 this is exactly [`RoundRobin`](crate::RoundRobin).
+/// The bound is additive.
+///
+/// # Example
+///
+/// ```
+/// use mia_arbiter::WeightedRoundRobin;
+/// use mia_model::{arbiter::InterfererDemand, Arbiter, CoreId, Cycles};
+///
+/// // Core 1 holds a double bandwidth share.
+/// let wrr = WeightedRoundRobin::new(vec![1, 2]);
+/// let others = [InterfererDemand { core: CoreId(1), accesses: 50 }];
+/// // Victim issues 8 accesses; core 1 may slip in 2 grants per round.
+/// assert_eq!(
+///     wrr.bank_interference(CoreId(0), 8, &others, Cycles(1)),
+///     Cycles(16),
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedRoundRobin {
+    /// Grant share per core index; cores beyond the table default to 1.
+    weights: Vec<u64>,
+}
+
+impl WeightedRoundRobin {
+    /// Creates the policy with the given per-core grant shares
+    /// (`weights[i]` is core *i*'s share; missing entries default to 1).
+    pub fn new(weights: Vec<u64>) -> Self {
+        WeightedRoundRobin { weights }
+    }
+
+    /// The grant share of a core.
+    pub fn weight(&self, core: CoreId) -> u64 {
+        self.weights.get(core.index()).copied().unwrap_or(1)
+    }
+}
+
+impl Default for WeightedRoundRobin {
+    /// All weights 1: plain round-robin.
+    fn default() -> Self {
+        WeightedRoundRobin::new(Vec::new())
+    }
+}
+
+impl Arbiter for WeightedRoundRobin {
+    fn name(&self) -> &str {
+        "weighted-round-robin"
+    }
+
+    fn bank_interference(
+        &self,
+        _victim: CoreId,
+        demand: u64,
+        interferers: &[InterfererDemand],
+        access_cycles: Cycles,
+    ) -> Cycles {
+        let slots: u64 = interferers
+            .iter()
+            .map(|i| (demand.saturating_mul(self.weight(i.core))).min(i.accesses))
+            .sum();
+        access_cycles * slots
+    }
+
+    fn is_additive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoundRobin;
+
+    fn demand(core: u32, accesses: u64) -> InterfererDemand {
+        InterfererDemand {
+            core: CoreId(core),
+            accesses,
+        }
+    }
+
+    #[test]
+    fn unit_weights_match_round_robin() {
+        let wrr = WeightedRoundRobin::default();
+        let rr = RoundRobin::new();
+        let set = [demand(1, 30), demand(2, 5), demand(3, 0)];
+        for d in [0u64, 3, 10, 100] {
+            assert_eq!(
+                wrr.bank_interference(CoreId(0), d, &set, Cycles(1)),
+                rr.bank_interference(CoreId(0), d, &set, Cycles(1))
+            );
+        }
+    }
+
+    #[test]
+    fn heavier_interferer_weight_increases_delay() {
+        let light = WeightedRoundRobin::new(vec![1, 1]);
+        let heavy = WeightedRoundRobin::new(vec![1, 3]);
+        let set = [demand(1, 100)];
+        let l = light.bank_interference(CoreId(0), 10, &set, Cycles(1));
+        let h = heavy.bank_interference(CoreId(0), 10, &set, Cycles(1));
+        assert_eq!(l, Cycles(10));
+        assert_eq!(h, Cycles(30));
+    }
+
+    #[test]
+    fn interferer_demand_still_caps() {
+        let wrr = WeightedRoundRobin::new(vec![1, 10]);
+        let set = [demand(1, 4)];
+        // Even with weight 10, core 1 only has 4 accesses to issue.
+        assert_eq!(
+            wrr.bank_interference(CoreId(0), 8, &set, Cycles(1)),
+            Cycles(4)
+        );
+    }
+
+    #[test]
+    fn missing_weights_default_to_one() {
+        let wrr = WeightedRoundRobin::new(vec![5]);
+        assert_eq!(wrr.weight(CoreId(0)), 5);
+        assert_eq!(wrr.weight(CoreId(9)), 1);
+    }
+
+    #[test]
+    fn additive_and_named() {
+        let wrr = WeightedRoundRobin::default();
+        assert!(wrr.is_additive());
+        assert_eq!(wrr.name(), "weighted-round-robin");
+    }
+}

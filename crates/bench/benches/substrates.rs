@@ -1,0 +1,110 @@
+//! Micro-benchmarks of the surrounding substrates: sporadic MRTA, NoC
+//! latency bounds and the instruction-cache must analysis. These are not
+//! paper figures — they document that the substrates scale well past the
+//! sizes the integration tests exercise.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mia_arbiter::RoundRobin;
+use mia_model::{BankDemand, BankId, Cycles, Platform};
+use mia_mrta::{analyze, SporadicSystem, SporadicTask};
+use mia_noc::{worst_case_latencies, Flow, FlowSet, NocConfig, Torus};
+use mia_wcet::cache::{classify, CacheConfig, ReferenceCfg};
+
+/// A synthetic sporadic system: `n` tasks over 16 cores / 16 banks with
+/// deterministic parameters.
+fn sporadic_system(n: usize) -> SporadicSystem {
+    let tasks: Vec<SporadicTask> = (0..n)
+        .map(|i| {
+            let period = 500 + (i as u64 % 7) * 250;
+            SporadicTask::builder(format!("t{i}"))
+                .wcet(Cycles(20 + (i as u64 % 5) * 10))
+                .period(Cycles(period))
+                .demand(BankDemand::single(
+                    BankId((i % 16) as u32),
+                    5 + (i as u64 % 4) * 3,
+                ))
+                .build()
+                .expect("valid task")
+        })
+        .collect();
+    let assignment: Vec<usize> = (0..n).map(|i| i % 16).collect();
+    SporadicSystem::new(tasks, &assignment, Platform::mppa256_cluster())
+        .expect("valid system")
+}
+
+fn mrta_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mrta");
+    group.measurement_time(Duration::from_secs(3));
+    for n in [32usize, 128, 512] {
+        let system = sporadic_system(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &system, |b, s| {
+            b.iter(|| black_box(analyze(s, &RoundRobin::new()).schedulable()))
+        });
+    }
+    group.finish();
+}
+
+fn noc_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_bounds");
+    group.measurement_time(Duration::from_secs(3));
+    let torus = Torus::mppa256();
+    for n in [16usize, 64, 256] {
+        let flows: FlowSet = (0..n)
+            .map(|i| {
+                Flow::new(
+                    torus.node((i % 4) as u16, (i / 4 % 4) as u16),
+                    torus.node((i / 2 % 4) as u16, (i % 4) as u16),
+                    8 + (i as u64 % 32),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &flows, |b, f| {
+            b.iter(|| {
+                black_box(worst_case_latencies(&torus, f, &NocConfig::default()).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cache_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_must_analysis");
+    group.measurement_time(Duration::from_secs(3));
+    for blocks in [16usize, 64, 256] {
+        // A loopy CFG: a chain with a back edge every 8 blocks, 4 refs
+        // per block over a 64-line pool.
+        let mut g = ReferenceCfg::new();
+        let ids: Vec<_> = (0..blocks)
+            .map(|i| {
+                g.add_block(vec![
+                    (i as u64 * 7) % 64,
+                    (i as u64 * 13 + 1) % 64,
+                    (i as u64 * 29 + 2) % 64,
+                    (i as u64 * 31 + 3) % 64,
+                ])
+            })
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        for i in (8..blocks).step_by(8) {
+            g.add_edge(ids[i], ids[i - 7]).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &g, |b, g| {
+            b.iter(|| {
+                black_box(
+                    classify(g, &CacheConfig::new(16, 4))
+                        .unwrap()
+                        .hits(ids[0]),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mrta_analysis, noc_bounds, cache_classification);
+criterion_main!(benches);

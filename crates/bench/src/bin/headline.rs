@@ -1,0 +1,85 @@
+//! Regenerates the paper's §V **headline numbers**:
+//!
+//! * LS64 at 256 tasks: C++ original 1121.79 s vs Python new 4.13 s → 270×
+//! * NL64 at 384 tasks: C++ original 535.24 s vs Python new 0.90 s → 593×
+//!
+//! Absolute times differ (different machine, both algorithms in Rust
+//! here); the reproduced quantity is the *speedup* and its growth with n.
+//!
+//! ```text
+//! cargo run --release -p mia-bench --bin headline
+//! ```
+
+use std::time::Duration;
+
+use mia_bench::{benchmark_problem, time_algorithm, write_json, Algorithm, Outcome};
+use mia_dag_gen::Family;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct HeadlineRow {
+    family: String,
+    n: usize,
+    new_seconds: Option<f64>,
+    old_seconds: Option<f64>,
+    speedup: Option<f64>,
+    paper_speedup: f64,
+}
+
+fn main() {
+    let budget = Duration::from_secs(
+        std::env::args()
+            .skip_while(|a| a != "--timeout")
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(600),
+    );
+    let cases = [
+        (Family::FixedLayerSize(64), 256usize, 1121.79 / 4.13),
+        (Family::FixedLayers(64), 384, 535.24 / 0.90),
+    ];
+    println!("| family | n | new (s) | old (s) | speedup | paper speedup |");
+    println!("|--------|---|---------|---------|---------|---------------|");
+    let mut rows = Vec::new();
+    for (family, n, paper_speedup) in cases {
+        let problem = benchmark_problem(family, n, 2020);
+        let new = time_algorithm(Algorithm::Incremental, &problem, budget);
+        let old = time_algorithm(Algorithm::Original, &problem, budget);
+        if let (
+            Outcome::Completed { makespan: m1, .. },
+            Outcome::Completed { makespan: m2, .. },
+        ) = (&new, &old)
+        {
+            assert_eq!(m1, m2, "both algorithms must agree on the schedule");
+        }
+        let row = HeadlineRow {
+            family: family.label(),
+            n,
+            new_seconds: new.seconds(),
+            old_seconds: old.seconds(),
+            speedup: match (old.seconds(), new.seconds()) {
+                (Some(o), Some(s)) if s > 0.0 => Some(o / s),
+                _ => None,
+            },
+            paper_speedup,
+        };
+        println!(
+            "| {} | {} | {} | {} | {} | {:.0}× |",
+            row.family,
+            row.n,
+            row.new_seconds
+                .map(|s| format!("{s:.4}"))
+                .unwrap_or_else(|| "timeout".into()),
+            row.old_seconds
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "timeout".into()),
+            row.speedup
+                .map(|s| format!("{s:.0}×"))
+                .unwrap_or_else(|| "—".into()),
+            row.paper_speedup
+        );
+        rows.push(row);
+    }
+    let path = write_json("headline", &rows).expect("write results");
+    eprintln!("-> {}", path.display());
+}

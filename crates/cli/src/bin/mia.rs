@@ -1,0 +1,17 @@
+//! The `mia` command-line tool. See `mia help` for usage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mia_cli::run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mia: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

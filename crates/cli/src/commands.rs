@@ -1,0 +1,545 @@
+//! Subcommand implementations and argument parsing (dependency-free).
+
+use std::fmt;
+use std::fs;
+
+use mia_arbiter::{Fifo, FixedPriority, MppaTree, Regulated, RoundRobin, Tdm, WeightedRoundRobin};
+use mia_core::{analyze_with, AnalysisOptions, NoopObserver};
+use mia_dag_gen::{Family, LayeredDag};
+use mia_model::{Arbiter, Cycles, Platform, Problem};
+use mia_sim::{simulate, AccessPattern, SimConfig};
+
+use crate::workload::WorkloadFile;
+
+/// Errors surfaced to the terminal with exit code 1.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing / usage problems.
+    Usage(String),
+    /// File IO problems.
+    Io(std::io::Error),
+    /// Malformed JSON / SDF input.
+    Parse(String),
+    /// Model or analysis failure.
+    Analysis(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Parse(m) => write!(f, "parse error: {m}"),
+            CliError::Analysis(m) => write!(f, "analysis error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+const USAGE: &str = "mia <command> [options]
+
+commands:
+  generate --family <LS4|NL64|...> -n <tasks> [--seed S] [-o FILE]
+  analyze  <workload.json> [--algorithm incremental|baseline]
+           [--arbiter rr|mppa|tdm|fifo|fp|wrr|regulated] [--deadline N]
+           [--gantt] [--dot] [--json FILE] [--chrome FILE]
+  simulate <workload.json> [--pattern burst-start|burst-end|uniform|random] [--seed S]
+  exec     <workload.json> [--arbiter ...] [--prefix NAME] [--c FILE] [--json FILE]
+  sdf      <app.sdf> --cores N [--iterations K] [--strategy etf|cyclic|balanced|heft]
+  dot      <workload.json>";
+
+/// Entry point used by the `mia` binary; returns the rendered output.
+///
+/// # Errors
+///
+/// [`CliError`] for usage, IO, parse and analysis failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage(USAGE.into()));
+    };
+    match command.as_str() {
+        "generate" => generate(rest),
+        "analyze" => analyze_cmd(rest),
+        "simulate" => simulate_cmd(rest),
+        "exec" => exec_cmd(rest),
+        "sdf" => sdf_cmd(rest),
+        "dot" => dot_cmd(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+/// Fetches the value following a `--flag`.
+fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn positional(args: &[String]) -> Option<&str> {
+    args.iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .next()
+}
+
+fn parse_family(label: &str) -> Result<Family, CliError> {
+    let label = label.to_uppercase();
+    let (kind, value) = label.split_at(2);
+    let value: usize = value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad family `{label}` (try LS64 or NL16)")))?;
+    match kind {
+        "LS" => Ok(Family::FixedLayerSize(value)),
+        "NL" => Ok(Family::FixedLayers(value)),
+        _ => Err(CliError::Usage(format!("bad family `{label}`"))),
+    }
+}
+
+fn parse_arbiter(name: Option<&str>) -> Result<Box<dyn Arbiter>, CliError> {
+    Ok(match name.unwrap_or("rr") {
+        "rr" | "round-robin" => Box::new(RoundRobin::new()),
+        "mppa" | "tree" => Box::new(MppaTree::cluster16()),
+        "tdm" => Box::new(Tdm::new()),
+        "fifo" => Box::new(Fifo::new()),
+        "fp" | "fixed-priority" => Box::new(FixedPriority::by_core_id()),
+        "wrr" | "weighted" => Box::new(WeightedRoundRobin::default()),
+        "regulated" | "memguard" => Box::new(Regulated::new(8, 128)),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown arbiter `{other}` (rr, mppa, tdm, fifo, fp, wrr, regulated)"
+            )))
+        }
+    })
+}
+
+fn load_problem(path: &str) -> Result<Problem, CliError> {
+    let text = fs::read_to_string(path)?;
+    let file: WorkloadFile =
+        serde_json::from_str(&text).map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
+    file.into_problem()
+        .map_err(|e| CliError::Parse(format!("{path}: {e}")))
+}
+
+fn generate(args: &[String]) -> Result<String, CliError> {
+    let family = parse_family(
+        opt(args, "--family").ok_or_else(|| CliError::Usage("generate needs --family".into()))?,
+    )?;
+    let n: usize = opt(args, "-n")
+        .or_else(|| opt(args, "--tasks"))
+        .ok_or_else(|| CliError::Usage("generate needs -n <tasks>".into()))?
+        .parse()
+        .map_err(|_| CliError::Usage("-n must be a number".into()))?;
+    let seed: u64 = opt(args, "--seed").unwrap_or("0").parse().unwrap_or(0);
+    let workload = LayeredDag::new(family.config(n, seed)).generate();
+    let platform = Platform::mppa256_cluster();
+    let file = WorkloadFile::from_workload(&workload, &platform);
+    let json = serde_json::to_string_pretty(&file).expect("workload serializes");
+    if let Some(path) = opt(args, "-o").or_else(|| opt(args, "--out")) {
+        fs::write(path, &json)?;
+        Ok(format!(
+            "wrote {} tasks / {} edges ({family}) to {path}",
+            workload.graph.len(),
+            workload.graph.edge_count()
+        ))
+    } else {
+        Ok(json)
+    }
+}
+
+fn analyze_cmd(args: &[String]) -> Result<String, CliError> {
+    let path =
+        positional(args).ok_or_else(|| CliError::Usage("analyze needs a workload file".into()))?;
+    let problem = load_problem(path)?;
+    let arbiter = parse_arbiter(opt(args, "--arbiter"))?;
+    let mut options = AnalysisOptions::new().task_deadlines(true);
+    if let Some(d) = opt(args, "--deadline") {
+        let d: u64 = d
+            .parse()
+            .map_err(|_| CliError::Usage("--deadline must be a number".into()))?;
+        options = options.deadline(Cycles(d));
+    }
+    let algorithm = opt(args, "--algorithm").unwrap_or("incremental");
+    let schedule = match algorithm {
+        "incremental" | "new" => {
+            analyze_with(&problem, arbiter.as_ref(), &options, &mut NoopObserver)
+                .map_err(|e| CliError::Analysis(e.to_string()))?
+                .schedule
+        }
+        "baseline" | "original" | "old" => {
+            let mut opts = mia_baseline::BaselineOptions::new();
+            if let Some(d) = options.deadline {
+                opts = opts.deadline(d);
+            }
+            mia_baseline::analyze_with(&problem, arbiter.as_ref(), &opts)
+                .map_err(|e| CliError::Analysis(e.to_string()))?
+                .schedule
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown algorithm `{other}` (incremental, baseline)"
+            )))
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "algorithm: {algorithm}   arbiter: {}   tasks: {}\n",
+        arbiter.name(),
+        problem.len()
+    ));
+    out.push_str(&format!(
+        "makespan: {}   total interference: {}\n\n",
+        schedule.makespan(),
+        schedule.total_interference()
+    ));
+    out.push_str(&mia_trace::schedule_table(&problem, &schedule));
+    if has_flag(args, "--gantt") {
+        out.push('\n');
+        out.push_str(&mia_trace::gantt(&problem, &schedule));
+    }
+    if has_flag(args, "--dot") {
+        out.push('\n');
+        out.push_str(&mia_trace::to_dot(problem.graph()));
+    }
+    if let Some(path) = opt(args, "--json") {
+        fs::write(path, mia_trace::schedule_json(&problem, &schedule))?;
+        out.push_str(&format!("\nschedule written to {path}\n"));
+    }
+    if let Some(path) = opt(args, "--chrome") {
+        fs::write(path, mia_trace::to_chrome_trace(&problem, &schedule))?;
+        out.push_str(&format!(
+            "\nChrome trace written to {path} (open in chrome://tracing or ui.perfetto.dev)\n"
+        ));
+    }
+    Ok(out)
+}
+
+/// `exec`: analyse and emit time-triggered dispatch tables.
+fn exec_cmd(args: &[String]) -> Result<String, CliError> {
+    let path =
+        positional(args).ok_or_else(|| CliError::Usage("exec needs a workload file".into()))?;
+    let problem = load_problem(path)?;
+    let arbiter = parse_arbiter(opt(args, "--arbiter"))?;
+    let schedule = mia_core::analyze(&problem, arbiter.as_ref())
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    let table = mia_exec::DispatchTable::from_schedule(&problem, &schedule)
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    let prefix = opt(args, "--prefix").unwrap_or("mia");
+    let mut out = format!(
+        "dispatch tables: {} entries over {} cores, horizon {}\n",
+        table.len(),
+        table.cores(),
+        table.makespan()
+    );
+    for core in 0..table.cores() {
+        let core = mia_model::CoreId::from_index(core);
+        out.push_str(&format!(
+            "  {core}: {} entries, utilization {:.1}%\n",
+            table.entries(core).len(),
+            table.utilization(core) * 100.0
+        ));
+    }
+    if let Some(file) = opt(args, "--c") {
+        fs::write(file, table.to_c_source(prefix))?;
+        out.push_str(&format!("C tables written to {file}\n"));
+    }
+    if let Some(file) = opt(args, "--json") {
+        fs::write(file, table.to_json())?;
+        out.push_str(&format!("JSON tables written to {file}\n"));
+    }
+    if opt(args, "--c").is_none() && opt(args, "--json").is_none() {
+        out.push('\n');
+        out.push_str(&table.to_c_source(prefix));
+    }
+    Ok(out)
+}
+
+fn simulate_cmd(args: &[String]) -> Result<String, CliError> {
+    let path =
+        positional(args).ok_or_else(|| CliError::Usage("simulate needs a workload file".into()))?;
+    let problem = load_problem(path)?;
+    let arbiter = parse_arbiter(opt(args, "--arbiter"))?;
+    let schedule = mia_core::analyze(&problem, arbiter.as_ref())
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    let pattern = match opt(args, "--pattern").unwrap_or("burst-start") {
+        "burst-start" | "burst" => AccessPattern::BurstStart,
+        "burst-end" => AccessPattern::BurstEnd,
+        "uniform" => AccessPattern::Uniform,
+        "random" => AccessPattern::Random,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown pattern `{other}` (burst-start, burst-end, uniform, random)"
+            )))
+        }
+    };
+    let seed: u64 = opt(args, "--seed").unwrap_or("0").parse().unwrap_or(0);
+    let run = simulate(&problem, &schedule, &SimConfig::new(pattern).seed(seed))
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    let mut out = format!(
+        "simulated ({pattern:?}, seed {seed}): makespan {} vs analysed {}\n",
+        run.makespan(),
+        schedule.makespan()
+    );
+    out.push_str(&format!(
+        "observed stalls: {} vs analysed interference {}\n",
+        run.total_stall(),
+        schedule.total_interference()
+    ));
+    match run.first_violation(&schedule) {
+        None => out.push_str("soundness: OK — no task exceeded its analysed response time\n"),
+        Some(t) => out.push_str(&format!("soundness: VIOLATED by task {t}\n")),
+    }
+    Ok(out)
+}
+
+fn sdf_cmd(args: &[String]) -> Result<String, CliError> {
+    let path = positional(args).ok_or_else(|| CliError::Usage("sdf needs an .sdf file".into()))?;
+    let cores: usize = opt(args, "--cores")
+        .ok_or_else(|| CliError::Usage("sdf needs --cores".into()))?
+        .parse()
+        .map_err(|_| CliError::Usage("--cores must be a number".into()))?;
+    let iterations: u64 = opt(args, "--iterations").unwrap_or("1").parse().unwrap_or(1);
+    let text = fs::read_to_string(path)?;
+    let graph = mia_sdf::parse(&text).map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
+    let expansion = graph
+        .expand(iterations)
+        .map_err(|e| CliError::Parse(e.to_string()))?;
+    let mapping = match opt(args, "--strategy").unwrap_or("etf") {
+        "etf" => mia_mapping::earliest_finish(&expansion.graph, cores),
+        "cyclic" => mia_mapping::layered_cyclic(&expansion.graph, cores),
+        "balanced" => mia_mapping::load_balanced(&expansion.graph, cores),
+        "heft" => mia_mapping::heft(&expansion.graph, cores, 1),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown strategy `{other}` (etf, cyclic, balanced, heft)"
+            )))
+        }
+    }
+    .map_err(|e| CliError::Analysis(e.to_string()))?;
+    let problem = Problem::new(expansion.graph, mapping, Platform::new(cores, cores))
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    let arbiter = parse_arbiter(opt(args, "--arbiter"))?;
+    let schedule = mia_core::analyze(&problem, arbiter.as_ref())
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    let mut out = format!(
+        "expanded {iterations} iteration(s): {} firings, makespan {}\n\n",
+        problem.len(),
+        schedule.makespan()
+    );
+    out.push_str(&mia_trace::gantt(&problem, &schedule));
+    Ok(out)
+}
+
+fn dot_cmd(args: &[String]) -> Result<String, CliError> {
+    let path =
+        positional(args).ok_or_else(|| CliError::Usage("dot needs a workload file".into()))?;
+    let problem = load_problem(path)?;
+    Ok(mia_trace::to_dot(problem.graph()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let err = run(&[]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("generate"));
+        assert!(out.contains("simulate"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn family_parsing() {
+        assert_eq!(parse_family("LS64").unwrap(), Family::FixedLayerSize(64));
+        assert_eq!(parse_family("nl16").unwrap(), Family::FixedLayers(16));
+        assert!(parse_family("XX4").is_err());
+        assert!(parse_family("LSxx").is_err());
+    }
+
+    #[test]
+    fn arbiter_parsing() {
+        for name in ["rr", "mppa", "tdm", "fifo", "fp", "wrr"] {
+            assert!(parse_arbiter(Some(name)).is_ok(), "{name}");
+        }
+        assert!(parse_arbiter(Some("bogus")).is_err());
+        assert_eq!(parse_arbiter(None).unwrap().name(), "round-robin");
+    }
+
+    #[test]
+    fn generate_analyze_simulate_round_trip() {
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.json");
+        let path_str = path.to_str().unwrap().to_owned();
+
+        let out = run(&args(&[
+            "generate", "--family", "LS4", "-n", "32", "--seed", "5", "-o", &path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("32 tasks"));
+
+        let out = run(&args(&["analyze", &path_str, "--gantt"])).unwrap();
+        assert!(out.contains("makespan"));
+        assert!(out.contains("PE0"));
+
+        let out = run(&args(&["analyze", &path_str, "--algorithm", "baseline"])).unwrap();
+        assert!(out.contains("baseline"));
+
+        let out = run(&args(&["dot", &path_str])).unwrap();
+        assert!(out.contains("digraph"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn simulate_reports_soundness() {
+        // Hand-build a sim-friendly workload (small demands).
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim.json");
+        std::fs::write(
+            &path,
+            r#"{
+                "platform": { "cores": 2, "banks": 2 },
+                "bank_policy": "single",
+                "tasks": [
+                    { "name": "a", "wcet": 50, "accesses": 10 },
+                    { "name": "b", "wcet": 50, "accesses": 10 }
+                ],
+                "mapping": [0, 1]
+            }"#,
+        )
+        .unwrap();
+        let out = run(&args(&["simulate", path.to_str().unwrap(), "--pattern", "random"]))
+            .unwrap();
+        assert!(out.contains("soundness: OK"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sdf_subcommand_runs_end_to_end() {
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app.sdf");
+        std::fs::write(
+            &path,
+            "actor a wcet=10 accesses=2\nactor b wcet=20\nchannel a -> b produce=2 consume=1 words=4\n",
+        )
+        .unwrap();
+        let out = run(&args(&[
+            "sdf",
+            path.to_str().unwrap(),
+            "--cores",
+            "2",
+            "--iterations",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("firings"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn exec_subcommand_emits_tables() {
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exec.json");
+        let c_path = dir.join("tables.c");
+        std::fs::write(
+            &path,
+            r#"{
+                "platform": { "cores": 2, "banks": 2 },
+                "tasks": [
+                    { "name": "a", "wcet": 10, "accesses": 2 },
+                    { "name": "b", "wcet": 20, "accesses": 3 }
+                ],
+                "mapping": [0, 1],
+                "edges": [ { "src": 0, "dst": 1, "words": 4 } ]
+            }"#,
+        )
+        .unwrap();
+        let out = run(&args(&[
+            "exec",
+            path.to_str().unwrap(),
+            "--prefix",
+            "app",
+            "--c",
+            c_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("2 entries over 2 cores"), "{out}");
+        let c = std::fs::read_to_string(&c_path).unwrap();
+        assert!(c.contains("app_core0"));
+        assert!(c.contains("app_core1"));
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(c_path).ok();
+    }
+
+    #[test]
+    fn analyze_chrome_export_writes_a_trace() {
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let w_path = dir.join("chrome-w.json");
+        let t_path = dir.join("trace.json");
+        run(&args(&[
+            "generate", "--family", "LS4", "-n", "16", "-o",
+            w_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "analyze",
+            w_path.to_str().unwrap(),
+            "--chrome",
+            t_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("Chrome trace written"));
+        let trace = std::fs::read_to_string(&t_path).unwrap();
+        assert!(trace.contains("\"ph\":\"X\""));
+        std::fs::remove_file(w_path).ok();
+        std::fs::remove_file(t_path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = run(&args(&["analyze", "/nonexistent/x.json"])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn malformed_json_is_parse_error() {
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = run(&args(&["analyze", path.to_str().unwrap()])).unwrap_err();
+        assert!(matches!(err, CliError::Parse(_)));
+        std::fs::remove_file(path).ok();
+    }
+}

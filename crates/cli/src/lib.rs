@@ -1,0 +1,23 @@
+//! Command-line front-end for the `mia` workspace.
+//!
+//! The `mia` binary drives the full flow from files:
+//!
+//! ```text
+//! mia generate --family LS64 -n 256 --seed 7 -o workload.json
+//! mia analyze workload.json --arbiter mppa --gantt
+//! mia analyze workload.json --algorithm baseline
+//! mia simulate workload.json --pattern random --seed 3
+//! mia sdf app.sdf --cores 4 --iterations 2 --strategy etf
+//! mia dot workload.json
+//! ```
+//!
+//! Workloads are exchanged in a human-writable JSON schema
+//! ([`WorkloadFile`]) that is validated into a
+//! [`Problem`](mia_model::Problem) on load — hand-edited files get real
+//! error messages instead of panics.
+
+mod commands;
+mod workload;
+
+pub use commands::{run, CliError};
+pub use workload::{EdgeSpec, PlatformSpec, TaskSpec, WorkloadFile};

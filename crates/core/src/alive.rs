@@ -1,0 +1,112 @@
+//! Shared bookkeeping for the alive set `A` of Algorithm 1, used by both
+//! the scanning cursor of [`crate::analyze`] and the event-driven cursor
+//! of [`crate::analyze_event_driven`].
+
+use std::collections::{BTreeMap, HashSet};
+
+use mia_model::arbiter::{Arbiter, InterfererDemand};
+use mia_model::{BankId, CoreId, Cycles, Problem, TaskId};
+
+use crate::{AnalysisOptions, AnalysisStats, InterferenceMode, Observer};
+
+/// Bookkeeping for one alive task (the set `A` holds at most one per core).
+pub(crate) struct AliveTask {
+    pub(crate) task: TaskId,
+    pub(crate) release: Cycles,
+    /// Total interference across banks accumulated so far.
+    pub(crate) total_inter: Cycles,
+    /// Interference per bank (`τ.interferences[b]` in Algorithm 1).
+    pub(crate) bank_inter: BTreeMap<BankId, Cycles>,
+    /// Aggregated interferer demand per bank and per core
+    /// (`τ.interfers_with[b]`, merged per core following §II.C).
+    pub(crate) interferers: BTreeMap<BankId, BTreeMap<CoreId, u64>>,
+    /// Tasks already accounted for, to avoid double counting.
+    pub(crate) accounted: HashSet<TaskId>,
+}
+
+impl AliveTask {
+    pub(crate) fn new(task: TaskId, release: Cycles) -> Self {
+        AliveTask {
+            task,
+            release,
+            total_inter: Cycles::ZERO,
+            bank_inter: BTreeMap::new(),
+            interferers: BTreeMap::new(),
+            accounted: HashSet::new(),
+        }
+    }
+
+    pub(crate) fn finish(&self, wcet: Cycles) -> Cycles {
+        self.release + wcet + self.total_inter
+    }
+}
+
+/// Accounts the alive task on `src_idx` as an interferer of the alive task
+/// on `dest_idx` (one direction of Algorithm 1's lines 17–23).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn add_interferer<A, O>(
+    problem: &Problem,
+    arbiter: &A,
+    options: &AnalysisOptions,
+    observer: &mut O,
+    alive: &mut [Option<AliveTask>],
+    dest_idx: usize,
+    src_idx: usize,
+    access: Cycles,
+    stats: &mut AnalysisStats,
+) where
+    A: Arbiter + ?Sized,
+    O: Observer + ?Sized,
+{
+    let src_task = alive[src_idx].as_ref().expect("src alive").task;
+    let src_core = CoreId::from_index(src_idx);
+    let dest_core = CoreId::from_index(dest_idx);
+    let dest = alive[dest_idx].as_mut().expect("dest alive");
+    if !dest.accounted.insert(src_task) {
+        return; // already accounted (line 21's membership test)
+    }
+    stats.pairs_considered += 1;
+
+    let dest_demand = problem.demand(dest.task);
+    let src_demand = problem.demand(src_task);
+    for (bank, d_src) in src_demand.iter() {
+        let d_dest = dest_demand.get(bank);
+        if d_dest == 0 {
+            continue; // no shared bank: no interference (line 20)
+        }
+        match options.interference_mode {
+            InterferenceMode::AggregateByCore => {
+                // Merge into the per-core "single big task" and re-evaluate
+                // IBUS on the whole set (supports non-additive arbiters).
+                let per_core = dest.interferers.entry(bank).or_default();
+                *per_core.entry(src_core).or_insert(0) += d_src;
+                let set: Vec<InterfererDemand> = per_core
+                    .iter()
+                    .map(|(&core, &accesses)| InterfererDemand { core, accesses })
+                    .collect();
+                let new_inter = arbiter.bank_interference(dest_core, d_dest, &set, access);
+                stats.ibus_calls += 1;
+                let old = dest.bank_inter.insert(bank, new_inter).unwrap_or(Cycles::ZERO);
+                // Monotonicity is an arbiter contract; clamp defensively so
+                // a faulty arbiter cannot make the accounting underflow.
+                let new_inter = new_inter.max(old);
+                dest.total_inter = dest.total_inter + new_inter - old;
+            }
+            InterferenceMode::PairwiseAdditive => {
+                let delta = arbiter.bank_interference(
+                    dest_core,
+                    d_dest,
+                    &[InterfererDemand {
+                        core: src_core,
+                        accesses: d_src,
+                    }],
+                    access,
+                );
+                stats.ibus_calls += 1;
+                *dest.bank_inter.entry(bank).or_insert(Cycles::ZERO) += delta;
+                dest.total_inter += delta;
+            }
+        }
+        observer.on_interference(dest.task, bank, dest.total_inter);
+    }
+}

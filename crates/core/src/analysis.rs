@@ -1,0 +1,542 @@
+//! The incremental scheduling algorithm (Algorithm 1 of the paper).
+
+use mia_model::arbiter::Arbiter;
+use mia_model::{CoreId, Cycles, Problem, Schedule, TaskId, TaskTiming};
+
+use crate::alive::{add_interferer, AliveTask};
+use crate::{AnalysisError, AnalysisOptions, NoopObserver, Observer};
+
+/// Counters describing the work an analysis run performed; useful for
+/// checking the complexity claims empirically (the benches report them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Distinct cursor positions visited (bounded by 2n in the paper's
+    /// complexity argument: task end dates and minimal release dates).
+    pub cursor_steps: usize,
+    /// Calls to the arbiter's `IBUS` function.
+    pub ibus_calls: usize,
+    /// (destination, source) alive pairs examined.
+    pub pairs_considered: usize,
+    /// Peak number of simultaneously alive tasks (bounded by the core
+    /// count — the key of the complexity reduction).
+    pub max_alive: usize,
+}
+
+/// The result of [`analyze_with`]: the schedule plus run statistics.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The computed time-triggered schedule.
+    pub schedule: Schedule,
+    /// Work counters for this run.
+    pub stats: AnalysisStats,
+}
+
+/// Runs the incremental analysis with default options and no observer.
+///
+/// This is the paper's Algorithm 1: complexity `O(c²·b·n²)`, i.e. O(n²)
+/// for a fixed platform, against the original algorithm's O(n⁴)
+/// (see [`mia_baseline`-style baseline crate] for the latter).
+///
+/// # Errors
+///
+/// * [`AnalysisError::Deadlock`] on inconsistent hand-built inputs (cannot
+///   happen for a validated [`Problem`]).
+///
+/// # Example
+///
+/// See the [crate-level documentation](crate).
+pub fn analyze<A>(problem: &Problem, arbiter: &A) -> Result<Schedule, AnalysisError>
+where
+    A: Arbiter + ?Sized,
+{
+    analyze_with(problem, arbiter, &AnalysisOptions::default(), &mut NoopObserver)
+        .map(|r| r.schedule)
+}
+
+/// Runs the incremental analysis with explicit options and an observer.
+///
+/// The observer receives every cursor move, task opening/closing and
+/// interference update in order — enough to reconstruct the paper's
+/// Figure 2 snapshot at any instant (see `mia-trace`).
+///
+/// # Errors
+///
+/// * [`AnalysisError::DeadlineExceeded`] if a finish date crosses
+///   `options.deadline` (the task set is unschedulable),
+/// * [`AnalysisError::Cancelled`] if `options.cancel` fires,
+/// * [`AnalysisError::Deadlock`] on inconsistent hand-built inputs.
+pub fn analyze_with<A, O>(
+    problem: &Problem,
+    arbiter: &A,
+    options: &AnalysisOptions,
+    observer: &mut O,
+) -> Result<AnalysisReport, AnalysisError>
+where
+    A: Arbiter + ?Sized,
+    O: Observer + ?Sized,
+{
+    let graph = problem.graph();
+    let mapping = problem.mapping();
+    let n = graph.len();
+    let cores = mapping.cores();
+    let access = problem.platform().access_cycles();
+
+    let mut stats = AnalysisStats::default();
+    let mut timings: Vec<Option<TaskTiming>> = vec![None; n];
+
+    // Remaining unfinished dependencies per task (`τ.deps`).
+    let mut pending: Vec<usize> = graph.task_ids().map(|t| graph.in_degree(t)).collect();
+    // Next position in each core's execution order (`S_k`, as an index
+    // rather than a stack so the mapping stays borrowed immutably).
+    let mut next_idx: Vec<usize> = vec![0; cores];
+    // The alive set `A`, at most one task per core.
+    let mut alive: Vec<Option<AliveTask>> = (0..cores).map(|_| None).collect();
+    let mut alive_count = 0usize;
+    let mut closed_count = 0usize;
+
+    // Future minimal release dates, ascending (cursor jump targets).
+    let mut min_rels: Vec<(Cycles, TaskId)> =
+        graph.iter().map(|(id, t)| (t.min_release(), id)).collect();
+    min_rels.sort();
+    let mut mr_ptr = 0usize;
+    let mut is_open = vec![false; n];
+
+    let mut t = Cycles::ZERO;
+    observer.on_cursor(t);
+
+    while closed_count < n {
+        if options.is_cancelled() {
+            return Err(AnalysisError::Cancelled);
+        }
+        stats.cursor_steps += 1;
+
+        // Fixed point at cursor position t: close every task ending at t,
+        // then open every eligible task. Repeats only for zero-length
+        // chains (a task that opens and finishes at the same instant).
+        loop {
+            let mut changed = false;
+
+            // C ← {τ ∈ A | rel + WCET + inter = t} (Algorithm 1, line 3).
+            #[allow(clippy::needless_range_loop)] // index drives several arrays
+            for core_idx in 0..cores {
+                let finishes_now = alive[core_idx]
+                    .as_ref()
+                    .is_some_and(|a| a.finish(graph.task(a.task).wcet()) == t);
+                if !finishes_now {
+                    continue;
+                }
+                let a = alive[core_idx].take().expect("checked above");
+                let timing = TaskTiming {
+                    release: a.release,
+                    wcet: graph.task(a.task).wcet(),
+                    interference: a.total_inter,
+                };
+                if options.task_deadlines {
+                    if let Some(deadline) = graph.task(a.task).deadline() {
+                        if timing.response_time() > deadline {
+                            return Err(AnalysisError::TaskDeadlineMissed {
+                                task: a.task,
+                                response: timing.response_time(),
+                                deadline,
+                            });
+                        }
+                    }
+                }
+                timings[a.task.index()] = Some(timing);
+                observer.on_close(a.task, CoreId::from_index(core_idx), t);
+                for e in graph.successors(a.task) {
+                    pending[e.dst.index()] -= 1; // lines 5–6
+                }
+                alive_count -= 1;
+                closed_count += 1;
+                changed = true;
+            }
+
+            // O ← eligible heads of the per-core orders (lines 9–15).
+            let mut newly: Vec<usize> = Vec::new();
+            for core_idx in 0..cores {
+                if alive[core_idx].is_some() {
+                    continue;
+                }
+                let order = mapping.order(CoreId::from_index(core_idx));
+                let Some(&head) = order.get(next_idx[core_idx]) else {
+                    continue;
+                };
+                if pending[head.index()] == 0 && graph.task(head).min_release() <= t {
+                    next_idx[core_idx] += 1;
+                    alive[core_idx] = Some(AliveTask::new(head, t));
+                    is_open[head.index()] = true;
+                    alive_count += 1;
+                    stats.max_alive = stats.max_alive.max(alive_count);
+                    observer.on_open(head, CoreId::from_index(core_idx), t);
+                    newly.push(core_idx);
+                    changed = true;
+                }
+            }
+
+            // Interference between new tasks and the rest of A, both
+            // directions (lines 17–23). Pairs already accounted are
+            // skipped via each task's `accounted` set.
+            for &new_idx in &newly {
+                for other_idx in 0..cores {
+                    if other_idx == new_idx || alive[other_idx].is_none() {
+                        continue;
+                    }
+                    add_interferer(
+                        problem, arbiter, options, observer, &mut alive, new_idx, other_idx,
+                        access, &mut stats,
+                    );
+                    add_interferer(
+                        problem, arbiter, options, observer, &mut alive, other_idx, new_idx,
+                        access, &mut stats,
+                    );
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        // Unschedulability check against the optional global deadline.
+        if let Some(deadline) = options.deadline {
+            for a in alive.iter().flatten() {
+                let fin = a.finish(graph.task(a.task).wcet());
+                if fin > deadline {
+                    return Err(AnalysisError::DeadlineExceeded {
+                        makespan: fin,
+                        deadline,
+                    });
+                }
+            }
+        }
+
+        if closed_count == n {
+            break;
+        }
+
+        // t ← min(next alive finish, next future minimal release)
+        // (lines 24–29).
+        let mut t_next = Cycles::MAX;
+        for a in alive.iter().flatten() {
+            t_next = t_next.min(a.finish(graph.task(a.task).wcet()));
+        }
+        while let Some(&(mr, task)) = min_rels.get(mr_ptr) {
+            if is_open[task.index()] || mr <= t {
+                mr_ptr += 1;
+                continue;
+            }
+            t_next = t_next.min(mr);
+            break;
+        }
+        if t_next == Cycles::MAX {
+            let stuck = graph
+                .task_ids()
+                .find(|x| !is_open[x.index()])
+                .expect("unfinished tasks remain");
+            return Err(AnalysisError::Deadlock { stuck });
+        }
+        debug_assert!(t_next > t, "cursor must advance");
+        t = t_next;
+        observer.on_cursor(t);
+    }
+
+    let timings: Vec<TaskTiming> = timings
+        .into_iter()
+        .map(|t| t.expect("all tasks closed"))
+        .collect();
+    Ok(AnalysisReport {
+        schedule: Schedule::from_timings(timings),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InterferenceMode;
+    use mia_model::arbiter::InterfererDemand;
+    use mia_model::{BankId, Mapping, ModelError, Platform, Task, TaskGraph};
+
+    /// Flat round-robin: Σ min(d_v, d_j), additive — a local copy so unit
+    /// tests do not depend on `mia-arbiter` (which is a dev-dependency of
+    /// the integration tests instead).
+    struct Rr;
+
+    impl Arbiter for Rr {
+        fn name(&self) -> &str {
+            "rr-test"
+        }
+
+        fn bank_interference(
+            &self,
+            _victim: CoreId,
+            demand: u64,
+            interferers: &[InterfererDemand],
+            access_cycles: Cycles,
+        ) -> Cycles {
+            access_cycles * interferers.iter().map(|i| demand.min(i.accesses)).sum::<u64>()
+        }
+
+        fn is_additive(&self) -> bool {
+            true
+        }
+    }
+
+    /// The paper's Figure 1 instance (see DESIGN.md §3 for the edge
+    /// reconstruction).
+    fn figure1() -> Problem {
+        let mut g = TaskGraph::new();
+        let n0 = g.add_task(Task::builder("n0").wcet(Cycles(2)));
+        let n1 = g.add_task(Task::builder("n1").wcet(Cycles(2)).min_release(Cycles(2)));
+        let n2 = g.add_task(Task::builder("n2").wcet(Cycles(1)).min_release(Cycles(4)));
+        let n3 = g.add_task(Task::builder("n3").wcet(Cycles(3)));
+        let n4 = g.add_task(Task::builder("n4").wcet(Cycles(2)).min_release(Cycles(4)));
+        for (s, d) in [(n0, n1), (n0, n2), (n1, n2), (n3, n2), (n3, n4)] {
+            g.add_edge(s, d, 1).unwrap();
+        }
+        let m = Mapping::from_assignment(&g, &[0, 1, 1, 2, 3]).unwrap();
+        Problem::new(g, m, Platform::new(4, 4)).unwrap()
+    }
+
+    #[test]
+    fn figure1_makespan_is_7() {
+        let p = figure1();
+        let s = analyze(&p, &Rr).unwrap();
+        // Paper: interference delays the global WCRT from t=6 to t=7.
+        assert_eq!(p.graph().critical_path().unwrap(), Cycles(6));
+        assert_eq!(s.makespan(), Cycles(7));
+        // Per-task interference as in the figure: n0:1, n1:1, n3:2.
+        assert_eq!(s.timing(TaskId(0)).interference, Cycles(1));
+        assert_eq!(s.timing(TaskId(1)).interference, Cycles(1));
+        assert_eq!(s.timing(TaskId(2)).interference, Cycles(0));
+        assert_eq!(s.timing(TaskId(3)).interference, Cycles(2));
+        assert_eq!(s.timing(TaskId(4)).interference, Cycles(0));
+        // Release dates.
+        assert_eq!(s.timing(TaskId(0)).release, Cycles(0));
+        assert_eq!(s.timing(TaskId(1)).release, Cycles(3));
+        assert_eq!(s.timing(TaskId(2)).release, Cycles(6));
+        assert_eq!(s.timing(TaskId(3)).release, Cycles(0));
+        assert_eq!(s.timing(TaskId(4)).release, Cycles(5));
+        s.check(&p).unwrap();
+    }
+
+    #[test]
+    fn empty_problem_yields_empty_schedule() {
+        let g = TaskGraph::new();
+        let m = Mapping::from_assignment(&g, &[]).unwrap();
+        let p = Problem::new(g, m, Platform::new(1, 1)).unwrap();
+        let s = analyze(&p, &Rr).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.makespan(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn single_task_has_no_interference() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::builder("a").wcet(Cycles(42)).min_release(Cycles(5)));
+        let m = Mapping::from_assignment(&g, &[0]).unwrap();
+        let p = Problem::new(g, m, Platform::new(1, 1)).unwrap();
+        let s = analyze(&p, &Rr).unwrap();
+        assert_eq!(s.timing(a).release, Cycles(5));
+        assert_eq!(s.timing(a).interference, Cycles::ZERO);
+        assert_eq!(s.makespan(), Cycles(47));
+    }
+
+    #[test]
+    fn same_core_tasks_never_interfere() {
+        // Two tasks with huge shared demand on one core: serialized, so no
+        // interference.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(
+            Task::builder("a")
+                .wcet(Cycles(10))
+                .private_demand(mia_model::BankDemand::single(BankId(0), 100)),
+        );
+        let b = g.add_task(
+            Task::builder("b")
+                .wcet(Cycles(10))
+                .private_demand(mia_model::BankDemand::single(BankId(0), 100)),
+        );
+        let m = Mapping::from_assignment(&g, &[0, 0]).unwrap();
+        let p = Problem::new(g, m, Platform::new(2, 2)).unwrap();
+        let s = analyze(&p, &Rr).unwrap();
+        assert_eq!(s.timing(a).interference, Cycles::ZERO);
+        assert_eq!(s.timing(b).interference, Cycles::ZERO);
+        assert_eq!(s.timing(b).release, Cycles(10));
+        assert_eq!(s.makespan(), Cycles(20));
+    }
+
+    #[test]
+    fn disjoint_banks_no_interference() {
+        let mut g = TaskGraph::new();
+        let _a = g.add_task(
+            Task::builder("a")
+                .wcet(Cycles(10))
+                .private_demand(mia_model::BankDemand::single(BankId(0), 50)),
+        );
+        let _b = g.add_task(
+            Task::builder("b")
+                .wcet(Cycles(10))
+                .private_demand(mia_model::BankDemand::single(BankId(0), 50)),
+        );
+        let m = Mapping::from_assignment(&g, &[0, 1]).unwrap();
+        // PerCoreBank policy maps each private demand to its own core bank:
+        // a → bank 0, b → bank 1. Disjoint → zero interference.
+        let p = Problem::new(g, m, Platform::new(2, 2)).unwrap();
+        let s = analyze(&p, &Rr).unwrap();
+        assert_eq!(s.total_interference(), Cycles::ZERO);
+        assert_eq!(s.makespan(), Cycles(10));
+    }
+
+    #[test]
+    fn overlapping_tasks_interfere_symmetrically() {
+        use mia_model::{BankDemand, BankPolicy};
+        let mut g = TaskGraph::new();
+        let a = g.add_task(
+            Task::builder("a")
+                .wcet(Cycles(100))
+                .private_demand(BankDemand::single(BankId(0), 20)),
+        );
+        let b = g.add_task(
+            Task::builder("b")
+                .wcet(Cycles(100))
+                .private_demand(BankDemand::single(BankId(0), 30)),
+        );
+        let m = Mapping::from_assignment(&g, &[0, 1]).unwrap();
+        let p =
+            Problem::with_policy(g, m, Platform::new(2, 2), BankPolicy::SingleBank).unwrap();
+        let s = analyze(&p, &Rr).unwrap();
+        // a suffers min(20, 30) = 20; b suffers min(30, 20) = 20.
+        assert_eq!(s.timing(a).interference, Cycles(20));
+        assert_eq!(s.timing(b).interference, Cycles(20));
+        assert_eq!(s.makespan(), Cycles(120));
+    }
+
+    #[test]
+    fn deadline_makes_unschedulable() {
+        let p = figure1();
+        let opts = AnalysisOptions::new().deadline(Cycles(6));
+        let err = analyze_with(&p, &Rr, &opts, &mut NoopObserver).unwrap_err();
+        assert!(matches!(err, AnalysisError::DeadlineExceeded { .. }));
+        // A deadline of 7 is met.
+        let opts = AnalysisOptions::new().deadline(Cycles(7));
+        assert!(analyze_with(&p, &Rr, &opts, &mut NoopObserver).is_ok());
+    }
+
+    #[test]
+    fn task_deadline_enforcement() {
+        // n3 of Figure 1 responds in 5 cycles (wcet 3 + interference 2).
+        let p = figure1();
+        let mut g2 = p.graph().clone();
+        g2.task_mut(TaskId(3)).set_deadline(Some(Cycles(4)));
+        let p2 = Problem::new(g2, p.mapping().clone(), p.platform().clone()).unwrap();
+        let opts = AnalysisOptions::new().task_deadlines(true);
+        let err = analyze_with(&p2, &Rr, &opts, &mut NoopObserver).unwrap_err();
+        assert!(matches!(
+            err,
+            AnalysisError::TaskDeadlineMissed { task: TaskId(3), .. }
+        ));
+        // A 5-cycle deadline is met; without enforcement nothing aborts.
+        let mut g3 = p.graph().clone();
+        g3.task_mut(TaskId(3)).set_deadline(Some(Cycles(5)));
+        let p3 = Problem::new(g3, p.mapping().clone(), p.platform().clone()).unwrap();
+        assert!(analyze_with(&p3, &Rr, &opts, &mut NoopObserver).is_ok());
+        assert!(analyze_with(&p2, &Rr, &AnalysisOptions::new(), &mut NoopObserver).is_ok());
+    }
+
+    #[test]
+    fn cancellation_aborts() {
+        let p = figure1();
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let opts = AnalysisOptions::new().cancel_token(token);
+        let err = analyze_with(&p, &Rr, &opts, &mut NoopObserver).unwrap_err();
+        assert_eq!(err, AnalysisError::Cancelled);
+    }
+
+    #[test]
+    fn pairwise_mode_matches_aggregate_for_single_interferer_per_core() {
+        let p = figure1();
+        let exact = analyze(&p, &Rr).unwrap();
+        let opts = AnalysisOptions::new().interference_mode(InterferenceMode::PairwiseAdditive);
+        let pairwise = analyze_with(&p, &Rr, &opts, &mut NoopObserver)
+            .unwrap()
+            .schedule;
+        assert_eq!(exact, pairwise);
+    }
+
+    #[test]
+    fn stats_report_bounded_alive_set() {
+        let p = figure1();
+        let r = analyze_with(&p, &Rr, &AnalysisOptions::new(), &mut NoopObserver).unwrap();
+        assert!(r.stats.max_alive <= 4, "alive set bounded by core count");
+        assert!(r.stats.cursor_steps >= 1);
+        assert!(r.stats.ibus_calls >= 1);
+    }
+
+    #[test]
+    fn zero_wcet_tasks_chain_at_same_instant() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::builder("a").wcet(Cycles(0)));
+        let b = g.add_task(Task::builder("b").wcet(Cycles(0)));
+        let c = g.add_task(Task::builder("c").wcet(Cycles(5)));
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, c, 0).unwrap();
+        let m = Mapping::from_assignment(&g, &[0, 1, 0]).unwrap();
+        let p = Problem::new(g, m, Platform::new(2, 2)).unwrap();
+        let s = analyze(&p, &Rr).unwrap();
+        assert_eq!(s.timing(a).release, Cycles(0));
+        assert_eq!(s.timing(b).release, Cycles(0));
+        assert_eq!(s.timing(c).release, Cycles(0));
+        assert_eq!(s.makespan(), Cycles(5));
+    }
+
+    #[test]
+    fn observer_sees_figure1_event_stream() {
+        #[derive(Default)]
+        struct Log {
+            opens: Vec<(TaskId, Cycles)>,
+            closes: Vec<(TaskId, Cycles)>,
+            cursors: Vec<Cycles>,
+        }
+        impl Observer for Log {
+            fn on_cursor(&mut self, t: Cycles) {
+                self.cursors.push(t);
+            }
+            fn on_open(&mut self, task: TaskId, _core: CoreId, t: Cycles) {
+                self.opens.push((task, t));
+            }
+            fn on_close(&mut self, task: TaskId, _core: CoreId, t: Cycles) {
+                self.closes.push((task, t));
+            }
+        }
+        let p = figure1();
+        let mut log = Log::default();
+        let _ = analyze_with(&p, &Rr, &AnalysisOptions::new(), &mut log).unwrap();
+        assert_eq!(log.opens.len(), 5);
+        assert_eq!(log.closes.len(), 5);
+        // Cursor positions strictly increase.
+        for w in log.cursors.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Opens: n0 and n3 at t=0.
+        assert_eq!(log.opens[0], (TaskId(0), Cycles(0)));
+        assert_eq!(log.opens[1], (TaskId(3), Cycles(0)));
+    }
+
+    #[test]
+    fn invalid_mapping_is_rejected_before_analysis() {
+        // Problem construction already rejects cross-core order cycles;
+        // analyze never sees them.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::builder("a").wcet(Cycles(1)));
+        let b = g.add_task(Task::builder("b").wcet(Cycles(1)));
+        g.add_edge(a, b, 1).unwrap();
+        let m = Mapping::from_orders(&g, vec![vec![b, a]]).unwrap();
+        assert!(matches!(
+            Problem::new(g, m, Platform::new(1, 1)),
+            Err(ModelError::Cycle(_))
+        ));
+    }
+}

@@ -1,0 +1,67 @@
+//! Cooperative cancellation for long-running analyses.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cheap, cloneable cancellation flag.
+///
+/// The benchmark harness uses it to abort the O(n⁴) baseline when it
+/// exceeds the time budget (the paper's benchmark "has a timeout that the
+/// C++ version easily reaches for more than 256 tasks", §V); interactive
+/// callers can wire it to a signal handler.
+///
+/// # Example
+///
+/// ```
+/// use mia_core::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; all clones observe it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let token = CancelToken::new();
+        let t2 = token.clone();
+        std::thread::spawn(move || t2.cancel()).join().unwrap();
+        assert!(token.is_cancelled());
+    }
+}

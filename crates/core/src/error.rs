@@ -1,0 +1,121 @@
+//! Errors reported by the analyses.
+
+use std::error::Error;
+use std::fmt;
+
+use mia_model::{Cycles, ModelError, TaskId};
+
+/// Failure modes of an interference analysis run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The schedule exceeds the caller-provided deadline: the task set is
+    /// unschedulable under this mapping (the paper's `unschedulable`
+    /// outcome).
+    DeadlineExceeded {
+        /// The first finish instant beyond the deadline.
+        makespan: Cycles,
+        /// The deadline that was crossed.
+        deadline: Cycles,
+    },
+    /// No task can make progress although some remain unscheduled. With a
+    /// validated [`Problem`](mia_model::Problem) this cannot happen; it
+    /// guards against inconsistent hand-built inputs.
+    Deadlock {
+        /// A task that never became eligible.
+        stuck: TaskId,
+    },
+    /// A task's worst-case response time exceeds its relative deadline
+    /// (reported when [`AnalysisOptions::task_deadlines`] is enabled).
+    ///
+    /// [`AnalysisOptions::task_deadlines`]: crate::AnalysisOptions::task_deadlines
+    TaskDeadlineMissed {
+        /// The offending task.
+        task: TaskId,
+        /// Its computed worst-case response time.
+        response: Cycles,
+        /// Its relative deadline.
+        deadline: Cycles,
+    },
+    /// The run was aborted through a [`CancelToken`](crate::CancelToken).
+    Cancelled,
+    /// The fixed-point iteration did not converge within the configured
+    /// bound (baseline algorithm only).
+    NoConvergence {
+        /// Number of outer iterations performed.
+        iterations: usize,
+    },
+    /// The input failed validation.
+    Model(ModelError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::DeadlineExceeded { makespan, deadline } => {
+                write!(f, "unschedulable: makespan {makespan} exceeds deadline {deadline}")
+            }
+            AnalysisError::Deadlock { stuck } => {
+                write!(f, "schedule deadlocked: task {stuck} never became eligible")
+            }
+            AnalysisError::TaskDeadlineMissed {
+                task,
+                response,
+                deadline,
+            } => write!(
+                f,
+                "unschedulable: task {task} responds in {response}, past its deadline {deadline}"
+            ),
+            AnalysisError::Cancelled => write!(f, "analysis cancelled"),
+            AnalysisError::NoConvergence { iterations } => {
+                write!(f, "fixed point did not converge after {iterations} iterations")
+            }
+            AnalysisError::Model(e) => write!(f, "invalid model: {e}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for AnalysisError {
+    fn from(e: ModelError) -> Self {
+        AnalysisError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AnalysisError::DeadlineExceeded {
+            makespan: Cycles(120),
+            deadline: Cycles(100),
+        };
+        assert_eq!(
+            e.to_string(),
+            "unschedulable: makespan 120cy exceeds deadline 100cy"
+        );
+        assert_eq!(AnalysisError::Cancelled.to_string(), "analysis cancelled");
+    }
+
+    #[test]
+    fn model_error_chains_as_source() {
+        let e: AnalysisError = ModelError::EmptyPlatform.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<AnalysisError>();
+    }
+}

@@ -1,0 +1,411 @@
+//! An event-driven variant of Algorithm 1 using a priority queue for the
+//! cursor.
+//!
+//! The paper's Algorithm 1 finds the next cursor position by scanning the
+//! alive set and the future minimal release dates (lines 24–28). The scan
+//! is `O(c)` per step — cheap, but repeated at every one of the up to `2n`
+//! cursor positions. This module replaces the scan with a lazily
+//! invalidated binary heap of candidate finish events, the classic
+//! discrete-event-simulation structure, making cursor management
+//! `O(n log c)` overall.
+//!
+//! This is an *ablation*, not a faster algorithm: interference
+//! recomputation (`O(c²·b)` per step) dominates the complexity either way,
+//! which is exactly the point the benchmark `ablation -- cursor` makes.
+//! Results are **bit-for-bit identical** to [`crate::analyze`] — the
+//! property tests in `tests/equivalence.rs` enforce it.
+//!
+//! # Lazy invalidation
+//!
+//! A task's finish date grows every time it gains an interferer, so heap
+//! entries become stale-early. An entry `(t, core)` is valid only if the
+//! task currently alive on `core` still finishes exactly at `t`; stale
+//! entries are skipped on pop. Each interference update pushes a fresh
+//! entry, so at most `O(n·c)` entries exist over a run.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mia_model::arbiter::Arbiter;
+use mia_model::{CoreId, Cycles, Problem, Schedule, TaskId, TaskTiming};
+
+use crate::alive::{add_interferer, AliveTask};
+use crate::{AnalysisError, AnalysisOptions, AnalysisReport, AnalysisStats, NoopObserver, Observer};
+
+/// Runs the event-driven analysis with default options and no observer.
+///
+/// Produces exactly the same schedule as [`crate::analyze`]; see the
+/// [module documentation](self) for why this variant exists.
+///
+/// # Errors
+///
+/// Same as [`crate::analyze`].
+///
+/// # Example
+///
+/// ```
+/// use mia_arbiter::RoundRobin;
+/// use mia_core::{analyze, analyze_event_driven};
+/// use mia_model::{Cycles, Mapping, Platform, Problem, Task, TaskGraph};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = TaskGraph::new();
+/// let a = g.add_task(Task::builder("a").wcet(Cycles(100)));
+/// let b = g.add_task(Task::builder("b").wcet(Cycles(100)));
+/// g.add_edge(a, b, 10)?;
+/// let problem = Problem::new(
+///     g.clone(),
+///     Mapping::from_assignment(&g, &[0, 1])?,
+///     Platform::new(2, 2),
+/// )?;
+/// let rr = RoundRobin::new();
+/// assert_eq!(analyze_event_driven(&problem, &rr)?, analyze(&problem, &rr)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_event_driven<A>(problem: &Problem, arbiter: &A) -> Result<Schedule, AnalysisError>
+where
+    A: Arbiter + ?Sized,
+{
+    analyze_event_driven_with(problem, arbiter, &AnalysisOptions::default(), &mut NoopObserver)
+        .map(|r| r.schedule)
+}
+
+/// Runs the event-driven analysis with explicit options and an observer.
+///
+/// # Errors
+///
+/// Same as [`crate::analyze_with`].
+pub fn analyze_event_driven_with<A, O>(
+    problem: &Problem,
+    arbiter: &A,
+    options: &AnalysisOptions,
+    observer: &mut O,
+) -> Result<AnalysisReport, AnalysisError>
+where
+    A: Arbiter + ?Sized,
+    O: Observer + ?Sized,
+{
+    let graph = problem.graph();
+    let mapping = problem.mapping();
+    let n = graph.len();
+    let cores = mapping.cores();
+    let access = problem.platform().access_cycles();
+
+    let mut stats = AnalysisStats::default();
+    let mut timings: Vec<Option<TaskTiming>> = vec![None; n];
+
+    let mut pending: Vec<usize> = graph.task_ids().map(|t| graph.in_degree(t)).collect();
+    let mut next_idx: Vec<usize> = vec![0; cores];
+    let mut alive: Vec<Option<AliveTask>> = (0..cores).map(|_| None).collect();
+    let mut alive_count = 0usize;
+    let mut closed_count = 0usize;
+
+    let mut min_rels: Vec<(Cycles, TaskId)> =
+        graph.iter().map(|(id, t)| (t.min_release(), id)).collect();
+    min_rels.sort();
+    let mut mr_ptr = 0usize;
+    let mut is_open = vec![false; n];
+
+    // Candidate finish events, min-first. Entries are validated on pop
+    // against the task currently alive on the core.
+    let mut finish_events: BinaryHeap<Reverse<(Cycles, usize)>> = BinaryHeap::new();
+
+    let mut t = Cycles::ZERO;
+    observer.on_cursor(t);
+
+    while closed_count < n {
+        if options.is_cancelled() {
+            return Err(AnalysisError::Cancelled);
+        }
+        stats.cursor_steps += 1;
+
+        // Identical fixed point at the cursor as in `analyze`: close tasks
+        // finishing at t, open eligible heads, account interference. The
+        // only difference is that finish-date changes also feed the heap.
+        loop {
+            let mut changed = false;
+
+            #[allow(clippy::needless_range_loop)] // index drives several arrays
+            for core_idx in 0..cores {
+                let finishes_now = alive[core_idx]
+                    .as_ref()
+                    .is_some_and(|a| a.finish(graph.task(a.task).wcet()) == t);
+                if !finishes_now {
+                    continue;
+                }
+                let a = alive[core_idx].take().expect("checked above");
+                let timing = TaskTiming {
+                    release: a.release,
+                    wcet: graph.task(a.task).wcet(),
+                    interference: a.total_inter,
+                };
+                if options.task_deadlines {
+                    if let Some(deadline) = graph.task(a.task).deadline() {
+                        if timing.response_time() > deadline {
+                            return Err(AnalysisError::TaskDeadlineMissed {
+                                task: a.task,
+                                response: timing.response_time(),
+                                deadline,
+                            });
+                        }
+                    }
+                }
+                timings[a.task.index()] = Some(timing);
+                observer.on_close(a.task, CoreId::from_index(core_idx), t);
+                for e in graph.successors(a.task) {
+                    pending[e.dst.index()] -= 1;
+                }
+                alive_count -= 1;
+                closed_count += 1;
+                changed = true;
+            }
+
+            let mut newly: Vec<usize> = Vec::new();
+            for core_idx in 0..cores {
+                if alive[core_idx].is_some() {
+                    continue;
+                }
+                let order = mapping.order(CoreId::from_index(core_idx));
+                let Some(&head) = order.get(next_idx[core_idx]) else {
+                    continue;
+                };
+                if pending[head.index()] == 0 && graph.task(head).min_release() <= t {
+                    next_idx[core_idx] += 1;
+                    alive[core_idx] = Some(AliveTask::new(head, t));
+                    is_open[head.index()] = true;
+                    alive_count += 1;
+                    stats.max_alive = stats.max_alive.max(alive_count);
+                    observer.on_open(head, CoreId::from_index(core_idx), t);
+                    // Seed the finish event at the isolation finish date;
+                    // interference updates below push refreshed entries.
+                    finish_events
+                        .push(Reverse((t + graph.task(head).wcet(), core_idx)));
+                    newly.push(core_idx);
+                    changed = true;
+                }
+            }
+
+            for &new_idx in &newly {
+                for other_idx in 0..cores {
+                    if other_idx == new_idx || alive[other_idx].is_none() {
+                        continue;
+                    }
+                    let before = (finish_of(&alive, other_idx, problem), finish_of(&alive, new_idx, problem));
+                    add_interferer(
+                        problem, arbiter, options, observer, &mut alive, new_idx, other_idx,
+                        access, &mut stats,
+                    );
+                    add_interferer(
+                        problem, arbiter, options, observer, &mut alive, other_idx, new_idx,
+                        access, &mut stats,
+                    );
+                    let after = (finish_of(&alive, other_idx, problem), finish_of(&alive, new_idx, problem));
+                    if before.0 != after.0 {
+                        finish_events.push(Reverse((after.0.expect("alive"), other_idx)));
+                    }
+                    if before.1 != after.1 {
+                        finish_events.push(Reverse((after.1.expect("alive"), new_idx)));
+                    }
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        if let Some(deadline) = options.deadline {
+            for a in alive.iter().flatten() {
+                let fin = a.finish(graph.task(a.task).wcet());
+                if fin > deadline {
+                    return Err(AnalysisError::DeadlineExceeded {
+                        makespan: fin,
+                        deadline,
+                    });
+                }
+            }
+        }
+
+        if closed_count == n {
+            break;
+        }
+
+        // Next cursor position: the earliest *valid* finish event or the
+        // next future minimal release date, whichever is smaller.
+        let next_finish = loop {
+            match finish_events.peek() {
+                None => break None,
+                Some(&Reverse((when, core_idx))) => {
+                    let valid = when > t
+                        && alive[core_idx]
+                            .as_ref()
+                            .is_some_and(|a| a.finish(graph.task(a.task).wcet()) == when);
+                    if valid {
+                        break Some(when);
+                    }
+                    finish_events.pop();
+                }
+            }
+        };
+        let mut t_next = next_finish.unwrap_or(Cycles::MAX);
+        while let Some(&(mr, task)) = min_rels.get(mr_ptr) {
+            if is_open[task.index()] || mr <= t {
+                mr_ptr += 1;
+                continue;
+            }
+            t_next = t_next.min(mr);
+            break;
+        }
+        if t_next == Cycles::MAX {
+            let stuck = graph
+                .task_ids()
+                .find(|x| !is_open[x.index()])
+                .expect("unfinished tasks remain");
+            return Err(AnalysisError::Deadlock { stuck });
+        }
+        debug_assert!(t_next > t, "cursor must advance");
+        t = t_next;
+        observer.on_cursor(t);
+    }
+
+    let timings: Vec<TaskTiming> = timings
+        .into_iter()
+        .map(|t| t.expect("all tasks closed"))
+        .collect();
+    Ok(AnalysisReport {
+        schedule: Schedule::from_timings(timings),
+        stats,
+    })
+}
+
+/// Current finish date of the task alive on `core_idx`, if any.
+fn finish_of(alive: &[Option<AliveTask>], core_idx: usize, problem: &Problem) -> Option<Cycles> {
+    alive[core_idx]
+        .as_ref()
+        .map(|a| a.finish(problem.graph().task(a.task).wcet()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_model::arbiter::InterfererDemand;
+    use mia_model::{Mapping, Platform, Task, TaskGraph};
+
+    struct Rr;
+
+    impl Arbiter for Rr {
+        fn name(&self) -> &str {
+            "rr-test"
+        }
+
+        fn bank_interference(
+            &self,
+            _victim: CoreId,
+            demand: u64,
+            interferers: &[InterfererDemand],
+            access_cycles: Cycles,
+        ) -> Cycles {
+            access_cycles * interferers.iter().map(|i| demand.min(i.accesses)).sum::<u64>()
+        }
+
+        fn is_additive(&self) -> bool {
+            true
+        }
+    }
+
+    fn figure1() -> Problem {
+        let mut g = TaskGraph::new();
+        let n0 = g.add_task(Task::builder("n0").wcet(Cycles(2)));
+        let n1 = g.add_task(Task::builder("n1").wcet(Cycles(2)).min_release(Cycles(2)));
+        let n2 = g.add_task(Task::builder("n2").wcet(Cycles(1)).min_release(Cycles(4)));
+        let n3 = g.add_task(Task::builder("n3").wcet(Cycles(3)));
+        let n4 = g.add_task(Task::builder("n4").wcet(Cycles(2)).min_release(Cycles(4)));
+        for (s, d) in [(n0, n1), (n0, n2), (n1, n2), (n3, n2), (n3, n4)] {
+            g.add_edge(s, d, 1).unwrap();
+        }
+        let m = Mapping::from_assignment(&g, &[0, 1, 1, 2, 3]).unwrap();
+        Problem::new(g, m, Platform::new(4, 4)).unwrap()
+    }
+
+    #[test]
+    fn figure1_matches_scanning_cursor() {
+        let p = figure1();
+        let scan = crate::analyze(&p, &Rr).unwrap();
+        let heap = analyze_event_driven(&p, &Rr).unwrap();
+        assert_eq!(scan, heap);
+        assert_eq!(heap.makespan(), Cycles(7));
+    }
+
+    #[test]
+    fn empty_problem() {
+        let g = TaskGraph::new();
+        let m = Mapping::from_assignment(&g, &[]).unwrap();
+        let p = Problem::new(g, m, Platform::new(1, 1)).unwrap();
+        let s = analyze_event_driven(&p, &Rr).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn stale_heap_entries_are_skipped() {
+        // Two long tasks that interfere: their isolation finish events go
+        // stale the moment interference is added; the analysis must jump
+        // to the *updated* finish dates, not the stale ones.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(
+            Task::builder("a")
+                .wcet(Cycles(100))
+                .private_demand(mia_model::BankDemand::single(mia_model::BankId(0), 50)),
+        );
+        let b = g.add_task(
+            Task::builder("b")
+                .wcet(Cycles(100))
+                .private_demand(mia_model::BankDemand::single(mia_model::BankId(0), 50)),
+        );
+        let _ = (a, b);
+        let m = Mapping::from_assignment(&g, &[0, 1]).unwrap();
+        let p = mia_model::Problem::with_policy(
+            g,
+            m,
+            Platform::new(2, 2),
+            mia_model::BankPolicy::SingleBank,
+        )
+        .unwrap();
+        let s = analyze_event_driven(&p, &Rr).unwrap();
+        // Each suffers min(50, 50) = 50 cycles on top of its 100.
+        assert_eq!(s.makespan(), Cycles(150));
+        assert_eq!(s, crate::analyze(&p, &Rr).unwrap());
+    }
+
+    #[test]
+    fn deadline_and_cancellation_behave_like_analyze() {
+        let p = figure1();
+        let opts = AnalysisOptions::new().deadline(Cycles(6));
+        let err =
+            analyze_event_driven_with(&p, &Rr, &opts, &mut NoopObserver).unwrap_err();
+        assert!(matches!(err, AnalysisError::DeadlineExceeded { .. }));
+
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let opts = AnalysisOptions::new().cancel_token(token);
+        let err =
+            analyze_event_driven_with(&p, &Rr, &opts, &mut NoopObserver).unwrap_err();
+        assert_eq!(err, AnalysisError::Cancelled);
+    }
+
+    #[test]
+    fn stats_match_scanning_variant() {
+        let p = figure1();
+        let scan =
+            crate::analyze_with(&p, &Rr, &AnalysisOptions::new(), &mut NoopObserver).unwrap();
+        let heap =
+            analyze_event_driven_with(&p, &Rr, &AnalysisOptions::new(), &mut NoopObserver)
+                .unwrap();
+        // The same cursor positions are visited and the same pairs
+        // examined; only the *mechanism* of finding t_next differs.
+        assert_eq!(scan.stats.cursor_steps, heap.stats.cursor_steps);
+        assert_eq!(scan.stats.ibus_calls, heap.stats.ibus_calls);
+        assert_eq!(scan.stats.pairs_considered, heap.stats.pairs_considered);
+        assert_eq!(scan.stats.max_alive, heap.stats.max_alive);
+    }
+}

@@ -1,0 +1,84 @@
+//! The event-driven cursor must be observationally identical to the
+//! paper's scanning cursor: same schedules, same work counters, same
+//! error behaviour, on any workload and arbiter.
+
+use mia_arbiter::{Fifo, FixedPriority, MppaTree, RoundRobin, Tdm};
+use mia_core::{
+    analyze_event_driven, analyze_event_driven_with, analyze_with, AnalysisOptions,
+    NoopObserver,
+};
+use mia_dag_gen::{topologies, Family, LayeredDag};
+use mia_model::{Arbiter, Cycles, Platform, Problem};
+use proptest::prelude::*;
+
+fn workload(family: Family, total: usize, seed: u64) -> Problem {
+    LayeredDag::new(family.config(total, seed))
+        .generate()
+        .into_problem(&Platform::mppa256_cluster())
+        .expect("valid workload")
+}
+
+fn arbiters() -> Vec<Box<dyn Arbiter>> {
+    vec![
+        Box::new(RoundRobin::new()),
+        Box::new(MppaTree::cluster16()),
+        Box::new(Tdm::new()),
+        Box::new(Fifo::new()),
+        Box::new(FixedPriority::by_core_id()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Identical schedules and identical work counters on random layered
+    /// DAGs, under every shipped arbiter.
+    #[test]
+    fn cursors_agree_on_layered_dags(
+        seed in 0u64..10_000,
+        total in 8usize..100,
+        ls in prop::sample::select(vec![4usize, 16, 64]),
+    ) {
+        let p = workload(Family::FixedLayerSize(ls), total, seed);
+        for arb in arbiters() {
+            let scan = analyze_with(
+                &p, arb.as_ref(), &AnalysisOptions::new(), &mut NoopObserver,
+            ).unwrap();
+            let heap = analyze_event_driven_with(
+                &p, arb.as_ref(), &AnalysisOptions::new(), &mut NoopObserver,
+            ).unwrap();
+            prop_assert_eq!(&scan.schedule, &heap.schedule, "arbiter {}", arb.name());
+            prop_assert_eq!(scan.stats.cursor_steps, heap.stats.cursor_steps);
+            prop_assert_eq!(scan.stats.ibus_calls, heap.stats.ibus_calls);
+            prop_assert_eq!(scan.stats.pairs_considered, heap.stats.pairs_considered);
+            prop_assert_eq!(scan.stats.max_alive, heap.stats.max_alive);
+        }
+    }
+
+    /// Fixed-layers families exercise wide layers (big alive sets).
+    #[test]
+    fn cursors_agree_on_wide_layers(seed in 0u64..10_000, total in 16usize..120) {
+        let p = workload(Family::FixedLayers(4), total, seed);
+        let scan = mia_core::analyze(&p, &RoundRobin::new()).unwrap();
+        let heap = analyze_event_driven(&p, &RoundRobin::new()).unwrap();
+        prop_assert_eq!(scan, heap);
+    }
+}
+
+#[test]
+fn cursors_agree_on_structured_topologies() {
+    let platform = Platform::new(4, 4);
+    let rr = RoundRobin::new();
+    let workloads = vec![
+        topologies::chain(12, 4, Cycles(40), 8),
+        topologies::fork_join(9, 4, Cycles(30), 5),
+        topologies::independent(10, 4, Cycles(25)),
+        topologies::diamond(3, 4, 4, Cycles(20), 3),
+    ];
+    for w in workloads {
+        let p = w.into_problem(&platform).unwrap();
+        let scan = mia_core::analyze(&p, &rr).unwrap();
+        let heap = analyze_event_driven(&p, &rr).unwrap();
+        assert_eq!(scan, heap);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based invariants of the incremental analysis (paper §II and
+//! §IV): structural soundness of the produced schedules on randomly
+//! generated workloads, under every shipped arbiter.
+
+use mia_arbiter::{Fifo, FixedPriority, MppaTree, RoundRobin, Tdm};
+use mia_core::{analyze, analyze_with, AnalysisOptions, NoopObserver};
+use mia_dag_gen::{topologies, Family, LayeredDag};
+use mia_model::{Arbiter, Cycles, Platform, Problem};
+use proptest::prelude::*;
+
+fn workload(family: Family, total: usize, seed: u64) -> Problem {
+    LayeredDag::new(family.config(total, seed))
+        .generate()
+        .into_problem(&Platform::mppa256_cluster())
+        .expect("valid workload")
+}
+
+fn arbiters() -> Vec<Box<dyn Arbiter>> {
+    vec![
+        Box::new(RoundRobin::new()),
+        Box::new(MppaTree::cluster16()),
+        Box::new(Tdm::new()),
+        Box::new(Fifo::new()),
+        Box::new(FixedPriority::by_core_id()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The schedule respects minimal releases, dependencies and per-core
+    /// serialization — `Schedule::check` verifies all three.
+    #[test]
+    fn schedules_are_structurally_sound(
+        seed in 0u64..10_000,
+        total in 8usize..120,
+        ls in prop::sample::select(vec![4usize, 16, 64]),
+    ) {
+        let p = workload(Family::FixedLayerSize(ls), total, seed);
+        for arb in arbiters() {
+            let s = analyze(&p, arb.as_ref()).unwrap();
+            prop_assert!(s.check(&p).is_ok(), "arbiter {}", arb.name());
+        }
+    }
+
+    /// Interference can only delay: the makespan is bounded below by the
+    /// interference-free critical path and above by the fully serialized
+    /// execution plus total interference.
+    #[test]
+    fn makespan_sits_between_bounds(seed in 0u64..10_000, total in 8usize..100) {
+        let p = workload(Family::FixedLayers(8), total, seed);
+        let s = analyze(&p, &RoundRobin::new()).unwrap();
+        let floor = p.graph().critical_path().unwrap();
+        prop_assert!(s.makespan() >= floor);
+        let ceiling = p.graph().total_wcet()
+            + s.total_interference()
+            + p.graph().iter().map(|(_, t)| t.min_release()).max().unwrap_or(Cycles::ZERO);
+        prop_assert!(s.makespan() <= ceiling);
+    }
+
+    /// The alive set never exceeds the platform's core count — the key of
+    /// the paper's complexity argument (§IV.B).
+    #[test]
+    fn alive_set_is_bounded_by_cores(seed in 0u64..10_000, total in 8usize..100) {
+        let p = workload(Family::FixedLayerSize(16), total, seed);
+        let r = analyze_with(&p, &RoundRobin::new(), &AnalysisOptions::new(), &mut NoopObserver)
+            .unwrap();
+        prop_assert!(r.stats.max_alive <= p.platform().cores());
+        prop_assert!(r.stats.cursor_steps <= 2 * p.len() + 1);
+    }
+
+    /// A single core means full serialization and zero interference.
+    #[test]
+    fn single_core_never_interferes(seed in 0u64..10_000, n in 2usize..40) {
+        let w = topologies::independent(n, 1, Cycles(50));
+        let p = w.into_problem(&Platform::new(1, 1)).unwrap();
+        let s = analyze(&p, &RoundRobin::new()).unwrap();
+        prop_assert_eq!(s.total_interference(), Cycles::ZERO);
+        prop_assert_eq!(s.makespan(), Cycles(50 * n as u64));
+        let _ = seed;
+    }
+
+    /// Interference never shortens the schedule: the same instance with
+    /// all demands removed (pure list scheduling) releases every task at
+    /// or before the interference-aware analysis does.
+    ///
+    /// (Note: per-task interference is *not* globally monotone when
+    /// demands are scaled — later releases reshuffle which tasks overlap.
+    /// The monotonicity the paper relies on (§II.C) is local to a fixed
+    /// alive set, which the arbiter axioms in `mia-arbiter` cover.)
+    #[test]
+    fn interference_only_delays(seed in 0u64..1_000, total in 8usize..80) {
+        let base = LayeredDag::new(Family::FixedLayerSize(8).config(total, seed)).generate();
+        let zero_demand = {
+            let w = base.clone();
+            let empty = vec![mia_model::BankDemand::new(); w.graph.len()];
+            Problem::with_demands(w.graph, w.mapping, Platform::mppa256_cluster(), empty)
+                .unwrap()
+        };
+        let with_demand = base.into_problem(&Platform::mppa256_cluster()).unwrap();
+        let s0 = analyze(&zero_demand, &RoundRobin::new()).unwrap();
+        let s1 = analyze(&with_demand, &RoundRobin::new()).unwrap();
+        prop_assert_eq!(s0.total_interference(), Cycles::ZERO);
+        for t in zero_demand.graph().task_ids() {
+            prop_assert!(s1.timing(t).release >= s0.timing(t).release);
+            prop_assert!(s1.timing(t).finish() >= s0.timing(t).finish());
+        }
+        prop_assert!(s1.makespan() >= s0.makespan());
+    }
+
+    /// Arbiters that dominate round-robin produce schedules at least as
+    /// long, task by task.
+    #[test]
+    fn dominating_arbiters_dominate_per_task(seed in 0u64..10_000, total in 8usize..80) {
+        let p = workload(Family::FixedLayers(4), total, seed);
+        let rr = analyze(&p, &RoundRobin::new()).unwrap();
+        for arb in [&Fifo::new() as &dyn Arbiter, &Tdm::new()] {
+            let other = analyze(&p, arb).unwrap();
+            prop_assert!(other.makespan() >= rr.makespan(), "{}", arb.name());
+        }
+    }
+
+    /// Fork-join workloads: the join task is released only after every
+    /// branch's worst case.
+    #[test]
+    fn fork_join_join_waits_for_all_branches(width in 2usize..12, cores in 2usize..8) {
+        let w = topologies::fork_join(width, cores, Cycles(100), 10);
+        let p = w.into_problem(&Platform::new(8, 8)).unwrap();
+        let s = analyze(&p, &RoundRobin::new()).unwrap();
+        let join = mia_model::TaskId::from_index(width + 1);
+        for branch in 1..=width {
+            let b = mia_model::TaskId::from_index(branch);
+            prop_assert!(s.timing(join).release >= s.timing(b).finish());
+        }
+    }
+}
+
+/// Zero-demand workloads reduce exactly to list scheduling: analytical
+/// check against a hand-computable case.
+#[test]
+fn zero_demand_reduces_to_list_schedule() {
+    let w = topologies::chain(6, 3, Cycles(10), 0);
+    let p = w.into_problem(&Platform::new(3, 3)).unwrap();
+    let s = analyze(&p, &RoundRobin::new()).unwrap();
+    assert_eq!(s.total_interference(), Cycles::ZERO);
+    assert_eq!(s.makespan(), Cycles(60));
+}
+
+/// The observer event stream is complete: every task opens and closes
+/// exactly once, in non-decreasing time order.
+#[test]
+fn observer_stream_is_complete_and_ordered() {
+    use mia_core::Observer;
+    use mia_model::{CoreId, TaskId};
+
+    #[derive(Default)]
+    struct Audit {
+        opens: Vec<(TaskId, Cycles)>,
+        closes: Vec<(TaskId, Cycles)>,
+    }
+    impl Observer for Audit {
+        fn on_open(&mut self, task: TaskId, _core: CoreId, t: Cycles) {
+            self.opens.push((task, t));
+        }
+        fn on_close(&mut self, task: TaskId, _core: CoreId, t: Cycles) {
+            self.closes.push((task, t));
+        }
+    }
+
+    let p = workload(Family::FixedLayerSize(16), 128, 5);
+    let mut audit = Audit::default();
+    let _ = analyze_with(&p, &RoundRobin::new(), &AnalysisOptions::new(), &mut audit).unwrap();
+    assert_eq!(audit.opens.len(), p.len());
+    assert_eq!(audit.closes.len(), p.len());
+    for events in [&audit.opens, &audit.closes] {
+        for w in events.windows(2) {
+            assert!(w[0].1 <= w[1].1, "event times must be non-decreasing");
+        }
+    }
+    let mut seen = vec![false; p.len()];
+    for &(t, _) in &audit.opens {
+        assert!(!seen[t.index()], "task {t} opened twice");
+        seen[t.index()] = true;
+    }
+}

@@ -1,0 +1,447 @@
+//! Time-triggered executive tables: the deployable artefact of the
+//! paper's framework.
+//!
+//! The analysis of `mia-core` produces a static schedule — "a release
+//! date and a worst-case response time for each task". What actually runs
+//! on the target is a **dispatch table** per core: the executive releases
+//! each task at its analysed date (never earlier, even if inputs are
+//! ready — §II.B) and may check the analysed finish as a deadline. The
+//! paper's toolchain ends exactly there (its reference \[5\] is the code
+//! generator for the MPPA); this crate is that final stage:
+//!
+//! * [`DispatchTable`] — validated per-core tables with release/deadline
+//!   windows, slack accounting and utilization,
+//! * [`DispatchTable::to_c_source`] — emission as a C table an embedded
+//!   executive links against,
+//! * serde round-tripping for tooling.
+//!
+//! # Example
+//!
+//! ```
+//! use mia_exec::DispatchTable;
+//! use mia_model::{Cycles, Mapping, Platform, Problem, Task, TaskGraph};
+//! # use mia_model::{arbiter::InterfererDemand, Arbiter, CoreId};
+//! # struct Rr;
+//! # impl Arbiter for Rr {
+//! #     fn name(&self) -> &str { "rr" }
+//! #     fn bank_interference(&self, _v: CoreId, d: u64, s: &[InterfererDemand], a: Cycles) -> Cycles {
+//! #         a * s.iter().map(|i| d.min(i.accesses)).sum::<u64>()
+//! #     }
+//! # }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = TaskGraph::new();
+//! let a = g.add_task(Task::builder("sense").wcet(Cycles(10)));
+//! let b = g.add_task(Task::builder("act").wcet(Cycles(20)));
+//! g.add_edge(a, b, 4)?;
+//! let problem = Problem::new(
+//!     g.clone(),
+//!     Mapping::from_assignment(&g, &[0, 1])?,
+//!     Platform::new(2, 2),
+//! )?;
+//! let schedule = mia_core::analyze(&problem, &Rr)?;
+//!
+//! let table = DispatchTable::from_schedule(&problem, &schedule)?;
+//! assert_eq!(table.entries(mia_model::CoreId(0)).len(), 1);
+//! let c = table.to_c_source("sensor_app");
+//! assert!(c.contains("sensor_app_core0"));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use mia_model::{CoreId, Cycles, Problem, Schedule, ScheduleViolation, TaskId};
+
+/// One row of a core's dispatch table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchEntry {
+    /// The task to release.
+    pub task: TaskId,
+    /// Its display name (carried along for generated-code readability).
+    pub name: String,
+    /// Release instant: the executive starts the task exactly here.
+    pub release: Cycles,
+    /// Monitoring deadline: the analysed worst-case finish. A run past
+    /// this instant means an assumption was violated (cf. fault injection
+    /// in `mia-sim`).
+    pub deadline: Cycles,
+    /// WCET in isolation (for documentation/budgeting).
+    pub wcet: Cycles,
+    /// Analysed interference share of the window.
+    pub interference: Cycles,
+}
+
+/// Errors of table construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The schedule fails structural validation for the problem.
+    InvalidSchedule(ScheduleViolation),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InvalidSchedule(v) => write!(f, "schedule is not deployable: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::InvalidSchedule(v) => Some(v),
+        }
+    }
+}
+
+/// A validated set of per-core dispatch tables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchTable {
+    cores: Vec<Vec<DispatchEntry>>,
+    makespan: Cycles,
+}
+
+impl DispatchTable {
+    /// Builds the tables from an analysed schedule, re-validating it
+    /// against the problem first (a table must never encode an unsound
+    /// schedule).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InvalidSchedule`] wrapping the first violation.
+    pub fn from_schedule(problem: &Problem, schedule: &Schedule) -> Result<Self, ExecError> {
+        schedule.check(problem).map_err(ExecError::InvalidSchedule)?;
+        let mapping = problem.mapping();
+        let graph = problem.graph();
+        let mut cores: Vec<Vec<DispatchEntry>> = Vec::with_capacity(mapping.cores());
+        for (core, order) in mapping.iter() {
+            let _ = core;
+            let mut entries: Vec<DispatchEntry> = order
+                .iter()
+                .map(|&t| {
+                    let timing = schedule.timing(t);
+                    DispatchEntry {
+                        task: t,
+                        name: graph.task(t).name().to_owned(),
+                        release: timing.release,
+                        deadline: timing.finish(),
+                        wcet: timing.wcet,
+                        interference: timing.interference,
+                    }
+                })
+                .collect();
+            // The mapping order is already time-consistent (validated by
+            // `check`), but sort defensively so emitted tables are always
+            // chronological.
+            entries.sort_by_key(|e| (e.release, e.task));
+            cores.push(entries);
+        }
+        Ok(DispatchTable {
+            cores,
+            makespan: schedule.makespan(),
+        })
+    }
+
+    /// Number of cores covered (indices follow the mapping).
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The table of one core, chronological.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is outside the table.
+    pub fn entries(&self, core: CoreId) -> &[DispatchEntry] {
+        &self.cores[core.index()]
+    }
+
+    /// The global horizon (the analysed makespan).
+    pub fn makespan(&self) -> Cycles {
+        self.makespan
+    }
+
+    /// Total number of entries over all cores.
+    pub fn len(&self) -> usize {
+        self.cores.iter().map(Vec::len).sum()
+    }
+
+    /// True if no core dispatches anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The idle windows of one core within `[0, makespan]`: maximal gaps
+    /// in which nothing is dispatched. Useful for placing background
+    /// work without re-running the analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is outside the table.
+    pub fn idle_windows(&self, core: CoreId) -> Vec<(Cycles, Cycles)> {
+        let mut gaps = Vec::new();
+        let mut cursor = Cycles::ZERO;
+        for e in &self.cores[core.index()] {
+            if e.release > cursor {
+                gaps.push((cursor, e.release));
+            }
+            cursor = cursor.max(e.deadline);
+        }
+        if self.makespan > cursor {
+            gaps.push((cursor, self.makespan));
+        }
+        gaps
+    }
+
+    /// Fraction of `[0, makespan]` one core spends inside dispatch
+    /// windows (0.0 for an empty horizon).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is outside the table.
+    pub fn utilization(&self, core: CoreId) -> f64 {
+        if self.makespan == Cycles::ZERO {
+            return 0.0;
+        }
+        let busy: u64 = self.cores[core.index()]
+            .iter()
+            .map(|e| (e.deadline - e.release).as_u64())
+            .sum();
+        busy as f64 / self.makespan.as_u64() as f64
+    }
+
+    /// Emits the tables as a self-contained C source fragment: one
+    /// `static const` array per core plus a lengths array, with release
+    /// and monitoring deadline per entry. `prefix` namespaces the
+    /// symbols.
+    pub fn to_c_source(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "/* Generated by mia-exec — time-triggered dispatch tables.\n\
+             * horizon: {} cycles, {} tasks over {} cores.\n\
+             * Release a task exactly at `release`; `deadline` is the\n\
+             * analysed worst-case finish (monitoring bound). */",
+            self.makespan.as_u64(),
+            self.len(),
+            self.cores()
+        );
+        let _ = writeln!(out, "typedef struct {{");
+        let _ = writeln!(out, "    unsigned task_id;");
+        let _ = writeln!(out, "    unsigned long long release;");
+        let _ = writeln!(out, "    unsigned long long deadline;");
+        let _ = writeln!(out, "}} {prefix}_entry_t;\n");
+        for (c, entries) in self.cores.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "static const {prefix}_entry_t {prefix}_core{c}[{}] = {{",
+                entries.len().max(1)
+            );
+            if entries.is_empty() {
+                let _ = writeln!(out, "    {{0u, 0ull, 0ull}}, /* core idle */");
+            }
+            for e in entries {
+                let _ = writeln!(
+                    out,
+                    "    {{{}u, {}ull, {}ull}}, /* {} */",
+                    e.task.0,
+                    e.release.as_u64(),
+                    e.deadline.as_u64(),
+                    e.name
+                );
+            }
+            let _ = writeln!(out, "}};");
+        }
+        let _ = writeln!(
+            out,
+            "\nstatic const unsigned {prefix}_lengths[{}] = {{{}}};",
+            self.cores().max(1),
+            self.cores
+                .iter()
+                .map(|e| e.len().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        out
+    }
+
+    /// Serialises the table to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dispatch tables serialize")
+    }
+
+    /// Parses a table back from [`DispatchTable::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_model::arbiter::{Arbiter, InterfererDemand};
+    use mia_model::{Mapping, Platform, Task, TaskGraph, TaskTiming};
+
+    struct Rr;
+
+    impl Arbiter for Rr {
+        fn name(&self) -> &str {
+            "rr-test"
+        }
+
+        fn bank_interference(
+            &self,
+            _victim: CoreId,
+            demand: u64,
+            interferers: &[InterfererDemand],
+            access_cycles: Cycles,
+        ) -> Cycles {
+            access_cycles * interferers.iter().map(|i| demand.min(i.accesses)).sum::<u64>()
+        }
+    }
+
+    fn figure1() -> (Problem, Schedule) {
+        let mut g = TaskGraph::new();
+        let n0 = g.add_task(Task::builder("n0").wcet(Cycles(2)));
+        let n1 = g.add_task(Task::builder("n1").wcet(Cycles(2)).min_release(Cycles(2)));
+        let n2 = g.add_task(Task::builder("n2").wcet(Cycles(1)).min_release(Cycles(4)));
+        let n3 = g.add_task(Task::builder("n3").wcet(Cycles(3)));
+        let n4 = g.add_task(Task::builder("n4").wcet(Cycles(2)).min_release(Cycles(4)));
+        for (s, d) in [(n0, n1), (n0, n2), (n1, n2), (n3, n2), (n3, n4)] {
+            g.add_edge(s, d, 1).unwrap();
+        }
+        let m = Mapping::from_assignment(&g, &[0, 1, 1, 2, 3]).unwrap();
+        let p = Problem::new(g, m, Platform::new(4, 4)).unwrap();
+        let s = mia_core::analyze(&p, &Rr).unwrap();
+        (p, s)
+    }
+
+    #[test]
+    fn figure1_tables_are_chronological_and_complete() {
+        let (p, s) = figure1();
+        let t = DispatchTable::from_schedule(&p, &s).unwrap();
+        assert_eq!(t.cores(), 4);
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.makespan(), Cycles(7));
+        // PE1 runs n1 then n2.
+        let pe1 = t.entries(CoreId(1));
+        assert_eq!(pe1.len(), 2);
+        assert_eq!(pe1[0].name, "n1");
+        assert_eq!(pe1[1].name, "n2");
+        assert!(pe1[0].deadline <= pe1[1].release);
+        // Deadlines match the analysed finishes.
+        assert_eq!(pe1[1].release, Cycles(6));
+        assert_eq!(pe1[1].deadline, Cycles(7));
+    }
+
+    #[test]
+    fn unsound_schedule_is_rejected() {
+        let (p, s) = figure1();
+        // Shift one release before its dependency's finish.
+        let mut timings = s.timings().to_vec();
+        timings[2] = TaskTiming {
+            release: Cycles::ZERO,
+            ..timings[2]
+        };
+        let bad = Schedule::from_timings(timings);
+        let err = DispatchTable::from_schedule(&p, &bad).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidSchedule(_)));
+        assert!(err.to_string().contains("not deployable"));
+    }
+
+    #[test]
+    fn idle_windows_cover_the_complement() {
+        let (p, s) = figure1();
+        let t = DispatchTable::from_schedule(&p, &s).unwrap();
+        // PE0 runs n0 in [0, 3] and idles until 7.
+        let gaps = t.idle_windows(CoreId(0));
+        assert_eq!(gaps, vec![(Cycles(3), Cycles(7))]);
+        // PE1 idles before n1 ([0, 3]) only: n1 ends at 5... release of n2
+        // is 6, so there is a [5, 6] gap too.
+        let gaps = t.idle_windows(CoreId(1));
+        assert_eq!(gaps.first(), Some(&(Cycles(0), Cycles(3))));
+        // Busy + idle must tile the horizon.
+        for core in 0..4 {
+            let core = CoreId(core);
+            let busy: u64 = t
+                .entries(core)
+                .iter()
+                .map(|e| (e.deadline - e.release).as_u64())
+                .sum();
+            let idle: u64 = t
+                .idle_windows(core)
+                .iter()
+                .map(|&(a, b)| (b - a).as_u64())
+                .sum();
+            assert_eq!(busy + idle, t.makespan().as_u64(), "core {core}");
+        }
+    }
+
+    #[test]
+    fn utilization_is_a_fraction_of_the_horizon() {
+        let (p, s) = figure1();
+        let t = DispatchTable::from_schedule(&p, &s).unwrap();
+        // PE0: window [0, 3] over horizon 7.
+        assert!((t.utilization(CoreId(0)) - 3.0 / 7.0).abs() < 1e-9);
+        for core in 0..4 {
+            let u = t.utilization(CoreId(core));
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn c_emission_contains_every_entry_and_lengths() {
+        let (p, s) = figure1();
+        let t = DispatchTable::from_schedule(&p, &s).unwrap();
+        let c = t.to_c_source("fig1");
+        assert!(c.contains("fig1_entry_t"));
+        for core in 0..4 {
+            assert!(c.contains(&format!("fig1_core{core}[")));
+        }
+        for name in ["n0", "n1", "n2", "n3", "n4"] {
+            assert!(c.contains(&format!("/* {name} */")), "{name} missing");
+        }
+        assert!(c.contains("fig1_lengths[4] = {1, 2, 1, 1}"));
+    }
+
+    #[test]
+    fn empty_core_emits_a_placeholder_row() {
+        let mut g = TaskGraph::new();
+        let _ = g.add_task(Task::builder("only").wcet(Cycles(5)));
+        let m = Mapping::from_orders(&g, vec![vec![TaskId(0)], vec![]]).unwrap();
+        let p = Problem::new(g, m, Platform::new(2, 2)).unwrap();
+        let s = mia_core::analyze(&p, &Rr).unwrap();
+        let t = DispatchTable::from_schedule(&p, &s).unwrap();
+        assert!(t.entries(CoreId(1)).is_empty());
+        let c = t.to_c_source("app");
+        assert!(c.contains("core idle"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let (p, s) = figure1();
+        let t = DispatchTable::from_schedule(&p, &s).unwrap();
+        let back = DispatchTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_problem_table() {
+        let g = TaskGraph::new();
+        let m = Mapping::from_assignment(&g, &[]).unwrap();
+        let p = Problem::new(g, m, Platform::new(1, 1)).unwrap();
+        let s = Schedule::from_timings(vec![]);
+        let t = DispatchTable::from_schedule(&p, &s).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.utilization(CoreId(0)), 0.0);
+    }
+}

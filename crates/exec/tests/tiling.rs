@@ -1,0 +1,63 @@
+//! Property tests: dispatch tables always tile each core's horizon into
+//! busy windows and idle gaps, on random analysed workloads.
+
+use mia_arbiter::RoundRobin;
+use mia_core::analyze;
+use mia_dag_gen::{Family, LayeredDag};
+use mia_exec::DispatchTable;
+use mia_model::{CoreId, Cycles, Platform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn busy_plus_idle_tiles_the_horizon(
+        seed in 0u64..10_000,
+        total in 8usize..96,
+        ls in prop::sample::select(vec![4usize, 16]),
+    ) {
+        let p = LayeredDag::new(Family::FixedLayerSize(ls).config(total, seed))
+            .generate()
+            .into_problem(&Platform::mppa256_cluster())
+            .unwrap();
+        let s = analyze(&p, &RoundRobin::new()).unwrap();
+        let t = DispatchTable::from_schedule(&p, &s).unwrap();
+        prop_assert_eq!(t.len(), p.len());
+        prop_assert_eq!(t.makespan(), s.makespan());
+        for core in 0..t.cores() {
+            let core = CoreId::from_index(core);
+            // Entries are chronological and non-overlapping.
+            for w in t.entries(core).windows(2) {
+                prop_assert!(w[0].deadline <= w[1].release);
+            }
+            // Busy + idle = horizon.
+            let busy: u64 = t
+                .entries(core)
+                .iter()
+                .map(|e| (e.deadline - e.release).as_u64())
+                .sum();
+            let idle: u64 = t
+                .idle_windows(core)
+                .iter()
+                .map(|&(a, b)| (b - a).as_u64())
+                .sum();
+            prop_assert_eq!(busy + idle, t.makespan().as_u64());
+            // Idle windows are disjoint, ordered and non-empty.
+            let gaps = t.idle_windows(core);
+            for g in &gaps {
+                prop_assert!(g.0 < g.1);
+            }
+            for w in gaps.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0);
+            }
+            // Utilization is consistent with the busy sum.
+            let u = t.utilization(core);
+            if t.makespan() > Cycles::ZERO {
+                prop_assert!((u - busy as f64 / t.makespan().as_u64() as f64).abs() < 1e-12);
+            }
+        }
+        // JSON round trip preserves everything.
+        prop_assert_eq!(&DispatchTable::from_json(&t.to_json()).unwrap(), &t);
+    }
+}

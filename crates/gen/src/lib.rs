@@ -1,0 +1,437 @@
+//! Random task-graph generation for benchmarks and tests.
+//!
+//! The paper's evaluation (§V) generates random DAGs with the
+//! **layer-by-layer** method of Tobita and Kasahara's standard task graph
+//! set, exactly as the original work of Rihani did:
+//!
+//! * tasks are organised in layers; edges only go from one layer to the
+//!   next,
+//! * "tasks on the same layer are assigned to cores in a cyclic way: the
+//!   n-th task of a layer is assigned to `Core(n mod number of cores)`",
+//! * WCETs are drawn from `[550, 650]`, per-task memory accesses from
+//!   `[250, 550]` and per-edge write volumes from `[0, 100]`.
+//!
+//! Two benchmark families grow the graphs (paper Figure 3):
+//!
+//! * **fixed NL** — the number of layers stays constant (NL4/NL16/NL64)
+//!   while the layer size increases,
+//! * **fixed LS** — the layer size stays constant (LS4/LS16/LS64) while
+//!   the number of layers increases.
+//!
+//! [`LayeredDag`] is the configurable generator, [`Family`] produces the
+//! Figure 3 configurations, and [`topologies`] holds small deterministic
+//! shapes (chains, fork-join, diamonds) used across the test suites.
+//!
+//! # Example
+//!
+//! ```
+//! use mia_dag_gen::{Family, LayeredDag};
+//! use mia_model::Platform;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's headline configuration: NL64 with 384 tasks.
+//! let config = Family::FixedLayers(64).config(384, /* seed */ 42);
+//! let workload = LayeredDag::new(config).generate();
+//! assert_eq!(workload.graph.len(), 384);
+//! let problem = workload.into_problem(&Platform::mppa256_cluster())?;
+//! assert_eq!(problem.len(), 384);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod topologies;
+
+use std::ops::RangeInclusive;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use mia_model::{
+    BankDemand, BankId, BankPolicy, Cycles, Mapping, ModelError, Platform, Problem, Task,
+    TaskGraph, TaskId,
+};
+
+/// Configuration of the layer-by-layer generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayeredDagConfig {
+    /// Number of layers (≥ 1).
+    pub layers: usize,
+    /// Tasks per layer (≥ 1); the last layer absorbs any remainder when a
+    /// total task count does not divide evenly.
+    pub layer_size: usize,
+    /// Extra tasks appended to the last layer (used by [`Family::config`]
+    /// to hit an exact total).
+    pub remainder: usize,
+    /// WCET range in cycles (paper: `[550, 650]`).
+    pub wcet: RangeInclusive<u64>,
+    /// Per-task private memory accesses (paper: `[250, 550]`).
+    pub accesses: RangeInclusive<u64>,
+    /// Words written per edge (paper: `[0, 100]`).
+    pub edge_words: RangeInclusive<u64>,
+    /// Probability of an edge between a task and each task of the next
+    /// layer. Connectivity is enforced on top (every non-source task gets
+    /// at least one predecessor, every non-sink task one successor).
+    pub edge_probability: f64,
+    /// Number of cores for the cyclic mapping (paper: 16, the MPPA-256
+    /// compute cluster).
+    pub cores: usize,
+    /// PRNG seed: equal configurations generate equal workloads.
+    pub seed: u64,
+}
+
+impl Default for LayeredDagConfig {
+    /// The paper's parameter ranges on 16 cores, 4 layers of 4.
+    fn default() -> Self {
+        LayeredDagConfig {
+            layers: 4,
+            layer_size: 4,
+            remainder: 0,
+            wcet: 550..=650,
+            accesses: 250..=550,
+            edge_words: 0..=100,
+            edge_probability: 0.5,
+            cores: 16,
+            seed: 0,
+        }
+    }
+}
+
+impl LayeredDagConfig {
+    /// Total number of tasks this configuration generates.
+    pub fn total_tasks(&self) -> usize {
+        self.layers * self.layer_size + self.remainder
+    }
+}
+
+/// A generated workload: the graph plus the paper's cyclic mapping.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The task DAG.
+    pub graph: TaskGraph,
+    /// Cyclic per-layer mapping ("`Core(n mod number of cores)`").
+    pub mapping: Mapping,
+    /// Layer index of every task.
+    pub layers: Vec<usize>,
+}
+
+impl Workload {
+    /// Bundles the workload with a platform into a validated [`Problem`]
+    /// using the per-core-bank policy (the paper's MPPA configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from validation (e.g. a mapping that uses
+    /// more cores than the platform provides).
+    pub fn into_problem(self, platform: &Platform) -> Result<Problem, ModelError> {
+        Problem::new(self.graph, self.mapping, platform.clone())
+    }
+
+    /// Same as [`Workload::into_problem`] with an explicit bank policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from validation.
+    pub fn into_problem_with_policy(
+        self,
+        platform: &Platform,
+        policy: BankPolicy,
+    ) -> Result<Problem, ModelError> {
+        Problem::with_policy(self.graph, self.mapping, platform.clone(), policy)
+    }
+}
+
+/// The layer-by-layer random DAG generator (Tobita–Kasahara style).
+#[derive(Debug, Clone)]
+pub struct LayeredDag {
+    config: LayeredDagConfig,
+}
+
+impl LayeredDag {
+    /// Creates a generator for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers`, `layer_size` or `cores` is zero, or if
+    /// `edge_probability` is outside `[0, 1]`.
+    pub fn new(config: LayeredDagConfig) -> Self {
+        assert!(config.layers > 0, "layers must be non-zero");
+        assert!(config.layer_size > 0, "layer_size must be non-zero");
+        assert!(config.cores > 0, "cores must be non-zero");
+        assert!(
+            (0.0..=1.0).contains(&config.edge_probability),
+            "edge_probability must be within [0, 1]"
+        );
+        LayeredDag { config }
+    }
+
+    /// The configuration this generator uses.
+    pub fn config(&self) -> &LayeredDagConfig {
+        &self.config
+    }
+
+    /// Generates the workload deterministically from the config's seed.
+    pub fn generate(&self) -> Workload {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut graph = TaskGraph::with_capacity(cfg.total_tasks());
+
+        // Build layers of tasks with the paper's parameter ranges.
+        let mut layer_members: Vec<Vec<TaskId>> = Vec::with_capacity(cfg.layers);
+        let mut layer_of: Vec<usize> = Vec::with_capacity(cfg.total_tasks());
+        let mut assignment: Vec<u32> = Vec::with_capacity(cfg.total_tasks());
+        for layer in 0..cfg.layers {
+            let size = if layer + 1 == cfg.layers {
+                cfg.layer_size + cfg.remainder
+            } else {
+                cfg.layer_size
+            };
+            let mut members = Vec::with_capacity(size);
+            for pos in 0..size {
+                let wcet = rng.random_range(cfg.wcet.clone());
+                let accesses = rng.random_range(cfg.accesses.clone());
+                let id = graph.add_task(
+                    Task::builder(format!("L{layer}T{pos}"))
+                        .wcet(Cycles(wcet))
+                        // The bank is symbolic here: Problem construction
+                        // folds private demands onto the task's own core
+                        // bank (or bank 0 under SingleBank).
+                        .private_demand(BankDemand::single(BankId(0), accesses)),
+                );
+                // Cyclic mapping within the layer (paper §V).
+                assignment.push((pos % cfg.cores) as u32);
+                layer_of.push(layer);
+                members.push(id);
+            }
+            layer_members.push(members);
+        }
+
+        // Random edges between consecutive layers, with connectivity
+        // enforcement.
+        for layer in 0..cfg.layers.saturating_sub(1) {
+            let (here, next) = (&layer_members[layer], &layer_members[layer + 1]);
+            let mut has_successor = vec![false; here.len()];
+            let mut has_predecessor = vec![false; next.len()];
+            for (i, &src) in here.iter().enumerate() {
+                for (j, &dst) in next.iter().enumerate() {
+                    if rng.random_bool(cfg.edge_probability) {
+                        let words = rng.random_range(cfg.edge_words.clone());
+                        graph.add_edge(src, dst, words).expect("valid forward edge");
+                        has_successor[i] = true;
+                        has_predecessor[j] = true;
+                    }
+                }
+            }
+            for (i, &src) in here.iter().enumerate() {
+                if !has_successor[i] {
+                    let j = rng.random_range(0..next.len());
+                    let words = rng.random_range(cfg.edge_words.clone());
+                    graph.add_edge(src, next[j], words).expect("valid forward edge");
+                    has_predecessor[j] = true;
+                }
+            }
+            for (j, &dst) in next.iter().enumerate() {
+                if !has_predecessor[j] {
+                    let i = rng.random_range(0..here.len());
+                    // May duplicate an enforced successor edge; retry once
+                    // with a different source if so.
+                    let words = rng.random_range(cfg.edge_words.clone());
+                    if graph.add_edge(here[i], dst, words).is_err() {
+                        let alt = (i + 1) % here.len();
+                        let _ = graph.add_edge(here[alt], dst, words);
+                    }
+                }
+            }
+        }
+
+        let mapping = Mapping::from_assignment(&graph, &assignment)
+            .expect("assignment covers every generated task");
+        Workload {
+            graph,
+            mapping,
+            layers: layer_of,
+        }
+    }
+}
+
+/// The two growth families of the paper's Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Fixed number of layers (NL4, NL16, NL64): the layer size grows
+    /// with the task count.
+    FixedLayers(usize),
+    /// Fixed layer size (LS4, LS16, LS64): the number of layers grows
+    /// with the task count.
+    FixedLayerSize(usize),
+}
+
+impl Family {
+    /// The six configurations of Figure 3.
+    pub fn figure3() -> [Family; 6] {
+        [
+            Family::FixedLayerSize(4),
+            Family::FixedLayers(4),
+            Family::FixedLayerSize(16),
+            Family::FixedLayers(16),
+            Family::FixedLayerSize(64),
+            Family::FixedLayers(64),
+        ]
+    }
+
+    /// The family's label as used in the paper ("NL64", "LS4", …).
+    pub fn label(&self) -> String {
+        match self {
+            Family::FixedLayers(nl) => format!("NL{nl}"),
+            Family::FixedLayerSize(ls) => format!("LS{ls}"),
+        }
+    }
+
+    /// A generator configuration with (at least) `total` tasks on the
+    /// paper's 16-core platform. The fixed dimension is kept exact; the
+    /// grown dimension is `total / fixed` (minimum 1) with the remainder
+    /// appended to the last layer.
+    pub fn config(&self, total: usize, seed: u64) -> LayeredDagConfig {
+        assert!(total > 0, "total task count must be non-zero");
+        let (layers, layer_size) = match *self {
+            Family::FixedLayers(nl) => {
+                let ls = (total / nl).max(1);
+                (nl.min(total), ls)
+            }
+            Family::FixedLayerSize(ls) => {
+                let nl = (total / ls).max(1);
+                (nl, ls.min(total))
+            }
+        };
+        let remainder = total - layers * layer_size;
+        LayeredDagConfig {
+            layers,
+            layer_size,
+            remainder,
+            seed,
+            ..LayeredDagConfig::default()
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_task_count() {
+        for total in [16, 64, 256, 384] {
+            for family in Family::figure3() {
+                let w = LayeredDag::new(family.config(total, 7)).generate();
+                assert_eq!(w.graph.len(), total, "{family} at {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let cfg = Family::FixedLayerSize(16).config(128, 99);
+        let a = LayeredDag::new(cfg.clone()).generate();
+        let b = LayeredDag::new(cfg).generate();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = LayeredDag::new(Family::FixedLayerSize(16).config(128, 1)).generate();
+        let b = LayeredDag::new(Family::FixedLayerSize(16).config(128, 2)).generate();
+        assert_ne!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn edges_stay_between_consecutive_layers() {
+        let w = LayeredDag::new(Family::FixedLayers(8).config(128, 3)).generate();
+        for e in w.graph.edges() {
+            assert_eq!(w.layers[e.dst.index()], w.layers[e.src.index()] + 1);
+        }
+    }
+
+    #[test]
+    fn connectivity_is_enforced() {
+        let mut cfg = Family::FixedLayers(6).config(96, 5);
+        cfg.edge_probability = 0.05; // sparse: exercises the enforcement
+        let w = LayeredDag::new(cfg).generate();
+        let last_layer = *w.layers.iter().max().unwrap();
+        for (id, _) in w.graph.iter() {
+            let layer = w.layers[id.index()];
+            if layer > 0 {
+                assert!(w.graph.in_degree(id) > 0, "task {id} lacks predecessors");
+            }
+            if layer < last_layer {
+                assert!(w.graph.out_degree(id) > 0, "task {id} lacks successors");
+            }
+        }
+    }
+
+    #[test]
+    fn parameters_stay_in_paper_ranges() {
+        let w = LayeredDag::new(Family::FixedLayerSize(64).config(256, 11)).generate();
+        for (_, t) in w.graph.iter() {
+            assert!((550..=650).contains(&t.wcet().as_u64()));
+            let accesses = t.private_demand().total();
+            assert!((250..=550).contains(&accesses));
+        }
+        for e in w.graph.edges() {
+            assert!(e.words <= 100);
+        }
+    }
+
+    #[test]
+    fn cyclic_mapping_matches_paper() {
+        let w = LayeredDag::new(Family::FixedLayers(4).config(128, 13)).generate();
+        // 128 tasks / 4 layers = 32 per layer on 16 cores: positions n and
+        // n+16 of a layer share a core.
+        let mut per_layer_pos = [0usize; 4];
+        for (id, _) in w.graph.iter() {
+            let layer = w.layers[id.index()];
+            let pos = per_layer_pos[layer];
+            per_layer_pos[layer] += 1;
+            assert_eq!(w.mapping.core_of(id).index(), pos % 16);
+        }
+    }
+
+    #[test]
+    fn workload_becomes_valid_problem() {
+        let w = LayeredDag::new(Family::FixedLayerSize(4).config(64, 17)).generate();
+        let p = w.into_problem(&Platform::mppa256_cluster()).unwrap();
+        assert_eq!(p.len(), 64);
+        // Private accesses plus both edge endpoints must appear in demands.
+        let total: u64 = p.demands().iter().map(BankDemand::total).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn family_labels() {
+        assert_eq!(Family::FixedLayers(64).label(), "NL64");
+        assert_eq!(Family::FixedLayerSize(4).label(), "LS4");
+        assert_eq!(Family::FixedLayers(16).to_string(), "NL16");
+    }
+
+    #[test]
+    #[should_panic(expected = "edge_probability")]
+    fn invalid_probability_panics() {
+        let cfg = LayeredDagConfig {
+            edge_probability: 1.5,
+            ..LayeredDagConfig::default()
+        };
+        let _ = LayeredDag::new(cfg);
+    }
+
+    #[test]
+    fn config_handles_totals_smaller_than_fixed_dimension() {
+        let cfg = Family::FixedLayers(64).config(16, 0);
+        assert_eq!(cfg.total_tasks(), 16);
+        let w = LayeredDag::new(cfg).generate();
+        assert_eq!(w.graph.len(), 16);
+    }
+}

@@ -1,0 +1,347 @@
+//! Small deterministic task-graph shapes used across test suites and
+//! ablation benchmarks.
+
+use mia_model::{Cycles, Mapping, TaskGraph, TaskId};
+
+use crate::Workload;
+
+/// A linear chain `t0 → t1 → … → t_{n-1}`, mapped round-robin over
+/// `cores` cores.
+///
+/// # Panics
+///
+/// Panics if `n` or `cores` is zero.
+pub fn chain(n: usize, cores: usize, wcet: Cycles, words: u64) -> Workload {
+    assert!(n > 0 && cores > 0);
+    let mut g = TaskGraph::with_capacity(n);
+    let ids: Vec<TaskId> = (0..n)
+        .map(|i| g.add_task(g.task_builder(format!("c{i}")).wcet(wcet)))
+        .collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1], words).expect("chain edge");
+    }
+    let assignment: Vec<u32> = (0..n as u32).map(|i| i % cores as u32).collect();
+    let mapping = Mapping::from_assignment(&g, &assignment).expect("assignment covers chain");
+    let layers = (0..n).collect();
+    Workload {
+        graph: g,
+        mapping,
+        layers,
+    }
+}
+
+/// A fork-join: one source fans out to `width` parallel tasks which join
+/// into one sink. Parallel tasks land on distinct cores (mod `cores`).
+///
+/// # Panics
+///
+/// Panics if `width` or `cores` is zero.
+pub fn fork_join(width: usize, cores: usize, wcet: Cycles, words: u64) -> Workload {
+    assert!(width > 0 && cores > 0);
+    let mut g = TaskGraph::with_capacity(width + 2);
+    let src = g.add_task(g.task_builder("fork").wcet(wcet));
+    let mids: Vec<TaskId> = (0..width)
+        .map(|i| g.add_task(g.task_builder(format!("par{i}")).wcet(wcet)))
+        .collect();
+    let sink = g.add_task(g.task_builder("join").wcet(wcet));
+    for &m in &mids {
+        g.add_edge(src, m, words).expect("fork edge");
+        g.add_edge(m, sink, words).expect("join edge");
+    }
+    let mut assignment = vec![0u32];
+    assignment.extend((0..width as u32).map(|i| i % cores as u32));
+    assignment.push(0);
+    let mapping = Mapping::from_assignment(&g, &assignment).expect("assignment covers fork-join");
+    let mut layers = vec![0usize];
+    layers.extend(std::iter::repeat_n(1, width));
+    layers.push(2);
+    Workload {
+        graph: g,
+        mapping,
+        layers,
+    }
+}
+
+/// `n` fully independent tasks, one per core (mod `cores`) — the §II.A
+/// scenario where every overlap is possible.
+///
+/// # Panics
+///
+/// Panics if `n` or `cores` is zero.
+pub fn independent(n: usize, cores: usize, wcet: Cycles) -> Workload {
+    assert!(n > 0 && cores > 0);
+    let mut g = TaskGraph::with_capacity(n);
+    for i in 0..n {
+        g.add_task(g.task_builder(format!("i{i}")).wcet(wcet));
+    }
+    let assignment: Vec<u32> = (0..n as u32).map(|i| i % cores as u32).collect();
+    let mapping = Mapping::from_assignment(&g, &assignment).expect("assignment covers tasks");
+    Workload {
+        graph: g,
+        mapping,
+        layers: vec![0; n],
+    }
+}
+
+/// A diamond lattice of `depth` levels: every task feeds the two tasks
+/// below it (like Pascal's triangle rows capped at `width`).
+///
+/// # Panics
+///
+/// Panics if `depth`, `width` or `cores` is zero.
+pub fn diamond(depth: usize, width: usize, cores: usize, wcet: Cycles, words: u64) -> Workload {
+    assert!(depth > 0 && width > 0 && cores > 0);
+    let mut g = TaskGraph::new();
+    let mut layers_vec = Vec::new();
+    let mut rows: Vec<Vec<TaskId>> = Vec::new();
+    for level in 0..depth {
+        let size = (level + 1).min(width);
+        let row: Vec<TaskId> = (0..size)
+            .map(|i| {
+                layers_vec.push(level);
+                g.add_task(g.task_builder(format!("d{level}_{i}")).wcet(wcet))
+            })
+            .collect();
+        if let Some(prev) = rows.last() {
+            for (i, &p) in prev.iter().enumerate() {
+                for target in [i, i + 1] {
+                    if target < row.len() {
+                        let _ = g.add_edge(p, row[target], words);
+                    }
+                }
+                if row.len() < prev.len().min(width) {
+                    // Width-capped rows: keep connectivity.
+                    let _ = g.add_edge(p, row[i.min(row.len() - 1)], words);
+                }
+            }
+        }
+        rows.push(row);
+    }
+    let assignment: Vec<u32> = (0..g.len() as u32).map(|i| i % cores as u32).collect();
+    let mapping = Mapping::from_assignment(&g, &assignment).expect("assignment covers diamond");
+    Workload {
+        graph: g,
+        mapping,
+        layers: layers_vec,
+    }
+}
+
+/// A software pipeline: `stages` layers of `width` parallel tasks, each
+/// stage fully connected to the next (the shape a streaming dataflow
+/// compiler emits for a fused filter chain). Tasks map cyclically within
+/// each stage, as in the paper's §V benchmark.
+///
+/// # Panics
+///
+/// Panics if `stages`, `width` or `cores` is zero.
+pub fn pipeline(
+    stages: usize,
+    width: usize,
+    cores: usize,
+    wcet: Cycles,
+    words: u64,
+) -> Workload {
+    assert!(stages > 0 && width > 0 && cores > 0);
+    let mut g = TaskGraph::with_capacity(stages * width);
+    let mut layers_vec = Vec::with_capacity(stages * width);
+    let mut prev: Vec<TaskId> = Vec::new();
+    let mut assignment: Vec<u32> = Vec::with_capacity(stages * width);
+    for s in 0..stages {
+        let row: Vec<TaskId> = (0..width)
+            .map(|i| {
+                layers_vec.push(s);
+                assignment.push((i % cores) as u32);
+                g.add_task(g.task_builder(format!("p{s}_{i}")).wcet(wcet))
+            })
+            .collect();
+        for &p in &prev {
+            for &r in &row {
+                g.add_edge(p, r, words).expect("pipeline edge");
+            }
+        }
+        prev = row;
+    }
+    let mapping = Mapping::from_assignment(&g, &assignment).expect("assignment covers pipeline");
+    Workload {
+        graph: g,
+        mapping,
+        layers: layers_vec,
+    }
+}
+
+/// A binary reduction tree over `leaves` inputs: pairs combine level by
+/// level down to a single root (the classic parallel-sum shape). `leaves`
+/// is rounded up to a power of two.
+///
+/// # Panics
+///
+/// Panics if `leaves` or `cores` is zero.
+pub fn reduction_tree(leaves: usize, cores: usize, wcet: Cycles, words: u64) -> Workload {
+    assert!(leaves > 0 && cores > 0);
+    let leaves = leaves.next_power_of_two();
+    let mut g = TaskGraph::new();
+    let mut layers_vec = Vec::new();
+    let mut assignment: Vec<u32> = Vec::new();
+    let mut level: Vec<TaskId> = (0..leaves)
+        .map(|i| {
+            layers_vec.push(0);
+            assignment.push((i % cores) as u32);
+            g.add_task(g.task_builder(format!("leaf{i}")).wcet(wcet))
+        })
+        .collect();
+    let mut depth = 1usize;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for (i, pair) in level.chunks(2).enumerate() {
+            layers_vec.push(depth);
+            assignment.push((i % cores) as u32);
+            let combiner = g.add_task(g.task_builder(format!("red{depth}_{i}")).wcet(wcet));
+            for &input in pair {
+                g.add_edge(input, combiner, words).expect("reduction edge");
+            }
+            next.push(combiner);
+        }
+        level = next;
+        depth += 1;
+    }
+    let mapping = Mapping::from_assignment(&g, &assignment).expect("assignment covers tree");
+    Workload {
+        graph: g,
+        mapping,
+        layers: layers_vec,
+    }
+}
+
+/// A 1D stencil sweep: `steps` time steps over `points` grid points; the
+/// task for point `i` at step `s` depends on points `i-1, i, i+1` of step
+/// `s-1` (Jacobi-style halo exchange). Points map cyclically to cores, so
+/// halo edges cross cores — a worst case for the per-core-bank model.
+///
+/// # Panics
+///
+/// Panics if `steps`, `points` or `cores` is zero.
+pub fn stencil_1d(
+    steps: usize,
+    points: usize,
+    cores: usize,
+    wcet: Cycles,
+    words: u64,
+) -> Workload {
+    assert!(steps > 0 && points > 0 && cores > 0);
+    let mut g = TaskGraph::with_capacity(steps * points);
+    let mut layers_vec = Vec::with_capacity(steps * points);
+    let mut assignment: Vec<u32> = Vec::with_capacity(steps * points);
+    let mut prev: Vec<TaskId> = Vec::new();
+    for s in 0..steps {
+        let row: Vec<TaskId> = (0..points)
+            .map(|i| {
+                layers_vec.push(s);
+                assignment.push((i % cores) as u32);
+                g.add_task(g.task_builder(format!("s{s}_x{i}")).wcet(wcet))
+            })
+            .collect();
+        for (i, &r) in row.iter().enumerate() {
+            if s > 0 {
+                let halo = i.saturating_sub(1)..=(i + 1).min(points - 1);
+                for &neighbour in &prev[halo] {
+                    g.add_edge(neighbour, r, words).expect("stencil edge");
+                }
+            }
+        }
+        prev = row;
+    }
+    let mapping = Mapping::from_assignment(&g, &assignment).expect("assignment covers stencil");
+    Workload {
+        graph: g,
+        mapping,
+        layers: layers_vec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_model::Platform;
+
+    #[test]
+    fn chain_shape() {
+        let w = chain(5, 2, Cycles(10), 3);
+        assert_eq!(w.graph.len(), 5);
+        assert_eq!(w.graph.edge_count(), 4);
+        assert_eq!(w.graph.sources().count(), 1);
+        assert_eq!(w.graph.sinks().count(), 1);
+        w.into_problem(&Platform::new(2, 2)).unwrap();
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let w = fork_join(8, 4, Cycles(10), 2);
+        assert_eq!(w.graph.len(), 10);
+        assert_eq!(w.graph.edge_count(), 16);
+        assert_eq!(w.graph.critical_path().unwrap(), Cycles(30));
+        w.into_problem(&Platform::new(4, 4)).unwrap();
+    }
+
+    #[test]
+    fn independent_shape() {
+        let w = independent(6, 3, Cycles(5));
+        assert_eq!(w.graph.edge_count(), 0);
+        let p = w.into_problem(&Platform::new(3, 3)).unwrap();
+        // Two tasks per core, serialized.
+        assert_eq!(p.mapping().order(mia_model::CoreId(0)).len(), 2);
+    }
+
+    #[test]
+    fn pipeline_shape() {
+        let w = pipeline(3, 4, 2, Cycles(10), 5);
+        assert_eq!(w.graph.len(), 12);
+        assert_eq!(w.graph.edge_count(), 2 * 16);
+        assert_eq!(w.graph.sources().count(), 4);
+        assert_eq!(w.graph.sinks().count(), 4);
+        assert_eq!(w.graph.critical_path().unwrap(), Cycles(30));
+        w.into_problem(&Platform::new(2, 2)).unwrap();
+    }
+
+    #[test]
+    fn reduction_tree_shape() {
+        let w = reduction_tree(8, 4, Cycles(10), 2);
+        // 8 leaves + 4 + 2 + 1 combiners.
+        assert_eq!(w.graph.len(), 15);
+        assert_eq!(w.graph.edge_count(), 14);
+        assert_eq!(w.graph.sinks().count(), 1);
+        assert_eq!(w.graph.critical_path().unwrap(), Cycles(40));
+        w.into_problem(&Platform::new(4, 4)).unwrap();
+    }
+
+    #[test]
+    fn reduction_tree_rounds_to_power_of_two() {
+        let w = reduction_tree(5, 2, Cycles(1), 1);
+        assert_eq!(w.graph.sources().count(), 8);
+    }
+
+    #[test]
+    fn stencil_shape() {
+        let w = stencil_1d(3, 5, 2, Cycles(4), 1);
+        assert_eq!(w.graph.len(), 15);
+        // Interior points have 3 predecessors, boundary points 2.
+        let interior = mia_model::TaskId(5 + 2); // step 1, point 2
+        assert_eq!(w.graph.in_degree(interior), 3);
+        let boundary = mia_model::TaskId(5); // step 1, point 0
+        assert_eq!(w.graph.in_degree(boundary), 2);
+        assert_eq!(w.graph.critical_path().unwrap(), Cycles(12));
+        w.into_problem(&Platform::new(2, 2)).unwrap();
+    }
+
+    #[test]
+    fn diamond_is_acyclic_and_connected() {
+        let w = diamond(5, 3, 4, Cycles(7), 1);
+        let order = w.graph.topological_order().unwrap();
+        assert_eq!(order.len(), w.graph.len());
+        for (id, _) in w.graph.iter() {
+            if w.layers[id.index()] > 0 {
+                assert!(w.graph.in_degree(id) > 0);
+            }
+        }
+        w.into_problem(&Platform::new(4, 4)).unwrap();
+    }
+}

@@ -1,0 +1,254 @@
+//! Simulated-annealing refinement of a task-to-core assignment.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use mia_model::{Cycles, Mapping, ModelError, TaskGraph, TaskId};
+
+/// Parameters of the annealing loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    /// Number of candidate moves to evaluate.
+    pub iterations: usize,
+    /// Initial acceptance temperature, in makespan cycles: a move that
+    /// worsens the makespan by `t` is accepted with probability
+    /// `exp(-worsening / t)`.
+    pub initial_temperature: f64,
+    /// Per-iteration geometric cooling factor (`0 < factor < 1`).
+    pub cooling: f64,
+    /// PRNG seed: equal configurations refine deterministically.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            iterations: 2_000,
+            initial_temperature: 1_000.0,
+            cooling: 0.998,
+            seed: 0,
+        }
+    }
+}
+
+/// Interference-free makespan of an assignment: tasks start at the latest
+/// of their core's availability, their dependencies' finishes and their
+/// minimal release, in topological order. This is the standard cheap cost
+/// proxy for mapping search (the full interference analysis would be the
+/// expensive inner loop the paper's O(n²) algorithm makes affordable —
+/// see the `precision` bench for that combination).
+///
+/// # Errors
+///
+/// Returns [`ModelError::Cycle`] for cyclic graphs.
+pub fn assignment_makespan(graph: &TaskGraph, assignment: &[usize]) -> Result<Cycles, ModelError> {
+    let order = graph.topological_order()?;
+    let cores = assignment.iter().copied().max().map_or(1, |m| m + 1);
+    let mut core_free = vec![Cycles::ZERO; cores];
+    let mut finish = vec![Cycles::ZERO; graph.len()];
+    let mut makespan = Cycles::ZERO;
+    for t in order {
+        let i = t.index();
+        let mut start = core_free[assignment[i]].max(graph.task(t).min_release());
+        for e in graph.predecessors(t) {
+            start = start.max(finish[e.src.index()]);
+        }
+        finish[i] = start + graph.task(t).wcet();
+        core_free[assignment[i]] = finish[i];
+        makespan = makespan.max(finish[i]);
+    }
+    Ok(makespan)
+}
+
+/// Refines `initial` by simulated annealing over single-task reassignment
+/// moves, minimising [`assignment_makespan`]. Per-core orders follow the
+/// topological order of the final assignment.
+///
+/// The result never has a worse makespan than `initial` (the best visited
+/// assignment is returned, not the last).
+///
+/// # Errors
+///
+/// Returns [`ModelError::Cycle`] for cyclic graphs, or
+/// [`ModelError::EmptyPlatform`] if `cores` is zero.
+///
+/// # Example
+///
+/// ```
+/// use mia_mapping::{anneal, assignment_makespan, AnnealConfig, layered_cyclic};
+/// use mia_model::{Cycles, Task, TaskGraph};
+///
+/// # fn main() -> Result<(), mia_model::ModelError> {
+/// let mut g = TaskGraph::new();
+/// for i in 0..8 {
+///     g.add_task(Task::builder(format!("t{i}")).wcet(Cycles(10 + i)));
+/// }
+/// let start = layered_cyclic(&g, 2)?;
+/// let refined = anneal(&g, 2, &start, &AnnealConfig::default())?;
+/// let before: Vec<usize> = (0..8).map(|i| start.core_of(mia_model::TaskId(i as u32)).index()).collect();
+/// let after: Vec<usize> = (0..8).map(|i| refined.core_of(mia_model::TaskId(i as u32)).index()).collect();
+/// assert!(assignment_makespan(&g, &after)? <= assignment_makespan(&g, &before)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn anneal(
+    graph: &TaskGraph,
+    cores: usize,
+    initial: &Mapping,
+    config: &AnnealConfig,
+) -> Result<Mapping, ModelError> {
+    if cores == 0 {
+        return Err(ModelError::EmptyPlatform);
+    }
+    let n = graph.len();
+    let mut assignment: Vec<usize> =
+        graph.task_ids().map(|t| initial.core_of(t).index()).collect();
+    let topo = graph.topological_order()?;
+    if n == 0 || cores == 1 {
+        return mapping_from_assignment(graph, &topo, &assignment, cores);
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut cost = assignment_makespan(graph, &assignment)?.as_u64() as f64;
+    let mut best = assignment.clone();
+    let mut best_cost = cost;
+    let mut temperature = config.initial_temperature;
+
+    for _ in 0..config.iterations {
+        let victim = rng.random_range(0..n);
+        let old_core = assignment[victim];
+        let mut new_core = rng.random_range(0..cores);
+        if new_core == old_core {
+            new_core = (new_core + 1) % cores;
+        }
+        assignment[victim] = new_core;
+        let candidate = assignment_makespan(graph, &assignment)?.as_u64() as f64;
+        let accept = candidate <= cost || {
+            let p = (-(candidate - cost) / temperature.max(1e-9)).exp();
+            rng.random_range(0.0..1.0) < p
+        };
+        if accept {
+            cost = candidate;
+            if cost < best_cost {
+                best_cost = cost;
+                best = assignment.clone();
+            }
+        } else {
+            assignment[victim] = old_core;
+        }
+        temperature *= config.cooling;
+    }
+    mapping_from_assignment(graph, &topo, &best, cores)
+}
+
+/// Builds a mapping whose per-core orders follow the topological order.
+fn mapping_from_assignment(
+    graph: &TaskGraph,
+    topo: &[TaskId],
+    assignment: &[usize],
+    cores: usize,
+) -> Result<Mapping, ModelError> {
+    let mut orders: Vec<Vec<TaskId>> = vec![Vec::new(); cores];
+    for &t in topo {
+        orders[assignment[t.index()]].push(t);
+    }
+    Mapping::from_orders(graph, orders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layered_cyclic;
+    use mia_model::{Platform, Problem, Task};
+
+    fn unbalanced_graph() -> TaskGraph {
+        // 6 independent tasks with very different weights.
+        let mut g = TaskGraph::new();
+        for w in [100u64, 90, 10, 10, 10, 10] {
+            g.add_task(Task::builder(format!("w{w}")).wcet(Cycles(w)));
+        }
+        g
+    }
+
+    #[test]
+    fn assignment_makespan_of_chain() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::builder("a").wcet(Cycles(10)));
+        let b = g.add_task(Task::builder("b").wcet(Cycles(20)));
+        g.add_edge(a, b, 1).unwrap();
+        // Chain serializes regardless of cores.
+        assert_eq!(assignment_makespan(&g, &[0, 1]).unwrap(), Cycles(30));
+        assert_eq!(assignment_makespan(&g, &[0, 0]).unwrap(), Cycles(30));
+    }
+
+    #[test]
+    fn annealing_improves_a_bad_start() {
+        let g = unbalanced_graph();
+        // All tasks on core 0: makespan 230.
+        let bad = Mapping::from_orders(&g, vec![g.task_ids().collect(), Vec::new()]).unwrap();
+        let refined = anneal(&g, 2, &bad, &AnnealConfig::default()).unwrap();
+        let asg: Vec<usize> = g.task_ids().map(|t| refined.core_of(t).index()).collect();
+        let makespan = assignment_makespan(&g, &asg).unwrap();
+        // Optimum is 120 (100+2×10 vs 90+2×10); annealing must at least
+        // beat the serial 230 decisively.
+        assert!(makespan <= Cycles(140), "refined makespan {makespan}");
+    }
+
+    #[test]
+    fn annealing_never_returns_worse_than_start() {
+        let g = unbalanced_graph();
+        let start = layered_cyclic(&g, 3).unwrap();
+        let start_asg: Vec<usize> = g.task_ids().map(|t| start.core_of(t).index()).collect();
+        let refined = anneal(&g, 3, &start, &AnnealConfig::default()).unwrap();
+        let asg: Vec<usize> = g.task_ids().map(|t| refined.core_of(t).index()).collect();
+        assert!(
+            assignment_makespan(&g, &asg).unwrap()
+                <= assignment_makespan(&g, &start_asg).unwrap()
+        );
+    }
+
+    #[test]
+    fn refined_mappings_build_valid_problems() {
+        use mia_dag_gen::{Family, LayeredDag};
+        let w = LayeredDag::new(Family::FixedLayerSize(8).config(40, 9)).generate();
+        let start = layered_cyclic(&w.graph, 4).unwrap();
+        let cfg = AnnealConfig {
+            iterations: 300,
+            ..AnnealConfig::default()
+        };
+        let refined = anneal(&w.graph, 4, &start, &cfg).unwrap();
+        Problem::new(w.graph.clone(), refined, Platform::new(4, 4)).unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = unbalanced_graph();
+        let start = layered_cyclic(&g, 2).unwrap();
+        let cfg = AnnealConfig {
+            seed: 42,
+            ..AnnealConfig::default()
+        };
+        let a = anneal(&g, 2, &start, &cfg).unwrap();
+        let b = anneal(&g, 2, &start, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_core_is_identity_shaped() {
+        let g = unbalanced_graph();
+        let start = layered_cyclic(&g, 1).unwrap();
+        let refined = anneal(&g, 1, &start, &AnnealConfig::default()).unwrap();
+        assert_eq!(refined.cores(), 1);
+        assert_eq!(refined.order(mia_model::CoreId(0)).len(), 6);
+    }
+
+    #[test]
+    fn zero_cores_is_an_error() {
+        let g = unbalanced_graph();
+        let start = layered_cyclic(&g, 2).unwrap();
+        assert!(matches!(
+            anneal(&g, 0, &start, &AnnealConfig::default()),
+            Err(ModelError::EmptyPlatform)
+        ));
+    }
+}

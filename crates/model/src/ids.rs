@@ -1,0 +1,118 @@
+//! Strongly-typed identifiers for tasks, cores, memory banks and edges.
+//!
+//! Newtypes keep the many `usize`-like quantities of an interference
+//! analysis from being mixed up (a task index is not a core index), at zero
+//! runtime cost.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the identifier as a plain index usable with slices.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an identifier from a plain index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                assert!(index <= u32::MAX as usize, "index {index} overflows id");
+                Self(index as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a task (a node of the [`TaskGraph`](crate::TaskGraph)).
+    ///
+    /// Task identifiers are dense: the tasks of a graph with `n` tasks are
+    /// numbered `0..n` in insertion order.
+    TaskId,
+    "n"
+);
+
+id_type!(
+    /// Identifier of a processing core (`PE` in the paper's figures).
+    CoreId,
+    "PE"
+);
+
+id_type!(
+    /// Identifier of a memory bank of the shared memory.
+    BankId,
+    "b"
+);
+
+id_type!(
+    /// Identifier of a dependency edge of the [`TaskGraph`](crate::TaskGraph).
+    EdgeId,
+    "e"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_prefixes() {
+        assert_eq!(TaskId(3).to_string(), "n3");
+        assert_eq!(CoreId(0).to_string(), "PE0");
+        assert_eq!(BankId(7).to_string(), "b7");
+        assert_eq!(EdgeId(12).to_string(), "e12");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let id = TaskId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows id")]
+    fn from_index_rejects_overflow() {
+        let _ = TaskId::from_index(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(BankId(0) < BankId(10));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&TaskId(5)).unwrap();
+        assert_eq!(json, "5");
+        let back: TaskId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, TaskId(5));
+    }
+}

@@ -1,0 +1,131 @@
+//! The hardware platform: cores, memory banks and access timing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Cycles, ModelError};
+
+/// A many-core platform with a banked shared memory.
+///
+/// Only the characteristics consumed by the interference analysis are
+/// modelled: the number of cores, the number of memory banks, and the time
+/// a single word access occupies a bank. The arbitration policy itself is
+/// supplied separately through the [`Arbiter`](crate::Arbiter) trait so the
+/// same platform geometry can be analysed under different arbiters.
+///
+/// # Example
+///
+/// ```
+/// use mia_model::{Cycles, Platform};
+///
+/// let mppa = Platform::mppa256_cluster();
+/// assert_eq!(mppa.cores(), 16);
+/// assert_eq!(mppa.banks(), 16);
+/// assert_eq!(mppa.access_cycles(), Cycles(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Platform {
+    cores: usize,
+    banks: usize,
+    access_cycles: Cycles,
+}
+
+impl Platform {
+    /// Creates a platform with `cores` cores, `banks` memory banks and a
+    /// one-cycle word access time (the paper's §II.A assumption).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` or `banks` is zero; use [`Platform::try_new`] for
+    /// a fallible variant.
+    pub fn new(cores: usize, banks: usize) -> Self {
+        Platform::try_new(cores, banks, Cycles(1)).expect("cores and banks must be non-zero")
+    }
+
+    /// Fallible constructor with explicit access time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyPlatform`] if `cores` or `banks` is zero.
+    pub fn try_new(cores: usize, banks: usize, access_cycles: Cycles) -> Result<Self, ModelError> {
+        if cores == 0 || banks == 0 {
+            return Err(ModelError::EmptyPlatform);
+        }
+        Ok(Platform {
+            cores,
+            banks,
+            access_cycles,
+        })
+    }
+
+    /// The Kalray MPPA-256 compute-cluster geometry used throughout the
+    /// paper's evaluation: 16 cores, 16 shared-memory banks, one cycle per
+    /// word access.
+    pub fn mppa256_cluster() -> Self {
+        Platform::new(16, 16)
+    }
+
+    /// Number of processing cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Number of shared-memory banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Time one word access occupies a bank.
+    pub fn access_cycles(&self) -> Cycles {
+        self.access_cycles
+    }
+
+    /// Returns a copy with a different access time.
+    pub fn with_access_cycles(mut self, access_cycles: Cycles) -> Self {
+        self.access_cycles = access_cycles;
+        self
+    }
+}
+
+impl Default for Platform {
+    /// Defaults to the MPPA-256 compute cluster.
+    fn default() -> Self {
+        Platform::mppa256_cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mppa_preset() {
+        let p = Platform::default();
+        assert_eq!(p.cores(), 16);
+        assert_eq!(p.banks(), 16);
+        assert_eq!(p.access_cycles(), Cycles(1));
+    }
+
+    #[test]
+    fn try_new_rejects_empty() {
+        assert_eq!(
+            Platform::try_new(0, 4, Cycles(1)),
+            Err(ModelError::EmptyPlatform)
+        );
+        assert_eq!(
+            Platform::try_new(4, 0, Cycles(1)),
+            Err(ModelError::EmptyPlatform)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn new_panics_on_zero_cores() {
+        let _ = Platform::new(0, 1);
+    }
+
+    #[test]
+    fn with_access_cycles() {
+        let p = Platform::new(2, 2).with_access_cycles(Cycles(5));
+        assert_eq!(p.access_cycles(), Cycles(5));
+    }
+}

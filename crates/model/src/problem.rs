@@ -1,0 +1,309 @@
+//! A validated analysis problem: graph + mapping + platform + demands.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    derive_demands, BankDemand, BankPolicy, Mapping, ModelError, Platform, TaskGraph, TaskId,
+};
+
+/// Everything an interference analysis needs, validated once at
+/// construction:
+///
+/// * the task [`TaskGraph`] is acyclic,
+/// * the [`Mapping`] covers every task exactly once,
+/// * the mapping fits on the [`Platform`],
+/// * the combined precedence relation (dependency edges **plus** per-core
+///   execution order) is acyclic — a cross-core ordering cycle would
+///   deadlock any schedule,
+/// * every derived [`BankDemand`] targets an existing bank.
+///
+/// The per-bank demands are derived at construction with the chosen
+/// [`BankPolicy`] (or injected verbatim with [`Problem::with_demands`]).
+///
+/// # Example
+///
+/// ```
+/// use mia_model::{BankPolicy, Cycles, Mapping, Platform, Problem, Task, TaskGraph};
+///
+/// # fn main() -> Result<(), mia_model::ModelError> {
+/// let mut g = TaskGraph::new();
+/// let a = g.add_task(Task::builder("a").wcet(Cycles(10)));
+/// let b = g.add_task(Task::builder("b").wcet(Cycles(10)));
+/// g.add_edge(a, b, 8)?;
+/// let m = Mapping::from_assignment(&g, &[0, 1])?;
+/// let problem = Problem::with_policy(g, m, Platform::new(2, 2), BankPolicy::PerCoreBank)?;
+/// // b reads its 8 words from its own core bank (bank 1).
+/// assert_eq!(problem.demand(b).get(mia_model::BankId(1)), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    graph: TaskGraph,
+    mapping: Mapping,
+    platform: Platform,
+    demands: Vec<BankDemand>,
+    /// Topological order of the combined (dependency ∪ core-order) relation.
+    combined_order: Vec<TaskId>,
+}
+
+impl Problem {
+    /// Builds a problem with the default [`BankPolicy::PerCoreBank`] demand
+    /// derivation (the Kalray MPPA-256 configuration of the paper).
+    ///
+    /// # Errors
+    ///
+    /// See the type-level documentation for the validated properties; the
+    /// first violated one is reported as a [`ModelError`].
+    pub fn new(graph: TaskGraph, mapping: Mapping, platform: Platform) -> Result<Self, ModelError> {
+        Problem::with_policy(graph, mapping, platform, BankPolicy::PerCoreBank)
+    }
+
+    /// Builds a problem deriving demands with an explicit policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::new`].
+    pub fn with_policy(
+        graph: TaskGraph,
+        mapping: Mapping,
+        platform: Platform,
+        policy: BankPolicy,
+    ) -> Result<Self, ModelError> {
+        let demands = derive_demands(&graph, &mapping, &platform, policy)?;
+        Problem::with_demands(graph, mapping, platform, demands)
+    }
+
+    /// Builds a problem with caller-provided per-task demands (indexed by
+    /// task id), bypassing edge-based derivation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::new`], plus [`ModelError::LengthMismatch`] if
+    /// `demands` does not cover the graph.
+    pub fn with_demands(
+        graph: TaskGraph,
+        mapping: Mapping,
+        platform: Platform,
+        demands: Vec<BankDemand>,
+    ) -> Result<Self, ModelError> {
+        mapping.validate(&graph)?;
+        if mapping.cores() > platform.cores() {
+            return Err(ModelError::UnknownCore(crate::CoreId::from_index(
+                mapping.cores() - 1,
+            )));
+        }
+        if demands.len() != graph.len() {
+            return Err(ModelError::LengthMismatch {
+                expected: graph.len(),
+                found: demands.len(),
+            });
+        }
+        for d in &demands {
+            if let Some(b) = d.max_bank() {
+                if b.index() >= platform.banks() {
+                    return Err(ModelError::UnknownBank(b));
+                }
+            }
+        }
+        let combined_order = combined_topological_order(&graph, &mapping)?;
+        Ok(Problem {
+            graph,
+            mapping,
+            platform,
+            demands,
+            combined_order,
+        })
+    }
+
+    /// The task graph.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The mapping and per-core execution orders.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The platform geometry.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Per-task bank demands, indexed by task id.
+    pub fn demands(&self) -> &[BankDemand] {
+        &self.demands
+    }
+
+    /// The demand of one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is outside the graph.
+    pub fn demand(&self, task: TaskId) -> &BankDemand {
+        &self.demands[task.index()]
+    }
+
+    /// A topological order of the combined precedence relation (dependency
+    /// edges plus per-core execution order). Scheduling tasks in this order
+    /// always makes progress; both analysis algorithms rely on it.
+    pub fn combined_order(&self) -> &[TaskId] {
+        &self.combined_order
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True if the problem has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+}
+
+/// Topologically sorts the relation "dependency edge or consecutive on the
+/// same core".
+fn combined_topological_order(
+    graph: &TaskGraph,
+    mapping: &Mapping,
+) -> Result<Vec<TaskId>, ModelError> {
+    let n = graph.len();
+    let mut indegree = vec![0usize; n];
+    for e in graph.edges() {
+        indegree[e.dst.index()] += 1;
+    }
+    for (_, order) in mapping.iter() {
+        for pair in order.windows(2) {
+            indegree[pair[1].index()] += 1;
+        }
+    }
+    // Successor lookup for core-order edges: next task on the same core.
+    let mut core_next: Vec<Option<TaskId>> = vec![None; n];
+    for (_, order) in mapping.iter() {
+        for pair in order.windows(2) {
+            core_next[pair[0].index()] = Some(pair[1]);
+        }
+    }
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut ready: BinaryHeap<Reverse<TaskId>> = (0..n)
+        .map(TaskId::from_index)
+        .filter(|t| indegree[t.index()] == 0)
+        .map(Reverse)
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    while let Some(Reverse(t)) = ready.pop() {
+        out.push(t);
+        let relax = |succ: TaskId,
+                     indegree: &mut Vec<usize>,
+                     ready: &mut BinaryHeap<Reverse<TaskId>>| {
+            indegree[succ.index()] -= 1;
+            if indegree[succ.index()] == 0 {
+                ready.push(Reverse(succ));
+            }
+        };
+        for e in graph.successors(t) {
+            relax(e.dst, &mut indegree, &mut ready);
+        }
+        if let Some(next) = core_next[t.index()] {
+            relax(next, &mut indegree, &mut ready);
+        }
+    }
+    if out.len() != n {
+        let culprit = (0..n)
+            .map(TaskId::from_index)
+            .find(|t| indegree[t.index()] > 0)
+            .expect("cycle implies remaining in-degree");
+        return Err(ModelError::Cycle(culprit));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BankId, CoreId, Cycles, Task};
+
+    fn two_task_graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::builder("a").wcet(Cycles(5)));
+        let b = g.add_task(Task::builder("b").wcet(Cycles(5)));
+        g.add_edge(a, b, 2).unwrap();
+        g
+    }
+
+    #[test]
+    fn new_validates_and_derives() {
+        let g = two_task_graph();
+        let m = Mapping::from_assignment(&g, &[0, 1]).unwrap();
+        let p = Problem::new(g, m, Platform::new(2, 2)).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.demand(TaskId(0)).get(BankId(1)), 2);
+        assert_eq!(p.combined_order().len(), 2);
+    }
+
+    #[test]
+    fn rejects_mapping_beyond_platform() {
+        let g = two_task_graph();
+        let m = Mapping::from_assignment(&g, &[0, 5]).unwrap();
+        assert!(matches!(
+            Problem::new(g, m, Platform::new(2, 2)),
+            Err(ModelError::UnknownCore(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_demands_on_unknown_bank() {
+        let g = two_task_graph();
+        let m = Mapping::from_assignment(&g, &[0, 1]).unwrap();
+        let demands = vec![BankDemand::single(BankId(9), 1), BankDemand::new()];
+        assert!(matches!(
+            Problem::with_demands(g, m, Platform::new(2, 2), demands),
+            Err(ModelError::UnknownBank(BankId(9)))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_demand_length() {
+        let g = two_task_graph();
+        let m = Mapping::from_assignment(&g, &[0, 1]).unwrap();
+        assert!(matches!(
+            Problem::with_demands(g, m, Platform::new(2, 2), vec![BankDemand::new()]),
+            Err(ModelError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_cross_core_order_cycle() {
+        // a -> b (dependency), but b ordered before a's core predecessor:
+        // core 0 runs [x, a], core 1 runs [b, y], with edges a->b and y->x.
+        // Combined relation: x<a, a<b (dep), b<y, y<x (dep) — a cycle.
+        let mut g = TaskGraph::new();
+        let x = g.add_task(Task::builder("x").wcet(Cycles(1)));
+        let a = g.add_task(Task::builder("a").wcet(Cycles(1)));
+        let b = g.add_task(Task::builder("b").wcet(Cycles(1)));
+        let y = g.add_task(Task::builder("y").wcet(Cycles(1)));
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(y, x, 1).unwrap();
+        let m = Mapping::from_orders(&g, vec![vec![x, a], vec![b, y]]).unwrap();
+        assert!(matches!(
+            Problem::new(g, m, Platform::new(2, 2)),
+            Err(ModelError::Cycle(_))
+        ));
+    }
+
+    #[test]
+    fn combined_order_respects_core_order() {
+        // Two independent tasks on one core: combined order must follow the
+        // mapping order even without dependency edges.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::builder("a").wcet(Cycles(1)));
+        let b = g.add_task(Task::builder("b").wcet(Cycles(1)));
+        let m = Mapping::from_orders(&g, vec![vec![b, a]]).unwrap();
+        let p = Problem::new(g, m, Platform::new(1, 1)).unwrap();
+        assert_eq!(p.combined_order(), &[b, a]);
+        assert_eq!(p.mapping().core_of(a), CoreId(0));
+    }
+}

@@ -1,0 +1,310 @@
+//! The output of an analysis: a static time-triggered schedule.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Cycles, Problem, TaskId};
+
+/// Timing of a single task in the computed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskTiming {
+    /// Release date: the task must not start earlier, even if its inputs
+    /// are ready (this is what makes the schedule time-triggered and the
+    /// interference bounds composable, §II.B).
+    pub release: Cycles,
+    /// WCET in isolation (copied from the task for convenience).
+    pub wcet: Cycles,
+    /// Total interference delay the task may suffer (summed over banks).
+    pub interference: Cycles,
+}
+
+impl TaskTiming {
+    /// Worst-case response time: WCET plus interference (`R` in the paper).
+    pub fn response_time(&self) -> Cycles {
+        self.wcet + self.interference
+    }
+
+    /// Latest finish instant: release + response time.
+    pub fn finish(&self) -> Cycles {
+        self.release + self.response_time()
+    }
+}
+
+/// A complete static schedule: one [`TaskTiming`] per task.
+///
+/// Produced by `mia-core` (incremental algorithm) and `mia-baseline`
+/// (original fixed-point algorithm); consumed by `mia-sim` for validation
+/// and by `mia-trace` for rendering.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    timings: Vec<TaskTiming>,
+}
+
+impl Schedule {
+    /// Wraps per-task timings (indexed by task id) into a schedule.
+    pub fn from_timings(timings: Vec<TaskTiming>) -> Self {
+        Schedule { timings }
+    }
+
+    /// The timing of one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is outside the schedule.
+    pub fn timing(&self, task: TaskId) -> TaskTiming {
+        self.timings[task.index()]
+    }
+
+    /// All timings, indexed by task id.
+    pub fn timings(&self) -> &[TaskTiming] {
+        &self.timings
+    }
+
+    /// Number of scheduled tasks.
+    pub fn len(&self) -> usize {
+        self.timings.len()
+    }
+
+    /// True if the schedule covers no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.timings.is_empty()
+    }
+
+    /// The global worst-case response time of the task set: the latest
+    /// finish instant over all tasks (`t = 7` in the paper's Figure 1).
+    pub fn makespan(&self) -> Cycles {
+        self.timings
+            .iter()
+            .map(TaskTiming::finish)
+            .max()
+            .unwrap_or(Cycles::ZERO)
+    }
+
+    /// Total interference summed over all tasks.
+    pub fn total_interference(&self) -> Cycles {
+        self.timings.iter().map(|t| t.interference).sum()
+    }
+
+    /// Checks that the schedule is structurally sound for `problem`:
+    ///
+    /// * every release honours the task's minimal release date,
+    /// * every release is at or after the latest finish of its dependencies,
+    /// * every task with a relative deadline meets it,
+    /// * tasks sharing a core do not overlap and follow the mapping order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScheduleViolation`] found, if any.
+    pub fn check(&self, problem: &Problem) -> Result<(), ScheduleViolation> {
+        let graph = problem.graph();
+        if self.timings.len() != graph.len() {
+            return Err(ScheduleViolation::WrongLength {
+                expected: graph.len(),
+                found: self.timings.len(),
+            });
+        }
+        for (id, task) in graph.iter() {
+            let t = self.timing(id);
+            if t.release < task.min_release() {
+                return Err(ScheduleViolation::ReleasedBeforeMinRelease(id));
+            }
+            for e in graph.predecessors(id) {
+                if t.release < self.timing(e.src).finish() {
+                    return Err(ScheduleViolation::ReleasedBeforeDependency {
+                        task: id,
+                        dependency: e.src,
+                    });
+                }
+            }
+            if let Some(deadline) = task.deadline() {
+                if t.response_time() > deadline {
+                    return Err(ScheduleViolation::DeadlineMissed {
+                        task: id,
+                        response: t.response_time(),
+                        deadline,
+                    });
+                }
+            }
+        }
+        for (_, order) in problem.mapping().iter() {
+            for pair in order.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if self.timing(b).release < self.timing(a).finish() {
+                    return Err(ScheduleViolation::CoreOverlap { first: a, second: b });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A violation detected by [`Schedule::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleViolation {
+    /// The schedule does not cover the graph.
+    WrongLength { expected: usize, found: usize },
+    /// A task is released before its minimal release date.
+    ReleasedBeforeMinRelease(TaskId),
+    /// A task is released before one of its dependencies finishes.
+    ReleasedBeforeDependency { task: TaskId, dependency: TaskId },
+    /// A task's worst-case response time exceeds its relative deadline.
+    DeadlineMissed {
+        task: TaskId,
+        response: Cycles,
+        deadline: Cycles,
+    },
+    /// Two tasks of the same core overlap.
+    CoreOverlap { first: TaskId, second: TaskId },
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleViolation::WrongLength { expected, found } => {
+                write!(f, "schedule covers {found} tasks, graph has {expected}")
+            }
+            ScheduleViolation::ReleasedBeforeMinRelease(t) => {
+                write!(f, "task {t} released before its minimal release date")
+            }
+            ScheduleViolation::ReleasedBeforeDependency { task, dependency } => {
+                write!(f, "task {task} released before dependency {dependency} finishes")
+            }
+            ScheduleViolation::DeadlineMissed {
+                task,
+                response,
+                deadline,
+            } => {
+                write!(f, "task {task} responds in {response}, past its deadline {deadline}")
+            }
+            ScheduleViolation::CoreOverlap { first, second } => {
+                write!(f, "tasks {first} and {second} overlap on their core")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mapping, Platform, Task, TaskGraph};
+
+    fn timing(release: u64, wcet: u64, inter: u64) -> TaskTiming {
+        TaskTiming {
+            release: Cycles(release),
+            wcet: Cycles(wcet),
+            interference: Cycles(inter),
+        }
+    }
+
+    fn tiny_problem() -> Problem {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::builder("a").wcet(Cycles(2)));
+        let b = g.add_task(Task::builder("b").wcet(Cycles(3)).min_release(Cycles(1)));
+        g.add_edge(a, b, 1).unwrap();
+        let m = Mapping::from_assignment(&g, &[0, 0]).unwrap();
+        Problem::new(g, m, Platform::new(2, 2)).unwrap()
+    }
+
+    #[test]
+    fn timing_accessors() {
+        let t = timing(5, 10, 3);
+        assert_eq!(t.response_time(), Cycles(13));
+        assert_eq!(t.finish(), Cycles(18));
+    }
+
+    #[test]
+    fn makespan_is_latest_finish() {
+        let s = Schedule::from_timings(vec![timing(0, 5, 0), timing(2, 10, 4)]);
+        assert_eq!(s.makespan(), Cycles(16));
+        assert_eq!(s.total_interference(), Cycles(4));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::from_timings(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.makespan(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn check_accepts_valid_schedule() {
+        let p = tiny_problem();
+        let s = Schedule::from_timings(vec![timing(0, 2, 0), timing(2, 3, 0)]);
+        s.check(&p).unwrap();
+    }
+
+    #[test]
+    fn check_rejects_min_release_violation() {
+        let p = tiny_problem();
+        let s = Schedule::from_timings(vec![timing(0, 2, 0), timing(0, 3, 0)]);
+        assert_eq!(
+            s.check(&p),
+            Err(ScheduleViolation::ReleasedBeforeMinRelease(TaskId(1)))
+        );
+    }
+
+    #[test]
+    fn check_rejects_dependency_violation() {
+        let p = tiny_problem();
+        // Release 1 honours b's minimal release date but precedes a's finish.
+        let s = Schedule::from_timings(vec![timing(0, 2, 0), timing(1, 3, 0)]);
+        assert_eq!(
+            s.check(&p),
+            Err(ScheduleViolation::ReleasedBeforeDependency {
+                task: TaskId(1),
+                dependency: TaskId(0)
+            })
+        );
+    }
+
+    #[test]
+    fn check_rejects_core_overlap() {
+        // Two independent tasks on the same core released simultaneously.
+        let mut g = TaskGraph::new();
+        let _ = g.add_task(Task::builder("a").wcet(Cycles(2)));
+        let _ = g.add_task(Task::builder("b").wcet(Cycles(2)));
+        let m = Mapping::from_assignment(&g, &[0, 0]).unwrap();
+        let p = Problem::new(g, m, Platform::new(1, 1)).unwrap();
+        let s = Schedule::from_timings(vec![timing(0, 2, 0), timing(1, 2, 0)]);
+        assert_eq!(
+            s.check(&p),
+            Err(ScheduleViolation::CoreOverlap {
+                first: TaskId(0),
+                second: TaskId(1)
+            })
+        );
+    }
+
+    #[test]
+    fn check_rejects_missed_task_deadline() {
+        let mut g = TaskGraph::new();
+        let _ = g.add_task(Task::builder("rt").wcet(Cycles(10)).deadline(Cycles(12)));
+        let m = Mapping::from_assignment(&g, &[0]).unwrap();
+        let p = Problem::new(g, m, Platform::new(1, 1)).unwrap();
+        // Response 10 meets the 12-cycle deadline; 13 misses it.
+        let ok = Schedule::from_timings(vec![timing(0, 10, 0)]);
+        ok.check(&p).unwrap();
+        let bad = Schedule::from_timings(vec![timing(0, 10, 3)]);
+        assert_eq!(
+            bad.check(&p),
+            Err(ScheduleViolation::DeadlineMissed {
+                task: TaskId(0),
+                response: Cycles(13),
+                deadline: Cycles(12)
+            })
+        );
+    }
+
+    #[test]
+    fn check_rejects_wrong_length() {
+        let p = tiny_problem();
+        let s = Schedule::from_timings(vec![timing(0, 2, 0)]);
+        assert!(matches!(
+            s.check(&p),
+            Err(ScheduleViolation::WrongLength { .. })
+        ));
+    }
+}

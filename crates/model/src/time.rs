@@ -1,0 +1,209 @@
+//! Discrete time measured in processor cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A duration or instant measured in processor clock cycles.
+///
+/// All analyses in this workspace work in integer cycles, like the paper's
+/// examples (a memory word access takes one cycle on the reference
+/// platform). The newtype prevents accidental mixing with unrelated `u64`
+/// quantities such as access counts.
+///
+/// Arithmetic panics on overflow in debug builds (standard integer
+/// semantics); analyses that may legitimately saturate use
+/// [`Cycles::saturating_sub`].
+///
+/// # Example
+///
+/// ```
+/// use mia_model::Cycles;
+///
+/// let wcet = Cycles(600);
+/// let interference = Cycles(32);
+/// assert_eq!(wcet + interference, Cycles(632));
+/// assert_eq!((wcet + interference).as_u64(), 632);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// The zero duration.
+    pub const ZERO: Cycles = Cycles(0);
+    /// The maximal representable instant, used as "+infinity" by the
+    /// incremental algorithm's cursor.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Subtraction clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Addition clamped at [`Cycles::MAX`].
+    #[inline]
+    pub fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+
+    /// Returns the larger of two durations.
+    #[inline]
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+
+    /// Returns the smaller of two durations.
+    #[inline]
+    pub fn min(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.min(rhs.0))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Cycles::MAX {
+            write!(f, "+inf")
+        } else {
+            write!(f, "{}cy", self.0)
+        }
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Self {
+        Cycles(v)
+    }
+}
+
+impl From<Cycles> for u64 {
+    fn from(c: Cycles) -> u64 {
+        c.0
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl MulAssign<u64> for Cycles {
+    #[inline]
+    fn mul_assign(&mut self, rhs: u64) {
+        self.0 *= rhs;
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Cycles> for Cycles {
+    fn sum<I: Iterator<Item = &'a Cycles>>(iter: I) -> Cycles {
+        iter.copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cycles(3) + Cycles(4), Cycles(7));
+        assert_eq!(Cycles(10) - Cycles(4), Cycles(6));
+        assert_eq!(Cycles(5) * 3, Cycles(15));
+        assert_eq!(Cycles(15) / 3, Cycles(5));
+        let mut c = Cycles(1);
+        c += Cycles(2);
+        c -= Cycles(1);
+        c *= 10;
+        assert_eq!(c, Cycles(20));
+    }
+
+    #[test]
+    fn saturating() {
+        assert_eq!(Cycles(3).saturating_sub(Cycles(10)), Cycles::ZERO);
+        assert_eq!(Cycles::MAX.saturating_add(Cycles(1)), Cycles::MAX);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Cycles(3).max(Cycles(9)), Cycles(9));
+        assert_eq!(Cycles(3).min(Cycles(9)), Cycles(3));
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].iter().sum();
+        assert_eq!(total, Cycles(6));
+        let total: Cycles = vec![Cycles(4), Cycles(5)].into_iter().sum();
+        assert_eq!(total, Cycles(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycles(12).to_string(), "12cy");
+        assert_eq!(Cycles::MAX.to_string(), "+inf");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Cycles::from(9u64), Cycles(9));
+        assert_eq!(u64::from(Cycles(9)), 9);
+    }
+}

@@ -1,0 +1,500 @@
+//! The response-time fixed point with memory interference.
+
+use std::collections::BTreeMap;
+
+use mia_model::arbiter::{Arbiter, InterfererDemand};
+use mia_model::{BankId, CoreId, Cycles};
+
+use crate::SporadicSystem;
+
+/// Options controlling an MRTA run.
+#[derive(Debug, Clone)]
+pub struct MrtaOptions {
+    /// Include remote-core memory interference. Disabling it yields the
+    /// classic single-core response-time analysis, useful to quantify how
+    /// much of each response time is due to the shared memory.
+    pub memory_interference: bool,
+    /// Safety bound on fixed-point iterations per task; the iteration is
+    /// monotone so this only triggers on absurd inputs.
+    pub max_iterations: usize,
+}
+
+impl Default for MrtaOptions {
+    fn default() -> Self {
+        MrtaOptions {
+            memory_interference: true,
+            max_iterations: 1_000_000,
+        }
+    }
+}
+
+impl MrtaOptions {
+    /// Default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables or disables remote-core memory interference.
+    pub fn memory_interference(mut self, on: bool) -> Self {
+        self.memory_interference = on;
+        self
+    }
+
+    /// Sets the per-task iteration bound.
+    pub fn max_iterations(mut self, bound: usize) -> Self {
+        self.max_iterations = bound;
+        self
+    }
+}
+
+/// Outcome of the analysis for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskVerdict {
+    /// The response-time bound found. When the task is unschedulable this
+    /// is the value that first crossed the deadline (a certificate, not a
+    /// bound).
+    pub response: Cycles,
+    /// Of which: preemption delay by higher-priority same-core tasks.
+    pub cpu_interference: Cycles,
+    /// Of which: memory interference from remote cores.
+    pub memory_interference: Cycles,
+    /// Whether `response + jitter ≤ deadline`.
+    pub schedulable: bool,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+}
+
+/// Work counters of an analysis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MrtaStats {
+    /// Total fixed-point iterations over all tasks.
+    pub iterations: usize,
+    /// Calls to the arbiter's `IBUS` function.
+    pub ibus_calls: usize,
+}
+
+/// Result of [`analyze`] / [`analyze_with`]: one verdict per task.
+#[derive(Debug, Clone)]
+pub struct MrtaReport {
+    verdicts: Vec<TaskVerdict>,
+    stats: MrtaStats,
+}
+
+impl MrtaReport {
+    /// Verdicts in task declaration order.
+    pub fn verdicts(&self) -> &[TaskVerdict] {
+        &self.verdicts
+    }
+
+    /// The verdict of one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn verdict(&self, task: usize) -> TaskVerdict {
+        self.verdicts[task]
+    }
+
+    /// The response-time bound of one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn response(&self, task: usize) -> Cycles {
+        self.verdicts[task].response
+    }
+
+    /// True if every task meets its deadline.
+    pub fn schedulable(&self) -> bool {
+        self.verdicts.iter().all(|v| v.schedulable)
+    }
+
+    /// Indices of the tasks that miss their deadline.
+    pub fn failing_tasks(&self) -> impl Iterator<Item = usize> + '_ {
+        self.verdicts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.schedulable)
+            .map(|(i, _)| i)
+    }
+
+    /// Work counters of the run.
+    pub fn stats(&self) -> MrtaStats {
+        self.stats
+    }
+}
+
+/// Analyses a system with default options.
+///
+/// Each task's verdict is independent: an unschedulable task does not stop
+/// the analysis of the others, so the report always covers the whole set.
+///
+/// # Example
+///
+/// See the [crate-level documentation](crate).
+pub fn analyze<A>(system: &SporadicSystem, arbiter: &A) -> MrtaReport
+where
+    A: Arbiter + ?Sized,
+{
+    analyze_with(system, arbiter, &MrtaOptions::default())
+}
+
+/// Analyses a system with explicit options.
+///
+/// For each task the classic fixed point runs on
+/// `R = C + preemption(R) + memory(R)`; the iteration starts at `C` and is
+/// monotone, and stops as soon as `R + J` crosses the deadline (the task —
+/// not the run — is then flagged unschedulable).
+pub fn analyze_with<A>(system: &SporadicSystem, arbiter: &A, options: &MrtaOptions) -> MrtaReport
+where
+    A: Arbiter + ?Sized,
+{
+    let mut stats = MrtaStats::default();
+    let verdicts = (0..system.len())
+        .map(|i| response_time(system, arbiter, options, i, &mut stats))
+        .collect();
+    MrtaReport { verdicts, stats }
+}
+
+fn response_time<A>(
+    system: &SporadicSystem,
+    arbiter: &A,
+    options: &MrtaOptions,
+    i: usize,
+    stats: &mut MrtaStats,
+) -> TaskVerdict
+where
+    A: Arbiter + ?Sized,
+{
+    let task = &system.tasks()[i];
+    let core = system.core_of(i);
+    let access = system.platform().access_cycles();
+    let deadline_budget = task.deadline().saturating_sub(task.jitter());
+
+    let hp: Vec<usize> = system.higher_priority_same_core(i).collect();
+    let mut response = task.wcet();
+    let mut iterations = 0usize;
+
+    loop {
+        iterations += 1;
+        stats.iterations += 1;
+
+        // Preemption by higher-priority same-core tasks within the window.
+        let mut cpu = Cycles::ZERO;
+        for &j in &hp {
+            let other = &system.tasks()[j];
+            cpu += other.wcet() * other.jobs_in(response);
+        }
+
+        // Memory interference: the busy window's demand on each bank (the
+        // victim job plus its preemptors, merged — the same "single big
+        // task" conservatism as §II.C of the DATE paper) is priced by the
+        // arbiter against the per-core aggregated remote demands.
+        let mut mem = Cycles::ZERO;
+        if options.memory_interference {
+            let mut window_demand: BTreeMap<BankId, u64> = BTreeMap::new();
+            for (bank, d) in task.demand().iter() {
+                *window_demand.entry(bank).or_insert(0) += d;
+            }
+            for &j in &hp {
+                let other = &system.tasks()[j];
+                let jobs = other.jobs_in(response);
+                for (bank, d) in other.demand().iter() {
+                    *window_demand.entry(bank).or_insert(0) += d * jobs;
+                }
+            }
+            for (&bank, &demand) in &window_demand {
+                if demand == 0 {
+                    continue;
+                }
+                let mut remote: BTreeMap<CoreId, u64> = BTreeMap::new();
+                for c in 0..system.platform().cores() {
+                    let other_core = CoreId::from_index(c);
+                    if other_core == core {
+                        continue;
+                    }
+                    let mut total = 0u64;
+                    for j in system.tasks_on(other_core) {
+                        let other = &system.tasks()[j];
+                        // Remote cores are not synchronised with this busy
+                        // window: one *carry-in* job (released before the
+                        // window, still running inside it) can contribute
+                        // on top of the in-window releases. Constrained
+                        // deadlines bound the carry-in to a single job.
+                        total += other.demand().get(bank) * (1 + other.jobs_in(response));
+                    }
+                    if total > 0 {
+                        remote.insert(other_core, total);
+                    }
+                }
+                if remote.is_empty() {
+                    continue;
+                }
+                let set: Vec<InterfererDemand> = remote
+                    .iter()
+                    .map(|(&core, &accesses)| InterfererDemand { core, accesses })
+                    .collect();
+                mem += arbiter.bank_interference(core, demand, &set, access);
+                stats.ibus_calls += 1;
+            }
+        }
+
+        let next = task.wcet() + cpu + mem;
+        if next == response {
+            return TaskVerdict {
+                response,
+                cpu_interference: cpu,
+                memory_interference: mem,
+                schedulable: response <= deadline_budget,
+                iterations,
+            };
+        }
+        if next > deadline_budget || iterations >= options.max_iterations {
+            return TaskVerdict {
+                response: next,
+                cpu_interference: cpu,
+                memory_interference: mem,
+                schedulable: false,
+                iterations,
+            };
+        }
+        response = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SporadicSystem, SporadicTask};
+    use mia_model::{BankDemand, Platform};
+
+    /// Flat round-robin, additive — the §II.A bound.
+    struct Rr;
+
+    impl Arbiter for Rr {
+        fn name(&self) -> &str {
+            "rr-test"
+        }
+
+        fn bank_interference(
+            &self,
+            _victim: CoreId,
+            demand: u64,
+            interferers: &[InterfererDemand],
+            access_cycles: Cycles,
+        ) -> Cycles {
+            access_cycles * interferers.iter().map(|i| demand.min(i.accesses)).sum::<u64>()
+        }
+
+        fn is_additive(&self) -> bool {
+            true
+        }
+    }
+
+    fn task(name: &str, wcet: u64, period: u64) -> SporadicTask {
+        SporadicTask::builder(name)
+            .wcet(Cycles(wcet))
+            .period(Cycles(period))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_task_response_is_wcet() {
+        let s = SporadicSystem::new(vec![task("a", 7, 100)], &[0], Platform::new(1, 1)).unwrap();
+        let r = analyze(&s, &Rr);
+        assert!(r.schedulable());
+        assert_eq!(r.response(0), Cycles(7));
+        assert_eq!(r.verdict(0).iterations, 1);
+    }
+
+    #[test]
+    fn textbook_three_task_rta() {
+        // The classic example: C = {3, 3, 5}, T = D = {7, 12, 20} on one
+        // core under deadline-monotonic priorities → R = {3, 6, 20}.
+        let tasks = vec![task("t1", 3, 7), task("t2", 3, 12), task("t3", 5, 20)];
+        let s = SporadicSystem::new(tasks, &[0, 0, 0], Platform::new(1, 1)).unwrap();
+        let r = analyze(&s, &Rr);
+        assert!(r.schedulable());
+        assert_eq!(r.response(0), Cycles(3));
+        assert_eq!(r.response(1), Cycles(6));
+        assert_eq!(r.response(2), Cycles(20));
+    }
+
+    #[test]
+    fn cpu_overload_is_unschedulable() {
+        // Two tasks each needing 6 of every 10 cycles on one core.
+        let tasks = vec![task("a", 6, 10), task("b", 6, 10)];
+        let s = SporadicSystem::new(tasks, &[0, 0], Platform::new(1, 1)).unwrap();
+        let r = analyze(&s, &Rr);
+        assert!(!r.schedulable());
+        // The higher-priority task is fine; the lower one fails.
+        assert!(r.verdict(0).schedulable);
+        assert!(!r.verdict(1).schedulable);
+        assert_eq!(r.failing_tasks().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn memory_interference_round_robin() {
+        // Crate-level doc example, spelled out: two cores, one task each,
+        // both hitting bank 0. Each suffers min(own, other) stalls.
+        let a = SporadicTask::builder("a")
+            .wcet(Cycles(10))
+            .period(Cycles(100))
+            .demand(BankDemand::single(BankId(0), 4))
+            .build()
+            .unwrap();
+        let b = SporadicTask::builder("b")
+            .wcet(Cycles(10))
+            .period(Cycles(100))
+            .demand(BankDemand::single(BankId(0), 6))
+            .build()
+            .unwrap();
+        let s = SporadicSystem::new(vec![a, b], &[0, 1], Platform::new(2, 2)).unwrap();
+        let r = analyze(&s, &Rr);
+        // "a" is capped by its own 4 accesses; "b" by its own 6 (the
+        // remote budget — one carry-in job plus one in-window job of the
+        // opponent — exceeds both).
+        assert_eq!(r.response(0), Cycles(14));
+        assert_eq!(r.response(1), Cycles(16));
+        assert_eq!(r.verdict(0).memory_interference, Cycles(4));
+        assert_eq!(r.verdict(1).memory_interference, Cycles(6));
+        assert_eq!(r.verdict(0).cpu_interference, Cycles::ZERO);
+    }
+
+    #[test]
+    fn disabling_memory_interference_recovers_classic_rta() {
+        let a = SporadicTask::builder("a")
+            .wcet(Cycles(10))
+            .period(Cycles(100))
+            .demand(BankDemand::single(BankId(0), 4))
+            .build()
+            .unwrap();
+        let b = SporadicTask::builder("b")
+            .wcet(Cycles(10))
+            .period(Cycles(100))
+            .demand(BankDemand::single(BankId(0), 6))
+            .build()
+            .unwrap();
+        let s = SporadicSystem::new(vec![a, b], &[0, 1], Platform::new(2, 2)).unwrap();
+        let r = analyze_with(&s, &Rr, &MrtaOptions::new().memory_interference(false));
+        assert_eq!(r.response(0), Cycles(10));
+        assert_eq!(r.response(1), Cycles(10));
+    }
+
+    #[test]
+    fn remote_jobs_scale_with_window() {
+        // The victim's window is long enough for several remote jobs; the
+        // remote demand must be multiplied by the job count.
+        let victim = SporadicTask::builder("victim")
+            .wcet(Cycles(50))
+            .period(Cycles(1000))
+            .demand(BankDemand::single(BankId(0), 30))
+            .build()
+            .unwrap();
+        let chatter = SporadicTask::builder("chatter")
+            .wcet(Cycles(2))
+            .period(Cycles(10))
+            .demand(BankDemand::single(BankId(0), 2))
+            .build()
+            .unwrap();
+        let s = SporadicSystem::new(vec![victim, chatter], &[0, 1], Platform::new(2, 2)).unwrap();
+        let r = analyze(&s, &Rr);
+        // Fixed point: R = 50 + min(30, 2·(1 + ⌈R/10⌉)) with the carry-in
+        // job included. At R = 66: remote = 2·(1+7) = 16 → R = 50 +
+        // min(30, 16) = 66. ✓
+        assert_eq!(r.response(0), Cycles(66));
+        assert!(r.verdict(0).memory_interference > Cycles::ZERO);
+    }
+
+    #[test]
+    fn memory_overload_is_unschedulable() {
+        let a = SporadicTask::builder("a")
+            .wcet(Cycles(8))
+            .period(Cycles(10))
+            .demand(BankDemand::single(BankId(0), 8))
+            .build()
+            .unwrap();
+        let b = SporadicTask::builder("b")
+            .wcet(Cycles(8))
+            .period(Cycles(10))
+            .demand(BankDemand::single(BankId(0), 8))
+            .build()
+            .unwrap();
+        let s = SporadicSystem::new(vec![a, b], &[0, 1], Platform::new(2, 2)).unwrap();
+        let r = analyze(&s, &Rr);
+        // R = 8 + min(8, 8) = 16 > 10 on both cores.
+        assert!(!r.schedulable());
+        assert_eq!(r.failing_tasks().count(), 2);
+    }
+
+    #[test]
+    fn jitter_tightens_the_deadline_budget() {
+        let mut t = SporadicTask::builder("t")
+            .wcet(Cycles(8))
+            .period(Cycles(10))
+            .build()
+            .unwrap();
+        let s = SporadicSystem::new(vec![t.clone()], &[0], Platform::new(1, 1)).unwrap();
+        assert!(analyze(&s, &Rr).schedulable());
+        // With 3 cycles of jitter the budget shrinks to 7 < 8.
+        t = SporadicTask::builder("t")
+            .wcet(Cycles(8))
+            .period(Cycles(10))
+            .jitter(Cycles(3))
+            .build()
+            .unwrap();
+        let s = SporadicSystem::new(vec![t], &[0], Platform::new(1, 1)).unwrap();
+        assert!(!analyze(&s, &Rr).schedulable());
+    }
+
+    #[test]
+    fn hp_jitter_pulls_extra_jobs_into_the_window() {
+        // hp: C=2, T=10, J=5. lp: C=7. Window 9 + jitter 5 = 14 → 2 hp
+        // jobs → R_lp = 7 + 4 = 11 → window 16 → still 2 jobs → 11. ✓
+        let hp = SporadicTask::builder("hp")
+            .wcet(Cycles(2))
+            .period(Cycles(10))
+            .deadline(Cycles(5))
+            .jitter(Cycles(5))
+            .build()
+            .unwrap();
+        let lp = SporadicTask::builder("lp")
+            .wcet(Cycles(7))
+            .period(Cycles(40))
+            .build()
+            .unwrap();
+        let s = SporadicSystem::new(vec![hp, lp], &[0, 0], Platform::new(1, 1)).unwrap();
+        let r = analyze(&s, &Rr);
+        assert_eq!(r.response(1), Cycles(11));
+    }
+
+    #[test]
+    fn empty_system_report() {
+        let s = SporadicSystem::new(vec![], &[], Platform::new(1, 1)).unwrap();
+        let r = analyze(&s, &Rr);
+        assert!(r.schedulable());
+        assert!(r.verdicts().is_empty());
+        assert_eq!(r.stats().iterations, 0);
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let a = SporadicTask::builder("a")
+            .wcet(Cycles(10))
+            .period(Cycles(100))
+            .demand(BankDemand::single(BankId(0), 4))
+            .build()
+            .unwrap();
+        let b = SporadicTask::builder("b")
+            .wcet(Cycles(10))
+            .period(Cycles(100))
+            .demand(BankDemand::single(BankId(0), 6))
+            .build()
+            .unwrap();
+        let s = SporadicSystem::new(vec![a, b], &[0, 1], Platform::new(2, 2)).unwrap();
+        let r = analyze(&s, &Rr);
+        assert!(r.stats().iterations >= 2);
+        assert!(r.stats().ibus_calls >= 2);
+    }
+}

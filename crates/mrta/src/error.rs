@@ -1,0 +1,105 @@
+//! Error type for sporadic-system construction and analysis.
+
+use std::fmt;
+
+use mia_model::Cycles;
+
+/// Errors raised when building or analysing a [`SporadicSystem`].
+///
+/// [`SporadicSystem`]: crate::SporadicSystem
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MrtaError {
+    /// A task declared a zero period; sporadic tasks must recur with a
+    /// strictly positive minimum inter-arrival time.
+    ZeroPeriod { task: String },
+    /// A task's relative deadline exceeds its period. The analysis is a
+    /// constrained-deadline analysis (`D ≤ T`); arbitrary deadlines would
+    /// need the multi-job busy-window extension.
+    DeadlineExceedsPeriod {
+        task: String,
+        deadline: Cycles,
+        period: Cycles,
+    },
+    /// A task's deadline is zero (it could never be met).
+    ZeroDeadline { task: String },
+    /// The assignment slice does not cover every task exactly once.
+    AssignmentLength { tasks: usize, assigned: usize },
+    /// A task was assigned to a core the platform does not have.
+    CoreOutOfRange { task: String, core: usize, cores: usize },
+    /// A task demands accesses to a bank the platform does not have.
+    BankOutOfRange { task: String, bank: usize, banks: usize },
+    /// Two tasks on the same core share a priority level; fixed-priority
+    /// scheduling needs a total order per core.
+    DuplicatePriority { first: String, second: String },
+    /// The explicit priority slice does not cover every task exactly once.
+    PriorityLength { tasks: usize, priorities: usize },
+}
+
+impl fmt::Display for MrtaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtaError::ZeroPeriod { task } => {
+                write!(f, "task {task:?} has a zero period")
+            }
+            MrtaError::DeadlineExceedsPeriod {
+                task,
+                deadline,
+                period,
+            } => write!(
+                f,
+                "task {task:?} has deadline {deadline} past its period {period} \
+                 (only constrained deadlines are supported)"
+            ),
+            MrtaError::ZeroDeadline { task } => {
+                write!(f, "task {task:?} has a zero deadline")
+            }
+            MrtaError::AssignmentLength { tasks, assigned } => write!(
+                f,
+                "assignment covers {assigned} tasks, the set has {tasks}"
+            ),
+            MrtaError::CoreOutOfRange { task, core, cores } => write!(
+                f,
+                "task {task:?} assigned to core {core}, platform has {cores}"
+            ),
+            MrtaError::BankOutOfRange { task, bank, banks } => write!(
+                f,
+                "task {task:?} accesses bank {bank}, platform has {banks}"
+            ),
+            MrtaError::DuplicatePriority { first, second } => write!(
+                f,
+                "tasks {first:?} and {second:?} share a core and a priority level"
+            ),
+            MrtaError::PriorityLength { tasks, priorities } => write!(
+                f,
+                "priority slice covers {priorities} tasks, the set has {tasks}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MrtaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MrtaError::DeadlineExceedsPeriod {
+            task: "nav".into(),
+            deadline: Cycles(20),
+            period: Cycles(10),
+        };
+        let s = e.to_string();
+        assert!(s.contains("nav"));
+        assert!(s.contains("20cy"));
+        assert!(s.contains("10cy"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(MrtaError::ZeroPeriod { task: "x".into() });
+        assert!(e.to_string().contains("zero period"));
+    }
+}

@@ -1,0 +1,426 @@
+//! A cycle-stepped validation simulator for sporadic systems.
+//!
+//! The analysis in [`crate::analyze`] produces *bounds*; this module
+//! executes the system — synchronous release at `t = 0`, strictly periodic
+//! arrivals, fixed-priority preemptive scheduling per core, per-bank
+//! round-robin bus grants — and reports the worst response time actually
+//! observed per task. Soundness testing then checks
+//! `observed ≤ analysed bound` (see `tests/` and the workspace's
+//! `tests/soundness.rs`).
+//!
+//! The simulated arrival pattern (synchronous periodic, zero jitter) is the
+//! densest legal sporadic pattern, so it is the natural stress case; the
+//! simulator intentionally under-approximates the worst case (any single
+//! execution does), never over-approximates it.
+
+use mia_model::{BankId, Cycles};
+
+use crate::SporadicSystem;
+
+/// Configuration of a sporadic simulation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SporadicSimConfig {
+    /// Releases stop at this horizon (jobs already released still run to
+    /// completion). Defaults to the task set's hyperperiod, capped at
+    /// 1,048,576 cycles.
+    pub horizon: Option<Cycles>,
+}
+
+impl SporadicSimConfig {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets an explicit release horizon.
+    pub fn horizon(mut self, horizon: Cycles) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+}
+
+/// What a simulation run observed.
+#[derive(Debug, Clone)]
+pub struct SporadicSimResult {
+    max_response: Vec<Option<Cycles>>,
+    completed_jobs: Vec<usize>,
+    deadline_misses: Vec<usize>,
+    horizon: Cycles,
+}
+
+impl SporadicSimResult {
+    /// Worst response time observed for one task, or `None` if no job of
+    /// the task completed within the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn max_response(&self, task: usize) -> Option<Cycles> {
+        self.max_response[task]
+    }
+
+    /// Number of completed jobs of one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn completed_jobs(&self, task: usize) -> usize {
+        self.completed_jobs[task]
+    }
+
+    /// Number of jobs of one task that finished past their deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn deadline_misses(&self, task: usize) -> usize {
+        self.deadline_misses[task]
+    }
+
+    /// True if no job of any task missed its deadline.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.deadline_misses.iter().all(|&m| m == 0)
+    }
+
+    /// The release horizon the run used.
+    pub fn horizon(&self) -> Cycles {
+        self.horizon
+    }
+}
+
+/// One outstanding job in the simulator.
+struct Job {
+    task: usize,
+    release: Cycles,
+    /// Work units left; the first `mem_left` of them are memory accesses.
+    work_left: u64,
+    /// Memory work units left, consumed bank by bank in `bank_plan` order.
+    mem_left: u64,
+    /// Flattened per-bank access plan: `(bank, units remaining)`.
+    bank_plan: Vec<(BankId, u64)>,
+}
+
+impl Job {
+    /// The bank the job's next work unit needs, if it is a memory unit.
+    fn wants_bank(&self) -> Option<BankId> {
+        if self.mem_left == 0 {
+            return None;
+        }
+        self.bank_plan.iter().find(|&&(_, left)| left > 0).map(|&(b, _)| b)
+    }
+
+    /// Consumes one work unit (memory or compute).
+    fn progress(&mut self) {
+        debug_assert!(self.work_left > 0);
+        self.work_left -= 1;
+        if self.mem_left > 0 {
+            self.mem_left -= 1;
+            for entry in &mut self.bank_plan {
+                if entry.1 > 0 {
+                    entry.1 -= 1;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Simulates the system and reports observed response times.
+///
+/// Scheduling is fixed-priority preemptive per core; each cycle, every
+/// core's highest-priority pending job either computes or issues a memory
+/// access, and each bank grants one access per cycle in round-robin order
+/// over the contending cores (the §II.A policy). A job's leading
+/// `min(total accesses × access_cycles, wcet)` work units are its memory
+/// accesses; the rest is pure computation.
+///
+/// The run releases jobs up to the configured horizon and then drains all
+/// outstanding work, so every released job completes and is counted.
+pub fn simulate_sporadic(
+    system: &SporadicSystem,
+    config: &SporadicSimConfig,
+) -> SporadicSimResult {
+    let n = system.len();
+    let cores = system.platform().cores();
+    let banks = system.platform().banks();
+    let access = system.platform().access_cycles().as_u64().max(1);
+    let horizon = config
+        .horizon
+        .unwrap_or_else(|| hyperperiod(system).min(Cycles(1 << 20)));
+
+    let mut result = SporadicSimResult {
+        max_response: vec![None; n],
+        completed_jobs: vec![0; n],
+        deadline_misses: vec![0; n],
+        horizon,
+    };
+    if n == 0 {
+        return result;
+    }
+
+    // Jobs pending per core, kept sorted by priority on insertion.
+    let mut ready: Vec<Vec<Job>> = (0..cores).map(|_| Vec::new()).collect();
+    let mut rr_ptr: Vec<usize> = vec![0; banks]; // per-bank grant pointer
+    let mut t = Cycles::ZERO;
+    let mut outstanding = 0usize;
+
+    loop {
+        // Release phase: strictly periodic arrivals from t = 0.
+        if t < horizon {
+            for (i, task) in system.tasks().iter().enumerate() {
+                if t.as_u64().is_multiple_of(task.period().as_u64()) {
+                    let wcet = task.wcet().as_u64();
+                    let plan: Vec<(BankId, u64)> = task
+                        .demand()
+                        .iter()
+                        .map(|(b, d)| (b, d * access))
+                        .collect();
+                    let mem: u64 = plan.iter().map(|&(_, u)| u).sum::<u64>().min(wcet);
+                    let core = system.core_of(i).index();
+                    ready[core].push(Job {
+                        task: i,
+                        release: t,
+                        work_left: wcet,
+                        mem_left: mem,
+                        bank_plan: plan,
+                    });
+                    ready[core].sort_by_key(|j| system.priority(j.task));
+                    outstanding += 1;
+                }
+            }
+        } else if outstanding == 0 {
+            break;
+        }
+
+        // Pick the running job per core (highest priority = lowest level).
+        // Zero-work jobs complete immediately without consuming a cycle.
+        let mut running: Vec<Option<usize>> = vec![None; cores];
+        for (core, queue) in ready.iter_mut().enumerate() {
+            while let Some(pos) = queue.iter().position(|j| j.work_left == 0) {
+                let job = queue.remove(pos);
+                record_completion(system, &mut result, &job, t);
+                outstanding -= 1;
+            }
+            if !queue.is_empty() {
+                running[core] = Some(0); // sorted: front is highest priority
+            }
+        }
+
+        // Bus phase: for each bank, grant one contender round-robin.
+        let mut granted: Vec<bool> = vec![false; cores];
+        let mut wants: Vec<Option<BankId>> = vec![None; cores];
+        for core in 0..cores {
+            if let Some(slot) = running[core] {
+                wants[core] = ready[core][slot].wants_bank();
+            }
+        }
+        for (bank, ptr) in rr_ptr.iter_mut().enumerate() {
+            let bank_id = BankId::from_index(bank);
+            let contenders: Vec<usize> =
+                (0..cores).filter(|&c| wants[c] == Some(bank_id)).collect();
+            if contenders.is_empty() {
+                continue;
+            }
+            // Round-robin: first contender at or after the pointer.
+            let winner = *contenders
+                .iter()
+                .find(|&&c| c >= *ptr)
+                .unwrap_or(&contenders[0]);
+            *ptr = (winner + 1) % cores;
+            granted[winner] = true;
+        }
+
+        // Progress phase: compute units always advance; memory units only
+        // when granted. Completions are harvested next cycle (or by the
+        // zero-work sweep above).
+        for core in 0..cores {
+            let Some(slot) = running[core] else { continue };
+            let job = &mut ready[core][slot];
+            match wants[core] {
+                Some(_) if granted[core] => job.progress(),
+                Some(_) => {} // stalled on the bus this cycle
+                None => job.progress(),
+            }
+        }
+
+        t += Cycles(1);
+        // Safety valve: a system with starving jobs cannot hang the test
+        // suite. Generous: every job gets horizon + slack to drain.
+        if t > horizon + horizon + Cycles(1 << 20) {
+            break;
+        }
+    }
+    result
+}
+
+fn record_completion(
+    system: &SporadicSystem,
+    result: &mut SporadicSimResult,
+    job: &Job,
+    now: Cycles,
+) {
+    let response = now - job.release;
+    let best = &mut result.max_response[job.task];
+    *best = Some(best.map_or(response, |b| b.max(response)));
+    result.completed_jobs[job.task] += 1;
+    if response > system.tasks()[job.task].deadline() {
+        result.deadline_misses[job.task] += 1;
+    }
+}
+
+/// Least common multiple of all periods (saturating).
+fn hyperperiod(system: &SporadicSystem) -> Cycles {
+    let mut l: u64 = 1;
+    for task in system.tasks() {
+        let p = task.period().as_u64();
+        let g = gcd(l, p);
+        l = (l / g).saturating_mul(p);
+    }
+    Cycles(l)
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, SporadicSystem, SporadicTask};
+    use mia_model::arbiter::{Arbiter, InterfererDemand};
+    use mia_model::{BankDemand, CoreId, Platform};
+
+    struct Rr;
+
+    impl Arbiter for Rr {
+        fn name(&self) -> &str {
+            "rr-test"
+        }
+
+        fn bank_interference(
+            &self,
+            _victim: CoreId,
+            demand: u64,
+            interferers: &[InterfererDemand],
+            access_cycles: Cycles,
+        ) -> Cycles {
+            access_cycles * interferers.iter().map(|i| demand.min(i.accesses)).sum::<u64>()
+        }
+
+        fn is_additive(&self) -> bool {
+            true
+        }
+    }
+
+    fn task(name: &str, wcet: u64, period: u64) -> SporadicTask {
+        SporadicTask::builder(name)
+            .wcet(Cycles(wcet))
+            .period(Cycles(period))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lone_task_runs_unhindered() {
+        let s = SporadicSystem::new(vec![task("a", 5, 10)], &[0], Platform::new(1, 1)).unwrap();
+        let r = simulate_sporadic(&s, &SporadicSimConfig::new());
+        assert_eq!(r.max_response(0), Some(Cycles(5)));
+        assert_eq!(r.completed_jobs(0), 1); // one hyperperiod = one job
+        assert!(r.all_deadlines_met());
+    }
+
+    #[test]
+    fn explicit_horizon_releases_multiple_jobs() {
+        let s = SporadicSystem::new(vec![task("a", 5, 10)], &[0], Platform::new(1, 1)).unwrap();
+        let r = simulate_sporadic(&s, &SporadicSimConfig::new().horizon(Cycles(35)));
+        assert_eq!(r.completed_jobs(0), 4); // releases at 0, 10, 20, 30
+        assert_eq!(r.horizon(), Cycles(35));
+    }
+
+    #[test]
+    fn preemption_by_higher_priority() {
+        // DM: t1 (D=7) preempts t2 (D=12). Sync release: t2 finishes at 6.
+        let tasks = vec![task("t1", 3, 7), task("t2", 3, 12)];
+        let s = SporadicSystem::new(tasks, &[0, 0], Platform::new(1, 1)).unwrap();
+        let r = simulate_sporadic(&s, &SporadicSimConfig::new().horizon(Cycles(1)));
+        assert_eq!(r.max_response(0), Some(Cycles(3)));
+        assert_eq!(r.max_response(1), Some(Cycles(6)));
+    }
+
+    #[test]
+    fn textbook_example_observed_equals_bound_at_critical_instant() {
+        // The {3/7, 3/12, 5/20} set: the synchronous release IS the
+        // critical instant, so with re-releases of the high-priority tasks
+        // inside the busy window the sim must observe exactly R3 = 20.
+        let tasks = vec![task("t1", 3, 7), task("t2", 3, 12), task("t3", 5, 20)];
+        let s = SporadicSystem::new(tasks, &[0, 0, 0], Platform::new(1, 1)).unwrap();
+        let r = simulate_sporadic(&s, &SporadicSimConfig::new().horizon(Cycles(21)));
+        assert_eq!(r.max_response(2), Some(Cycles(20)));
+    }
+
+    #[test]
+    fn bus_contention_stalls_but_respects_bound() {
+        let a = SporadicTask::builder("a")
+            .wcet(Cycles(10))
+            .period(Cycles(100))
+            .demand(BankDemand::single(BankId(0), 4))
+            .build()
+            .unwrap();
+        let b = SporadicTask::builder("b")
+            .wcet(Cycles(10))
+            .period(Cycles(100))
+            .demand(BankDemand::single(BankId(0), 6))
+            .build()
+            .unwrap();
+        let s = SporadicSystem::new(vec![a, b], &[0, 1], Platform::new(2, 2)).unwrap();
+        let bound = analyze(&s, &Rr);
+        let sim = simulate_sporadic(&s, &SporadicSimConfig::new());
+        for i in 0..2 {
+            let observed = sim.max_response(i).unwrap();
+            assert!(observed > Cycles(10), "contention must show up");
+            assert!(
+                observed <= bound.response(i),
+                "task {i}: observed {observed} exceeds bound {}",
+                bound.response(i)
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_misses_are_counted() {
+        // One core, two tasks at 60% utilization each: the lower-priority
+        // task cannot make its deadline.
+        let tasks = vec![task("a", 6, 10), task("b", 6, 10)];
+        let s = SporadicSystem::new(tasks, &[0, 0], Platform::new(1, 1)).unwrap();
+        let r = simulate_sporadic(&s, &SporadicSimConfig::new().horizon(Cycles(10)));
+        assert!(!r.all_deadlines_met());
+        assert_eq!(r.deadline_misses(0), 0);
+        assert!(r.deadline_misses(1) >= 1);
+    }
+
+    #[test]
+    fn zero_wcet_job_completes_instantly() {
+        let s =
+            SporadicSystem::new(vec![task("z", 0, 10)], &[0], Platform::new(1, 1)).unwrap();
+        let r = simulate_sporadic(&s, &SporadicSimConfig::new());
+        assert_eq!(r.max_response(0), Some(Cycles::ZERO));
+        assert!(r.all_deadlines_met());
+    }
+
+    #[test]
+    fn empty_system() {
+        let s = SporadicSystem::new(vec![], &[], Platform::new(1, 1)).unwrap();
+        let r = simulate_sporadic(&s, &SporadicSimConfig::new());
+        assert!(r.all_deadlines_met());
+    }
+
+    #[test]
+    fn hyperperiod_of_coprime_periods() {
+        let tasks = vec![task("a", 1, 3), task("b", 1, 7)];
+        let s = SporadicSystem::new(tasks, &[0, 0], Platform::new(1, 1)).unwrap();
+        assert_eq!(super::hyperperiod(&s), Cycles(21));
+    }
+}

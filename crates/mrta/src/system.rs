@@ -1,0 +1,330 @@
+//! A partitioned sporadic system: tasks, core assignment, priorities.
+
+use mia_model::{CoreId, Platform};
+
+use crate::{MrtaError, SporadicTask};
+
+/// How per-core priorities are derived when none are given explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum PriorityAssignment {
+    /// Deadline-monotonic: shorter relative deadline → higher priority.
+    /// Optimal for constrained-deadline fixed-priority scheduling in the
+    /// absence of inter-core interference, and the customary default.
+    #[default]
+    DeadlineMonotonic,
+    /// Rate-monotonic: shorter period → higher priority.
+    RateMonotonic,
+    /// Declaration order: earlier task → higher priority.
+    DeclarationOrder,
+}
+
+/// A validated sporadic system: a task set partitioned onto the cores of a
+/// [`Platform`], with a fixed-priority order per core.
+///
+/// Priorities are numeric levels where **lower values mean higher
+/// priority** (level 0 is the most urgent), unique among the tasks sharing
+/// a core.
+#[derive(Debug, Clone)]
+pub struct SporadicSystem {
+    tasks: Vec<SporadicTask>,
+    assignment: Vec<CoreId>,
+    priorities: Vec<u32>,
+    platform: Platform,
+}
+
+impl SporadicSystem {
+    /// Builds a system with deadline-monotonic priorities per core.
+    ///
+    /// `assignment[i]` is the core index task `i` runs on.
+    ///
+    /// # Errors
+    ///
+    /// See [`SporadicSystem::with_priorities`]; priority errors cannot occur
+    /// here because the derived order is made unique by declaration index.
+    pub fn new(
+        tasks: Vec<SporadicTask>,
+        assignment: &[usize],
+        platform: Platform,
+    ) -> Result<Self, MrtaError> {
+        Self::with_assignment_policy(tasks, assignment, platform, PriorityAssignment::default())
+    }
+
+    /// Builds a system deriving priorities with the given policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SporadicSystem::new`].
+    pub fn with_assignment_policy(
+        tasks: Vec<SporadicTask>,
+        assignment: &[usize],
+        platform: Platform,
+        policy: PriorityAssignment,
+    ) -> Result<Self, MrtaError> {
+        let n = tasks.len();
+        // Sort indices by the policy key, then use the rank as the global
+        // priority level. Ties break by declaration index, so levels are
+        // unique globally (hence per core too).
+        let mut order: Vec<usize> = (0..n).collect();
+        match policy {
+            PriorityAssignment::DeadlineMonotonic => {
+                order.sort_by_key(|&i| (tasks[i].deadline(), i));
+            }
+            PriorityAssignment::RateMonotonic => {
+                order.sort_by_key(|&i| (tasks[i].period(), i));
+            }
+            PriorityAssignment::DeclarationOrder => {}
+        }
+        let mut priorities = vec![0u32; n];
+        for (level, &i) in order.iter().enumerate() {
+            priorities[i] = level as u32;
+        }
+        Self::with_priorities(tasks, assignment, &priorities, platform)
+    }
+
+    /// Builds a system with explicit priority levels (lower = more urgent).
+    ///
+    /// # Errors
+    ///
+    /// * [`MrtaError::AssignmentLength`] / [`MrtaError::PriorityLength`]
+    ///   if the slices do not cover the task set,
+    /// * [`MrtaError::CoreOutOfRange`] / [`MrtaError::BankOutOfRange`] if a
+    ///   task refers to hardware the platform does not have,
+    /// * [`MrtaError::DuplicatePriority`] if two same-core tasks share a
+    ///   level.
+    pub fn with_priorities(
+        tasks: Vec<SporadicTask>,
+        assignment: &[usize],
+        priorities: &[u32],
+        platform: Platform,
+    ) -> Result<Self, MrtaError> {
+        let n = tasks.len();
+        if assignment.len() != n {
+            return Err(MrtaError::AssignmentLength {
+                tasks: n,
+                assigned: assignment.len(),
+            });
+        }
+        if priorities.len() != n {
+            return Err(MrtaError::PriorityLength {
+                tasks: n,
+                priorities: priorities.len(),
+            });
+        }
+        for (task, &core) in tasks.iter().zip(assignment) {
+            if core >= platform.cores() {
+                return Err(MrtaError::CoreOutOfRange {
+                    task: task.name().to_owned(),
+                    core,
+                    cores: platform.cores(),
+                });
+            }
+            for (bank, _) in task.demand().iter() {
+                if bank.index() >= platform.banks() {
+                    return Err(MrtaError::BankOutOfRange {
+                        task: task.name().to_owned(),
+                        bank: bank.index(),
+                        banks: platform.banks(),
+                    });
+                }
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if assignment[i] == assignment[j] && priorities[i] == priorities[j] {
+                    return Err(MrtaError::DuplicatePriority {
+                        first: tasks[i].name().to_owned(),
+                        second: tasks[j].name().to_owned(),
+                    });
+                }
+            }
+        }
+        Ok(SporadicSystem {
+            tasks,
+            assignment: assignment.iter().map(|&c| CoreId::from_index(c)).collect(),
+            priorities: priorities.to_vec(),
+            platform,
+        })
+    }
+
+    /// The task set, in declaration order.
+    pub fn tasks(&self) -> &[SporadicTask] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the system has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The platform the set is partitioned onto.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The core task `i` is assigned to.
+    pub fn core_of(&self, i: usize) -> CoreId {
+        self.assignment[i]
+    }
+
+    /// The priority level of task `i` (lower = more urgent).
+    pub fn priority(&self, i: usize) -> u32 {
+        self.priorities[i]
+    }
+
+    /// Indices of the tasks assigned to `core`.
+    pub fn tasks_on(&self, core: CoreId) -> impl Iterator<Item = usize> + '_ {
+        (0..self.tasks.len()).filter(move |&i| self.assignment[i] == core)
+    }
+
+    /// Indices of the tasks sharing task `i`'s core with a strictly higher
+    /// priority (lower level).
+    pub fn higher_priority_same_core(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let core = self.assignment[i];
+        let level = self.priorities[i];
+        (0..self.tasks.len())
+            .filter(move |&j| j != i && self.assignment[j] == core && self.priorities[j] < level)
+    }
+
+    /// Processor utilization of one core: `Σ C_i/T_i` over its tasks.
+    pub fn core_utilization(&self, core: CoreId) -> f64 {
+        self.tasks_on(core).map(|i| self.tasks[i].utilization()).sum()
+    }
+
+    /// The highest per-core utilization; above 1.0 the set is trivially
+    /// unschedulable on that core.
+    pub fn max_core_utilization(&self) -> f64 {
+        (0..self.platform.cores())
+            .map(|c| self.core_utilization(CoreId::from_index(c)))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_model::{BankDemand, BankId, Cycles};
+
+    fn task(name: &str, wcet: u64, period: u64, deadline: u64) -> SporadicTask {
+        SporadicTask::builder(name)
+            .wcet(Cycles(wcet))
+            .period(Cycles(period))
+            .deadline(Cycles(deadline))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deadline_monotonic_orders_by_deadline() {
+        let tasks = vec![
+            task("slow", 1, 100, 90),
+            task("fast", 1, 100, 10),
+            task("mid", 1, 100, 50),
+        ];
+        let s = SporadicSystem::new(tasks, &[0, 0, 0], Platform::new(1, 1)).unwrap();
+        assert!(s.priority(1) < s.priority(2));
+        assert!(s.priority(2) < s.priority(0));
+        let hp: Vec<usize> = s.higher_priority_same_core(0).collect();
+        assert_eq!(hp, vec![1, 2]);
+    }
+
+    #[test]
+    fn rate_monotonic_orders_by_period() {
+        let tasks = vec![task("a", 1, 100, 100), task("b", 1, 10, 10)];
+        let s = SporadicSystem::with_assignment_policy(
+            tasks,
+            &[0, 0],
+            Platform::new(1, 1),
+            PriorityAssignment::RateMonotonic,
+        )
+        .unwrap();
+        assert!(s.priority(1) < s.priority(0));
+    }
+
+    #[test]
+    fn declaration_order_keeps_declaration() {
+        let tasks = vec![task("a", 1, 100, 100), task("b", 1, 10, 10)];
+        let s = SporadicSystem::with_assignment_policy(
+            tasks,
+            &[0, 0],
+            Platform::new(1, 1),
+            PriorityAssignment::DeclarationOrder,
+        )
+        .unwrap();
+        assert!(s.priority(0) < s.priority(1));
+    }
+
+    #[test]
+    fn cross_core_tasks_are_not_higher_priority() {
+        let tasks = vec![task("a", 1, 10, 10), task("b", 1, 5, 5)];
+        let s = SporadicSystem::new(tasks, &[0, 1], Platform::new(2, 2)).unwrap();
+        assert_eq!(s.higher_priority_same_core(0).count(), 0);
+        assert_eq!(s.tasks_on(CoreId(0)).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.tasks_on(CoreId(1)).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn rejects_wrong_assignment_length() {
+        let tasks = vec![task("a", 1, 10, 10)];
+        let err = SporadicSystem::new(tasks, &[0, 1], Platform::new(2, 2)).unwrap_err();
+        assert!(matches!(err, MrtaError::AssignmentLength { .. }));
+    }
+
+    #[test]
+    fn rejects_core_out_of_range() {
+        let tasks = vec![task("a", 1, 10, 10)];
+        let err = SporadicSystem::new(tasks, &[5], Platform::new(2, 2)).unwrap_err();
+        assert!(matches!(err, MrtaError::CoreOutOfRange { core: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_bank_out_of_range() {
+        let t = SporadicTask::builder("a")
+            .wcet(Cycles(1))
+            .period(Cycles(10))
+            .demand(BankDemand::single(BankId(9), 1))
+            .build()
+            .unwrap();
+        let err = SporadicSystem::new(vec![t], &[0], Platform::new(2, 2)).unwrap_err();
+        assert!(matches!(err, MrtaError::BankOutOfRange { bank: 9, .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_priorities_on_one_core() {
+        let tasks = vec![task("a", 1, 10, 10), task("b", 1, 20, 20)];
+        let err =
+            SporadicSystem::with_priorities(tasks, &[0, 0], &[3, 3], Platform::new(1, 1))
+                .unwrap_err();
+        assert!(matches!(err, MrtaError::DuplicatePriority { .. }));
+    }
+
+    #[test]
+    fn duplicate_priorities_across_cores_are_fine() {
+        let tasks = vec![task("a", 1, 10, 10), task("b", 1, 20, 20)];
+        let s = SporadicSystem::with_priorities(tasks, &[0, 1], &[3, 3], Platform::new(2, 2))
+            .unwrap();
+        assert_eq!(s.priority(0), 3);
+        assert_eq!(s.priority(1), 3);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let tasks = vec![task("a", 25, 100, 100), task("b", 50, 100, 100)];
+        let s = SporadicSystem::new(tasks, &[0, 0], Platform::new(2, 2)).unwrap();
+        assert_eq!(s.core_utilization(CoreId(0)), 0.75);
+        assert_eq!(s.core_utilization(CoreId(1)), 0.0);
+        assert_eq!(s.max_core_utilization(), 0.75);
+    }
+
+    #[test]
+    fn empty_system_is_valid() {
+        let s = SporadicSystem::new(vec![], &[], Platform::new(1, 1)).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.max_core_utilization(), 0.0);
+    }
+}

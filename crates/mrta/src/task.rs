@@ -1,0 +1,277 @@
+//! The sporadic task model.
+
+use mia_model::{BankDemand, Cycles};
+
+use crate::MrtaError;
+
+/// A sporadic task: a recurring job with a minimum inter-arrival time.
+///
+/// Each job of the task executes for at most [`wcet`](Self::wcet) cycles in
+/// isolation (own memory accesses included, as in the DAG model of
+/// `mia-model`) and issues at most the per-bank accesses recorded in
+/// [`demand`](Self::demand). Jobs arrive at least [`period`](Self::period)
+/// cycles apart, possibly disturbed by a release [`jitter`](Self::jitter),
+/// and must finish within the relative [`deadline`](Self::deadline).
+///
+/// Construct through [`SporadicTask::builder`]:
+///
+/// ```
+/// use mia_model::{BankDemand, BankId, Cycles};
+/// use mia_mrta::SporadicTask;
+///
+/// # fn main() -> Result<(), mia_mrta::MrtaError> {
+/// let t = SporadicTask::builder("sensor-fusion")
+///     .wcet(Cycles(120))
+///     .period(Cycles(1_000))
+///     .deadline(Cycles(800))
+///     .jitter(Cycles(10))
+///     .demand(BankDemand::single(BankId(0), 40))
+///     .build()?;
+/// assert_eq!(t.utilization(), 0.12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SporadicTask {
+    name: String,
+    wcet: Cycles,
+    period: Cycles,
+    deadline: Cycles,
+    jitter: Cycles,
+    demand: BankDemand,
+}
+
+impl SporadicTask {
+    /// Starts building a task with the given display name.
+    pub fn builder(name: impl Into<String>) -> SporadicTaskBuilder {
+        SporadicTaskBuilder {
+            name: name.into(),
+            wcet: Cycles::ZERO,
+            period: None,
+            deadline: None,
+            jitter: Cycles::ZERO,
+            demand: BankDemand::new(),
+        }
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Worst-case execution time of one job in isolation.
+    pub fn wcet(&self) -> Cycles {
+        self.wcet
+    }
+
+    /// Minimum inter-arrival time between jobs (`T`).
+    pub fn period(&self) -> Cycles {
+        self.period
+    }
+
+    /// Relative deadline (`D ≤ T`).
+    pub fn deadline(&self) -> Cycles {
+        self.deadline
+    }
+
+    /// Release jitter (`J`): the worst-case delay between the arrival of
+    /// the triggering event and the job becoming ready.
+    pub fn jitter(&self) -> Cycles {
+        self.jitter
+    }
+
+    /// Per-bank memory accesses one job may issue.
+    pub fn demand(&self) -> &BankDemand {
+        &self.demand
+    }
+
+    /// Processor utilization `C/T` of the task.
+    pub fn utilization(&self) -> f64 {
+        self.wcet.as_u64() as f64 / self.period.as_u64() as f64
+    }
+
+    /// Maximum number of jobs with releases inside a half-open window of
+    /// length `window`, accounting for release jitter:
+    /// `⌈(window + J)/T⌉` (the classic request-bound job count).
+    pub fn jobs_in(&self, window: Cycles) -> u64 {
+        let span = window.as_u64() + self.jitter.as_u64();
+        span.div_ceil(self.period.as_u64())
+    }
+}
+
+/// Builder for [`SporadicTask`] (see [`SporadicTask::builder`]).
+#[derive(Debug, Clone)]
+pub struct SporadicTaskBuilder {
+    name: String,
+    wcet: Cycles,
+    period: Option<Cycles>,
+    deadline: Option<Cycles>,
+    jitter: Cycles,
+    demand: BankDemand,
+}
+
+impl SporadicTaskBuilder {
+    /// Sets the worst-case execution time in isolation.
+    pub fn wcet(mut self, wcet: Cycles) -> Self {
+        self.wcet = wcet;
+        self
+    }
+
+    /// Sets the minimum inter-arrival time.
+    pub fn period(mut self, period: Cycles) -> Self {
+        self.period = Some(period);
+        self
+    }
+
+    /// Sets the relative deadline. Defaults to the period (implicit
+    /// deadline) when not called.
+    pub fn deadline(mut self, deadline: Cycles) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the release jitter. Defaults to zero.
+    pub fn jitter(mut self, jitter: Cycles) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the per-bank memory demand of one job.
+    pub fn demand(mut self, demand: BankDemand) -> Self {
+        self.demand = demand;
+        self
+    }
+
+    /// Finishes the task.
+    ///
+    /// # Errors
+    ///
+    /// * [`MrtaError::ZeroPeriod`] if no strictly positive period was set,
+    /// * [`MrtaError::ZeroDeadline`] if the deadline is zero,
+    /// * [`MrtaError::DeadlineExceedsPeriod`] if `D > T` (the analysis is
+    ///   constrained-deadline).
+    pub fn build(self) -> Result<SporadicTask, MrtaError> {
+        let period = self.period.unwrap_or(Cycles::ZERO);
+        if period == Cycles::ZERO {
+            return Err(MrtaError::ZeroPeriod { task: self.name });
+        }
+        let deadline = self.deadline.unwrap_or(period);
+        if deadline == Cycles::ZERO {
+            return Err(MrtaError::ZeroDeadline { task: self.name });
+        }
+        if deadline > period {
+            return Err(MrtaError::DeadlineExceedsPeriod {
+                task: self.name,
+                deadline,
+                period,
+            });
+        }
+        Ok(SporadicTask {
+            name: self.name,
+            wcet: self.wcet,
+            period,
+            deadline,
+            jitter: self.jitter,
+            demand: self.demand,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_model::BankId;
+
+    #[test]
+    fn builder_defaults_deadline_to_period() {
+        let t = SporadicTask::builder("t")
+            .wcet(Cycles(5))
+            .period(Cycles(50))
+            .build()
+            .unwrap();
+        assert_eq!(t.deadline(), Cycles(50));
+        assert_eq!(t.jitter(), Cycles::ZERO);
+        assert!(t.demand().is_empty());
+    }
+
+    #[test]
+    fn missing_period_is_an_error() {
+        let err = SporadicTask::builder("t").wcet(Cycles(5)).build().unwrap_err();
+        assert_eq!(err, MrtaError::ZeroPeriod { task: "t".into() });
+    }
+
+    #[test]
+    fn unconstrained_deadline_is_an_error() {
+        let err = SporadicTask::builder("t")
+            .wcet(Cycles(5))
+            .period(Cycles(10))
+            .deadline(Cycles(11))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MrtaError::DeadlineExceedsPeriod { .. }));
+    }
+
+    #[test]
+    fn zero_deadline_is_an_error() {
+        let err = SporadicTask::builder("t")
+            .wcet(Cycles(5))
+            .period(Cycles(10))
+            .deadline(Cycles(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, MrtaError::ZeroDeadline { task: "t".into() });
+    }
+
+    #[test]
+    fn jobs_in_window_uses_ceiling() {
+        let t = SporadicTask::builder("t")
+            .wcet(Cycles(1))
+            .period(Cycles(10))
+            .build()
+            .unwrap();
+        assert_eq!(t.jobs_in(Cycles(0)), 0);
+        assert_eq!(t.jobs_in(Cycles(1)), 1);
+        assert_eq!(t.jobs_in(Cycles(10)), 1);
+        assert_eq!(t.jobs_in(Cycles(11)), 2);
+        assert_eq!(t.jobs_in(Cycles(20)), 2);
+        assert_eq!(t.jobs_in(Cycles(21)), 3);
+    }
+
+    #[test]
+    fn jitter_widens_the_window() {
+        let t = SporadicTask::builder("t")
+            .wcet(Cycles(1))
+            .period(Cycles(10))
+            .jitter(Cycles(5))
+            .build()
+            .unwrap();
+        // window 6 + jitter 5 = 11 → 2 jobs.
+        assert_eq!(t.jobs_in(Cycles(6)), 2);
+        assert_eq!(t.jobs_in(Cycles(5)), 1);
+    }
+
+    #[test]
+    fn utilization() {
+        let t = SporadicTask::builder("t")
+            .wcet(Cycles(25))
+            .period(Cycles(100))
+            .build()
+            .unwrap();
+        assert_eq!(t.utilization(), 0.25);
+    }
+
+    #[test]
+    fn demand_round_trips() {
+        let mut d = BankDemand::new();
+        d.add(BankId(0), 3);
+        d.add(BankId(2), 7);
+        let t = SporadicTask::builder("t")
+            .wcet(Cycles(1))
+            .period(Cycles(10))
+            .demand(d.clone())
+            .build()
+            .unwrap();
+        assert_eq!(t.demand(), &d);
+        assert_eq!(t.demand().total(), 10);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the MRTA analysis: structural invariants and
+//! soundness against the cycle-stepped sporadic simulator.
+
+use mia_arbiter::RoundRobin;
+use mia_model::{BankDemand, BankId, Cycles, Platform};
+use mia_mrta::{
+    analyze, analyze_with, simulate_sporadic, MrtaOptions, SporadicSimConfig, SporadicSystem,
+    SporadicTask,
+};
+use proptest::prelude::*;
+
+/// A small random sporadic system: up to 6 tasks on up to 3 cores sharing
+/// up to 2 banks, with short periods so the simulated hyperperiod stays
+/// tiny.
+fn arb_system() -> impl Strategy<Value = SporadicSystem> {
+    let task = (1u64..=8, 1u64..=3, 0u64..=4, 0usize..2).prop_map(
+        |(period_units, wcet, accesses, bank)| {
+            // Periods from {16, 32, 48, ..., 128}: multiples of 16 keep the
+            // hyperperiod at ≤ 2^7·... small. WCET well under the period.
+            let period = Cycles(16 * period_units);
+            let wcet = Cycles(wcet + accesses); // wcet covers own accesses
+            let mut demand = BankDemand::new();
+            if accesses > 0 {
+                demand.add(BankId::from_index(bank), accesses);
+            }
+            (period, wcet, demand)
+        },
+    );
+    (proptest::collection::vec(task, 1..=6), 1usize..=3).prop_map(|(specs, cores)| {
+        let tasks: Vec<SporadicTask> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (period, wcet, demand))| {
+                SporadicTask::builder(format!("t{i}"))
+                    .wcet(*wcet)
+                    .period(*period)
+                    .demand(demand.clone())
+                    .build()
+                    .expect("valid task")
+            })
+            .collect();
+        let assignment: Vec<usize> = (0..tasks.len()).map(|i| i % cores).collect();
+        SporadicSystem::new(tasks, &assignment, Platform::new(cores, 2))
+            .expect("valid system")
+    })
+}
+
+proptest! {
+    /// A response-time bound is never below the task's isolation WCET.
+    #[test]
+    fn response_dominates_wcet(system in arb_system()) {
+        let report = analyze(&system, &RoundRobin::new());
+        for (i, task) in system.tasks().iter().enumerate() {
+            prop_assert!(report.response(i) >= task.wcet());
+        }
+    }
+
+    /// Disabling memory interference can only shrink response times.
+    #[test]
+    fn memory_interference_only_adds_delay(system in arb_system()) {
+        let rr = RoundRobin::new();
+        let with_mem = analyze(&system, &rr);
+        let without =
+            analyze_with(&system, &rr, &MrtaOptions::new().memory_interference(false));
+        for i in 0..system.len() {
+            // Compare only tasks whose fixed point converged in both runs.
+            if with_mem.verdict(i).schedulable {
+                prop_assert!(without.response(i) <= with_mem.response(i));
+            }
+        }
+    }
+
+    /// The verdict decomposition adds up: R = C + cpu + mem.
+    #[test]
+    fn response_decomposition_is_consistent(system in arb_system()) {
+        let report = analyze(&system, &RoundRobin::new());
+        for (i, task) in system.tasks().iter().enumerate() {
+            let v = report.verdict(i);
+            if v.schedulable {
+                prop_assert_eq!(
+                    v.response,
+                    task.wcet() + v.cpu_interference + v.memory_interference
+                );
+            }
+        }
+    }
+
+    /// Soundness: on schedulable systems, the worst response the simulator
+    /// observes never exceeds the analysed bound.
+    #[test]
+    fn simulation_never_exceeds_bound(system in arb_system()) {
+        let report = analyze(&system, &RoundRobin::new());
+        prop_assume!(report.schedulable());
+        let sim = simulate_sporadic(&system, &SporadicSimConfig::new());
+        for i in 0..system.len() {
+            if let Some(observed) = sim.max_response(i) {
+                prop_assert!(
+                    observed <= report.response(i),
+                    "task {}: observed {} > bound {}",
+                    i, observed, report.response(i)
+                );
+            }
+        }
+    }
+
+    /// On schedulable systems the simulator sees no deadline miss.
+    #[test]
+    fn schedulable_systems_simulate_cleanly(system in arb_system()) {
+        let report = analyze(&system, &RoundRobin::new());
+        prop_assume!(report.schedulable());
+        let sim = simulate_sporadic(&system, &SporadicSimConfig::new());
+        prop_assert!(sim.all_deadlines_met());
+    }
+
+    /// Dropping a task never increases anyone else's response time
+    /// (§II.C: "adding a new task … can only increase the interference").
+    #[test]
+    fn removing_a_task_is_monotone(system in arb_system()) {
+        prop_assume!(system.len() >= 2);
+        let rr = RoundRobin::new();
+        let full = analyze(&system, &rr);
+
+        // Rebuild without the last task, keeping priorities' relative order
+        // (deadline-monotonic assignment is order-preserving under removal).
+        let reduced_tasks: Vec<SporadicTask> =
+            system.tasks()[..system.len() - 1].to_vec();
+        let assignment: Vec<usize> =
+            (0..reduced_tasks.len()).map(|i| system.core_of(i).index()).collect();
+        let reduced = SporadicSystem::new(
+            reduced_tasks,
+            &assignment,
+            system.platform().clone(),
+        ).expect("still valid");
+        let report = analyze(&reduced, &rr);
+        for i in 0..reduced.len() {
+            if full.verdict(i).schedulable {
+                prop_assert!(report.response(i) <= full.response(i));
+            }
+        }
+    }
+}

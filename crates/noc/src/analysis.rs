@@ -1,0 +1,159 @@
+//! Worst-case flow latency bounds.
+
+use std::collections::BTreeMap;
+
+use mia_model::Cycles;
+
+use crate::{FlowSet, LinkId, Torus};
+
+/// Timing parameters of the NoC links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Cycles to serialize one payload word over a link.
+    pub word_cycles: u64,
+    /// Fixed per-packet overhead per link (header + routing decision).
+    pub header_cycles: u64,
+}
+
+impl Default for NocConfig {
+    /// One cycle per word, one header cycle per hop.
+    fn default() -> Self {
+        NocConfig {
+            word_cycles: 1,
+            header_cycles: 1,
+        }
+    }
+}
+
+impl NocConfig {
+    /// Service time of one packet of `payload` words on one link.
+    pub fn service(&self, payload: u64) -> Cycles {
+        Cycles(self.header_cycles + self.word_cycles * payload)
+    }
+}
+
+/// Computes a per-flow worst-case traversal latency, indexed by flow id.
+///
+/// The switching model is **store-and-forward** with per-link round-robin
+/// arbitration over whole packets, one packet per flow:
+///
+/// * base latency — the packet is serialized once per hop:
+///   `hops · service(payload)`,
+/// * contention — on each link of the route, every *other* flow routed
+///   over that link can be granted at most one packet service before ours
+///   (round-robin over one-shot packets):
+///   `Σ_{links} Σ_{other flows on link} service(their payload)`,
+/// * release — the flow's injection instant is added, so bounds are
+///   absolute delivery instants when releases are staggered.
+///
+/// The bound is conservative (a blocker ahead of us on several shared
+/// links delays us on the first one only, but is charged on all); the
+/// property tests check the simulator never exceeds it.
+///
+/// # Example
+///
+/// See the [crate-level documentation](crate).
+pub fn worst_case_latencies(torus: &Torus, flows: &FlowSet, config: &NocConfig) -> Vec<Cycles> {
+    // Map each link to the flows crossing it.
+    let mut on_link: BTreeMap<LinkId, Vec<usize>> = BTreeMap::new();
+    let routes: Vec<Vec<LinkId>> = flows
+        .iter()
+        .map(|(_, f)| torus.route(f.src, f.dst))
+        .collect();
+    for (i, route) in routes.iter().enumerate() {
+        for &l in route {
+            on_link.entry(l).or_default().push(i);
+        }
+    }
+    flows
+        .iter()
+        .map(|(id, f)| {
+            let route = &routes[id.index()];
+            let mut latency = f.release;
+            // Serialization per hop.
+            latency += Cycles(route.len() as u64) * config.service(f.payload).as_u64();
+            // Contention per link.
+            for l in route {
+                for &other in &on_link[l] {
+                    if other != id.index() {
+                        let g = flows.flow(crate::FlowId(other as u32));
+                        latency += config.service(g.payload);
+                    }
+                }
+            }
+            latency
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Flow;
+
+    #[test]
+    fn lone_flow_pays_serialization_only() {
+        let t = Torus::new(4, 4);
+        let mut flows = FlowSet::new();
+        let f = flows.add(Flow::new(t.node(0, 0), t.node(2, 1), 10));
+        let lat = worst_case_latencies(&t, &flows, &NocConfig::default());
+        // 3 hops × (1 header + 10 words).
+        assert_eq!(lat[f.index()], Cycles(33));
+    }
+
+    #[test]
+    fn zero_hop_flow_is_instant() {
+        let t = Torus::new(2, 2);
+        let mut flows = FlowSet::new();
+        let f = flows.add(Flow::new(t.node(0, 0), t.node(0, 0), 100));
+        let lat = worst_case_latencies(&t, &flows, &NocConfig::default());
+        assert_eq!(lat[f.index()], Cycles::ZERO);
+    }
+
+    #[test]
+    fn shared_link_charges_the_other_packet() {
+        let t = Torus::new(4, 1);
+        let mut flows = FlowSet::new();
+        // Both cross link (1,0)→(2,0).
+        let a = flows.add(Flow::new(t.node(0, 0), t.node(2, 0), 5));
+        let b = flows.add(Flow::new(t.node(1, 0), t.node(2, 0), 7));
+        let lat = worst_case_latencies(&t, &flows, &NocConfig::default());
+        // a: 2 hops × 6 + one blocking of b's 8 = 20.
+        assert_eq!(lat[a.index()], Cycles(20));
+        // b: 1 hop × 8 + one blocking of a's 6 = 14.
+        assert_eq!(lat[b.index()], Cycles(14));
+    }
+
+    #[test]
+    fn disjoint_routes_do_not_interact() {
+        let t = Torus::new(4, 4);
+        let mut flows = FlowSet::new();
+        let a = flows.add(Flow::new(t.node(0, 0), t.node(1, 0), 4));
+        let b = flows.add(Flow::new(t.node(0, 2), t.node(1, 2), 4));
+        let lat = worst_case_latencies(&t, &flows, &NocConfig::default());
+        assert_eq!(lat[a.index()], lat[b.index()]);
+        assert_eq!(lat[a.index()], Cycles(5));
+    }
+
+    #[test]
+    fn release_offsets_are_absolute() {
+        let t = Torus::new(2, 1);
+        let mut flows = FlowSet::new();
+        let f = flows.add(Flow::new(t.node(0, 0), t.node(1, 0), 3).released_at(Cycles(100)));
+        let lat = worst_case_latencies(&t, &flows, &NocConfig::default());
+        assert_eq!(lat[f.index()], Cycles(104));
+    }
+
+    #[test]
+    fn custom_timing_scales() {
+        let t = Torus::new(2, 1);
+        let mut flows = FlowSet::new();
+        let f = flows.add(Flow::new(t.node(0, 0), t.node(1, 0), 4));
+        let cfg = NocConfig {
+            word_cycles: 3,
+            header_cycles: 2,
+        };
+        let lat = worst_case_latencies(&t, &flows, &cfg);
+        assert_eq!(lat[f.index()], Cycles(2 + 12));
+    }
+}

@@ -1,0 +1,157 @@
+//! Data flows over the NoC.
+
+use std::fmt;
+
+use mia_model::Cycles;
+
+use crate::NodeId;
+
+/// Identifier of a flow within a [`FlowSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// The flow's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A one-shot data transfer: `payload` words from `src` to `dst`,
+/// injected at `release`.
+///
+/// One flow models one inter-cluster dependency edge of a task graph (the
+/// words a producer writes to a consumer's cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Source cluster.
+    pub src: NodeId,
+    /// Destination cluster.
+    pub dst: NodeId,
+    /// Payload size in words (one flit per word).
+    pub payload: u64,
+    /// Injection instant (defaults to 0).
+    pub release: Cycles,
+}
+
+impl Flow {
+    /// A flow released at time zero.
+    pub fn new(src: NodeId, dst: NodeId, payload: u64) -> Self {
+        Flow {
+            src,
+            dst,
+            payload,
+            release: Cycles::ZERO,
+        }
+    }
+
+    /// Sets the injection instant.
+    pub fn released_at(mut self, release: Cycles) -> Self {
+        self.release = release;
+        self
+    }
+}
+
+/// An indexed collection of flows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowSet {
+    flows: Vec<Flow>,
+}
+
+impl FlowSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        FlowSet::default()
+    }
+
+    /// Adds a flow and returns its id.
+    pub fn add(&mut self, flow: Flow) -> FlowId {
+        let id = FlowId(self.flows.len() as u32);
+        self.flows.push(flow);
+        id
+    }
+
+    /// The flow with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn flow(&self, id: FlowId) -> Flow {
+        self.flows[id.index()]
+    }
+
+    /// All flows, by id.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, Flow)> + '_ {
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (FlowId(i as u32), f))
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if the set has no flows.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+}
+
+impl FromIterator<Flow> for FlowSet {
+    fn from_iter<I: IntoIterator<Item = Flow>>(iter: I) -> Self {
+        FlowSet {
+            flows: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Flow> for FlowSet {
+    fn extend<I: IntoIterator<Item = Flow>>(&mut self, iter: I) {
+        self.flows.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Torus;
+
+    #[test]
+    fn ids_are_dense() {
+        let t = Torus::new(2, 2);
+        let mut set = FlowSet::new();
+        let a = set.add(Flow::new(t.node(0, 0), t.node(1, 0), 4));
+        let b = set.add(Flow::new(t.node(1, 1), t.node(0, 0), 8));
+        assert_eq!(a, FlowId(0));
+        assert_eq!(b, FlowId(1));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.flow(b).payload, 8);
+        assert_eq!(set.iter().count(), 2);
+        assert_eq!(a.to_string(), "f0");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let t = Torus::new(2, 2);
+        let mut set: FlowSet =
+            [Flow::new(t.node(0, 0), t.node(1, 1), 1)].into_iter().collect();
+        set.extend([Flow::new(t.node(1, 0), t.node(0, 1), 2)]);
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn released_at_sets_release() {
+        let t = Torus::new(2, 2);
+        let f = Flow::new(t.node(0, 0), t.node(1, 0), 4).released_at(Cycles(7));
+        assert_eq!(f.release, Cycles(7));
+    }
+}

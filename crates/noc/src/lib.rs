@@ -1,0 +1,52 @@
+//! Inter-cluster network-on-chip model — the many-core substrate *around*
+//! the paper's compute cluster.
+//!
+//! The DATE 2020 paper analyses memory interference **inside** one
+//! Kalray MPPA-256 compute cluster (16 cores, 16 SMEM banks). The full
+//! chip has 16 such clusters connected by a 2D-torus network-on-chip;
+//! applications spanning clusters receive their inputs over that NoC, so
+//! a task's *minimal release date* (the `min_rel` input of Algorithm 1)
+//! must cover the worst-case arrival of remote data.
+//!
+//! This crate models that substrate:
+//!
+//! * [`Torus`] — a 2D torus of routers with X-then-Y dimension-order
+//!   routing (deadlock-free, the MPPA D-NoC discipline) and shortest-wrap
+//!   direction choice,
+//! * [`Flow`] / [`FlowSet`] — one-shot data flows (source cluster,
+//!   destination cluster, payload words),
+//! * [`worst_case_latencies`] — per-flow worst-case traversal bounds
+//!   under store-and-forward switching with per-link round-robin
+//!   arbitration (each interfering packet blocks at most one service time
+//!   per shared link),
+//! * [`simulate_flows`] — a cycle-stepped packet simulator used by the
+//!   property tests to check the bounds from below.
+//!
+//! # Example
+//!
+//! Bound the delivery of two flows that share a link, then use the bound
+//! as a task's minimal release date:
+//!
+//! ```
+//! use mia_model::Cycles;
+//! use mia_noc::{worst_case_latencies, Flow, FlowSet, NocConfig, Torus};
+//!
+//! let torus = Torus::new(4, 4); // the MPPA-256 cluster grid
+//! let mut flows = FlowSet::new();
+//! let f0 = flows.add(Flow::new(torus.node(0, 0), torus.node(2, 0), 16));
+//! let f1 = flows.add(Flow::new(torus.node(1, 0), torus.node(3, 0), 16));
+//! let bounds = worst_case_latencies(&torus, &flows, &NocConfig::default());
+//! // f0 crosses links (0,0)→(1,0)→(2,0); f1 shares the second hop.
+//! assert!(bounds[f0.index()] >= Cycles(2 * 17)); // two store-and-forward hops
+//! assert!(bounds[f1.index()] >= bounds[f0.index()] - Cycles(17));
+//! ```
+
+mod analysis;
+mod flow;
+mod sim;
+mod topology;
+
+pub use analysis::{worst_case_latencies, NocConfig};
+pub use flow::{Flow, FlowId, FlowSet};
+pub use sim::{simulate_flows, NocSimResult};
+pub use topology::{Direction, LinkId, NodeId, Torus};

@@ -1,0 +1,193 @@
+//! A cycle-stepped store-and-forward packet simulator, used to validate
+//! the analytical bounds from below.
+
+use std::collections::BTreeMap;
+
+use mia_model::Cycles;
+
+use crate::{FlowId, FlowSet, LinkId, NocConfig, Torus};
+
+/// Delivery instants observed by one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocSimResult {
+    delivered: Vec<Cycles>,
+}
+
+impl NocSimResult {
+    /// The instant the flow's packet fully arrived at its destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    pub fn delivered(&self, flow: FlowId) -> Cycles {
+        self.delivered[flow.index()]
+    }
+
+    /// The latest delivery.
+    pub fn makespan(&self) -> Cycles {
+        self.delivered.iter().copied().max().unwrap_or(Cycles::ZERO)
+    }
+}
+
+/// One in-flight packet.
+struct Packet {
+    route: Vec<LinkId>,
+    /// Next hop to traverse.
+    hop: usize,
+    /// Cycles of service remaining on the current link (0 = waiting for a
+    /// grant).
+    serving: u64,
+    release: Cycles,
+    delivered: Option<Cycles>,
+}
+
+/// Simulates the flow set: every packet traverses its dimension-order
+/// route hop by hop; each link serves one packet at a time, picking among
+/// the waiting packets in round-robin order (rotating by flow id).
+///
+/// The returned delivery instants are one concrete execution — by
+/// construction they never exceed [`worst_case_latencies`]
+/// (property-tested in `tests/bounds.rs`).
+///
+/// [`worst_case_latencies`]: crate::worst_case_latencies
+pub fn simulate_flows(torus: &Torus, flows: &FlowSet, config: &NocConfig) -> NocSimResult {
+    let n = flows.len();
+    let mut packets: Vec<Packet> = flows
+        .iter()
+        .map(|(_, f)| {
+            let route = torus.route(f.src, f.dst);
+            Packet {
+                route,
+                hop: 0,
+                serving: 0,
+                release: f.release,
+                delivered: None,
+            }
+        })
+        .collect();
+
+    // Zero-hop flows deliver at their release instant.
+    for p in &mut packets {
+        if p.route.is_empty() {
+            p.delivered = Some(p.release);
+        }
+    }
+
+    let mut rr: BTreeMap<LinkId, usize> = BTreeMap::new();
+    let mut link_busy: BTreeMap<LinkId, usize> = BTreeMap::new(); // packet being served
+    let mut t = Cycles::ZERO;
+    let total_work: u64 = flows
+        .iter()
+        .map(|(_, f)| config.service(f.payload).as_u64() * torus.hops(f.src, f.dst) as u64)
+        .sum();
+    let horizon = Cycles(total_work * (n as u64 + 1) + 1_000)
+        + flows.iter().map(|(_, f)| f.release).max().unwrap_or(Cycles::ZERO);
+
+    while packets.iter().any(|p| p.delivered.is_none()) && t < horizon {
+        // Grant free links to waiting packets, round-robin by flow index.
+        let mut waiting: BTreeMap<LinkId, Vec<usize>> = BTreeMap::new();
+        for (i, p) in packets.iter().enumerate() {
+            if p.delivered.is_some() || p.serving > 0 || p.release > t {
+                continue;
+            }
+            waiting.entry(p.route[p.hop]).or_default().push(i);
+        }
+        for (link, waiters) in waiting {
+            if link_busy.contains_key(&link) {
+                continue;
+            }
+            let ptr = rr.entry(link).or_insert(0);
+            let winner = *waiters
+                .iter()
+                .find(|&&i| i >= *ptr)
+                .unwrap_or(&waiters[0]);
+            *ptr = winner + 1;
+            let payload = flows.flow(FlowId(winner as u32)).payload;
+            packets[winner].serving = config.service(payload).as_u64();
+            link_busy.insert(link, winner);
+        }
+
+        // Advance service by one cycle.
+        let mut freed: Vec<LinkId> = Vec::new();
+        for (&link, &i) in &link_busy {
+            let p = &mut packets[i];
+            p.serving -= 1;
+            if p.serving == 0 {
+                p.hop += 1;
+                freed.push(link);
+                if p.hop == p.route.len() {
+                    p.delivered = Some(t + Cycles(1));
+                }
+            }
+        }
+        for link in freed {
+            link_busy.remove(&link);
+        }
+        t += Cycles(1);
+    }
+
+    NocSimResult {
+        delivered: packets
+            .into_iter()
+            .map(|p| p.delivered.unwrap_or(Cycles::MAX))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Flow;
+
+    #[test]
+    fn lone_packet_arrives_after_serialization() {
+        let t = Torus::new(4, 4);
+        let mut flows = FlowSet::new();
+        let f = flows.add(Flow::new(t.node(0, 0), t.node(2, 0), 10));
+        let r = simulate_flows(&t, &flows, &NocConfig::default());
+        // 2 hops × 11 cycles of store-and-forward.
+        assert_eq!(r.delivered(f), Cycles(22));
+    }
+
+    #[test]
+    fn zero_hop_packet_is_instant() {
+        let t = Torus::new(2, 2);
+        let mut flows = FlowSet::new();
+        let f = flows.add(Flow::new(t.node(1, 1), t.node(1, 1), 50).released_at(Cycles(9)));
+        let r = simulate_flows(&t, &flows, &NocConfig::default());
+        assert_eq!(r.delivered(f), Cycles(9));
+    }
+
+    #[test]
+    fn contending_packets_serialize_on_the_shared_link() {
+        let t = Torus::new(4, 1);
+        let mut flows = FlowSet::new();
+        let a = flows.add(Flow::new(t.node(1, 0), t.node(2, 0), 5));
+        let b = flows.add(Flow::new(t.node(1, 0), t.node(2, 0), 5));
+        let r = simulate_flows(&t, &flows, &NocConfig::default());
+        // One serializes 0..6, the other 6..12.
+        let (first, second) = (
+            r.delivered(a).min(r.delivered(b)),
+            r.delivered(a).max(r.delivered(b)),
+        );
+        assert_eq!(first, Cycles(6));
+        assert_eq!(second, Cycles(12));
+    }
+
+    #[test]
+    fn release_delays_injection() {
+        let t = Torus::new(2, 1);
+        let mut flows = FlowSet::new();
+        let f = flows.add(Flow::new(t.node(0, 0), t.node(1, 0), 3).released_at(Cycles(10)));
+        let r = simulate_flows(&t, &flows, &NocConfig::default());
+        assert_eq!(r.delivered(f), Cycles(14));
+        assert_eq!(r.makespan(), Cycles(14));
+    }
+
+    #[test]
+    fn empty_flow_set() {
+        let t = Torus::new(2, 2);
+        let r = simulate_flows(&t, &FlowSet::new(), &NocConfig::default());
+        assert_eq!(r.makespan(), Cycles::ZERO);
+    }
+}

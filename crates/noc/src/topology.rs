@@ -1,0 +1,290 @@
+//! The 2D torus and its dimension-order routing.
+
+use std::fmt;
+
+/// A router/cluster position on the torus grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId {
+    /// Column (X coordinate).
+    pub x: u16,
+    /// Row (Y coordinate).
+    pub y: u16,
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// The four mesh directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Towards larger X (wrapping).
+    East,
+    /// Towards smaller X (wrapping).
+    West,
+    /// Towards larger Y (wrapping).
+    North,
+    /// Towards smaller Y (wrapping).
+    South,
+}
+
+/// A directed link: the output port of `from` towards `dir`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId {
+    /// The upstream router.
+    pub from: NodeId,
+    /// Encoded direction (see [`Direction`]); kept as the raw discriminant
+    /// so `LinkId` stays `Ord` for use as a map key.
+    dir: u8,
+}
+
+impl LinkId {
+    fn new(from: NodeId, dir: Direction) -> Self {
+        LinkId {
+            from,
+            dir: dir as u8,
+        }
+    }
+
+    /// The link's direction.
+    pub fn direction(&self) -> Direction {
+        match self.dir {
+            0 => Direction::East,
+            1 => Direction::West,
+            2 => Direction::North,
+            _ => Direction::South,
+        }
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arrow = match self.direction() {
+            Direction::East => "→E",
+            Direction::West => "→W",
+            Direction::North => "→N",
+            Direction::South => "→S",
+        };
+        write!(f, "{}{arrow}", self.from)
+    }
+}
+
+/// A `cols × rows` 2D torus (every row and column wraps around), the
+/// MPPA-256 inter-cluster topology (4 × 4 compute clusters).
+///
+/// Routing is X-then-Y dimension-order with the shorter wrap direction
+/// per dimension (ties resolved towards East/North) — deterministic and
+/// deadlock-free, which is what a worst-case analysis needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus {
+    cols: u16,
+    rows: u16,
+}
+
+impl Torus {
+    /// A torus with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: u16, rows: u16) -> Self {
+        assert!(cols > 0 && rows > 0, "torus dimensions must be positive");
+        Torus { cols, rows }
+    }
+
+    /// The MPPA-256 compute-cluster grid (4 × 4).
+    pub fn mppa256() -> Self {
+        Torus::new(4, 4)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// True for the degenerate 0-node torus (cannot be constructed; kept
+    /// for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the grid.
+    pub fn node(&self, x: u16, y: u16) -> NodeId {
+        assert!(x < self.cols && y < self.rows, "({x},{y}) outside torus");
+        NodeId { x, y }
+    }
+
+    /// All nodes, row-major.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.rows).flat_map(move |y| (0..self.cols).map(move |x| NodeId { x, y }))
+    }
+
+    /// The neighbour of `node` in `dir` (wrapping).
+    pub fn step(&self, node: NodeId, dir: Direction) -> NodeId {
+        match dir {
+            Direction::East => NodeId {
+                x: (node.x + 1) % self.cols,
+                y: node.y,
+            },
+            Direction::West => NodeId {
+                x: (node.x + self.cols - 1) % self.cols,
+                y: node.y,
+            },
+            Direction::North => NodeId {
+                x: node.x,
+                y: (node.y + 1) % self.rows,
+            },
+            Direction::South => NodeId {
+                x: node.x,
+                y: (node.y + self.rows - 1) % self.rows,
+            },
+        }
+    }
+
+    /// The X-then-Y dimension-order route from `src` to `dst` as a list of
+    /// directed links (empty when `src == dst`).
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let mut links = Vec::new();
+        let mut at = src;
+        // X dimension: choose the shorter wrap (ties → East).
+        let east = (dst.x + self.cols - at.x) % self.cols;
+        let west = (at.x + self.cols - dst.x) % self.cols;
+        let (steps, dir) = if east <= west {
+            (east, Direction::East)
+        } else {
+            (west, Direction::West)
+        };
+        for _ in 0..steps {
+            links.push(LinkId::new(at, dir));
+            at = self.step(at, dir);
+        }
+        // Y dimension (ties → North).
+        let north = (dst.y + self.rows - at.y) % self.rows;
+        let south = (at.y + self.rows - dst.y) % self.rows;
+        let (steps, dir) = if north <= south {
+            (north, Direction::North)
+        } else {
+            (south, Direction::South)
+        };
+        for _ in 0..steps {
+            links.push(LinkId::new(at, dir));
+            at = self.step(at, dir);
+        }
+        debug_assert_eq!(at, dst);
+        links
+    }
+
+    /// Number of hops of the dimension-order route.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        let east = (dst.x + self.cols - src.x) % self.cols;
+        let west = (src.x + self.cols - dst.x) % self.cols;
+        let north = (dst.y + self.rows - src.y) % self.rows;
+        let south = (src.y + self.rows - dst.y) % self.rows;
+        east.min(west) as usize + north.min(south) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_display_and_bounds() {
+        let t = Torus::new(4, 2);
+        assert_eq!(t.node(3, 1).to_string(), "(3,1)");
+        assert_eq!(t.len(), 8);
+        assert!(!t.is_empty());
+        assert_eq!(t.nodes().count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside torus")]
+    fn out_of_grid_node_panics() {
+        let _ = Torus::new(2, 2).node(2, 0);
+    }
+
+    #[test]
+    fn wrapping_steps() {
+        let t = Torus::new(4, 4);
+        assert_eq!(t.step(t.node(3, 0), Direction::East), t.node(0, 0));
+        assert_eq!(t.step(t.node(0, 0), Direction::West), t.node(3, 0));
+        assert_eq!(t.step(t.node(0, 3), Direction::North), t.node(0, 0));
+        assert_eq!(t.step(t.node(0, 0), Direction::South), t.node(0, 3));
+    }
+
+    #[test]
+    fn route_is_x_then_y() {
+        let t = Torus::new(4, 4);
+        let r = t.route(t.node(0, 0), t.node(2, 1));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].from, t.node(0, 0));
+        assert!(matches!(r[0].direction(), Direction::East));
+        assert!(matches!(r[1].direction(), Direction::East));
+        assert!(matches!(r[2].direction(), Direction::North));
+        assert_eq!(r[2].from, t.node(2, 0));
+    }
+
+    #[test]
+    fn route_takes_the_short_wrap() {
+        let t = Torus::new(4, 4);
+        // 0 → 3 is one hop West (wrap), not three East.
+        let r = t.route(t.node(0, 0), t.node(3, 0));
+        assert_eq!(r.len(), 1);
+        assert!(matches!(r[0].direction(), Direction::West));
+        // Y: 0 → 3 is one hop South.
+        let r = t.route(t.node(0, 0), t.node(0, 3));
+        assert_eq!(r.len(), 1);
+        assert!(matches!(r[0].direction(), Direction::South));
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = Torus::new(3, 3);
+        assert!(t.route(t.node(1, 1), t.node(1, 1)).is_empty());
+        assert_eq!(t.hops(t.node(1, 1), t.node(1, 1)), 0);
+    }
+
+    #[test]
+    fn hops_matches_route_length() {
+        let t = Torus::new(5, 3);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                assert_eq!(t.route(a, b).len(), t.hops(a, b), "{a} → {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_hops_is_half_each_dimension() {
+        let t = Torus::new(4, 4);
+        let worst = t
+            .nodes()
+            .flat_map(|a| t.nodes().map(move |b| t.hops(a, b)))
+            .max()
+            .unwrap();
+        assert_eq!(worst, 2 + 2);
+    }
+
+    #[test]
+    fn link_display() {
+        let t = Torus::new(2, 2);
+        let r = t.route(t.node(0, 0), t.node(1, 1));
+        assert_eq!(r[0].to_string(), "(0,0)→E");
+    }
+}

@@ -1,0 +1,83 @@
+//! The analytical latency bounds dominate every simulated execution, for
+//! random flow sets on random tori.
+
+use mia_model::Cycles;
+use mia_noc::{simulate_flows, worst_case_latencies, Flow, FlowSet, NocConfig, Torus};
+use proptest::prelude::*;
+
+fn arb_case() -> impl Strategy<Value = (Torus, FlowSet, NocConfig)> {
+    let dims = (1u16..=4, 1u16..=4);
+    let cfg = (1u64..=3, 0u64..=2).prop_map(|(word_cycles, header_cycles)| NocConfig {
+        word_cycles,
+        header_cycles,
+    });
+    (dims, cfg, proptest::collection::vec((any::<u16>(), any::<u16>(), 1u64..=16, 0u64..=8), 0..10))
+        .prop_map(|((cols, rows), cfg, specs)| {
+            let torus = Torus::new(cols, rows);
+            let flows: FlowSet = specs
+                .into_iter()
+                .map(|(sx, sy, payload, release)| {
+                    Flow::new(
+                        torus.node(sx % cols, sy % rows),
+                        torus.node((sx / 7) % cols, (sy / 5) % rows),
+                        payload,
+                    )
+                    .released_at(Cycles(release))
+                })
+                .collect();
+            (torus, flows, cfg)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Soundness: no simulated delivery exceeds its analytical bound.
+    #[test]
+    fn simulation_never_exceeds_bound((torus, flows, cfg) in arb_case()) {
+        let bounds = worst_case_latencies(&torus, &flows, &cfg);
+        let sim = simulate_flows(&torus, &flows, &cfg);
+        for (id, _) in flows.iter() {
+            prop_assert!(
+                sim.delivered(id) <= bounds[id.index()],
+                "{id}: simulated {} > bound {}",
+                sim.delivered(id),
+                bounds[id.index()]
+            );
+        }
+    }
+
+    /// Adding a flow never improves anyone's bound (interference
+    /// monotonicity, the NoC analogue of the paper's §II.C assumption).
+    #[test]
+    fn bounds_are_monotone_in_the_flow_set((torus, flows, cfg) in arb_case()) {
+        prop_assume!(!flows.is_empty());
+        let full = worst_case_latencies(&torus, &flows, &cfg);
+        let reduced: FlowSet = flows
+            .iter()
+            .take(flows.len() - 1)
+            .map(|(_, f)| f)
+            .collect();
+        let fewer = worst_case_latencies(&torus, &reduced, &cfg);
+        for i in 0..reduced.len() {
+            prop_assert!(fewer[i] <= full[i]);
+        }
+    }
+
+    /// Bounds grow with payload.
+    #[test]
+    fn bounds_are_monotone_in_payload((torus, flows, cfg) in arb_case()) {
+        prop_assume!(!flows.is_empty());
+        let base = worst_case_latencies(&torus, &flows, &cfg);
+        let grown: FlowSet = flows
+            .iter()
+            .map(|(_, f)| Flow { payload: f.payload + 1, ..f })
+            .collect();
+        let bigger = worst_case_latencies(&torus, &grown, &cfg);
+        for (id, f) in flows.iter() {
+            if torus.hops(f.src, f.dst) > 0 {
+                prop_assert!(bigger[id.index()] > base[id.index()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Channel buffer sizing: worst-case token occupancy over one iteration.
+//!
+//! When an SDF graph is compiled to run on scratchpad memory (the MPPA's
+//! SMEM), every channel needs a statically allocated buffer. A sufficient
+//! size is the maximal occupancy reached during a *periodic admissible
+//! sequential schedule* (Lee & Messerschmitt's PASS): data-driven firing,
+//! one actor at a time, until every actor has fired its repetition count.
+//! Any valid static-order execution of the same iteration reorders those
+//! firings but can only interleave them more tightly, so the PASS maximum
+//! (taken over the canonical eager order used here) is the budget the
+//! code generator reserves.
+
+use crate::{SdfError, SdfGraph};
+
+/// Per-channel buffer requirements, in tokens and in memory words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferBounds {
+    tokens: Vec<u64>,
+    words: Vec<u64>,
+}
+
+impl BufferBounds {
+    /// Maximal simultaneous tokens on channel `ch` (indexed as in
+    /// [`SdfGraph::channels`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is out of range.
+    pub fn tokens(&self, ch: usize) -> u64 {
+        self.tokens[ch]
+    }
+
+    /// The same bound in memory words (`tokens × words_per_token`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is out of range.
+    pub fn words(&self, ch: usize) -> u64 {
+        self.words[ch]
+    }
+
+    /// Total scratchpad footprint in words over all channels.
+    pub fn total_words(&self) -> u64 {
+        self.words.iter().sum()
+    }
+
+    /// Per-channel token bounds, in channel order.
+    pub fn all_tokens(&self) -> &[u64] {
+        &self.tokens
+    }
+}
+
+impl SdfGraph {
+    /// Computes buffer bounds by simulating one iteration of the eager
+    /// sequential schedule: repeatedly fire the lowest-indexed enabled
+    /// actor with remaining repetitions, tracking every channel's token
+    /// count and its running maximum.
+    ///
+    /// # Errors
+    ///
+    /// * Propagates [`SdfGraph::repetition_vector`] errors,
+    /// * [`SdfError::Deadlock`] if no enabled actor remains while
+    ///   repetitions are outstanding (insufficient initial tokens).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mia_model::Cycles;
+    /// use mia_sdf::SdfGraph;
+    ///
+    /// # fn main() -> Result<(), mia_sdf::SdfError> {
+    /// let mut g = SdfGraph::new();
+    /// let a = g.add_actor("a", Cycles(10), 0);
+    /// let b = g.add_actor("b", Cycles(5), 0);
+    /// g.add_channel(a, b, 2, 1, 0, 4)?; // 2 tokens/firing of 4 words each
+    /// let bounds = g.buffer_bounds()?;
+    /// assert_eq!(bounds.tokens(0), 2); // a fires once before b drains it
+    /// assert_eq!(bounds.words(0), 8);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn buffer_bounds(&self) -> Result<BufferBounds, SdfError> {
+        let q = self.repetition_vector()?;
+        let channels = self.channels();
+        let mut tokens: Vec<u64> = channels.iter().map(|c| c.initial).collect();
+        let mut peak = tokens.clone();
+        let mut remaining: Vec<u64> = q.clone();
+        let n = self.actors().len();
+
+        let enabled = |actor: usize, tokens: &[u64]| {
+            channels
+                .iter()
+                .enumerate()
+                .all(|(i, c)| c.dst.index() != actor || tokens[i] >= c.consume)
+        };
+
+        let mut outstanding: u64 = remaining.iter().sum();
+        while outstanding > 0 {
+            let Some(actor) = (0..n).find(|&a| remaining[a] > 0 && enabled(a, &tokens)) else {
+                return Err(SdfError::Deadlock);
+            };
+            for (i, c) in channels.iter().enumerate() {
+                if c.dst.index() == actor {
+                    tokens[i] -= c.consume;
+                }
+            }
+            for (i, c) in channels.iter().enumerate() {
+                if c.src.index() == actor {
+                    tokens[i] += c.produce;
+                    peak[i] = peak[i].max(tokens[i]);
+                }
+            }
+            remaining[actor] -= 1;
+            outstanding -= 1;
+        }
+        // One iteration returns every channel to its initial marking — the
+        // defining property of the repetition vector.
+        debug_assert!(tokens
+            .iter()
+            .zip(channels)
+            .all(|(&t, c)| t == c.initial));
+
+        let words = peak
+            .iter()
+            .zip(channels)
+            .map(|(&t, c)| t * c.words_per_token)
+            .collect();
+        Ok(BufferBounds {
+            tokens: peak,
+            words,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_model::Cycles;
+
+    #[test]
+    fn downsampler_peaks_at_producer_burst() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0);
+        let b = g.add_actor("b", Cycles(1), 0);
+        // q = [1, 3]: a makes 3 tokens, b eats one per firing.
+        g.add_channel(a, b, 3, 1, 0, 2).unwrap();
+        let bounds = g.buffer_bounds().unwrap();
+        assert_eq!(bounds.tokens(0), 3);
+        assert_eq!(bounds.words(0), 6);
+        assert_eq!(bounds.total_words(), 6);
+    }
+
+    #[test]
+    fn upsampler_never_buffers_more_than_one_input() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0);
+        let b = g.add_actor("b", Cycles(1), 0);
+        // q = [3, 1]: b needs all 3 before it fires once.
+        g.add_channel(a, b, 1, 3, 0, 1).unwrap();
+        let bounds = g.buffer_bounds().unwrap();
+        assert_eq!(bounds.tokens(0), 3);
+    }
+
+    #[test]
+    fn initial_tokens_count_toward_the_peak() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0);
+        let b = g.add_actor("b", Cycles(1), 0);
+        g.add_channel(a, b, 1, 1, 5, 1).unwrap();
+        let bounds = g.buffer_bounds().unwrap();
+        // Eager order fires a first: occupancy touches 6.
+        assert_eq!(bounds.tokens(0), 6);
+    }
+
+    #[test]
+    fn cycle_with_enough_delay_executes() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0);
+        let b = g.add_actor("b", Cycles(1), 0);
+        g.add_channel(a, b, 1, 1, 0, 1).unwrap();
+        g.add_channel(b, a, 1, 1, 1, 1).unwrap(); // feedback with 1 delay
+        let bounds = g.buffer_bounds().unwrap();
+        assert_eq!(bounds.tokens(0), 1);
+        assert_eq!(bounds.tokens(1), 1);
+    }
+
+    #[test]
+    fn cycle_without_delay_deadlocks() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0);
+        let b = g.add_actor("b", Cycles(1), 0);
+        g.add_channel(a, b, 1, 1, 0, 1).unwrap();
+        g.add_channel(b, a, 1, 1, 0, 1).unwrap();
+        assert_eq!(g.buffer_bounds().unwrap_err(), SdfError::Deadlock);
+    }
+
+    #[test]
+    fn multi_channel_pipeline_totals() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0);
+        let b = g.add_actor("b", Cycles(1), 0);
+        let c = g.add_actor("c", Cycles(1), 0);
+        g.add_channel(a, b, 2, 1, 0, 4).unwrap();
+        g.add_channel(b, c, 1, 2, 0, 8).unwrap();
+        let bounds = g.buffer_bounds().unwrap();
+        assert_eq!(bounds.all_tokens().len(), 2);
+        assert!(bounds.total_words() >= bounds.words(0));
+    }
+}

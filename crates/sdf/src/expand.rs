@@ -1,0 +1,234 @@
+//! SDF → task-graph expansion (the classic HSDF transformation).
+
+use mia_model::{Task, TaskGraph, TaskId};
+
+use crate::{ActorId, SdfError, SdfGraph};
+
+/// The result of expanding an SDF graph: one task per actor firing.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    /// The expanded dependency graph; edge weights are memory words
+    /// (tokens × words-per-token).
+    pub graph: TaskGraph,
+    /// For every task, the actor it instantiates and the firing index.
+    pub firings: Vec<(ActorId, u64)>,
+    /// The repetition vector used (for one iteration).
+    pub repetition: Vec<u64>,
+}
+
+impl Expansion {
+    /// The task instantiating firing `k` of `actor`, if within range.
+    pub fn task_of(&self, actor: ActorId, firing: u64) -> Option<TaskId> {
+        self.firings
+            .iter()
+            .position(|&(a, f)| a == actor && f == firing)
+            .map(TaskId::from_index)
+    }
+}
+
+impl SdfGraph {
+    /// Expands `iterations` back-to-back iterations of the graph into a
+    /// task graph with one task per firing.
+    ///
+    /// For a channel with rates `p → c` and `d` initial tokens, consumer
+    /// firing `j` (0-based) consumes tokens `[j·c, (j+1)·c)`; token `k`
+    /// (counting initial tokens first) was produced by producer firing
+    /// `(k − d) / p` when `k ≥ d`. Every producer→consumer firing pair
+    /// exchanging at least one token becomes an edge whose weight is the
+    /// token count times the channel's words-per-token.
+    ///
+    /// # Errors
+    ///
+    /// * [`SdfError::Inconsistent`] / [`SdfError::TooLarge`] from the
+    ///   repetition vector,
+    /// * [`SdfError::Deadlock`] if a cyclic dependency (including a firing
+    ///   depending on itself) survives — i.e. the initial tokens are
+    ///   insufficient for the schedule to exist.
+    pub fn expand(&self, iterations: u64) -> Result<Expansion, SdfError> {
+        let q = self.repetition_vector()?;
+        let total_firings: u64 = q.iter().map(|&x| x * iterations).sum();
+        if total_firings > 4_000_000 {
+            return Err(SdfError::TooLarge);
+        }
+        let mut graph = TaskGraph::with_capacity(total_firings as usize);
+        let mut firings = Vec::with_capacity(total_firings as usize);
+        // Task ids per actor, in firing order.
+        let mut instance: Vec<Vec<TaskId>> = Vec::with_capacity(self.actors().len());
+        for (idx, actor) in self.actors().iter().enumerate() {
+            let count = q[idx] * iterations;
+            let mut ids = Vec::with_capacity(count as usize);
+            for k in 0..count {
+                let id = graph.add_task(
+                    Task::builder(format!("{}#{k}", actor.name))
+                        .wcet(actor.wcet)
+                        .private_demand(mia_model::BankDemand::single(
+                            mia_model::BankId(0),
+                            actor.accesses,
+                        )),
+                );
+                firings.push((ActorId(idx as u32), k));
+                ids.push(id);
+            }
+            instance.push(ids);
+        }
+        for ch in self.channels() {
+            let producers = &instance[ch.src.index()];
+            let consumers = &instance[ch.dst.index()];
+            let (p, c, d) = (ch.produce, ch.consume, ch.initial);
+            for (j, &dst_task) in consumers.iter().enumerate() {
+                let j = j as u64;
+                let first_token = j * c;
+                let last_token = (j + 1) * c - 1;
+                if last_token < d {
+                    continue; // fully served by initial tokens
+                }
+                let first_prod = first_token.saturating_sub(d) / p;
+                let last_prod = (last_token - d) / p;
+                for i in first_prod..=last_prod {
+                    let Some(&src_task) = producers.get(i as usize) else {
+                        // Tokens produced beyond the expanded horizon: the
+                        // consumer of a later iteration would need them;
+                        // within `iterations` iterations this cannot
+                        // happen for a consistent graph.
+                        continue;
+                    };
+                    // Tokens this producer firing contributes to consumer j.
+                    let prod_first = d + i * p;
+                    let prod_last = d + (i + 1) * p - 1;
+                    let lo = prod_first.max(first_token);
+                    let hi = prod_last.min(last_token);
+                    let tokens = hi - lo + 1;
+                    if src_task == dst_task {
+                        return Err(SdfError::Deadlock);
+                    }
+                    match graph.add_edge(src_task, dst_task, tokens * ch.words_per_token) {
+                        Ok(_) => {}
+                        Err(mia_model::ModelError::DuplicateEdge(..)) => {
+                            // Two channels between the same firing pair:
+                            // fold the weight into the existing edge is not
+                            // supported by TaskGraph, so keep the first.
+                        }
+                        Err(mia_model::ModelError::SelfLoop(_)) => {
+                            return Err(SdfError::Deadlock)
+                        }
+                        Err(_) => unreachable!("endpoints are valid by construction"),
+                    }
+                }
+            }
+        }
+        // A cyclic SDF graph without enough initial tokens produces a
+        // cyclic expansion: reject it.
+        if graph.topological_order().is_err() {
+            return Err(SdfError::Deadlock);
+        }
+        Ok(Expansion {
+            graph,
+            firings,
+            repetition: q,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_model::Cycles;
+
+    #[test]
+    fn pipeline_expansion_edges() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(10), 5);
+        let b = g.add_actor("b", Cycles(20), 0);
+        g.add_channel(a, b, 1, 2, 0, 4).unwrap();
+        // q = (2, 1): two a-firings feed one b-firing, 1 token (4 words) each.
+        let e = g.expand(1).unwrap();
+        assert_eq!(e.graph.len(), 3);
+        assert_eq!(e.graph.edge_count(), 2);
+        for edge in e.graph.edges() {
+            assert_eq!(edge.words, 4);
+        }
+        let b0 = e.task_of(b, 0).unwrap();
+        assert_eq!(e.graph.in_degree(b0), 2);
+    }
+
+    #[test]
+    fn initial_tokens_remove_dependencies() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(10), 0);
+        let b = g.add_actor("b", Cycles(10), 0);
+        g.add_channel(a, b, 1, 1, 1, 2).unwrap();
+        // One initial token: b#0 needs no producer; with one iteration
+        // (q = 1,1) the graph has no edge at all.
+        let e = g.expand(1).unwrap();
+        assert_eq!(e.graph.edge_count(), 0);
+        // With two iterations, b#1 consumes the token a#0 produced.
+        let e = g.expand(2).unwrap();
+        assert_eq!(e.graph.edge_count(), 1);
+        let edge = e.graph.edges()[0];
+        assert_eq!(edge.src, e.task_of(a, 0).unwrap());
+        assert_eq!(edge.dst, e.task_of(b, 1).unwrap());
+    }
+
+    #[test]
+    fn multi_iteration_chain_grows_linearly() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(10), 0);
+        let b = g.add_actor("b", Cycles(10), 0);
+        g.add_channel(a, b, 2, 3, 0, 1).unwrap();
+        // q = (3, 2); 4 iterations → 12 a-firings, 8 b-firings.
+        let e = g.expand(4).unwrap();
+        assert_eq!(e.graph.len(), 20);
+        // Every b firing consumes 3 tokens produced by ≤ 3 a-firings; the
+        // expansion stays acyclic and topologically orderable.
+        assert!(e.graph.topological_order().is_ok());
+    }
+
+    #[test]
+    fn deadlocked_cycle_is_rejected() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0);
+        let b = g.add_actor("b", Cycles(1), 0);
+        g.add_channel(a, b, 1, 1, 0, 1).unwrap();
+        g.add_channel(b, a, 1, 1, 0, 1).unwrap();
+        assert!(matches!(g.expand(1), Err(SdfError::Deadlock)));
+    }
+
+    #[test]
+    fn cycle_with_tokens_executes() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0);
+        let b = g.add_actor("b", Cycles(1), 0);
+        g.add_channel(a, b, 1, 1, 0, 1).unwrap();
+        g.add_channel(b, a, 1, 1, 1, 1).unwrap();
+        let e = g.expand(2).unwrap();
+        // a#0 → b#0 → a#1 → b#1 plus the token-deferred back edges.
+        assert!(e.graph.topological_order().is_ok());
+        assert_eq!(e.graph.len(), 4);
+    }
+
+    #[test]
+    fn token_counts_scale_edge_words() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0);
+        let b = g.add_actor("b", Cycles(1), 0);
+        g.add_channel(a, b, 4, 4, 0, 3).unwrap();
+        let e = g.expand(1).unwrap();
+        assert_eq!(e.graph.edge_count(), 1);
+        // 4 tokens × 3 words.
+        assert_eq!(e.graph.edges()[0].words, 12);
+    }
+
+    #[test]
+    fn firing_metadata_is_consistent() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0);
+        let b = g.add_actor("b", Cycles(1), 0);
+        g.add_channel(a, b, 1, 2, 0, 1).unwrap();
+        let e = g.expand(1).unwrap();
+        assert_eq!(e.repetition, vec![2, 1]);
+        assert_eq!(e.firings.len(), 3);
+        assert_eq!(e.task_of(a, 1), Some(TaskId(1)));
+        assert_eq!(e.task_of(b, 0), Some(TaskId(2)));
+        assert_eq!(e.task_of(b, 5), None);
+    }
+}

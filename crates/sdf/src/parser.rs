@@ -1,0 +1,251 @@
+//! A small line-oriented text format for SDF graphs.
+//!
+//! ```text
+//! # A downsampling pipeline.
+//! actor src   wcet=100 accesses=20
+//! actor filt  wcet=400 accesses=50
+//! actor sink  wcet=80
+//! channel src  -> filt produce=1 consume=4 words=8
+//! channel filt -> sink produce=2 consume=2 tokens=2 words=4
+//! ```
+//!
+//! * `actor NAME wcet=N [accesses=N]` declares an actor,
+//! * `channel SRC -> DST produce=N consume=N [tokens=N] [words=N]`
+//!   declares a channel (`tokens` = initial tokens, default 0; `words` =
+//!   words per token, default 1),
+//! * `#` starts a comment; blank lines are ignored.
+
+use mia_model::Cycles;
+
+use crate::{SdfError, SdfGraph};
+
+/// Parses the textual SDF format.
+///
+/// # Errors
+///
+/// [`SdfError::Parse`] with a 1-based line number for syntax errors and
+/// [`SdfError::UnknownName`]-style conditions (reported as parse errors
+/// with the same line number).
+///
+/// # Example
+///
+/// ```
+/// let text = "
+/// actor a wcet=10
+/// actor b wcet=20 accesses=5
+/// channel a -> b produce=2 consume=1 words=4
+/// ";
+/// let graph = mia_sdf::parse(text)?;
+/// assert_eq!(graph.actors().len(), 2);
+/// assert_eq!(graph.repetition_vector()?, vec![1, 2]);
+/// # Ok::<(), mia_sdf::SdfError>(())
+/// ```
+pub fn parse(text: &str) -> Result<SdfGraph, SdfError> {
+    let mut graph = SdfGraph::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("actor") => parse_actor(&mut graph, words, line_no)?,
+            Some("channel") => parse_channel(&mut graph, words, line_no)?,
+            Some(other) => {
+                return Err(SdfError::Parse {
+                    line: line_no,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+            None => unreachable!("line is non-empty"),
+        }
+    }
+    Ok(graph)
+}
+
+fn parse_actor<'a>(
+    graph: &mut SdfGraph,
+    mut words: impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<(), SdfError> {
+    let name = words.next().ok_or_else(|| SdfError::Parse {
+        line,
+        message: "actor needs a name".into(),
+    })?;
+    if graph.actor_by_name(name).is_some() {
+        return Err(SdfError::Parse {
+            line,
+            message: format!("duplicate actor `{name}`"),
+        });
+    }
+    let mut wcet = None;
+    let mut accesses = 0;
+    for kv in words {
+        let (key, value) = split_kv(kv, line)?;
+        match key {
+            "wcet" => wcet = Some(parse_u64(value, line)?),
+            "accesses" => accesses = parse_u64(value, line)?,
+            _ => {
+                return Err(SdfError::Parse {
+                    line,
+                    message: format!("unknown actor attribute `{key}`"),
+                })
+            }
+        }
+    }
+    let wcet = wcet.ok_or_else(|| SdfError::Parse {
+        line,
+        message: "actor needs wcet=N".into(),
+    })?;
+    graph.add_actor(name, Cycles(wcet), accesses);
+    Ok(())
+}
+
+fn parse_channel<'a>(
+    graph: &mut SdfGraph,
+    mut words: impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<(), SdfError> {
+    let src_name = words.next().ok_or_else(|| SdfError::Parse {
+        line,
+        message: "channel needs `SRC -> DST`".into(),
+    })?;
+    let arrow = words.next();
+    if arrow != Some("->") {
+        return Err(SdfError::Parse {
+            line,
+            message: "expected `->` after the source actor".into(),
+        });
+    }
+    let dst_name = words.next().ok_or_else(|| SdfError::Parse {
+        line,
+        message: "channel needs a destination actor".into(),
+    })?;
+    let src = graph.actor_by_name(src_name).ok_or_else(|| SdfError::Parse {
+        line,
+        message: format!("unknown actor `{src_name}`"),
+    })?;
+    let dst = graph.actor_by_name(dst_name).ok_or_else(|| SdfError::Parse {
+        line,
+        message: format!("unknown actor `{dst_name}`"),
+    })?;
+    let (mut produce, mut consume, mut tokens, mut token_words) = (None, None, 0, 1);
+    for kv in words {
+        let (key, value) = split_kv(kv, line)?;
+        let value = parse_u64(value, line)?;
+        match key {
+            "produce" => produce = Some(value),
+            "consume" => consume = Some(value),
+            "tokens" => tokens = value,
+            "words" => token_words = value,
+            _ => {
+                return Err(SdfError::Parse {
+                    line,
+                    message: format!("unknown channel attribute `{key}`"),
+                })
+            }
+        }
+    }
+    let produce = produce.ok_or_else(|| SdfError::Parse {
+        line,
+        message: "channel needs produce=N".into(),
+    })?;
+    let consume = consume.ok_or_else(|| SdfError::Parse {
+        line,
+        message: "channel needs consume=N".into(),
+    })?;
+    graph
+        .add_channel(src, dst, produce, consume, tokens, token_words)
+        .map_err(|e| SdfError::Parse {
+            line,
+            message: e.to_string(),
+        })
+}
+
+fn split_kv(kv: &str, line: usize) -> Result<(&str, &str), SdfError> {
+    kv.split_once('=').ok_or_else(|| SdfError::Parse {
+        line,
+        message: format!("expected key=value, found `{kv}`"),
+    })
+}
+
+fn parse_u64(value: &str, line: usize) -> Result<u64, SdfError> {
+    value.parse().map_err(|_| SdfError::Parse {
+        line,
+        message: format!("invalid number `{value}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pipeline() {
+        let g = parse(
+            "
+            # comment line
+            actor src  wcet=100 accesses=20
+            actor sink wcet=80          # trailing comment
+            channel src -> sink produce=1 consume=2 tokens=0 words=8
+            ",
+        )
+        .unwrap();
+        assert_eq!(g.actors().len(), 2);
+        assert_eq!(g.channels().len(), 1);
+        assert_eq!(g.channels()[0].words_per_token, 8);
+        assert_eq!(g.repetition_vector().unwrap(), vec![2, 1]);
+    }
+
+    #[test]
+    fn defaults_for_optional_attributes() {
+        let g = parse(
+            "actor a wcet=1\nactor b wcet=1\nchannel a -> b produce=1 consume=1",
+        )
+        .unwrap();
+        let ch = g.channels()[0];
+        assert_eq!(ch.initial, 0);
+        assert_eq!(ch.words_per_token, 1);
+        assert_eq!(g.actors()[0].accesses, 0);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = parse("actor a wcet=1\nbogus directive").unwrap_err();
+        assert!(matches!(err, SdfError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_wcet_is_an_error() {
+        let err = parse("actor a accesses=3").unwrap_err();
+        assert!(err.to_string().contains("wcet"));
+    }
+
+    #[test]
+    fn unknown_actor_in_channel() {
+        let err = parse("actor a wcet=1\nchannel a -> ghost produce=1 consume=1").unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_actor_rejected() {
+        let err = parse("actor a wcet=1\nactor a wcet=2").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn malformed_attribute_rejected() {
+        let err = parse("actor a wcet").unwrap_err();
+        assert!(err.to_string().contains("key=value"));
+        let err = parse("actor a wcet=abc").unwrap_err();
+        assert!(err.to_string().contains("invalid number"));
+    }
+
+    #[test]
+    fn zero_rate_via_parser_is_reported_with_line() {
+        let err =
+            parse("actor a wcet=1\nactor b wcet=1\nchannel a -> b produce=0 consume=1").unwrap_err();
+        assert!(matches!(err, SdfError::Parse { line: 3, .. }));
+    }
+}

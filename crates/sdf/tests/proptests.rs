@@ -1,0 +1,158 @@
+//! Property-based tests of the SDF front-end: balance equations,
+//! expansion structure and parser/printer consistency.
+
+use mia_model::Cycles;
+use mia_sdf::{parse, SdfGraph};
+use proptest::prelude::*;
+
+/// Strategy: a random acyclic SDF pipeline-ish graph (forward channels
+/// only, small rates, so repetition vectors stay small).
+fn arb_sdf() -> impl Strategy<Value = SdfGraph> {
+    (2usize..7).prop_flat_map(|n| {
+        let channels = proptest::collection::vec(
+            (0..n, 0..n, 1u64..5, 1u64..5, 0u64..4, 1u64..8).prop_filter_map(
+                "forward channel",
+                |(a, b, p, c, d, w)| if a < b { Some((a, b, p, c, d, w)) } else { None },
+            ),
+            1..(n * 2),
+        );
+        let wcets = proptest::collection::vec(1u64..500, n);
+        (Just(n), channels, wcets)
+    })
+    .prop_map(|(n, channels, wcets)| {
+        let mut g = SdfGraph::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.add_actor(format!("a{i}"), Cycles(wcets[i]), (i as u64) * 3))
+            .collect();
+        for (a, b, p, c, d, w) in channels {
+            g.add_channel(ids[a], ids[b], p, c, d, w).unwrap();
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The defining property of a repetition vector: for every channel,
+    /// `q[src] · produce == q[dst] · consume`.
+    #[test]
+    fn repetition_vector_balances_every_channel(g in arb_sdf()) {
+        if let Ok(q) = g.repetition_vector() {
+            for ch in g.channels() {
+                prop_assert_eq!(
+                    q[ch.src.index()] * ch.produce,
+                    q[ch.dst.index()] * ch.consume,
+                    "channel {} -> {}", ch.src, ch.dst
+                );
+            }
+            // Minimality: the gcd of each connected component is 1 — check
+            // globally that not all entries share a factor > 1 when there
+            // is a single component. (Weak check: all entries positive.)
+            for &v in &q {
+                prop_assert!(v >= 1);
+            }
+        }
+    }
+
+    /// Expansion produces exactly Σ q·iterations firings and an acyclic
+    /// graph whose edges stay within consecutive iterations.
+    #[test]
+    fn expansion_counts_and_acyclicity(g in arb_sdf(), iterations in 1u64..4) {
+        let Ok(q) = g.repetition_vector() else { return Ok(()); };
+        let Ok(e) = g.expand(iterations) else { return Ok(()); };
+        let expected: u64 = q.iter().map(|&x| x * iterations).sum();
+        prop_assert_eq!(e.graph.len() as u64, expected);
+        prop_assert!(e.graph.topological_order().is_ok());
+        // Firing metadata is a bijection.
+        for (idx, &(actor, k)) in e.firings.iter().enumerate() {
+            prop_assert_eq!(
+                e.task_of(actor, k),
+                Some(mia_model::TaskId::from_index(idx))
+            );
+        }
+    }
+
+    /// More iterations never remove edges: the 1-iteration expansion
+    /// embeds into the k-iteration one.
+    #[test]
+    fn expansions_nest(g in arb_sdf()) {
+        let (Ok(e1), Ok(e2)) = (g.expand(1), g.expand(2)) else { return Ok(()); };
+        prop_assert!(e2.graph.len() == 2 * e1.graph.len());
+        prop_assert!(e2.graph.edge_count() >= e1.graph.edge_count());
+    }
+
+    /// Printing a graph into the text format and reparsing is lossless
+    /// for the attributes the format covers.
+    #[test]
+    fn parser_round_trip(g in arb_sdf()) {
+        let mut text = String::new();
+        for a in g.actors() {
+            text.push_str(&format!(
+                "actor {} wcet={} accesses={}\n",
+                a.name, a.wcet.as_u64(), a.accesses
+            ));
+        }
+        for c in g.channels() {
+            text.push_str(&format!(
+                "channel {} -> {} produce={} consume={} tokens={} words={}\n",
+                g.actors()[c.src.index()].name,
+                g.actors()[c.dst.index()].name,
+                c.produce, c.consume, c.initial, c.words_per_token
+            ));
+        }
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back.actors(), g.actors());
+        prop_assert_eq!(back.channels(), g.channels());
+    }
+}
+
+proptest! {
+    /// Closed form for a two-actor chain under the eager schedule: the
+    /// source (no inputs) fires all its repetitions first, so the channel
+    /// peaks at `initial + lcm(produce, consume)` tokens.
+    #[test]
+    fn chain_buffer_peak_is_initial_plus_lcm(
+        produce in 1u64..=12,
+        consume in 1u64..=12,
+        initial in 0u64..=8,
+        words in 1u64..=4,
+    ) {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0);
+        let b = g.add_actor("b", Cycles(1), 0);
+        g.add_channel(a, b, produce, consume, initial, words).unwrap();
+        let bounds = g.buffer_bounds().unwrap();
+        let gcd = {
+            let (mut x, mut y) = (produce, consume);
+            while y != 0 {
+                (x, y) = (y, x % y);
+            }
+            x
+        };
+        let lcm = produce / gcd * consume;
+        prop_assert_eq!(bounds.tokens(0), initial + lcm);
+        prop_assert_eq!(bounds.words(0), (initial + lcm) * words);
+    }
+
+    /// Buffer bounds never fall below the initial marking, and the words
+    /// bound is exactly tokens × words-per-token, channel by channel.
+    #[test]
+    fn bounds_dominate_initial_marking(
+        produce in 1u64..=6,
+        consume in 1u64..=6,
+        initial in 0u64..=6,
+    ) {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0);
+        let b = g.add_actor("b", Cycles(1), 0);
+        let c = g.add_actor("c", Cycles(1), 0);
+        g.add_channel(a, b, produce, consume, initial, 2).unwrap();
+        g.add_channel(b, c, consume, produce, 0, 3).unwrap();
+        let bounds = g.buffer_bounds().unwrap();
+        prop_assert!(bounds.tokens(0) >= initial);
+        for (i, ch) in g.channels().iter().enumerate() {
+            prop_assert_eq!(bounds.words(i), bounds.tokens(i) * ch.words_per_token);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Fault injection: perturb a validated [`Problem`] and check whether an
+//! analysed schedule survives.
+//!
+//! A static time-triggered schedule is sound *for the inputs it was
+//! computed from*. This module builds the mutated problems that violate
+//! those inputs — WCET overruns, extra memory demand — so tests can verify
+//! two things:
+//!
+//! 1. the toolchain **detects** the violation
+//!    ([`SimResult::first_violation`](crate::SimResult::first_violation)
+//!    reports the first task finishing past its analysed window), and
+//! 2. harmless perturbations (slack-covered overruns) stay silent.
+//!
+//! # Example
+//!
+//! ```
+//! use mia_model::{BankDemand, BankId, BankPolicy, Cycles, Mapping, Platform, Problem, Task,
+//!                 TaskGraph, TaskId};
+//! use mia_sim::{apply_faults, simulate, AccessPattern, Fault, FaultPlan, SimConfig};
+//! # use mia_model::{arbiter::InterfererDemand, Arbiter, CoreId};
+//! # struct Rr;
+//! # impl Arbiter for Rr {
+//! #     fn name(&self) -> &str { "rr" }
+//! #     fn bank_interference(&self, _v: CoreId, d: u64, s: &[InterfererDemand], a: Cycles) -> Cycles {
+//! #         a * s.iter().map(|i| d.min(i.accesses)).sum::<u64>()
+//! #     }
+//! # }
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = TaskGraph::new();
+//! let a = g.add_task(Task::builder("a").wcet(Cycles(50))
+//!     .private_demand(BankDemand::single(BankId(0), 10)));
+//! let m = Mapping::from_assignment(&g, &[0])?;
+//! let p = Problem::with_policy(g, m, Platform::new(1, 1), BankPolicy::SingleBank)?;
+//! let schedule = mia_core::analyze(&p, &Rr)?;
+//!
+//! // Overrun task a by 30 cycles and replay the *original* schedule.
+//! let faulty = apply_faults(&p, &FaultPlan::new().overrun(a, Cycles(30)))?;
+//! let run = simulate(&faulty, &schedule, &SimConfig::new(AccessPattern::BurstStart))?;
+//! assert_eq!(run.first_violation(&schedule), Some(a));
+//! # Ok(())
+//! # }
+//! ```
+
+use mia_model::{BankId, Cycles, ModelError, Problem, TaskId};
+
+/// A single injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// The task executes `extra` cycles beyond its declared WCET.
+    WcetOverrun { task: TaskId, extra: Cycles },
+    /// The task issues `accesses` additional accesses to `bank` (its WCET
+    /// grows by the uncontended service time so the demand still fits).
+    ExtraDemand {
+        task: TaskId,
+        bank: BankId,
+        accesses: u64,
+    },
+}
+
+/// An ordered collection of faults to apply together.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a WCET overrun.
+    pub fn overrun(mut self, task: TaskId, extra: Cycles) -> Self {
+        self.faults.push(Fault::WcetOverrun { task, extra });
+        self
+    }
+
+    /// Adds extra memory demand.
+    pub fn extra_demand(mut self, task: TaskId, bank: BankId, accesses: u64) -> Self {
+        self.faults.push(Fault::ExtraDemand {
+            task,
+            bank,
+            accesses,
+        });
+        self
+    }
+
+    /// Adds an arbitrary fault.
+    pub fn push(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The faults, in application order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True if the plan changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Builds the perturbed problem: same graph shape, mapping, platform and
+/// derived demands, with the plan's faults applied on top.
+///
+/// The returned problem is re-validated, so analyses and the simulator can
+/// consume it like any other; replaying a schedule computed for the
+/// *original* problem is how tests probe violation detection.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from re-validation (e.g. a fault naming a
+/// bank the platform does not have).
+///
+/// # Panics
+///
+/// Panics if a fault names a task outside the graph (a test-harness bug,
+/// not a recoverable condition).
+pub fn apply_faults(problem: &Problem, plan: &FaultPlan) -> Result<Problem, ModelError> {
+    let mut graph = problem.graph().clone();
+    let mut demands = problem.demands().to_vec();
+    let access_cycles = problem.platform().access_cycles();
+    for fault in plan.faults() {
+        match *fault {
+            Fault::WcetOverrun { task, extra } => {
+                let t = graph.task_mut(task);
+                let wcet = t.wcet();
+                t.set_wcet(wcet + extra);
+            }
+            Fault::ExtraDemand {
+                task,
+                bank,
+                accesses,
+            } => {
+                demands[task.index()].add(bank, accesses);
+                // Grow the WCET by the uncontended service time so the
+                // "demand fits in WCET" invariant of the simulator holds.
+                let t = graph.task_mut(task);
+                let wcet = t.wcet();
+                t.set_wcet(wcet + access_cycles * accesses);
+            }
+        }
+    }
+    Problem::with_demands(
+        graph,
+        problem.mapping().clone(),
+        problem.platform().clone(),
+        demands,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, AccessPattern, SimConfig};
+    use mia_model::arbiter::{Arbiter, InterfererDemand};
+    use mia_model::{BankDemand, BankPolicy, CoreId, Mapping, Platform, Task, TaskGraph};
+
+    struct Rr;
+
+    impl Arbiter for Rr {
+        fn name(&self) -> &str {
+            "rr-test"
+        }
+
+        fn bank_interference(
+            &self,
+            _victim: CoreId,
+            demand: u64,
+            interferers: &[InterfererDemand],
+            access_cycles: Cycles,
+        ) -> Cycles {
+            access_cycles * interferers.iter().map(|i| demand.min(i.accesses)).sum::<u64>()
+        }
+
+        fn is_additive(&self) -> bool {
+            true
+        }
+    }
+
+    /// Chain a → b on two cores; b's release depends on a's finish.
+    fn chained_problem() -> Problem {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(
+            Task::builder("a")
+                .wcet(Cycles(50))
+                .private_demand(BankDemand::single(BankId(0), 10)),
+        );
+        let b = g.add_task(
+            Task::builder("b")
+                .wcet(Cycles(50))
+                .private_demand(BankDemand::single(BankId(0), 10)),
+        );
+        g.add_edge(a, b, 0).unwrap();
+        let m = Mapping::from_assignment(&g, &[0, 1]).unwrap();
+        Problem::with_policy(g, m, Platform::new(2, 2), BankPolicy::SingleBank).unwrap()
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let p = chained_problem();
+        let q = apply_faults(&p, &FaultPlan::new()).unwrap();
+        let s = mia_core::analyze(&p, &Rr).unwrap();
+        let s2 = mia_core::analyze(&q, &Rr).unwrap();
+        assert_eq!(s, s2);
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn overrun_past_slack_is_detected() {
+        let p = chained_problem();
+        let schedule = mia_core::analyze(&p, &Rr).unwrap();
+        let faulty = apply_faults(
+            &p,
+            &FaultPlan::new().overrun(TaskId(0), Cycles(100)),
+        )
+        .unwrap();
+        let run = simulate(&faulty, &schedule, &SimConfig::new(AccessPattern::BurstStart))
+            .unwrap();
+        assert_eq!(run.first_violation(&schedule), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn overrun_within_slack_stays_silent() {
+        // An analysed window with interference padding that a lone run
+        // does not consume: a 5-cycle overrun hides inside the 10-cycle
+        // pad, a 20-cycle overrun does not.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(
+            Task::builder("a")
+                .wcet(Cycles(50))
+                .private_demand(BankDemand::single(BankId(0), 10)),
+        );
+        let m = Mapping::from_assignment(&g, &[0]).unwrap();
+        let p = Problem::with_policy(g, m, Platform::new(1, 1), BankPolicy::SingleBank).unwrap();
+        let padded = mia_model::Schedule::from_timings(vec![mia_model::TaskTiming {
+            release: Cycles::ZERO,
+            wcet: Cycles(50),
+            interference: Cycles(10),
+        }]);
+        let cfg = SimConfig::new(AccessPattern::BurstStart);
+        let small = apply_faults(&p, &FaultPlan::new().overrun(a, Cycles(5))).unwrap();
+        let run = simulate(&small, &padded, &cfg).unwrap();
+        assert_eq!(run.first_violation(&padded), None);
+        let large = apply_faults(&p, &FaultPlan::new().overrun(a, Cycles(20))).unwrap();
+        let run = simulate(&large, &padded, &cfg).unwrap();
+        assert_eq!(run.first_violation(&padded), Some(a));
+    }
+
+    #[test]
+    fn extra_demand_grows_wcet_and_is_detected_when_large() {
+        let p = chained_problem();
+        let schedule = mia_core::analyze(&p, &Rr).unwrap();
+        let faulty = apply_faults(
+            &p,
+            &FaultPlan::new().extra_demand(TaskId(0), BankId(0), 200),
+        )
+        .unwrap();
+        assert_eq!(faulty.graph().task(TaskId(0)).wcet(), Cycles(250));
+        let run = simulate(&faulty, &schedule, &SimConfig::new(AccessPattern::BurstStart))
+            .unwrap();
+        assert_eq!(run.first_violation(&schedule), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn plan_accessors() {
+        let plan = FaultPlan::new()
+            .overrun(TaskId(1), Cycles(5))
+            .push(Fault::ExtraDemand {
+                task: TaskId(0),
+                bank: BankId(0),
+                accesses: 3,
+            });
+        assert_eq!(plan.faults().len(), 2);
+        assert!(!plan.is_empty());
+    }
+}

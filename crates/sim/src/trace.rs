@@ -1,0 +1,238 @@
+//! Event recording for simulation runs.
+//!
+//! The simulator core is observation-agnostic: it drives a [`Recorder`]
+//! with every task start/finish, bank grant and stall. [`SimTrace`] is the
+//! batteries-included recorder used by
+//! [`simulate_traced`](crate::simulate_traced); it keeps the full event
+//! log plus per-bank aggregates ([`BankStats`]) cheap enough to compute
+//! on-line.
+
+use mia_model::{BankId, CoreId, Cycles, TaskId};
+
+/// One timed event of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimEvent {
+    /// A task started on a core (its time-triggered release fired).
+    Start { at: Cycles, task: TaskId, core: CoreId },
+    /// A task retired.
+    Finish { at: Cycles, task: TaskId, core: CoreId },
+    /// A bank granted one access to a core.
+    Grant { at: Cycles, bank: BankId, core: CoreId },
+    /// A core spent the cycle stalled waiting for a bank.
+    Stall { at: Cycles, bank: BankId, core: CoreId },
+}
+
+impl SimEvent {
+    /// The instant the event occurred.
+    pub fn at(&self) -> Cycles {
+        match *self {
+            SimEvent::Start { at, .. }
+            | SimEvent::Finish { at, .. }
+            | SimEvent::Grant { at, .. }
+            | SimEvent::Stall { at, .. } => at,
+        }
+    }
+}
+
+/// Observer of the simulation loop.
+///
+/// All methods default to no-ops so recorders implement only what they
+/// need. The simulator calls each method at most `cores` times per cycle,
+/// so implementations should stay O(1).
+pub trait Recorder {
+    /// A task started on `core` at `at`.
+    fn on_start(&mut self, at: Cycles, task: TaskId, core: CoreId) {
+        let _ = (at, task, core);
+    }
+
+    /// A task finished on `core` at `at`.
+    fn on_finish(&mut self, at: Cycles, task: TaskId, core: CoreId) {
+        let _ = (at, task, core);
+    }
+
+    /// `bank` granted an access to `core` at `at`.
+    fn on_grant(&mut self, at: Cycles, bank: BankId, core: CoreId) {
+        let _ = (at, bank, core);
+    }
+
+    /// `core` stalled on `bank` at `at`.
+    fn on_stall(&mut self, at: Cycles, bank: BankId, core: CoreId) {
+        let _ = (at, bank, core);
+    }
+}
+
+/// A recorder that ignores everything (used by [`crate::simulate`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Per-bank aggregates of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankStats {
+    grants: Vec<u64>,
+    stalls: Vec<u64>,
+    grants_per_core: Vec<Vec<u64>>,
+}
+
+impl BankStats {
+    fn new(banks: usize, cores: usize) -> Self {
+        BankStats {
+            grants: vec![0; banks],
+            stalls: vec![0; banks],
+            grants_per_core: vec![vec![0; cores]; banks],
+        }
+    }
+
+    /// Total accesses served by `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn grants(&self, bank: BankId) -> u64 {
+        self.grants[bank.index()]
+    }
+
+    /// Total stall cycles suffered waiting on `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn stalls(&self, bank: BankId) -> u64 {
+        self.stalls[bank.index()]
+    }
+
+    /// Accesses served by `bank` on behalf of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` or `core` is out of range.
+    pub fn grants_to(&self, bank: BankId, core: CoreId) -> u64 {
+        self.grants_per_core[bank.index()][core.index()]
+    }
+
+    /// The bank that served the most accesses, if any access was served.
+    pub fn hottest_bank(&self) -> Option<BankId> {
+        let (idx, &n) = self
+            .grants
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &n)| n)?;
+        (n > 0).then(|| BankId::from_index(idx))
+    }
+
+    /// Total stall cycles over all banks (equals the run's
+    /// [`SimResult::total_stall`](crate::SimResult::total_stall)).
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+}
+
+/// Full trace of a simulation run: the event log plus bank aggregates.
+///
+/// Produced by [`simulate_traced`](crate::simulate_traced); consumed by
+/// `mia-trace` exporters (Gantt, Chrome tracing) and by tests that assert
+/// on contention shapes.
+#[derive(Debug, Clone)]
+pub struct SimTrace {
+    events: Vec<SimEvent>,
+    stats: BankStats,
+}
+
+impl SimTrace {
+    /// An empty trace sized for the platform.
+    pub fn new(banks: usize, cores: usize) -> Self {
+        SimTrace {
+            events: Vec::new(),
+            stats: BankStats::new(banks, cores),
+        }
+    }
+
+    /// The event log, in chronological order (ties: core order).
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// Bank aggregates.
+    pub fn bank_stats(&self) -> &BankStats {
+        &self.stats
+    }
+
+    /// Events of one kind, in order.
+    pub fn starts(&self) -> impl Iterator<Item = (Cycles, TaskId, CoreId)> + '_ {
+        self.events.iter().filter_map(|e| match *e {
+            SimEvent::Start { at, task, core } => Some((at, task, core)),
+            _ => None,
+        })
+    }
+
+    /// Finish events, in order.
+    pub fn finishes(&self) -> impl Iterator<Item = (Cycles, TaskId, CoreId)> + '_ {
+        self.events.iter().filter_map(|e| match *e {
+            SimEvent::Finish { at, task, core } => Some((at, task, core)),
+            _ => None,
+        })
+    }
+}
+
+impl Recorder for SimTrace {
+    fn on_start(&mut self, at: Cycles, task: TaskId, core: CoreId) {
+        self.events.push(SimEvent::Start { at, task, core });
+    }
+
+    fn on_finish(&mut self, at: Cycles, task: TaskId, core: CoreId) {
+        self.events.push(SimEvent::Finish { at, task, core });
+    }
+
+    fn on_grant(&mut self, at: Cycles, bank: BankId, core: CoreId) {
+        self.events.push(SimEvent::Grant { at, bank, core });
+        self.stats.grants[bank.index()] += 1;
+        self.stats.grants_per_core[bank.index()][core.index()] += 1;
+    }
+
+    fn on_stall(&mut self, at: Cycles, bank: BankId, core: CoreId) {
+        self.events.push(SimEvent::Stall { at, bank, core });
+        self.stats.stalls[bank.index()] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_at_accessor() {
+        let e = SimEvent::Grant {
+            at: Cycles(9),
+            bank: BankId(1),
+            core: CoreId(0),
+        };
+        assert_eq!(e.at(), Cycles(9));
+    }
+
+    #[test]
+    fn trace_records_and_aggregates() {
+        let mut t = SimTrace::new(2, 2);
+        t.on_start(Cycles(0), TaskId(0), CoreId(0));
+        t.on_grant(Cycles(1), BankId(0), CoreId(0));
+        t.on_grant(Cycles(2), BankId(0), CoreId(1));
+        t.on_stall(Cycles(2), BankId(0), CoreId(0));
+        t.on_finish(Cycles(3), TaskId(0), CoreId(0));
+        assert_eq!(t.events().len(), 5);
+        assert_eq!(t.bank_stats().grants(BankId(0)), 2);
+        assert_eq!(t.bank_stats().grants(BankId(1)), 0);
+        assert_eq!(t.bank_stats().stalls(BankId(0)), 1);
+        assert_eq!(t.bank_stats().grants_to(BankId(0), CoreId(1)), 1);
+        assert_eq!(t.bank_stats().hottest_bank(), Some(BankId(0)));
+        assert_eq!(t.bank_stats().total_stalls(), 1);
+        assert_eq!(t.starts().count(), 1);
+        assert_eq!(t.finishes().count(), 1);
+    }
+
+    #[test]
+    fn hottest_bank_of_idle_run_is_none() {
+        let t = SimTrace::new(3, 1);
+        assert_eq!(t.bank_stats().hottest_bank(), None);
+    }
+}

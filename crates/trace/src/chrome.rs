@@ -1,0 +1,127 @@
+//! Chrome-tracing (`about:tracing` / Perfetto) export.
+//!
+//! The Trace Event Format is the lingua franca of timeline viewers: a JSON
+//! array of complete (`"ph": "X"`) events with microsecond timestamps.
+//! We map one simulated/analysed cycle to one microsecond, cores to
+//! Chrome *threads* and the schedule to one *process*, so a schedule drops
+//! straight into `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use mia_model::{Problem, Schedule};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TraceEvent<'a> {
+    name: &'a str,
+    cat: &'a str,
+    ph: &'a str,
+    ts: u64,
+    dur: u64,
+    pid: u32,
+    tid: u32,
+    args: TraceArgs,
+}
+
+#[derive(Serialize)]
+struct TraceArgs {
+    wcet: u64,
+    interference: u64,
+    release: u64,
+}
+
+/// Renders an analysed schedule as Chrome Trace Event JSON.
+///
+/// Each task becomes a complete event on its core's row, spanning its
+/// analysed window `[release, release + WCET + interference]`; the
+/// interference split is attached as event arguments so the viewer's
+/// detail pane shows the decomposition.
+///
+/// # Example
+///
+/// ```
+/// use mia_model::{Cycles, Mapping, Platform, Problem, Task, TaskGraph};
+/// use mia_trace::to_chrome_trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut g = TaskGraph::new();
+/// # let _ = g.add_task(Task::builder("a").wcet(Cycles(10)));
+/// # let m = Mapping::from_assignment(&g, &[0])?;
+/// # let p = Problem::new(g, m, Platform::new(1, 1))?;
+/// # let s = mia_model::Schedule::from_timings(vec![mia_model::TaskTiming {
+/// #     release: Cycles::ZERO, wcet: Cycles(10), interference: Cycles::ZERO }]);
+/// let json = to_chrome_trace(&p, &s);
+/// assert!(json.contains("\"ph\":\"X\""));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_chrome_trace(problem: &Problem, schedule: &Schedule) -> String {
+    let graph = problem.graph();
+    let mapping = problem.mapping();
+    let events: Vec<TraceEvent<'_>> = graph
+        .iter()
+        .map(|(id, task)| {
+            let t = schedule.timing(id);
+            TraceEvent {
+                name: task.name(),
+                cat: "task",
+                ph: "X",
+                ts: t.release.as_u64(),
+                dur: t.response_time().as_u64(),
+                pid: 0,
+                tid: mapping.core_of(id).0,
+                args: TraceArgs {
+                    wcet: t.wcet.as_u64(),
+                    interference: t.interference.as_u64(),
+                    release: t.release.as_u64(),
+                },
+            }
+        })
+        .collect();
+    serde_json::to_string(&events).expect("trace events serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_model::{Cycles, Mapping, Platform, Task, TaskGraph, TaskTiming};
+
+    #[test]
+    fn events_cover_every_task_with_core_rows() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::builder("alpha").wcet(Cycles(5)));
+        let b = g.add_task(Task::builder("beta").wcet(Cycles(7)));
+        g.add_edge(a, b, 1).unwrap();
+        let m = Mapping::from_assignment(&g, &[0, 1]).unwrap();
+        let p = Problem::new(g, m, Platform::new(2, 2)).unwrap();
+        let s = Schedule::from_timings(vec![
+            TaskTiming {
+                release: Cycles(0),
+                wcet: Cycles(5),
+                interference: Cycles(2),
+            },
+            TaskTiming {
+                release: Cycles(7),
+                wcet: Cycles(7),
+                interference: Cycles(0),
+            },
+        ]);
+        let json = to_chrome_trace(&p, &s);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed.as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["name"], "alpha");
+        assert_eq!(events[0]["dur"], 7);
+        assert_eq!(events[0]["tid"], 0);
+        assert_eq!(events[1]["tid"], 1);
+        assert_eq!(events[1]["ts"], 7);
+        assert_eq!(events[0]["args"]["interference"], 2);
+    }
+
+    #[test]
+    fn empty_schedule_is_an_empty_array() {
+        let g = TaskGraph::new();
+        let m = Mapping::from_assignment(&g, &[]).unwrap();
+        let p = Problem::new(g, m, Platform::new(1, 1)).unwrap();
+        let s = Schedule::from_timings(vec![]);
+        assert_eq!(to_chrome_trace(&p, &s), "[]");
+    }
+}

@@ -1,0 +1,188 @@
+//! SVG rendering of schedules (a publication-quality version of the
+//! ASCII [`gantt`](crate::gantt), in the style of the paper's Figure 1
+//! timing diagrams: task boxes per core with grey interference boxes).
+
+use std::fmt::Write as _;
+
+use mia_model::{Problem, Schedule};
+
+/// Geometry and styling of the SVG chart.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Total chart width in pixels (time axis scales to fit).
+    pub width: u32,
+    /// Height of one core's row in pixels.
+    pub row_height: u32,
+    /// Fill colour of WCET boxes.
+    pub task_fill: String,
+    /// Fill colour of interference extensions (the paper's grey `I:` box).
+    pub interference_fill: String,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 900,
+            row_height: 34,
+            task_fill: "#7fb3d5".to_owned(),
+            interference_fill: "#b0b0b0".to_owned(),
+        }
+    }
+}
+
+/// Renders the schedule as a standalone SVG document.
+///
+/// One row per core; each task is a box from its release to release+WCET
+/// with a grey extension up to its worst-case finish (the interference),
+/// labelled with the task name.
+///
+/// # Example
+///
+/// ```
+/// # use mia_model::{Cycles, Mapping, Platform, Problem, Task, TaskGraph};
+/// # use mia_model::{Schedule, TaskTiming};
+/// # let mut g = TaskGraph::new();
+/// # let _ = g.add_task(Task::builder("a").wcet(Cycles(4)));
+/// # let m = Mapping::from_assignment(&g, &[0]).unwrap();
+/// # let p = Problem::new(g, m, Platform::new(1, 1)).unwrap();
+/// # let s = Schedule::from_timings(vec![TaskTiming {
+/// #     release: Cycles(0), wcet: Cycles(4), interference: Cycles(1) }]);
+/// let svg = mia_trace::to_svg(&p, &s, &mia_trace::SvgOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("</svg>"));
+/// ```
+pub fn to_svg(problem: &Problem, schedule: &Schedule, options: &SvgOptions) -> String {
+    let cores = problem.mapping().cores().max(1);
+    let makespan = schedule.makespan().as_u64().max(1);
+    let label_gutter = 46.0;
+    let plot_width = options.width as f64 - label_gutter - 10.0;
+    let px = |t: u64| label_gutter + plot_width * (t as f64 / makespan as f64);
+    let row_h = options.row_height as f64;
+    let height = cores as f64 * row_h + 30.0;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" font-family="monospace" font-size="11">"##,
+        options.width, height as u32
+    );
+    // Core rows and labels.
+    for core in 0..cores {
+        let y = core as f64 * row_h + 4.0;
+        let _ = writeln!(
+            svg,
+            r##"<text x="2" y="{:.1}">PE{}</text>"##,
+            y + row_h * 0.6,
+            core
+        );
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{label_gutter}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+            y + row_h - 4.0,
+            label_gutter + plot_width,
+            y + row_h - 4.0
+        );
+    }
+    // Task boxes.
+    for (core, order) in problem.mapping().iter() {
+        let y = core.index() as f64 * row_h + 6.0;
+        let box_h = row_h - 12.0;
+        for &task in order {
+            let t = schedule.timing(task);
+            let x0 = px(t.release.as_u64());
+            let x1 = px((t.release + t.wcet).as_u64());
+            let x2 = px(t.finish().as_u64());
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{x0:.1}" y="{y:.1}" width="{:.1}" height="{box_h:.1}" fill="{}" stroke="#333"/>"##,
+                (x1 - x0).max(1.0),
+                options.task_fill
+            );
+            if x2 > x1 {
+                let _ = writeln!(
+                    svg,
+                    r##"<rect x="{x1:.1}" y="{y:.1}" width="{:.1}" height="{box_h:.1}" fill="{}" stroke="#333"/>"##,
+                    x2 - x1,
+                    options.interference_fill
+                );
+            }
+            let _ = writeln!(
+                svg,
+                r##"<text x="{:.1}" y="{:.1}">{}</text>"##,
+                x0 + 2.0,
+                y + box_h * 0.7,
+                escape(problem.graph().task(task).name())
+            );
+        }
+    }
+    // Time axis.
+    let axis_y = cores as f64 * row_h + 16.0;
+    let _ = writeln!(
+        svg,
+        r##"<text x="{label_gutter}" y="{axis_y:.1}">t=0</text><text x="{:.1}" y="{axis_y:.1}" text-anchor="end">t={}</text>"##,
+        label_gutter + plot_width,
+        makespan
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_model::{Cycles, Mapping, Platform, Task, TaskGraph, TaskTiming};
+
+    fn sample() -> (Problem, Schedule) {
+        let mut g = TaskGraph::new();
+        let _ = g.add_task(Task::builder("alpha").wcet(Cycles(4)));
+        let _ = g.add_task(Task::builder("beta<&>").wcet(Cycles(3)));
+        let m = Mapping::from_assignment(&g, &[0, 1]).unwrap();
+        let p = Problem::new(g, m, Platform::new(2, 2)).unwrap();
+        let s = Schedule::from_timings(vec![
+            TaskTiming {
+                release: Cycles(0),
+                wcet: Cycles(4),
+                interference: Cycles(2),
+            },
+            TaskTiming {
+                release: Cycles(0),
+                wcet: Cycles(3),
+                interference: Cycles(0),
+            },
+        ]);
+        (p, s)
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let (p, s) = sample();
+        let svg = to_svg(&p, &s, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 3); // 2 wcet boxes + 1 grey
+        assert!(svg.contains("PE0"));
+        assert!(svg.contains("alpha"));
+    }
+
+    #[test]
+    fn escapes_task_names() {
+        let (p, s) = sample();
+        let svg = to_svg(&p, &s, &SvgOptions::default());
+        assert!(svg.contains("beta&lt;&amp;&gt;"));
+        assert!(!svg.contains("beta<&>"));
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let g = TaskGraph::new();
+        let m = Mapping::from_assignment(&g, &[]).unwrap();
+        let p = Problem::new(g, m, Platform::new(1, 1)).unwrap();
+        let s = Schedule::from_timings(vec![]);
+        let svg = to_svg(&p, &s, &SvgOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,610 @@
+//! LRU instruction-cache *must* analysis (abstract interpretation after
+//! Ferdinand & Wilhelm), the cache-classification stage a WCET tool like
+//! OTAWA runs before path analysis.
+//!
+//! The analyses of this workspace consume a per-task `(WCET, accesses)`
+//! pair; what turns raw instruction counts into those numbers on a real
+//! platform is the instruction cache: references classified **always-hit**
+//! cost the core pipeline only, every other reference may go to shared
+//! memory and must be charged a miss penalty *and* counted as a
+//! shared-memory access (which is what the interference analysis prices).
+//!
+//! # The abstraction
+//!
+//! A set-associative LRU cache is abstracted per set as an upper bound on
+//! each memory block's *age* (0 = most recently used). A block is
+//! guaranteed resident iff its bound is below the associativity. The
+//! transfer function renews the accessed block's age to 0 and ages
+//! same-set blocks that were younger; the join over control-flow merges is
+//! set intersection with the *maximal* age (the classic must-join). The
+//! fixpoint starts from the empty guarantee (cold cache) at the entry.
+//!
+//! The analysis is conservative by construction: a first-iteration miss
+//! inside a loop keeps a reference *not-classified* even when every later
+//! iteration hits (no virtual unrolling / persistence analysis), so hit
+//! counts are safe lower bounds and miss counts safe upper bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use mia_wcet::cache::{classify, CacheConfig, ReferenceCfg, RefClass};
+//!
+//! # fn main() -> Result<(), mia_wcet::CfgError> {
+//! // One block touching lines 0, 1, 0 on a 2-way cache: the second
+//! // reference to line 0 is guaranteed to hit.
+//! let mut g = ReferenceCfg::new();
+//! let b = g.add_block(vec![0, 1, 0]);
+//! let c = classify(&g, &CacheConfig::fully_associative(2))?;
+//! assert_eq!(c.classes(b), &[RefClass::NotClassified, RefClass::NotClassified,
+//!                            RefClass::AlwaysHit]);
+//! assert_eq!(c.misses(b), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::{BlockId, CfgError};
+
+/// Geometry of a set-associative cache.
+///
+/// Memory is addressed in cache-line-sized *blocks*; block `b` maps to set
+/// `b mod sets`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    sets: usize,
+    ways: usize,
+}
+
+impl CacheConfig {
+    /// A cache with `sets` sets of `ways` lines each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0, "a cache needs at least one set");
+        assert!(ways > 0, "a cache needs at least one way");
+        CacheConfig { sets, ways }
+    }
+
+    /// A direct-mapped cache (`ways = 1`).
+    pub fn direct_mapped(sets: usize) -> Self {
+        CacheConfig::new(sets, 1)
+    }
+
+    /// A fully associative cache (`sets = 1`).
+    pub fn fully_associative(ways: usize) -> Self {
+        CacheConfig::new(1, ways)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// The set a memory block maps to.
+    pub fn set_of(&self, block: u64) -> usize {
+        (block % self.sets as u64) as usize
+    }
+}
+
+/// Abstract must-cache: per set, an upper bound on each resident block's
+/// LRU age. Absence means "not guaranteed resident".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MustCache {
+    config: CacheConfig,
+    /// `sets[s][block] = max age` (0-based; always `< ways`).
+    sets: Vec<BTreeMap<u64, u8>>,
+}
+
+impl MustCache {
+    /// The empty guarantee (cold cache): nothing is known resident.
+    pub fn cold(config: CacheConfig) -> Self {
+        MustCache {
+            config,
+            sets: vec![BTreeMap::new(); config.sets()],
+        }
+    }
+
+    /// True if `block` is guaranteed resident.
+    pub fn contains(&self, block: u64) -> bool {
+        self.sets[self.config.set_of(block)].contains_key(&block)
+    }
+
+    /// Transfer function for one access: `block` becomes most recently
+    /// used; strictly younger same-set blocks age by one and fall out when
+    /// they reach the associativity.
+    pub fn access(&mut self, block: u64) {
+        let ways = self.config.ways() as u8;
+        let set = &mut self.sets[self.config.set_of(block)];
+        let old_age = set.get(&block).copied().unwrap_or(ways);
+        let mut evict = Vec::new();
+        for (&b, age) in set.iter_mut() {
+            if b != block && *age < old_age {
+                *age += 1;
+                if *age >= ways {
+                    evict.push(b);
+                }
+            }
+        }
+        for b in evict {
+            set.remove(&b);
+        }
+        set.insert(block, 0);
+    }
+
+    /// Must-join of two states: intersection of the guarantees with the
+    /// maximal (most pessimistic) age.
+    pub fn join(&self, other: &MustCache) -> MustCache {
+        debug_assert_eq!(self.config, other.config);
+        let sets = self
+            .sets
+            .iter()
+            .zip(&other.sets)
+            .map(|(a, b)| {
+                a.iter()
+                    .filter_map(|(&blk, &age_a)| {
+                        b.get(&blk).map(|&age_b| (blk, age_a.max(age_b)))
+                    })
+                    .collect()
+            })
+            .collect();
+        MustCache {
+            config: self.config,
+            sets,
+        }
+    }
+
+    /// Number of blocks guaranteed resident.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(BTreeMap::len).sum()
+    }
+}
+
+/// A concrete LRU cache, used to validate the abstraction (see the
+/// property tests: an `AlwaysHit` classification must hit on *every*
+/// concrete path).
+#[derive(Debug, Clone)]
+pub struct ConcreteLru {
+    config: CacheConfig,
+    /// Per set: resident blocks, most recently used first.
+    sets: Vec<Vec<u64>>,
+}
+
+impl ConcreteLru {
+    /// An empty (cold) cache.
+    pub fn cold(config: CacheConfig) -> Self {
+        ConcreteLru {
+            config,
+            sets: vec![Vec::new(); config.sets()],
+        }
+    }
+
+    /// Performs one access; returns true on a hit.
+    pub fn access(&mut self, block: u64) -> bool {
+        let ways = self.config.ways();
+        let set = &mut self.sets[self.config.set_of(block)];
+        if let Some(pos) = set.iter().position(|&b| b == block) {
+            set.remove(pos);
+            set.insert(0, block);
+            true
+        } else {
+            set.insert(0, block);
+            set.truncate(ways);
+            false
+        }
+    }
+}
+
+/// Classification of one memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefClass {
+    /// Guaranteed to hit the cache on every execution.
+    AlwaysHit,
+    /// No guarantee: charged as a potential shared-memory access.
+    NotClassified,
+}
+
+/// A control-flow graph over reference sequences. Unlike [`crate::Cfg`],
+/// cycles (loop back edges) are allowed — the fixpoint handles them.
+/// Block 0 is the entry.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceCfg {
+    blocks: Vec<Vec<u64>>,
+    succs: Vec<Vec<usize>>,
+}
+
+impl ReferenceCfg {
+    /// An empty graph.
+    pub fn new() -> Self {
+        ReferenceCfg::default()
+    }
+
+    /// Adds a block with the given sequence of memory-block references.
+    pub fn add_block(&mut self, refs: Vec<u64>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(refs);
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Adds a control-flow edge (back edges allowed).
+    ///
+    /// # Errors
+    ///
+    /// [`CfgError::UnknownBlock`] if either endpoint does not exist.
+    pub fn add_edge(&mut self, from: BlockId, to: BlockId) -> Result<(), CfgError> {
+        if from.index() >= self.blocks.len() {
+            return Err(CfgError::UnknownBlock(from));
+        }
+        if to.index() >= self.blocks.len() {
+            return Err(CfgError::UnknownBlock(to));
+        }
+        self.succs[from.index()].push(to.index());
+        Ok(())
+    }
+
+    /// The reference sequence of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn refs(&self, block: BlockId) -> &[u64] {
+        &self.blocks[block.index()]
+    }
+
+    /// Successor blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn successors(&self, block: BlockId) -> &[usize] {
+        &self.succs[block.index()]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the graph has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Per-reference classification of a whole [`ReferenceCfg`].
+#[derive(Debug, Clone)]
+pub struct Classification {
+    classes: Vec<Vec<RefClass>>,
+}
+
+impl Classification {
+    /// The classes of one block's references, in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn classes(&self, block: BlockId) -> &[RefClass] {
+        &self.classes[block.index()]
+    }
+
+    /// Guaranteed hits in one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn hits(&self, block: BlockId) -> u64 {
+        self.classes[block.index()]
+            .iter()
+            .filter(|c| **c == RefClass::AlwaysHit)
+            .count() as u64
+    }
+
+    /// Potential misses in one block (the block's shared-memory access
+    /// bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn misses(&self, block: BlockId) -> u64 {
+        self.classes[block.index()].len() as u64 - self.hits(block)
+    }
+
+    /// Weight of one block for [`crate::Cfg::add_block`]: execution cycles
+    /// (`fetch_cycles` per reference plus `miss_penalty` per potential
+    /// miss) and the shared-memory access bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn block_weight(
+        &self,
+        block: BlockId,
+        fetch_cycles: u64,
+        miss_penalty: u64,
+    ) -> (u64, u64) {
+        let refs = self.classes[block.index()].len() as u64;
+        let misses = self.misses(block);
+        (refs * fetch_cycles + misses * miss_penalty, misses)
+    }
+}
+
+/// Runs the must-analysis fixpoint and classifies every reference.
+///
+/// # Errors
+///
+/// [`CfgError::Empty`] if the graph has no blocks.
+pub fn classify(graph: &ReferenceCfg, config: &CacheConfig) -> Result<Classification, CfgError> {
+    if graph.is_empty() {
+        return Err(CfgError::Empty);
+    }
+    let n = graph.len();
+    // out[i]: abstract state after block i, None while unreached.
+    let mut out: Vec<Option<MustCache>> = vec![None; n];
+    // in-state of the entry is the cold cache; other blocks join their
+    // predecessors' outs. Iterate to the (finite-domain) fixpoint.
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            let mut state = in_state(graph, config, &out, i);
+            let Some(ref mut s) = state else { continue };
+            for &r in &graph.blocks[i] {
+                s.access(r);
+            }
+            if out[i].as_ref() != state.as_ref() {
+                out[i] = state;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Final pass: classify from the stabilised in-states.
+    let classes = (0..n)
+        .map(|i| {
+            let Some(mut s) = in_state(graph, config, &out, i) else {
+                // Unreachable block: conservatively all not-classified.
+                return vec![RefClass::NotClassified; graph.blocks[i].len()];
+            };
+            graph.blocks[i]
+                .iter()
+                .map(|&r| {
+                    let class = if s.contains(r) {
+                        RefClass::AlwaysHit
+                    } else {
+                        RefClass::NotClassified
+                    };
+                    s.access(r);
+                    class
+                })
+                .collect()
+        })
+        .collect();
+    Ok(Classification { classes })
+}
+
+/// In-state of block `i`: cold for the entry, the must-join of reached
+/// predecessors otherwise (`None` while no predecessor is reached).
+fn in_state(
+    graph: &ReferenceCfg,
+    config: &CacheConfig,
+    out: &[Option<MustCache>],
+    i: usize,
+) -> Option<MustCache> {
+    let mut acc: Option<MustCache> = (i == 0).then(|| MustCache::cold(*config));
+    for (succs, o) in graph.succs.iter().zip(out) {
+        if !succs.contains(&i) {
+            continue;
+        }
+        if let Some(o) = o {
+            acc = Some(match acc {
+                None => o.clone(),
+                Some(a) => a.join(o),
+            });
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors_and_mapping() {
+        let c = CacheConfig::new(4, 2);
+        assert_eq!(c.sets(), 4);
+        assert_eq!(c.ways(), 2);
+        assert_eq!(c.set_of(6), 2);
+        assert_eq!(CacheConfig::direct_mapped(8).ways(), 1);
+        assert_eq!(CacheConfig::fully_associative(4).sets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_rejected() {
+        let _ = CacheConfig::new(4, 0);
+    }
+
+    #[test]
+    fn concrete_lru_behaves() {
+        let mut c = ConcreteLru::cold(CacheConfig::fully_associative(2));
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1)); // hit, renews
+        assert!(!c.access(3)); // evicts 2 (LRU)
+        assert!(c.access(1));
+        assert!(!c.access(2)); // 2 was evicted
+    }
+
+    #[test]
+    fn must_cache_update_and_eviction() {
+        let cfg = CacheConfig::fully_associative(2);
+        let mut m = MustCache::cold(cfg);
+        m.access(1);
+        m.access(2);
+        assert!(m.contains(1) && m.contains(2));
+        m.access(3); // ages 1 out (age 2 ≥ ways)
+        assert!(!m.contains(1));
+        assert!(m.contains(2) && m.contains(3));
+        assert_eq!(m.resident(), 2);
+    }
+
+    #[test]
+    fn must_join_is_intersection_with_max_age() {
+        let cfg = CacheConfig::fully_associative(2);
+        let mut a = MustCache::cold(cfg);
+        a.access(1);
+        a.access(2); // ages: 2→0, 1→1
+        let mut b = MustCache::cold(cfg);
+        b.access(2);
+        b.access(1); // ages: 1→0, 2→1
+        let j = a.join(&b);
+        assert!(j.contains(1) && j.contains(2));
+        // Both now carry their worst age (1): one more conflicting access
+        // evicts both.
+        let mut j2 = j.clone();
+        j2.access(9);
+        assert!(!j2.contains(1) && !j2.contains(2));
+        // Intersection drops one-sided guarantees.
+        let mut c = MustCache::cold(cfg);
+        c.access(7);
+        assert_eq!(a.join(&c).resident(), 0);
+    }
+
+    #[test]
+    fn straight_line_rehit() {
+        let mut g = ReferenceCfg::new();
+        let b = g.add_block(vec![0, 1, 0, 1]);
+        let c = classify(&g, &CacheConfig::fully_associative(2)).unwrap();
+        assert_eq!(
+            c.classes(b),
+            &[
+                RefClass::NotClassified,
+                RefClass::NotClassified,
+                RefClass::AlwaysHit,
+                RefClass::AlwaysHit
+            ]
+        );
+        assert_eq!(c.hits(b), 2);
+        assert_eq!(c.misses(b), 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_never_hits() {
+        // Blocks 0 and 4 collide in a 4-set direct-mapped cache.
+        let mut g = ReferenceCfg::new();
+        let b = g.add_block(vec![0, 4, 0, 4]);
+        let c = classify(&g, &CacheConfig::direct_mapped(4)).unwrap();
+        assert_eq!(c.hits(b), 0);
+        assert_eq!(c.misses(b), 4);
+        // With 2 ways the re-references hit.
+        let c = classify(&g, &CacheConfig::new(4, 2)).unwrap();
+        assert_eq!(c.hits(b), 2);
+    }
+
+    #[test]
+    fn diamond_keeps_common_guarantees_only() {
+        // entry loads 0; both branches re-touch it but only the left
+        // branch loads 1; the merge block's reference to 0 hits, to 1
+        // does not.
+        let mut g = ReferenceCfg::new();
+        let entry = g.add_block(vec![0]);
+        let left = g.add_block(vec![1, 0]);
+        let right = g.add_block(vec![0]);
+        let merge = g.add_block(vec![0, 1]);
+        g.add_edge(entry, left).unwrap();
+        g.add_edge(entry, right).unwrap();
+        g.add_edge(left, merge).unwrap();
+        g.add_edge(right, merge).unwrap();
+        let c = classify(&g, &CacheConfig::fully_associative(4)).unwrap();
+        assert_eq!(c.classes(merge), &[RefClass::AlwaysHit, RefClass::NotClassified]);
+    }
+
+    #[test]
+    fn loop_body_is_conservatively_cold() {
+        // body → body back edge: the join with the cold entry path keeps
+        // every first-touch unclassified (no virtual unrolling).
+        let mut g = ReferenceCfg::new();
+        let body = g.add_block(vec![0, 0]);
+        g.add_edge(body, body).unwrap();
+        let c = classify(&g, &CacheConfig::fully_associative(2)).unwrap();
+        // First ref: cold-path miss. Second ref: hits even on the cold
+        // path (same block touched the line one reference earlier).
+        assert_eq!(c.classes(body), &[RefClass::NotClassified, RefClass::AlwaysHit]);
+    }
+
+    #[test]
+    fn loop_with_preheader_guarantees_warm_body() {
+        // Preheader touches the line; a 2-block loop re-touches it each
+        // iteration and nothing evicts it: always-hit inside the loop.
+        let mut g = ReferenceCfg::new();
+        let pre = g.add_block(vec![0]);
+        let body = g.add_block(vec![0]);
+        let latch = g.add_block(vec![]);
+        g.add_edge(pre, body).unwrap();
+        g.add_edge(body, latch).unwrap();
+        g.add_edge(latch, body).unwrap();
+        let c = classify(&g, &CacheConfig::fully_associative(2)).unwrap();
+        assert_eq!(c.classes(body), &[RefClass::AlwaysHit]);
+    }
+
+    #[test]
+    fn loop_with_eviction_loses_the_guarantee() {
+        // Same shape, but the latch thrashes the set (2-way, 3 distinct
+        // conflicting lines): the body's reference cannot be guaranteed.
+        let mut g = ReferenceCfg::new();
+        let pre = g.add_block(vec![0]);
+        let body = g.add_block(vec![0]);
+        let latch = g.add_block(vec![2, 4]); // same set as 0 (sets = 2)
+        g.add_edge(pre, body).unwrap();
+        g.add_edge(body, latch).unwrap();
+        g.add_edge(latch, body).unwrap();
+        let c = classify(&g, &CacheConfig::new(2, 2)).unwrap();
+        assert_eq!(c.classes(body), &[RefClass::NotClassified]);
+    }
+
+    #[test]
+    fn block_weight_prices_misses() {
+        let mut g = ReferenceCfg::new();
+        let b = g.add_block(vec![0, 1, 0, 1]);
+        let c = classify(&g, &CacheConfig::fully_associative(2)).unwrap();
+        // 4 refs × 1 cycle + 2 misses × 10 = 24 cycles, 2 accesses.
+        assert_eq!(c.block_weight(b, 1, 10), (24, 2));
+    }
+
+    #[test]
+    fn empty_graph_is_an_error() {
+        assert!(matches!(
+            classify(&ReferenceCfg::new(), &CacheConfig::direct_mapped(2)),
+            Err(CfgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn unreachable_block_is_all_not_classified() {
+        let mut g = ReferenceCfg::new();
+        let _entry = g.add_block(vec![0]);
+        let orphan = g.add_block(vec![0, 0]);
+        let c = classify(&g, &CacheConfig::fully_associative(2)).unwrap();
+        assert_eq!(c.hits(orphan), 0);
+    }
+
+    #[test]
+    fn dangling_edge_is_rejected() {
+        let mut g = ReferenceCfg::new();
+        let a = g.add_block(vec![]);
+        assert!(matches!(
+            g.add_edge(a, BlockId(7)),
+            Err(CfgError::UnknownBlock(_))
+        ));
+    }
+}

@@ -1,0 +1,320 @@
+//! Hierarchical control-flow graphs with bound-weighted longest-path
+//! analysis (IPET-lite).
+//!
+//! A [`Cfg`] is a DAG of basic blocks; loops appear as nested sub-CFGs
+//! with static iteration bounds (the structural form a WCET tool derives
+//! from a reducible CFG plus flow facts). The analysis is a longest-path
+//! dynamic program over the topological order, applied recursively to
+//! nested loops — exact for this program class, which is what makes it a
+//! sound stand-in for OTAWA's IPET on the workloads this workspace
+//! generates.
+
+use mia_model::Cycles;
+
+use crate::Estimate;
+
+/// Identifier of a basic block within one [`Cfg`] level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Errors of CFG construction and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CfgError {
+    /// The CFG has no blocks.
+    Empty,
+    /// An edge references a block that does not exist.
+    UnknownBlock(BlockId),
+    /// The block graph has a cycle not expressed as a bounded loop.
+    Unbounded(BlockId),
+}
+
+impl std::fmt::Display for CfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CfgError::Empty => write!(f, "control-flow graph has no blocks"),
+            CfgError::UnknownBlock(b) => write!(f, "unknown block {b}"),
+            CfgError::Unbounded(b) => {
+                write!(f, "cycle through {b} is not a bounded loop")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BlockKind {
+    Basic { cycles: u64, accesses: u64 },
+    Loop { body: Cfg, bound: u64 },
+}
+
+/// A hierarchical control-flow graph. Block 0 is the entry; every block
+/// without successors is an exit.
+///
+/// # Example
+///
+/// ```
+/// use mia_wcet::{Cfg, BlockId};
+/// use mia_model::Cycles;
+///
+/// # fn main() -> Result<(), mia_wcet::CfgError> {
+/// // entry → {fast | slow} → exit, with a bounded loop in the slow path.
+/// let mut body = Cfg::new();
+/// let b = body.add_block(5, 1);
+/// let _ = b;
+///
+/// let mut cfg = Cfg::new();
+/// let entry = cfg.add_block(2, 0);
+/// let fast = cfg.add_block(3, 0);
+/// let slow = cfg.add_loop(body, 10);
+/// let exit = cfg.add_block(1, 0);
+/// cfg.add_edge(entry, fast)?;
+/// cfg.add_edge(entry, slow)?;
+/// cfg.add_edge(fast, exit)?;
+/// cfg.add_edge(slow, exit)?;
+///
+/// let e = cfg.estimate()?;
+/// assert_eq!(e.wcet, Cycles(2 + 50 + 1));
+/// assert_eq!(e.accesses, 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cfg {
+    blocks: Vec<BlockKind>,
+    succs: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Creates an empty CFG.
+    pub fn new() -> Self {
+        Cfg::default()
+    }
+
+    /// Adds a basic block with the given isolation cycles and accesses.
+    pub fn add_block(&mut self, cycles: u64, accesses: u64) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BlockKind::Basic { cycles, accesses });
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Adds a loop node executing `body` at most `bound` times.
+    pub fn add_loop(&mut self, body: Cfg, bound: u64) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BlockKind::Loop { body, bound });
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Adds a control-flow edge.
+    ///
+    /// # Errors
+    ///
+    /// [`CfgError::UnknownBlock`] if either endpoint does not exist.
+    pub fn add_edge(&mut self, from: BlockId, to: BlockId) -> Result<(), CfgError> {
+        if from.index() >= self.blocks.len() {
+            return Err(CfgError::UnknownBlock(from));
+        }
+        if to.index() >= self.blocks.len() {
+            return Err(CfgError::UnknownBlock(to));
+        }
+        self.succs[from.index()].push(to);
+        Ok(())
+    }
+
+    /// Number of blocks at this level.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the CFG has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Longest-path WCET and access estimate from the entry block.
+    ///
+    /// # Errors
+    ///
+    /// * [`CfgError::Empty`] for a CFG without blocks,
+    /// * [`CfgError::Unbounded`] if a cycle exists at this level (cycles
+    ///   must be modelled as [`Cfg::add_loop`] nodes with bounds).
+    pub fn estimate(&self) -> Result<Estimate, CfgError> {
+        if self.blocks.is_empty() {
+            return Err(CfgError::Empty);
+        }
+        let n = self.blocks.len();
+        // Per-block weights (recursing into loops).
+        let mut weight = Vec::with_capacity(n);
+        for b in &self.blocks {
+            weight.push(match b {
+                BlockKind::Basic { cycles, accesses } => Estimate {
+                    wcet: Cycles(*cycles),
+                    accesses: *accesses,
+                },
+                BlockKind::Loop { body, bound } => {
+                    let inner = body.estimate()?;
+                    Estimate {
+                        wcet: inner.wcet * *bound,
+                        accesses: inner.accesses * *bound,
+                    }
+                }
+            });
+        }
+        // Topological order via Kahn; cycles are an error at this level.
+        let mut indeg = vec![0usize; n];
+        for succ in &self.succs {
+            for &t in succ {
+                indeg[t.index()] += 1;
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(i);
+            for &t in &self.succs[i] {
+                indeg[t.index()] -= 1;
+                if indeg[t.index()] == 0 {
+                    ready.push(t.index());
+                }
+            }
+        }
+        if order.len() != n {
+            let culprit = (0..n).find(|&i| indeg[i] > 0).expect("cycle leaves in-degree");
+            return Err(CfgError::Unbounded(BlockId(culprit as u32)));
+        }
+        // Longest path from the entry (block 0), per dimension.
+        const UNREACHED: u64 = u64::MAX;
+        let mut best_wcet = vec![UNREACHED; n];
+        let mut best_acc = vec![UNREACHED; n];
+        best_wcet[0] = weight[0].wcet.as_u64();
+        best_acc[0] = weight[0].accesses;
+        for &i in &order {
+            if best_wcet[i] == UNREACHED {
+                continue;
+            }
+            for &t in &self.succs[i] {
+                let j = t.index();
+                let cand_w = best_wcet[i] + weight[j].wcet.as_u64();
+                if best_wcet[j] == UNREACHED || cand_w > best_wcet[j] {
+                    best_wcet[j] = cand_w;
+                }
+                let cand_a = best_acc[i] + weight[j].accesses;
+                if best_acc[j] == UNREACHED || cand_a > best_acc[j] {
+                    best_acc[j] = cand_a;
+                }
+            }
+        }
+        let wcet = (0..n)
+            .filter(|&i| best_wcet[i] != UNREACHED)
+            .map(|i| best_wcet[i])
+            .max()
+            .unwrap_or(0);
+        let accesses = (0..n)
+            .filter(|&i| best_acc[i] != UNREACHED)
+            .map(|i| best_acc[i])
+            .max()
+            .unwrap_or(0);
+        Ok(Estimate {
+            wcet: Cycles(wcet),
+            accesses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line() {
+        let mut c = Cfg::new();
+        let a = c.add_block(10, 1);
+        let b = c.add_block(20, 2);
+        c.add_edge(a, b).unwrap();
+        let e = c.estimate().unwrap();
+        assert_eq!(e.wcet, Cycles(30));
+        assert_eq!(e.accesses, 3);
+    }
+
+    #[test]
+    fn diamond_takes_the_slow_branch() {
+        let mut c = Cfg::new();
+        let entry = c.add_block(1, 0);
+        let fast = c.add_block(2, 9);
+        let slow = c.add_block(50, 1);
+        let exit = c.add_block(1, 0);
+        c.add_edge(entry, fast).unwrap();
+        c.add_edge(entry, slow).unwrap();
+        c.add_edge(fast, exit).unwrap();
+        c.add_edge(slow, exit).unwrap();
+        let e = c.estimate().unwrap();
+        assert_eq!(e.wcet, Cycles(52));
+        // The access maximum follows its own worst path (via `fast`).
+        assert_eq!(e.accesses, 9);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let mut inner = Cfg::new();
+        inner.add_block(3, 1);
+        let mut body = Cfg::new();
+        let pre = body.add_block(1, 0);
+        let lp = body.add_loop(inner, 4);
+        body.add_edge(pre, lp).unwrap();
+        let mut top = Cfg::new();
+        let l = top.add_loop(body, 5);
+        let _ = l;
+        let e = top.estimate().unwrap();
+        assert_eq!(e.wcet, Cycles(5 * (1 + 12)));
+        assert_eq!(e.accesses, 20);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_ignored() {
+        let mut c = Cfg::new();
+        let a = c.add_block(5, 0);
+        let _orphan = c.add_block(1000, 99);
+        let _ = a;
+        let e = c.estimate().unwrap();
+        assert_eq!(e.wcet, Cycles(5));
+        assert_eq!(e.accesses, 0);
+    }
+
+    #[test]
+    fn empty_cfg_is_an_error() {
+        assert_eq!(Cfg::new().estimate(), Err(CfgError::Empty));
+    }
+
+    #[test]
+    fn unannotated_cycle_is_an_error() {
+        let mut c = Cfg::new();
+        let a = c.add_block(1, 0);
+        let b = c.add_block(1, 0);
+        c.add_edge(a, b).unwrap();
+        c.add_edge(b, a).unwrap();
+        assert!(matches!(c.estimate(), Err(CfgError::Unbounded(_))));
+    }
+
+    #[test]
+    fn dangling_edge_is_an_error() {
+        let mut c = Cfg::new();
+        let a = c.add_block(1, 0);
+        assert_eq!(c.add_edge(a, BlockId(9)), Err(CfgError::UnknownBlock(BlockId(9))));
+    }
+}

@@ -1,0 +1,100 @@
+//! Soundness of the must-analysis: a reference classified *always-hit*
+//! must hit the concrete LRU cache on **every** execution path — which is
+//! exactly what makes the derived `(WCET, accesses)` pairs safe inputs for
+//! the interference analyses.
+
+use mia_wcet::cache::{classify, CacheConfig, ConcreteLru, ReferenceCfg, RefClass};
+use mia_wcet::BlockId;
+use proptest::prelude::*;
+
+/// A random CFG: `n` blocks, each with up to 4 references over a small
+/// address pool (small pools force conflicts), and random forward *and*
+/// backward edges (loops).
+fn arb_cfg() -> impl Strategy<Value = ReferenceCfg> {
+    let block = proptest::collection::vec(0u64..8, 0..4);
+    (proptest::collection::vec(block, 1..8), any::<u64>()).prop_map(|(blocks, seed)| {
+        let mut g = ReferenceCfg::new();
+        let ids: Vec<BlockId> = blocks.into_iter().map(|b| g.add_block(b)).collect();
+        // Deterministic pseudo-random edges from the seed: a chain to keep
+        // everything reachable, plus extra edges (possibly backward).
+        let n = ids.len();
+        for w in 0..n.saturating_sub(1) {
+            g.add_edge(ids[w], ids[w + 1]).unwrap();
+        }
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..n {
+            let from = ids[next() % n];
+            let to = ids[next() % n];
+            g.add_edge(from, to).unwrap();
+        }
+        g
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (1usize..=4, 1usize..=4).prop_map(|(sets, ways)| CacheConfig::new(sets, ways))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random walks from the entry never observe a concrete miss where
+    /// the analysis promised a hit.
+    #[test]
+    fn always_hit_never_misses(
+        g in arb_cfg(),
+        config in arb_config(),
+        walk_seed in any::<u64>(),
+    ) {
+        let classes = classify(&g, &config).unwrap();
+        let mut cache = ConcreteLru::cold(config);
+        let mut state = walk_seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut at = BlockId(0);
+        for _ in 0..64 {
+            for (i, &r) in g.refs(at).iter().enumerate() {
+                let hit = cache.access(r);
+                if classes.classes(at)[i] == RefClass::AlwaysHit {
+                    prop_assert!(
+                        hit,
+                        "block {at} ref {i} (line {r}) classified always-hit but missed"
+                    );
+                }
+            }
+            let succs = g.successors(at);
+            if succs.is_empty() {
+                break;
+            }
+            at = BlockId(succs[next() % succs.len()] as u32);
+        }
+    }
+
+    /// Growing associativity never loses guaranteed hits (more ways = a
+    /// strictly more retentive cache).
+    #[test]
+    fn more_ways_never_hurt(g in arb_cfg(), sets in 1usize..=4, ways in 1usize..=3) {
+        let small = classify(&g, &CacheConfig::new(sets, ways)).unwrap();
+        let large = classify(&g, &CacheConfig::new(sets, ways + 1)).unwrap();
+        for b in 0..g.len() {
+            let b = BlockId(b as u32);
+            prop_assert!(large.hits(b) >= small.hits(b));
+        }
+    }
+
+    /// Classification totals are consistent: hits + misses = references.
+    #[test]
+    fn totals_add_up(g in arb_cfg(), config in arb_config()) {
+        let c = classify(&g, &config).unwrap();
+        for b in 0..g.len() {
+            let b = BlockId(b as u32);
+            prop_assert_eq!(c.hits(b) + c.misses(b), g.refs(b).len() as u64);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the WCET estimators: schema algebra and
+//! consistency between the structured and CFG analyses.
+
+use mia_model::Cycles;
+use mia_wcet::{estimate, Cfg, Program};
+use proptest::prelude::*;
+
+/// Strategy: a random structured program of bounded depth.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let leaf = (0u64..100, 0u64..20).prop_map(|(c, a)| Program::block(c, a));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Program::seq),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Program::if_else(c, t, e)),
+            (0u64..8, inner).prop_map(|(b, body)| Program::loop_of(b, body)),
+        ]
+    })
+}
+
+proptest! {
+    /// Sequencing is additive in both dimensions.
+    #[test]
+    fn seq_is_additive(a in arb_program(), b in arb_program()) {
+        let ea = estimate(&a);
+        let eb = estimate(&b);
+        let e = estimate(&Program::seq([a, b]));
+        prop_assert_eq!(e.wcet, ea.wcet + eb.wcet);
+        prop_assert_eq!(e.accesses, ea.accesses + eb.accesses);
+    }
+
+    /// A conditional is bounded by the condition plus each branch's
+    /// estimate, and reaches the max per dimension.
+    #[test]
+    fn if_else_takes_maxima(c in arb_program(), t in arb_program(), e in arb_program()) {
+        let (ec, et, ee) = (estimate(&c), estimate(&t), estimate(&e));
+        let est = estimate(&Program::if_else(c, t, e));
+        prop_assert_eq!(est.wcet, ec.wcet + et.wcet.max(ee.wcet));
+        prop_assert_eq!(est.accesses, ec.accesses + et.accesses.max(ee.accesses));
+    }
+
+    /// Loops scale linearly with their bound.
+    #[test]
+    fn loop_scales_linearly(body in arb_program(), k in 0u64..12) {
+        let eb = estimate(&body);
+        let el = estimate(&Program::loop_of(k, body));
+        prop_assert_eq!(el.wcet, eb.wcet * k);
+        prop_assert_eq!(el.accesses, eb.accesses * k);
+    }
+
+    /// The estimate dominates any concrete branch resolution: resolving
+    /// every `if` to one side can only shrink both dimensions.
+    #[test]
+    fn estimate_dominates_resolved_programs(p in arb_program(), take_then in any::<bool>()) {
+        fn resolve(p: &Program, take_then: bool) -> Program {
+            match p {
+                Program::Block { cycles, accesses } => Program::block(*cycles, *accesses),
+                Program::Seq(v) => Program::seq(v.iter().map(|x| resolve(x, take_then))),
+                Program::IfElse { cond, then_branch, else_branch } => Program::seq([
+                    resolve(cond, take_then),
+                    if take_then {
+                        resolve(then_branch, take_then)
+                    } else {
+                        resolve(else_branch, take_then)
+                    },
+                ]),
+                Program::Loop { bound, body } => {
+                    Program::loop_of(*bound, resolve(body, take_then))
+                }
+            }
+        }
+        let full = estimate(&p);
+        let resolved = estimate(&resolve(&p, take_then));
+        prop_assert!(resolved.wcet <= full.wcet);
+        prop_assert!(resolved.accesses <= full.accesses);
+    }
+
+    /// A linear chain CFG agrees exactly with the equivalent `Program`.
+    #[test]
+    fn cfg_chain_matches_schema(blocks in proptest::collection::vec((0u64..100, 0u64..20), 1..8)) {
+        let mut cfg = Cfg::new();
+        let ids: Vec<_> = blocks.iter().map(|&(c, a)| cfg.add_block(c, a)).collect();
+        for w in ids.windows(2) {
+            cfg.add_edge(w[0], w[1]).unwrap();
+        }
+        let program = Program::seq(blocks.iter().map(|&(c, a)| Program::block(c, a)));
+        let e_cfg = cfg.estimate().unwrap();
+        let e_prog = estimate(&program);
+        prop_assert_eq!(e_cfg.wcet, e_prog.wcet);
+        prop_assert_eq!(e_cfg.accesses, e_prog.accesses);
+    }
+
+    /// Diamond CFGs agree with the if/else schema (common entry cost).
+    #[test]
+    fn cfg_diamond_matches_schema(
+        entry in (0u64..50, 0u64..10),
+        fast in (0u64..50, 0u64..10),
+        slow in (0u64..50, 0u64..10),
+        exit in (0u64..50, 0u64..10),
+    ) {
+        let mut cfg = Cfg::new();
+        let e0 = cfg.add_block(entry.0, entry.1);
+        let f = cfg.add_block(fast.0, fast.1);
+        let s = cfg.add_block(slow.0, slow.1);
+        let x = cfg.add_block(exit.0, exit.1);
+        cfg.add_edge(e0, f).unwrap();
+        cfg.add_edge(e0, s).unwrap();
+        cfg.add_edge(f, x).unwrap();
+        cfg.add_edge(s, x).unwrap();
+        let program = Program::seq([
+            Program::block(entry.0, entry.1),
+            Program::if_else(
+                Program::block(0, 0),
+                Program::block(fast.0, fast.1),
+                Program::block(slow.0, slow.1),
+            ),
+            Program::block(exit.0, exit.1),
+        ]);
+        let e_cfg = cfg.estimate().unwrap();
+        let e_prog = estimate(&program);
+        prop_assert_eq!(e_cfg.wcet, e_prog.wcet);
+        prop_assert_eq!(e_cfg.accesses, e_prog.accesses);
+    }
+
+    /// Estimates mint tasks whose WCET/demand match.
+    #[test]
+    fn task_minting_preserves_estimates(p in arb_program()) {
+        let e = estimate(&p);
+        let t = e.into_task("k");
+        prop_assert_eq!(t.wcet(), e.wcet);
+        prop_assert_eq!(t.private_demand().total(), e.accesses);
+        prop_assert_eq!(t.min_release(), Cycles::ZERO);
+    }
+}

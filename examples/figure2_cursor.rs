@@ -1,0 +1,62 @@
+//! The cursor mechanism of the paper's Figure 2.
+//!
+//! Eleven tasks on four cores; the incremental analysis is traced and the
+//! closed / alive / future partition is printed at every cursor position,
+//! reproducing the figure's snapshot (solid boxes = alive, dotted left =
+//! closed, dotted right = future).
+//!
+//! Run with: `cargo run --example figure2_cursor`
+
+use mia::analysis::analyze_with;
+use mia::prelude::*;
+use mia::trace::CursorTrace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // PE0: n0 n1 n2 | PE1: n3 n4 | PE2: n5 n6 n7 | PE3: n8 n9 n10,
+    // with WCETs chosen so that around t = 10 the alive set is
+    // {n0, n4, n7, n9} — the state drawn in Figure 2.
+    let mut g = TaskGraph::new();
+    let wcets = [30u64, 5, 5, 5, 25, 4, 6, 20, 3, 27, 5];
+    let ids: Vec<TaskId> = wcets
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| g.add_task(Task::builder(format!("n{i}")).wcet(Cycles(w))))
+        .collect();
+    // Pure precedence edges (0 words: Figure 2 abstracts the demands away).
+    for (s, d) in [(3usize, 4usize), (5, 6), (6, 7), (8, 9), (9, 10)] {
+        g.add_edge(ids[s], ids[d], 0)?;
+    }
+    let mapping = Mapping::from_assignment(&g, &[0, 0, 0, 1, 1, 2, 2, 2, 3, 3, 3])?;
+    let problem = Problem::new(g, mapping, Platform::new(4, 4))?;
+
+    let mut trace = CursorTrace::new(problem.len());
+    let report = analyze_with(
+        &problem,
+        &RoundRobin::new(),
+        &AnalysisOptions::new(),
+        &mut trace,
+    )?;
+
+    println!("cursor timeline (paper Figure 2 shows the t = 10 snapshot):\n");
+    print!("{}", trace.render_timeline());
+
+    let snap = trace.snapshot(Cycles(10));
+    println!("\nsnapshot at t = 10:");
+    println!("  closed: {:?}", names(&snap.closed));
+    println!("  alive : {:?}", names(&snap.alive));
+    println!("  future: {:?}", names(&snap.future));
+
+    assert_eq!(names(&snap.alive), vec!["n0", "n4", "n7", "n9"]);
+    assert_eq!(names(&snap.closed), vec!["n3", "n5", "n6", "n8"]);
+    assert_eq!(names(&snap.future), vec!["n1", "n2", "n10"]);
+    println!(
+        "\nmax alive tasks during the sweep: {} (bounded by the {} cores)",
+        report.stats.max_alive,
+        problem.platform().cores().min(4)
+    );
+    Ok(())
+}
+
+fn names(ids: &[TaskId]) -> Vec<String> {
+    ids.iter().map(|t| format!("n{}", t.0)).collect()
+}

@@ -1,0 +1,100 @@
+//! Experiment E2: the cursor mechanism of the paper's Figure 2 — the
+//! closed / alive / future partition around the sweeping time cursor.
+
+use mia::analysis::analyze_with;
+use mia::prelude::*;
+use mia::trace::CursorTrace;
+
+/// Eleven tasks on four cores shaped so that at t = 10 the alive set is
+/// {n0, n4, n7, n9} — the state drawn in Figure 2.
+fn figure2() -> Problem {
+    let mut g = TaskGraph::new();
+    let wcets = [30u64, 5, 5, 5, 25, 4, 6, 20, 3, 27, 5];
+    let ids: Vec<TaskId> = wcets
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| g.add_task(Task::builder(format!("n{i}")).wcet(Cycles(w))))
+        .collect();
+    for (s, d) in [(3usize, 4usize), (5, 6), (6, 7), (8, 9), (9, 10)] {
+        g.add_edge(ids[s], ids[d], 0).unwrap();
+    }
+    let mapping = Mapping::from_assignment(&g, &[0, 0, 0, 1, 1, 2, 2, 2, 3, 3, 3]).unwrap();
+    Problem::new(g, mapping, Platform::new(4, 4)).unwrap()
+}
+
+fn trace() -> CursorTrace {
+    let p = figure2();
+    let mut trace = CursorTrace::new(p.len());
+    analyze_with(&p, &RoundRobin::new(), &AnalysisOptions::new(), &mut trace).unwrap();
+    trace
+}
+
+#[test]
+fn snapshot_at_t10_matches_the_figure() {
+    let t = trace();
+    let snap = t.snapshot(Cycles(10));
+    let ids = |v: &[TaskId]| v.iter().map(|t| t.0).collect::<Vec<_>>();
+    assert_eq!(ids(&snap.alive), vec![0, 4, 7, 9]);
+    assert_eq!(ids(&snap.closed), vec![3, 5, 6, 8]);
+    assert_eq!(ids(&snap.future), vec![1, 2, 10]);
+}
+
+#[test]
+fn alive_set_never_exceeds_core_count() {
+    let t = trace();
+    for &at in &t.cursors {
+        assert!(t.snapshot(at).alive.len() <= 4, "at {at}");
+    }
+}
+
+#[test]
+fn partition_is_total_and_disjoint_at_every_cursor() {
+    let t = trace();
+    for &at in &t.cursors {
+        let s = t.snapshot(at);
+        let mut all: Vec<TaskId> = s
+            .closed
+            .iter()
+            .chain(&s.alive)
+            .chain(&s.future)
+            .copied()
+            .collect();
+        all.sort();
+        let expected: Vec<TaskId> = (0..11).map(TaskId::from_index).collect();
+        assert_eq!(all, expected, "at {at}");
+    }
+}
+
+#[test]
+fn tasks_move_only_forward_through_the_partition() {
+    // Once closed, always closed; once opened, never future again.
+    let t = trace();
+    let mut closed_seen: Vec<TaskId> = Vec::new();
+    for &at in &t.cursors {
+        let s = t.snapshot(at);
+        for c in &closed_seen {
+            assert!(s.closed.contains(c), "{c} reverted from closed at {at}");
+        }
+        closed_seen = s.closed;
+    }
+}
+
+#[test]
+fn cursor_jumps_only_to_finish_dates_or_min_releases() {
+    let p = figure2();
+    let mut tr = CursorTrace::new(p.len());
+    analyze_with(&p, &RoundRobin::new(), &AnalysisOptions::new(), &mut tr).unwrap();
+    // With zero demands the schedule is exact; every cursor position must
+    // coincide with a task finish date or a minimal release date (§IV,
+    // "the possible values for t are tasks end dates and their minimal
+    // release dates").
+    let s = mia::analysis::analyze(&p, &RoundRobin::new()).unwrap();
+    let finishes: Vec<Cycles> = p.graph().task_ids().map(|t| s.timing(t).finish()).collect();
+    for &c in tr.cursors.iter().filter(|&&c| c > Cycles::ZERO) {
+        assert!(
+            finishes.contains(&c)
+                || p.graph().iter().any(|(_, t)| t.min_release() == c),
+            "cursor at {c} is neither a finish nor a minimal release"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Experiment E5: the conclusion's ">8000 tasks in reasonable time" claim
+//! (§VI), plus structural properties at scale.
+
+use std::time::Instant;
+
+use mia::analysis::{analyze_with, AnalysisOptions, NoopObserver};
+use mia::dag_gen::{Family, LayeredDag};
+use mia::prelude::*;
+
+#[test]
+fn eight_thousand_tasks_analyse_quickly() {
+    let workload = LayeredDag::new(Family::FixedLayerSize(64).config(8448, 7)).generate();
+    let problem = workload.into_problem(&Platform::mppa256_cluster()).unwrap();
+    let t0 = Instant::now();
+    let report = analyze_with(
+        &problem,
+        &RoundRobin::new(),
+        &AnalysisOptions::new(),
+        &mut NoopObserver,
+    )
+    .unwrap();
+    let elapsed = t0.elapsed();
+    report.schedule.check(&problem).unwrap();
+    // Generous even for debug builds; release runs in well under a second.
+    assert!(
+        elapsed.as_secs() < 120,
+        "8448 tasks took {elapsed:?} — the O(n²) claim is broken"
+    );
+    assert_eq!(report.schedule.len(), 8448);
+}
+
+#[test]
+fn alive_set_is_bounded_by_core_count_at_scale() {
+    let workload = LayeredDag::new(Family::FixedLayers(64).config(2048, 3)).generate();
+    let problem = workload.into_problem(&Platform::mppa256_cluster()).unwrap();
+    let report = analyze_with(
+        &problem,
+        &RoundRobin::new(),
+        &AnalysisOptions::new(),
+        &mut NoopObserver,
+    )
+    .unwrap();
+    assert!(report.stats.max_alive <= 16);
+    // The cursor visits at most "end dates + minimal release dates" many
+    // positions (§IV.B: at most 2n).
+    assert!(report.stats.cursor_steps <= 2 * problem.len() + 1);
+}
+
+#[test]
+fn makespan_grows_with_task_count_within_a_family() {
+    let platform = Platform::mppa256_cluster();
+    let mut last = Cycles::ZERO;
+    for n in [128usize, 512, 2048] {
+        let p = LayeredDag::new(Family::FixedLayerSize(64).config(n, 11))
+            .generate()
+            .into_problem(&platform)
+            .unwrap();
+        let s = mia::analysis::analyze(&p, &RoundRobin::new()).unwrap();
+        assert!(s.makespan() > last);
+        last = s.makespan();
+    }
+}
