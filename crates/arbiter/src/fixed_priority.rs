@@ -50,11 +50,7 @@ impl FixedPriority {
     }
 
     fn priority(&self, core: CoreId) -> (u32, u32) {
-        let p = self
-            .priorities
-            .get(core.index())
-            .copied()
-            .unwrap_or(core.0);
+        let p = self.priorities.get(core.index()).copied().unwrap_or(core.0);
         // Tie-break on core id to make the order total.
         (p, core.0)
     }

@@ -67,13 +67,8 @@ impl MppaTree {
         if !current.is_empty() {
             groups.push(ArbitrationNode::RoundRobin(current));
         }
-        let tree =
-            ArbitrationTree::new(ArbitrationNode::RoundRobin(groups)).with_name("mppa-tree");
-        MppaTree {
-            tree,
-            cores,
-            group,
-        }
+        let tree = ArbitrationTree::new(ArbitrationNode::RoundRobin(groups)).with_name("mppa-tree");
+        MppaTree { tree, cores, group }
     }
 
     /// The 16-core, 8-pair geometry of an MPPA-256 compute cluster.

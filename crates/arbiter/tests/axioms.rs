@@ -57,6 +57,8 @@ fn scenario() -> impl Strategy<Value = (CoreId, u64, Vec<InterfererDemand>)> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
     #[test]
     fn empty_set_yields_zero((victim, demand, _) in scenario()) {
         for p in policies() {

@@ -229,8 +229,7 @@ where
         // Phase 2: one sweep adjusting release dates to the new responses
         // (Θ = G(R)); re-stabilisation happens across outer rounds, which
         // is what makes the original algorithm iterate O(n) times.
-        let rel_changed =
-            release_sweep(problem, &mut rel, &resp, &min_rel, &core_pred, &mut stats);
+        let rel_changed = release_sweep(problem, &mut rel, &resp, &min_rel, &core_pred, &mut stats);
 
         if let Some(deadline) = options.deadline {
             let makespan = (0..n).map(|i| rel[i] + resp[i]).max().unwrap();
@@ -522,8 +521,7 @@ mod tests {
         let p = figure1();
         let token = CancelToken::new();
         token.cancel();
-        let err =
-            analyze_with(&p, &Rr, &BaselineOptions::new().cancel_token(token)).unwrap_err();
+        let err = analyze_with(&p, &Rr, &BaselineOptions::new().cancel_token(token)).unwrap_err();
         assert_eq!(err, AnalysisError::Cancelled);
     }
 

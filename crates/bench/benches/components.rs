@@ -50,8 +50,7 @@ fn generator(c: &mut Criterion) {
     for n in [256usize, 2048, 8448] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let w =
-                    LayeredDag::new(Family::FixedLayerSize(64).config(n, 7)).generate();
+                let w = LayeredDag::new(Family::FixedLayerSize(64).config(n, 7)).generate();
                 black_box(w.graph.len())
             })
         });
@@ -96,15 +95,12 @@ fn cursor_mechanism(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(4));
     let problem = benchmark_problem(Family::FixedLayerSize(16), 2048, 2020);
     group.bench_function("scan", |b| {
-        b.iter(|| {
-            black_box(mia_core::analyze(black_box(&problem), &RoundRobin::new()).unwrap())
-        })
+        b.iter(|| black_box(mia_core::analyze(black_box(&problem), &RoundRobin::new()).unwrap()))
     });
     group.bench_function("heap", |b| {
         b.iter(|| {
             black_box(
-                mia_core::analyze_event_driven(black_box(&problem), &RoundRobin::new())
-                    .unwrap(),
+                mia_core::analyze_event_driven(black_box(&problem), &RoundRobin::new()).unwrap(),
             )
         })
     });

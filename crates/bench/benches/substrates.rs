@@ -31,8 +31,7 @@ fn sporadic_system(n: usize) -> SporadicSystem {
         })
         .collect();
     let assignment: Vec<usize> = (0..n).map(|i| i % 16).collect();
-    SporadicSystem::new(tasks, &assignment, Platform::mppa256_cluster())
-        .expect("valid system")
+    SporadicSystem::new(tasks, &assignment, Platform::mppa256_cluster()).expect("valid system")
 }
 
 fn mrta_analysis(c: &mut Criterion) {
@@ -62,9 +61,7 @@ fn noc_bounds(c: &mut Criterion) {
             })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &flows, |b, f| {
-            b.iter(|| {
-                black_box(worst_case_latencies(&torus, f, &NocConfig::default()).len())
-            })
+            b.iter(|| black_box(worst_case_latencies(&torus, f, &NocConfig::default()).len()))
         });
     }
     group.finish();
@@ -94,13 +91,7 @@ fn cache_classification(c: &mut Criterion) {
             g.add_edge(ids[i], ids[i - 7]).unwrap();
         }
         group.bench_with_input(BenchmarkId::from_parameter(blocks), &g, |b, g| {
-            b.iter(|| {
-                black_box(
-                    classify(g, &CacheConfig::new(16, 4))
-                        .unwrap()
-                        .hits(ids[0]),
-                )
-            })
+            b.iter(|| black_box(classify(g, &CacheConfig::new(16, 4)).unwrap().hits(ids[0])))
         });
     }
     group.finish();

@@ -111,13 +111,7 @@ fn arbiters() {
     println!("|---------|----------|--------------------|----------|");
     for arb in &arbiters {
         let t0 = Instant::now();
-        let r = analyze_with(
-            &p,
-            arb.as_ref(),
-            &AnalysisOptions::new(),
-            &mut NoopObserver,
-        )
-        .unwrap();
+        let r = analyze_with(&p, arb.as_ref(), &AnalysisOptions::new(), &mut NoopObserver).unwrap();
         println!(
             "| {} | {} | {} | {:.4} |",
             arb.name(),
@@ -140,18 +134,21 @@ fn banks() {
             LayeredDag::new(Family::FixedLayerSize(16).config(n, 2020 ^ (n as u64) << 20))
                 .generate()
         };
-        let per_core = w()
-            .into_problem(&Platform::mppa256_cluster())
-            .unwrap();
+        let per_core = w().into_problem(&Platform::mppa256_cluster()).unwrap();
         let single = w()
             .into_problem_with_policy(&Platform::mppa256_cluster(), BankPolicy::SingleBank)
             .unwrap();
         let run = |p: &mia_model::Problem| {
-            analyze_with(p, &RoundRobin::new(), &AnalysisOptions::new(), &mut NoopObserver)
-                .unwrap()
-                .schedule
-                .makespan()
-                .as_u64()
+            analyze_with(
+                p,
+                &RoundRobin::new(),
+                &AnalysisOptions::new(),
+                &mut NoopObserver,
+            )
+            .unwrap()
+            .schedule
+            .makespan()
+            .as_u64()
         };
         let (a, b) = (run(&per_core), run(&single));
         println!("| {n} | {a} | {b} | {:.3} |", b as f64 / a as f64);

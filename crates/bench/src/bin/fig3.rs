@@ -35,7 +35,9 @@ fn main() {
         )
     } else {
         (
-            vec![16, 32, 64, 128, 256, 384, 512, 1024, 2048, 4096, 8448, 16896],
+            vec![
+                16, 32, 64, 128, 256, 384, 512, 1024, 2048, 4096, 8448, 16896,
+            ],
             vec![16, 32, 64, 128, 256, 384, 512, 768, 1024],
         )
     };

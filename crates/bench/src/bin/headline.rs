@@ -45,10 +45,8 @@ fn main() {
         let problem = benchmark_problem(family, n, 2020);
         let new = time_algorithm(Algorithm::Incremental, &problem, budget);
         let old = time_algorithm(Algorithm::Original, &problem, budget);
-        if let (
-            Outcome::Completed { makespan: m1, .. },
-            Outcome::Completed { makespan: m2, .. },
-        ) = (&new, &old)
+        if let (Outcome::Completed { makespan: m1, .. }, Outcome::Completed { makespan: m2, .. }) =
+            (&new, &old)
         {
             assert_eq!(m1, m2, "both algorithms must agree on the schedule");
         }

@@ -61,8 +61,8 @@ fn main() {
                 worst_stall = worst_stall.max(r.total_stall());
             }
             let mk_ratio = s.makespan().as_u64() as f64 / worst_makespan.as_u64().max(1) as f64;
-            let int_ratio = s.total_interference().as_u64() as f64
-                / worst_stall.as_u64().max(1) as f64;
+            let int_ratio =
+                s.total_interference().as_u64() as f64 / worst_stall.as_u64().max(1) as f64;
             println!(
                 "| {} | {n} | {} | {} | {mk_ratio:.3} | {} | {} | {int_ratio:.2} |",
                 family.label(),

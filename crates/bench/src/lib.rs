@@ -182,10 +182,7 @@ pub fn fit_exponent(points: &[(usize, f64)], min_seconds: f64) -> Option<f64> {
     let n = usable.len() as f64;
     let mean_x = usable.iter().map(|p| p.0).sum::<f64>() / n;
     let mean_y = usable.iter().map(|p| p.1).sum::<f64>() / n;
-    let sxy: f64 = usable
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = usable.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     let sxx: f64 = usable.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
     if sxx == 0.0 {
         return None;
@@ -305,7 +302,10 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::p
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializes"))?;
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serializes"),
+    )?;
     Ok(path)
 }
 

@@ -72,7 +72,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "sdf" => sdf_cmd(rest),
         "dot" => dot_cmd(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
-        other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
     }
 }
 
@@ -310,7 +312,10 @@ fn sdf_cmd(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| CliError::Usage("sdf needs --cores".into()))?
         .parse()
         .map_err(|_| CliError::Usage("--cores must be a number".into()))?;
-    let iterations: u64 = opt(args, "--iterations").unwrap_or("1").parse().unwrap_or(1);
+    let iterations: u64 = opt(args, "--iterations")
+        .unwrap_or("1")
+        .parse()
+        .unwrap_or(1);
     let text = fs::read_to_string(path)?;
     let graph = mia_sdf::parse(&text).map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
     let expansion = graph
@@ -436,8 +441,13 @@ mod tests {
             }"#,
         )
         .unwrap();
-        let out = run(&args(&["simulate", path.to_str().unwrap(), "--pattern", "random"]))
-            .unwrap();
+        let out = run(&args(&[
+            "simulate",
+            path.to_str().unwrap(),
+            "--pattern",
+            "random",
+        ]))
+        .unwrap();
         assert!(out.contains("soundness: OK"), "{out}");
         std::fs::remove_file(path).ok();
     }
@@ -508,7 +518,12 @@ mod tests {
         let w_path = dir.join("chrome-w.json");
         let t_path = dir.join("trace.json");
         run(&args(&[
-            "generate", "--family", "LS4", "-n", "16", "-o",
+            "generate",
+            "--family",
+            "LS4",
+            "-n",
+            "16",
+            "-o",
             w_path.to_str().unwrap(),
         ]))
         .unwrap();

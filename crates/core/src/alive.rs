@@ -86,7 +86,10 @@ pub(crate) fn add_interferer<A, O>(
                     .collect();
                 let new_inter = arbiter.bank_interference(dest_core, d_dest, &set, access);
                 stats.ibus_calls += 1;
-                let old = dest.bank_inter.insert(bank, new_inter).unwrap_or(Cycles::ZERO);
+                let old = dest
+                    .bank_inter
+                    .insert(bank, new_inter)
+                    .unwrap_or(Cycles::ZERO);
                 // Monotonicity is an arbiter contract; clamp defensively so
                 // a faulty arbiter cannot make the accounting underflow.
                 let new_inter = new_inter.max(old);

@@ -49,8 +49,13 @@ pub fn analyze<A>(problem: &Problem, arbiter: &A) -> Result<Schedule, AnalysisEr
 where
     A: Arbiter + ?Sized,
 {
-    analyze_with(problem, arbiter, &AnalysisOptions::default(), &mut NoopObserver)
-        .map(|r| r.schedule)
+    analyze_with(
+        problem,
+        arbiter,
+        &AnalysisOptions::default(),
+        &mut NoopObserver,
+    )
+    .map(|r| r.schedule)
 }
 
 /// Runs the incremental analysis with explicit options and an observer.
@@ -275,7 +280,11 @@ mod tests {
             interferers: &[InterfererDemand],
             access_cycles: Cycles,
         ) -> Cycles {
-            access_cycles * interferers.iter().map(|i| demand.min(i.accesses)).sum::<u64>()
+            access_cycles
+                * interferers
+                    .iter()
+                    .map(|i| demand.min(i.accesses))
+                    .sum::<u64>()
         }
 
         fn is_additive(&self) -> bool {
@@ -404,8 +413,7 @@ mod tests {
                 .private_demand(BankDemand::single(BankId(0), 30)),
         );
         let m = Mapping::from_assignment(&g, &[0, 1]).unwrap();
-        let p =
-            Problem::with_policy(g, m, Platform::new(2, 2), BankPolicy::SingleBank).unwrap();
+        let p = Problem::with_policy(g, m, Platform::new(2, 2), BankPolicy::SingleBank).unwrap();
         let s = analyze(&p, &Rr).unwrap();
         // a suffers min(20, 30) = 20; b suffers min(30, 20) = 20.
         assert_eq!(s.timing(a).interference, Cycles(20));
@@ -435,7 +443,10 @@ mod tests {
         let err = analyze_with(&p2, &Rr, &opts, &mut NoopObserver).unwrap_err();
         assert!(matches!(
             err,
-            AnalysisError::TaskDeadlineMissed { task: TaskId(3), .. }
+            AnalysisError::TaskDeadlineMissed {
+                task: TaskId(3),
+                ..
+            }
         ));
         // A 5-cycle deadline is met; without enforcement nothing aborts.
         let mut g3 = p.graph().clone();

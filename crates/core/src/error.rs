@@ -53,7 +53,10 @@ impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::DeadlineExceeded { makespan, deadline } => {
-                write!(f, "unschedulable: makespan {makespan} exceeds deadline {deadline}")
+                write!(
+                    f,
+                    "unschedulable: makespan {makespan} exceeds deadline {deadline}"
+                )
             }
             AnalysisError::Deadlock { stuck } => {
                 write!(f, "schedule deadlocked: task {stuck} never became eligible")
@@ -68,7 +71,10 @@ impl fmt::Display for AnalysisError {
             ),
             AnalysisError::Cancelled => write!(f, "analysis cancelled"),
             AnalysisError::NoConvergence { iterations } => {
-                write!(f, "fixed point did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "fixed point did not converge after {iterations} iterations"
+                )
             }
             AnalysisError::Model(e) => write!(f, "invalid model: {e}"),
         }

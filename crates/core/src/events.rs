@@ -30,7 +30,9 @@ use mia_model::arbiter::Arbiter;
 use mia_model::{CoreId, Cycles, Problem, Schedule, TaskId, TaskTiming};
 
 use crate::alive::{add_interferer, AliveTask};
-use crate::{AnalysisError, AnalysisOptions, AnalysisReport, AnalysisStats, NoopObserver, Observer};
+use crate::{
+    AnalysisError, AnalysisOptions, AnalysisReport, AnalysisStats, NoopObserver, Observer,
+};
 
 /// Runs the event-driven analysis with default options and no observer.
 ///
@@ -67,8 +69,13 @@ pub fn analyze_event_driven<A>(problem: &Problem, arbiter: &A) -> Result<Schedul
 where
     A: Arbiter + ?Sized,
 {
-    analyze_event_driven_with(problem, arbiter, &AnalysisOptions::default(), &mut NoopObserver)
-        .map(|r| r.schedule)
+    analyze_event_driven_with(
+        problem,
+        arbiter,
+        &AnalysisOptions::default(),
+        &mut NoopObserver,
+    )
+    .map(|r| r.schedule)
 }
 
 /// Runs the event-driven analysis with explicit options and an observer.
@@ -179,8 +186,7 @@ where
                     observer.on_open(head, CoreId::from_index(core_idx), t);
                     // Seed the finish event at the isolation finish date;
                     // interference updates below push refreshed entries.
-                    finish_events
-                        .push(Reverse((t + graph.task(head).wcet(), core_idx)));
+                    finish_events.push(Reverse((t + graph.task(head).wcet(), core_idx)));
                     newly.push(core_idx);
                     changed = true;
                 }
@@ -191,7 +197,10 @@ where
                     if other_idx == new_idx || alive[other_idx].is_none() {
                         continue;
                     }
-                    let before = (finish_of(&alive, other_idx, problem), finish_of(&alive, new_idx, problem));
+                    let before = (
+                        finish_of(&alive, other_idx, problem),
+                        finish_of(&alive, new_idx, problem),
+                    );
                     add_interferer(
                         problem, arbiter, options, observer, &mut alive, new_idx, other_idx,
                         access, &mut stats,
@@ -200,7 +209,10 @@ where
                         problem, arbiter, options, observer, &mut alive, other_idx, new_idx,
                         access, &mut stats,
                     );
-                    let after = (finish_of(&alive, other_idx, problem), finish_of(&alive, new_idx, problem));
+                    let after = (
+                        finish_of(&alive, other_idx, problem),
+                        finish_of(&alive, new_idx, problem),
+                    );
                     if before.0 != after.0 {
                         finish_events.push(Reverse((after.0.expect("alive"), other_idx)));
                     }
@@ -306,7 +318,11 @@ mod tests {
             interferers: &[InterfererDemand],
             access_cycles: Cycles,
         ) -> Cycles {
-            access_cycles * interferers.iter().map(|i| demand.min(i.accesses)).sum::<u64>()
+            access_cycles
+                * interferers
+                    .iter()
+                    .map(|i| demand.min(i.accesses))
+                    .sum::<u64>()
         }
 
         fn is_additive(&self) -> bool {
@@ -381,15 +397,13 @@ mod tests {
     fn deadline_and_cancellation_behave_like_analyze() {
         let p = figure1();
         let opts = AnalysisOptions::new().deadline(Cycles(6));
-        let err =
-            analyze_event_driven_with(&p, &Rr, &opts, &mut NoopObserver).unwrap_err();
+        let err = analyze_event_driven_with(&p, &Rr, &opts, &mut NoopObserver).unwrap_err();
         assert!(matches!(err, AnalysisError::DeadlineExceeded { .. }));
 
         let token = crate::CancelToken::new();
         token.cancel();
         let opts = AnalysisOptions::new().cancel_token(token);
-        let err =
-            analyze_event_driven_with(&p, &Rr, &opts, &mut NoopObserver).unwrap_err();
+        let err = analyze_event_driven_with(&p, &Rr, &opts, &mut NoopObserver).unwrap_err();
         assert_eq!(err, AnalysisError::Cancelled);
     }
 
@@ -399,8 +413,7 @@ mod tests {
         let scan =
             crate::analyze_with(&p, &Rr, &AnalysisOptions::new(), &mut NoopObserver).unwrap();
         let heap =
-            analyze_event_driven_with(&p, &Rr, &AnalysisOptions::new(), &mut NoopObserver)
-                .unwrap();
+            analyze_event_driven_with(&p, &Rr, &AnalysisOptions::new(), &mut NoopObserver).unwrap();
         // The same cursor positions are visited and the same pairs
         // examined; only the *mechanism* of finding t_next differs.
         assert_eq!(scan.stats.cursor_steps, heap.stats.cursor_steps);

@@ -4,8 +4,7 @@
 
 use mia_arbiter::{Fifo, FixedPriority, MppaTree, RoundRobin, Tdm};
 use mia_core::{
-    analyze_event_driven, analyze_event_driven_with, analyze_with, AnalysisOptions,
-    NoopObserver,
+    analyze_event_driven, analyze_event_driven_with, analyze_with, AnalysisOptions, NoopObserver,
 };
 use mia_dag_gen::{topologies, Family, LayeredDag};
 use mia_model::{Arbiter, Cycles, Platform, Problem};

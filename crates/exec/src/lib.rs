@@ -114,7 +114,9 @@ impl DispatchTable {
     ///
     /// [`ExecError::InvalidSchedule`] wrapping the first violation.
     pub fn from_schedule(problem: &Problem, schedule: &Schedule) -> Result<Self, ExecError> {
-        schedule.check(problem).map_err(ExecError::InvalidSchedule)?;
+        schedule
+            .check(problem)
+            .map_err(ExecError::InvalidSchedule)?;
         let mapping = problem.mapping();
         let graph = problem.graph();
         let mut cores: Vec<Vec<DispatchEntry>> = Vec::with_capacity(mapping.cores());
@@ -304,7 +306,11 @@ mod tests {
             interferers: &[InterfererDemand],
             access_cycles: Cycles,
         ) -> Cycles {
-            access_cycles * interferers.iter().map(|i| demand.min(i.accesses)).sum::<u64>()
+            access_cycles
+                * interferers
+                    .iter()
+                    .map(|i| demand.min(i.accesses))
+                    .sum::<u64>()
         }
     }
 

@@ -225,7 +225,9 @@ impl LayeredDag {
                 if !has_successor[i] {
                     let j = rng.random_range(0..next.len());
                     let words = rng.random_range(cfg.edge_words.clone());
-                    graph.add_edge(src, next[j], words).expect("valid forward edge");
+                    graph
+                        .add_edge(src, next[j], words)
+                        .expect("valid forward edge");
                     has_predecessor[j] = true;
                 }
             }

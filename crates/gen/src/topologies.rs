@@ -134,13 +134,7 @@ pub fn diamond(depth: usize, width: usize, cores: usize, wcet: Cycles, words: u6
 /// # Panics
 ///
 /// Panics if `stages`, `width` or `cores` is zero.
-pub fn pipeline(
-    stages: usize,
-    width: usize,
-    cores: usize,
-    wcet: Cycles,
-    words: u64,
-) -> Workload {
+pub fn pipeline(stages: usize, width: usize, cores: usize, wcet: Cycles, words: u64) -> Workload {
     assert!(stages > 0 && width > 0 && cores > 0);
     let mut g = TaskGraph::with_capacity(stages * width);
     let mut layers_vec = Vec::with_capacity(stages * width);
@@ -220,13 +214,7 @@ pub fn reduction_tree(leaves: usize, cores: usize, wcet: Cycles, words: u64) -> 
 /// # Panics
 ///
 /// Panics if `steps`, `points` or `cores` is zero.
-pub fn stencil_1d(
-    steps: usize,
-    points: usize,
-    cores: usize,
-    wcet: Cycles,
-    words: u64,
-) -> Workload {
+pub fn stencil_1d(steps: usize, points: usize, cores: usize, wcet: Cycles, words: u64) -> Workload {
     assert!(steps > 0 && points > 0 && cores > 0);
     let mut g = TaskGraph::with_capacity(steps * points);
     let mut layers_vec = Vec::with_capacity(steps * points);

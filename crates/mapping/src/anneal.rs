@@ -101,8 +101,10 @@ pub fn anneal(
         return Err(ModelError::EmptyPlatform);
     }
     let n = graph.len();
-    let mut assignment: Vec<usize> =
-        graph.task_ids().map(|t| initial.core_of(t).index()).collect();
+    let mut assignment: Vec<usize> = graph
+        .task_ids()
+        .map(|t| initial.core_of(t).index())
+        .collect();
     let topo = graph.topological_order()?;
     if n == 0 || cores == 1 {
         return mapping_from_assignment(graph, &topo, &assignment, cores);
@@ -202,8 +204,7 @@ mod tests {
         let refined = anneal(&g, 3, &start, &AnnealConfig::default()).unwrap();
         let asg: Vec<usize> = g.task_ids().map(|t| refined.core_of(t).index()).collect();
         assert!(
-            assignment_makespan(&g, &asg).unwrap()
-                <= assignment_makespan(&g, &start_asg).unwrap()
+            assignment_makespan(&g, &asg).unwrap() <= assignment_makespan(&g, &start_asg).unwrap()
         );
     }
 

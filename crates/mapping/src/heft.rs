@@ -134,8 +134,7 @@ mod tests {
             g.add_task(Task::builder(format!("t{i}")).wcet(Cycles(10)));
         }
         let m = heft(&g, 4, 1).unwrap();
-        let used: std::collections::HashSet<_> =
-            g.task_ids().map(|t| m.core_of(t)).collect();
+        let used: std::collections::HashSet<_> = g.task_ids().map(|t| m.core_of(t)).collect();
         assert_eq!(used.len(), 4);
     }
 
@@ -152,7 +151,11 @@ mod tests {
     #[test]
     fn min_release_is_respected_in_eft() {
         let mut g = TaskGraph::new();
-        let late = g.add_task(Task::builder("late").wcet(Cycles(5)).min_release(Cycles(100)));
+        let late = g.add_task(
+            Task::builder("late")
+                .wcet(Cycles(5))
+                .min_release(Cycles(100)),
+        );
         let _ = late;
         let m = heft(&g, 1, 1).unwrap();
         assert_eq!(m.len(), 1);

@@ -254,7 +254,11 @@ mod tests {
     #[test]
     fn earliest_finish_uses_min_release() {
         let mut g = TaskGraph::new();
-        let late = g.add_task(Task::builder("late").wcet(Cycles(5)).min_release(Cycles(100)));
+        let late = g.add_task(
+            Task::builder("late")
+                .wcet(Cycles(5))
+                .min_release(Cycles(100)),
+        );
         let early = g.add_task(Task::builder("early").wcet(Cycles(5)));
         let m = earliest_finish(&g, 1).unwrap();
         // The early task must be ordered before the release-delayed one.
@@ -268,7 +272,10 @@ mod tests {
             layered_cyclic(&g, 0),
             Err(ModelError::EmptyPlatform)
         ));
-        assert!(matches!(load_balanced(&g, 0), Err(ModelError::EmptyPlatform)));
+        assert!(matches!(
+            load_balanced(&g, 0),
+            Err(ModelError::EmptyPlatform)
+        ));
         assert!(matches!(
             earliest_finish(&g, 0),
             Err(ModelError::EmptyPlatform)

@@ -196,14 +196,13 @@ fn combined_topological_order(
     let mut out = Vec::with_capacity(n);
     while let Some(Reverse(t)) = ready.pop() {
         out.push(t);
-        let relax = |succ: TaskId,
-                     indegree: &mut Vec<usize>,
-                     ready: &mut BinaryHeap<Reverse<TaskId>>| {
-            indegree[succ.index()] -= 1;
-            if indegree[succ.index()] == 0 {
-                ready.push(Reverse(succ));
-            }
-        };
+        let relax =
+            |succ: TaskId, indegree: &mut Vec<usize>, ready: &mut BinaryHeap<Reverse<TaskId>>| {
+                indegree[succ.index()] -= 1;
+                if indegree[succ.index()] == 0 {
+                    ready.push(Reverse(succ));
+                }
+            };
         for e in graph.successors(t) {
             relax(e.dst, &mut indegree, &mut ready);
         }

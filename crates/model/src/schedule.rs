@@ -129,7 +129,10 @@ impl Schedule {
             for pair in order.windows(2) {
                 let (a, b) = (pair[0], pair[1]);
                 if self.timing(b).release < self.timing(a).finish() {
-                    return Err(ScheduleViolation::CoreOverlap { first: a, second: b });
+                    return Err(ScheduleViolation::CoreOverlap {
+                        first: a,
+                        second: b,
+                    });
                 }
             }
         }
@@ -167,14 +170,20 @@ impl std::fmt::Display for ScheduleViolation {
                 write!(f, "task {t} released before its minimal release date")
             }
             ScheduleViolation::ReleasedBeforeDependency { task, dependency } => {
-                write!(f, "task {task} released before dependency {dependency} finishes")
+                write!(
+                    f,
+                    "task {task} released before dependency {dependency} finishes"
+                )
             }
             ScheduleViolation::DeadlineMissed {
                 task,
                 response,
                 deadline,
             } => {
-                write!(f, "task {task} responds in {response}, past its deadline {deadline}")
+                write!(
+                    f,
+                    "task {task} responds in {response}, past its deadline {deadline}"
+                )
             }
             ScheduleViolation::CoreOverlap { first, second } => {
                 write!(f, "tasks {first} and {second} overlap on their core")

@@ -188,7 +188,10 @@ mod tests {
 
     #[test]
     fn deadline_round_trips() {
-        let t = Task::builder("rt").wcet(Cycles(10)).deadline(Cycles(25)).build();
+        let t = Task::builder("rt")
+            .wcet(Cycles(10))
+            .deadline(Cycles(25))
+            .build();
         assert_eq!(t.deadline(), Some(Cycles(25)));
         let mut t2 = Task::builder("free").build();
         assert_eq!(t2.deadline(), None);

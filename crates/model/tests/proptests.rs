@@ -35,6 +35,8 @@ fn arb_dag(max_tasks: usize) -> impl Strategy<Value = TaskGraph> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn topological_order_is_a_permutation_respecting_edges(g in arb_dag(40)) {
         let order = g.topological_order().unwrap();

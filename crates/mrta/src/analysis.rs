@@ -283,7 +283,11 @@ mod tests {
             interferers: &[InterfererDemand],
             access_cycles: Cycles,
         ) -> Cycles {
-            access_cycles * interferers.iter().map(|i| demand.min(i.accesses)).sum::<u64>()
+            access_cycles
+                * interferers
+                    .iter()
+                    .map(|i| demand.min(i.accesses))
+                    .sum::<u64>()
         }
 
         fn is_additive(&self) -> bool {

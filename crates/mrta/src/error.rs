@@ -26,9 +26,17 @@ pub enum MrtaError {
     /// The assignment slice does not cover every task exactly once.
     AssignmentLength { tasks: usize, assigned: usize },
     /// A task was assigned to a core the platform does not have.
-    CoreOutOfRange { task: String, core: usize, cores: usize },
+    CoreOutOfRange {
+        task: String,
+        core: usize,
+        cores: usize,
+    },
     /// A task demands accesses to a bank the platform does not have.
-    BankOutOfRange { task: String, bank: usize, banks: usize },
+    BankOutOfRange {
+        task: String,
+        bank: usize,
+        banks: usize,
+    },
     /// Two tasks on the same core share a priority level; fixed-priority
     /// scheduling needs a total order per core.
     DuplicatePriority { first: String, second: String },
@@ -54,10 +62,9 @@ impl fmt::Display for MrtaError {
             MrtaError::ZeroDeadline { task } => {
                 write!(f, "task {task:?} has a zero deadline")
             }
-            MrtaError::AssignmentLength { tasks, assigned } => write!(
-                f,
-                "assignment covers {assigned} tasks, the set has {tasks}"
-            ),
+            MrtaError::AssignmentLength { tasks, assigned } => {
+                write!(f, "assignment covers {assigned} tasks, the set has {tasks}")
+            }
             MrtaError::CoreOutOfRange { task, core, cores } => write!(
                 f,
                 "task {task:?} assigned to core {core}, platform has {cores}"

@@ -106,7 +106,10 @@ impl Job {
         if self.mem_left == 0 {
             return None;
         }
-        self.bank_plan.iter().find(|&&(_, left)| left > 0).map(|&(b, _)| b)
+        self.bank_plan
+            .iter()
+            .find(|&&(_, left)| left > 0)
+            .map(|&(b, _)| b)
     }
 
     /// Consumes one work unit (memory or compute).
@@ -136,10 +139,7 @@ impl Job {
 ///
 /// The run releases jobs up to the configured horizon and then drains all
 /// outstanding work, so every released job completes and is counted.
-pub fn simulate_sporadic(
-    system: &SporadicSystem,
-    config: &SporadicSimConfig,
-) -> SporadicSimResult {
+pub fn simulate_sporadic(system: &SporadicSystem, config: &SporadicSimConfig) -> SporadicSimResult {
     let n = system.len();
     let cores = system.platform().cores();
     let banks = system.platform().banks();
@@ -170,11 +170,8 @@ pub fn simulate_sporadic(
             for (i, task) in system.tasks().iter().enumerate() {
                 if t.as_u64().is_multiple_of(task.period().as_u64()) {
                     let wcet = task.wcet().as_u64();
-                    let plan: Vec<(BankId, u64)> = task
-                        .demand()
-                        .iter()
-                        .map(|(b, d)| (b, d * access))
-                        .collect();
+                    let plan: Vec<(BankId, u64)> =
+                        task.demand().iter().map(|(b, d)| (b, d * access)).collect();
                     let mem: u64 = plan.iter().map(|&(_, u)| u).sum::<u64>().min(wcet);
                     let core = system.core_of(i).index();
                     ready[core].push(Job {
@@ -307,7 +304,11 @@ mod tests {
             interferers: &[InterfererDemand],
             access_cycles: Cycles,
         ) -> Cycles {
-            access_cycles * interferers.iter().map(|i| demand.min(i.accesses)).sum::<u64>()
+            access_cycles
+                * interferers
+                    .iter()
+                    .map(|i| demand.min(i.accesses))
+                    .sum::<u64>()
         }
 
         fn is_additive(&self) -> bool {
@@ -403,8 +404,7 @@ mod tests {
 
     #[test]
     fn zero_wcet_job_completes_instantly() {
-        let s =
-            SporadicSystem::new(vec![task("z", 0, 10)], &[0], Platform::new(1, 1)).unwrap();
+        let s = SporadicSystem::new(vec![task("z", 0, 10)], &[0], Platform::new(1, 1)).unwrap();
         let r = simulate_sporadic(&s, &SporadicSimConfig::new());
         assert_eq!(r.max_response(0), Some(Cycles::ZERO));
         assert!(r.all_deadlines_met());

@@ -193,7 +193,9 @@ impl SporadicSystem {
 
     /// Processor utilization of one core: `Σ C_i/T_i` over its tasks.
     pub fn core_utilization(&self, core: CoreId) -> f64 {
-        self.tasks_on(core).map(|i| self.tasks[i].utilization()).sum()
+        self.tasks_on(core)
+            .map(|i| self.tasks[i].utilization())
+            .sum()
     }
 
     /// The highest per-core utilization; above 1.0 the set is trivially
@@ -297,17 +299,16 @@ mod tests {
     #[test]
     fn rejects_duplicate_priorities_on_one_core() {
         let tasks = vec![task("a", 1, 10, 10), task("b", 1, 20, 20)];
-        let err =
-            SporadicSystem::with_priorities(tasks, &[0, 0], &[3, 3], Platform::new(1, 1))
-                .unwrap_err();
+        let err = SporadicSystem::with_priorities(tasks, &[0, 0], &[3, 3], Platform::new(1, 1))
+            .unwrap_err();
         assert!(matches!(err, MrtaError::DuplicatePriority { .. }));
     }
 
     #[test]
     fn duplicate_priorities_across_cores_are_fine() {
         let tasks = vec![task("a", 1, 10, 10), task("b", 1, 20, 20)];
-        let s = SporadicSystem::with_priorities(tasks, &[0, 1], &[3, 3], Platform::new(2, 2))
-            .unwrap();
+        let s =
+            SporadicSystem::with_priorities(tasks, &[0, 1], &[3, 3], Platform::new(2, 2)).unwrap();
         assert_eq!(s.priority(0), 3);
         assert_eq!(s.priority(1), 3);
     }

@@ -196,7 +196,10 @@ mod tests {
 
     #[test]
     fn missing_period_is_an_error() {
-        let err = SporadicTask::builder("t").wcet(Cycles(5)).build().unwrap_err();
+        let err = SporadicTask::builder("t")
+            .wcet(Cycles(5))
+            .build()
+            .unwrap_err();
         assert_eq!(err, MrtaError::ZeroPeriod { task: "t".into() });
     }
 

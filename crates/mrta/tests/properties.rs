@@ -40,12 +40,13 @@ fn arb_system() -> impl Strategy<Value = SporadicSystem> {
             })
             .collect();
         let assignment: Vec<usize> = (0..tasks.len()).map(|i| i % cores).collect();
-        SporadicSystem::new(tasks, &assignment, Platform::new(cores, 2))
-            .expect("valid system")
+        SporadicSystem::new(tasks, &assignment, Platform::new(cores, 2)).expect("valid system")
     })
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// A response-time bound is never below the task's isolation WCET.
     #[test]
     fn response_dominates_wcet(system in arb_system()) {

@@ -141,8 +141,9 @@ mod tests {
     #[test]
     fn collect_and_extend() {
         let t = Torus::new(2, 2);
-        let mut set: FlowSet =
-            [Flow::new(t.node(0, 0), t.node(1, 1), 1)].into_iter().collect();
+        let mut set: FlowSet = [Flow::new(t.node(0, 0), t.node(1, 1), 1)]
+            .into_iter()
+            .collect();
         set.extend([Flow::new(t.node(1, 0), t.node(0, 1), 2)]);
         assert_eq!(set.len(), 2);
         assert!(!set.is_empty());

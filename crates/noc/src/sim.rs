@@ -81,7 +81,11 @@ pub fn simulate_flows(torus: &Torus, flows: &FlowSet, config: &NocConfig) -> Noc
         .map(|(_, f)| config.service(f.payload).as_u64() * torus.hops(f.src, f.dst) as u64)
         .sum();
     let horizon = Cycles(total_work * (n as u64 + 1) + 1_000)
-        + flows.iter().map(|(_, f)| f.release).max().unwrap_or(Cycles::ZERO);
+        + flows
+            .iter()
+            .map(|(_, f)| f.release)
+            .max()
+            .unwrap_or(Cycles::ZERO);
 
     while packets.iter().any(|p| p.delivered.is_none()) && t < horizon {
         // Grant free links to waiting packets, round-robin by flow index.
@@ -97,10 +101,7 @@ pub fn simulate_flows(torus: &Torus, flows: &FlowSet, config: &NocConfig) -> Noc
                 continue;
             }
             let ptr = rr.entry(link).or_insert(0);
-            let winner = *waiters
-                .iter()
-                .find(|&&i| i >= *ptr)
-                .unwrap_or(&waiters[0]);
+            let winner = *waiters.iter().find(|&&i| i >= *ptr).unwrap_or(&waiters[0]);
             *ptr = winner + 1;
             let payload = flows.flow(FlowId(winner as u32)).payload;
             packets[winner].serving = config.service(payload).as_u64();

@@ -11,7 +11,11 @@ fn arb_case() -> impl Strategy<Value = (Torus, FlowSet, NocConfig)> {
         word_cycles,
         header_cycles,
     });
-    (dims, cfg, proptest::collection::vec((any::<u16>(), any::<u16>(), 1u64..=16, 0u64..=8), 0..10))
+    (
+        dims,
+        cfg,
+        proptest::collection::vec((any::<u16>(), any::<u16>(), 1u64..=16, 0u64..=8), 0..10),
+    )
         .prop_map(|((cols, rows), cfg, specs)| {
             let torus = Torus::new(cols, rows);
             let flows: FlowSet = specs

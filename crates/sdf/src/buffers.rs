@@ -115,10 +115,7 @@ impl SdfGraph {
         }
         // One iteration returns every channel to its initial marking — the
         // defining property of the repetition vector.
-        debug_assert!(tokens
-            .iter()
-            .zip(channels)
-            .all(|(&t, c)| t == c.initial));
+        debug_assert!(tokens.iter().zip(channels).all(|(&t, c)| t == c.initial));
 
         let words = peak
             .iter()

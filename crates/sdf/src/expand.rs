@@ -108,9 +108,7 @@ impl SdfGraph {
                             // fold the weight into the existing edge is not
                             // supported by TaskGraph, so keep the first.
                         }
-                        Err(mia_model::ModelError::SelfLoop(_)) => {
-                            return Err(SdfError::Deadlock)
-                        }
+                        Err(mia_model::ModelError::SelfLoop(_)) => return Err(SdfError::Deadlock),
                         Err(_) => unreachable!("endpoints are valid by construction"),
                     }
                 }

@@ -122,14 +122,18 @@ fn parse_channel<'a>(
         line,
         message: "channel needs a destination actor".into(),
     })?;
-    let src = graph.actor_by_name(src_name).ok_or_else(|| SdfError::Parse {
-        line,
-        message: format!("unknown actor `{src_name}`"),
-    })?;
-    let dst = graph.actor_by_name(dst_name).ok_or_else(|| SdfError::Parse {
-        line,
-        message: format!("unknown actor `{dst_name}`"),
-    })?;
+    let src = graph
+        .actor_by_name(src_name)
+        .ok_or_else(|| SdfError::Parse {
+            line,
+            message: format!("unknown actor `{src_name}`"),
+        })?;
+    let dst = graph
+        .actor_by_name(dst_name)
+        .ok_or_else(|| SdfError::Parse {
+            line,
+            message: format!("unknown actor `{dst_name}`"),
+        })?;
     let (mut produce, mut consume, mut tokens, mut token_words) = (None, None, 0, 1);
     for kv in words {
         let (key, value) = split_kv(kv, line)?;
@@ -200,10 +204,8 @@ mod tests {
 
     #[test]
     fn defaults_for_optional_attributes() {
-        let g = parse(
-            "actor a wcet=1\nactor b wcet=1\nchannel a -> b produce=1 consume=1",
-        )
-        .unwrap();
+        let g =
+            parse("actor a wcet=1\nactor b wcet=1\nchannel a -> b produce=1 consume=1").unwrap();
         let ch = g.channels()[0];
         assert_eq!(ch.initial, 0);
         assert_eq!(ch.words_per_token, 1);
@@ -244,8 +246,8 @@ mod tests {
 
     #[test]
     fn zero_rate_via_parser_is_reported_with_line() {
-        let err =
-            parse("actor a wcet=1\nactor b wcet=1\nchannel a -> b produce=0 consume=1").unwrap_err();
+        let err = parse("actor a wcet=1\nactor b wcet=1\nchannel a -> b produce=0 consume=1")
+            .unwrap_err();
         assert!(matches!(err, SdfError::Parse { line: 3, .. }));
     }
 }

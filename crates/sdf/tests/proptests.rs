@@ -8,27 +8,34 @@ use proptest::prelude::*;
 /// Strategy: a random acyclic SDF pipeline-ish graph (forward channels
 /// only, small rates, so repetition vectors stay small).
 fn arb_sdf() -> impl Strategy<Value = SdfGraph> {
-    (2usize..7).prop_flat_map(|n| {
-        let channels = proptest::collection::vec(
-            (0..n, 0..n, 1u64..5, 1u64..5, 0u64..4, 1u64..8).prop_filter_map(
-                "forward channel",
-                |(a, b, p, c, d, w)| if a < b { Some((a, b, p, c, d, w)) } else { None },
-            ),
-            1..(n * 2),
-        );
-        let wcets = proptest::collection::vec(1u64..500, n);
-        (Just(n), channels, wcets)
-    })
-    .prop_map(|(n, channels, wcets)| {
-        let mut g = SdfGraph::new();
-        let ids: Vec<_> = (0..n)
-            .map(|i| g.add_actor(format!("a{i}"), Cycles(wcets[i]), (i as u64) * 3))
-            .collect();
-        for (a, b, p, c, d, w) in channels {
-            g.add_channel(ids[a], ids[b], p, c, d, w).unwrap();
-        }
-        g
-    })
+    (2usize..7)
+        .prop_flat_map(|n| {
+            let channels = proptest::collection::vec(
+                (0..n, 0..n, 1u64..5, 1u64..5, 0u64..4, 1u64..8).prop_filter_map(
+                    "forward channel",
+                    |(a, b, p, c, d, w)| {
+                        if a < b {
+                            Some((a, b, p, c, d, w))
+                        } else {
+                            None
+                        }
+                    },
+                ),
+                1..(n * 2),
+            );
+            let wcets = proptest::collection::vec(1u64..500, n);
+            (Just(n), channels, wcets)
+        })
+        .prop_map(|(n, channels, wcets)| {
+            let mut g = SdfGraph::new();
+            let ids: Vec<_> = (0..n)
+                .map(|i| g.add_actor(format!("a{i}"), Cycles(wcets[i]), (i as u64) * 3))
+                .collect();
+            for (a, b, p, c, d, w) in channels {
+                g.add_channel(ids[a], ids[b], p, c, d, w).unwrap();
+            }
+            g
+        })
 }
 
 proptest! {
@@ -108,6 +115,8 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// Closed form for a two-actor chain under the eager schedule: the
     /// source (no inputs) fires all its repetitions first, so the channel
     /// peaks at `initial + lcm(produce, consume)` tokens.

@@ -173,7 +173,11 @@ mod tests {
             interferers: &[InterfererDemand],
             access_cycles: Cycles,
         ) -> Cycles {
-            access_cycles * interferers.iter().map(|i| demand.min(i.accesses)).sum::<u64>()
+            access_cycles
+                * interferers
+                    .iter()
+                    .map(|i| demand.min(i.accesses))
+                    .sum::<u64>()
         }
 
         fn is_additive(&self) -> bool {
@@ -213,13 +217,13 @@ mod tests {
     fn overrun_past_slack_is_detected() {
         let p = chained_problem();
         let schedule = mia_core::analyze(&p, &Rr).unwrap();
-        let faulty = apply_faults(
-            &p,
-            &FaultPlan::new().overrun(TaskId(0), Cycles(100)),
+        let faulty = apply_faults(&p, &FaultPlan::new().overrun(TaskId(0), Cycles(100))).unwrap();
+        let run = simulate(
+            &faulty,
+            &schedule,
+            &SimConfig::new(AccessPattern::BurstStart),
         )
         .unwrap();
-        let run = simulate(&faulty, &schedule, &SimConfig::new(AccessPattern::BurstStart))
-            .unwrap();
         assert_eq!(run.first_violation(&schedule), Some(TaskId(0)));
     }
 
@@ -260,8 +264,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(faulty.graph().task(TaskId(0)).wcet(), Cycles(250));
-        let run = simulate(&faulty, &schedule, &SimConfig::new(AccessPattern::BurstStart))
-            .unwrap();
+        let run = simulate(
+            &faulty,
+            &schedule,
+            &SimConfig::new(AccessPattern::BurstStart),
+        )
+        .unwrap();
         assert_eq!(run.first_violation(&schedule), Some(TaskId(0)));
     }
 

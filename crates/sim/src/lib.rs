@@ -248,9 +248,9 @@ impl SimResult {
     /// simulated finish is within the analysed worst case. Returns the
     /// first violating task, if any.
     pub fn first_violation(&self, schedule: &Schedule) -> Option<TaskId> {
-        (0..self.finish.len()).map(TaskId::from_index).find(|&t| {
-            self.finish(t) > schedule.timing(t).finish()
-        })
+        (0..self.finish.len())
+            .map(TaskId::from_index)
+            .find(|&t| self.finish(t) > schedule.timing(t).finish())
     }
 }
 
@@ -579,10 +579,12 @@ where
                         access_cycles,
                         &mut rng,
                     )
-                    .map_err(|(demand_cycles, wcet)| SimError::DemandExceedsWcet {
-                        task,
-                        demand_cycles,
-                        wcet,
+                    .map_err(|(demand_cycles, wcet)| {
+                        SimError::DemandExceedsWcet {
+                            task,
+                            demand_cycles,
+                            wcet,
+                        }
                     })?;
                     running[core] = Some(ExecState {
                         task,
@@ -781,9 +783,7 @@ mod tests {
         let p = contention_problem(10);
         let s = schedule_both_at_zero(&p, 120);
         let r = simulate(&p, &s, &SimConfig::new(AccessPattern::BurstStart)).unwrap();
-        let total: u64 = (0..2)
-            .map(|i| r.stall(TaskId(i)).as_u64())
-            .sum();
+        let total: u64 = (0..2).map(|i| r.stall(TaskId(i)).as_u64()).sum();
         assert!(total > 0, "contention must stall someone");
         for i in 0..2 {
             assert!(r.stall(TaskId(i)) <= Cycles(10));
@@ -882,7 +882,11 @@ mod tests {
         // Four equal burst competitors: each waits at most 3 slots per
         // access → stall ≤ 48.
         for i in 0..4 {
-            assert!(r.stall(TaskId(i)) <= Cycles(48), "task {i}: {:?}", r.stall(TaskId(i)));
+            assert!(
+                r.stall(TaskId(i)) <= Cycles(48),
+                "task {i}: {:?}",
+                r.stall(TaskId(i))
+            );
         }
         assert!(r.first_violation(&s).is_none());
     }

@@ -14,13 +14,29 @@ use mia_model::{BankId, CoreId, Cycles, TaskId};
 #[non_exhaustive]
 pub enum SimEvent {
     /// A task started on a core (its time-triggered release fired).
-    Start { at: Cycles, task: TaskId, core: CoreId },
+    Start {
+        at: Cycles,
+        task: TaskId,
+        core: CoreId,
+    },
     /// A task retired.
-    Finish { at: Cycles, task: TaskId, core: CoreId },
+    Finish {
+        at: Cycles,
+        task: TaskId,
+        core: CoreId,
+    },
     /// A bank granted one access to a core.
-    Grant { at: Cycles, bank: BankId, core: CoreId },
+    Grant {
+        at: Cycles,
+        bank: BankId,
+        core: CoreId,
+    },
     /// A core spent the cycle stalled waiting for a bank.
-    Stall { at: Cycles, bank: BankId, core: CoreId },
+    Stall {
+        at: Cycles,
+        bank: BankId,
+        core: CoreId,
+    },
 }
 
 impl SimEvent {
@@ -114,11 +130,7 @@ impl BankStats {
 
     /// The bank that served the most accesses, if any access was served.
     pub fn hottest_bank(&self) -> Option<BankId> {
-        let (idx, &n) = self
-            .grants
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &n)| n)?;
+        let (idx, &n) = self.grants.iter().enumerate().max_by_key(|&(_, &n)| n)?;
         (n > 0).then(|| BankId::from_index(idx))
     }
 

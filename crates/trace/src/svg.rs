@@ -128,7 +128,9 @@ pub fn to_svg(problem: &Problem, schedule: &Schedule, options: &SvgOptions) -> S
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -149,9 +149,7 @@ impl MustCache {
             .zip(&other.sets)
             .map(|(a, b)| {
                 a.iter()
-                    .filter_map(|(&blk, &age_a)| {
-                        b.get(&blk).map(|&age_b| (blk, age_a.max(age_b)))
-                    })
+                    .filter_map(|(&blk, &age_a)| b.get(&blk).map(|&age_b| (blk, age_a.max(age_b))))
                     .collect()
             })
             .collect();
@@ -324,12 +322,7 @@ impl Classification {
     /// # Panics
     ///
     /// Panics if `block` is out of range.
-    pub fn block_weight(
-        &self,
-        block: BlockId,
-        fetch_cycles: u64,
-        miss_penalty: u64,
-    ) -> (u64, u64) {
+    pub fn block_weight(&self, block: BlockId, fetch_cycles: u64, miss_penalty: u64) -> (u64, u64) {
         let refs = self.classes[block.index()].len() as u64;
         let misses = self.misses(block);
         (refs * fetch_cycles + misses * miss_penalty, misses)
@@ -526,7 +519,10 @@ mod tests {
         g.add_edge(left, merge).unwrap();
         g.add_edge(right, merge).unwrap();
         let c = classify(&g, &CacheConfig::fully_associative(4)).unwrap();
-        assert_eq!(c.classes(merge), &[RefClass::AlwaysHit, RefClass::NotClassified]);
+        assert_eq!(
+            c.classes(merge),
+            &[RefClass::AlwaysHit, RefClass::NotClassified]
+        );
     }
 
     #[test]
@@ -539,7 +535,10 @@ mod tests {
         let c = classify(&g, &CacheConfig::fully_associative(2)).unwrap();
         // First ref: cold-path miss. Second ref: hits even on the cold
         // path (same block touched the line one reference earlier).
-        assert_eq!(c.classes(body), &[RefClass::NotClassified, RefClass::AlwaysHit]);
+        assert_eq!(
+            c.classes(body),
+            &[RefClass::NotClassified, RefClass::AlwaysHit]
+        );
     }
 
     #[test]

@@ -195,7 +195,9 @@ impl Cfg {
             }
         }
         if order.len() != n {
-            let culprit = (0..n).find(|&i| indeg[i] > 0).expect("cycle leaves in-degree");
+            let culprit = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .expect("cycle leaves in-degree");
             return Err(CfgError::Unbounded(BlockId(culprit as u32)));
         }
         // Longest path from the entry (block 0), per dimension.
@@ -315,6 +317,9 @@ mod tests {
     fn dangling_edge_is_an_error() {
         let mut c = Cfg::new();
         let a = c.add_block(1, 0);
-        assert_eq!(c.add_edge(a, BlockId(9)), Err(CfgError::UnknownBlock(BlockId(9))));
+        assert_eq!(
+            c.add_edge(a, BlockId(9)),
+            Err(CfgError::UnknownBlock(BlockId(9)))
+        );
     }
 }

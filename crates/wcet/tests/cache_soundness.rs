@@ -3,7 +3,7 @@
 //! exactly what makes the derived `(WCET, accesses)` pairs safe inputs for
 //! the interference analyses.
 
-use mia_wcet::cache::{classify, CacheConfig, ConcreteLru, ReferenceCfg, RefClass};
+use mia_wcet::cache::{classify, CacheConfig, ConcreteLru, RefClass, ReferenceCfg};
 use mia_wcet::BlockId;
 use proptest::prelude::*;
 
@@ -23,7 +23,9 @@ fn arb_cfg() -> impl Strategy<Value = ReferenceCfg> {
         }
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for _ in 0..n {

@@ -19,6 +19,8 @@ fn arb_program() -> impl Strategy<Value = Program> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// Sequencing is additive in both dimensions.
     #[test]
     fn seq_is_additive(a in arb_program(), b in arb_program()) {

@@ -64,7 +64,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // Data flow within the hyper-period (words = control vector sizes).
-    let by_name = |n: &str| ids[kernels.iter().position(|(k, _, _)| *k == n).unwrap().to_owned()];
+    let by_name = |n: &str| {
+        ids[kernels
+            .iter()
+            .position(|(k, _, _)| *k == n)
+            .unwrap()
+            .to_owned()]
+    };
     for (src, dst, words) in [
         ("gyro_acq_a", "elevator_a", 6),
         ("gyro_acq_a", "engine_a", 6),
@@ -86,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compare arbitration policies: same platform, different IBUS.
     println!("\narbiter pessimism comparison (same task set):");
-    println!("{:<16} {:>10} {:>14}", "arbiter", "makespan", "interference");
+    println!(
+        "{:<16} {:>10} {:>14}",
+        "arbiter", "makespan", "interference"
+    );
     let arbiters: Vec<Box<dyn Arbiter>> = vec![
         Box::new(RoundRobin::new()),
         Box::new(MppaTree::new(4, 2)),

@@ -91,14 +91,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t = schedule.timing(task);
         println!(
             "{name}: release {} + wcet {} + interference {} → finish {}",
-            t.release, t.wcet, t.interference, t.finish()
+            t.release,
+            t.wcet,
+            t.interference,
+            t.finish()
         );
     }
     // Each kernel can be stalled once per opposing access.
-    assert_eq!(
-        schedule.timing(k0).interference,
-        Cycles(estimate.accesses)
-    );
+    assert_eq!(schedule.timing(k0).interference, Cycles(estimate.accesses));
     println!(
         "\nmakespan with interference: {} (isolation WCET was {})",
         schedule.makespan(),

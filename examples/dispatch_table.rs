@@ -29,10 +29,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schedule = analyze(&problem, &RoundRobin::new())?;
     let table = DispatchTable::from_schedule(&problem, &schedule)?;
 
-    println!("== Dispatch tables (horizon {} cycles) ==\n", table.makespan());
+    println!(
+        "== Dispatch tables (horizon {} cycles) ==\n",
+        table.makespan()
+    );
     for core in 0..table.cores() {
         let core = CoreId::from_index(core);
-        println!("core {core} (utilization {:.1}%):", table.utilization(core) * 100.0);
+        println!(
+            "core {core} (utilization {:.1}%):",
+            table.utilization(core) * 100.0
+        );
         for e in table.entries(core) {
             println!(
                 "  release {:>4}  deadline {:>4}  {:<8} (wcet {}, interference {})",
@@ -44,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         for (from, to) in table.idle_windows(core) {
-            println!("  idle    {:>4}  …        {:>4}", from.as_u64(), to.as_u64());
+            println!(
+                "  idle    {:>4}  …        {:>4}",
+                from.as_u64(),
+                to.as_u64()
+            );
         }
         println!();
     }

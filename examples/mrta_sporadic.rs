@@ -11,9 +11,7 @@
 //! Run with: `cargo run --example mrta_sporadic`
 
 use mia::arbiters::{Regulated, RoundRobin};
-use mia::mrta::{
-    analyze, simulate_sporadic, SporadicSimConfig, SporadicSystem, SporadicTask,
-};
+use mia::mrta::{analyze, simulate_sporadic, SporadicSimConfig, SporadicSystem, SporadicTask};
 use mia::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -99,10 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.verdict(i).memory_interference.as_u64(),
             regulated.verdict(i).memory_interference.as_u64(),
         );
-        assert!(
-            regulated.verdict(i).memory_interference
-                <= report.verdict(i).memory_interference
-        );
+        assert!(regulated.verdict(i).memory_interference <= report.verdict(i).memory_interference);
     }
     println!("\nAll bounds validated.");
     Ok(())

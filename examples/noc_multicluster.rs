@@ -42,9 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ── NoC: ship the 96-word frame; a competing bulk flow shares links ─
     let mut flows = FlowSet::new();
-    let frame = flows.add(
-        Flow::new(producer_cluster, consumer_cluster, 96).released_at(frame_ready),
-    );
+    let frame =
+        flows.add(Flow::new(producer_cluster, consumer_cluster, 96).released_at(frame_ready));
     let bulk = flows.add(Flow::new(torus.node(1, 0), torus.node(3, 1), 256));
     let noc_cfg = NocConfig::default();
     let bounds = worst_case_latencies(&torus, &flows, &noc_cfg);
@@ -80,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "consumer cluster {consumer_cluster}: decision by t = {}",
         cons_schedule.makespan()
     );
-    println!("\nEnd-to-end (camera → decision) worst case: {}", cons_schedule.makespan());
+    println!(
+        "\nEnd-to-end (camera → decision) worst case: {}",
+        cons_schedule.makespan()
+    );
 
     // Sanity: the consumer never starts before the frame can have arrived,
     // and the end-to-end bound strictly contains the producer phase.

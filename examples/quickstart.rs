@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Incremental O(n²) analysis (the paper's contribution) ──────────
     let schedule = analyze(&problem, &RoundRobin::new())?;
     println!("schedule ignoring interference ends at  t = {critical_path}");
-    println!("schedule with interference ends at      t = {}\n", schedule.makespan());
+    println!(
+        "schedule with interference ends at      t = {}\n",
+        schedule.makespan()
+    );
 
     println!("{}", trace::schedule_table(&problem, &schedule));
     println!("{}", trace::gantt(&problem, &schedule));

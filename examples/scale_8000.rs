@@ -27,7 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let edges = workload.graph.edge_count();
             let problem = workload.into_problem(&platform)?;
             let t0 = Instant::now();
-            let report = analyze_with(&problem, &arbiter, &AnalysisOptions::new(), &mut NoopObserver)?;
+            let report = analyze_with(
+                &problem,
+                &arbiter,
+                &AnalysisOptions::new(),
+                &mut NoopObserver,
+            )?;
             let elapsed = t0.elapsed();
             println!(
                 "{:<6} {:>7} {:>12} {:>14} {:>12} {:>10}",

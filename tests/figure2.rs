@@ -92,8 +92,7 @@ fn cursor_jumps_only_to_finish_dates_or_min_releases() {
     let finishes: Vec<Cycles> = p.graph().task_ids().map(|t| s.timing(t).finish()).collect();
     for &c in tr.cursors.iter().filter(|&&c| c > Cycles::ZERO) {
         assert!(
-            finishes.contains(&c)
-                || p.graph().iter().any(|(_, t)| t.min_release() == c),
+            finishes.contains(&c) || p.graph().iter().any(|(_, t)| t.min_release() == c),
             "cursor at {c} is neither a finish nor a minimal release"
         );
     }

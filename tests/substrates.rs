@@ -5,8 +5,7 @@
 use mia::arbiters::{Fifo, Regulated, RoundRobin, Tdm};
 use mia::mapping_heuristics::{anneal, assignment_makespan, heft, AnnealConfig};
 use mia::mrta::{
-    analyze as analyze_mrta, simulate_sporadic, SporadicSimConfig, SporadicSystem,
-    SporadicTask,
+    analyze as analyze_mrta, simulate_sporadic, SporadicSimConfig, SporadicSystem, SporadicTask,
 };
 use mia::noc::{simulate_flows, worst_case_latencies, Flow, FlowSet, NocConfig, Torus};
 use mia::prelude::*;
@@ -144,8 +143,16 @@ fn mapping_heuristics_feed_the_analysis() {
     )
     .unwrap();
 
-    let heft_asg: Vec<usize> = w.graph.task_ids().map(|t| heft_mapping.core_of(t).index()).collect();
-    let ann_asg: Vec<usize> = w.graph.task_ids().map(|t| annealed.core_of(t).index()).collect();
+    let heft_asg: Vec<usize> = w
+        .graph
+        .task_ids()
+        .map(|t| heft_mapping.core_of(t).index())
+        .collect();
+    let ann_asg: Vec<usize> = w
+        .graph
+        .task_ids()
+        .map(|t| annealed.core_of(t).index())
+        .collect();
     assert!(
         assignment_makespan(&w.graph, &ann_asg).unwrap()
             <= assignment_makespan(&w.graph, &heft_asg).unwrap()

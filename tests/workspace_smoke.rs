@@ -1,0 +1,69 @@
+//! Workspace smoke test: the paper's core soundness claim on Figure 1.
+//!
+//! The incremental O(n²) analysis (`mia-core`) must never be *less*
+//! precise than the O(n⁴) baseline (`mia-baseline`): for every task its
+//! reported finish date (release + WCET + interference) is at most the
+//! baseline's, and both algorithms agree on the total makespan. This is
+//! exercised across every arbiter the facade exports, so a broken
+//! re-export or a drifted crate API fails here before anything subtler.
+
+use mia::prelude::*;
+
+/// The paper's Figure 1 system: 5 tasks on 4 cores, 4 banks.
+fn figure1() -> Problem {
+    let mut g = TaskGraph::new();
+    let n0 = g.add_task(Task::builder("n0").wcet(Cycles(2)));
+    let n1 = g.add_task(Task::builder("n1").wcet(Cycles(2)).min_release(Cycles(2)));
+    let n2 = g.add_task(Task::builder("n2").wcet(Cycles(1)).min_release(Cycles(4)));
+    let n3 = g.add_task(Task::builder("n3").wcet(Cycles(3)));
+    let n4 = g.add_task(Task::builder("n4").wcet(Cycles(2)).min_release(Cycles(4)));
+    for (s, d) in [(n0, n1), (n0, n2), (n1, n2), (n3, n2), (n3, n4)] {
+        g.add_edge(s, d, 1).unwrap();
+    }
+    let mapping = Mapping::from_assignment(&g, &[0, 1, 1, 2, 3]).unwrap();
+    Problem::new(g, mapping, Platform::new(4, 4)).unwrap()
+}
+
+fn check_incremental_not_later(arbiter: &dyn Arbiter, label: &str) {
+    let p = figure1();
+    let incremental = analyze(&p, &arbiter).unwrap();
+    let baseline = analyze_baseline(&p, &arbiter).unwrap();
+
+    // Both are sound schedules for the problem.
+    incremental.check(&p).unwrap();
+    baseline.check(&p).unwrap();
+
+    // Task by task, the incremental analysis never reports a later
+    // finish date than the baseline.
+    for (inc, base) in incremental.timings().iter().zip(baseline.timings()) {
+        assert!(
+            inc.finish() <= base.finish(),
+            "{label}: incremental finish {:?} later than baseline {:?}",
+            inc.finish(),
+            base.finish()
+        );
+    }
+
+    // And the global anchor agrees exactly.
+    assert_eq!(
+        incremental.makespan(),
+        baseline.makespan(),
+        "{label}: makespan mismatch"
+    );
+}
+
+#[test]
+fn incremental_never_finishes_later_than_baseline_on_figure1() {
+    check_incremental_not_later(&RoundRobin::new(), "round-robin");
+    check_incremental_not_later(&MppaTree::cluster16(), "mppa-tree");
+    check_incremental_not_later(&Tdm::new(), "tdm");
+    check_incremental_not_later(&Fifo::new(), "fifo");
+    check_incremental_not_later(&FixedPriority::by_core_id(), "fixed-priority");
+}
+
+#[test]
+fn figure1_reaches_the_papers_makespan() {
+    let p = figure1();
+    let s = analyze(&p, &RoundRobin::new()).unwrap();
+    assert_eq!(s.makespan(), Cycles(7));
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the measurement API the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`) with a simple
+//! wall-clock median estimator: a warm-up call, then a bounded number
+//! of timed iterations. There is no statistics engine, plotting or
+//! report output — one line per benchmark on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifier of one measurement within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput annotation (accepted and ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    /// Nanoseconds of the fastest observed iteration.
+    best_nanos: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    fn new(iters: u32) -> Self {
+        Bencher {
+            best_nanos: u128::MAX,
+            iters,
+        }
+    }
+
+    /// Times `routine`, keeping the fastest iteration.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up (also primes lazy statics and caches).
+        black_box(routine());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed().as_nanos();
+            self.best_nanos = self.best_nanos.min(elapsed);
+        }
+    }
+}
+
+/// A named collection of related measurements.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub keeps its fixed iteration
+    /// budget rather than a time budget.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.iters);
+        routine(&mut b);
+        report(&self.name, &id.label, b.best_nanos);
+        self
+    }
+
+    /// Runs `routine` with `input` under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.iters);
+        routine(&mut b, input);
+        report(&self.name, &id.label, b.best_nanos);
+        self
+    }
+
+    /// Ends the group (separator line, matching upstream's flow).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, label: &str, nanos: u128) {
+    if nanos == u128::MAX {
+        println!("bench {group}/{label}: no iterations recorded");
+    } else {
+        println!("bench {group}/{label}: {} ns/iter (fastest)", nanos);
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs a single measurement outside a group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.iters);
+        routine(&mut b);
+        report("criterion", &id.label, b.best_nanos);
+        self
+    }
+}
+
+/// Declares a benchmark group function calling each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); a
+            // stub has no filtering, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,276 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the strategy combinators, collection strategies and the
+//! `proptest!` / `prop_assert*` macros that the workspace's property
+//! suites use. Sampling is fully deterministic: each test function
+//! derives its RNG stream from the test name and the case index, so a
+//! failure reproduces by re-running the same test binary — no external
+//! regression files are needed (the committed `proptest-regressions/`
+//! directories document this).
+//!
+//! Differences from upstream, by design:
+//! * no shrinking — failures report the case index instead,
+//! * no persistence files,
+//! * `ProptestConfig` only carries the case count.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod arbitrary;
+
+/// Collection strategies (`vec`, `btree_map`).
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for generated collections: an exact length or a
+    /// (half-open / inclusive) range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut crate::test_runner::TestRng) -> usize {
+            if self.lo >= self.hi_inclusive {
+                self.lo
+            } else {
+                self.lo + (rng.next_u64() as usize) % (self.hi_inclusive - self.lo + 1)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        size: impl Into<SizeRange>,
+    ) -> BoxedStrategy<Vec<S::Value>> {
+        let size = size.into();
+        BoxedStrategy::from_fn(move |rng| {
+            let n = size.pick(rng);
+            (0..n).map(|_| element.sample(rng)).collect()
+        })
+    }
+
+    /// Strategy for `BTreeMap<K, V>`; duplicate keys collapse, so maps may
+    /// come out smaller than the drawn size (as in upstream proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: impl Into<SizeRange>,
+    ) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+    where
+        K::Value: Ord,
+    {
+        let size = size.into();
+        BoxedStrategy::from_fn(move |rng| {
+            let n = size.pick(rng);
+            (0..n)
+                .map(|_| (keys.sample(rng), values.sample(rng)))
+                .collect()
+        })
+    }
+}
+
+/// Strategies picking from explicit candidate lists.
+pub mod sample {
+    use crate::strategy::BoxedStrategy;
+
+    /// Strategy choosing uniformly among the given values.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        BoxedStrategy::from_fn(move |rng| {
+            let idx = rng.below(options.len() as u64) as usize;
+            options[idx].clone()
+        })
+    }
+}
+
+/// The glob-import module: strategies, config, assertion macros.
+pub mod prelude {
+    /// Alias of the crate root, so `prop::collection::vec(..)` etc.
+    /// resolve after a prelude glob import (as in upstream proptest).
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (not panicking directly) so the harness can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    l,
+                    r,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Builds a strategy choosing uniformly among the given strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares deterministic property tests.
+///
+/// Supported grammar (the subset upstream `proptest!` accepts and this
+/// workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(x in strategy, y in strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rejected: u32 = 0;
+            for case in 0..config.cases {
+                let mut runner_rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name), case);
+                $(let $pat = $crate::strategy::Strategy::sample(&($strategy), &mut runner_rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed: {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            msg
+                        );
+                    }
+                }
+            }
+            assert!(
+                rejected < config.cases,
+                "proptest `{}` rejected every generated case",
+                stringify!($name)
+            );
+        }
+    )*};
+}

@@ -1,0 +1,240 @@
+//! The [`Strategy`] trait and its combinators.
+//!
+//! Everything funnels into [`BoxedStrategy`], a cheaply clonable,
+//! type-erased sampling function. There is no shrinking: the harness is
+//! deterministic, so a failing case is identified by its case index.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// Maximum resampling attempts before a `prop_filter`/`prop_filter_map`
+/// strategy gives up. Generously high: filters in this workspace reject
+/// roughly half the candidates.
+const MAX_REJECTS: u32 = 10_000;
+
+/// A generator of values for property tests.
+pub trait Strategy: 'static {
+    /// The type of generated values.
+    type Value: 'static;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases this strategy behind a clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy::from_fn(move |rng| self.sample(rng))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| f(self.sample(rng)))
+    }
+
+    /// Derives a second strategy from each generated value and samples it.
+    fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| f(self.sample(rng)).sample(rng))
+    }
+
+    /// Keeps only values satisfying `pred`, resampling otherwise.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            for _ in 0..MAX_REJECTS {
+                let v = self.sample(rng);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({reason:?}) rejected {MAX_REJECTS} candidates");
+        })
+    }
+
+    /// Maps values through a partial function, resampling on `None`.
+    fn prop_filter_map<U: 'static, F>(self, reason: &'static str, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U> + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            for _ in 0..MAX_REJECTS {
+                if let Some(u) = f(self.sample(rng)) {
+                    return u;
+                }
+            }
+            panic!("prop_filter_map({reason:?}) rejected {MAX_REJECTS} candidates");
+        })
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves and `branch`
+    /// wraps an inner strategy into composite values, nested at most
+    /// `depth` levels. The `_desired_size`/`_expected_branch` tuning knobs
+    /// of upstream proptest are accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        S2: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let composite = branch(current).boxed();
+            current = OneOf::new(vec![leaf.clone(), composite]).boxed();
+        }
+        current
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: Rc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<T: 'static> BoxedStrategy<T> {
+    /// Wraps a sampling function.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy {
+            sampler: Rc::new(f),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T> {
+        self
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among strategies of a common value type
+/// (built by the `prop_oneof!` macro).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: 'static> OneOf<T> {
+    /// Wraps the given non-empty list of options.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T: 'static> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (rng.below(span) as i128 + self.start as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (rng.below(span) as i128 + lo as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the data-model subset the workspace needs:
+//! [`Serialize`]/[`Deserialize`] convert values to and from a
+//! self-describing [`Value`] tree, and the companion `serde_derive`
+//! proc-macro crate generates impls for structs and enums (honouring
+//! `#[serde(transparent)]`, `#[serde(default)]` and
+//! `#[serde(default = "path")]`).
+//!
+//! `serde_json` (also vendored) renders [`Value`] trees as JSON text and
+//! parses JSON back. The wire format matches what upstream
+//! serde/serde_json would produce for the same derives: maps for named
+//! structs, strings for unit enum variants, externally tagged maps for
+//! data-carrying variants, and the inner value for `transparent`
+//! newtypes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{DeserializeError, Value};
+
+/// Conversion of a value into the self-describing [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction of a value from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of `v`.
+    fn from_value(v: &Value) -> Result<Self, DeserializeError>;
+}
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+                let n = v.as_u64().ok_or_else(|| v.unexpected("unsigned integer"))?;
+                <$t>::try_from(n).map_err(|_| DeserializeError::new(format!(
+                    "{} out of range for {}", n, stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+                let n = v.as_i64().ok_or_else(|| v.unexpected("integer"))?;
+                <$t>::try_from(n).map_err(|_| DeserializeError::new(format!(
+                    "{} out of range for {}", n, stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        v.as_f64().ok_or_else(|| v.unexpected("number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        Ok(v.as_f64().ok_or_else(|| v.unexpected("number"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(other.unexpected("boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(other.unexpected("string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(other.unexpected("single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(other.unexpected("array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+                let items = match v {
+                    Value::Seq(items) => items,
+                    other => return Err(other.unexpected("tuple array")),
+                };
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeserializeError::new(format!(
+                        "expected array of {expected} elements, got {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value().into_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((K::from_value(&Value::key_to_value(k))?, V::from_value(val)?)))
+                .collect(),
+            other => Err(other.unexpected("object")),
+        }
+    }
+}

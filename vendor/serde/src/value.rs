@@ -1,0 +1,254 @@
+//! The self-describing value tree shared by `serde` and `serde_json`.
+
+use std::fmt;
+
+/// A JSON-shaped value: the intermediate representation between Rust
+/// values and serialized text.
+///
+/// Object entries preserve insertion order so serialized output is
+/// stable and matches field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative (or signed-typed) integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object, as ordered key/value entries.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Numeric view as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) => u64::try_from(n).ok(),
+            // Strict upper bound: `u64::MAX as f64` rounds up to 2^64,
+            // which is one past the last representable u64.
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f < u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) => i64::try_from(n).ok(),
+            // Strict upper bound: `i64::MAX as f64` rounds up to 2^63.
+            Value::Float(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f < i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::UInt(n) => Some(n as f64),
+            Value::Int(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// One-word description used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::UInt(_) | Value::Int(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// Builds a "expected X, found Y" error for this value.
+    pub fn unexpected(&self, expected: &str) -> DeserializeError {
+        DeserializeError::new(format!("expected {expected}, found {}", self.kind()))
+    }
+
+    /// Renders this value as a JSON object key. JSON keys are strings, so
+    /// scalar keys (numeric ids, names) are stringified.
+    pub fn into_key(self) -> String {
+        match self {
+            Value::Str(s) => s,
+            Value::UInt(n) => n.to_string(),
+            Value::Int(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            other => panic!("unsupported map key type: {}", other.kind()),
+        }
+    }
+
+    /// Reinterprets an object key as a value, undoing [`Value::into_key`].
+    pub fn key_to_value(key: &str) -> Value {
+        if let Ok(n) = key.parse::<u64>() {
+            Value::UInt(n)
+        } else if let Ok(n) = key.parse::<i64>() {
+            Value::Int(n)
+        } else {
+            Value::Str(key.to_owned())
+        }
+    }
+}
+
+impl Value {
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Shared `null` for out-of-bounds / missing-key indexing, mirroring
+/// `serde_json`'s total `Index` behaviour.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Seq(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! impl_value_eq_num {
+    ($($t:ty => $view:ident / $conv:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.$view() == Some(*other as $conv)
+            }
+        }
+    )*};
+}
+
+impl_value_eq_num!(
+    u8 => as_u64 / u64, u16 => as_u64 / u64, u32 => as_u64 / u64,
+    u64 => as_u64 / u64, usize => as_u64 / u64,
+    i8 => as_i64 / i64, i16 => as_i64 / i64, i32 => as_i64 / i64,
+    i64 => as_i64 / i64, isize => as_i64 / i64,
+    f64 => as_f64 / f64
+);
+
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Error produced when a [`Value`] tree does not match the target type.
+#[derive(Debug, Clone)]
+pub struct DeserializeError {
+    message: String,
+}
+
+impl DeserializeError {
+    /// Builds an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeserializeError {
+            message: message.into(),
+        }
+    }
+
+    /// A field required by the target type is absent.
+    pub fn missing_field(type_name: &str, field: &str) -> Self {
+        DeserializeError::new(format!("missing field `{field}` for `{type_name}`"))
+    }
+}
+
+impl fmt::Display for DeserializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeserializeError {}

@@ -1,0 +1,581 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives `Serialize`/`Deserialize` impls targeting the vendored
+//! `serde` crate's [`Value`] data model. Implemented directly on
+//! `proc_macro` token trees (no `syn`/`quote`, which are equally
+//! unavailable offline); the generated impl is assembled as source text
+//! and re-parsed.
+//!
+//! Supported shapes — the ones the workspace uses:
+//! * structs with named fields (`#[serde(default)]`,
+//!   `#[serde(default = "path")]` per field),
+//! * newtype / tuple structs (newtypes serialize transparently, matching
+//!   upstream serde; `#[serde(transparent)]` is accepted and implied),
+//! * enums with unit, tuple and struct variants (externally tagged),
+//! * lifetime-generic containers (for borrowing serializers).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    /// `None`: required. `Some(None)`: `#[serde(default)]`.
+    /// `Some(Some(path))`: `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    generics: String,
+    transparent: bool,
+    body: Body,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let container = parse_container(input);
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&container),
+        Mode::Deserialize => gen_deserialize(&container),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    default: Option<Option<String>>,
+}
+
+/// Consumes leading `#[...]` attributes, extracting serde ones.
+fn parse_attrs(cur: &mut Cursor) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while cur.at_punct('#') {
+        cur.next();
+        let group = match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive: malformed attribute near {other:?}"),
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            _ => continue,
+        };
+        let mut args = Cursor::new(args);
+        while let Some(tok) = args.next() {
+            let word = match tok {
+                TokenTree::Ident(i) => i.to_string(),
+                TokenTree::Punct(p) if p.as_char() == ',' => continue,
+                other => panic!("serde_derive: unsupported serde attribute token {other}"),
+            };
+            match word.as_str() {
+                "transparent" => attrs.transparent = true,
+                "default" => {
+                    if args.at_punct('=') {
+                        args.next();
+                        match args.next() {
+                            Some(TokenTree::Literal(lit)) => {
+                                let path = lit.to_string();
+                                let path = path.trim_matches('"').to_owned();
+                                attrs.default = Some(Some(path));
+                            }
+                            other => panic!(
+                                "serde_derive: expected string after default =, got {other:?}"
+                            ),
+                        }
+                    } else {
+                        attrs.default = Some(None);
+                    }
+                }
+                other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+    attrs
+}
+
+/// Skips `pub` / `pub(...)` visibility.
+fn skip_visibility(cur: &mut Cursor) {
+    if cur.at_ident("pub") {
+        cur.next();
+        if matches!(cur.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            cur.next();
+        }
+    }
+}
+
+/// Skips a type, i.e. tokens until a `,` at angle-bracket depth zero.
+fn skip_type(cur: &mut Cursor) {
+    let mut depth = 0i32;
+    while let Some(tok) = cur.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        cur.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = parse_attrs(&mut cur);
+        skip_visibility(&mut cur);
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut cur);
+        if cur.at_punct(',') {
+            cur.next();
+        }
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    if cur.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    while let Some(tok) = cur.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            // A trailing comma does not start a new field.
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && cur.peek().is_some() => {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let _attrs = parse_attrs(&mut cur);
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if cur.at_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut cur = Cursor::new(input);
+    let attrs = parse_attrs(&mut cur);
+    skip_visibility(&mut cur);
+    let keyword = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected container name, got {other:?}"),
+    };
+    let mut generics = String::new();
+    if cur.at_punct('<') {
+        let mut depth = 0i32;
+        let mut collected: Vec<TokenTree> = Vec::new();
+        loop {
+            let tok = cur.next().expect("serde_derive: unterminated generics");
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if depth >= 1
+                && !(depth == 1 && matches!(&tok, TokenTree::Punct(p) if p.as_char() == '<'))
+            {
+                collected.push(tok.clone());
+            }
+        }
+        generics = collected.into_iter().collect::<TokenStream>().to_string();
+        if generics.contains(':') {
+            panic!("serde_derive: bounded generics are not supported offline");
+        }
+    }
+    if cur.at_ident("where") {
+        panic!("serde_derive: where clauses are not supported offline");
+    }
+    let body = match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Container {
+        name,
+        generics,
+        transparent: attrs.transparent,
+        body,
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+fn impl_header(c: &Container, trait_name: &str) -> String {
+    if c.generics.is_empty() {
+        format!("impl ::serde::{} for {}", trait_name, c.name)
+    } else {
+        format!(
+            "impl<{g}> ::serde::{t} for {n}<{g}>",
+            g = c.generics,
+            t = trait_name,
+            n = c.name
+        )
+    }
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let body = match &c.body {
+        Body::NamedStruct(fields) => {
+            if c.transparent {
+                assert!(
+                    fields.len() == 1,
+                    "serde_derive: transparent requires exactly one field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}))",
+                            n = f.name
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+            }
+        }
+        // Newtype structs serialize transparently, like upstream serde.
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{}::{} => ::serde::Value::Str(\"{}\".to_string()),",
+                        c.name, v.name, v.name
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{n}::{v}(x0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(x0))]),",
+                        n = c.name,
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(k) => {
+                        let binds: Vec<String> = (0..*k).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..*k)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{n}::{v}({b}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Seq(vec![{i}]))]),",
+                            n = c.name,
+                            v = v.name,
+                            b = binds.join(", "),
+                            i = items.join(", ")
+                        )
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{n}::{v} {{ {b} }} => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Map(vec![{e}]))]),",
+                            n = c.name,
+                            v = v.name,
+                            b = binds.join(", "),
+                            e = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] {hdr} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        hdr = impl_header(c, "Serialize"),
+        body = body
+    )
+}
+
+fn field_expr(type_name: &str, source: &str, f: &Field) -> String {
+    let missing = match &f.default {
+        None => format!(
+            "return ::std::result::Result::Err(\
+             ::serde::value::DeserializeError::missing_field(\"{type_name}\", \"{}\"))",
+            f.name
+        ),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    };
+    format!(
+        "{f}: match {source}.get(\"{f}\") {{ \
+           ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, \
+           ::std::option::Option::None => {{ {missing} }} }}",
+        f = f.name,
+        source = source,
+        missing = missing
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.body {
+        Body::NamedStruct(fields) => {
+            if c.transparent {
+                assert!(
+                    fields.len() == 1,
+                    "serde_derive: transparent requires exactly one field"
+                );
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})",
+                    f = fields[0].name
+                )
+            } else {
+                let inits: Vec<String> = fields.iter().map(|f| field_expr(name, "v", f)).collect();
+                format!(
+                    "if v.as_map().is_none() {{ return ::std::result::Result::Err(v.unexpected(\"object\")); }} \
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = match v {{ ::serde::Value::Seq(items) => items, \
+                 other => return ::std::result::Result::Err(other.unexpected(\"array\")) }}; \
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::value::DeserializeError::new(format!(\
+                 \"expected {n} elements for {name}, got {{}}\", items.len()))); }} \
+                 ::std::result::Result::Ok({name}({items}))",
+                n = n,
+                name = name,
+                items = items.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(1) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(inner)?)),",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(k) => {
+                        let items: Vec<String> = (0..*k)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let items = match inner {{ \
+                             ::serde::Value::Seq(items) => items, \
+                             other => return ::std::result::Result::Err(other.unexpected(\"array\")) }}; \
+                             if items.len() != {k} {{ return ::std::result::Result::Err(\
+                             ::serde::value::DeserializeError::new(\
+                             \"wrong tuple variant arity\".to_string())); }} \
+                             ::std::result::Result::Ok({name}::{v}({items})) }},",
+                            v = v.name,
+                            k = k,
+                            items = items.join(", ")
+                        ))
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| field_expr(&format!("{name}::{}", v.name), "inner", f))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),",
+                            v = v.name,
+                            inits = inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                 ::serde::Value::Str(s) => match s.as_str() {{ {units} _ => \
+                 ::std::result::Result::Err(::serde::value::DeserializeError::new(format!(\
+                 \"unknown variant `{{s}}` of {name}\"))) }}, \
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{ \
+                 let (tag, inner) = &entries[0]; match tag.as_str() {{ {tagged} _ => \
+                 ::std::result::Result::Err(::serde::value::DeserializeError::new(format!(\
+                 \"unknown variant `{{tag}}` of {name}\"))) }} }}, \
+                 other => ::std::result::Result::Err(other.unexpected(\"enum variant\")) }}",
+                units = unit_arms.join(" "),
+                tagged = tagged_arms.join(" "),
+                name = name
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] {hdr} {{ \
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::value::DeserializeError> {{ {body} }} }}",
+        hdr = impl_header(c, "Deserialize"),
+        body = body
+    )
+}
