@@ -61,3 +61,36 @@ pub use weighted::WeightedRoundRobin;
 // Re-export the trait and demand type so users of this crate rarely need
 // to import mia-model explicitly.
 pub use mia_model::arbiter::{Arbiter, InterfererDemand};
+
+/// Builds an arbiter from its command-line name, with the default
+/// configuration each front-end uses (`mia analyze --arbiter`, `mia
+/// sweep --arbiters`, the bench drivers).
+///
+/// Recognised names (aliases in parentheses): `rr` (`round-robin`),
+/// `mppa` (`tree`), `tdm`, `fifo`, `fp` (`fixed-priority`), `wrr`
+/// (`weighted`), `regulated` (`memguard`). Returns `None` for anything
+/// else.
+///
+/// The trait object is `Send + Sync` so it can drive the parallel
+/// analysis ([`mia-core`'s `analyze_parallel`](https://docs.rs/mia-core))
+/// and concurrent sweep grids.
+///
+/// # Example
+///
+/// ```
+/// let rr = mia_arbiter::by_name("rr").expect("known arbiter");
+/// assert_eq!(rr.name(), "round-robin");
+/// assert!(mia_arbiter::by_name("bogus").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Box<dyn Arbiter + Send + Sync>> {
+    Some(match name {
+        "rr" | "round-robin" => Box::new(RoundRobin::new()),
+        "mppa" | "tree" => Box::new(MppaTree::cluster16()),
+        "tdm" => Box::new(Tdm::new()),
+        "fifo" => Box::new(Fifo::new()),
+        "fp" | "fixed-priority" => Box::new(FixedPriority::by_core_id()),
+        "wrr" | "weighted" => Box::new(WeightedRoundRobin::default()),
+        "regulated" | "memguard" => Box::new(Regulated::new(8, 128)),
+        _ => return None,
+    })
+}

@@ -55,10 +55,9 @@
 //! # }
 //! ```
 
-use std::collections::HashMap;
-
 use mia_core::{AnalysisError, CancelToken};
 use mia_model::arbiter::{Arbiter, InterfererDemand};
+use mia_model::scratch::DemandMerge;
 use mia_model::{BankId, CoreId, Cycles, Problem, Schedule, TaskId, TaskTiming};
 
 /// How interfering tasks are grouped before calling the arbiter.
@@ -209,6 +208,14 @@ where
     let mut resp: Vec<Cycles> = wcet.clone();
     release_sweep(problem, &mut rel, &resp, &min_rel, &core_pred, &mut stats);
 
+    // Reusable merge buffers for the interference evaluations — shared
+    // machinery with `mia-core` (see `mia_model::scratch`): one reset per
+    // evaluation instead of fresh maps per task pair.
+    let mut scratch = Scratch {
+        merge: DemandMerge::new(problem.platform().banks(), mapping.cores()),
+        pairwise: Vec::new(),
+    };
+
     let max_rounds = options.max_rounds.unwrap_or(16 * n + 64);
     for _round in 0..max_rounds {
         stats.rounds += 1;
@@ -222,7 +229,16 @@ where
         let prev_resp = resp.clone();
         resp.copy_from_slice(&wcet);
         interference_fixed_point(
-            problem, arbiter, options, &rel, &mut resp, &wcet, &core_of, access, &mut stats,
+            problem,
+            arbiter,
+            options,
+            &rel,
+            &mut resp,
+            &wcet,
+            &core_of,
+            access,
+            &mut scratch,
+            &mut stats,
         )?;
         let resp_changed = resp != prev_resp;
 
@@ -257,6 +273,14 @@ where
     })
 }
 
+/// Reusable buffers threaded through the fixed-point evaluations.
+struct Scratch {
+    /// Per-`(bank, core)` demand aggregation (`MergeByCore`).
+    merge: DemandMerge,
+    /// Per-task interferer entries (`PairwiseTasks`).
+    pairwise: Vec<(BankId, CoreId, u64)>,
+}
+
 /// Phase 1: recompute every task's interference from the tasks whose
 /// execution windows overlap it, until no response time changes. Returns
 /// whether anything changed relative to the responses passed in.
@@ -270,6 +294,7 @@ fn interference_fixed_point<A>(
     wcet: &[Cycles],
     core_of: &[CoreId],
     access: Cycles,
+    scratch: &mut Scratch,
     stats: &mut BaselineStats,
 ) -> Result<bool, AnalysisError>
 where
@@ -295,7 +320,7 @@ where
             }
             loop {
                 let inter = interference_of(
-                    problem, arbiter, options, rel, resp, core_of, access, i, stats,
+                    problem, arbiter, options, rel, resp, core_of, access, i, scratch, stats,
                 );
                 let new_resp = wcet[i] + inter;
                 if new_resp == resp[i] {
@@ -316,7 +341,8 @@ where
 }
 
 /// Interference of task `i` given the current windows: scans all tasks for
-/// overlap, groups their demands, and sums `IBUS` over the shared banks.
+/// overlap, groups their demands into the reusable scratch buffers, and
+/// sums `IBUS` over the shared banks.
 #[allow(clippy::too_many_arguments)]
 fn interference_of<A>(
     problem: &Problem,
@@ -327,6 +353,7 @@ fn interference_of<A>(
     core_of: &[CoreId],
     access: Cycles,
     i: usize,
+    scratch: &mut Scratch,
     stats: &mut BaselineStats,
 ) -> Cycles
 where
@@ -335,8 +362,8 @@ where
     let n = rel.len();
     let fin_i = rel[i] + resp[i];
     let demand_i = problem.demand(TaskId::from_index(i));
-    let mut agg: HashMap<(BankId, CoreId), u64> = HashMap::new();
-    let mut pairwise: Vec<(BankId, CoreId, u64)> = Vec::new();
+    scratch.merge.reset();
+    scratch.pairwise.clear();
     for j in 0..n {
         if i == j || core_of[j] == core_of[i] {
             continue;
@@ -354,10 +381,10 @@ where
             }
             match options.aggregation {
                 AggregationMode::MergeByCore => {
-                    *agg.entry((bank, core_of[j])).or_insert(0) += d;
+                    scratch.merge.add(bank, core_of[j], d);
                 }
                 AggregationMode::PairwiseTasks => {
-                    pairwise.push((bank, core_of[j], d));
+                    scratch.pairwise.push((bank, core_of[j], d));
                 }
             }
         }
@@ -365,20 +392,19 @@ where
     let mut inter = Cycles::ZERO;
     match options.aggregation {
         AggregationMode::MergeByCore => {
-            let mut by_bank: HashMap<BankId, Vec<InterfererDemand>> = HashMap::new();
-            for ((bank, core), accesses) in agg {
-                by_bank
-                    .entry(bank)
-                    .or_default()
-                    .push(InterfererDemand { core, accesses });
-            }
-            for (bank, set) in by_bank {
+            for b in 0..scratch.merge.touched_banks().len() {
+                let bank = scratch.merge.touched_banks()[b];
                 stats.ibus_calls += 1;
-                inter += arbiter.bank_interference(core_of[i], demand_i.get(bank), &set, access);
+                inter += arbiter.bank_interference(
+                    core_of[i],
+                    demand_i.get(bank),
+                    scratch.merge.bank_set(bank),
+                    access,
+                );
             }
         }
         AggregationMode::PairwiseTasks => {
-            for (bank, core, accesses) in pairwise {
+            for &(bank, core, accesses) in &scratch.pairwise {
                 stats.ibus_calls += 1;
                 inter += arbiter.bank_interference(
                     core_of[i],

@@ -7,13 +7,19 @@
 //! | `fig3` | Figure 3: runtime of old vs new algorithm over the six random-DAG families (LS4/16/64, NL4/16/64), with log–log regression exponents |
 //! | `headline` | §V's headline numbers (LS64@256: 270×, NL64@384: 593×) |
 //! | `scale8000` | §VI's ">8000 tasks in reasonable time" claim |
+//! | `sweep` | arbitrary arbiter × family × size grids → one JSON report (Figure 3 in one command; see [`sweep`]) |
 //! | `ablation` | A1–A4 of `DESIGN.md` (additivity fast path, aggregation, arbiters, banks) |
 //! | `precision` | V2: old-vs-new precision comparison |
 //!
 //! This library holds the shared machinery: wall-clock measurement with
 //! cooperative timeouts ([`run_timed`]), log–log least-squares fitting
 //! ([`fit_exponent`], producing the `O(n^x)` annotations of Figure 3),
-//! workload construction and report serialization.
+//! workload construction and report serialization. The [`sweep`] module
+//! adds the batch driver behind `mia sweep` and the `sweep` binary:
+//! arbiter × family × size grids measured concurrently into one JSON
+//! report.
+
+pub mod sweep;
 
 use std::sync::mpsc;
 use std::time::{Duration, Instant};

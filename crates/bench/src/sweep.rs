@@ -1,0 +1,526 @@
+//! The batch sweep driver: arbiter × DAG-family × size grids in one run.
+//!
+//! This is the machinery behind `mia sweep` and the `sweep` binary
+//! (`cargo run --release -p mia-bench --bin sweep`). A [`SweepSpec`]
+//! names the grid; [`run_sweep`] measures every point — grid points are
+//! **independent analyses**, so they run concurrently on a scoped thread
+//! pool (`jobs`) — and returns a single [`SweepReport`] that serializes
+//! to one JSON document ([`report_json`]). Reproducing the paper's
+//! Figure 3 sweep is one command:
+//!
+//! ```text
+//! mia sweep --families tobita,layered --arbiters rr,mppa \
+//!           --sizes 1000,8000,32000 -o report.json
+//! ```
+//!
+//! # Family tokens
+//!
+//! [`parse_family_token`] accepts the explicit Figure 3 labels (`LS4`,
+//! `LS16`, `LS64`, `NL4`, `NL16`, `NL64`, case-insensitive, any positive
+//! parameter) plus two named presets:
+//!
+//! * `tobita` — `LS16`: the Tobita–Kasahara standard-task-graph shape,
+//!   fixed layer size 16 (one task per core of the MPPA cluster), the
+//!   number of layers grows with the task count (deep DAGs),
+//! * `layered` — `NL16`: 16 fixed layers whose width grows with the task
+//!   count (wide DAGs).
+//!
+//! # Example
+//!
+//! ```
+//! use mia_bench::sweep::{parse_family_token, run_sweep, SweepSpec};
+//!
+//! let spec = SweepSpec {
+//!     families: vec![parse_family_token("tobita").unwrap()],
+//!     sizes: vec![32, 64],
+//!     ..SweepSpec::default()
+//! };
+//! let report = run_sweep(&spec, &|_| {});
+//! assert_eq!(report.points.len(), 2);
+//! assert!(report.points.iter().all(|p| p.outcome.seconds().is_some()));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mia_dag_gen::Family;
+use serde::Serialize;
+
+use crate::{benchmark_problem, run_timed, Algorithm, Outcome};
+
+/// The grid a sweep covers, plus its execution knobs.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// DAG families (see [`parse_family_token`]).
+    pub families: Vec<Family>,
+    /// Arbiter names, resolved through [`mia_arbiter::by_name`].
+    pub arbiters: Vec<String>,
+    /// Task counts.
+    pub sizes: Vec<usize>,
+    /// Algorithms to time per point.
+    pub algorithms: Vec<Algorithm>,
+    /// Base PRNG seed (mixed per point, see [`benchmark_problem`]).
+    pub seed: u64,
+    /// Per-point wall-clock budget; a point exceeding it is recorded as
+    /// [`Outcome::TimedOut`] and the sweep continues.
+    pub budget: Duration,
+    /// Concurrent grid points (0 = the machine's available parallelism).
+    pub jobs: usize,
+    /// Worker threads inside each incremental analysis (1 = sequential;
+    /// 0 = available parallelism). Grid-level `jobs` is usually the
+    /// better lever; see `mia-core`'s parallel module docs.
+    pub threads: usize,
+}
+
+impl Default for SweepSpec {
+    /// `tobita` + `layered`, round-robin, two small sizes, incremental
+    /// only, 120 s budget, automatic job count, sequential analyses.
+    fn default() -> Self {
+        SweepSpec {
+            families: vec![Family::FixedLayerSize(16), Family::FixedLayers(16)],
+            arbiters: vec!["rr".to_owned()],
+            sizes: vec![1000, 4000],
+            algorithms: vec![Algorithm::Incremental],
+            seed: 2020,
+            budget: Duration::from_secs(120),
+            jobs: 0,
+            threads: 1,
+        }
+    }
+}
+
+/// One measured grid point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Family label ("LS16", "NL64", …).
+    pub family: String,
+    /// Arbiter name as given in the spec.
+    pub arbiter: String,
+    /// Task count.
+    pub n: usize,
+    /// Which algorithm was timed — [`Algorithm::label`] ("new"/"old"),
+    /// matching the vocabulary of [`SweepReport::algorithms`] so
+    /// consumers can cross-reference header and points.
+    pub algorithm: String,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+/// A completed sweep: the grid, its knobs and every measured point, in
+/// deterministic `family × arbiter × size × algorithm` order.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Family labels of the grid.
+    pub families: Vec<String>,
+    /// Arbiter names of the grid.
+    pub arbiters: Vec<String>,
+    /// Task counts of the grid.
+    pub sizes: Vec<usize>,
+    /// Algorithm labels ("new"/"old").
+    pub algorithms: Vec<String>,
+    /// Base seed.
+    pub seed: u64,
+    /// Per-point budget in seconds.
+    pub budget_seconds: f64,
+    /// Worker threads per incremental analysis.
+    pub threads: usize,
+    /// Total sweep wall-clock in seconds.
+    pub wall_seconds: f64,
+    /// Every measured point.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Parses one family token: `LS<k>` / `NL<k>` (case-insensitive) or the
+/// presets `tobita` (= LS16) and `layered` (= NL16). See the
+/// [module documentation](self).
+pub fn parse_family_token(token: &str) -> Option<Family> {
+    match token.to_ascii_lowercase().as_str() {
+        "tobita" => return Some(Family::FixedLayerSize(16)),
+        "layered" => return Some(Family::FixedLayers(16)),
+        _ => {}
+    }
+    let upper = token.to_ascii_uppercase();
+    let (kind, value) = upper.split_at(upper.len().min(2));
+    let value: usize = value.parse().ok().filter(|&v| v > 0)?;
+    match kind {
+        "LS" => Some(Family::FixedLayerSize(value)),
+        "NL" => Some(Family::FixedLayers(value)),
+        _ => None,
+    }
+}
+
+/// Runs every grid point of `spec`, farming points out to `spec.jobs`
+/// scoped threads, and assembles the report. `progress` is invoked from
+/// worker threads as each point completes (pass `&|_| {}` to ignore).
+///
+/// Unknown arbiter names yield [`Outcome::Failed`] points rather than
+/// aborting the sweep.
+pub fn run_sweep(spec: &SweepSpec, progress: &(dyn Fn(&SweepPoint) + Sync)) -> SweepReport {
+    struct PointSpec {
+        family: Family,
+        arbiter: String,
+        n: usize,
+        algorithm: Algorithm,
+    }
+    let mut grid: Vec<PointSpec> = Vec::new();
+    for &family in &spec.families {
+        for arbiter in &spec.arbiters {
+            for &n in &spec.sizes {
+                for &algorithm in &spec.algorithms {
+                    grid.push(PointSpec {
+                        family,
+                        arbiter: arbiter.clone(),
+                        n,
+                        algorithm,
+                    });
+                }
+            }
+        }
+    }
+
+    let jobs = if spec.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        spec.jobs
+    }
+    .min(grid.len().max(1));
+
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<SweepPoint>>> = grid.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(point_spec) = grid.get(i) else { break };
+                let point = run_point(
+                    point_spec.family,
+                    &point_spec.arbiter,
+                    point_spec.n,
+                    point_spec.algorithm,
+                    spec,
+                );
+                progress(&point);
+                *results[i].lock().expect("unshared result slot") = Some(point);
+            });
+        }
+    });
+
+    SweepReport {
+        families: spec.families.iter().map(Family::label).collect(),
+        arbiters: spec.arbiters.clone(),
+        sizes: spec.sizes.clone(),
+        algorithms: spec
+            .algorithms
+            .iter()
+            .map(|a| a.label().to_owned())
+            .collect(),
+        seed: spec.seed,
+        budget_seconds: spec.budget.as_secs_f64(),
+        threads: spec.threads,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        points: results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("pool joined").expect("point ran"))
+            .collect(),
+    }
+}
+
+/// Measures one grid point.
+fn run_point(
+    family: Family,
+    arbiter_name: &str,
+    n: usize,
+    algorithm: Algorithm,
+    spec: &SweepSpec,
+) -> SweepPoint {
+    let outcome = match mia_arbiter::by_name(arbiter_name) {
+        None => Outcome::Failed {
+            error: format!("unknown arbiter `{arbiter_name}`"),
+        },
+        Some(arbiter) => {
+            let problem = benchmark_problem(family, n, spec.seed);
+            match algorithm {
+                Algorithm::Incremental => run_timed(spec.budget, |token| {
+                    let options = mia_core::AnalysisOptions::new().cancel_token(token);
+                    if spec.threads == 1 {
+                        mia_core::analyze_with(
+                            &problem,
+                            arbiter.as_ref(),
+                            &options,
+                            &mut mia_core::NoopObserver,
+                        )
+                        .map(|r| r.schedule.makespan())
+                    } else {
+                        mia_core::analyze_parallel_with(
+                            &problem,
+                            arbiter.as_ref(),
+                            &options,
+                            spec.threads,
+                        )
+                        .map(|r| r.schedule.makespan())
+                    }
+                }),
+                Algorithm::Original => run_timed(spec.budget, |token| {
+                    let options = mia_baseline::BaselineOptions::new().cancel_token(token);
+                    mia_baseline::analyze_with(&problem, arbiter.as_ref(), &options)
+                        .map(|r| r.schedule.makespan())
+                }),
+            }
+        }
+    };
+    SweepPoint {
+        family: family.label(),
+        arbiter: arbiter_name.to_owned(),
+        n,
+        algorithm: algorithm.label().to_owned(),
+        outcome,
+    }
+}
+
+/// Serializes a report as pretty-printed JSON (the one-document artefact
+/// `mia sweep` and the `sweep` binary emit).
+pub fn report_json(report: &SweepReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+/// Parses sweep command-line flags, shared by `mia sweep` and the
+/// `sweep` binary. Returns the spec plus the `-o`/`--out` path, if any.
+///
+/// Recognised flags (all optional):
+///
+/// ```text
+/// --families tobita,layered,LS64,NL4   DAG families        [tobita,layered]
+/// --arbiters rr,mppa,tdm,fifo,fp,wrr,regulated             [rr]
+/// --sizes 1000,8000,32000              task counts         [1000,4000]
+/// --algorithms incremental,baseline    algorithms          [incremental]
+/// --seed N                             base PRNG seed      [2020]
+/// --budget SECS                        per-point budget    [120]
+/// --jobs N                             concurrent points   [0 = auto]
+/// --threads N                          threads / analysis  [1]
+/// -o, --out FILE                       write JSON here     [stdout]
+/// ```
+///
+/// # Errors
+///
+/// A human-readable message naming the offending flag or token.
+pub fn parse_spec(args: &[String]) -> Result<(SweepSpec, Option<String>), String> {
+    let mut spec = SweepSpec::default();
+    let mut out = None;
+    let value_of = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--families" => {
+                let v = value_of(args, i, flag)?;
+                spec.families = v
+                    .split(',')
+                    .map(|tok| {
+                        parse_family_token(tok).ok_or_else(|| {
+                            format!("bad family `{tok}` (try tobita, layered, LS64 or NL16)")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--arbiters" => {
+                let v = value_of(args, i, flag)?;
+                spec.arbiters = v.split(',').map(str::to_owned).collect();
+                for name in &spec.arbiters {
+                    if mia_arbiter::by_name(name).is_none() {
+                        return Err(format!(
+                            "unknown arbiter `{name}` (rr, mppa, tdm, fifo, fp, wrr, regulated)"
+                        ));
+                    }
+                }
+            }
+            "--sizes" => {
+                let v = value_of(args, i, flag)?;
+                spec.sizes = v
+                    .split(',')
+                    .map(|tok| {
+                        tok.parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("bad size `{tok}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--algorithms" => {
+                let v = value_of(args, i, flag)?;
+                spec.algorithms = v
+                    .split(',')
+                    .map(|tok| match tok {
+                        "incremental" | "new" => Ok(Algorithm::Incremental),
+                        "baseline" | "original" | "old" => Ok(Algorithm::Original),
+                        other => Err(format!("bad algorithm `{other}`")),
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seed" => {
+                spec.seed = value_of(args, i, flag)?
+                    .parse()
+                    .map_err(|_| "--seed must be a number".to_owned())?;
+            }
+            "--budget" => {
+                let secs: f64 = value_of(args, i, flag)?
+                    .parse()
+                    .map_err(|_| "--budget must be seconds".to_owned())?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err("--budget must be positive".to_owned());
+                }
+                spec.budget = Duration::from_secs_f64(secs);
+            }
+            "--jobs" => {
+                spec.jobs = value_of(args, i, flag)?
+                    .parse()
+                    .map_err(|_| "--jobs must be a number".to_owned())?;
+            }
+            "--threads" => {
+                spec.threads = value_of(args, i, flag)?
+                    .parse()
+                    .map_err(|_| "--threads must be a number".to_owned())?;
+            }
+            "-o" | "--out" => out = Some(value_of(args, i, flag)?),
+            other => return Err(format!("unknown sweep flag `{other}`")),
+        }
+        i += 2;
+    }
+    if spec.families.is_empty() || spec.arbiters.is_empty() || spec.sizes.is_empty() {
+        return Err("families, arbiters and sizes must all be non-empty".to_owned());
+    }
+    Ok((spec, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_tokens() {
+        assert_eq!(
+            parse_family_token("tobita"),
+            Some(Family::FixedLayerSize(16))
+        );
+        assert_eq!(parse_family_token("layered"), Some(Family::FixedLayers(16)));
+        assert_eq!(parse_family_token("ls64"), Some(Family::FixedLayerSize(64)));
+        assert_eq!(parse_family_token("NL4"), Some(Family::FixedLayers(4)));
+        assert_eq!(parse_family_token("XX9"), None);
+        assert_eq!(parse_family_token("LS0"), None);
+        assert_eq!(parse_family_token(""), None);
+    }
+
+    #[test]
+    fn spec_parsing_round_trip() {
+        let args: Vec<String> = [
+            "--families",
+            "tobita,LS4",
+            "--arbiters",
+            "rr,mppa",
+            "--sizes",
+            "64,128",
+            "--algorithms",
+            "incremental,baseline",
+            "--seed",
+            "7",
+            "--budget",
+            "30",
+            "--jobs",
+            "2",
+            "--threads",
+            "1",
+            "-o",
+            "x.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (spec, out) = parse_spec(&args).unwrap();
+        assert_eq!(spec.families.len(), 2);
+        assert_eq!(spec.arbiters, vec!["rr", "mppa"]);
+        assert_eq!(spec.sizes, vec![64, 128]);
+        assert_eq!(spec.algorithms.len(), 2);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.budget, Duration::from_secs(30));
+        assert_eq!(out.as_deref(), Some("x.json"));
+    }
+
+    #[test]
+    fn spec_parsing_rejects_bad_tokens() {
+        let bad = |args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_spec(&args).unwrap_err()
+        };
+        assert!(bad(&["--families", "XX"]).contains("bad family"));
+        assert!(bad(&["--arbiters", "bogus"]).contains("unknown arbiter"));
+        assert!(bad(&["--sizes", "0"]).contains("bad size"));
+        assert!(bad(&["--frobnicate", "1"]).contains("unknown sweep flag"));
+        assert!(bad(&["--sizes"]).contains("needs a value"));
+    }
+
+    #[test]
+    fn tiny_grid_runs_and_serializes() {
+        let spec = SweepSpec {
+            families: vec![Family::FixedLayerSize(4)],
+            arbiters: vec!["rr".to_owned(), "mppa".to_owned()],
+            sizes: vec![16, 32],
+            algorithms: vec![Algorithm::Incremental, Algorithm::Original],
+            jobs: 2,
+            ..SweepSpec::default()
+        };
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        let report = run_sweep(&spec, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(report.points.len(), 8);
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+        // Deterministic ordering: family × arbiter × size × algorithm.
+        assert_eq!(report.points[0].arbiter, "rr");
+        assert_eq!(report.points[0].n, 16);
+        assert!(report.points.iter().all(|p| p.outcome.seconds().is_some()));
+        let json = report_json(&report);
+        assert!(json.contains("\"points\""));
+        assert!(json.contains("LS4"));
+    }
+
+    #[test]
+    fn unknown_arbiter_in_spec_becomes_failed_point() {
+        let spec = SweepSpec {
+            families: vec![Family::FixedLayerSize(4)],
+            arbiters: vec!["nope".to_owned()],
+            sizes: vec![16],
+            ..SweepSpec::default()
+        };
+        let report = run_sweep(&spec, &|_| {});
+        assert!(matches!(report.points[0].outcome, Outcome::Failed { .. }));
+    }
+
+    #[test]
+    fn parallel_threads_match_sequential_makespan() {
+        let seq = SweepSpec {
+            families: vec![Family::FixedLayers(4)],
+            arbiters: vec!["rr".to_owned()],
+            sizes: vec![96],
+            threads: 1,
+            ..SweepSpec::default()
+        };
+        let par = SweepSpec {
+            threads: 4,
+            ..seq.clone()
+        };
+        let a = run_sweep(&seq, &|_| {});
+        let b = run_sweep(&par, &|_| {});
+        match (&a.points[0].outcome, &b.points[0].outcome) {
+            (Outcome::Completed { makespan: m1, .. }, Outcome::Completed { makespan: m2, .. }) => {
+                assert_eq!(m1, m2)
+            }
+            other => panic!("unexpected outcomes: {other:?}"),
+        }
+    }
+}

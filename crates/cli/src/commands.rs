@@ -3,7 +3,6 @@
 use std::fmt;
 use std::fs;
 
-use mia_arbiter::{Fifo, FixedPriority, MppaTree, Regulated, RoundRobin, Tdm, WeightedRoundRobin};
 use mia_core::{analyze_with, AnalysisOptions, NoopObserver};
 use mia_dag_gen::{Family, LayeredDag};
 use mia_model::{Arbiter, Cycles, Platform, Problem};
@@ -49,7 +48,11 @@ commands:
   generate --family <LS4|NL64|...> -n <tasks> [--seed S] [-o FILE]
   analyze  <workload.json> [--algorithm incremental|baseline]
            [--arbiter rr|mppa|tdm|fifo|fp|wrr|regulated] [--deadline N]
-           [--gantt] [--dot] [--json FILE] [--chrome FILE]
+           [--threads N] [--gantt] [--dot] [--json FILE] [--chrome FILE]
+  sweep    [--families tobita,layered,LS64,NL4,...] [--arbiters rr,mppa,...]
+           [--sizes 1000,8000,32000] [--algorithms incremental,baseline]
+           [--seed N] [--budget SECS] [--jobs N] [--threads N] [-o FILE]
+           (batch grid -> one JSON report; tobita = LS16, layered = NL16)
   simulate <workload.json> [--pattern burst-start|burst-end|uniform|random] [--seed S]
   exec     <workload.json> [--arbiter ...] [--prefix NAME] [--c FILE] [--json FILE]
   sdf      <app.sdf> --cores N [--iterations K] [--strategy etf|cyclic|balanced|heft]
@@ -67,6 +70,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match command.as_str() {
         "generate" => generate(rest),
         "analyze" => analyze_cmd(rest),
+        "sweep" => crate::sweep::sweep_cmd(rest),
         "simulate" => simulate_cmd(rest),
         "exec" => exec_cmd(rest),
         "sdf" => sdf_cmd(rest),
@@ -110,20 +114,12 @@ fn parse_family(label: &str) -> Result<Family, CliError> {
     }
 }
 
-fn parse_arbiter(name: Option<&str>) -> Result<Box<dyn Arbiter>, CliError> {
-    Ok(match name.unwrap_or("rr") {
-        "rr" | "round-robin" => Box::new(RoundRobin::new()),
-        "mppa" | "tree" => Box::new(MppaTree::cluster16()),
-        "tdm" => Box::new(Tdm::new()),
-        "fifo" => Box::new(Fifo::new()),
-        "fp" | "fixed-priority" => Box::new(FixedPriority::by_core_id()),
-        "wrr" | "weighted" => Box::new(WeightedRoundRobin::default()),
-        "regulated" | "memguard" => Box::new(Regulated::new(8, 128)),
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown arbiter `{other}` (rr, mppa, tdm, fifo, fp, wrr, regulated)"
-            )))
-        }
+fn parse_arbiter(name: Option<&str>) -> Result<Box<dyn Arbiter + Send + Sync>, CliError> {
+    let name = name.unwrap_or("rr");
+    mia_arbiter::by_name(name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown arbiter `{name}` (rr, mppa, tdm, fifo, fp, wrr, regulated)"
+        ))
     })
 }
 
@@ -174,11 +170,25 @@ fn analyze_cmd(args: &[String]) -> Result<String, CliError> {
         options = options.deadline(Cycles(d));
     }
     let algorithm = opt(args, "--algorithm").unwrap_or("incremental");
+    let threads: usize = opt(args, "--threads")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| CliError::Usage("--threads must be a number".into()))?;
     let schedule = match algorithm {
+        "incremental" | "new" if threads != 1 => {
+            mia_core::analyze_parallel_with(&problem, arbiter.as_ref(), &options, threads)
+                .map_err(|e| CliError::Analysis(e.to_string()))?
+                .schedule
+        }
         "incremental" | "new" => {
             analyze_with(&problem, arbiter.as_ref(), &options, &mut NoopObserver)
                 .map_err(|e| CliError::Analysis(e.to_string()))?
                 .schedule
+        }
+        "baseline" | "original" | "old" if threads != 1 => {
+            return Err(CliError::Usage(
+                "--threads only applies to the incremental algorithm".into(),
+            ))
         }
         "baseline" | "original" | "old" => {
             let mut opts = mia_baseline::BaselineOptions::new();
@@ -419,6 +429,28 @@ mod tests {
 
         let out = run(&args(&["dot", &path_str])).unwrap();
         assert!(out.contains("digraph"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn every_generated_workload_simulates() {
+        // Regression for the ROADMAP-flagged mismatch: `mia simulate`
+        // used to reject every `mia generate` workload with the paper's
+        // default parameters (DemandExceedsWcet). The generator now caps
+        // total demand at the WCET budget.
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen-sim.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        for (family, seed) in [("LS16", "1"), ("NL4", "9"), ("LS4", "42")] {
+            run(&args(&[
+                "generate", "--family", family, "-n", "48", "--seed", seed, "-o", &path_str,
+            ]))
+            .unwrap();
+            let out = run(&args(&["simulate", &path_str, "--pattern", "burst-start"]))
+                .unwrap_or_else(|e| panic!("{family} seed {seed}: {e}"));
+            assert!(out.contains("soundness: OK"), "{family} seed {seed}: {out}");
+        }
         std::fs::remove_file(path).ok();
     }
 

@@ -6,6 +6,8 @@
 //! mia generate --family LS64 -n 256 --seed 7 -o workload.json
 //! mia analyze workload.json --arbiter mppa --gantt
 //! mia analyze workload.json --algorithm baseline
+//! mia analyze workload.json --threads 4
+//! mia sweep --families tobita,layered --arbiters rr,mppa --sizes 1000,8000,32000
 //! mia simulate workload.json --pattern random --seed 3
 //! mia sdf app.sdf --cores 4 --iterations 2 --strategy etf
 //! mia dot workload.json
@@ -17,6 +19,7 @@
 //! error messages instead of panics.
 
 mod commands;
+mod sweep;
 mod workload;
 
 pub use commands::{run, CliError};

@@ -1,0 +1,141 @@
+//! The `mia sweep` subcommand: batch-measure an arbiter × DAG-family ×
+//! size grid and emit one JSON report.
+//!
+//! This is a thin argument-validation layer over the shared engine in
+//! [`mia_bench::sweep`]; the `sweep` binary of `mia-bench` drives the
+//! same engine with the same flags, so reports are interchangeable.
+//!
+//! ```text
+//! mia sweep --families tobita,layered --arbiters rr,mppa \
+//!           --sizes 1000,8000,32000 -o report.json
+//! ```
+//!
+//! Flags (all optional — defaults in brackets):
+//!
+//! | Flag | Meaning | Default |
+//! |------|---------|---------|
+//! | `--families A,B,…` | DAG families: `LS<k>`/`NL<k>` labels or the presets `tobita` (= LS16, deep Tobita–Kasahara graphs) and `layered` (= NL16, wide layered graphs) | `tobita,layered` |
+//! | `--arbiters A,B,…` | arbiter names (`rr`, `mppa`, `tdm`, `fifo`, `fp`, `wrr`, `regulated`) | `rr` |
+//! | `--sizes N,M,…` | task counts | `1000,4000` |
+//! | `--algorithms …` | `incremental` and/or `baseline` | `incremental` |
+//! | `--seed N` | base PRNG seed (mixed per point) | `2020` |
+//! | `--budget SECS` | per-point wall-clock budget; a point over budget is recorded as a timeout | `120` |
+//! | `--jobs N` | concurrent grid points (`0` = all cores) | `0` |
+//! | `--threads N` | worker threads *inside* each incremental analysis | `1` |
+//! | `-o FILE` | write the JSON report to `FILE` | stdout |
+
+use std::fs;
+
+use mia_bench::sweep::{parse_spec, report_json, run_sweep};
+
+use crate::commands::CliError;
+
+/// Runs `mia sweep` with the raw arguments after the subcommand name.
+///
+/// Returns the rendered output: a short human summary plus either the
+/// JSON report (no `-o`) or the path it was written to.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for unknown flags or malformed grid tokens,
+/// [`CliError::Io`] if the report cannot be written.
+pub fn sweep_cmd(args: &[String]) -> Result<String, CliError> {
+    let (spec, out) = parse_spec(args).map_err(CliError::Usage)?;
+    let report = run_sweep(&spec, &|_| {});
+    let json = report_json(&report);
+
+    let mut summary = String::new();
+    summary.push_str(&format!(
+        "sweep: {} points ({} families × {} arbiters × {} sizes × {} algorithms) in {:.1}s\n",
+        report.points.len(),
+        report.families.len(),
+        report.arbiters.len(),
+        report.sizes.len(),
+        report.algorithms.len(),
+        report.wall_seconds,
+    ));
+    let timeouts = report
+        .points
+        .iter()
+        .filter(|p| p.outcome.timed_out())
+        .count();
+    let failures = report
+        .points
+        .iter()
+        .filter(|p| matches!(p.outcome, mia_bench::Outcome::Failed { .. }))
+        .count();
+    summary.push_str(&format!(
+        "completed: {}   timeouts: {timeouts}   failures: {failures}\n",
+        report.points.len() - timeouts - failures
+    ));
+
+    match out {
+        Some(path) => {
+            fs::write(&path, &json)?;
+            summary.push_str(&format!("report written to {path}\n"));
+            Ok(summary)
+        }
+        None => {
+            summary.push('\n');
+            summary.push_str(&json);
+            summary.push('\n');
+            Ok(summary)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn tiny_sweep_emits_json_to_stdout() {
+        let out = sweep_cmd(&args(&[
+            "--families",
+            "tobita,layered",
+            "--arbiters",
+            "rr,mppa",
+            "--sizes",
+            "16,32",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("sweep: 8 points"), "{out}");
+        assert!(out.contains("\"points\""));
+        assert!(out.contains("LS16"));
+        assert!(out.contains("NL16"));
+        assert!(out.contains("timeouts: 0"));
+    }
+
+    #[test]
+    fn sweep_writes_report_file() {
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep-report.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        let out = sweep_cmd(&args(&[
+            "--families",
+            "LS4",
+            "--sizes",
+            "16",
+            "-o",
+            &path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("report written"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"family\": \"LS4\""), "{json}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_family_is_usage_error() {
+        let err = sweep_cmd(&args(&["--families", "XX"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+}

@@ -3,7 +3,7 @@
 use mia_model::arbiter::Arbiter;
 use mia_model::{CoreId, Cycles, Problem, Schedule, TaskId, TaskTiming};
 
-use crate::alive::{add_interferer, AliveTask};
+use crate::alive::{account_newly, AliveSlot};
 use crate::{AnalysisError, AnalysisOptions, NoopObserver, Observer};
 
 /// Counters describing the work an analysis run performed; useful for
@@ -94,8 +94,8 @@ where
     // Next position in each core's execution order (`S_k`, as an index
     // rather than a stack so the mapping stays borrowed immutably).
     let mut next_idx: Vec<usize> = vec![0; cores];
-    // The alive set `A`, at most one task per core.
-    let mut alive: Vec<Option<AliveTask>> = (0..cores).map(|_| None).collect();
+    // The alive set `A`: one reusable slot per core (see `alive.rs`).
+    let mut slots = AliveSlot::for_problem(problem);
     let mut alive_count = 0usize;
     let mut closed_count = 0usize;
 
@@ -105,6 +105,11 @@ where
     min_rels.sort();
     let mut mr_ptr = 0usize;
     let mut is_open = vec![false; n];
+
+    // Reusable per-step buffers (no allocation inside the loop).
+    let mut newly: Vec<usize> = Vec::with_capacity(cores);
+    let mut occupants: Vec<Option<TaskId>> = Vec::with_capacity(cores);
+    let mut dirty: Vec<usize> = Vec::with_capacity(cores);
 
     let mut t = Cycles::ZERO;
     observer.on_cursor(t);
@@ -124,32 +129,31 @@ where
             // C ← {τ ∈ A | rel + WCET + inter = t} (Algorithm 1, line 3).
             #[allow(clippy::needless_range_loop)] // index drives several arrays
             for core_idx in 0..cores {
-                let finishes_now = alive[core_idx]
-                    .as_ref()
-                    .is_some_and(|a| a.finish(graph.task(a.task).wcet()) == t);
-                if !finishes_now {
+                let slot = &mut slots[core_idx];
+                if !(slot.busy && slot.finish(graph.task(slot.task).wcet()) == t) {
                     continue;
                 }
-                let a = alive[core_idx].take().expect("checked above");
                 let timing = TaskTiming {
-                    release: a.release,
-                    wcet: graph.task(a.task).wcet(),
-                    interference: a.total_inter,
+                    release: slot.release,
+                    wcet: graph.task(slot.task).wcet(),
+                    interference: slot.total_inter,
                 };
+                let task = slot.task;
                 if options.task_deadlines {
-                    if let Some(deadline) = graph.task(a.task).deadline() {
+                    if let Some(deadline) = graph.task(task).deadline() {
                         if timing.response_time() > deadline {
                             return Err(AnalysisError::TaskDeadlineMissed {
-                                task: a.task,
+                                task,
                                 response: timing.response_time(),
                                 deadline,
                             });
                         }
                     }
                 }
-                timings[a.task.index()] = Some(timing);
-                observer.on_close(a.task, CoreId::from_index(core_idx), t);
-                for e in graph.successors(a.task) {
+                slot.close();
+                timings[task.index()] = Some(timing);
+                observer.on_close(task, CoreId::from_index(core_idx), t);
+                for e in graph.successors(task) {
                     pending[e.dst.index()] -= 1; // lines 5–6
                 }
                 alive_count -= 1;
@@ -158,9 +162,9 @@ where
             }
 
             // O ← eligible heads of the per-core orders (lines 9–15).
-            let mut newly: Vec<usize> = Vec::new();
+            newly.clear();
             for core_idx in 0..cores {
-                if alive[core_idx].is_some() {
+                if slots[core_idx].busy {
                     continue;
                 }
                 let order = mapping.order(CoreId::from_index(core_idx));
@@ -169,7 +173,7 @@ where
                 };
                 if pending[head.index()] == 0 && graph.task(head).min_release() <= t {
                     next_idx[core_idx] += 1;
-                    alive[core_idx] = Some(AliveTask::new(head, t));
+                    slots[core_idx].open(head, t);
                     is_open[head.index()] = true;
                     alive_count += 1;
                     stats.max_alive = stats.max_alive.max(alive_count);
@@ -180,23 +184,21 @@ where
             }
 
             // Interference between new tasks and the rest of A, both
-            // directions (lines 17–23). Pairs already accounted are
-            // skipped via each task's `accounted` set.
-            for &new_idx in &newly {
-                for other_idx in 0..cores {
-                    if other_idx == new_idx || alive[other_idx].is_none() {
-                        continue;
-                    }
-                    add_interferer(
-                        problem, arbiter, options, observer, &mut alive, new_idx, other_idx,
-                        access, &mut stats,
-                    );
-                    add_interferer(
-                        problem, arbiter, options, observer, &mut alive, other_idx, new_idx,
-                        access, &mut stats,
-                    );
-                }
-            }
+            // directions (lines 17–23), grouped by destination slot.
+            // Pairs already accounted are skipped via each slot's
+            // `accounted` set.
+            account_newly(
+                problem,
+                arbiter,
+                options.interference_mode,
+                access,
+                &mut slots,
+                &newly,
+                &mut occupants,
+                observer,
+                &mut stats,
+                &mut dirty,
+            );
 
             if !changed {
                 break;
@@ -205,8 +207,8 @@ where
 
         // Unschedulability check against the optional global deadline.
         if let Some(deadline) = options.deadline {
-            for a in alive.iter().flatten() {
-                let fin = a.finish(graph.task(a.task).wcet());
+            for s in slots.iter().filter(|s| s.busy) {
+                let fin = s.finish(graph.task(s.task).wcet());
                 if fin > deadline {
                     return Err(AnalysisError::DeadlineExceeded {
                         makespan: fin,
@@ -223,8 +225,8 @@ where
         // t ← min(next alive finish, next future minimal release)
         // (lines 24–29).
         let mut t_next = Cycles::MAX;
-        for a in alive.iter().flatten() {
-            t_next = t_next.min(a.finish(graph.task(a.task).wcet()));
+        for s in slots.iter().filter(|s| s.busy) {
+            t_next = t_next.min(s.finish(graph.task(s.task).wcet()));
         }
         while let Some(&(mr, task)) = min_rels.get(mr_ptr) {
             if is_open[task.index()] || mr <= t {

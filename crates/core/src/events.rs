@@ -29,15 +29,16 @@ use std::collections::BinaryHeap;
 use mia_model::arbiter::Arbiter;
 use mia_model::{CoreId, Cycles, Problem, Schedule, TaskId, TaskTiming};
 
-use crate::alive::{add_interferer, AliveTask};
+use crate::alive::{account_newly, AliveSlot};
 use crate::{
     AnalysisError, AnalysisOptions, AnalysisReport, AnalysisStats, NoopObserver, Observer,
 };
 
 /// Runs the event-driven analysis with default options and no observer.
 ///
-/// Produces exactly the same schedule as [`crate::analyze`]; see the
-/// [module documentation](self) for why this variant exists.
+/// Produces exactly the same schedule as [`crate::analyze`]: the heap
+/// only changes how the next cursor position is *found* (an ablation of
+/// cursor-management cost), never what it is.
 ///
 /// # Errors
 ///
@@ -104,7 +105,7 @@ where
 
     let mut pending: Vec<usize> = graph.task_ids().map(|t| graph.in_degree(t)).collect();
     let mut next_idx: Vec<usize> = vec![0; cores];
-    let mut alive: Vec<Option<AliveTask>> = (0..cores).map(|_| None).collect();
+    let mut slots = AliveSlot::for_problem(problem);
     let mut alive_count = 0usize;
     let mut closed_count = 0usize;
 
@@ -113,6 +114,11 @@ where
     min_rels.sort();
     let mut mr_ptr = 0usize;
     let mut is_open = vec![false; n];
+
+    // Reusable per-step buffers (no allocation inside the loop).
+    let mut newly: Vec<usize> = Vec::with_capacity(cores);
+    let mut occupants: Vec<Option<TaskId>> = Vec::with_capacity(cores);
+    let mut dirty: Vec<usize> = Vec::with_capacity(cores);
 
     // Candidate finish events, min-first. Entries are validated on pop
     // against the task currently alive on the core.
@@ -135,32 +141,31 @@ where
 
             #[allow(clippy::needless_range_loop)] // index drives several arrays
             for core_idx in 0..cores {
-                let finishes_now = alive[core_idx]
-                    .as_ref()
-                    .is_some_and(|a| a.finish(graph.task(a.task).wcet()) == t);
-                if !finishes_now {
+                let slot = &mut slots[core_idx];
+                if !(slot.busy && slot.finish(graph.task(slot.task).wcet()) == t) {
                     continue;
                 }
-                let a = alive[core_idx].take().expect("checked above");
                 let timing = TaskTiming {
-                    release: a.release,
-                    wcet: graph.task(a.task).wcet(),
-                    interference: a.total_inter,
+                    release: slot.release,
+                    wcet: graph.task(slot.task).wcet(),
+                    interference: slot.total_inter,
                 };
+                let task = slot.task;
                 if options.task_deadlines {
-                    if let Some(deadline) = graph.task(a.task).deadline() {
+                    if let Some(deadline) = graph.task(task).deadline() {
                         if timing.response_time() > deadline {
                             return Err(AnalysisError::TaskDeadlineMissed {
-                                task: a.task,
+                                task,
                                 response: timing.response_time(),
                                 deadline,
                             });
                         }
                     }
                 }
-                timings[a.task.index()] = Some(timing);
-                observer.on_close(a.task, CoreId::from_index(core_idx), t);
-                for e in graph.successors(a.task) {
+                slot.close();
+                timings[task.index()] = Some(timing);
+                observer.on_close(task, CoreId::from_index(core_idx), t);
+                for e in graph.successors(task) {
                     pending[e.dst.index()] -= 1;
                 }
                 alive_count -= 1;
@@ -168,9 +173,9 @@ where
                 changed = true;
             }
 
-            let mut newly: Vec<usize> = Vec::new();
+            newly.clear();
             for core_idx in 0..cores {
-                if alive[core_idx].is_some() {
+                if slots[core_idx].busy {
                     continue;
                 }
                 let order = mapping.order(CoreId::from_index(core_idx));
@@ -179,7 +184,7 @@ where
                 };
                 if pending[head.index()] == 0 && graph.task(head).min_release() <= t {
                     next_idx[core_idx] += 1;
-                    alive[core_idx] = Some(AliveTask::new(head, t));
+                    slots[core_idx].open(head, t);
                     is_open[head.index()] = true;
                     alive_count += 1;
                     stats.max_alive = stats.max_alive.max(alive_count);
@@ -192,34 +197,23 @@ where
                 }
             }
 
-            for &new_idx in &newly {
-                for other_idx in 0..cores {
-                    if other_idx == new_idx || alive[other_idx].is_none() {
-                        continue;
-                    }
-                    let before = (
-                        finish_of(&alive, other_idx, problem),
-                        finish_of(&alive, new_idx, problem),
-                    );
-                    add_interferer(
-                        problem, arbiter, options, observer, &mut alive, new_idx, other_idx,
-                        access, &mut stats,
-                    );
-                    add_interferer(
-                        problem, arbiter, options, observer, &mut alive, other_idx, new_idx,
-                        access, &mut stats,
-                    );
-                    let after = (
-                        finish_of(&alive, other_idx, problem),
-                        finish_of(&alive, new_idx, problem),
-                    );
-                    if before.0 != after.0 {
-                        finish_events.push(Reverse((after.0.expect("alive"), other_idx)));
-                    }
-                    if before.1 != after.1 {
-                        finish_events.push(Reverse((after.1.expect("alive"), new_idx)));
-                    }
-                }
+            account_newly(
+                problem,
+                arbiter,
+                options.interference_mode,
+                access,
+                &mut slots,
+                &newly,
+                &mut occupants,
+                observer,
+                &mut stats,
+                &mut dirty,
+            );
+            // Refresh the heap for every destination whose finish date
+            // moved during the interference phase.
+            for &core_idx in &dirty {
+                let s = &slots[core_idx];
+                finish_events.push(Reverse((s.finish(graph.task(s.task).wcet()), core_idx)));
             }
 
             if !changed {
@@ -228,8 +222,8 @@ where
         }
 
         if let Some(deadline) = options.deadline {
-            for a in alive.iter().flatten() {
-                let fin = a.finish(graph.task(a.task).wcet());
+            for s in slots.iter().filter(|s| s.busy) {
+                let fin = s.finish(graph.task(s.task).wcet());
                 if fin > deadline {
                     return Err(AnalysisError::DeadlineExceeded {
                         makespan: fin,
@@ -249,10 +243,9 @@ where
             match finish_events.peek() {
                 None => break None,
                 Some(&Reverse((when, core_idx))) => {
-                    let valid = when > t
-                        && alive[core_idx]
-                            .as_ref()
-                            .is_some_and(|a| a.finish(graph.task(a.task).wcet()) == when);
+                    let slot = &slots[core_idx];
+                    let valid =
+                        when > t && slot.busy && slot.finish(graph.task(slot.task).wcet()) == when;
                     if valid {
                         break Some(when);
                     }
@@ -289,13 +282,6 @@ where
         schedule: Schedule::from_timings(timings),
         stats,
     })
-}
-
-/// Current finish date of the task alive on `core_idx`, if any.
-fn finish_of(alive: &[Option<AliveTask>], core_idx: usize, problem: &Problem) -> Option<Cycles> {
-    alive[core_idx]
-        .as_ref()
-        .map(|a| a.finish(problem.graph().task(a.task).wcet()))
 }
 
 #[cfg(test)]

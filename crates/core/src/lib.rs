@@ -35,6 +35,21 @@
 //! fixed-point iteration is needed: the complexity is `O(c²·b·n²)` — with
 //! platform constants, **O(n²)** against the original **O(n⁴)**.
 //!
+//! # Drivers
+//!
+//! Three drivers share the same slot machinery (dense, generation-stamped
+//! per-core buffers — the hot path performs no heap allocation) and
+//! produce **bit-identical** schedules and work counters:
+//!
+//! * [`analyze`] / [`analyze_with`] — the scanning cursor of the paper
+//!   (lines 24–28), the default;
+//! * [`analyze_event_driven`] — a lazily invalidated heap cursor, kept as
+//!   the cursor-cost ablation;
+//! * [`analyze_parallel`] — the layer-parallel engine: at every instant
+//!   the alive set is an anti-chain ("layer") of the DAG whose members
+//!   are updated concurrently by a scoped worker pool. See the
+//!   [`parallel` module docs](analyze_parallel) and `ARCHITECTURE.md`.
+//!
 //! # Example
 //!
 //! ```
@@ -71,6 +86,7 @@ mod error;
 mod events;
 mod observer;
 mod options;
+mod parallel;
 
 pub use analysis::{analyze, analyze_with, AnalysisReport, AnalysisStats};
 pub use cancel::CancelToken;
@@ -78,3 +94,4 @@ pub use error::AnalysisError;
 pub use events::{analyze_event_driven, analyze_event_driven_with};
 pub use observer::{NoopObserver, Observer};
 pub use options::{AnalysisOptions, InterferenceMode};
+pub use parallel::{analyze_parallel, analyze_parallel_with};

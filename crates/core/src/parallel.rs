@@ -1,0 +1,666 @@
+//! Layer-parallel execution of Algorithm 1 with `std::thread::scope`.
+//!
+//! # The layer decomposition
+//!
+//! At every cursor instant the alive set is an **anti-chain of the DAG**
+//! — a "layer" of tasks with no dependencies among them (per-core
+//! execution is serial and every dependency crosses a close/open pair).
+//! The interference phase of a cursor step touches exactly that layer,
+//! and, accounted destination-by-destination (see `alive.rs`), each
+//! member of the layer depends only on its **own** slot plus immutable
+//! problem data. The analysis therefore proceeds level by level over
+//! those temporal layers: the cursor driver walks the levels, and the
+//! members of each level are updated by a pool of scoped worker threads.
+//!
+//! # Work distribution
+//!
+//! Worker `w` of `W` permanently owns the alive slots of all cores `c`
+//! with `c % W == w` (round-robin, matching the generator's cyclic
+//! mapping so layer work spreads evenly). Per interference phase the
+//! driver publishes the newly opened tasks plus an occupancy snapshot,
+//! releases the pool through a barrier, and collects the updated
+//! interference totals through a second barrier. Slots never migrate, so
+//! the per-slot scratch buffers stay worker-local for the whole run and
+//! the hot path remains allocation-free.
+//!
+//! # Bit-exact by construction
+//!
+//! Every destination processes its interferers in **exactly the
+//! sequential order** (`account_destination`), and destinations are
+//! mutually independent, so [`analyze_parallel`] returns release dates,
+//! response times *and work counters* identical to [`crate::analyze`] —
+//! the property tests in `tests/parallel_equivalence.rs` enforce this
+//! for every arbiter and thread count. Observers are not supported in
+//! this mode (interference events would arrive unordered); use
+//! [`crate::analyze_with`] when tracing. Panics — e.g. from a faulty
+//! user arbiter — are confined per phase and re-raised on the calling
+//! thread after the pool shuts down, exactly as the sequential analysis
+//! would have propagated them (no deadlocked barriers).
+//!
+//! # When it pays off
+//!
+//! The parallel engine trades two barrier crossings per opening step for
+//! concurrent `IBUS` evaluation across the layer. It wins when the
+//! per-step interference work is substantial — many cores, many banks,
+//! expensive arbiters, exact (aggregate) recomputation — and loses on
+//! small platforms where the sequential hot path is already cheap. For
+//! grid-level parallelism (many independent analyses), prefer the sweep
+//! driver in `mia-bench`, which runs whole analyses concurrently.
+
+use std::sync::{Barrier, Mutex};
+
+use mia_model::arbiter::Arbiter;
+use mia_model::{CoreId, Cycles, Problem, Schedule, TaskId, TaskTiming};
+
+use crate::alive::{account_destination, AliveSlot};
+use crate::{AnalysisError, AnalysisOptions, AnalysisReport, AnalysisStats, NoopObserver};
+
+/// One step's instructions for the worker pool.
+struct StepMsg {
+    /// True once the driver is done: workers exit their loop.
+    quit: bool,
+    /// Newly opened tasks, ascending by core index.
+    newly: Vec<(usize, TaskId, Cycles)>,
+    /// Task alive on each core after this step's opens (`None` = idle).
+    occupants: Vec<Option<TaskId>>,
+}
+
+/// State shared between the driver and the pool.
+struct Shared {
+    step: Mutex<StepMsg>,
+    /// Released by the driver once a step is published.
+    start: Barrier,
+    /// Crossed by everyone once the step's accounting is complete.
+    done: Barrier,
+    /// Updated `(core, total_interference)` pairs of the current step.
+    results: Mutex<Vec<(usize, Cycles)>>,
+    /// Work counters merged by workers on shutdown.
+    worker_stats: Mutex<AnalysisStats>,
+    /// First panic payload caught in a worker's accounting phase. A
+    /// panicked worker keeps servicing the barriers (doing no work), so
+    /// the protocol never deadlocks; the driver re-raises this payload
+    /// after shutting the pool down — matching the sequential analysis,
+    /// where the same panic would propagate directly.
+    worker_panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Shared {
+    /// Locks `m` even when a panicking thread poisoned it — every use
+    /// below tolerates whatever state the panicking thread left behind
+    /// (the run is abandoned and the payload re-raised).
+    fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn worker_panicked(&self) -> bool {
+        Shared::lock_ignoring_poison(&self.worker_panic).is_some()
+    }
+}
+
+/// The driver's lightweight view of one alive slot (the heavy
+/// interference state lives with the owning worker).
+#[derive(Clone, Copy)]
+struct MetaSlot {
+    busy: bool,
+    task: TaskId,
+    release: Cycles,
+    total_inter: Cycles,
+}
+
+impl MetaSlot {
+    fn finish(&self, wcet: Cycles) -> Cycles {
+        self.release + wcet + self.total_inter
+    }
+}
+
+/// Runs the layer-parallel analysis with default options.
+///
+/// `threads == 0` uses the machine's available parallelism. The result is
+/// bit-identical to [`crate::analyze`]: at every cursor instant the alive
+/// set forms an independent layer of the DAG whose members are updated
+/// concurrently by a scoped worker pool, each destination processing its
+/// interferers in exactly the sequential order (see `ARCHITECTURE.md`).
+///
+/// # Errors
+///
+/// Same as [`crate::analyze`].
+///
+/// # Example
+///
+/// ```
+/// use mia_arbiter::RoundRobin;
+/// use mia_core::{analyze, analyze_parallel};
+/// use mia_model::{Cycles, Mapping, Platform, Problem, Task, TaskGraph};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = TaskGraph::new();
+/// let a = g.add_task(Task::builder("a").wcet(Cycles(100)));
+/// let b = g.add_task(Task::builder("b").wcet(Cycles(100)));
+/// g.add_edge(a, b, 10)?;
+/// let problem = Problem::new(
+///     g.clone(),
+///     Mapping::from_assignment(&g, &[0, 1])?,
+///     Platform::new(2, 2),
+/// )?;
+/// let rr = RoundRobin::new();
+/// assert_eq!(analyze_parallel(&problem, &rr, 2)?, analyze(&problem, &rr)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_parallel<A>(
+    problem: &Problem,
+    arbiter: &A,
+    threads: usize,
+) -> Result<Schedule, AnalysisError>
+where
+    A: Arbiter + Sync + ?Sized,
+{
+    analyze_parallel_with(problem, arbiter, &AnalysisOptions::default(), threads)
+        .map(|r| r.schedule)
+}
+
+/// Runs the layer-parallel analysis with explicit options.
+///
+/// `threads == 0` uses the machine's available parallelism; with one
+/// worker (or a single-core problem) the call falls through to the
+/// sequential [`crate::analyze_with`]. Either way the schedule and the
+/// work counters are bit-identical to the sequential analysis.
+///
+/// # Errors
+///
+/// Same as [`crate::analyze_with`].
+pub fn analyze_parallel_with<A>(
+    problem: &Problem,
+    arbiter: &A,
+    options: &AnalysisOptions,
+    threads: usize,
+) -> Result<AnalysisReport, AnalysisError>
+where
+    A: Arbiter + Sync + ?Sized,
+{
+    let cores = problem.mapping().cores();
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+    .min(cores.max(1));
+    if workers <= 1 {
+        return crate::analyze_with(problem, arbiter, options, &mut NoopObserver);
+    }
+
+    let graph = problem.graph();
+    let mapping = problem.mapping();
+    let n = graph.len();
+    let access = problem.platform().access_cycles();
+    let mode = options.interference_mode;
+
+    let shared = Shared {
+        step: Mutex::new(StepMsg {
+            quit: false,
+            newly: Vec::with_capacity(cores),
+            occupants: vec![None; cores],
+        }),
+        start: Barrier::new(workers + 1),
+        done: Barrier::new(workers + 1),
+        results: Mutex::new(Vec::with_capacity(cores)),
+        worker_stats: Mutex::new(AnalysisStats::default()),
+        worker_panic: Mutex::new(None),
+    };
+
+    let driver_result = std::thread::scope(|scope| {
+        for worker_id in 0..workers {
+            let shared = &shared;
+            scope.spawn(move || {
+                worker_loop(problem, arbiter, mode, access, shared, worker_id, workers);
+            });
+        }
+
+        // Catch driver-side panics so the pool is always released before
+        // the scope joins it — otherwise a panicking driver would leave
+        // workers parked on the start barrier forever.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            drive(graph, mapping, options, n, cores, &shared)
+        }));
+
+        // Shut the pool down whether the run succeeded, failed or
+        // panicked; workers are parked on the start barrier.
+        Shared::lock_ignoring_poison(&shared.step).quit = true;
+        shared.start.wait();
+        result
+    });
+
+    // A worker panic outranks whatever the driver returned: re-raise it
+    // here, exactly as the sequential analysis would have propagated it.
+    if let Some(payload) = Shared::lock_ignoring_poison(&shared.worker_panic).take() {
+        std::panic::resume_unwind(payload);
+    }
+    let (timings, mut stats) = match driver_result {
+        Ok(result) => result?,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    let worker_stats = Shared::lock_ignoring_poison(&shared.worker_stats);
+    stats.pairs_considered = worker_stats.pairs_considered;
+    stats.ibus_calls = worker_stats.ibus_calls;
+    drop(worker_stats);
+    Ok(AnalysisReport {
+        schedule: Schedule::from_timings(timings),
+        stats,
+    })
+}
+
+/// The cursor driver: identical control flow to [`crate::analyze_with`],
+/// with the interference phase delegated to the pool.
+fn drive(
+    graph: &mia_model::TaskGraph,
+    mapping: &mia_model::Mapping,
+    options: &AnalysisOptions,
+    n: usize,
+    cores: usize,
+    shared: &Shared,
+) -> Result<(Vec<TaskTiming>, AnalysisStats), AnalysisError> {
+    let mut stats = AnalysisStats::default();
+    let mut timings: Vec<Option<TaskTiming>> = vec![None; n];
+    let mut pending: Vec<usize> = graph.task_ids().map(|t| graph.in_degree(t)).collect();
+    let mut next_idx: Vec<usize> = vec![0; cores];
+    let mut meta = vec![
+        MetaSlot {
+            busy: false,
+            task: TaskId(0),
+            release: Cycles::ZERO,
+            total_inter: Cycles::ZERO,
+        };
+        cores
+    ];
+    let mut alive_count = 0usize;
+    let mut closed_count = 0usize;
+
+    let mut min_rels: Vec<(Cycles, TaskId)> =
+        graph.iter().map(|(id, t)| (t.min_release(), id)).collect();
+    min_rels.sort();
+    let mut mr_ptr = 0usize;
+    let mut is_open = vec![false; n];
+    let mut newly: Vec<(usize, TaskId, Cycles)> = Vec::with_capacity(cores);
+
+    let mut t = Cycles::ZERO;
+
+    while closed_count < n {
+        if options.is_cancelled() {
+            return Err(AnalysisError::Cancelled);
+        }
+        stats.cursor_steps += 1;
+
+        loop {
+            let mut changed = false;
+
+            #[allow(clippy::needless_range_loop)] // index drives several arrays
+            for core_idx in 0..cores {
+                let m = meta[core_idx];
+                if !(m.busy && m.finish(graph.task(m.task).wcet()) == t) {
+                    continue;
+                }
+                let timing = TaskTiming {
+                    release: m.release,
+                    wcet: graph.task(m.task).wcet(),
+                    interference: m.total_inter,
+                };
+                if options.task_deadlines {
+                    if let Some(deadline) = graph.task(m.task).deadline() {
+                        if timing.response_time() > deadline {
+                            return Err(AnalysisError::TaskDeadlineMissed {
+                                task: m.task,
+                                response: timing.response_time(),
+                                deadline,
+                            });
+                        }
+                    }
+                }
+                meta[core_idx].busy = false;
+                timings[m.task.index()] = Some(timing);
+                for e in graph.successors(m.task) {
+                    pending[e.dst.index()] -= 1;
+                }
+                alive_count -= 1;
+                closed_count += 1;
+                changed = true;
+            }
+
+            newly.clear();
+            for core_idx in 0..cores {
+                if meta[core_idx].busy {
+                    continue;
+                }
+                let order = mapping.order(CoreId::from_index(core_idx));
+                let Some(&head) = order.get(next_idx[core_idx]) else {
+                    continue;
+                };
+                if pending[head.index()] == 0 && graph.task(head).min_release() <= t {
+                    next_idx[core_idx] += 1;
+                    meta[core_idx] = MetaSlot {
+                        busy: true,
+                        task: head,
+                        release: t,
+                        total_inter: Cycles::ZERO,
+                    };
+                    is_open[head.index()] = true;
+                    alive_count += 1;
+                    stats.max_alive = stats.max_alive.max(alive_count);
+                    newly.push((core_idx, head, t));
+                    changed = true;
+                }
+            }
+
+            // Interference phase, fanned out over the pool when anything
+            // opened at this instant.
+            if !newly.is_empty() {
+                {
+                    let mut msg = shared.step.lock().expect("driver owns step lock");
+                    msg.newly.clear();
+                    msg.newly.extend_from_slice(&newly);
+                    for (slot, m) in msg.occupants.iter_mut().zip(&meta) {
+                        *slot = m.busy.then_some(m.task);
+                    }
+                }
+                shared.start.wait();
+                // Workers account their destinations here.
+                shared.done.wait();
+                if shared.worker_panicked() {
+                    // Abandon the run; the caller re-raises the worker's
+                    // payload, so this placeholder error is never seen.
+                    return Err(AnalysisError::Cancelled);
+                }
+                for (core_idx, total) in Shared::lock_ignoring_poison(&shared.results).drain(..) {
+                    meta[core_idx].total_inter = total;
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        if let Some(deadline) = options.deadline {
+            for m in meta.iter().filter(|m| m.busy) {
+                let fin = m.finish(graph.task(m.task).wcet());
+                if fin > deadline {
+                    return Err(AnalysisError::DeadlineExceeded {
+                        makespan: fin,
+                        deadline,
+                    });
+                }
+            }
+        }
+
+        if closed_count == n {
+            break;
+        }
+
+        let mut t_next = Cycles::MAX;
+        for m in meta.iter().filter(|m| m.busy) {
+            t_next = t_next.min(m.finish(graph.task(m.task).wcet()));
+        }
+        while let Some(&(mr, task)) = min_rels.get(mr_ptr) {
+            if is_open[task.index()] || mr <= t {
+                mr_ptr += 1;
+                continue;
+            }
+            t_next = t_next.min(mr);
+            break;
+        }
+        if t_next == Cycles::MAX {
+            let stuck = graph
+                .task_ids()
+                .find(|x| !is_open[x.index()])
+                .expect("unfinished tasks remain");
+            return Err(AnalysisError::Deadlock { stuck });
+        }
+        debug_assert!(t_next > t, "cursor must advance");
+        t = t_next;
+    }
+
+    let timings: Vec<TaskTiming> = timings
+        .into_iter()
+        .map(|t| t.expect("all tasks closed"))
+        .collect();
+    Ok((timings, stats))
+}
+
+/// One pool worker: owns the slots of cores `c` with
+/// `c % workers == worker_id` and services interference phases until the
+/// driver publishes `quit`.
+fn worker_loop<A>(
+    problem: &Problem,
+    arbiter: &A,
+    mode: crate::InterferenceMode,
+    access: Cycles,
+    shared: &Shared,
+    worker_id: usize,
+    workers: usize,
+) where
+    A: Arbiter + Sync + ?Sized,
+{
+    let cores = problem.mapping().cores();
+    let banks = problem.platform().banks();
+    let tasks = problem.len();
+    // Local slots for the owned cores; `local[core]` maps into them.
+    let mut slots: Vec<AliveSlot> = Vec::new();
+    let mut local: Vec<usize> = vec![usize::MAX; cores];
+    for core in (worker_id..cores).step_by(workers) {
+        local[core] = slots.len();
+        slots.push(AliveSlot::new(
+            CoreId::from_index(core),
+            banks,
+            cores,
+            tasks,
+        ));
+    }
+
+    let mut stats = AnalysisStats::default();
+    let mut newly: Vec<(usize, TaskId, Cycles)> = Vec::with_capacity(cores);
+    let mut newly_cores: Vec<usize> = Vec::with_capacity(cores);
+    let mut occupants: Vec<Option<TaskId>> = Vec::with_capacity(cores);
+    let mut out: Vec<(usize, Cycles)> = Vec::with_capacity(slots.len());
+
+    loop {
+        shared.start.wait();
+        {
+            let msg = Shared::lock_ignoring_poison(&shared.step);
+            if msg.quit {
+                break;
+            }
+            newly.clone_from(&msg.newly);
+            occupants.clone_from(&msg.occupants);
+        }
+
+        // The accounting phase is panic-confined: a panicking arbiter
+        // must not strand the driver (and the sibling workers) on the
+        // `done` barrier. The first payload is stashed for the driver to
+        // re-raise; after that every worker just services the barriers
+        // until the driver publishes `quit`.
+        if !shared.worker_panicked() {
+            let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                newly_cores.clear();
+                newly_cores.extend(newly.iter().map(|&(c, _, _)| c));
+
+                // Open the newly occupied slots this worker owns. Closes
+                // are not forwarded to the pool (occupancy travels in
+                // the step message), so a slot may still be marked busy
+                // from its previous task — release it first.
+                for &(core, task, release) in &newly {
+                    if local[core] != usize::MAX {
+                        let slot = &mut slots[local[core]];
+                        slot.close();
+                        slot.open(task, release);
+                    }
+                }
+                // Account every owned, occupied destination in the
+                // sequential per-destination order.
+                out.clear();
+                for core in (worker_id..cores).step_by(workers) {
+                    if occupants[core].is_none() {
+                        continue;
+                    }
+                    let slot = &mut slots[local[core]];
+                    let dest_is_new = newly_cores.binary_search(&core).is_ok();
+                    let before = slot.total_inter;
+                    account_destination(
+                        problem,
+                        arbiter,
+                        mode,
+                        access,
+                        slot,
+                        core,
+                        dest_is_new,
+                        &newly_cores,
+                        &occupants,
+                        &mut NoopObserver,
+                        &mut stats,
+                    );
+                    if slot.total_inter != before {
+                        out.push((core, slot.total_inter));
+                    }
+                }
+                if !out.is_empty() {
+                    Shared::lock_ignoring_poison(&shared.results).extend_from_slice(&out);
+                }
+            }));
+            if let Err(payload) = phase {
+                Shared::lock_ignoring_poison(&shared.worker_panic).get_or_insert(payload);
+            }
+        }
+        shared.done.wait();
+    }
+
+    let mut merged = Shared::lock_ignoring_poison(&shared.worker_stats);
+    merged.pairs_considered += stats.pairs_considered;
+    merged.ibus_calls += stats.ibus_calls;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_model::arbiter::InterfererDemand;
+    use mia_model::{Mapping, Platform, Task, TaskGraph};
+
+    struct Rr;
+
+    impl Arbiter for Rr {
+        fn name(&self) -> &str {
+            "rr-test"
+        }
+
+        fn bank_interference(
+            &self,
+            _victim: CoreId,
+            demand: u64,
+            interferers: &[InterfererDemand],
+            access_cycles: Cycles,
+        ) -> Cycles {
+            access_cycles
+                * interferers
+                    .iter()
+                    .map(|i| demand.min(i.accesses))
+                    .sum::<u64>()
+        }
+
+        fn is_additive(&self) -> bool {
+            true
+        }
+    }
+
+    fn figure1() -> Problem {
+        let mut g = TaskGraph::new();
+        let n0 = g.add_task(Task::builder("n0").wcet(Cycles(2)));
+        let n1 = g.add_task(Task::builder("n1").wcet(Cycles(2)).min_release(Cycles(2)));
+        let n2 = g.add_task(Task::builder("n2").wcet(Cycles(1)).min_release(Cycles(4)));
+        let n3 = g.add_task(Task::builder("n3").wcet(Cycles(3)));
+        let n4 = g.add_task(Task::builder("n4").wcet(Cycles(2)).min_release(Cycles(4)));
+        for (s, d) in [(n0, n1), (n0, n2), (n1, n2), (n3, n2), (n3, n4)] {
+            g.add_edge(s, d, 1).unwrap();
+        }
+        let m = Mapping::from_assignment(&g, &[0, 1, 1, 2, 3]).unwrap();
+        Problem::new(g, m, Platform::new(4, 4)).unwrap()
+    }
+
+    #[test]
+    fn figure1_matches_sequential_for_every_pool_size() {
+        let p = figure1();
+        let seq = crate::analyze_with(&p, &Rr, &AnalysisOptions::new(), &mut NoopObserver).unwrap();
+        for threads in [0usize, 1, 2, 3, 4, 8] {
+            let par = analyze_parallel_with(&p, &Rr, &AnalysisOptions::new(), threads).unwrap();
+            assert_eq!(seq.schedule, par.schedule, "threads = {threads}");
+            assert_eq!(seq.stats, par.stats, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_problem() {
+        let g = TaskGraph::new();
+        let m = Mapping::from_assignment(&g, &[]).unwrap();
+        let p = Problem::new(g, m, Platform::new(1, 1)).unwrap();
+        let s = analyze_parallel(&p, &Rr, 4).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn deadline_and_cancellation_behave_like_analyze() {
+        let p = figure1();
+        let opts = AnalysisOptions::new().deadline(Cycles(6));
+        let err = analyze_parallel_with(&p, &Rr, &opts, 2).unwrap_err();
+        assert!(matches!(err, AnalysisError::DeadlineExceeded { .. }));
+
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let opts = AnalysisOptions::new().cancel_token(token);
+        let err = analyze_parallel_with(&p, &Rr, &opts, 2).unwrap_err();
+        assert_eq!(err, AnalysisError::Cancelled);
+    }
+
+    #[test]
+    fn panicking_arbiter_propagates_instead_of_deadlocking() {
+        // A faulty user arbiter must behave like in the sequential
+        // analysis: the panic reaches the caller. The naive barrier
+        // protocol would instead deadlock the driver forever.
+        struct Bomb;
+        impl Arbiter for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn bank_interference(
+                &self,
+                _victim: CoreId,
+                _demand: u64,
+                _interferers: &[InterfererDemand],
+                _access: Cycles,
+            ) -> Cycles {
+                panic!("defective arbiter");
+            }
+        }
+        let p = figure1();
+        // Silence the default hook so the expected panic does not spam
+        // the test output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(|| analyze_parallel(&p, &Bomb, 2));
+        std::panic::set_hook(prev);
+        let payload = caught.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(message.contains("defective arbiter"), "{message}");
+    }
+
+    #[test]
+    fn task_deadline_miss_is_reported() {
+        let p = figure1();
+        let mut g2 = p.graph().clone();
+        g2.task_mut(TaskId(3)).set_deadline(Some(Cycles(4)));
+        let p2 = Problem::new(g2, p.mapping().clone(), p.platform().clone()).unwrap();
+        let opts = AnalysisOptions::new().task_deadlines(true);
+        let err = analyze_parallel_with(&p2, &Rr, &opts, 2).unwrap_err();
+        assert!(matches!(err, AnalysisError::TaskDeadlineMissed { .. }));
+    }
+}

@@ -1,0 +1,107 @@
+//! The layer-parallel engine must be observationally identical to the
+//! sequential scanning cursor: same schedules (release dates *and*
+//! response times), same work counters, same error behaviour — on any
+//! workload, any arbiter and any pool size.
+
+use mia_arbiter::{Fifo, FixedPriority, MppaTree, RoundRobin, Tdm};
+use mia_core::{
+    analyze_parallel, analyze_parallel_with, analyze_with, AnalysisOptions, InterferenceMode,
+    NoopObserver,
+};
+use mia_dag_gen::{topologies, Family, LayeredDag};
+use mia_model::{Arbiter, Cycles, Platform, Problem};
+use proptest::prelude::*;
+
+fn workload(family: Family, total: usize, seed: u64) -> Problem {
+    LayeredDag::new(family.config(total, seed))
+        .generate()
+        .into_problem(&Platform::mppa256_cluster())
+        .expect("valid workload")
+}
+
+fn arbiters() -> Vec<Box<dyn Arbiter + Send + Sync>> {
+    vec![
+        Box::new(RoundRobin::new()),
+        Box::new(MppaTree::cluster16()),
+        Box::new(Tdm::new()),
+        Box::new(Fifo::new()),
+        Box::new(FixedPriority::by_core_id()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Identical schedules and identical work counters on random layered
+    /// DAGs, under every shipped arbiter and several pool sizes.
+    #[test]
+    fn parallel_matches_sequential_on_layered_dags(
+        seed in 0u64..10_000,
+        total in 8usize..100,
+        ls in prop::sample::select(vec![4usize, 16, 64]),
+        threads in prop::sample::select(vec![2usize, 3, 4, 16]),
+    ) {
+        let p = workload(Family::FixedLayerSize(ls), total, seed);
+        for arb in arbiters() {
+            let seq = analyze_with(
+                &p, arb.as_ref(), &AnalysisOptions::new(), &mut NoopObserver,
+            ).unwrap();
+            let par = analyze_parallel_with(
+                &p, arb.as_ref(), &AnalysisOptions::new(), threads,
+            ).unwrap();
+            prop_assert_eq!(
+                &seq.schedule, &par.schedule,
+                "arbiter {} threads {}", arb.name(), threads
+            );
+            prop_assert_eq!(seq.stats.cursor_steps, par.stats.cursor_steps);
+            prop_assert_eq!(seq.stats.ibus_calls, par.stats.ibus_calls);
+            prop_assert_eq!(seq.stats.pairs_considered, par.stats.pairs_considered);
+            prop_assert_eq!(seq.stats.max_alive, par.stats.max_alive);
+        }
+    }
+
+    /// Wide layers (big alive sets) across both interference modes.
+    #[test]
+    fn parallel_matches_sequential_on_wide_layers(
+        seed in 0u64..10_000,
+        total in 16usize..120,
+    ) {
+        let p = workload(Family::FixedLayers(4), total, seed);
+        for mode in [InterferenceMode::AggregateByCore, InterferenceMode::PairwiseAdditive] {
+            let opts = AnalysisOptions::new().interference_mode(mode);
+            let seq = analyze_with(&p, &RoundRobin::new(), &opts, &mut NoopObserver).unwrap();
+            let par = analyze_parallel_with(&p, &RoundRobin::new(), &opts, 4).unwrap();
+            prop_assert_eq!(&seq.schedule, &par.schedule, "mode {:?}", mode);
+            prop_assert_eq!(seq.stats, par.stats);
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_on_structured_topologies() {
+    let platform = Platform::new(4, 4);
+    let rr = RoundRobin::new();
+    let workloads = vec![
+        topologies::chain(12, 4, Cycles(40), 8),
+        topologies::fork_join(9, 4, Cycles(30), 5),
+        topologies::independent(10, 4, Cycles(25)),
+        topologies::diamond(3, 4, 4, Cycles(20), 3),
+    ];
+    for w in workloads {
+        let p = w.into_problem(&platform).unwrap();
+        let seq = mia_core::analyze(&p, &rr).unwrap();
+        for threads in [0, 2, 3, 7] {
+            let par = analyze_parallel(&p, &rr, threads).unwrap();
+            assert_eq!(seq, par, "threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn oversized_pools_are_harmless() {
+    // More workers than cores: the pool is clamped to the core count.
+    let p = workload(Family::FixedLayerSize(4), 24, 3);
+    let seq = mia_core::analyze(&p, &RoundRobin::new()).unwrap();
+    let par = analyze_parallel(&p, &RoundRobin::new(), 64).unwrap();
+    assert_eq!(seq, par);
+}

@@ -9,7 +9,11 @@
 //! * "tasks on the same layer are assigned to cores in a cyclic way: the
 //!   n-th task of a layer is assigned to `Core(n mod number of cores)`",
 //! * WCETs are drawn from `[550, 650]`, per-task memory accesses from
-//!   `[250, 550]` and per-edge write volumes from `[0, 100]`.
+//!   `[250, 550]` and per-edge write volumes from `[0, 100]`,
+//! * by default every task's **total** demand (private accesses + edge
+//!   words) is capped at its WCET
+//!   ([`LayeredDagConfig::cap_demand_at_wcet`]), so `mia simulate`
+//!   accepts every generated workload.
 //!
 //! Two benchmark families grow the graphs (paper Figure 3):
 //!
@@ -77,6 +81,26 @@ pub struct LayeredDagConfig {
     pub cores: usize,
     /// PRNG seed: equal configurations generate equal workloads.
     pub seed: u64,
+    /// Cap every task's **total** memory demand (private accesses plus
+    /// the words of all its incident edges, since a task both writes its
+    /// outputs and reads its inputs) at its WCET, assuming the 1-cycle
+    /// bank access of the shipped platforms. With the paper's parameter
+    /// ranges the raw draws routinely exceed the budget — accesses
+    /// `[250, 550]` plus edge words on a `[550, 650]` WCET — which made
+    /// `mia simulate` reject every generated workload
+    /// (`DemandExceedsWcet`). Capping clamps private accesses to the
+    /// WCET and then shrinks edge word counts to whatever budget the two
+    /// endpoints have left (possibly zero: the dependency stays, the
+    /// traffic goes); the PRNG sequence is unchanged, so only the
+    /// clamped values differ from an uncapped run. Default: `true`.
+    pub cap_demand_at_wcet: bool,
+    /// Cycles one memory access occupies when budgeting the demand cap.
+    /// Match your platform's `access_cycles` — every shipped platform
+    /// uses 1 (the default); set this when targeting a platform built
+    /// with [`Platform::with_access_cycles`], otherwise the capped
+    /// demand can still exceed the WCET *in cycles* and `mia simulate`
+    /// will reject the workload.
+    pub cycles_per_access: u64,
 }
 
 impl Default for LayeredDagConfig {
@@ -92,6 +116,8 @@ impl Default for LayeredDagConfig {
             edge_probability: 0.5,
             cores: 16,
             seed: 0,
+            cap_demand_at_wcet: true,
+            cycles_per_access: 1,
         }
     }
 }
@@ -161,6 +187,10 @@ impl LayeredDag {
             (0.0..=1.0).contains(&config.edge_probability),
             "edge_probability must be within [0, 1]"
         );
+        assert!(
+            config.cycles_per_access > 0,
+            "cycles_per_access must be non-zero"
+        );
         LayeredDag { config }
     }
 
@@ -179,6 +209,10 @@ impl LayeredDag {
         let mut layer_members: Vec<Vec<TaskId>> = Vec::with_capacity(cfg.layers);
         let mut layer_of: Vec<usize> = Vec::with_capacity(cfg.total_tasks());
         let mut assignment: Vec<u32> = Vec::with_capacity(cfg.total_tasks());
+        // Accesses each task can still absorb before its total demand
+        // (private + edges, at `cycles_per_access` cycles each) exceeds
+        // its WCET. Irrelevant (and unused) when the cap is disabled.
+        let mut budget: Vec<u64> = Vec::with_capacity(cfg.total_tasks());
         for layer in 0..cfg.layers {
             let size = if layer + 1 == cfg.layers {
                 cfg.layer_size + cfg.remainder
@@ -188,7 +222,13 @@ impl LayeredDag {
             let mut members = Vec::with_capacity(size);
             for pos in 0..size {
                 let wcet = rng.random_range(cfg.wcet.clone());
-                let accesses = rng.random_range(cfg.accesses.clone());
+                let mut accesses = rng.random_range(cfg.accesses.clone());
+                // Floor division is sound: budget · cpa ≤ wcet.
+                let access_budget = wcet / cfg.cycles_per_access;
+                if cfg.cap_demand_at_wcet {
+                    accesses = accesses.min(access_budget);
+                }
+                budget.push(access_budget - accesses.min(access_budget));
                 let id = graph.add_task(
                     Task::builder(format!("L{layer}T{pos}"))
                         .wcet(Cycles(wcet))
@@ -205,6 +245,18 @@ impl LayeredDag {
             layer_members.push(members);
         }
 
+        // Clamps a drawn edge weight to what both endpoints can still
+        // absorb and charges them for it (no-op when the cap is off).
+        let charge = |budget: &mut [u64], src: TaskId, dst: TaskId, words: u64| -> u64 {
+            if !cfg.cap_demand_at_wcet {
+                return words;
+            }
+            let words = words.min(budget[src.index()]).min(budget[dst.index()]);
+            budget[src.index()] -= words;
+            budget[dst.index()] -= words;
+            words
+        };
+
         // Random edges between consecutive layers, with connectivity
         // enforcement.
         for layer in 0..cfg.layers.saturating_sub(1) {
@@ -215,6 +267,7 @@ impl LayeredDag {
                 for (j, &dst) in next.iter().enumerate() {
                     if rng.random_bool(cfg.edge_probability) {
                         let words = rng.random_range(cfg.edge_words.clone());
+                        let words = charge(&mut budget, src, dst, words);
                         graph.add_edge(src, dst, words).expect("valid forward edge");
                         has_successor[i] = true;
                         has_predecessor[j] = true;
@@ -225,6 +278,7 @@ impl LayeredDag {
                 if !has_successor[i] {
                     let j = rng.random_range(0..next.len());
                     let words = rng.random_range(cfg.edge_words.clone());
+                    let words = charge(&mut budget, src, next[j], words);
                     graph
                         .add_edge(src, next[j], words)
                         .expect("valid forward edge");
@@ -237,9 +291,17 @@ impl LayeredDag {
                     // May duplicate an enforced successor edge; retry once
                     // with a different source if so.
                     let words = rng.random_range(cfg.edge_words.clone());
-                    if graph.add_edge(here[i], dst, words).is_err() {
+                    if graph.successors(here[i]).any(|e| e.dst == dst) {
                         let alt = (i + 1) % here.len();
-                        let _ = graph.add_edge(here[alt], dst, words);
+                        if !graph.successors(here[alt]).any(|e| e.dst == dst) {
+                            let words = charge(&mut budget, here[alt], dst, words);
+                            let _ = graph.add_edge(here[alt], dst, words);
+                        }
+                    } else {
+                        let words = charge(&mut budget, here[i], dst, words);
+                        graph
+                            .add_edge(here[i], dst, words)
+                            .expect("valid forward edge");
                     }
                 }
             }
@@ -373,6 +435,90 @@ mod tests {
                 assert!(w.graph.out_degree(id) > 0, "task {id} lacks successors");
             }
         }
+    }
+
+    #[test]
+    fn generated_demand_fits_wcet_budget() {
+        // The ROADMAP-flagged generator/simulator mismatch: with the
+        // paper's raw parameter draws, `mia simulate` rejected every
+        // generated workload (total demand > WCET at 1 cycle/access).
+        // The default cap guarantees the invariant the simulator needs.
+        for family in Family::figure3() {
+            for seed in [0u64, 1, 7, 99] {
+                let p = LayeredDag::new(family.config(96, seed))
+                    .generate()
+                    .into_problem(&Platform::mppa256_cluster())
+                    .unwrap();
+                let access = p.platform().access_cycles();
+                for (id, task) in p.graph().iter() {
+                    let demand_cycles = access * p.demand(id).total();
+                    assert!(
+                        demand_cycles <= task.wcet(),
+                        "{family} seed {seed}: task {id} demand {demand_cycles} > wcet {}",
+                        task.wcet()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cap_respects_multi_cycle_accesses() {
+        // On a platform where each access occupies 2 cycles, the cap
+        // must budget in cycles, not words.
+        let mut cfg = Family::FixedLayerSize(16).config(64, 3);
+        cfg.cycles_per_access = 2;
+        let p = LayeredDag::new(cfg)
+            .generate()
+            .into_problem(&Platform::new(16, 16).with_access_cycles(Cycles(2)))
+            .unwrap();
+        let access = p.platform().access_cycles();
+        for (id, task) in p.graph().iter() {
+            let demand_cycles = access * p.demand(id).total();
+            assert!(
+                demand_cycles <= task.wcet(),
+                "task {id}: {demand_cycles} > {}",
+                task.wcet()
+            );
+        }
+    }
+
+    #[test]
+    fn uncapped_generation_overflows_wcet() {
+        // Sanity check that the cap is load-bearing: the raw paper draws
+        // really do exceed the budget (same draws, no clamping).
+        let mut cfg = Family::FixedLayerSize(16).config(64, 1);
+        cfg.cap_demand_at_wcet = false;
+        let p = LayeredDag::new(cfg)
+            .generate()
+            .into_problem(&Platform::mppa256_cluster())
+            .unwrap();
+        let overflowing = p
+            .graph()
+            .iter()
+            .filter(|&(id, task)| p.demand(id).total() > task.wcet().as_u64())
+            .count();
+        assert!(overflowing > 0, "expected the raw draws to overflow");
+    }
+
+    #[test]
+    fn cap_preserves_structure_of_uncapped_graphs() {
+        // Same seed, cap on vs off: identical tasks, identical edge
+        // endpoints — only (some) edge word counts shrink.
+        let capped = LayeredDag::new(Family::FixedLayers(8).config(64, 5)).generate();
+        let mut cfg = Family::FixedLayers(8).config(64, 5);
+        cfg.cap_demand_at_wcet = false;
+        let raw = LayeredDag::new(cfg).generate();
+        assert_eq!(capped.graph.len(), raw.graph.len());
+        assert_eq!(capped.graph.edge_count(), raw.graph.edge_count());
+        for (c, r) in capped.graph.edges().iter().zip(raw.graph.edges()) {
+            assert_eq!((c.src, c.dst), (r.src, r.dst));
+            assert!(c.words <= r.words);
+        }
+        for ((_, c), (_, r)) in capped.graph.iter().zip(raw.graph.iter()) {
+            assert_eq!(c.wcet(), r.wcet());
+        }
+        assert_eq!(capped.mapping, raw.mapping);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! * the [`arbiter::Arbiter`] trait through which analyses consult
 //!   the bus arbitration model (`IBUS` in the paper), and
 //! * [`Problem`]: a validated bundle of graph + mapping + platform that the
-//!   analysis crates consume.
+//!   analysis crates consume, and
+//! * [`scratch::DemandMerge`]: reusable generation-stamped merge buffers
+//!   shared by the analysis hot paths (`mia-core`, `mia-baseline`).
 //!
 //! # Example
 //!
@@ -56,6 +58,7 @@ mod mapping;
 mod platform;
 mod problem;
 mod schedule;
+pub mod scratch;
 mod task;
 mod time;
 
@@ -68,5 +71,6 @@ pub use mapping::Mapping;
 pub use platform::Platform;
 pub use problem::Problem;
 pub use schedule::{Schedule, ScheduleViolation, TaskTiming};
+pub use scratch::DemandMerge;
 pub use task::{Task, TaskBuilder};
 pub use time::Cycles;

@@ -46,6 +46,49 @@ fn alive_set_is_bounded_by_core_count_at_scale() {
     assert!(report.stats.cursor_steps <= 2 * problem.len() + 1);
 }
 
+/// Pins the 32k-task run end to end: the makespan is a fixed constant,
+/// the analysis stays under the 60 s CI budget, and the layer-parallel
+/// engine reproduces the sequential result bit for bit (schedule *and*
+/// work counters) at scale.
+///
+/// Release-only: debug builds skip it (`cargo test --release -- --ignored`
+/// or plain `cargo test --release` runs it; CI covers the same 32k size
+/// through the sweep smoke step).
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: run with cargo test --release"
+)]
+fn thirty_two_thousand_task_makespan_is_pinned() {
+    let workload = LayeredDag::new(Family::FixedLayerSize(64).config(32_000, 7)).generate();
+    let problem = workload.into_problem(&Platform::mppa256_cluster()).unwrap();
+    let t0 = Instant::now();
+    let seq = analyze_with(
+        &problem,
+        &RoundRobin::new(),
+        &AnalysisOptions::new(),
+        &mut NoopObserver,
+    )
+    .unwrap();
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed.as_secs() < 60,
+        "32k tasks took {elapsed:?} — over the CI budget"
+    );
+    assert_eq!(seq.schedule.makespan(), Cycles(2_894_642));
+    assert_eq!(seq.schedule.len(), 32_000);
+
+    let par = mia::analysis::analyze_parallel_with(
+        &problem,
+        &RoundRobin::new(),
+        &AnalysisOptions::new(),
+        4,
+    )
+    .unwrap();
+    assert_eq!(par.schedule, seq.schedule);
+    assert_eq!(par.stats, seq.stats);
+}
+
 #[test]
 fn makespan_grows_with_task_count_within_a_family() {
     let platform = Platform::mppa256_cluster();

@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! Derives `Serialize`/`Deserialize` impls targeting the vendored
-//! `serde` crate's [`Value`] data model. Implemented directly on
+//! `serde` crate's `Value` data model. Implemented directly on
 //! `proc_macro` token trees (no `syn`/`quote`, which are equally
 //! unavailable offline); the generated impl is assembled as source text
 //! and re-parsed.
