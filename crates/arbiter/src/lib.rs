@@ -62,14 +62,71 @@ pub use weighted::WeightedRoundRobin;
 // to import mia-model explicitly.
 pub use mia_model::arbiter::{Arbiter, InterfererDemand};
 
+/// One row of the arbiter [`REGISTRY`]: the canonical command-line name,
+/// its accepted aliases, and the display name
+/// ([`Arbiter::name`]) the resolved policy reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// The canonical command-line token (`mia analyze --arbiter <this>`).
+    pub canonical: &'static str,
+    /// Alternative tokens resolving to the same policy.
+    pub aliases: &'static [&'static str],
+    /// The [`Arbiter::name`] of the policy the tokens resolve to.
+    pub display: &'static str,
+}
+
+/// Every registered arbiter, in the order the front-ends document them.
+/// [`by_name`] accepts exactly the canonical names and aliases listed
+/// here (the registry test suite pins the two in sync), so harnesses can
+/// enumerate *all* policies — the cross-engine conformance tests in
+/// `mia-core` do.
+pub const REGISTRY: &[RegistryEntry] = &[
+    RegistryEntry {
+        canonical: "rr",
+        aliases: &["round-robin"],
+        display: "round-robin",
+    },
+    RegistryEntry {
+        canonical: "mppa",
+        aliases: &["tree"],
+        display: "mppa-tree",
+    },
+    RegistryEntry {
+        canonical: "tdm",
+        aliases: &[],
+        display: "tdm",
+    },
+    RegistryEntry {
+        canonical: "fifo",
+        aliases: &[],
+        display: "fifo",
+    },
+    RegistryEntry {
+        canonical: "fp",
+        aliases: &["fixed-priority"],
+        display: "fixed-priority",
+    },
+    RegistryEntry {
+        canonical: "wrr",
+        aliases: &["weighted"],
+        display: "weighted-round-robin",
+    },
+    RegistryEntry {
+        canonical: "regulated",
+        aliases: &["memguard"],
+        display: "regulated",
+    },
+];
+
 /// Builds an arbiter from its command-line name, with the default
 /// configuration each front-end uses (`mia analyze --arbiter`, `mia
 /// sweep --arbiters`, the bench drivers).
 ///
 /// Recognised names (aliases in parentheses): `rr` (`round-robin`),
 /// `mppa` (`tree`), `tdm`, `fifo`, `fp` (`fixed-priority`), `wrr`
-/// (`weighted`), `regulated` (`memguard`). Returns `None` for anything
-/// else.
+/// (`weighted`), `regulated` (`memguard`) — exactly the [`REGISTRY`]
+/// rows. Returns `None` for anything else; use [`by_name_or_err`] when a
+/// human-readable error is wanted.
 ///
 /// The trait object is `Send + Sync` so it can drive the parallel
 /// analysis ([`mia-core`'s `analyze_parallel`](https://docs.rs/mia-core))
@@ -92,5 +149,29 @@ pub fn by_name(name: &str) -> Option<Box<dyn Arbiter + Send + Sync>> {
         "wrr" | "weighted" => Box::new(WeightedRoundRobin::default()),
         "regulated" | "memguard" => Box::new(Regulated::new(8, 128)),
         _ => return None,
+    })
+}
+
+/// Like [`by_name`], but unknown names yield the canonical error message
+/// listing every registered arbiter — shared by `mia analyze`,
+/// `mia sweep` and the bench drivers so the hint never drifts from the
+/// [`REGISTRY`].
+///
+/// # Errors
+///
+/// A human-readable message naming the offending token and every
+/// canonical arbiter name.
+///
+/// # Example
+///
+/// ```
+/// let err = mia_arbiter::by_name_or_err("bogus").err().expect("unknown");
+/// assert!(err.contains("unknown arbiter `bogus`"));
+/// assert!(err.contains("rr"));
+/// ```
+pub fn by_name_or_err(name: &str) -> Result<Box<dyn Arbiter + Send + Sync>, String> {
+    by_name(name).ok_or_else(|| {
+        let known: Vec<&str> = REGISTRY.iter().map(|e| e.canonical).collect();
+        format!("unknown arbiter `{name}` (known: {})", known.join(", "))
     })
 }

@@ -1,0 +1,99 @@
+//! The arbiter registry is the single source of truth for every
+//! front-end's `--arbiter(s)` flag *and* for harnesses that enumerate
+//! all policies (the cross-engine conformance suite in `mia-core`), so
+//! `by_name` and `REGISTRY` must never drift apart. This suite pins the
+//! round trip exhaustively.
+
+use mia_arbiter::{by_name, by_name_or_err, REGISTRY};
+
+/// Every canonical name resolves, and the resolved policy reports
+/// exactly the display name the registry documents.
+#[test]
+fn every_canonical_name_round_trips() {
+    for entry in REGISTRY {
+        let arbiter = by_name(entry.canonical)
+            .unwrap_or_else(|| panic!("canonical `{}` must resolve", entry.canonical));
+        assert_eq!(
+            arbiter.name(),
+            entry.display,
+            "canonical `{}` resolved to the wrong policy",
+            entry.canonical
+        );
+    }
+}
+
+/// Every alias resolves to the same policy as its canonical name — same
+/// display name, same additivity (the two observable identity traits of
+/// a default-configured arbiter).
+#[test]
+fn every_alias_matches_its_canonical_policy() {
+    for entry in REGISTRY {
+        let canonical = by_name(entry.canonical).expect("canonical resolves");
+        for alias in entry.aliases {
+            let aliased = by_name(alias).unwrap_or_else(|| panic!("alias `{alias}` must resolve"));
+            assert_eq!(aliased.name(), canonical.name(), "alias `{alias}`");
+            assert_eq!(
+                aliased.is_additive(),
+                canonical.is_additive(),
+                "alias `{alias}`"
+            );
+        }
+    }
+}
+
+/// The display name itself is accepted whenever it differs from the
+/// canonical token only if the registry lists it as an alias — i.e. the
+/// registry's token set is closed under everything `by_name` accepts
+/// that the docs mention.
+#[test]
+fn registry_tokens_are_unique() {
+    let mut tokens: Vec<&str> = REGISTRY
+        .iter()
+        .flat_map(|e| std::iter::once(e.canonical).chain(e.aliases.iter().copied()))
+        .collect();
+    let total = tokens.len();
+    tokens.sort_unstable();
+    tokens.dedup();
+    assert_eq!(tokens.len(), total, "duplicate token in REGISTRY");
+    assert_eq!(
+        REGISTRY.len(),
+        7,
+        "new arbiter registered? extend the conformance harness too"
+    );
+}
+
+/// Unknown names fail `by_name`, and `by_name_or_err` renders the
+/// canonical error message: the offending token plus every registered
+/// canonical name (so CLI users always see the full menu).
+#[test]
+fn unknown_names_yield_the_canonical_error_message() {
+    for bogus in ["bogus", "RR", "round robin", "", "mppa16", "priority"] {
+        assert!(by_name(bogus).is_none(), "`{bogus}` must not resolve");
+        let err = match by_name_or_err(bogus) {
+            Ok(arbiter) => panic!("`{bogus}` resolved to {}", arbiter.name()),
+            Err(err) => err,
+        };
+        assert!(
+            err.contains(&format!("unknown arbiter `{bogus}`")),
+            "error must name the token: {err}"
+        );
+        for entry in REGISTRY {
+            assert!(
+                err.contains(entry.canonical),
+                "error must list `{}`: {err}",
+                entry.canonical
+            );
+        }
+    }
+}
+
+/// The happy path of `by_name_or_err` behaves exactly like `by_name`.
+#[test]
+fn by_name_or_err_resolves_known_names() {
+    for entry in REGISTRY {
+        assert_eq!(
+            by_name_or_err(entry.canonical).unwrap().name(),
+            entry.display
+        );
+    }
+}

@@ -26,6 +26,14 @@
 //! intentionally keeps that structure: it is the *reference point* for the
 //! speedup plots, not an optimized implementation.
 //!
+//! Beyond the speedup plots, this crate is the **independent oracle** of
+//! the cross-engine conformance harness (`mia-core`'s
+//! `tests/conformance.rs`): computed from a completely different
+//! fixed-point structure, its schedules must coincide bit for bit with
+//! every incremental engine's in the exact aggregation mode — on
+//! generated systems covering all registered arbiters — which pins the
+//! paper's semantic-equivalence claim from both sides.
+//!
 //! # Example
 //!
 //! ```

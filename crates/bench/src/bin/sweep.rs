@@ -14,12 +14,12 @@
 
 use std::process::ExitCode;
 
-use mia_bench::sweep::{parse_spec, report_json, run_sweep};
+use mia_bench::sweep::{parse_spec, render_report, run_sweep};
 use mia_bench::Outcome;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (spec, out) = match parse_spec(&args) {
+    let (spec, out, format) = match parse_spec(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("sweep: {message}");
@@ -48,15 +48,25 @@ fn main() -> ExitCode {
             point.family, point.arbiter, point.n, point.algorithm
         );
     });
-    let json = report_json(&report);
+    let rendered = render_report(&report, format);
     match out {
         Some(path) => {
-            if let Err(e) = std::fs::write(&path, &json) {
+            if let Err(e) = std::fs::write(&path, &rendered) {
                 eprintln!("sweep: cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
             eprintln!(
                 "sweep: {} points in {:.1}s -> {path}",
+                report.points.len(),
+                report.wall_seconds
+            );
+        }
+        // CSV without -o goes to stdout (ready to pipe into a plotter);
+        // JSON keeps the historical results/sweep.json default.
+        None if format == mia_bench::sweep::ReportFormat::Csv => {
+            print!("{rendered}");
+            eprintln!(
+                "sweep: {} points in {:.1}s",
                 report.points.len(),
                 report.wall_seconds
             );

@@ -236,11 +236,9 @@ fn run_point(
     algorithm: Algorithm,
     spec: &SweepSpec,
 ) -> SweepPoint {
-    let outcome = match mia_arbiter::by_name(arbiter_name) {
-        None => Outcome::Failed {
-            error: format!("unknown arbiter `{arbiter_name}`"),
-        },
-        Some(arbiter) => {
+    let outcome = match mia_arbiter::by_name_or_err(arbiter_name) {
+        Err(error) => Outcome::Failed { error },
+        Ok(arbiter) => {
             let problem = benchmark_problem(family, n, spec.seed);
             match algorithm {
                 Algorithm::Incremental => run_timed(spec.budget, |token| {
@@ -259,6 +257,7 @@ fn run_point(
                             arbiter.as_ref(),
                             &options,
                             spec.threads,
+                            &mut mia_core::NoopObserver,
                         )
                         .map(|r| r.schedule.makespan())
                     }
@@ -286,8 +285,71 @@ pub fn report_json(report: &SweepReport) -> String {
     serde_json::to_string_pretty(report).expect("report serializes")
 }
 
+/// Output format of a sweep report (`--csv` selects CSV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportFormat {
+    /// The full pretty-printed JSON document. The default.
+    #[default]
+    Json,
+    /// A flat CSV table, one row per grid point (see [`report_csv`]).
+    Csv,
+}
+
+/// Header row of [`report_csv`] — consumers can pin against it.
+pub const CSV_HEADER: &str = "family,arbiter,n,algorithm,status,seconds,makespan,error";
+
+/// Flattens a report into CSV for plotting the paper's trajectory
+/// curves: the [`CSV_HEADER`] columns, one row per grid point, in the
+/// report's deterministic `family × arbiter × size × algorithm` order.
+///
+/// `status` is `completed`, `timeout` or `failed`; `seconds` is the
+/// wall-clock runtime (the exhausted budget for timeouts, empty for
+/// failures); `makespan` is only set for completed points. Error texts
+/// are sanitised (commas and newlines replaced) so every row always has
+/// exactly eight columns.
+pub fn report_csv(report: &SweepReport) -> String {
+    let mut csv = String::from(CSV_HEADER);
+    csv.push('\n');
+    for p in &report.points {
+        let (status, seconds, makespan, error) = match &p.outcome {
+            Outcome::Completed { seconds, makespan } => (
+                "completed",
+                format!("{seconds:.6}"),
+                makespan.to_string(),
+                String::new(),
+            ),
+            Outcome::TimedOut { budget } => (
+                "timeout",
+                format!("{budget:.6}"),
+                String::new(),
+                String::new(),
+            ),
+            Outcome::Failed { error } => (
+                "failed",
+                String::new(),
+                String::new(),
+                error.replace(['\n', '\r'], " ").replace(',', ";"),
+            ),
+        };
+        csv.push_str(&format!(
+            "{},{},{},{},{status},{seconds},{makespan},{error}\n",
+            p.family, p.arbiter, p.n, p.algorithm
+        ));
+    }
+    csv
+}
+
+/// Renders a report in `format`.
+pub fn render_report(report: &SweepReport, format: ReportFormat) -> String {
+    match format {
+        ReportFormat::Json => report_json(report),
+        ReportFormat::Csv => report_csv(report),
+    }
+}
+
 /// Parses sweep command-line flags, shared by `mia sweep` and the
-/// `sweep` binary. Returns the spec plus the `-o`/`--out` path, if any.
+/// `sweep` binary. Returns the spec, the `-o`/`--out` path (if any) and
+/// the requested output format.
 ///
 /// Recognised flags (all optional):
 ///
@@ -300,15 +362,17 @@ pub fn report_json(report: &SweepReport) -> String {
 /// --budget SECS                        per-point budget    [120]
 /// --jobs N                             concurrent points   [0 = auto]
 /// --threads N                          threads / analysis  [1]
-/// -o, --out FILE                       write JSON here     [stdout]
+/// --csv                                emit CSV instead of JSON
+/// -o, --out FILE                       write the report here [stdout]
 /// ```
 ///
 /// # Errors
 ///
 /// A human-readable message naming the offending flag or token.
-pub fn parse_spec(args: &[String]) -> Result<(SweepSpec, Option<String>), String> {
+pub fn parse_spec(args: &[String]) -> Result<(SweepSpec, Option<String>, ReportFormat), String> {
     let mut spec = SweepSpec::default();
     let mut out = None;
+    let mut format = ReportFormat::Json;
     let value_of = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
         args.get(i + 1)
             .cloned()
@@ -333,11 +397,7 @@ pub fn parse_spec(args: &[String]) -> Result<(SweepSpec, Option<String>), String
                 let v = value_of(args, i, flag)?;
                 spec.arbiters = v.split(',').map(str::to_owned).collect();
                 for name in &spec.arbiters {
-                    if mia_arbiter::by_name(name).is_none() {
-                        return Err(format!(
-                            "unknown arbiter `{name}` (rr, mppa, tdm, fifo, fp, wrr, regulated)"
-                        ));
-                    }
+                    mia_arbiter::by_name_or_err(name)?;
                 }
             }
             "--sizes" => {
@@ -388,6 +448,11 @@ pub fn parse_spec(args: &[String]) -> Result<(SweepSpec, Option<String>), String
                     .map_err(|_| "--threads must be a number".to_owned())?;
             }
             "-o" | "--out" => out = Some(value_of(args, i, flag)?),
+            "--csv" => {
+                format = ReportFormat::Csv;
+                i += 1;
+                continue;
+            }
             other => return Err(format!("unknown sweep flag `{other}`")),
         }
         i += 2;
@@ -395,7 +460,7 @@ pub fn parse_spec(args: &[String]) -> Result<(SweepSpec, Option<String>), String
     if spec.families.is_empty() || spec.arbiters.is_empty() || spec.sizes.is_empty() {
         return Err("families, arbiters and sizes must all be non-empty".to_owned());
     }
-    Ok((spec, out))
+    Ok((spec, out, format))
 }
 
 #[cfg(test)]
@@ -441,7 +506,7 @@ mod tests {
         .iter()
         .map(|s| s.to_string())
         .collect();
-        let (spec, out) = parse_spec(&args).unwrap();
+        let (spec, out, format) = parse_spec(&args).unwrap();
         assert_eq!(spec.families.len(), 2);
         assert_eq!(spec.arbiters, vec!["rr", "mppa"]);
         assert_eq!(spec.sizes, vec![64, 128]);
@@ -449,6 +514,23 @@ mod tests {
         assert_eq!(spec.seed, 7);
         assert_eq!(spec.budget, Duration::from_secs(30));
         assert_eq!(out.as_deref(), Some("x.json"));
+        assert_eq!(format, ReportFormat::Json);
+    }
+
+    #[test]
+    fn csv_flag_switches_the_format_anywhere_in_the_args() {
+        for args in [
+            vec!["--csv"],
+            vec!["--csv", "--sizes", "16"],
+            vec!["--sizes", "16", "--csv"],
+        ] {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let (spec, _, format) = parse_spec(&args).unwrap();
+            assert_eq!(format, ReportFormat::Csv);
+            if args.len() > 1 {
+                assert_eq!(spec.sizes, vec![16]);
+            }
+        }
     }
 
     #[test]
@@ -499,6 +581,50 @@ mod tests {
         };
         let report = run_sweep(&spec, &|_| {});
         assert!(matches!(report.points[0].outcome, Outcome::Failed { .. }));
+    }
+
+    /// The CSV artefact has a fixed shape: the pinned header, one row
+    /// per point in deterministic grid order, exactly eight columns per
+    /// row, numeric `seconds`/`makespan` for completed points — and
+    /// embedded error texts cannot smuggle in extra columns or rows.
+    #[test]
+    fn csv_report_has_the_pinned_shape() {
+        let spec = SweepSpec {
+            families: vec![Family::FixedLayerSize(4)],
+            arbiters: vec!["rr".to_owned(), "definitely-unknown".to_owned()],
+            sizes: vec![16],
+            algorithms: vec![Algorithm::Incremental, Algorithm::Original],
+            jobs: 2,
+            ..SweepSpec::default()
+        };
+        let report = run_sweep(&spec, &|_| {});
+        let csv = report_csv(&report);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), 1 + report.points.len());
+        for line in &lines[1..] {
+            assert_eq!(
+                line.matches(',').count(),
+                CSV_HEADER.matches(',').count(),
+                "ragged row: {line}"
+            );
+        }
+        // Deterministic grid order: rr first, then the unknown arbiter.
+        let rr_row: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(&rr_row[..5], &["LS4", "rr", "16", "new", "completed"]);
+        assert!(rr_row[5].parse::<f64>().is_ok(), "seconds: {}", rr_row[5]);
+        assert!(rr_row[6].parse::<u64>().is_ok(), "makespan: {}", rr_row[6]);
+        let failed_row: Vec<&str> = lines[3].split(',').collect();
+        assert_eq!(failed_row[1], "definitely-unknown");
+        assert_eq!(failed_row[4], "failed");
+        assert!(
+            failed_row[7].contains("unknown arbiter"),
+            "{}",
+            failed_row[7]
+        );
+        // The same report renders to either format.
+        assert_eq!(render_report(&report, ReportFormat::Csv), csv);
+        assert!(render_report(&report, ReportFormat::Json).contains("\"points\""));
     }
 
     #[test]

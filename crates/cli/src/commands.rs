@@ -51,8 +51,8 @@ commands:
            [--threads N] [--gantt] [--dot] [--json FILE] [--chrome FILE]
   sweep    [--families tobita,layered,LS64,NL4,...] [--arbiters rr,mppa,...]
            [--sizes 1000,8000,32000] [--algorithms incremental,baseline]
-           [--seed N] [--budget SECS] [--jobs N] [--threads N] [-o FILE]
-           (batch grid -> one JSON report; tobita = LS16, layered = NL16)
+           [--seed N] [--budget SECS] [--jobs N] [--threads N] [--csv] [-o FILE]
+           (batch grid -> one JSON/CSV report; tobita = LS16, layered = NL16)
   simulate <workload.json> [--pattern burst-start|burst-end|uniform|random] [--seed S]
   exec     <workload.json> [--arbiter ...] [--prefix NAME] [--c FILE] [--json FILE]
   sdf      <app.sdf> --cores N [--iterations K] [--strategy etf|cyclic|balanced|heft]
@@ -115,12 +115,7 @@ fn parse_family(label: &str) -> Result<Family, CliError> {
 }
 
 fn parse_arbiter(name: Option<&str>) -> Result<Box<dyn Arbiter + Send + Sync>, CliError> {
-    let name = name.unwrap_or("rr");
-    mia_arbiter::by_name(name).ok_or_else(|| {
-        CliError::Usage(format!(
-            "unknown arbiter `{name}` (rr, mppa, tdm, fifo, fp, wrr, regulated)"
-        ))
-    })
+    mia_arbiter::by_name_or_err(name.unwrap_or("rr")).map_err(CliError::Usage)
 }
 
 fn load_problem(path: &str) -> Result<Problem, CliError> {
@@ -176,9 +171,15 @@ fn analyze_cmd(args: &[String]) -> Result<String, CliError> {
         .map_err(|_| CliError::Usage("--threads must be a number".into()))?;
     let schedule = match algorithm {
         "incremental" | "new" if threads != 1 => {
-            mia_core::analyze_parallel_with(&problem, arbiter.as_ref(), &options, threads)
-                .map_err(|e| CliError::Analysis(e.to_string()))?
-                .schedule
+            mia_core::analyze_parallel_with(
+                &problem,
+                arbiter.as_ref(),
+                &options,
+                threads,
+                &mut NoopObserver,
+            )
+            .map_err(|e| CliError::Analysis(e.to_string()))?
+            .schedule
         }
         "incremental" | "new" => {
             analyze_with(&problem, arbiter.as_ref(), &options, &mut NoopObserver)

@@ -22,27 +22,29 @@
 //! | `--budget SECS` | per-point wall-clock budget; a point over budget is recorded as a timeout | `120` |
 //! | `--jobs N` | concurrent grid points (`0` = all cores) | `0` |
 //! | `--threads N` | worker threads *inside* each incremental analysis | `1` |
-//! | `-o FILE` | write the JSON report to `FILE` | stdout |
+//! | `--csv` | emit a flat CSV table (one row per grid point) instead of JSON — ready for plotting trajectory curves | JSON |
+//! | `-o FILE` | write the report to `FILE` | stdout |
 
 use std::fs;
 
-use mia_bench::sweep::{parse_spec, report_json, run_sweep};
+use mia_bench::sweep::{parse_spec, render_report, run_sweep};
 
 use crate::commands::CliError;
 
 /// Runs `mia sweep` with the raw arguments after the subcommand name.
 ///
 /// Returns the rendered output: a short human summary plus either the
-/// JSON report (no `-o`) or the path it was written to.
+/// report (no `-o`, JSON or CSV per `--csv`) or the path it was written
+/// to.
 ///
 /// # Errors
 ///
 /// [`CliError::Usage`] for unknown flags or malformed grid tokens,
 /// [`CliError::Io`] if the report cannot be written.
 pub fn sweep_cmd(args: &[String]) -> Result<String, CliError> {
-    let (spec, out) = parse_spec(args).map_err(CliError::Usage)?;
+    let (spec, out, format) = parse_spec(args).map_err(CliError::Usage)?;
     let report = run_sweep(&spec, &|_| {});
-    let json = report_json(&report);
+    let rendered = render_report(&report, format);
 
     let mut summary = String::new();
     summary.push_str(&format!(
@@ -71,13 +73,13 @@ pub fn sweep_cmd(args: &[String]) -> Result<String, CliError> {
 
     match out {
         Some(path) => {
-            fs::write(&path, &json)?;
+            fs::write(&path, &rendered)?;
             summary.push_str(&format!("report written to {path}\n"));
             Ok(summary)
         }
         None => {
             summary.push('\n');
-            summary.push_str(&json);
+            summary.push_str(&rendered);
             summary.push('\n');
             Ok(summary)
         }
@@ -137,5 +139,17 @@ mod tests {
     fn bad_family_is_usage_error() {
         let err = sweep_cmd(&args(&["--families", "XX"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn csv_flag_emits_the_flat_table() {
+        let out = sweep_cmd(&args(&["--families", "LS4", "--sizes", "16,32", "--csv"])).unwrap();
+        assert!(out.contains("sweep: 2 points"), "{out}");
+        assert!(
+            out.contains(mia_bench::sweep::CSV_HEADER),
+            "missing CSV header: {out}"
+        );
+        assert!(out.contains("LS4,rr,16,new,completed,"), "{out}");
+        assert!(!out.contains("\"points\""), "JSON leaked into CSV: {out}");
     }
 }

@@ -1,9 +1,15 @@
 //! The incremental scheduling algorithm (Algorithm 1 of the paper).
+//!
+//! This module holds the **scanning engine** — the paper's own cursor
+//! strategy (find the next position by scanning the alive set, lines
+//! 24–28) — expressed as a [`StepEngine`] driven by the shared
+//! [`run_cursor`] loop of the [`engine` module](crate::engine).
 
 use mia_model::arbiter::Arbiter;
-use mia_model::{CoreId, Cycles, Problem, Schedule, TaskId, TaskTiming};
+use mia_model::{Cycles, Problem, Schedule, TaskId};
 
 use crate::alive::{account_newly, AliveSlot};
+use crate::engine::{run_cursor, scan_next_finish, SlotView, StepEngine};
 use crate::{AnalysisError, AnalysisOptions, NoopObserver, Observer};
 
 /// Counters describing the work an analysis run performed; useful for
@@ -80,182 +86,109 @@ where
     A: Arbiter + ?Sized,
     O: Observer + ?Sized,
 {
-    let graph = problem.graph();
-    let mapping = problem.mapping();
-    let n = graph.len();
-    let cores = mapping.cores();
-    let access = problem.platform().access_cycles();
-
-    let mut stats = AnalysisStats::default();
-    let mut timings: Vec<Option<TaskTiming>> = vec![None; n];
-
-    // Remaining unfinished dependencies per task (`τ.deps`).
-    let mut pending: Vec<usize> = graph.task_ids().map(|t| graph.in_degree(t)).collect();
-    // Next position in each core's execution order (`S_k`, as an index
-    // rather than a stack so the mapping stays borrowed immutably).
-    let mut next_idx: Vec<usize> = vec![0; cores];
-    // The alive set `A`: one reusable slot per core (see `alive.rs`).
-    let mut slots = AliveSlot::for_problem(problem);
-    let mut alive_count = 0usize;
-    let mut closed_count = 0usize;
-
-    // Future minimal release dates, ascending (cursor jump targets).
-    let mut min_rels: Vec<(Cycles, TaskId)> =
-        graph.iter().map(|(id, t)| (t.min_release(), id)).collect();
-    min_rels.sort();
-    let mut mr_ptr = 0usize;
-    let mut is_open = vec![false; n];
-
-    // Reusable per-step buffers (no allocation inside the loop).
-    let mut newly: Vec<usize> = Vec::with_capacity(cores);
-    let mut occupants: Vec<Option<TaskId>> = Vec::with_capacity(cores);
-    let mut dirty: Vec<usize> = Vec::with_capacity(cores);
-
-    let mut t = Cycles::ZERO;
-    observer.on_cursor(t);
-
-    while closed_count < n {
-        if options.is_cancelled() {
-            return Err(AnalysisError::Cancelled);
-        }
-        stats.cursor_steps += 1;
-
-        // Fixed point at cursor position t: close every task ending at t,
-        // then open every eligible task. Repeats only for zero-length
-        // chains (a task that opens and finishes at the same instant).
-        loop {
-            let mut changed = false;
-
-            // C ← {τ ∈ A | rel + WCET + inter = t} (Algorithm 1, line 3).
-            #[allow(clippy::needless_range_loop)] // index drives several arrays
-            for core_idx in 0..cores {
-                let slot = &mut slots[core_idx];
-                if !(slot.busy && slot.finish(graph.task(slot.task).wcet()) == t) {
-                    continue;
-                }
-                let timing = TaskTiming {
-                    release: slot.release,
-                    wcet: graph.task(slot.task).wcet(),
-                    interference: slot.total_inter,
-                };
-                let task = slot.task;
-                if options.task_deadlines {
-                    if let Some(deadline) = graph.task(task).deadline() {
-                        if timing.response_time() > deadline {
-                            return Err(AnalysisError::TaskDeadlineMissed {
-                                task,
-                                response: timing.response_time(),
-                                deadline,
-                            });
-                        }
-                    }
-                }
-                slot.close();
-                timings[task.index()] = Some(timing);
-                observer.on_close(task, CoreId::from_index(core_idx), t);
-                for e in graph.successors(task) {
-                    pending[e.dst.index()] -= 1; // lines 5–6
-                }
-                alive_count -= 1;
-                closed_count += 1;
-                changed = true;
-            }
-
-            // O ← eligible heads of the per-core orders (lines 9–15).
-            newly.clear();
-            for core_idx in 0..cores {
-                if slots[core_idx].busy {
-                    continue;
-                }
-                let order = mapping.order(CoreId::from_index(core_idx));
-                let Some(&head) = order.get(next_idx[core_idx]) else {
-                    continue;
-                };
-                if pending[head.index()] == 0 && graph.task(head).min_release() <= t {
-                    next_idx[core_idx] += 1;
-                    slots[core_idx].open(head, t);
-                    is_open[head.index()] = true;
-                    alive_count += 1;
-                    stats.max_alive = stats.max_alive.max(alive_count);
-                    observer.on_open(head, CoreId::from_index(core_idx), t);
-                    newly.push(core_idx);
-                    changed = true;
-                }
-            }
-
-            // Interference between new tasks and the rest of A, both
-            // directions (lines 17–23), grouped by destination slot.
-            // Pairs already accounted are skipped via each slot's
-            // `accounted` set.
-            account_newly(
-                problem,
-                arbiter,
-                options.interference_mode,
-                access,
-                &mut slots,
-                &newly,
-                &mut occupants,
-                observer,
-                &mut stats,
-                &mut dirty,
-            );
-
-            if !changed {
-                break;
-            }
-        }
-
-        // Unschedulability check against the optional global deadline.
-        if let Some(deadline) = options.deadline {
-            for s in slots.iter().filter(|s| s.busy) {
-                let fin = s.finish(graph.task(s.task).wcet());
-                if fin > deadline {
-                    return Err(AnalysisError::DeadlineExceeded {
-                        makespan: fin,
-                        deadline,
-                    });
-                }
-            }
-        }
-
-        if closed_count == n {
-            break;
-        }
-
-        // t ← min(next alive finish, next future minimal release)
-        // (lines 24–29).
-        let mut t_next = Cycles::MAX;
-        for s in slots.iter().filter(|s| s.busy) {
-            t_next = t_next.min(s.finish(graph.task(s.task).wcet()));
-        }
-        while let Some(&(mr, task)) = min_rels.get(mr_ptr) {
-            if is_open[task.index()] || mr <= t {
-                mr_ptr += 1;
-                continue;
-            }
-            t_next = t_next.min(mr);
-            break;
-        }
-        if t_next == Cycles::MAX {
-            let stuck = graph
-                .task_ids()
-                .find(|x| !is_open[x.index()])
-                .expect("unfinished tasks remain");
-            return Err(AnalysisError::Deadlock { stuck });
-        }
-        debug_assert!(t_next > t, "cursor must advance");
-        t = t_next;
-        observer.on_cursor(t);
-    }
-
-    let timings: Vec<TaskTiming> = timings
-        .into_iter()
-        .map(|t| t.expect("all tasks closed"))
-        .collect();
+    let mut engine = ScanEngine::new(problem, arbiter, options);
+    let (timings, stats) = run_cursor(problem, options, &mut engine, observer)?;
     Ok(AnalysisReport {
         schedule: Schedule::from_timings(timings),
         stats,
     })
+}
+
+/// The paper's scanning cursor as a [`StepEngine`]: owns the full
+/// [`AliveSlot`] bookkeeping and finds the next cursor position by
+/// scanning the alive set.
+///
+/// Also the building block of the event-driven engine, which wraps it
+/// and only replaces the scan with a heap (see `events.rs`).
+pub(crate) struct ScanEngine<'p, A: ?Sized> {
+    problem: &'p Problem,
+    arbiter: &'p A,
+    mode: crate::InterferenceMode,
+    access: Cycles,
+    /// The alive set `A`: one reusable slot per core (see `alive.rs`).
+    pub(crate) slots: Vec<AliveSlot>,
+    // Reusable per-step buffers (no allocation inside the loop).
+    occupants: Vec<Option<TaskId>>,
+    /// Cores whose finish date moved during the last interference phase
+    /// (the event-driven wrapper refreshes its heap from these).
+    pub(crate) dirty: Vec<usize>,
+}
+
+impl<'p, A> ScanEngine<'p, A>
+where
+    A: Arbiter + ?Sized,
+{
+    pub(crate) fn new(problem: &'p Problem, arbiter: &'p A, options: &AnalysisOptions) -> Self {
+        let cores = problem.mapping().cores();
+        ScanEngine {
+            problem,
+            arbiter,
+            mode: options.interference_mode,
+            access: problem.platform().access_cycles(),
+            slots: AliveSlot::for_problem(problem),
+            occupants: Vec::with_capacity(cores),
+            dirty: Vec::with_capacity(cores),
+        }
+    }
+
+    /// The problem under analysis (used by the event-driven wrapper).
+    pub(crate) fn problem(&self) -> &'p Problem {
+        self.problem
+    }
+}
+
+impl<A> StepEngine for ScanEngine<'_, A>
+where
+    A: Arbiter + ?Sized,
+{
+    fn cores(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn slot(&self, core: usize) -> Option<SlotView> {
+        let s = &self.slots[core];
+        s.busy.then_some(SlotView {
+            task: s.task,
+            release: s.release,
+            total_inter: s.total_inter,
+        })
+    }
+
+    fn close_slot(&mut self, core: usize) {
+        self.slots[core].close();
+    }
+
+    fn open_slot(&mut self, core: usize, task: TaskId, release: Cycles) {
+        self.slots[core].open(task, release);
+    }
+
+    fn account<O>(
+        &mut self,
+        newly: &[usize],
+        observer: &mut O,
+        stats: &mut crate::AnalysisStats,
+    ) -> Result<(), AnalysisError>
+    where
+        O: Observer + ?Sized,
+    {
+        account_newly(
+            self.problem,
+            self.arbiter,
+            self.mode,
+            self.access,
+            &mut self.slots,
+            newly,
+            &mut self.occupants,
+            observer,
+            stats,
+            &mut self.dirty,
+        );
+        Ok(())
+    }
+
+    fn next_finish(&mut self, _t: Cycles) -> Cycles {
+        scan_next_finish(self, self.problem)
+    }
 }
 
 #[cfg(test)]
@@ -263,7 +196,7 @@ mod tests {
     use super::*;
     use crate::InterferenceMode;
     use mia_model::arbiter::InterfererDemand;
-    use mia_model::{BankId, Mapping, ModelError, Platform, Task, TaskGraph};
+    use mia_model::{BankId, CoreId, Mapping, ModelError, Platform, Task, TaskGraph};
 
     /// Flat round-robin: Σ min(d_v, d_j), additive — a local copy so unit
     /// tests do not depend on `mia-arbiter` (which is a dev-dependency of

@@ -1,0 +1,307 @@
+//! The shared cursor driver behind every incremental analysis engine.
+//!
+//! Algorithm 1's control flow — close tasks finishing at the cursor, open
+//! eligible heads, account interference, advance the cursor — used to be
+//! triplicated across the scanning, event-driven and layer-parallel
+//! drivers, so any cursor-semantics fix had to land three times (and a
+//! missed one would silently diverge). [`run_cursor`] is now the **only**
+//! copy of that loop; the three engines implement [`StepEngine`] and
+//! differ solely in
+//!
+//! * their **alive-slot view** — the scanning and event-driven engines
+//!   own the full [`AliveSlot`](crate::alive) bookkeeping, the parallel
+//!   engine keeps a lightweight metadata mirror while the heavy state
+//!   lives with its worker pool — and
+//! * their **interference phase** ([`StepEngine::account`]) plus how the
+//!   next cursor position is found ([`StepEngine::next_finish`]: a slot
+//!   scan or a lazily invalidated heap).
+//!
+//! The cross-engine conformance harness (`tests/conformance.rs`, built on
+//! [`crate::testkit`]) pins all implementors to bit-identical schedules,
+//! work counters and observer event streams, with `mia-baseline` as the
+//! independent fixed-point oracle.
+
+use mia_model::{CoreId, Cycles, Problem, TaskId, TaskTiming};
+
+use crate::{AnalysisError, AnalysisOptions, AnalysisStats, Observer};
+
+/// One engine's view of the task alive on a core: exactly the state the
+/// shared driver needs to close tasks, enforce deadlines and compute
+/// finish dates. Copied out per query, so engines stay free to store the
+/// underlying slot however they like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlotView {
+    /// The occupying task.
+    pub(crate) task: TaskId,
+    /// Its fixed release date.
+    pub(crate) release: Cycles,
+    /// Total interference accumulated so far.
+    pub(crate) total_inter: Cycles,
+}
+
+impl SlotView {
+    /// The finish date of the occupying task given its WCET.
+    pub(crate) fn finish(&self, wcet: Cycles) -> Cycles {
+        self.release + wcet + self.total_inter
+    }
+}
+
+/// The customization points of the incremental analysis: an alive-slot
+/// view plus an interference phase. Everything else — the close/open
+/// fixed point, deadline enforcement, cursor advancement, deadlock
+/// detection, observer eventing and work counters — lives once in
+/// [`run_cursor`].
+///
+/// Contract (what the conformance harness enforces observationally):
+///
+/// * [`StepEngine::slot`] reflects exactly the opens/closes the driver
+///   performed plus the interference accumulated by
+///   [`StepEngine::account`];
+/// * [`StepEngine::account`] performs the per-destination accounting in
+///   the canonical sequential order (see `alive.rs`) and reports per-bank
+///   updates to the observer in that order;
+/// * [`StepEngine::next_finish`] returns the earliest finish date among
+///   busy slots that is strictly after `t` ([`Cycles::MAX`] when idle).
+pub(crate) trait StepEngine {
+    /// Number of per-core slots (the platform's core count).
+    fn cores(&self) -> usize;
+
+    /// The alive task on `core`, or `None` while the core is idle.
+    fn slot(&self, core: usize) -> Option<SlotView>;
+
+    /// Releases `core`'s slot (its task closed at the current cursor).
+    fn close_slot(&mut self, core: usize);
+
+    /// Occupies `core`'s slot with `task` released at `release`.
+    fn open_slot(&mut self, core: usize, task: TaskId, release: Cycles);
+
+    /// Runs the interference phase for the cores newly opened at this
+    /// instant (`newly` is ascending). Implementations must account every
+    /// (destination, source) pair involving a newly opened task exactly
+    /// once, in the canonical per-destination order, update `stats`
+    /// (directly or merged later, as the parallel engine does) and emit
+    /// `Observer::on_interference` events when the observer wants them.
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific abortion of the run; the parallel engine uses this
+    /// to abandon the cursor after a worker panic (the payload is
+    /// re-raised by its caller, so the error value itself is never
+    /// surfaced).
+    fn account<O>(
+        &mut self,
+        newly: &[usize],
+        observer: &mut O,
+        stats: &mut AnalysisStats,
+    ) -> Result<(), AnalysisError>
+    where
+        O: Observer + ?Sized;
+
+    /// The earliest finish date of a busy slot strictly after `t`, or
+    /// [`Cycles::MAX`] when every core is idle. `&mut` so heap-backed
+    /// implementations can drop stale entries while searching.
+    fn next_finish(&mut self, t: Cycles) -> Cycles;
+}
+
+/// Scans every busy slot for the earliest finish date — the default
+/// [`StepEngine::next_finish`] strategy (Algorithm 1, lines 24–28),
+/// shared by the scanning and layer-parallel engines.
+pub(crate) fn scan_next_finish<E>(engine: &E, problem: &Problem) -> Cycles
+where
+    E: StepEngine + ?Sized,
+{
+    let graph = problem.graph();
+    let mut t_next = Cycles::MAX;
+    for core in 0..engine.cores() {
+        if let Some(view) = engine.slot(core) {
+            t_next = t_next.min(view.finish(graph.task(view.task).wcet()));
+        }
+    }
+    t_next
+}
+
+/// Drives one incremental analysis to completion over `engine` — the
+/// single authoritative copy of Algorithm 1's close/open/advance loop.
+///
+/// Returns the per-task timings (indexed by task) and the driver-side
+/// work counters (`cursor_steps` and `max_alive` are always exact here;
+/// `ibus_calls`/`pairs_considered` are whatever `engine.account`
+/// accumulated into `stats` — the parallel engine merges its workers'
+/// counters afterwards instead).
+///
+/// # Errors
+///
+/// * [`AnalysisError::Cancelled`] when `options.cancel` fires,
+/// * [`AnalysisError::DeadlineExceeded`] /
+///   [`AnalysisError::TaskDeadlineMissed`] on deadline violations,
+/// * [`AnalysisError::Deadlock`] on inconsistent hand-built inputs,
+/// * whatever `engine.account` returns.
+pub(crate) fn run_cursor<E, O>(
+    problem: &Problem,
+    options: &AnalysisOptions,
+    engine: &mut E,
+    observer: &mut O,
+) -> Result<(Vec<TaskTiming>, AnalysisStats), AnalysisError>
+where
+    E: StepEngine,
+    O: Observer + ?Sized,
+{
+    let graph = problem.graph();
+    let mapping = problem.mapping();
+    let n = graph.len();
+    let cores = engine.cores();
+    debug_assert_eq!(cores, mapping.cores());
+
+    let mut stats = AnalysisStats::default();
+    let mut timings: Vec<Option<TaskTiming>> = vec![None; n];
+
+    // Remaining unfinished dependencies per task (`τ.deps`).
+    let mut pending: Vec<usize> = graph.task_ids().map(|t| graph.in_degree(t)).collect();
+    // Next position in each core's execution order (`S_k`, as an index
+    // rather than a stack so the mapping stays borrowed immutably).
+    let mut next_idx: Vec<usize> = vec![0; cores];
+    let mut alive_count = 0usize;
+    let mut closed_count = 0usize;
+
+    // Future minimal release dates, ascending (cursor jump targets).
+    let mut min_rels: Vec<(Cycles, TaskId)> =
+        graph.iter().map(|(id, t)| (t.min_release(), id)).collect();
+    min_rels.sort();
+    let mut mr_ptr = 0usize;
+    let mut is_open = vec![false; n];
+
+    // Reusable per-step buffer (no allocation inside the loop).
+    let mut newly: Vec<usize> = Vec::with_capacity(cores);
+
+    let mut t = Cycles::ZERO;
+    observer.on_cursor(t);
+
+    while closed_count < n {
+        if options.is_cancelled() {
+            return Err(AnalysisError::Cancelled);
+        }
+        stats.cursor_steps += 1;
+
+        // Fixed point at cursor position t: close every task ending at t,
+        // then open every eligible task. Repeats only for zero-length
+        // chains (a task that opens and finishes at the same instant).
+        loop {
+            let mut changed = false;
+
+            // C ← {τ ∈ A | rel + WCET + inter = t} (Algorithm 1, line 3).
+            for core_idx in 0..cores {
+                let Some(view) = engine.slot(core_idx) else {
+                    continue;
+                };
+                let wcet = graph.task(view.task).wcet();
+                if view.finish(wcet) != t {
+                    continue;
+                }
+                let timing = TaskTiming {
+                    release: view.release,
+                    wcet,
+                    interference: view.total_inter,
+                };
+                if options.task_deadlines {
+                    if let Some(deadline) = graph.task(view.task).deadline() {
+                        if timing.response_time() > deadline {
+                            return Err(AnalysisError::TaskDeadlineMissed {
+                                task: view.task,
+                                response: timing.response_time(),
+                                deadline,
+                            });
+                        }
+                    }
+                }
+                engine.close_slot(core_idx);
+                timings[view.task.index()] = Some(timing);
+                observer.on_close(view.task, CoreId::from_index(core_idx), t);
+                for e in graph.successors(view.task) {
+                    pending[e.dst.index()] -= 1; // lines 5–6
+                }
+                alive_count -= 1;
+                closed_count += 1;
+                changed = true;
+            }
+
+            // O ← eligible heads of the per-core orders (lines 9–15).
+            newly.clear();
+            #[allow(clippy::needless_range_loop)] // index drives several arrays
+            for core_idx in 0..cores {
+                if engine.slot(core_idx).is_some() {
+                    continue;
+                }
+                let order = mapping.order(CoreId::from_index(core_idx));
+                let Some(&head) = order.get(next_idx[core_idx]) else {
+                    continue;
+                };
+                if pending[head.index()] == 0 && graph.task(head).min_release() <= t {
+                    next_idx[core_idx] += 1;
+                    engine.open_slot(core_idx, head, t);
+                    is_open[head.index()] = true;
+                    alive_count += 1;
+                    stats.max_alive = stats.max_alive.max(alive_count);
+                    observer.on_open(head, CoreId::from_index(core_idx), t);
+                    newly.push(core_idx);
+                    changed = true;
+                }
+            }
+
+            // Interference between new tasks and the rest of A, both
+            // directions (lines 17–23) — the engine's customization point.
+            engine.account(&newly, observer, &mut stats)?;
+
+            if !changed {
+                break;
+            }
+        }
+
+        // Unschedulability check against the optional global deadline.
+        if let Some(deadline) = options.deadline {
+            for core_idx in 0..cores {
+                let Some(view) = engine.slot(core_idx) else {
+                    continue;
+                };
+                let fin = view.finish(graph.task(view.task).wcet());
+                if fin > deadline {
+                    return Err(AnalysisError::DeadlineExceeded {
+                        makespan: fin,
+                        deadline,
+                    });
+                }
+            }
+        }
+
+        if closed_count == n {
+            break;
+        }
+
+        // t ← min(next alive finish, next future minimal release)
+        // (lines 24–29).
+        let mut t_next = engine.next_finish(t);
+        while let Some(&(mr, task)) = min_rels.get(mr_ptr) {
+            if is_open[task.index()] || mr <= t {
+                mr_ptr += 1;
+                continue;
+            }
+            t_next = t_next.min(mr);
+            break;
+        }
+        if t_next == Cycles::MAX {
+            let stuck = graph
+                .task_ids()
+                .find(|x| !is_open[x.index()])
+                .expect("unfinished tasks remain");
+            return Err(AnalysisError::Deadlock { stuck });
+        }
+        debug_assert!(t_next > t, "cursor must advance");
+        t = t_next;
+        observer.on_cursor(t);
+    }
+
+    let timings: Vec<TaskTiming> = timings
+        .into_iter()
+        .map(|t| t.expect("all tasks closed"))
+        .collect();
+    Ok((timings, stats))
+}

@@ -27,9 +27,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use mia_model::arbiter::Arbiter;
-use mia_model::{CoreId, Cycles, Problem, Schedule, TaskId, TaskTiming};
+use mia_model::{Cycles, Problem, Schedule, TaskId};
 
-use crate::alive::{account_newly, AliveSlot};
+use crate::analysis::ScanEngine;
+use crate::engine::{run_cursor, SlotView, StepEngine};
 use crate::{
     AnalysisError, AnalysisOptions, AnalysisReport, AnalysisStats, NoopObserver, Observer,
 };
@@ -94,201 +95,108 @@ where
     A: Arbiter + ?Sized,
     O: Observer + ?Sized,
 {
-    let graph = problem.graph();
-    let mapping = problem.mapping();
-    let n = graph.len();
-    let cores = mapping.cores();
-    let access = problem.platform().access_cycles();
-
-    let mut stats = AnalysisStats::default();
-    let mut timings: Vec<Option<TaskTiming>> = vec![None; n];
-
-    let mut pending: Vec<usize> = graph.task_ids().map(|t| graph.in_degree(t)).collect();
-    let mut next_idx: Vec<usize> = vec![0; cores];
-    let mut slots = AliveSlot::for_problem(problem);
-    let mut alive_count = 0usize;
-    let mut closed_count = 0usize;
-
-    let mut min_rels: Vec<(Cycles, TaskId)> =
-        graph.iter().map(|(id, t)| (t.min_release(), id)).collect();
-    min_rels.sort();
-    let mut mr_ptr = 0usize;
-    let mut is_open = vec![false; n];
-
-    // Reusable per-step buffers (no allocation inside the loop).
-    let mut newly: Vec<usize> = Vec::with_capacity(cores);
-    let mut occupants: Vec<Option<TaskId>> = Vec::with_capacity(cores);
-    let mut dirty: Vec<usize> = Vec::with_capacity(cores);
-
-    // Candidate finish events, min-first. Entries are validated on pop
-    // against the task currently alive on the core.
-    let mut finish_events: BinaryHeap<Reverse<(Cycles, usize)>> = BinaryHeap::new();
-
-    let mut t = Cycles::ZERO;
-    observer.on_cursor(t);
-
-    while closed_count < n {
-        if options.is_cancelled() {
-            return Err(AnalysisError::Cancelled);
-        }
-        stats.cursor_steps += 1;
-
-        // Identical fixed point at the cursor as in `analyze`: close tasks
-        // finishing at t, open eligible heads, account interference. The
-        // only difference is that finish-date changes also feed the heap.
-        loop {
-            let mut changed = false;
-
-            #[allow(clippy::needless_range_loop)] // index drives several arrays
-            for core_idx in 0..cores {
-                let slot = &mut slots[core_idx];
-                if !(slot.busy && slot.finish(graph.task(slot.task).wcet()) == t) {
-                    continue;
-                }
-                let timing = TaskTiming {
-                    release: slot.release,
-                    wcet: graph.task(slot.task).wcet(),
-                    interference: slot.total_inter,
-                };
-                let task = slot.task;
-                if options.task_deadlines {
-                    if let Some(deadline) = graph.task(task).deadline() {
-                        if timing.response_time() > deadline {
-                            return Err(AnalysisError::TaskDeadlineMissed {
-                                task,
-                                response: timing.response_time(),
-                                deadline,
-                            });
-                        }
-                    }
-                }
-                slot.close();
-                timings[task.index()] = Some(timing);
-                observer.on_close(task, CoreId::from_index(core_idx), t);
-                for e in graph.successors(task) {
-                    pending[e.dst.index()] -= 1;
-                }
-                alive_count -= 1;
-                closed_count += 1;
-                changed = true;
-            }
-
-            newly.clear();
-            for core_idx in 0..cores {
-                if slots[core_idx].busy {
-                    continue;
-                }
-                let order = mapping.order(CoreId::from_index(core_idx));
-                let Some(&head) = order.get(next_idx[core_idx]) else {
-                    continue;
-                };
-                if pending[head.index()] == 0 && graph.task(head).min_release() <= t {
-                    next_idx[core_idx] += 1;
-                    slots[core_idx].open(head, t);
-                    is_open[head.index()] = true;
-                    alive_count += 1;
-                    stats.max_alive = stats.max_alive.max(alive_count);
-                    observer.on_open(head, CoreId::from_index(core_idx), t);
-                    // Seed the finish event at the isolation finish date;
-                    // interference updates below push refreshed entries.
-                    finish_events.push(Reverse((t + graph.task(head).wcet(), core_idx)));
-                    newly.push(core_idx);
-                    changed = true;
-                }
-            }
-
-            account_newly(
-                problem,
-                arbiter,
-                options.interference_mode,
-                access,
-                &mut slots,
-                &newly,
-                &mut occupants,
-                observer,
-                &mut stats,
-                &mut dirty,
-            );
-            // Refresh the heap for every destination whose finish date
-            // moved during the interference phase.
-            for &core_idx in &dirty {
-                let s = &slots[core_idx];
-                finish_events.push(Reverse((s.finish(graph.task(s.task).wcet()), core_idx)));
-            }
-
-            if !changed {
-                break;
-            }
-        }
-
-        if let Some(deadline) = options.deadline {
-            for s in slots.iter().filter(|s| s.busy) {
-                let fin = s.finish(graph.task(s.task).wcet());
-                if fin > deadline {
-                    return Err(AnalysisError::DeadlineExceeded {
-                        makespan: fin,
-                        deadline,
-                    });
-                }
-            }
-        }
-
-        if closed_count == n {
-            break;
-        }
-
-        // Next cursor position: the earliest *valid* finish event or the
-        // next future minimal release date, whichever is smaller.
-        let next_finish = loop {
-            match finish_events.peek() {
-                None => break None,
-                Some(&Reverse((when, core_idx))) => {
-                    let slot = &slots[core_idx];
-                    let valid =
-                        when > t && slot.busy && slot.finish(graph.task(slot.task).wcet()) == when;
-                    if valid {
-                        break Some(when);
-                    }
-                    finish_events.pop();
-                }
-            }
-        };
-        let mut t_next = next_finish.unwrap_or(Cycles::MAX);
-        while let Some(&(mr, task)) = min_rels.get(mr_ptr) {
-            if is_open[task.index()] || mr <= t {
-                mr_ptr += 1;
-                continue;
-            }
-            t_next = t_next.min(mr);
-            break;
-        }
-        if t_next == Cycles::MAX {
-            let stuck = graph
-                .task_ids()
-                .find(|x| !is_open[x.index()])
-                .expect("unfinished tasks remain");
-            return Err(AnalysisError::Deadlock { stuck });
-        }
-        debug_assert!(t_next > t, "cursor must advance");
-        t = t_next;
-        observer.on_cursor(t);
-    }
-
-    let timings: Vec<TaskTiming> = timings
-        .into_iter()
-        .map(|t| t.expect("all tasks closed"))
-        .collect();
+    let mut engine = HeapEngine::new(problem, arbiter, options);
+    let (timings, stats) = run_cursor(problem, options, &mut engine, observer)?;
     Ok(AnalysisReport {
         schedule: Schedule::from_timings(timings),
         stats,
     })
 }
 
+/// The event-driven cursor as a [`StepEngine`]: the scanning engine's
+/// slot view and interference phase, with only the *cursor search*
+/// replaced by a lazily invalidated heap of candidate finish events.
+struct HeapEngine<'p, A: ?Sized> {
+    inner: ScanEngine<'p, A>,
+    /// Candidate finish events, min-first. Entries are validated on pop
+    /// against the task currently alive on the core.
+    finish_events: BinaryHeap<Reverse<(Cycles, usize)>>,
+}
+
+impl<'p, A> HeapEngine<'p, A>
+where
+    A: Arbiter + ?Sized,
+{
+    fn new(problem: &'p Problem, arbiter: &'p A, options: &AnalysisOptions) -> Self {
+        HeapEngine {
+            inner: ScanEngine::new(problem, arbiter, options),
+            finish_events: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<A> StepEngine for HeapEngine<'_, A>
+where
+    A: Arbiter + ?Sized,
+{
+    fn cores(&self) -> usize {
+        self.inner.cores()
+    }
+
+    fn slot(&self, core: usize) -> Option<SlotView> {
+        self.inner.slot(core)
+    }
+
+    fn close_slot(&mut self, core: usize) {
+        self.inner.close_slot(core);
+    }
+
+    fn open_slot(&mut self, core: usize, task: TaskId, release: Cycles) {
+        self.inner.open_slot(core, task, release);
+        // Seed the finish event at the isolation finish date; the
+        // interference phase pushes refreshed entries as dates move.
+        let wcet = self.inner.problem().graph().task(task).wcet();
+        self.finish_events.push(Reverse((release + wcet, core)));
+    }
+
+    fn account<O>(
+        &mut self,
+        newly: &[usize],
+        observer: &mut O,
+        stats: &mut AnalysisStats,
+    ) -> Result<(), AnalysisError>
+    where
+        O: Observer + ?Sized,
+    {
+        self.inner.account(newly, observer, stats)?;
+        // Refresh the heap for every destination whose finish date moved
+        // during the interference phase.
+        let graph = self.inner.problem().graph();
+        for &core_idx in &self.inner.dirty {
+            let s = &self.inner.slots[core_idx];
+            self.finish_events
+                .push(Reverse((s.finish(graph.task(s.task).wcet()), core_idx)));
+        }
+        Ok(())
+    }
+
+    fn next_finish(&mut self, t: Cycles) -> Cycles {
+        // The earliest *valid* finish event: an entry is valid only if
+        // the task currently alive on its core still finishes exactly
+        // then; stale entries are dropped on pop.
+        let graph = self.inner.problem().graph();
+        loop {
+            match self.finish_events.peek() {
+                None => break Cycles::MAX,
+                Some(&Reverse((when, core_idx))) => {
+                    let slot = &self.inner.slots[core_idx];
+                    let valid =
+                        when > t && slot.busy && slot.finish(graph.task(slot.task).wcet()) == when;
+                    if valid {
+                        break when;
+                    }
+                    self.finish_events.pop();
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use mia_model::arbiter::InterfererDemand;
-    use mia_model::{Mapping, Platform, Task, TaskGraph};
+    use mia_model::{CoreId, Mapping, Platform, Task, TaskGraph};
 
     struct Rr;
 

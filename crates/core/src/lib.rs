@@ -35,11 +35,16 @@
 //! fixed-point iteration is needed: the complexity is `O(c²·b·n²)` — with
 //! platform constants, **O(n²)** against the original **O(n⁴)**.
 //!
-//! # Drivers
+//! # Engines
 //!
-//! Three drivers share the same slot machinery (dense, generation-stamped
-//! per-core buffers — the hot path performs no heap allocation) and
-//! produce **bit-identical** schedules and work counters:
+//! The close/open/advance cursor loop exists **once**, in the internal
+//! `engine` module's `run_cursor` driver; the three analysis entry
+//! points are thin *step engines* plugged into it (an alive-slot view
+//! plus an interference phase — see `ARCHITECTURE.md` "The step
+//! engine"). All engines share the same slot machinery (dense,
+//! generation-stamped per-core buffers — the hot path performs no heap
+//! allocation) and produce **bit-identical** schedules, work counters
+//! and observer event streams:
 //!
 //! * [`analyze`] / [`analyze_with`] — the scanning cursor of the paper
 //!   (lines 24–28), the default;
@@ -49,6 +54,12 @@
 //!   the alive set is an anti-chain ("layer") of the DAG whose members
 //!   are updated concurrently by a scoped worker pool. See the
 //!   [`parallel` module docs](analyze_parallel) and `ARCHITECTURE.md`.
+//!
+//! The [`testkit`] module runs any engine on any scenario and captures
+//! everything observable; the cross-engine conformance harness
+//! (`tests/conformance.rs`) uses it to pin all engines — plus the
+//! exhaustive `mia-baseline` oracle — to the same answers on generated
+//! systems covering every arbiter, interference mode and pool size.
 //!
 //! # Example
 //!
@@ -82,11 +93,13 @@
 mod alive;
 mod analysis;
 mod cancel;
+mod engine;
 mod error;
 mod events;
 mod observer;
 mod options;
 mod parallel;
+pub mod testkit;
 
 pub use analysis::{analyze, analyze_with, AnalysisReport, AnalysisStats};
 pub use cancel::CancelToken;

@@ -9,15 +9,21 @@
 //! and, accounted destination-by-destination (see `alive.rs`), each
 //! member of the layer depends only on its **own** slot plus immutable
 //! problem data. The analysis therefore proceeds level by level over
-//! those temporal layers: the cursor driver walks the levels, and the
-//! members of each level are updated by a pool of scoped worker threads.
+//! those temporal layers: the shared cursor driver
+//! ([`run_cursor`](crate::engine)) walks the levels, and the members of
+//! each level are updated by a pool of scoped worker threads.
 //!
-//! # Work distribution
+//! # The engine split
 //!
+//! The cursor control flow itself is **not** duplicated here: this module
+//! only implements the [`StepEngine`] customization points. Its slot view
+//! is a lightweight [`MetaSlot`] mirror (task, release, total
+//! interference) kept on the driver thread, while the heavy
+//! generation-stamped [`AliveSlot`] state lives with the owning workers.
 //! Worker `w` of `W` permanently owns the alive slots of all cores `c`
 //! with `c % W == w` (round-robin, matching the generator's cyclic
 //! mapping so layer work spreads evenly). Per interference phase the
-//! driver publishes the newly opened tasks plus an occupancy snapshot,
+//! engine publishes the newly opened tasks plus an occupancy snapshot,
 //! releases the pool through a barrier, and collects the updated
 //! interference totals through a second barrier. Slots never migrate, so
 //! the per-slot scratch buffers stay worker-local for the whole run and
@@ -29,13 +35,23 @@
 //! sequential order** (`account_destination`), and destinations are
 //! mutually independent, so [`analyze_parallel`] returns release dates,
 //! response times *and work counters* identical to [`crate::analyze`] —
-//! the property tests in `tests/parallel_equivalence.rs` enforce this
-//! for every arbiter and thread count. Observers are not supported in
-//! this mode (interference events would arrive unordered); use
-//! [`crate::analyze_with`] when tracing. Panics — e.g. from a faulty
-//! user arbiter — are confined per phase and re-raised on the calling
-//! thread after the pool shuts down, exactly as the sequential analysis
-//! would have propagated them (no deadlocked barriers).
+//! the cross-engine conformance harness (`tests/conformance.rs`) and the
+//! property tests in `tests/parallel_equivalence.rs` enforce this for
+//! every arbiter, interference mode and thread count.
+//!
+//! Observers are fully supported: cursor, open and close events are
+//! emitted by the shared driver on the calling thread, and per-bank
+//! interference events are recorded by the workers and relayed in the
+//! canonical sequential order (grouped by destination core, ascending)
+//! once each phase completes — so even the observer event stream is
+//! bit-identical to the sequential engines'. The relay only runs when
+//! [`Observer::wants_interference`] says so; the default
+//! [`NoopObserver`] keeps the hot path relay-free.
+//!
+//! Panics — e.g. from a faulty user arbiter — are confined per phase and
+//! re-raised on the calling thread after the pool shuts down, exactly as
+//! the sequential analysis would have propagated them (no deadlocked
+//! barriers).
 //!
 //! # When it pays off
 //!
@@ -50,10 +66,13 @@
 use std::sync::{Barrier, Mutex};
 
 use mia_model::arbiter::Arbiter;
-use mia_model::{CoreId, Cycles, Problem, Schedule, TaskId, TaskTiming};
+use mia_model::{BankId, CoreId, Cycles, Problem, Schedule, TaskId};
 
 use crate::alive::{account_destination, AliveSlot};
-use crate::{AnalysisError, AnalysisOptions, AnalysisReport, AnalysisStats, NoopObserver};
+use crate::engine::{run_cursor, scan_next_finish, SlotView, StepEngine};
+use crate::{
+    AnalysisError, AnalysisOptions, AnalysisReport, AnalysisStats, NoopObserver, Observer,
+};
 
 /// One step's instructions for the worker pool.
 struct StepMsg {
@@ -65,6 +84,11 @@ struct StepMsg {
     occupants: Vec<Option<TaskId>>,
 }
 
+/// A worker-recorded interference event: destination core, task, bank
+/// and the task's new total interference (the `on_interference`
+/// payload plus the core used to restore the sequential order).
+type InterEvent = (usize, TaskId, BankId, Cycles);
+
 /// State shared between the driver and the pool.
 struct Shared {
     step: Mutex<StepMsg>,
@@ -74,6 +98,13 @@ struct Shared {
     done: Barrier,
     /// Updated `(core, total_interference)` pairs of the current step.
     results: Mutex<Vec<(usize, Cycles)>>,
+    /// Per-bank interference events of the current step, recorded by the
+    /// workers when `relay_events` is set and relayed to the caller's
+    /// observer in canonical order by the driver.
+    events: Mutex<Vec<InterEvent>>,
+    /// Whether workers should record interference events at all
+    /// (`Observer::wants_interference` of the caller's observer).
+    relay_events: bool,
     /// Work counters merged by workers on shutdown.
     worker_stats: Mutex<AnalysisStats>,
     /// First panic payload caught in a worker's accounting phase. A
@@ -105,12 +136,6 @@ struct MetaSlot {
     task: TaskId,
     release: Cycles,
     total_inter: Cycles,
-}
-
-impl MetaSlot {
-    fn finish(&self, wcet: Cycles) -> Cycles {
-        self.release + wcet + self.total_inter
-    }
 }
 
 /// Runs the layer-parallel analysis with default options.
@@ -155,28 +180,39 @@ pub fn analyze_parallel<A>(
 where
     A: Arbiter + Sync + ?Sized,
 {
-    analyze_parallel_with(problem, arbiter, &AnalysisOptions::default(), threads)
-        .map(|r| r.schedule)
+    analyze_parallel_with(
+        problem,
+        arbiter,
+        &AnalysisOptions::default(),
+        threads,
+        &mut NoopObserver,
+    )
+    .map(|r| r.schedule)
 }
 
-/// Runs the layer-parallel analysis with explicit options.
+/// Runs the layer-parallel analysis with explicit options and an
+/// observer.
 ///
 /// `threads == 0` uses the machine's available parallelism; with one
 /// worker (or a single-core problem) the call falls through to the
-/// sequential [`crate::analyze_with`]. Either way the schedule and the
-/// work counters are bit-identical to the sequential analysis.
+/// sequential [`crate::analyze_with`]. Either way the schedule, the work
+/// counters **and the observer event stream** are bit-identical to the
+/// sequential analysis (interference events are relayed from the worker
+/// pool in canonical order; see the module documentation above).
 ///
 /// # Errors
 ///
 /// Same as [`crate::analyze_with`].
-pub fn analyze_parallel_with<A>(
+pub fn analyze_parallel_with<A, O>(
     problem: &Problem,
     arbiter: &A,
     options: &AnalysisOptions,
     threads: usize,
+    observer: &mut O,
 ) -> Result<AnalysisReport, AnalysisError>
 where
     A: Arbiter + Sync + ?Sized,
+    O: Observer + ?Sized,
 {
     let cores = problem.mapping().cores();
     let workers = if threads == 0 {
@@ -186,14 +222,11 @@ where
     }
     .min(cores.max(1));
     if workers <= 1 {
-        return crate::analyze_with(problem, arbiter, options, &mut NoopObserver);
+        return crate::analyze_with(problem, arbiter, options, observer);
     }
 
-    let graph = problem.graph();
-    let mapping = problem.mapping();
-    let n = graph.len();
-    let access = problem.platform().access_cycles();
     let mode = options.interference_mode;
+    let access = problem.platform().access_cycles();
 
     let shared = Shared {
         step: Mutex::new(StepMsg {
@@ -204,6 +237,8 @@ where
         start: Barrier::new(workers + 1),
         done: Barrier::new(workers + 1),
         results: Mutex::new(Vec::with_capacity(cores)),
+        events: Mutex::new(Vec::new()),
+        relay_events: observer.wants_interference(),
         worker_stats: Mutex::new(AnalysisStats::default()),
         worker_panic: Mutex::new(None),
     };
@@ -220,7 +255,21 @@ where
         // the scope joins it — otherwise a panicking driver would leave
         // workers parked on the start barrier forever.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            drive(graph, mapping, options, n, cores, &shared)
+            let mut engine = ParallelEngine {
+                meta: vec![
+                    MetaSlot {
+                        busy: false,
+                        task: TaskId(0),
+                        release: Cycles::ZERO,
+                        total_inter: Cycles::ZERO,
+                    };
+                    cores
+                ],
+                problem,
+                shared: &shared,
+                newly_events: Vec::new(),
+            };
+            run_cursor(problem, options, &mut engine, observer)
         }));
 
         // Shut the pool down whether the run succeeded, failed or
@@ -249,180 +298,114 @@ where
     })
 }
 
-/// The cursor driver: identical control flow to [`crate::analyze_with`],
-/// with the interference phase delegated to the pool.
-fn drive(
-    graph: &mia_model::TaskGraph,
-    mapping: &mia_model::Mapping,
-    options: &AnalysisOptions,
-    n: usize,
-    cores: usize,
-    shared: &Shared,
-) -> Result<(Vec<TaskTiming>, AnalysisStats), AnalysisError> {
-    let mut stats = AnalysisStats::default();
-    let mut timings: Vec<Option<TaskTiming>> = vec![None; n];
-    let mut pending: Vec<usize> = graph.task_ids().map(|t| graph.in_degree(t)).collect();
-    let mut next_idx: Vec<usize> = vec![0; cores];
-    let mut meta = vec![
-        MetaSlot {
-            busy: false,
-            task: TaskId(0),
-            release: Cycles::ZERO,
-            total_inter: Cycles::ZERO,
-        };
-        cores
-    ];
-    let mut alive_count = 0usize;
-    let mut closed_count = 0usize;
+/// The layer-parallel [`StepEngine`]: a [`MetaSlot`] mirror on the
+/// driver thread, with the interference phase fanned out to the pool.
+struct ParallelEngine<'p, 'sh> {
+    meta: Vec<MetaSlot>,
+    problem: &'p Problem,
+    shared: &'sh Shared,
+    /// Reusable buffer for draining and ordering relayed interference
+    /// events (only used when `shared.relay_events`).
+    newly_events: Vec<InterEvent>,
+}
 
-    let mut min_rels: Vec<(Cycles, TaskId)> =
-        graph.iter().map(|(id, t)| (t.min_release(), id)).collect();
-    min_rels.sort();
-    let mut mr_ptr = 0usize;
-    let mut is_open = vec![false; n];
-    let mut newly: Vec<(usize, TaskId, Cycles)> = Vec::with_capacity(cores);
-
-    let mut t = Cycles::ZERO;
-
-    while closed_count < n {
-        if options.is_cancelled() {
-            return Err(AnalysisError::Cancelled);
-        }
-        stats.cursor_steps += 1;
-
-        loop {
-            let mut changed = false;
-
-            #[allow(clippy::needless_range_loop)] // index drives several arrays
-            for core_idx in 0..cores {
-                let m = meta[core_idx];
-                if !(m.busy && m.finish(graph.task(m.task).wcet()) == t) {
-                    continue;
-                }
-                let timing = TaskTiming {
-                    release: m.release,
-                    wcet: graph.task(m.task).wcet(),
-                    interference: m.total_inter,
-                };
-                if options.task_deadlines {
-                    if let Some(deadline) = graph.task(m.task).deadline() {
-                        if timing.response_time() > deadline {
-                            return Err(AnalysisError::TaskDeadlineMissed {
-                                task: m.task,
-                                response: timing.response_time(),
-                                deadline,
-                            });
-                        }
-                    }
-                }
-                meta[core_idx].busy = false;
-                timings[m.task.index()] = Some(timing);
-                for e in graph.successors(m.task) {
-                    pending[e.dst.index()] -= 1;
-                }
-                alive_count -= 1;
-                closed_count += 1;
-                changed = true;
-            }
-
-            newly.clear();
-            for core_idx in 0..cores {
-                if meta[core_idx].busy {
-                    continue;
-                }
-                let order = mapping.order(CoreId::from_index(core_idx));
-                let Some(&head) = order.get(next_idx[core_idx]) else {
-                    continue;
-                };
-                if pending[head.index()] == 0 && graph.task(head).min_release() <= t {
-                    next_idx[core_idx] += 1;
-                    meta[core_idx] = MetaSlot {
-                        busy: true,
-                        task: head,
-                        release: t,
-                        total_inter: Cycles::ZERO,
-                    };
-                    is_open[head.index()] = true;
-                    alive_count += 1;
-                    stats.max_alive = stats.max_alive.max(alive_count);
-                    newly.push((core_idx, head, t));
-                    changed = true;
-                }
-            }
-
-            // Interference phase, fanned out over the pool when anything
-            // opened at this instant.
-            if !newly.is_empty() {
-                {
-                    let mut msg = shared.step.lock().expect("driver owns step lock");
-                    msg.newly.clear();
-                    msg.newly.extend_from_slice(&newly);
-                    for (slot, m) in msg.occupants.iter_mut().zip(&meta) {
-                        *slot = m.busy.then_some(m.task);
-                    }
-                }
-                shared.start.wait();
-                // Workers account their destinations here.
-                shared.done.wait();
-                if shared.worker_panicked() {
-                    // Abandon the run; the caller re-raises the worker's
-                    // payload, so this placeholder error is never seen.
-                    return Err(AnalysisError::Cancelled);
-                }
-                for (core_idx, total) in Shared::lock_ignoring_poison(&shared.results).drain(..) {
-                    meta[core_idx].total_inter = total;
-                }
-            }
-
-            if !changed {
-                break;
-            }
-        }
-
-        if let Some(deadline) = options.deadline {
-            for m in meta.iter().filter(|m| m.busy) {
-                let fin = m.finish(graph.task(m.task).wcet());
-                if fin > deadline {
-                    return Err(AnalysisError::DeadlineExceeded {
-                        makespan: fin,
-                        deadline,
-                    });
-                }
-            }
-        }
-
-        if closed_count == n {
-            break;
-        }
-
-        let mut t_next = Cycles::MAX;
-        for m in meta.iter().filter(|m| m.busy) {
-            t_next = t_next.min(m.finish(graph.task(m.task).wcet()));
-        }
-        while let Some(&(mr, task)) = min_rels.get(mr_ptr) {
-            if is_open[task.index()] || mr <= t {
-                mr_ptr += 1;
-                continue;
-            }
-            t_next = t_next.min(mr);
-            break;
-        }
-        if t_next == Cycles::MAX {
-            let stuck = graph
-                .task_ids()
-                .find(|x| !is_open[x.index()])
-                .expect("unfinished tasks remain");
-            return Err(AnalysisError::Deadlock { stuck });
-        }
-        debug_assert!(t_next > t, "cursor must advance");
-        t = t_next;
+impl StepEngine for ParallelEngine<'_, '_> {
+    fn cores(&self) -> usize {
+        self.meta.len()
     }
 
-    let timings: Vec<TaskTiming> = timings
-        .into_iter()
-        .map(|t| t.expect("all tasks closed"))
-        .collect();
-    Ok((timings, stats))
+    fn slot(&self, core: usize) -> Option<SlotView> {
+        let m = &self.meta[core];
+        m.busy.then_some(SlotView {
+            task: m.task,
+            release: m.release,
+            total_inter: m.total_inter,
+        })
+    }
+
+    fn close_slot(&mut self, core: usize) {
+        self.meta[core].busy = false;
+    }
+
+    fn open_slot(&mut self, core: usize, task: TaskId, release: Cycles) {
+        self.meta[core] = MetaSlot {
+            busy: true,
+            task,
+            release,
+            total_inter: Cycles::ZERO,
+        };
+    }
+
+    fn account<O>(
+        &mut self,
+        newly: &[usize],
+        observer: &mut O,
+        _stats: &mut AnalysisStats,
+    ) -> Result<(), AnalysisError>
+    where
+        O: Observer + ?Sized,
+    {
+        // Nothing opened at this instant: nothing to account, skip the
+        // barrier crossings entirely (matching `account_newly`'s early
+        // return). Worker-side `ibus`/`pairs` counters are merged by the
+        // caller after the pool shuts down.
+        if newly.is_empty() {
+            return Ok(());
+        }
+        {
+            let mut msg = self.shared.step.lock().expect("driver owns step lock");
+            msg.newly.clear();
+            msg.newly.extend(newly.iter().map(|&core| {
+                let m = &self.meta[core];
+                (core, m.task, m.release)
+            }));
+            for (slot, m) in msg.occupants.iter_mut().zip(&self.meta) {
+                *slot = m.busy.then_some(m.task);
+            }
+        }
+        self.shared.start.wait();
+        // Workers account their destinations here.
+        self.shared.done.wait();
+        if self.shared.worker_panicked() {
+            // Abandon the run; the caller re-raises the worker's
+            // payload, so this placeholder error is never seen.
+            return Err(AnalysisError::Cancelled);
+        }
+        for (core_idx, total) in Shared::lock_ignoring_poison(&self.shared.results).drain(..) {
+            self.meta[core_idx].total_inter = total;
+        }
+        if self.shared.relay_events {
+            // Restore the canonical sequential event order: destinations
+            // ascending by core, each destination's events in the order
+            // its worker produced them (stable sort; every worker pushes
+            // its per-core chunks contiguously and in ascending order).
+            self.newly_events.clear();
+            self.newly_events
+                .append(&mut Shared::lock_ignoring_poison(&self.shared.events));
+            self.newly_events.sort_by_key(|&(core, _, _, _)| core);
+            for &(_, task, bank, total) in &self.newly_events {
+                observer.on_interference(task, bank, total);
+            }
+        }
+        Ok(())
+    }
+
+    fn next_finish(&mut self, _t: Cycles) -> Cycles {
+        scan_next_finish(self, self.problem)
+    }
+}
+
+/// Worker-side observer recording `(core, task, bank, total)` events so
+/// the driver can relay them to the caller's observer in order.
+struct EventRecorder {
+    core: usize,
+    events: Vec<InterEvent>,
+}
+
+impl Observer for EventRecorder {
+    fn on_interference(&mut self, task: TaskId, bank: BankId, total: Cycles) {
+        self.events.push((self.core, task, bank, total));
+    }
 }
 
 /// One pool worker: owns the slots of cores `c` with
@@ -460,6 +443,10 @@ fn worker_loop<A>(
     let mut newly_cores: Vec<usize> = Vec::with_capacity(cores);
     let mut occupants: Vec<Option<TaskId>> = Vec::with_capacity(cores);
     let mut out: Vec<(usize, Cycles)> = Vec::with_capacity(slots.len());
+    let mut recorder = EventRecorder {
+        core: 0,
+        events: Vec::new(),
+    };
 
     loop {
         shared.start.wait();
@@ -496,6 +483,7 @@ fn worker_loop<A>(
                 // Account every owned, occupied destination in the
                 // sequential per-destination order.
                 out.clear();
+                recorder.events.clear();
                 for core in (worker_id..cores).step_by(workers) {
                     if occupants[core].is_none() {
                         continue;
@@ -503,6 +491,12 @@ fn worker_loop<A>(
                     let slot = &mut slots[local[core]];
                     let dest_is_new = newly_cores.binary_search(&core).is_ok();
                     let before = slot.total_inter;
+                    let observer: &mut dyn Observer = if shared.relay_events {
+                        recorder.core = core;
+                        &mut recorder
+                    } else {
+                        &mut NoopObserver
+                    };
                     account_destination(
                         problem,
                         arbiter,
@@ -513,7 +507,7 @@ fn worker_loop<A>(
                         dest_is_new,
                         &newly_cores,
                         &occupants,
-                        &mut NoopObserver,
+                        observer,
                         &mut stats,
                     );
                     if slot.total_inter != before {
@@ -522,6 +516,10 @@ fn worker_loop<A>(
                 }
                 if !out.is_empty() {
                     Shared::lock_ignoring_poison(&shared.results).extend_from_slice(&out);
+                }
+                if !recorder.events.is_empty() {
+                    Shared::lock_ignoring_poison(&shared.events)
+                        .extend_from_slice(&recorder.events);
                 }
             }));
             if let Err(payload) = phase {
@@ -587,7 +585,9 @@ mod tests {
         let p = figure1();
         let seq = crate::analyze_with(&p, &Rr, &AnalysisOptions::new(), &mut NoopObserver).unwrap();
         for threads in [0usize, 1, 2, 3, 4, 8] {
-            let par = analyze_parallel_with(&p, &Rr, &AnalysisOptions::new(), threads).unwrap();
+            let par =
+                analyze_parallel_with(&p, &Rr, &AnalysisOptions::new(), threads, &mut NoopObserver)
+                    .unwrap();
             assert_eq!(seq.schedule, par.schedule, "threads = {threads}");
             assert_eq!(seq.stats, par.stats, "threads = {threads}");
         }
@@ -606,14 +606,44 @@ mod tests {
     fn deadline_and_cancellation_behave_like_analyze() {
         let p = figure1();
         let opts = AnalysisOptions::new().deadline(Cycles(6));
-        let err = analyze_parallel_with(&p, &Rr, &opts, 2).unwrap_err();
+        let err = analyze_parallel_with(&p, &Rr, &opts, 2, &mut NoopObserver).unwrap_err();
         assert!(matches!(err, AnalysisError::DeadlineExceeded { .. }));
 
         let token = crate::CancelToken::new();
         token.cancel();
         let opts = AnalysisOptions::new().cancel_token(token);
-        let err = analyze_parallel_with(&p, &Rr, &opts, 2).unwrap_err();
+        let err = analyze_parallel_with(&p, &Rr, &opts, 2, &mut NoopObserver).unwrap_err();
         assert_eq!(err, AnalysisError::Cancelled);
+    }
+
+    #[test]
+    fn observer_stream_matches_sequential() {
+        #[derive(Default, PartialEq, Debug)]
+        struct Log {
+            lines: Vec<String>,
+        }
+        impl Observer for Log {
+            fn on_cursor(&mut self, t: Cycles) {
+                self.lines.push(format!("cursor {t}"));
+            }
+            fn on_open(&mut self, task: TaskId, core: CoreId, t: Cycles) {
+                self.lines.push(format!("open {task} {core} {t}"));
+            }
+            fn on_close(&mut self, task: TaskId, core: CoreId, t: Cycles) {
+                self.lines.push(format!("close {task} {core} {t}"));
+            }
+            fn on_interference(&mut self, task: TaskId, bank: BankId, total: Cycles) {
+                self.lines.push(format!("inter {task} {bank} {total}"));
+            }
+        }
+        let p = figure1();
+        let mut seq_log = Log::default();
+        let mut par_log = Log::default();
+        let seq = crate::analyze_with(&p, &Rr, &AnalysisOptions::new(), &mut seq_log).unwrap();
+        let par = analyze_parallel_with(&p, &Rr, &AnalysisOptions::new(), 2, &mut par_log).unwrap();
+        assert_eq!(seq.schedule, par.schedule);
+        assert!(seq_log.lines.iter().any(|l| l.starts_with("inter")));
+        assert_eq!(seq_log, par_log);
     }
 
     #[test]
@@ -660,7 +690,7 @@ mod tests {
         g2.task_mut(TaskId(3)).set_deadline(Some(Cycles(4)));
         let p2 = Problem::new(g2, p.mapping().clone(), p.platform().clone()).unwrap();
         let opts = AnalysisOptions::new().task_deadlines(true);
-        let err = analyze_parallel_with(&p2, &Rr, &opts, 2).unwrap_err();
+        let err = analyze_parallel_with(&p2, &Rr, &opts, 2, &mut NoopObserver).unwrap_err();
         assert!(matches!(err, AnalysisError::TaskDeadlineMissed { .. }));
     }
 }

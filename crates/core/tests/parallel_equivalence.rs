@@ -47,7 +47,7 @@ proptest! {
                 &p, arb.as_ref(), &AnalysisOptions::new(), &mut NoopObserver,
             ).unwrap();
             let par = analyze_parallel_with(
-                &p, arb.as_ref(), &AnalysisOptions::new(), threads,
+                &p, arb.as_ref(), &AnalysisOptions::new(), threads, &mut NoopObserver,
             ).unwrap();
             prop_assert_eq!(
                 &seq.schedule, &par.schedule,
@@ -70,7 +70,8 @@ proptest! {
         for mode in [InterferenceMode::AggregateByCore, InterferenceMode::PairwiseAdditive] {
             let opts = AnalysisOptions::new().interference_mode(mode);
             let seq = analyze_with(&p, &RoundRobin::new(), &opts, &mut NoopObserver).unwrap();
-            let par = analyze_parallel_with(&p, &RoundRobin::new(), &opts, 4).unwrap();
+            let par =
+                analyze_parallel_with(&p, &RoundRobin::new(), &opts, 4, &mut NoopObserver).unwrap();
             prop_assert_eq!(&seq.schedule, &par.schedule, "mode {:?}", mode);
             prop_assert_eq!(seq.stats, par.stats);
         }

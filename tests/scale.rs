@@ -83,10 +83,45 @@ fn thirty_two_thousand_task_makespan_is_pinned() {
         &RoundRobin::new(),
         &AnalysisOptions::new(),
         4,
+        &mut NoopObserver,
     )
     .unwrap();
     assert_eq!(par.schedule, seq.schedule);
     assert_eq!(par.stats, seq.stats);
+}
+
+/// The full 100k smoke point (ROADMAP "Push the scale axis to the full
+/// 100k"): the makespan is a fixed constant and the run stays inside
+/// the CI budget — 100 000 tasks analyse in well under a second in
+/// release on current hardware, so a 120 s ceiling is pure headroom.
+///
+/// Release-only, like the 32k pin; the CI sweep step covers the same
+/// size through `mia-bench --bin sweep --sizes ...,100000`.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: run with cargo test --release"
+)]
+fn one_hundred_thousand_task_makespan_is_pinned() {
+    let workload = LayeredDag::new(Family::FixedLayerSize(64).config(100_000, 7)).generate();
+    let problem = workload.into_problem(&Platform::mppa256_cluster()).unwrap();
+    let t0 = Instant::now();
+    let report = analyze_with(
+        &problem,
+        &RoundRobin::new(),
+        &AnalysisOptions::new(),
+        &mut NoopObserver,
+    )
+    .unwrap();
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed.as_secs() < 120,
+        "100k tasks took {elapsed:?} — over the CI budget"
+    );
+    assert_eq!(report.schedule.makespan(), Cycles(9_056_829));
+    assert_eq!(report.schedule.len(), 100_000);
+    assert!(report.stats.max_alive <= 16);
+    assert!(report.stats.cursor_steps <= 2 * problem.len() + 1);
 }
 
 #[test]

@@ -67,3 +67,67 @@ fn figure1_reaches_the_papers_makespan() {
     let s = analyze(&p, &RoundRobin::new()).unwrap();
     assert_eq!(s.makespan(), Cycles(7));
 }
+
+/// Every property suite in the workspace must keep a committed
+/// regression file at the canonical upstream-proptest path
+/// (`<crate>/proptest-regressions/<suite>.txt`). The vendored
+/// deterministic stand-in never writes seeds itself, so without this
+/// meta-test new suites silently drift away from the convention — and
+/// the canonical location would be missing the day the real `proptest`
+/// is swapped back in (see ROADMAP "Swappable vendor stubs").
+#[test]
+fn every_proptest_suite_has_a_committed_regression_file() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut suite_roots = vec![root.to_path_buf()];
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates dir") {
+        suite_roots.push(entry.expect("crate dir").path());
+    }
+
+    // The macro invocation every property suite contains, assembled at
+    // run time so this very file does not match its own needle.
+    let needle: String = ["proptest", "! {"].concat();
+    let mut checked = 0usize;
+    let mut missing = Vec::new();
+    for crate_root in suite_roots {
+        let tests = crate_root.join("tests");
+        if !tests.is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&tests).expect("tests dir") {
+            let path = entry.expect("test file").path();
+            if path.extension().is_none_or(|e| e != "rs") {
+                continue;
+            }
+            let source = std::fs::read_to_string(&path).expect("readable test source");
+            if !source.contains(&needle) {
+                continue;
+            }
+            checked += 1;
+            let stem = path
+                .file_stem()
+                .expect("stem")
+                .to_string_lossy()
+                .into_owned();
+            let canonical = crate_root
+                .join("proptest-regressions")
+                .join(format!("{stem}.txt"));
+            if !canonical.is_file() {
+                missing.push(format!(
+                    "{} (expected {})",
+                    path.strip_prefix(root).unwrap_or(&path).display(),
+                    canonical.strip_prefix(root).unwrap_or(&canonical).display()
+                ));
+            }
+        }
+    }
+
+    assert!(
+        checked >= 13,
+        "found only {checked} property suites — did the tests move?"
+    );
+    assert!(
+        missing.is_empty(),
+        "property suites without a committed canonical regression file:\n  {}",
+        missing.join("\n  ")
+    );
+}
