@@ -26,14 +26,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let total =
-        spec.families.len() * spec.arbiters.len() * spec.sizes.len() * spec.algorithms.len();
+    let total = spec.families.len()
+        * spec.arbiters.len()
+        * spec.sizes.len()
+        * spec.algorithms.len()
+        * spec.threads.len();
     eprintln!(
-        "sweep: {total} grid points ({} families × {} arbiters × {} sizes × {} algorithms)",
+        "sweep: {total} grid points ({} families × {} arbiters × {} sizes × {} algorithms × {} pool sizes)",
         spec.families.len(),
         spec.arbiters.len(),
         spec.sizes.len(),
-        spec.algorithms.len()
+        spec.algorithms.len(),
+        spec.threads.len()
     );
     let report = run_sweep(&spec, &|point| {
         let outcome = match &point.outcome {
@@ -44,8 +48,8 @@ fn main() -> ExitCode {
             Outcome::Failed { error } => format!("failed: {error}"),
         };
         eprintln!(
-            "  {} / {} / n={} / {}: {outcome}",
-            point.family, point.arbiter, point.n, point.algorithm
+            "  {} / {} / n={} / {} / t={}: {outcome}",
+            point.family, point.arbiter, point.n, point.algorithm, point.threads
         );
     });
     let rendered = render_report(&report, format);

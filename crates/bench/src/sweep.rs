@@ -15,23 +15,46 @@
 //!
 //! # Family tokens
 //!
-//! [`parse_family_token`] accepts the explicit Figure 3 labels (`LS4`,
-//! `LS16`, `LS64`, `NL4`, `NL16`, `NL64`, case-insensitive, any positive
-//! parameter) plus two named presets:
+//! [`parse_sweep_family_token`] accepts the explicit Figure 3 labels
+//! (`LS4`, `LS16`, `LS64`, `NL4`, `NL16`, `NL64`, case-insensitive, any
+//! positive parameter), two named presets for the random generator, and
+//! two **real-benchmark families** that turn the sweep from a synthetic
+//! grid into a benchmark harness:
 //!
 //! * `tobita` — `LS16`: the Tobita–Kasahara standard-task-graph shape,
 //!   fixed layer size 16 (one task per core of the MPPA cluster), the
 //!   number of layers grows with the task count (deep DAGs),
 //! * `layered` — `NL16`: 16 fixed layers whose width grows with the task
-//!   count (wide DAGs).
+//!   count (wide DAGs),
+//! * `rosace` — the ROSACE avionics case study ([`mia_sdf::rosace()`]):
+//!   the requested size is met by expanding ⌈n / 25⌉ hyper-periods of
+//!   the flight controller into a temporal DAG,
+//! * `sdf3:<path>` — any SDF3 benchmark file ([`mia_sdf::parse_sdf3`];
+//!   a `.sdf` suffix selects the text format instead), expanded the same
+//!   way: ⌈n / firings-per-iteration⌉ graph iterations.
+//!
+//! SDF-derived families are deterministic (the seed only affects the
+//! generated families) and are mapped onto the 16-core MPPA cluster
+//! with the layered-cyclic strategy — the paper's mapping discipline.
+//!
+//! # The threads axis
+//!
+//! `--threads` accepts a comma list and becomes a grid axis: every
+//! incremental point is measured once per pool size, so one report
+//! charts the layer-parallel engine against the sequential cursor
+//! (`--threads 1,4,16`). The baseline algorithm is sequential by
+//! construction: it is measured once per point (at the axis's first
+//! entry) and its outcome is replicated across the remaining axis
+//! values, so the grid shape stays full without re-burning baseline
+//! budgets.
 //!
 //! # Example
 //!
 //! ```
-//! use mia_bench::sweep::{parse_family_token, run_sweep, SweepSpec};
+//! use mia_bench::sweep::{parse_sweep_family_token, run_sweep, SweepSpec};
 //!
 //! let spec = SweepSpec {
-//!     families: vec![parse_family_token("tobita").unwrap()],
+//!     families: vec![parse_sweep_family_token("tobita").unwrap()],
 //!     sizes: vec![32, 64],
 //!     ..SweepSpec::default()
 //! };
@@ -45,15 +68,85 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use mia_dag_gen::Family;
+use mia_model::{Platform, Problem};
 use serde::Serialize;
 
 use crate::{benchmark_problem, run_timed, Algorithm, Outcome};
 
+/// One family of the sweep grid: a random-DAG generator configuration or
+/// a real SDF benchmark expanded to the requested task count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepFamily {
+    /// A Figure 3 generator family (`LS<k>` / `NL<k>` and the `tobita` /
+    /// `layered` presets).
+    Generated(Family),
+    /// The ROSACE avionics case study ([`mia_sdf::rosace()`]).
+    Rosace,
+    /// An SDF application file: `.sdf3` / `.xml` parsed as SDF3 XML,
+    /// anything else as the [`mia_sdf::parse`] text format.
+    Sdf(String),
+}
+
+impl SweepFamily {
+    /// The label used in reports ("LS16", "rosace", "sdf3:app.sdf3").
+    pub fn label(&self) -> String {
+        match self {
+            SweepFamily::Generated(f) => f.label(),
+            SweepFamily::Rosace => "rosace".to_owned(),
+            SweepFamily::Sdf(path) => format!("sdf3:{path}"),
+        }
+    }
+
+    /// Builds the problem this family measures at size `n`.
+    ///
+    /// Generated families draw a fresh layered DAG (the seed is mixed per
+    /// point, see [`benchmark_problem`]). SDF families are deterministic:
+    /// the source graph is expanded for ⌈n / firings-per-iteration⌉
+    /// iterations — so the task count is `n` rounded up to whole
+    /// hyper-periods — and mapped onto the 16-core MPPA cluster with the
+    /// layered-cyclic strategy.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unreadable/malformed SDF files and
+    /// expansion or mapping failures.
+    pub fn problem(&self, n: usize, seed: u64) -> Result<Problem, String> {
+        let graph = match self {
+            SweepFamily::Generated(family) => return Ok(benchmark_problem(*family, n, seed)),
+            SweepFamily::Rosace => mia_sdf::rosace(),
+            SweepFamily::Sdf(path) => {
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                mia_sdf::parse_named(path, &text).map_err(|e| format!("{path}: {e}"))?
+            }
+        };
+        let per_iteration: u64 = graph
+            .repetition_vector()
+            .map_err(|e| format!("{}: {e}", self.label()))?
+            .iter()
+            .sum();
+        let iterations = (n as u64).div_ceil(per_iteration).max(1);
+        let expansion = graph
+            .expand(iterations)
+            .map_err(|e| format!("{}: {e}", self.label()))?;
+        let platform = Platform::mppa256_cluster();
+        let mapping = mia_mapping::layered_cyclic(&expansion.graph, platform.cores())
+            .map_err(|e| format!("{}: {e}", self.label()))?;
+        Problem::new(expansion.graph, mapping, platform)
+            .map_err(|e| format!("{}: {e}", self.label()))
+    }
+}
+
+impl From<Family> for SweepFamily {
+    fn from(family: Family) -> Self {
+        SweepFamily::Generated(family)
+    }
+}
+
 /// The grid a sweep covers, plus its execution knobs.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
-    /// DAG families (see [`parse_family_token`]).
-    pub families: Vec<Family>,
+    /// Workload families (see [`parse_sweep_family_token`]).
+    pub families: Vec<SweepFamily>,
     /// Arbiter names, resolved through [`mia_arbiter::by_name`].
     pub arbiters: Vec<String>,
     /// Task counts.
@@ -67,10 +160,11 @@ pub struct SweepSpec {
     pub budget: Duration,
     /// Concurrent grid points (0 = the machine's available parallelism).
     pub jobs: usize,
-    /// Worker threads inside each incremental analysis (1 = sequential;
-    /// 0 = available parallelism). Grid-level `jobs` is usually the
-    /// better lever; see `mia-core`'s parallel module docs.
-    pub threads: usize,
+    /// Worker-pool sizes inside each incremental analysis — a grid axis
+    /// (1 = sequential; 0 = available parallelism). The baseline
+    /// algorithm is sequential by construction: it is measured at the
+    /// first entry only and replicated across the rest of the axis.
+    pub threads: Vec<usize>,
 }
 
 impl Default for SweepSpec {
@@ -78,14 +172,17 @@ impl Default for SweepSpec {
     /// only, 120 s budget, automatic job count, sequential analyses.
     fn default() -> Self {
         SweepSpec {
-            families: vec![Family::FixedLayerSize(16), Family::FixedLayers(16)],
+            families: vec![
+                Family::FixedLayerSize(16).into(),
+                Family::FixedLayers(16).into(),
+            ],
             arbiters: vec!["rr".to_owned()],
             sizes: vec![1000, 4000],
             algorithms: vec![Algorithm::Incremental],
             seed: 2020,
             budget: Duration::from_secs(120),
             jobs: 0,
-            threads: 1,
+            threads: vec![1],
         }
     }
 }
@@ -93,7 +190,7 @@ impl Default for SweepSpec {
 /// One measured grid point.
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepPoint {
-    /// Family label ("LS16", "NL64", …).
+    /// Family label ("LS16", "NL64", "rosace", …).
     pub family: String,
     /// Arbiter name as given in the spec.
     pub arbiter: String,
@@ -103,12 +200,15 @@ pub struct SweepPoint {
     /// matching the vocabulary of [`SweepReport::algorithms`] so
     /// consumers can cross-reference header and points.
     pub algorithm: String,
+    /// Worker-pool size of this point's analysis (the `--threads` axis;
+    /// baseline rows record the axis value but run sequentially).
+    pub threads: usize,
     /// What happened.
     pub outcome: Outcome,
 }
 
 /// A completed sweep: the grid, its knobs and every measured point, in
-/// deterministic `family × arbiter × size × algorithm` order.
+/// deterministic `family × arbiter × size × algorithm × threads` order.
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepReport {
     /// Family labels of the grid.
@@ -123,17 +223,19 @@ pub struct SweepReport {
     pub seed: u64,
     /// Per-point budget in seconds.
     pub budget_seconds: f64,
-    /// Worker threads per incremental analysis.
-    pub threads: usize,
+    /// The worker-pool axis of the grid.
+    pub threads: Vec<usize>,
     /// Total sweep wall-clock in seconds.
     pub wall_seconds: f64,
     /// Every measured point.
     pub points: Vec<SweepPoint>,
 }
 
-/// Parses one family token: `LS<k>` / `NL<k>` (case-insensitive) or the
-/// presets `tobita` (= LS16) and `layered` (= NL16). See the
-/// [module documentation](self).
+/// Parses one generator family token: `LS<k>` / `NL<k>`
+/// (case-insensitive) or the presets `tobita` (= LS16) and `layered`
+/// (= NL16). See the [module documentation](self); for the full token
+/// vocabulary including `rosace` and `sdf3:<path>`, use
+/// [`parse_sweep_family_token`].
 pub fn parse_family_token(token: &str) -> Option<Family> {
     match token.to_ascii_lowercase().as_str() {
         "tobita" => return Some(Family::FixedLayerSize(16)),
@@ -150,6 +252,31 @@ pub fn parse_family_token(token: &str) -> Option<Family> {
     }
 }
 
+/// Parses one sweep family token: everything [`parse_family_token`]
+/// accepts plus `rosace` (the built-in avionics case study) and
+/// `sdf3:<path>` (an SDF3 XML file; a path ending in `.sdf` selects the
+/// text format).
+///
+/// # Errors
+///
+/// A human-readable message naming the offending token.
+pub fn parse_sweep_family_token(token: &str) -> Result<SweepFamily, String> {
+    if token.eq_ignore_ascii_case("rosace") {
+        return Ok(SweepFamily::Rosace);
+    }
+    if let Some(path) = token.strip_prefix("sdf3:") {
+        if path.is_empty() {
+            return Err("sdf3: needs a file path (sdf3:<path>)".to_owned());
+        }
+        return Ok(SweepFamily::Sdf(path.to_owned()));
+    }
+    parse_family_token(token)
+        .map(SweepFamily::Generated)
+        .ok_or_else(|| {
+            format!("bad family `{token}` (try tobita, layered, LS64, NL16, rosace or sdf3:<path>)")
+        })
+}
+
 /// Runs every grid point of `spec`, farming points out to `spec.jobs`
 /// scoped threads, and assembles the report. `progress` is invoked from
 /// worker threads as each point completes (pass `&|_| {}` to ignore).
@@ -157,23 +284,50 @@ pub fn parse_family_token(token: &str) -> Option<Family> {
 /// Unknown arbiter names yield [`Outcome::Failed`] points rather than
 /// aborting the sweep.
 pub fn run_sweep(spec: &SweepSpec, progress: &(dyn Fn(&SweepPoint) + Sync)) -> SweepReport {
-    struct PointSpec {
-        family: Family,
+    struct PointSpec<'a> {
+        family: &'a SweepFamily,
+        family_idx: usize,
         arbiter: String,
         n: usize,
         algorithm: Algorithm,
+        threads: usize,
+        /// Baseline runs are identical at every pool size, so only the
+        /// axis's first entry is measured; the rest alias its result
+        /// (the grid index to copy from) instead of re-burning a budget.
+        alias_of: Option<usize>,
     }
+    // SDF families are deterministic and seed-independent, so their
+    // (often large) expansion + mapping is built once per size and
+    // shared by every arbiter × algorithm × threads point, instead of
+    // being re-read and re-expanded outside the timed budget per point.
+    let mut sdf_problems: std::collections::HashMap<(usize, usize), Result<Problem, String>> =
+        std::collections::HashMap::new();
+    for (family_idx, family) in spec.families.iter().enumerate() {
+        if !matches!(family, SweepFamily::Generated(_)) {
+            for &n in &spec.sizes {
+                sdf_problems.insert((family_idx, n), family.problem(n, spec.seed));
+            }
+        }
+    }
+
     let mut grid: Vec<PointSpec> = Vec::new();
-    for &family in &spec.families {
+    for (family_idx, family) in spec.families.iter().enumerate() {
         for arbiter in &spec.arbiters {
             for &n in &spec.sizes {
                 for &algorithm in &spec.algorithms {
-                    grid.push(PointSpec {
-                        family,
-                        arbiter: arbiter.clone(),
-                        n,
-                        algorithm,
-                    });
+                    for (k, &threads) in spec.threads.iter().enumerate() {
+                        let alias_of =
+                            (algorithm == Algorithm::Original && k > 0).then(|| grid.len() - k);
+                        grid.push(PointSpec {
+                            family,
+                            family_idx,
+                            arbiter: arbiter.clone(),
+                            n,
+                            algorithm,
+                            threads,
+                            alias_of,
+                        });
+                    }
                 }
             }
         }
@@ -195,11 +349,16 @@ pub fn run_sweep(spec: &SweepSpec, progress: &(dyn Fn(&SweepPoint) + Sync)) -> S
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(point_spec) = grid.get(i) else { break };
+                if point_spec.alias_of.is_some() {
+                    continue;
+                }
                 let point = run_point(
                     point_spec.family,
+                    sdf_problems.get(&(point_spec.family_idx, point_spec.n)),
                     &point_spec.arbiter,
                     point_spec.n,
                     point_spec.algorithm,
+                    point_spec.threads,
                     spec,
                 );
                 progress(&point);
@@ -208,8 +367,29 @@ pub fn run_sweep(spec: &SweepSpec, progress: &(dyn Fn(&SweepPoint) + Sync)) -> S
         }
     });
 
+    // Fill the aliased baseline rows from their measured source, with
+    // the threads column reflecting the axis position. Sources always
+    // precede their aliases in grid order, so one forward pass suffices.
+    for (i, point_spec) in grid.iter().enumerate() {
+        if let Some(src) = point_spec.alias_of {
+            let measured = results[src]
+                .lock()
+                .expect("unshared result slot")
+                .clone()
+                .expect("alias source was measured");
+            let point = SweepPoint {
+                threads: point_spec.threads,
+                ..measured
+            };
+            // The replica still counts as a completed grid point for
+            // anyone watching the progress stream.
+            progress(&point);
+            *results[i].lock().expect("unshared result slot") = Some(point);
+        }
+    }
+
     SweepReport {
-        families: spec.families.iter().map(Family::label).collect(),
+        families: spec.families.iter().map(SweepFamily::label).collect(),
         arbiters: spec.arbiters.clone(),
         sizes: spec.sizes.clone(),
         algorithms: spec
@@ -219,7 +399,7 @@ pub fn run_sweep(spec: &SweepSpec, progress: &(dyn Fn(&SweepPoint) + Sync)) -> S
             .collect(),
         seed: spec.seed,
         budget_seconds: spec.budget.as_secs_f64(),
-        threads: spec.threads,
+        threads: spec.threads.clone(),
         wall_seconds: started.elapsed().as_secs_f64(),
         points: results
             .into_iter()
@@ -228,53 +408,63 @@ pub fn run_sweep(spec: &SweepSpec, progress: &(dyn Fn(&SweepPoint) + Sync)) -> S
     }
 }
 
-/// Measures one grid point.
+/// Measures one grid point. `prebuilt` carries the shared problem of an
+/// SDF family (built once per family × size); generated families build
+/// their seed-mixed problem here.
 fn run_point(
-    family: Family,
+    family: &SweepFamily,
+    prebuilt: Option<&Result<Problem, String>>,
     arbiter_name: &str,
     n: usize,
     algorithm: Algorithm,
+    threads: usize,
     spec: &SweepSpec,
 ) -> SweepPoint {
-    let outcome = match mia_arbiter::by_name_or_err(arbiter_name) {
-        Err(error) => Outcome::Failed { error },
-        Ok(arbiter) => {
-            let problem = benchmark_problem(family, n, spec.seed);
-            match algorithm {
-                Algorithm::Incremental => run_timed(spec.budget, |token| {
-                    let options = mia_core::AnalysisOptions::new().cancel_token(token);
-                    if spec.threads == 1 {
-                        mia_core::analyze_with(
-                            &problem,
-                            arbiter.as_ref(),
-                            &options,
-                            &mut mia_core::NoopObserver,
-                        )
-                        .map(|r| r.schedule.makespan())
-                    } else {
-                        mia_core::analyze_parallel_with(
-                            &problem,
-                            arbiter.as_ref(),
-                            &options,
-                            spec.threads,
-                            &mut mia_core::NoopObserver,
-                        )
-                        .map(|r| r.schedule.makespan())
-                    }
-                }),
-                Algorithm::Original => run_timed(spec.budget, |token| {
-                    let options = mia_baseline::BaselineOptions::new().cancel_token(token);
-                    mia_baseline::analyze_with(&problem, arbiter.as_ref(), &options)
-                        .map(|r| r.schedule.makespan())
-                }),
-            }
-        }
+    let mut local = None;
+    let problem: Result<&Problem, String> = match prebuilt {
+        Some(Ok(problem)) => Ok(problem),
+        Some(Err(error)) => Err(error.clone()),
+        None => family
+            .problem(n, spec.seed)
+            .map(|problem| &*local.insert(problem)),
+    };
+    let outcome = match (mia_arbiter::by_name_or_err(arbiter_name), problem) {
+        (Err(error), _) | (_, Err(error)) => Outcome::Failed { error },
+        (Ok(arbiter), Ok(problem)) => match algorithm {
+            Algorithm::Incremental => run_timed(spec.budget, |token| {
+                let options = mia_core::AnalysisOptions::new().cancel_token(token);
+                if threads == 1 {
+                    mia_core::analyze_with(
+                        problem,
+                        arbiter.as_ref(),
+                        &options,
+                        &mut mia_core::NoopObserver,
+                    )
+                    .map(|r| r.schedule.makespan())
+                } else {
+                    mia_core::analyze_parallel_with(
+                        problem,
+                        arbiter.as_ref(),
+                        &options,
+                        threads,
+                        &mut mia_core::NoopObserver,
+                    )
+                    .map(|r| r.schedule.makespan())
+                }
+            }),
+            Algorithm::Original => run_timed(spec.budget, |token| {
+                let options = mia_baseline::BaselineOptions::new().cancel_token(token);
+                mia_baseline::analyze_with(problem, arbiter.as_ref(), &options)
+                    .map(|r| r.schedule.makespan())
+            }),
+        },
     };
     SweepPoint {
         family: family.label(),
         arbiter: arbiter_name.to_owned(),
         n,
         algorithm: algorithm.label().to_owned(),
+        threads,
         outcome,
     }
 }
@@ -296,17 +486,18 @@ pub enum ReportFormat {
 }
 
 /// Header row of [`report_csv`] — consumers can pin against it.
-pub const CSV_HEADER: &str = "family,arbiter,n,algorithm,status,seconds,makespan,error";
+pub const CSV_HEADER: &str = "family,arbiter,n,algorithm,threads,status,seconds,makespan,error";
 
 /// Flattens a report into CSV for plotting the paper's trajectory
 /// curves: the [`CSV_HEADER`] columns, one row per grid point, in the
-/// report's deterministic `family × arbiter × size × algorithm` order.
+/// report's deterministic `family × arbiter × size × algorithm ×
+/// threads` order.
 ///
 /// `status` is `completed`, `timeout` or `failed`; `seconds` is the
 /// wall-clock runtime (the exhausted budget for timeouts, empty for
-/// failures); `makespan` is only set for completed points. Error texts
-/// are sanitised (commas and newlines replaced) so every row always has
-/// exactly eight columns.
+/// failures); `makespan` is only set for completed points. Family
+/// labels and error texts are sanitised (commas and newlines replaced)
+/// so every row always has exactly nine columns.
 pub fn report_csv(report: &SweepReport) -> String {
     let mut csv = String::from(CSV_HEADER);
     csv.push('\n');
@@ -332,8 +523,12 @@ pub fn report_csv(report: &SweepReport) -> String {
             ),
         };
         csv.push_str(&format!(
-            "{},{},{},{},{status},{seconds},{makespan},{error}\n",
-            p.family, p.arbiter, p.n, p.algorithm
+            "{},{},{},{},{},{status},{seconds},{makespan},{error}\n",
+            p.family.replace(['\n', '\r'], " ").replace(',', ";"),
+            p.arbiter,
+            p.n,
+            p.algorithm,
+            p.threads,
         ));
     }
     csv
@@ -354,14 +549,14 @@ pub fn render_report(report: &SweepReport, format: ReportFormat) -> String {
 /// Recognised flags (all optional):
 ///
 /// ```text
-/// --families tobita,layered,LS64,NL4   DAG families        [tobita,layered]
+/// --families tobita,layered,LS64,NL4,rosace,sdf3:app.sdf3  [tobita,layered]
 /// --arbiters rr,mppa,tdm,fifo,fp,wrr,regulated             [rr]
 /// --sizes 1000,8000,32000              task counts         [1000,4000]
 /// --algorithms incremental,baseline    algorithms          [incremental]
 /// --seed N                             base PRNG seed      [2020]
 /// --budget SECS                        per-point budget    [120]
 /// --jobs N                             concurrent points   [0 = auto]
-/// --threads N                          threads / analysis  [1]
+/// --threads N,M,…                      pool-size axis      [1]
 /// --csv                                emit CSV instead of JSON
 /// -o, --out FILE                       write the report here [stdout]
 /// ```
@@ -386,11 +581,7 @@ pub fn parse_spec(args: &[String]) -> Result<(SweepSpec, Option<String>, ReportF
                 let v = value_of(args, i, flag)?;
                 spec.families = v
                     .split(',')
-                    .map(|tok| {
-                        parse_family_token(tok).ok_or_else(|| {
-                            format!("bad family `{tok}` (try tobita, layered, LS64 or NL16)")
-                        })
-                    })
+                    .map(parse_sweep_family_token)
                     .collect::<Result<_, _>>()?;
             }
             "--arbiters" => {
@@ -443,9 +634,14 @@ pub fn parse_spec(args: &[String]) -> Result<(SweepSpec, Option<String>, ReportF
                     .map_err(|_| "--jobs must be a number".to_owned())?;
             }
             "--threads" => {
-                spec.threads = value_of(args, i, flag)?
-                    .parse()
-                    .map_err(|_| "--threads must be a number".to_owned())?;
+                let v = value_of(args, i, flag)?;
+                spec.threads = v
+                    .split(',')
+                    .map(|tok| {
+                        tok.parse::<usize>()
+                            .map_err(|_| format!("bad thread count `{tok}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
             }
             "-o" | "--out" => out = Some(value_of(args, i, flag)?),
             "--csv" => {
@@ -457,8 +653,12 @@ pub fn parse_spec(args: &[String]) -> Result<(SweepSpec, Option<String>, ReportF
         }
         i += 2;
     }
-    if spec.families.is_empty() || spec.arbiters.is_empty() || spec.sizes.is_empty() {
-        return Err("families, arbiters and sizes must all be non-empty".to_owned());
+    if spec.families.is_empty()
+        || spec.arbiters.is_empty()
+        || spec.sizes.is_empty()
+        || spec.threads.is_empty()
+    {
+        return Err("families, arbiters, sizes and threads must all be non-empty".to_owned());
     }
     Ok((spec, out, format))
 }
@@ -482,6 +682,175 @@ mod tests {
     }
 
     #[test]
+    fn sweep_family_tokens() {
+        assert_eq!(
+            parse_sweep_family_token("tobita"),
+            Ok(SweepFamily::Generated(Family::FixedLayerSize(16)))
+        );
+        assert_eq!(parse_sweep_family_token("rosace"), Ok(SweepFamily::Rosace));
+        assert_eq!(parse_sweep_family_token("ROSACE"), Ok(SweepFamily::Rosace));
+        assert_eq!(
+            parse_sweep_family_token("sdf3:examples/app.sdf3"),
+            Ok(SweepFamily::Sdf("examples/app.sdf3".to_owned()))
+        );
+        assert!(parse_sweep_family_token("sdf3:")
+            .unwrap_err()
+            .contains("path"));
+        assert!(parse_sweep_family_token("XX9")
+            .unwrap_err()
+            .contains("bad family"));
+        assert_eq!(SweepFamily::Rosace.label(), "rosace");
+        assert_eq!(SweepFamily::Sdf("a.sdf3".into()).label(), "sdf3:a.sdf3");
+    }
+
+    #[test]
+    fn rosace_family_builds_whole_hyperperiods() {
+        // n = 50 is exactly two hyper-periods; n = 60 rounds up to three.
+        let p = SweepFamily::Rosace.problem(50, 0).unwrap();
+        assert_eq!(p.len(), 50);
+        let p = SweepFamily::Rosace.problem(60, 7).unwrap();
+        assert_eq!(p.len(), 75);
+        // Deterministic: the seed only affects generated families.
+        let a = SweepFamily::Rosace.problem(50, 1).unwrap();
+        let b = SweepFamily::Rosace.problem(50, 2).unwrap();
+        assert_eq!(a.graph(), b.graph());
+        assert_eq!(a.mapping(), b.mapping());
+    }
+
+    #[test]
+    fn sdf_file_family_matches_the_builtin_preset() {
+        // A ROSACE graph exported to an .sdf3 file measures identically
+        // to the built-in `rosace` family.
+        let dir = std::env::temp_dir().join("mia-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rosace-export.sdf3");
+        std::fs::write(&path, mia_sdf::to_sdf3(&mia_sdf::rosace(), "rosace")).unwrap();
+        let from_file = SweepFamily::Sdf(path.to_str().unwrap().to_owned())
+            .problem(50, 0)
+            .unwrap();
+        let builtin = SweepFamily::Rosace.problem(50, 0).unwrap();
+        assert_eq!(from_file.graph(), builtin.graph());
+        assert_eq!(from_file.mapping(), builtin.mapping());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_sdf_file_becomes_failed_point() {
+        let spec = SweepSpec {
+            families: vec![SweepFamily::Sdf("/nonexistent/app.sdf3".to_owned())],
+            sizes: vec![16],
+            ..SweepSpec::default()
+        };
+        let report = run_sweep(&spec, &|_| {});
+        assert!(
+            matches!(&report.points[0].outcome, Outcome::Failed { error } if error.contains("/nonexistent/app.sdf3")),
+            "{:?}",
+            report.points[0].outcome
+        );
+    }
+
+    #[test]
+    fn new_families_sweep_end_to_end() {
+        let dir = std::env::temp_dir().join("mia-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep-rosace.sdf3");
+        std::fs::write(&path, mia_sdf::to_sdf3(&mia_sdf::rosace(), "rosace")).unwrap();
+        let spec = SweepSpec {
+            families: vec![
+                SweepFamily::Rosace,
+                SweepFamily::Sdf(path.to_str().unwrap().to_owned()),
+            ],
+            arbiters: vec!["rr".to_owned(), "mppa".to_owned()],
+            sizes: vec![25, 100],
+            jobs: 2,
+            ..SweepSpec::default()
+        };
+        let report = run_sweep(&spec, &|_| {});
+        assert_eq!(report.points.len(), 8);
+        let completed: Vec<u64> = report
+            .points
+            .iter()
+            .map(|p| match &p.outcome {
+                Outcome::Completed { makespan, .. } => *makespan,
+                other => panic!("{}/{} n={}: {other:?}", p.family, p.arbiter, p.n),
+            })
+            .collect();
+        // The file-based family reproduces the built-in one bit for bit
+        // (same grid order within each family block).
+        assert_eq!(completed[..4], completed[4..]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn threads_axis_expands_the_grid() {
+        let spec = SweepSpec {
+            families: vec![Family::FixedLayers(4).into()],
+            sizes: vec![96],
+            threads: vec![1, 4],
+            jobs: 2,
+            ..SweepSpec::default()
+        };
+        let report = run_sweep(&spec, &|_| {});
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.threads, vec![1, 4]);
+        assert_eq!(report.points[0].threads, 1);
+        assert_eq!(report.points[1].threads, 4);
+        // The layer-parallel engine is bit-identical to the cursor.
+        match (&report.points[0].outcome, &report.points[1].outcome) {
+            (Outcome::Completed { makespan: m1, .. }, Outcome::Completed { makespan: m2, .. }) => {
+                assert_eq!(m1, m2)
+            }
+            other => panic!("unexpected outcomes: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn baseline_is_measured_once_per_threads_axis() {
+        // The baseline is sequential: along the threads axis its rows
+        // are replicas of one measurement (identical outcome, down to
+        // the wall-clock seconds), not three budget-burning re-runs.
+        let spec = SweepSpec {
+            families: vec![Family::FixedLayerSize(4).into()],
+            sizes: vec![48],
+            algorithms: vec![Algorithm::Incremental, Algorithm::Original],
+            threads: vec![1, 2, 16],
+            jobs: 2,
+            ..SweepSpec::default()
+        };
+        let report = run_sweep(&spec, &|_| {});
+        assert_eq!(report.points.len(), 6);
+        let old: Vec<&SweepPoint> = report
+            .points
+            .iter()
+            .filter(|p| p.algorithm == "old")
+            .collect();
+        assert_eq!(old.len(), 3);
+        assert_eq!(
+            old.iter().map(|p| p.threads).collect::<Vec<_>>(),
+            vec![1, 2, 16]
+        );
+        for replica in &old[1..] {
+            assert_eq!(replica.outcome, old[0].outcome);
+        }
+        // The incremental rows are real per-pool measurements but agree
+        // on the makespan.
+        let new_makespans: Vec<u64> = report
+            .points
+            .iter()
+            .filter(|p| p.algorithm == "new")
+            .map(|p| match &p.outcome {
+                Outcome::Completed { makespan, .. } => *makespan,
+                other => panic!("incremental point did not complete: {other:?}"),
+            })
+            .collect();
+        assert_eq!(new_makespans.len(), 3);
+        assert!(
+            new_makespans.windows(2).all(|w| w[0] == w[1]),
+            "pool sizes disagree: {new_makespans:?}"
+        );
+    }
+
+    #[test]
     fn spec_parsing_round_trip() {
         let args: Vec<String> = [
             "--families",
@@ -499,7 +868,7 @@ mod tests {
             "--jobs",
             "2",
             "--threads",
-            "1",
+            "1,16",
             "-o",
             "x.json",
         ]
@@ -508,6 +877,7 @@ mod tests {
         .collect();
         let (spec, out, format) = parse_spec(&args).unwrap();
         assert_eq!(spec.families.len(), 2);
+        assert_eq!(spec.threads, vec![1, 16]);
         assert_eq!(spec.arbiters, vec!["rr", "mppa"]);
         assert_eq!(spec.sizes, vec![64, 128]);
         assert_eq!(spec.algorithms.len(), 2);
@@ -542,6 +912,7 @@ mod tests {
         assert!(bad(&["--families", "XX"]).contains("bad family"));
         assert!(bad(&["--arbiters", "bogus"]).contains("unknown arbiter"));
         assert!(bad(&["--sizes", "0"]).contains("bad size"));
+        assert!(bad(&["--threads", "1,x"]).contains("bad thread count"));
         assert!(bad(&["--frobnicate", "1"]).contains("unknown sweep flag"));
         assert!(bad(&["--sizes"]).contains("needs a value"));
     }
@@ -549,7 +920,7 @@ mod tests {
     #[test]
     fn tiny_grid_runs_and_serializes() {
         let spec = SweepSpec {
-            families: vec![Family::FixedLayerSize(4)],
+            families: vec![Family::FixedLayerSize(4).into()],
             arbiters: vec!["rr".to_owned(), "mppa".to_owned()],
             sizes: vec![16, 32],
             algorithms: vec![Algorithm::Incremental, Algorithm::Original],
@@ -574,7 +945,7 @@ mod tests {
     #[test]
     fn unknown_arbiter_in_spec_becomes_failed_point() {
         let spec = SweepSpec {
-            families: vec![Family::FixedLayerSize(4)],
+            families: vec![Family::FixedLayerSize(4).into()],
             arbiters: vec!["nope".to_owned()],
             sizes: vec![16],
             ..SweepSpec::default()
@@ -584,13 +955,13 @@ mod tests {
     }
 
     /// The CSV artefact has a fixed shape: the pinned header, one row
-    /// per point in deterministic grid order, exactly eight columns per
+    /// per point in deterministic grid order, exactly nine columns per
     /// row, numeric `seconds`/`makespan` for completed points — and
     /// embedded error texts cannot smuggle in extra columns or rows.
     #[test]
     fn csv_report_has_the_pinned_shape() {
         let spec = SweepSpec {
-            families: vec![Family::FixedLayerSize(4)],
+            families: vec![Family::FixedLayerSize(4).into()],
             arbiters: vec!["rr".to_owned(), "definitely-unknown".to_owned()],
             sizes: vec![16],
             algorithms: vec![Algorithm::Incremental, Algorithm::Original],
@@ -611,16 +982,16 @@ mod tests {
         }
         // Deterministic grid order: rr first, then the unknown arbiter.
         let rr_row: Vec<&str> = lines[1].split(',').collect();
-        assert_eq!(&rr_row[..5], &["LS4", "rr", "16", "new", "completed"]);
-        assert!(rr_row[5].parse::<f64>().is_ok(), "seconds: {}", rr_row[5]);
-        assert!(rr_row[6].parse::<u64>().is_ok(), "makespan: {}", rr_row[6]);
+        assert_eq!(&rr_row[..6], &["LS4", "rr", "16", "new", "1", "completed"]);
+        assert!(rr_row[6].parse::<f64>().is_ok(), "seconds: {}", rr_row[6]);
+        assert!(rr_row[7].parse::<u64>().is_ok(), "makespan: {}", rr_row[7]);
         let failed_row: Vec<&str> = lines[3].split(',').collect();
         assert_eq!(failed_row[1], "definitely-unknown");
-        assert_eq!(failed_row[4], "failed");
+        assert_eq!(failed_row[5], "failed");
         assert!(
-            failed_row[7].contains("unknown arbiter"),
+            failed_row[8].contains("unknown arbiter"),
             "{}",
-            failed_row[7]
+            failed_row[8]
         );
         // The same report renders to either format.
         assert_eq!(render_report(&report, ReportFormat::Csv), csv);
@@ -630,14 +1001,14 @@ mod tests {
     #[test]
     fn parallel_threads_match_sequential_makespan() {
         let seq = SweepSpec {
-            families: vec![Family::FixedLayers(4)],
+            families: vec![Family::FixedLayers(4).into()],
             arbiters: vec!["rr".to_owned()],
             sizes: vec![96],
-            threads: 1,
+            threads: vec![1],
             ..SweepSpec::default()
         };
         let par = SweepSpec {
-            threads: 4,
+            threads: vec![4],
             ..seq.clone()
         };
         let a = run_sweep(&seq, &|_| {});

@@ -44,19 +44,27 @@ impl From<std::io::Error> for CliError {
 
 const USAGE: &str = "mia <command> [options]
 
+workload inputs: every command taking <workload> accepts a JSON workload
+file, an SDF application (.sdf text format, .sdf3/.xml SDF3 format) or
+the literal `rosace` (the built-in ROSACE avionics case study). SDF
+inputs are expanded to a task DAG first and take [--iterations K]
+[--cores N] [--strategy etf|cyclic|balanced|heft].
+
 commands:
   generate --family <LS4|NL64|...> -n <tasks> [--seed S] [-o FILE]
-  analyze  <workload.json> [--algorithm incremental|baseline]
+  analyze  <workload> [--algorithm incremental|baseline]
            [--arbiter rr|mppa|tdm|fifo|fp|wrr|regulated] [--deadline N]
            [--threads N] [--gantt] [--dot] [--json FILE] [--chrome FILE]
-  sweep    [--families tobita,layered,LS64,NL4,...] [--arbiters rr,mppa,...]
-           [--sizes 1000,8000,32000] [--algorithms incremental,baseline]
-           [--seed N] [--budget SECS] [--jobs N] [--threads N] [--csv] [-o FILE]
+  sweep    [--families tobita,layered,LS64,rosace,sdf3:app.sdf3,...]
+           [--arbiters rr,mppa,...] [--sizes 1000,8000,32000]
+           [--algorithms incremental,baseline] [--seed N] [--budget SECS]
+           [--jobs N] [--threads N,M,...] [--csv] [-o FILE]
            (batch grid -> one JSON/CSV report; tobita = LS16, layered = NL16)
-  simulate <workload.json> [--pattern burst-start|burst-end|uniform|random] [--seed S]
-  exec     <workload.json> [--arbiter ...] [--prefix NAME] [--c FILE] [--json FILE]
-  sdf      <app.sdf> --cores N [--iterations K] [--strategy etf|cyclic|balanced|heft]
-  dot      <workload.json>";
+  simulate <workload> [--pattern burst-start|burst-end|uniform|random] [--seed S]
+  exec     <workload> [--arbiter ...] [--prefix NAME] [--c FILE] [--json FILE]
+  sdf      <app.sdf|app.sdf3|rosace> [--cores N] [--iterations K]
+           [--strategy etf|cyclic|balanced|heft]
+  dot      <workload>";
 
 /// Entry point used by the `mia` binary; returns the rendered output.
 ///
@@ -118,7 +126,64 @@ fn parse_arbiter(name: Option<&str>) -> Result<Box<dyn Arbiter + Send + Sync>, C
     mia_arbiter::by_name_or_err(name.unwrap_or("rr")).map_err(CliError::Usage)
 }
 
-fn load_problem(path: &str) -> Result<Problem, CliError> {
+/// True when the input names an SDF workload (to expand) rather than a
+/// JSON workload file.
+fn is_sdf_input(path: &str) -> bool {
+    path == "rosace" || path.ends_with(".sdf") || path.ends_with(".sdf3") || path.ends_with(".xml")
+}
+
+/// Loads the SDF graph behind an input token: the built-in `rosace`
+/// preset, an `.sdf3`/`.xml` SDF3 document, or the `.sdf` text format.
+fn load_sdf_graph(path: &str) -> Result<mia_sdf::SdfGraph, CliError> {
+    if path == "rosace" {
+        return Ok(mia_sdf::rosace());
+    }
+    let text = fs::read_to_string(path)?;
+    mia_sdf::parse_named(path, &text).map_err(|e| CliError::Parse(format!("{path}: {e}")))
+}
+
+/// Parses the shared `--iterations` flag (default 1).
+fn parse_iterations(args: &[String]) -> Result<u64, CliError> {
+    opt(args, "--iterations")
+        .unwrap_or("1")
+        .parse()
+        .ok()
+        .filter(|&k| k > 0)
+        .ok_or_else(|| CliError::Usage("--iterations must be a positive number".into()))
+}
+
+/// Expands an SDF input into an analysable problem, honouring the
+/// shared SDF flags (`--iterations`, `--cores`, `--strategy`).
+fn sdf_problem(path: &str, args: &[String]) -> Result<Problem, CliError> {
+    let cores: usize = opt(args, "--cores")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| CliError::Usage("--cores must be a number".into()))?;
+    let iterations = parse_iterations(args)?;
+    let graph = load_sdf_graph(path)?;
+    let expansion = graph
+        .expand(iterations)
+        .map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
+    let mapping = match opt(args, "--strategy").unwrap_or("etf") {
+        "etf" => mia_mapping::earliest_finish(&expansion.graph, cores),
+        "cyclic" => mia_mapping::layered_cyclic(&expansion.graph, cores),
+        "balanced" => mia_mapping::load_balanced(&expansion.graph, cores),
+        "heft" => mia_mapping::heft(&expansion.graph, cores, 1),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown strategy `{other}` (etf, cyclic, balanced, heft)"
+            )))
+        }
+    }
+    .map_err(|e| CliError::Analysis(e.to_string()))?;
+    Problem::new(expansion.graph, mapping, Platform::new(cores, cores))
+        .map_err(|e| CliError::Analysis(e.to_string()))
+}
+
+fn load_problem(path: &str, args: &[String]) -> Result<Problem, CliError> {
+    if is_sdf_input(path) {
+        return sdf_problem(path, args);
+    }
     let text = fs::read_to_string(path)?;
     let file: WorkloadFile =
         serde_json::from_str(&text).map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
@@ -155,7 +220,7 @@ fn generate(args: &[String]) -> Result<String, CliError> {
 fn analyze_cmd(args: &[String]) -> Result<String, CliError> {
     let path =
         positional(args).ok_or_else(|| CliError::Usage("analyze needs a workload file".into()))?;
-    let problem = load_problem(path)?;
+    let problem = load_problem(path, args)?;
     let arbiter = parse_arbiter(opt(args, "--arbiter"))?;
     let mut options = AnalysisOptions::new().task_deadlines(true);
     if let Some(d) = opt(args, "--deadline") {
@@ -243,7 +308,7 @@ fn analyze_cmd(args: &[String]) -> Result<String, CliError> {
 fn exec_cmd(args: &[String]) -> Result<String, CliError> {
     let path =
         positional(args).ok_or_else(|| CliError::Usage("exec needs a workload file".into()))?;
-    let problem = load_problem(path)?;
+    let problem = load_problem(path, args)?;
     let arbiter = parse_arbiter(opt(args, "--arbiter"))?;
     let schedule = mia_core::analyze(&problem, arbiter.as_ref())
         .map_err(|e| CliError::Analysis(e.to_string()))?;
@@ -282,7 +347,7 @@ fn exec_cmd(args: &[String]) -> Result<String, CliError> {
 fn simulate_cmd(args: &[String]) -> Result<String, CliError> {
     let path =
         positional(args).ok_or_else(|| CliError::Usage("simulate needs a workload file".into()))?;
-    let problem = load_problem(path)?;
+    let problem = load_problem(path, args)?;
     let arbiter = parse_arbiter(opt(args, "--arbiter"))?;
     let schedule = mia_core::analyze(&problem, arbiter.as_ref())
         .map_err(|e| CliError::Analysis(e.to_string()))?;
@@ -318,34 +383,10 @@ fn simulate_cmd(args: &[String]) -> Result<String, CliError> {
 }
 
 fn sdf_cmd(args: &[String]) -> Result<String, CliError> {
-    let path = positional(args).ok_or_else(|| CliError::Usage("sdf needs an .sdf file".into()))?;
-    let cores: usize = opt(args, "--cores")
-        .ok_or_else(|| CliError::Usage("sdf needs --cores".into()))?
-        .parse()
-        .map_err(|_| CliError::Usage("--cores must be a number".into()))?;
-    let iterations: u64 = opt(args, "--iterations")
-        .unwrap_or("1")
-        .parse()
-        .unwrap_or(1);
-    let text = fs::read_to_string(path)?;
-    let graph = mia_sdf::parse(&text).map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
-    let expansion = graph
-        .expand(iterations)
-        .map_err(|e| CliError::Parse(e.to_string()))?;
-    let mapping = match opt(args, "--strategy").unwrap_or("etf") {
-        "etf" => mia_mapping::earliest_finish(&expansion.graph, cores),
-        "cyclic" => mia_mapping::layered_cyclic(&expansion.graph, cores),
-        "balanced" => mia_mapping::load_balanced(&expansion.graph, cores),
-        "heft" => mia_mapping::heft(&expansion.graph, cores, 1),
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown strategy `{other}` (etf, cyclic, balanced, heft)"
-            )))
-        }
-    }
-    .map_err(|e| CliError::Analysis(e.to_string()))?;
-    let problem = Problem::new(expansion.graph, mapping, Platform::new(cores, cores))
-        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    let path = positional(args)
+        .ok_or_else(|| CliError::Usage("sdf needs an .sdf/.sdf3 file or `rosace`".into()))?;
+    let iterations = parse_iterations(args)?;
+    let problem = sdf_problem(path, args)?;
     let arbiter = parse_arbiter(opt(args, "--arbiter"))?;
     let schedule = mia_core::analyze(&problem, arbiter.as_ref())
         .map_err(|e| CliError::Analysis(e.to_string()))?;
@@ -361,7 +402,7 @@ fn sdf_cmd(args: &[String]) -> Result<String, CliError> {
 fn dot_cmd(args: &[String]) -> Result<String, CliError> {
     let path =
         positional(args).ok_or_else(|| CliError::Usage("dot needs a workload file".into()))?;
-    let problem = load_problem(path)?;
+    let problem = load_problem(path, args)?;
     Ok(mia_trace::to_dot(problem.graph()))
 }
 
@@ -505,6 +546,63 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("firings"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn analyze_accepts_sdf3_and_rosace_inputs() {
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app.sdf3");
+        std::fs::write(&path, mia_sdf::to_sdf3(&mia_sdf::rosace(), "rosace")).unwrap();
+        let path_str = path.to_str().unwrap().to_owned();
+
+        // The .sdf3 file and the built-in preset are the same workload,
+        // so with identical flags the analyses agree.
+        let from_file = run(&args(&["analyze", &path_str, "--iterations", "2"])).unwrap();
+        let builtin = run(&args(&["analyze", "rosace", "--iterations", "2"])).unwrap();
+        assert!(from_file.contains("makespan"), "{from_file}");
+        assert!(from_file.contains("tasks: 50"), "{from_file}");
+        let makespan = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("makespan"))
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(makespan(&from_file), makespan(&builtin));
+
+        // The whole toolchain accepts SDF inputs: dot, simulate, sdf.
+        let out = run(&args(&["dot", "rosace"])).unwrap();
+        assert!(out.contains("digraph"), "{out}");
+        assert!(out.contains("aircraft_dynamics"), "{out}");
+        let out = run(&args(&["simulate", "rosace", "--pattern", "uniform"])).unwrap();
+        assert!(out.contains("soundness: OK"), "{out}");
+        let out = run(&args(&["sdf", "rosace", "--iterations", "2"])).unwrap();
+        assert!(out.contains("50 firings"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_iterations_is_a_usage_error() {
+        // A typo like `--iterations 1O` must not silently analyze one
+        // hyper-period as if nothing happened.
+        for bad in ["1O", "0", "-3", "abc"] {
+            let err = run(&args(&["analyze", "rosace", "--iterations", bad])).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_sdf3_input_is_a_parse_error_with_line() {
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.sdf3");
+        std::fs::write(&path, "<sdf3>\n<actor name=\"a\"").unwrap();
+        let err = run(&args(&["analyze", path.to_str().unwrap()])).unwrap_err();
+        match err {
+            CliError::Parse(msg) => assert!(msg.contains("line 2"), "{msg}"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
         std::fs::remove_file(path).ok();
     }
 

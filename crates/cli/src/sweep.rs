@@ -14,14 +14,14 @@
 //!
 //! | Flag | Meaning | Default |
 //! |------|---------|---------|
-//! | `--families A,B,…` | DAG families: `LS<k>`/`NL<k>` labels or the presets `tobita` (= LS16, deep Tobita–Kasahara graphs) and `layered` (= NL16, wide layered graphs) | `tobita,layered` |
+//! | `--families A,B,…` | workload families: `LS<k>`/`NL<k>` labels, the presets `tobita` (= LS16, deep Tobita–Kasahara graphs) and `layered` (= NL16, wide layered graphs), the `rosace` avionics case study, or `sdf3:<path>` for SDF3 benchmark files | `tobita,layered` |
 //! | `--arbiters A,B,…` | arbiter names (`rr`, `mppa`, `tdm`, `fifo`, `fp`, `wrr`, `regulated`) | `rr` |
-//! | `--sizes N,M,…` | task counts | `1000,4000` |
+//! | `--sizes N,M,…` | task counts (SDF families round up to whole graph iterations) | `1000,4000` |
 //! | `--algorithms …` | `incremental` and/or `baseline` | `incremental` |
 //! | `--seed N` | base PRNG seed (mixed per point) | `2020` |
 //! | `--budget SECS` | per-point wall-clock budget; a point over budget is recorded as a timeout | `120` |
 //! | `--jobs N` | concurrent grid points (`0` = all cores) | `0` |
-//! | `--threads N` | worker threads *inside* each incremental analysis | `1` |
+//! | `--threads N,M,…` | worker-pool sizes *inside* each incremental analysis — a grid axis, so one sweep charts the parallel engine | `1` |
 //! | `--csv` | emit a flat CSV table (one row per grid point) instead of JSON — ready for plotting trajectory curves | JSON |
 //! | `-o FILE` | write the report to `FILE` | stdout |
 
@@ -48,12 +48,13 @@ pub fn sweep_cmd(args: &[String]) -> Result<String, CliError> {
 
     let mut summary = String::new();
     summary.push_str(&format!(
-        "sweep: {} points ({} families × {} arbiters × {} sizes × {} algorithms) in {:.1}s\n",
+        "sweep: {} points ({} families × {} arbiters × {} sizes × {} algorithms × {} pool sizes) in {:.1}s\n",
         report.points.len(),
         report.families.len(),
         report.arbiters.len(),
         report.sizes.len(),
         report.algorithms.len(),
+        report.threads.len(),
         report.wall_seconds,
     ));
     let timeouts = report
@@ -149,7 +150,52 @@ mod tests {
             out.contains(mia_bench::sweep::CSV_HEADER),
             "missing CSV header: {out}"
         );
-        assert!(out.contains("LS4,rr,16,new,completed,"), "{out}");
+        assert!(out.contains("LS4,rr,16,new,1,completed,"), "{out}");
         assert!(!out.contains("\"points\""), "JSON leaked into CSV: {out}");
+    }
+
+    #[test]
+    fn rosace_and_sdf3_families_sweep_to_the_pinned_shape() {
+        // The acceptance-criteria command shape:
+        //   mia sweep --families rosace,sdf3:<path> --sizes … --csv
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fixture.sdf3");
+        std::fs::write(&path, mia_sdf::to_sdf3(&mia_sdf::rosace(), "rosace")).unwrap();
+        let families = format!("rosace,sdf3:{}", path.to_str().unwrap());
+
+        let out = sweep_cmd(&args(&["--families", &families, "--sizes", "25,100"])).unwrap();
+        assert!(out.contains("sweep: 4 points"), "{out}");
+        assert!(out.contains("timeouts: 0   failures: 0"), "{out}");
+        assert!(out.contains("\"rosace\""), "{out}");
+
+        let out = sweep_cmd(&args(&[
+            "--families",
+            &families,
+            "--sizes",
+            "25,100",
+            "--csv",
+        ]))
+        .unwrap();
+        assert!(out.contains(mia_bench::sweep::CSV_HEADER), "{out}");
+        assert!(out.contains("rosace,rr,25,new,1,completed,"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn threads_axis_reaches_the_report() {
+        let out = sweep_cmd(&args(&[
+            "--families",
+            "LS4",
+            "--sizes",
+            "48",
+            "--threads",
+            "1,2",
+            "--csv",
+        ]))
+        .unwrap();
+        assert!(out.contains("sweep: 2 points"), "{out}");
+        assert!(out.contains("LS4,rr,48,new,1,completed,"), "{out}");
+        assert!(out.contains("LS4,rr,48,new,2,completed,"), "{out}");
     }
 }

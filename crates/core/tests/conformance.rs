@@ -170,6 +170,39 @@ fn structured_and_degenerate_topologies_conform() {
     }
 }
 
+/// The real-benchmark workload families of the sweep driver: the ROSACE
+/// avionics case study and the committed SDF3 fixture, expanded exactly
+/// as `mia_bench::sweep::SweepFamily` expands them (layered-cyclic
+/// mapping on the MPPA cluster). Every registered arbiter × every
+/// interference mode runs through every engine — 56 scenarios — and the
+/// `mia-baseline` oracle pins the schedules bit-identically, so the new
+/// families are as trustworthy as the synthetic ones.
+#[test]
+fn sdf_benchmark_families_conform() {
+    let fixture = mia_sdf::parse_sdf3(include_str!("../../../examples/fixture.sdf3"))
+        .expect("committed fixture parses");
+    let scenarios: Vec<(&str, mia_sdf::SdfGraph, u64)> = vec![
+        ("rosace", mia_sdf::rosace(), 3),
+        ("fixture.sdf3", fixture, 5),
+    ];
+    for (name, graph, iterations) in &scenarios {
+        let expansion = graph.expand(*iterations).expect("benchmark expands");
+        let platform = Platform::mppa256_cluster();
+        let mapping = mia_mapping::layered_cyclic(&expansion.graph, platform.cores())
+            .expect("cyclic mapping fits the cluster");
+        let problem =
+            Problem::new(expansion.graph, mapping, platform).expect("valid benchmark problem");
+        for arbiter in arbiters() {
+            for mode in MODES {
+                let label = format!("{name} ×{iterations} / {mode:?} under {}", arbiter.name());
+                let run =
+                    assert_conformance(&problem, arbiter.as_ref(), mode, &THREAD_COUNTS, &label);
+                assert!(run.stats.ibus_calls > 0, "{label}: no IBUS calls");
+            }
+        }
+    }
+}
+
 /// Degenerate pool sizes (0 = auto, 1 = sequential fallback, more
 /// workers than cores) must be indistinguishable too.
 #[test]

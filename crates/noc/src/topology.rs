@@ -99,6 +99,14 @@ impl Torus {
         Torus::new(4, 4)
     }
 
+    /// A 4 × 8 torus: two MPPA-256 compute-cluster grids side by side,
+    /// the ROADMAP's "larger NoC topology" axis. Non-square and with an
+    /// even ring of 8, so wrap-around distances of exactly half the ring
+    /// (4 hops) occur — the tie-break cases `route`/`hops` must agree on.
+    pub fn torus4x8() -> Self {
+        Torus::new(4, 8)
+    }
+
     /// Number of columns.
     pub fn cols(&self) -> u16 {
         self.cols

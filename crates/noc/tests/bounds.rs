@@ -33,8 +33,52 @@ fn arb_case() -> impl Strategy<Value = (Torus, FlowSet, NocConfig)> {
         })
 }
 
+/// Exhaustive route/hops audit of one torus: the dimension-order route
+/// is a valid link path of exactly `hops` steps, and no pair is further
+/// apart than half of each ring (shorter-wrap routing).
+fn audit_routing(torus: &Torus) {
+    let worst = (torus.cols() / 2 + torus.rows() / 2) as usize;
+    for a in torus.nodes() {
+        for b in torus.nodes() {
+            let route = torus.route(a, b);
+            let hops = torus.hops(a, b);
+            assert_eq!(route.len(), hops, "{a} → {b} on {torus:?}");
+            assert!(hops <= worst, "{a} → {b} on {torus:?}: {hops} > {worst}");
+            // The route is a connected path from a to b.
+            let mut at = a;
+            for link in &route {
+                assert_eq!(link.from, at, "{a} → {b}: broken link chain");
+                at = torus.step(at, link.direction());
+            }
+            assert_eq!(at, b, "{a} → {b}: route ends elsewhere");
+        }
+    }
+}
+
+/// The ISSUE-flagged audit: on non-square tori with even dimensions the
+/// wrap-around distance can be exactly half the ring, where an
+/// inconsistent tie-break between `route` (which walks) and `hops`
+/// (which counts) would diverge. Audited exhaustively on the 4×8
+/// preset and its transpose: both pick East/North on ties, so they
+/// agree — this test pins that.
+#[test]
+fn route_and_hops_agree_on_even_non_square_tori() {
+    audit_routing(&Torus::torus4x8());
+    audit_routing(&Torus::new(8, 4));
+    audit_routing(&Torus::mppa256());
+    audit_routing(&Torus::new(1, 6));
+    audit_routing(&Torus::new(5, 2));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Randomized version of the routing audit over arbitrary dimensions
+    /// (odd, even, degenerate 1×k rings).
+    #[test]
+    fn route_matches_hops_on_random_tori(cols in 1u16..=9, rows in 1u16..=9) {
+        audit_routing(&Torus::new(cols, rows));
+    }
 
     /// Soundness: no simulated delivery exceeds its analytical bound.
     #[test]
@@ -84,4 +128,34 @@ proptest! {
             }
         }
     }
+}
+
+/// The 4×8 preset carries a full analysis: bulk flows spanning the long
+/// dimension (including exact half-ring wraps) get sound, finite bounds.
+#[test]
+fn torus4x8_analysis_is_sound() {
+    let torus = Torus::torus4x8();
+    assert_eq!((torus.cols(), torus.rows()), (4, 8));
+    assert_eq!(torus.len(), 32);
+    let mut flows = FlowSet::new();
+    // A frame crossing exactly half of each ring (2 + 4 hops)…
+    let frame = flows.add(Flow::new(torus.node(0, 0), torus.node(2, 4), 96));
+    assert_eq!(torus.hops(torus.node(0, 0), torus.node(2, 4)), 6);
+    // …contended by bulk traffic along the long dimension and a local
+    // flow sitting on the frame's own column segment (X-then-Y routing
+    // climbs column 2 from y=0 to y=4).
+    let bulk = flows.add(Flow::new(torus.node(0, 7), torus.node(0, 3), 256));
+    let local = flows.add(Flow::new(torus.node(2, 1), torus.node(2, 3), 16));
+    let cfg = NocConfig::default();
+    let bounds = worst_case_latencies(&torus, &flows, &cfg);
+    let sim = simulate_flows(&torus, &flows, &cfg);
+    for id in [frame, bulk, local] {
+        assert!(sim.delivered(id) <= bounds[id.index()], "{id}");
+    }
+    // The frame and the local flow share the (2,1)→(2,2) link, so the
+    // frame's bound must exceed its isolation latency.
+    let alone: FlowSet =
+        std::iter::once(Flow::new(torus.node(0, 0), torus.node(2, 4), 96)).collect();
+    let isolated = worst_case_latencies(&torus, &alone, &cfg);
+    assert!(bounds[frame.index()] > isolated[0]);
 }

@@ -70,8 +70,8 @@ impl SdfGraph {
     ///
     /// # fn main() -> Result<(), mia_sdf::SdfError> {
     /// let mut g = SdfGraph::new();
-    /// let a = g.add_actor("a", Cycles(10), 0);
-    /// let b = g.add_actor("b", Cycles(5), 0);
+    /// let a = g.add_actor("a", Cycles(10), 0)?;
+    /// let b = g.add_actor("b", Cycles(5), 0)?;
     /// g.add_channel(a, b, 2, 1, 0, 4)?; // 2 tokens/firing of 4 words each
     /// let bounds = g.buffer_bounds()?;
     /// assert_eq!(bounds.tokens(0), 2); // a fires once before b drains it
@@ -137,8 +137,8 @@ mod tests {
     #[test]
     fn downsampler_peaks_at_producer_burst() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         // q = [1, 3]: a makes 3 tokens, b eats one per firing.
         g.add_channel(a, b, 3, 1, 0, 2).unwrap();
         let bounds = g.buffer_bounds().unwrap();
@@ -150,8 +150,8 @@ mod tests {
     #[test]
     fn upsampler_never_buffers_more_than_one_input() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         // q = [3, 1]: b needs all 3 before it fires once.
         g.add_channel(a, b, 1, 3, 0, 1).unwrap();
         let bounds = g.buffer_bounds().unwrap();
@@ -161,8 +161,8 @@ mod tests {
     #[test]
     fn initial_tokens_count_toward_the_peak() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         g.add_channel(a, b, 1, 1, 5, 1).unwrap();
         let bounds = g.buffer_bounds().unwrap();
         // Eager order fires a first: occupancy touches 6.
@@ -172,8 +172,8 @@ mod tests {
     #[test]
     fn cycle_with_enough_delay_executes() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         g.add_channel(a, b, 1, 1, 0, 1).unwrap();
         g.add_channel(b, a, 1, 1, 1, 1).unwrap(); // feedback with 1 delay
         let bounds = g.buffer_bounds().unwrap();
@@ -184,8 +184,8 @@ mod tests {
     #[test]
     fn cycle_without_delay_deadlocks() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         g.add_channel(a, b, 1, 1, 0, 1).unwrap();
         g.add_channel(b, a, 1, 1, 0, 1).unwrap();
         assert_eq!(g.buffer_bounds().unwrap_err(), SdfError::Deadlock);
@@ -194,9 +194,9 @@ mod tests {
     #[test]
     fn multi_channel_pipeline_totals() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
-        let c = g.add_actor("c", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
+        let c = g.add_actor("c", Cycles(1), 0).unwrap();
         g.add_channel(a, b, 2, 1, 0, 4).unwrap();
         g.add_channel(b, c, 1, 2, 0, 8).unwrap();
         let bounds = g.buffer_bounds().unwrap();

@@ -135,8 +135,8 @@ mod tests {
     #[test]
     fn pipeline_expansion_edges() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(10), 5);
-        let b = g.add_actor("b", Cycles(20), 0);
+        let a = g.add_actor("a", Cycles(10), 5).unwrap();
+        let b = g.add_actor("b", Cycles(20), 0).unwrap();
         g.add_channel(a, b, 1, 2, 0, 4).unwrap();
         // q = (2, 1): two a-firings feed one b-firing, 1 token (4 words) each.
         let e = g.expand(1).unwrap();
@@ -152,8 +152,8 @@ mod tests {
     #[test]
     fn initial_tokens_remove_dependencies() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(10), 0);
-        let b = g.add_actor("b", Cycles(10), 0);
+        let a = g.add_actor("a", Cycles(10), 0).unwrap();
+        let b = g.add_actor("b", Cycles(10), 0).unwrap();
         g.add_channel(a, b, 1, 1, 1, 2).unwrap();
         // One initial token: b#0 needs no producer; with one iteration
         // (q = 1,1) the graph has no edge at all.
@@ -170,8 +170,8 @@ mod tests {
     #[test]
     fn multi_iteration_chain_grows_linearly() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(10), 0);
-        let b = g.add_actor("b", Cycles(10), 0);
+        let a = g.add_actor("a", Cycles(10), 0).unwrap();
+        let b = g.add_actor("b", Cycles(10), 0).unwrap();
         g.add_channel(a, b, 2, 3, 0, 1).unwrap();
         // q = (3, 2); 4 iterations → 12 a-firings, 8 b-firings.
         let e = g.expand(4).unwrap();
@@ -184,8 +184,8 @@ mod tests {
     #[test]
     fn deadlocked_cycle_is_rejected() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         g.add_channel(a, b, 1, 1, 0, 1).unwrap();
         g.add_channel(b, a, 1, 1, 0, 1).unwrap();
         assert!(matches!(g.expand(1), Err(SdfError::Deadlock)));
@@ -194,8 +194,8 @@ mod tests {
     #[test]
     fn cycle_with_tokens_executes() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         g.add_channel(a, b, 1, 1, 0, 1).unwrap();
         g.add_channel(b, a, 1, 1, 1, 1).unwrap();
         let e = g.expand(2).unwrap();
@@ -207,8 +207,8 @@ mod tests {
     #[test]
     fn token_counts_scale_edge_words() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         g.add_channel(a, b, 4, 4, 0, 3).unwrap();
         let e = g.expand(1).unwrap();
         assert_eq!(e.graph.edge_count(), 1);
@@ -219,8 +219,8 @@ mod tests {
     #[test]
     fn firing_metadata_is_consistent() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         g.add_channel(a, b, 1, 2, 0, 1).unwrap();
         let e = g.expand(1).unwrap();
         assert_eq!(e.repetition, vec![2, 1]);

@@ -15,7 +15,10 @@
 //! * [`SdfGraph::expand`] — expansion of `k` graph iterations into a
 //!   [`TaskGraph`](mia_model::TaskGraph) of firing instances with word-weighted dependency
 //!   edges (the classic SDF→HSDF transformation),
-//! * [`parse`] — a small text format for writing applications by hand.
+//! * [`parse`] — a small text format for writing applications by hand,
+//! * [`parse_sdf3`] / [`to_sdf3`] — import/export of the SDF3 XML
+//!   interchange format, so published dataflow benchmarks run unmodified,
+//! * [`rosace()`] — the ROSACE avionics case study as a built-in preset.
 //!
 //! # Example
 //!
@@ -28,8 +31,8 @@
 //!
 //! # fn main() -> Result<(), mia_sdf::SdfError> {
 //! let mut sdf = SdfGraph::new();
-//! let src = sdf.add_actor("src", Cycles(100), 0);
-//! let sink = sdf.add_actor("sink", Cycles(250), 0);
+//! let src = sdf.add_actor("src", Cycles(100), 0)?;
+//! let sink = sdf.add_actor("sink", Cycles(250), 0)?;
 //! sdf.add_channel(src, sink, 1, 3, 0, 8)?;
 //!
 //! let q = sdf.repetition_vector()?;
@@ -45,10 +48,32 @@
 mod buffers;
 mod expand;
 mod parser;
+pub mod rosace;
+pub mod sdf3;
 
 pub use buffers::BufferBounds;
 pub use expand::Expansion;
 pub use parser::parse;
+pub use rosace::rosace;
+pub use sdf3::{parse_sdf3, to_sdf3};
+
+/// Parses SDF source text, selecting the format from the file name it
+/// was read from: `.sdf3` / `.xml` means [`parse_sdf3`], anything else
+/// the [`parse`] text format. This is the single dispatch rule shared by
+/// every consumer (`mia` workload inputs, the sweep's `sdf3:<path>`
+/// family), so the extension mapping cannot drift between them.
+///
+/// # Errors
+///
+/// Whatever the selected parser returns (see [`parse`] /
+/// [`parse_sdf3`]).
+pub fn parse_named(path: &str, text: &str) -> Result<SdfGraph, SdfError> {
+    if path.ends_with(".sdf3") || path.ends_with(".xml") {
+        parse_sdf3(text)
+    } else {
+        parse(text)
+    }
+}
 
 use std::error::Error;
 use std::fmt;
@@ -128,6 +153,8 @@ pub enum SdfError {
     },
     /// Actor name referenced by the textual format does not exist.
     UnknownName(String),
+    /// An actor with this name already exists in the graph.
+    DuplicateActor(String),
 }
 
 impl fmt::Display for SdfError {
@@ -142,6 +169,7 @@ impl fmt::Display for SdfError {
             SdfError::TooLarge => write!(f, "repetition vector exceeds practical bounds"),
             SdfError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             SdfError::UnknownName(n) => write!(f, "unknown actor name `{n}`"),
+            SdfError::DuplicateActor(n) => write!(f, "duplicate actor `{n}`"),
         }
     }
 }
@@ -162,14 +190,30 @@ impl SdfGraph {
     }
 
     /// Adds an actor and returns its id.
-    pub fn add_actor(&mut self, name: impl Into<String>, wcet: Cycles, accesses: u64) -> ActorId {
+    ///
+    /// # Errors
+    ///
+    /// [`SdfError::DuplicateActor`] if the name is already taken —
+    /// duplicate names would make [`SdfGraph::actor_by_name`] ambiguous,
+    /// so programmatic construction rejects them exactly like the
+    /// textual and SDF3 parsers do.
+    pub fn add_actor(
+        &mut self,
+        name: impl Into<String>,
+        wcet: Cycles,
+        accesses: u64,
+    ) -> Result<ActorId, SdfError> {
+        let name = name.into();
+        if self.actor_by_name(&name).is_some() {
+            return Err(SdfError::DuplicateActor(name));
+        }
         let id = ActorId(self.actors.len() as u32);
         self.actors.push(Actor {
-            name: name.into(),
+            name,
             wcet,
             accesses,
         });
-        id
+        Ok(id)
     }
 
     /// Adds a channel `src → dst` producing `produce` tokens per source
@@ -336,8 +380,8 @@ mod tests {
     #[test]
     fn simple_pipeline_repetition() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(10), 0);
-        let b = g.add_actor("b", Cycles(10), 0);
+        let a = g.add_actor("a", Cycles(10), 0).unwrap();
+        let b = g.add_actor("b", Cycles(10), 0).unwrap();
         g.add_channel(a, b, 2, 3, 0, 1).unwrap();
         assert_eq!(g.repetition_vector().unwrap(), vec![3, 2]);
     }
@@ -345,9 +389,9 @@ mod tests {
     #[test]
     fn chain_of_three() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
-        let c = g.add_actor("c", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
+        let c = g.add_actor("c", Cycles(1), 0).unwrap();
         g.add_channel(a, b, 3, 2, 0, 1).unwrap();
         g.add_channel(b, c, 1, 3, 0, 1).unwrap();
         // q_a·3 = q_b·2, q_b·1 = q_c·3 → q = (2, 3, 1).
@@ -357,8 +401,8 @@ mod tests {
     #[test]
     fn inconsistent_rates_detected() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         g.add_channel(a, b, 1, 1, 0, 1).unwrap();
         g.add_channel(a, b, 2, 1, 0, 1).unwrap();
         assert!(matches!(
@@ -370,10 +414,10 @@ mod tests {
     #[test]
     fn disconnected_components_normalise_independently() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
-        let c = g.add_actor("c", Cycles(1), 0);
-        let d = g.add_actor("d", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
+        let c = g.add_actor("c", Cycles(1), 0).unwrap();
+        let d = g.add_actor("d", Cycles(1), 0).unwrap();
         g.add_channel(a, b, 1, 2, 0, 1).unwrap();
         g.add_channel(c, d, 5, 5, 0, 1).unwrap();
         assert_eq!(g.repetition_vector().unwrap(), vec![2, 1, 1, 1]);
@@ -382,15 +426,15 @@ mod tests {
     #[test]
     fn isolated_actor_fires_once() {
         let mut g = SdfGraph::new();
-        let _ = g.add_actor("solo", Cycles(1), 0);
+        let _ = g.add_actor("solo", Cycles(1), 0).unwrap();
         assert_eq!(g.repetition_vector().unwrap(), vec![1]);
     }
 
     #[test]
     fn cyclic_graph_is_balanced() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         g.add_channel(a, b, 2, 1, 0, 1).unwrap();
         g.add_channel(b, a, 1, 2, 2, 1).unwrap();
         assert_eq!(g.repetition_vector().unwrap(), vec![1, 2]);
@@ -399,15 +443,15 @@ mod tests {
     #[test]
     fn zero_rate_rejected() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         assert_eq!(g.add_channel(a, b, 0, 1, 0, 1), Err(SdfError::ZeroRate));
     }
 
     #[test]
     fn unknown_actor_rejected() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
         assert!(matches!(
             g.add_channel(a, ActorId(7), 1, 1, 0, 1),
             Err(SdfError::UnknownActor(ActorId(7)))
@@ -415,9 +459,26 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_actor_rejected_programmatically() {
+        // Mirrors `parser.rs::duplicate_actor_rejected`: the builder API
+        // used to silently accept duplicate names, leaving
+        // `actor_by_name` ambiguous for programmatically-built graphs.
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        assert_eq!(
+            g.add_actor("a", Cycles(2), 3),
+            Err(SdfError::DuplicateActor("a".to_owned()))
+        );
+        // The failed insertion must not have touched the graph.
+        assert_eq!(g.actors().len(), 1);
+        assert_eq!(g.actor_by_name("a"), Some(a));
+        assert_eq!(g.actors()[0].wcet, Cycles(1));
+    }
+
+    #[test]
     fn actor_lookup_by_name() {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("alpha", Cycles(1), 0);
+        let a = g.add_actor("alpha", Cycles(1), 0).unwrap();
         assert_eq!(g.actor_by_name("alpha"), Some(a));
         assert_eq!(g.actor_by_name("beta"), None);
     }

@@ -73,12 +73,6 @@ fn parse_actor<'a>(
         line,
         message: "actor needs a name".into(),
     })?;
-    if graph.actor_by_name(name).is_some() {
-        return Err(SdfError::Parse {
-            line,
-            message: format!("duplicate actor `{name}`"),
-        });
-    }
     let mut wcet = None;
     let mut accesses = 0;
     for kv in words {
@@ -98,7 +92,12 @@ fn parse_actor<'a>(
         line,
         message: "actor needs wcet=N".into(),
     })?;
-    graph.add_actor(name, Cycles(wcet), accesses);
+    graph
+        .add_actor(name, Cycles(wcet), accesses)
+        .map_err(|e| SdfError::Parse {
+            line,
+            message: e.to_string(),
+        })?;
     Ok(())
 }
 

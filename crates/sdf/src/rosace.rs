@@ -1,0 +1,198 @@
+//! The ROSACE longitudinal flight controller as a built-in workload.
+//!
+//! ROSACE (Pagetti, Saussié, Gratia, Noulard, Siron — "The ROSACE case
+//! study: from Simulink specification to multi/many-core execution",
+//! RTAS 2014) is the standard open avionics case study: a longitudinal
+//! flight controller holding altitude and airspeed, specified as a
+//! multi-rate harmonic task set (200 Hz / 100 Hz / 50 Hz) with explicit
+//! data flow. It is exactly the application class the paper's
+//! introduction motivates ("avionics or autonomous vehicles applications
+//! … heavily coupled to time"), so it serves as the repo's built-in
+//! real-benchmark counterpart to the synthetic Tobita–Kasahara DAGs.
+//!
+//! [`rosace`] models the controller as a synchronous-dataflow graph over
+//! one 20 ms hyper-period: the 200 Hz actors (aircraft dynamics and the
+//! elevator/engine actuators) fire four times per iteration, the 100 Hz
+//! filters twice, the 50 Hz control laws once. Harmonic rate transitions
+//! become SDF rates (a 100 Hz filter consumes 2 tokens per firing from a
+//! 200 Hz producer), and the actuator→dynamics feedback loops carry one
+//! hyper-period of initial tokens — the sample delay that makes the
+//! closed loop schedulable. Expanding `k` iterations with
+//! [`SdfGraph::expand`](crate::SdfGraph::expand) yields the temporal DAG
+//! the interference analysis consumes: 25 firings per hyper-period.
+//!
+//! Per-firing WCETs follow the case study's published execution-time
+//! measurements (sub-10 µs per task), scaled to cycles at 100 cycles/µs;
+//! private memory accesses model the controller state each task reads
+//! and writes. Every firing's total demand (private + channel traffic)
+//! stays below its WCET, so `mia simulate` accepts the expanded
+//! workloads.
+//!
+//! # Example
+//!
+//! ```
+//! let rosace = mia_sdf::rosace();
+//! let q = rosace.repetition_vector()?;
+//! assert_eq!(q.iter().sum::<u64>(), 25); // firings per 20 ms hyper-period
+//! let dag = rosace.expand(2)?; // two hyper-periods → 50 tasks
+//! assert_eq!(dag.graph.len(), 50);
+//! # Ok::<(), mia_sdf::SdfError>(())
+//! ```
+
+use mia_model::Cycles;
+
+use crate::SdfGraph;
+
+/// Firings of the 200 Hz actors per 20 ms hyper-period (and the initial
+/// tokens on the actuator→dynamics feedback loops: one hyper-period of
+/// delay).
+const FAST_RATE: u64 = 4;
+
+/// Builds the ROSACE longitudinal flight controller as an [`SdfGraph`].
+///
+/// Actors, in definition order (period, WCET in cycles):
+///
+/// | Actor | Rate | WCET | Role |
+/// |-------|------|------|------|
+/// | `engine` | 200 Hz | 120 | thrust actuator |
+/// | `elevator` | 200 Hz | 120 | elevator actuator |
+/// | `aircraft_dynamics` | 200 Hz | 870 | longitudinal dynamics integration |
+/// | `h_filter` | 100 Hz | 80 | altitude anti-aliasing filter |
+/// | `az_filter` | 100 Hz | 70 | vertical-acceleration filter |
+/// | `vz_filter` | 100 Hz | 70 | vertical-speed filter |
+/// | `q_filter` | 100 Hz | 70 | pitch-rate filter |
+/// | `va_filter` | 100 Hz | 70 | airspeed filter |
+/// | `altitude_hold` | 50 Hz | 60 | outer altitude loop |
+/// | `vz_control` | 50 Hz | 70 | vertical-speed control law |
+/// | `va_control` | 50 Hz | 60 | airspeed control law |
+///
+/// Data flow follows the case study's block diagram: the dynamics feed
+/// the five filters, the filters feed the control laws, `altitude_hold`
+/// cascades into `vz_control`, and the control laws command the
+/// actuators, which close the loop back into the dynamics with one
+/// hyper-period of delay tokens.
+pub fn rosace() -> SdfGraph {
+    let mut g = SdfGraph::new();
+    let actor = |g: &mut SdfGraph, name: &str, wcet: u64, accesses: u64| {
+        g.add_actor(name, Cycles(wcet), accesses)
+            .expect("ROSACE actor names are unique")
+    };
+    // 200 Hz: actuators and dynamics.
+    let engine = actor(&mut g, "engine", 120, 8);
+    let elevator = actor(&mut g, "elevator", 120, 8);
+    let dynamics = actor(&mut g, "aircraft_dynamics", 870, 60);
+    // 100 Hz: the measurement filters.
+    let h_filter = actor(&mut g, "h_filter", 80, 10);
+    let az_filter = actor(&mut g, "az_filter", 70, 10);
+    let vz_filter = actor(&mut g, "vz_filter", 70, 10);
+    let q_filter = actor(&mut g, "q_filter", 70, 10);
+    let va_filter = actor(&mut g, "va_filter", 70, 10);
+    // 50 Hz: the control laws.
+    let altitude_hold = actor(&mut g, "altitude_hold", 60, 12);
+    let vz_control = actor(&mut g, "vz_control", 70, 12);
+    let va_control = actor(&mut g, "va_control", 60, 12);
+
+    let ch = |g: &mut SdfGraph, src, dst, produce, consume, initial, words| {
+        g.add_channel(src, dst, produce, consume, initial, words)
+            .expect("ROSACE channels are rate-consistent")
+    };
+    // Closed loop: actuator outputs feed the dynamics with one
+    // hyper-period of delay (T and delta_e, one sample each).
+    ch(&mut g, engine, dynamics, 1, 1, FAST_RATE, 2);
+    ch(&mut g, elevator, dynamics, 1, 1, FAST_RATE, 2);
+    // 200 Hz → 100 Hz downsampling into the filters (h, az, Vz, q, Va).
+    for filter in [h_filter, az_filter, vz_filter, q_filter, va_filter] {
+        ch(&mut g, dynamics, filter, 1, 2, 0, 2);
+    }
+    // 100 Hz → 50 Hz into the control laws.
+    ch(&mut g, h_filter, altitude_hold, 1, 2, 0, 2);
+    for filter in [az_filter, vz_filter, q_filter] {
+        ch(&mut g, filter, vz_control, 1, 2, 0, 2);
+    }
+    for filter in [vz_filter, q_filter, va_filter] {
+        ch(&mut g, filter, va_control, 1, 2, 0, 2);
+    }
+    // The outer loop cascades into the vertical-speed law.
+    ch(&mut g, altitude_hold, vz_control, 1, 1, 0, 2);
+    // 50 Hz commands drive the 200 Hz actuators (delta_e_c, delta_th_c).
+    ch(&mut g, vz_control, elevator, FAST_RATE, 1, 0, 2);
+    ch(&mut g, va_control, engine, FAST_RATE, 1, 0, 2);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetition_vector_matches_the_rates() {
+        // 200 Hz actors fire 4×, 100 Hz 2×, 50 Hz 1× per hyper-period.
+        let q = rosace().repetition_vector().unwrap();
+        assert_eq!(q, vec![4, 4, 4, 2, 2, 2, 2, 2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn expansion_is_acyclic_and_sized() {
+        let g = rosace();
+        for iterations in [1, 2, 5] {
+            let e = g.expand(iterations).unwrap();
+            assert_eq!(e.graph.len() as u64, 25 * iterations);
+            assert!(e.graph.topological_order().is_ok(), "{iterations} iters");
+        }
+    }
+
+    #[test]
+    fn feedback_needs_the_delay_tokens() {
+        // Without the hyper-period of initial tokens the closed loop
+        // deadlocks — the delay is load-bearing, not decorative.
+        let mut g = SdfGraph::new();
+        let engine = g.add_actor("engine", Cycles(120), 8).unwrap();
+        let dynamics = g.add_actor("dynamics", Cycles(870), 60).unwrap();
+        let va_filter = g.add_actor("va_filter", Cycles(70), 10).unwrap();
+        let va_control = g.add_actor("va_control", Cycles(60), 12).unwrap();
+        g.add_channel(engine, dynamics, 1, 1, 0, 2).unwrap(); // no delay
+        g.add_channel(dynamics, va_filter, 1, 2, 0, 2).unwrap();
+        g.add_channel(va_filter, va_control, 1, 2, 0, 2).unwrap();
+        g.add_channel(va_control, engine, 4, 1, 0, 2).unwrap();
+        assert!(matches!(g.expand(1), Err(crate::SdfError::Deadlock)));
+    }
+
+    #[test]
+    fn per_firing_demand_stays_under_wcet() {
+        // `mia simulate` requires total demand ≤ WCET at 1 cycle/access.
+        // A firing's demand is its private accesses plus the words of all
+        // incident expansion edges.
+        let e = rosace().expand(3).unwrap();
+        let g = rosace();
+        for (task_id, task) in e.graph.iter() {
+            let (actor, _) = e.firings[task_id.index()];
+            let mut demand = g.actors()[actor.index()].accesses;
+            demand += e
+                .graph
+                .edges()
+                .iter()
+                .filter(|edge| edge.src == task_id || edge.dst == task_id)
+                .map(|edge| edge.words)
+                .sum::<u64>();
+            assert!(
+                demand <= task.wcet().as_u64(),
+                "{}: demand {demand} > wcet {}",
+                task.name(),
+                task.wcet()
+            );
+        }
+    }
+
+    #[test]
+    fn buffers_are_bounded() {
+        let bounds = rosace().buffer_bounds().unwrap();
+        assert!(bounds.total_words() > 0);
+    }
+
+    #[test]
+    fn round_trips_through_sdf3() {
+        let g = rosace();
+        let back = crate::parse_sdf3(&crate::to_sdf3(&g, "rosace")).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,1020 @@
+//! SDF3 XML import/export for [`SdfGraph`].
+//!
+//! [SDF3] (Stuijk, Geilen, Basten — "SDF³: SDF For Free", ACSD 2006) is
+//! the de-facto interchange format for synchronous-dataflow benchmarks:
+//! the MP3/H.263/modem graphs of the SDF3 benchmark suite, and most
+//! published SDF case studies, ship as `.sdf3` / `.xml` files. This
+//! module reads that format into an [`SdfGraph`] — and writes one back —
+//! so real benchmark applications flow through the same
+//! expand→map→analyze pipeline as the hand-written text format of
+//! [`crate::parse`].
+//!
+//! The reader is a small hand-rolled XML scanner (no external XML
+//! dependency): tags, attributes and 1-based line numbers, with text
+//! content, comments, processing instructions and DOCTYPE skipped. It
+//! understands the subset of SDF3 the analysis needs:
+//!
+//! * `<actor name=…>` with `<port type="in|out" name=… rate=…>` children
+//!   (rate defaults to 1),
+//! * `<channel srcActor=… srcPort=… dstActor=… dstPort=…
+//!   [initialTokens=…]>` — production/consumption rates come from the
+//!   referenced ports,
+//! * `<actorProperties actor=…>` → `<executionTime time=…>` (the
+//!   per-firing WCET; the `default="true"` processor wins when several
+//!   are given) and `<stateSize max=…>` (mapped onto the actor's private
+//!   memory accesses),
+//! * `<channelProperties channel=…>` → `<tokenSize sz=…>` (memory words
+//!   per token, default 1).
+//!
+//! Everything else (`bufferSize`, throughput constraints, …) is ignored.
+//! Errors follow the text parser's contract: [`SdfError::Parse`] with a
+//! 1-based line number for malformed XML, unknown actor/port references,
+//! zero rates, duplicate actors and missing execution times.
+//!
+//! # Example
+//!
+//! ```
+//! let xml = r#"<?xml version="1.0"?>
+//! <sdf3 type="sdf" version="1.0">
+//!   <applicationGraph name="pipeline">
+//!     <sdf name="pipeline" type="G">
+//!       <actor name="src" type="a">
+//!         <port name="out" type="out" rate="3"/>
+//!       </actor>
+//!       <actor name="sink" type="a">
+//!         <port name="in" type="in" rate="1"/>
+//!       </actor>
+//!       <channel name="c0" srcActor="src" srcPort="out"
+//!                dstActor="sink" dstPort="in"/>
+//!     </sdf>
+//!     <sdfProperties>
+//!       <actorProperties actor="src">
+//!         <processor type="cluster" default="true">
+//!           <executionTime time="100"/>
+//!         </processor>
+//!       </actorProperties>
+//!       <actorProperties actor="sink">
+//!         <processor type="cluster" default="true">
+//!           <executionTime time="250"/>
+//!         </processor>
+//!       </actorProperties>
+//!       <channelProperties channel="c0">
+//!         <tokenSize sz="8"/>
+//!       </channelProperties>
+//!     </sdfProperties>
+//!   </applicationGraph>
+//! </sdf3>"#;
+//! let g = mia_sdf::parse_sdf3(xml)?;
+//! assert_eq!(g.actors().len(), 2);
+//! assert_eq!(g.repetition_vector()?, vec![1, 3]);
+//! # Ok::<(), mia_sdf::SdfError>(())
+//! ```
+//!
+//! [SDF3]: https://www.es.ele.tue.nl/sdf3/
+
+use std::collections::HashMap;
+
+use mia_model::Cycles;
+
+use crate::{SdfError, SdfGraph};
+
+// ─── The XML scanner ────────────────────────────────────────────────────
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TagKind {
+    Open,
+    Close,
+    Empty,
+}
+
+#[derive(Debug)]
+struct Tag<'a> {
+    name: &'a str,
+    attrs: Vec<(&'a str, String)>,
+    kind: TagKind,
+    line: usize,
+}
+
+impl Tag<'_> {
+    fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Self {
+        Scanner {
+            src,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn error(&self, line: usize, message: impl Into<String>) -> SdfError {
+        SdfError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Advances past `self.src[self.pos..self.pos + n]`, counting lines.
+    fn advance(&mut self, n: usize) {
+        let skipped = &self.src[self.pos..self.pos + n];
+        self.line += skipped.bytes().filter(|&b| b == b'\n').count();
+        self.pos += n;
+    }
+
+    /// Skips to just after the next occurrence of `needle`, or errors.
+    fn skip_past(&mut self, needle: &str, what: &str) -> Result<(), SdfError> {
+        let start = self.line;
+        match self.src[self.pos..].find(needle) {
+            Some(i) => {
+                self.advance(i + needle.len());
+                Ok(())
+            }
+            None => Err(self.error(start, format!("malformed XML: unterminated {what}"))),
+        }
+    }
+
+    /// The next tag, or `None` at end of input.
+    fn next_tag(&mut self) -> Result<Option<Tag<'a>>, SdfError> {
+        loop {
+            let Some(lt) = self.src[self.pos..].find('<') else {
+                self.advance(self.src.len() - self.pos);
+                return Ok(None);
+            };
+            self.advance(lt);
+            let rest = &self.src[self.pos..];
+            if rest.starts_with("<?") {
+                self.skip_past("?>", "processing instruction")?;
+            } else if rest.starts_with("<!--") {
+                self.skip_past("-->", "comment")?;
+            } else if rest.starts_with("<!") {
+                self.skip_past(">", "declaration")?;
+            } else {
+                return self.parse_tag().map(Some);
+            }
+        }
+    }
+
+    /// Parses the tag starting at `self.pos` (which points at `<`).
+    fn parse_tag(&mut self) -> Result<Tag<'a>, SdfError> {
+        let line = self.line;
+        self.advance(1); // consume '<'
+        let closing = self.src[self.pos..].starts_with('/');
+        if closing {
+            self.advance(1);
+        }
+        let name_len = self.src[self.pos..]
+            .find(|c: char| c.is_whitespace() || c == '>' || c == '/')
+            .ok_or_else(|| self.error(line, "malformed XML: unterminated tag"))?;
+        let name = &self.src[self.pos..self.pos + name_len];
+        if name.is_empty() {
+            return Err(self.error(line, "malformed XML: tag without a name"));
+        }
+        self.advance(name_len);
+        let mut attrs = Vec::new();
+        loop {
+            // Skip whitespace between attributes.
+            let ws = self.src[self.pos..]
+                .find(|c: char| !c.is_whitespace())
+                .ok_or_else(|| self.error(line, "malformed XML: unterminated tag"))?;
+            self.advance(ws);
+            let rest = &self.src[self.pos..];
+            if rest.starts_with("/>") {
+                self.advance(2);
+                if closing {
+                    return Err(self.error(line, "malformed XML: `</…/>` tag"));
+                }
+                return Ok(Tag {
+                    name,
+                    attrs,
+                    kind: TagKind::Empty,
+                    line,
+                });
+            }
+            if rest.starts_with('>') {
+                self.advance(1);
+                return Ok(Tag {
+                    name,
+                    attrs,
+                    kind: if closing {
+                        TagKind::Close
+                    } else {
+                        TagKind::Open
+                    },
+                    line,
+                });
+            }
+            // An attribute: name="value" (or single quotes).
+            let key_len = self.src[self.pos..]
+                .find(|c: char| c.is_whitespace() || c == '=' || c == '>' || c == '/')
+                .ok_or_else(|| self.error(line, "malformed XML: unterminated tag"))?;
+            let key = &self.src[self.pos..self.pos + key_len];
+            self.advance(key_len);
+            let eq = self.src[self.pos..]
+                .find(|c: char| !c.is_whitespace())
+                .ok_or_else(|| self.error(line, "malformed XML: unterminated tag"))?;
+            self.advance(eq);
+            if !self.src[self.pos..].starts_with('=') {
+                return Err(self.error(
+                    self.line,
+                    format!("malformed XML: attribute `{key}` has no value"),
+                ));
+            }
+            self.advance(1);
+            let q = self.src[self.pos..]
+                .find(|c: char| !c.is_whitespace())
+                .ok_or_else(|| self.error(line, "malformed XML: unterminated tag"))?;
+            self.advance(q);
+            let quote = self.src[self.pos..].chars().next();
+            let quote = match quote {
+                Some(c @ ('"' | '\'')) => c,
+                _ => {
+                    return Err(self.error(
+                        self.line,
+                        format!("malformed XML: attribute `{key}` value is not quoted"),
+                    ))
+                }
+            };
+            self.advance(1);
+            let val_len = self.src[self.pos..].find(quote).ok_or_else(|| {
+                self.error(
+                    self.line,
+                    format!("malformed XML: unterminated value of attribute `{key}`"),
+                )
+            })?;
+            let raw = &self.src[self.pos..self.pos + val_len];
+            self.advance(val_len + 1);
+            attrs.push((key, unescape(raw)));
+        }
+    }
+}
+
+/// Expands the five predefined XML entities.
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_owned();
+    }
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Escapes a string for use inside a double-quoted XML attribute.
+fn escape(s: &str) -> String {
+    if !s.contains(['&', '<', '>', '"']) {
+        return s.to_owned();
+    }
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+// ─── The SDF3 reader ────────────────────────────────────────────────────
+
+#[derive(Debug, Default)]
+struct ActorDef {
+    line: usize,
+    /// Port name → (rate, defining line).
+    ports: HashMap<String, (u64, usize)>,
+    wcet: Option<u64>,
+    /// Whether the recorded `wcet` came from a `default="true"` processor
+    /// (which wins over non-default ones).
+    wcet_is_default: bool,
+    accesses: Option<u64>,
+    /// Same default-wins rule as `wcet_is_default`, for `accesses`.
+    accesses_is_default: bool,
+}
+
+#[derive(Debug)]
+struct ChannelDef {
+    line: usize,
+    name: Option<String>,
+    src_actor: String,
+    src_port: String,
+    dst_actor: String,
+    dst_port: String,
+    initial: u64,
+    words_per_token: u64,
+}
+
+fn required<'t>(tag: &'t Tag<'_>, attr: &str) -> Result<&'t str, SdfError> {
+    tag.attr(attr).ok_or_else(|| SdfError::Parse {
+        line: tag.line,
+        message: format!("<{}> needs a `{attr}` attribute", tag.name),
+    })
+}
+
+fn parse_u64(value: &str, line: usize, what: &str) -> Result<u64, SdfError> {
+    value.trim().parse().map_err(|_| SdfError::Parse {
+        line,
+        message: format!("invalid number `{value}` for {what}"),
+    })
+}
+
+/// Parses an SDF3 XML document into an [`SdfGraph`].
+///
+/// See the [module documentation](self) for the recognised subset and an
+/// example document.
+///
+/// # Errors
+///
+/// [`SdfError::Parse`] with a 1-based line number for malformed XML,
+/// duplicate actors, unknown actor/port references, zero rates, missing
+/// execution times and malformed numbers.
+pub fn parse_sdf3(text: &str) -> Result<SdfGraph, SdfError> {
+    let mut scanner = Scanner::new(text);
+    // Definition order matters: actors get ids in document order.
+    let mut actor_order: Vec<String> = Vec::new();
+    let mut actors: HashMap<String, ActorDef> = HashMap::new();
+    let mut channels: Vec<ChannelDef> = Vec::new();
+
+    let mut stack: Vec<&str> = Vec::new();
+    // Contexts carried between nested tags.
+    let mut current_actor: Option<String> = None; // inside <sdf><actor>
+    let mut props_actor: Option<String> = None; // inside <actorProperties>
+    let mut props_channel: Option<String> = None; // inside <channelProperties>
+    let mut in_default_processor = false;
+    let mut saw_sdf3_root = false;
+
+    while let Some(tag) = scanner.next_tag()? {
+        match tag.kind {
+            TagKind::Close => {
+                match stack.pop() {
+                    Some(open) if open == tag.name => {}
+                    Some(open) => {
+                        return Err(SdfError::Parse {
+                            line: tag.line,
+                            message: format!("malformed XML: `</{}>` closes `<{open}>`", tag.name),
+                        })
+                    }
+                    None => {
+                        return Err(SdfError::Parse {
+                            line: tag.line,
+                            message: format!("malformed XML: unmatched `</{}>`", tag.name),
+                        })
+                    }
+                }
+                match tag.name {
+                    "actor" => current_actor = None,
+                    "actorProperties" => props_actor = None,
+                    "channelProperties" => props_channel = None,
+                    "processor" => in_default_processor = false,
+                    _ => {}
+                }
+            }
+            TagKind::Open | TagKind::Empty => {
+                handle_open(
+                    &tag,
+                    &stack,
+                    &mut actor_order,
+                    &mut actors,
+                    &mut channels,
+                    &mut current_actor,
+                    &mut props_actor,
+                    &mut props_channel,
+                    &mut in_default_processor,
+                    &mut saw_sdf3_root,
+                )?;
+                if tag.kind == TagKind::Open {
+                    stack.push(tag.name);
+                } else {
+                    // A self-closing context element (`<actor …/>`,
+                    // `<actorProperties …/>`) has no children and gets
+                    // no Close event — drop its context immediately so
+                    // later stray elements are not attributed to it.
+                    match tag.name {
+                        "actor" => current_actor = None,
+                        "actorProperties" => props_actor = None,
+                        "channelProperties" => props_channel = None,
+                        "processor" => in_default_processor = false,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    if let Some(open) = stack.pop() {
+        return Err(SdfError::Parse {
+            line: scanner.line,
+            message: format!("malformed XML: `<{open}>` is never closed"),
+        });
+    }
+    if !saw_sdf3_root {
+        return Err(SdfError::Parse {
+            line: 1,
+            message: "not an SDF3 document (no <sdf3> root element)".into(),
+        });
+    }
+
+    build_graph(actor_order, actors, channels)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_open(
+    tag: &Tag<'_>,
+    stack: &[&str],
+    actor_order: &mut Vec<String>,
+    actors: &mut HashMap<String, ActorDef>,
+    channels: &mut Vec<ChannelDef>,
+    current_actor: &mut Option<String>,
+    props_actor: &mut Option<String>,
+    props_channel: &mut Option<String>,
+    in_default_processor: &mut bool,
+    saw_sdf3_root: &mut bool,
+) -> Result<(), SdfError> {
+    // Full SDF3 files also describe architectures and mappings, which
+    // reuse element names (`<actor name=…>` bindings inside
+    // `<mapping>`, `<channel>` connections inside `<architectureGraph>`,
+    // …). Only the application graph (`<sdf>`) and its property section
+    // (`<sdfProperties>`) feed the SdfGraph; everything else is ignored.
+    let in_graph = stack.last() == Some(&"sdf");
+    let in_properties = stack.contains(&"sdfProperties");
+    match tag.name {
+        "sdf3" => *saw_sdf3_root = true,
+        "actor" if in_graph => {
+            let name = required(tag, "name")?.to_owned();
+            if actors.contains_key(&name) {
+                return Err(SdfError::Parse {
+                    line: tag.line,
+                    message: SdfError::DuplicateActor(name).to_string(),
+                });
+            }
+            actors.insert(
+                name.clone(),
+                ActorDef {
+                    line: tag.line,
+                    ..ActorDef::default()
+                },
+            );
+            actor_order.push(name.clone());
+            *current_actor = Some(name);
+        }
+        "port" => {
+            let Some(actor) = current_actor.as_ref() else {
+                return Ok(()); // a <port> outside <actor> (e.g. in a csdf extension): ignore
+            };
+            let name = required(tag, "name")?.to_owned();
+            let rate = match tag.attr("rate") {
+                Some(r) => parse_u64(r, tag.line, "port rate")?,
+                None => 1,
+            };
+            if rate == 0 {
+                return Err(SdfError::Parse {
+                    line: tag.line,
+                    message: format!(
+                        "channel rates must be non-zero (port `{name}` of actor `{actor}`)"
+                    ),
+                });
+            }
+            let def = actors.get_mut(actor).expect("current actor is registered");
+            if def.ports.insert(name.clone(), (rate, tag.line)).is_some() {
+                return Err(SdfError::Parse {
+                    line: tag.line,
+                    message: format!("duplicate port `{name}` on actor `{actor}`"),
+                });
+            }
+        }
+        "channel" if in_graph => {
+            channels.push(ChannelDef {
+                line: tag.line,
+                name: tag.attr("name").map(str::to_owned),
+                src_actor: required(tag, "srcActor")?.to_owned(),
+                src_port: required(tag, "srcPort")?.to_owned(),
+                dst_actor: required(tag, "dstActor")?.to_owned(),
+                dst_port: required(tag, "dstPort")?.to_owned(),
+                initial: match tag.attr("initialTokens") {
+                    Some(v) => parse_u64(v, tag.line, "initialTokens")?,
+                    None => 0,
+                },
+                words_per_token: 1,
+            });
+        }
+        "actorProperties" if in_properties => {
+            *props_actor = Some(required(tag, "actor")?.to_owned())
+        }
+        "channelProperties" if in_properties => {
+            *props_channel = Some(required(tag, "channel")?.to_owned())
+        }
+        "processor" => *in_default_processor = tag.attr("default") == Some("true"),
+        "executionTime" => {
+            let Some(actor) = props_actor.as_ref() else {
+                return Ok(());
+            };
+            let time = parse_u64(required(tag, "time")?, tag.line, "executionTime")?;
+            let def = actors.get_mut(actor).ok_or_else(|| SdfError::Parse {
+                line: tag.line,
+                message: format!("unknown actor `{actor}` in actorProperties"),
+            })?;
+            if def.wcet.is_none() || (*in_default_processor && !def.wcet_is_default) {
+                def.wcet = Some(time);
+                def.wcet_is_default = *in_default_processor;
+            }
+        }
+        "stateSize" => {
+            let Some(actor) = props_actor.as_ref() else {
+                return Ok(());
+            };
+            let max = parse_u64(required(tag, "max")?, tag.line, "stateSize")?;
+            let def = actors.get_mut(actor).ok_or_else(|| SdfError::Parse {
+                line: tag.line,
+                message: format!("unknown actor `{actor}` in actorProperties"),
+            })?;
+            // Same rule as executionTime: the default processor's value
+            // wins, otherwise first one seen.
+            if def.accesses.is_none() || (*in_default_processor && !def.accesses_is_default) {
+                def.accesses = Some(max);
+                def.accesses_is_default = *in_default_processor;
+            }
+        }
+        "tokenSize" => {
+            let Some(channel) = props_channel.as_ref() else {
+                return Ok(());
+            };
+            let sz = parse_u64(required(tag, "sz")?, tag.line, "tokenSize")?;
+            let def = channels
+                .iter_mut()
+                .find(|c| c.name.as_deref() == Some(channel.as_str()))
+                .ok_or_else(|| SdfError::Parse {
+                    line: tag.line,
+                    message: format!("unknown channel `{channel}` in channelProperties"),
+                })?;
+            def.words_per_token = sz;
+        }
+        _ => {} // every other element (bufferSize, throughput, …) is ignored
+    }
+    Ok(())
+}
+
+fn build_graph(
+    actor_order: Vec<String>,
+    mut actors: HashMap<String, ActorDef>,
+    channels: Vec<ChannelDef>,
+) -> Result<SdfGraph, SdfError> {
+    let mut graph = SdfGraph::new();
+    let mut ports: HashMap<String, HashMap<String, (u64, usize)>> = HashMap::new();
+    for name in &actor_order {
+        let def = actors.remove(name).expect("ordered actors are registered");
+        let wcet = def.wcet.ok_or_else(|| SdfError::Parse {
+            line: def.line,
+            message: format!("actor `{name}` has no executionTime"),
+        })?;
+        graph
+            .add_actor(name.clone(), Cycles(wcet), def.accesses.unwrap_or(0))
+            .map_err(|e| SdfError::Parse {
+                line: def.line,
+                message: e.to_string(),
+            })?;
+        ports.insert(name.clone(), def.ports);
+    }
+    for ch in channels {
+        let resolve = |actor: &str, port: &str, role: &str| -> Result<u64, SdfError> {
+            let actor_ports = ports.get(actor).ok_or_else(|| SdfError::Parse {
+                line: ch.line,
+                message: format!("unknown actor `{actor}` in channel"),
+            })?;
+            actor_ports
+                .get(port)
+                .map(|&(rate, _)| rate)
+                .ok_or_else(|| SdfError::Parse {
+                    line: ch.line,
+                    message: format!("unknown {role} port `{port}` on actor `{actor}`"),
+                })
+        };
+        let produce = resolve(&ch.src_actor, &ch.src_port, "source")?;
+        let consume = resolve(&ch.dst_actor, &ch.dst_port, "destination")?;
+        let src = graph
+            .actor_by_name(&ch.src_actor)
+            .expect("source actor resolved above");
+        let dst = graph
+            .actor_by_name(&ch.dst_actor)
+            .expect("destination actor resolved above");
+        graph
+            .add_channel(src, dst, produce, consume, ch.initial, ch.words_per_token)
+            .map_err(|e| SdfError::Parse {
+                line: ch.line,
+                message: e.to_string(),
+            })?;
+    }
+    Ok(graph)
+}
+
+// ─── The SDF3 writer ────────────────────────────────────────────────────
+
+/// Serializes a graph as a canonical SDF3 XML document (the exact subset
+/// [`parse_sdf3`] reads): one `out`/`in` port pair per channel,
+/// `executionTime` on a `default="true"` processor, `stateSize` carrying
+/// the private accesses and `tokenSize` carrying the words per token.
+///
+/// `parse_sdf3(&to_sdf3(&g, "name")) == g` for every graph — pinned by
+/// the round-trip tests in this module and the property tests of the
+/// crate.
+pub fn to_sdf3(graph: &SdfGraph, name: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let name = escape(name);
+    let _ = writeln!(out, r#"<?xml version="1.0"?>"#);
+    let _ = writeln!(out, r#"<sdf3 type="sdf" version="1.0">"#);
+    let _ = writeln!(out, r#"  <applicationGraph name="{name}">"#);
+    let _ = writeln!(out, r#"    <sdf name="{name}" type="G">"#);
+    for (idx, actor) in graph.actors().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            r#"      <actor name="{}" type="{}">"#,
+            escape(&actor.name),
+            escape(&actor.name)
+        );
+        for (ch_idx, ch) in graph.channels().iter().enumerate() {
+            if ch.src.index() == idx {
+                let _ = writeln!(
+                    out,
+                    r#"        <port name="o{ch_idx}" type="out" rate="{}"/>"#,
+                    ch.produce
+                );
+            }
+            if ch.dst.index() == idx {
+                let _ = writeln!(
+                    out,
+                    r#"        <port name="i{ch_idx}" type="in" rate="{}"/>"#,
+                    ch.consume
+                );
+            }
+        }
+        let _ = writeln!(out, "      </actor>");
+    }
+    for (ch_idx, ch) in graph.channels().iter().enumerate() {
+        let src = escape(&graph.actors()[ch.src.index()].name);
+        let dst = escape(&graph.actors()[ch.dst.index()].name);
+        let _ = write!(
+            out,
+            r#"      <channel name="ch{ch_idx}" srcActor="{src}" srcPort="o{ch_idx}" dstActor="{dst}" dstPort="i{ch_idx}""#
+        );
+        if ch.initial > 0 {
+            let _ = write!(out, r#" initialTokens="{}""#, ch.initial);
+        }
+        let _ = writeln!(out, "/>");
+    }
+    let _ = writeln!(out, "    </sdf>");
+    let _ = writeln!(out, "    <sdfProperties>");
+    for actor in graph.actors() {
+        let _ = writeln!(
+            out,
+            r#"      <actorProperties actor="{}">"#,
+            escape(&actor.name)
+        );
+        let _ = writeln!(out, r#"        <processor type="cluster" default="true">"#);
+        let _ = writeln!(
+            out,
+            r#"          <executionTime time="{}"/>"#,
+            actor.wcet.as_u64()
+        );
+        if actor.accesses > 0 {
+            let _ = writeln!(out, "          <memory>");
+            let _ = writeln!(out, r#"            <stateSize max="{}"/>"#, actor.accesses);
+            let _ = writeln!(out, "          </memory>");
+        }
+        let _ = writeln!(out, "        </processor>");
+        let _ = writeln!(out, "      </actorProperties>");
+    }
+    for (ch_idx, ch) in graph.channels().iter().enumerate() {
+        let _ = writeln!(out, r#"      <channelProperties channel="ch{ch_idx}">"#);
+        let _ = writeln!(out, r#"        <tokenSize sz="{}"/>"#, ch.words_per_token);
+        let _ = writeln!(out, "      </channelProperties>");
+    }
+    let _ = writeln!(out, "    </sdfProperties>");
+    let _ = writeln!(out, "  </applicationGraph>");
+    let _ = writeln!(out, "</sdf3>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    /// The downsampling pipeline of the crate docs, in both formats.
+    const TEXT: &str = "
+        actor src  wcet=100 accesses=20
+        actor filt wcet=400 accesses=50
+        actor sink wcet=80
+        channel src  -> filt produce=1 consume=4 words=8
+        channel filt -> sink produce=2 consume=2 tokens=2 words=4
+    ";
+
+    fn pipeline_sdf3() -> String {
+        r#"<?xml version="1.0"?>
+<sdf3 type="sdf" version="1.0">
+  <applicationGraph name="pipeline">
+    <sdf name="pipeline" type="G">
+      <actor name="src" type="a"><port name="out" type="out" rate="1"/></actor>
+      <actor name="filt" type="a">
+        <port name="in" type="in" rate="4"/>
+        <port name="out" type="out" rate="2"/>
+      </actor>
+      <actor name="sink" type="a"><port name="in" type="in" rate="2"/></actor>
+      <channel name="c0" srcActor="src" srcPort="out" dstActor="filt" dstPort="in"/>
+      <channel name="c1" srcActor="filt" srcPort="out" dstActor="sink" dstPort="in" initialTokens="2"/>
+    </sdf>
+    <sdfProperties>
+      <actorProperties actor="src">
+        <processor type="cluster" default="true">
+          <executionTime time="100"/>
+          <memory><stateSize max="20"/></memory>
+        </processor>
+      </actorProperties>
+      <actorProperties actor="filt">
+        <processor type="cluster" default="true">
+          <executionTime time="400"/>
+          <memory><stateSize max="50"/></memory>
+        </processor>
+      </actorProperties>
+      <actorProperties actor="sink">
+        <processor type="cluster" default="true">
+          <executionTime time="80"/>
+        </processor>
+      </actorProperties>
+      <channelProperties channel="c0"><tokenSize sz="8"/></channelProperties>
+      <channelProperties channel="c1"><tokenSize sz="4"/></channelProperties>
+    </sdfProperties>
+  </applicationGraph>
+</sdf3>"#
+            .to_owned()
+    }
+
+    #[test]
+    fn sdf3_matches_the_text_format() {
+        // The same application written in both front-end formats parses
+        // to the identical graph — actors, rates, tokens and all.
+        let from_text = parse(TEXT).unwrap();
+        let from_xml = parse_sdf3(&pipeline_sdf3()).unwrap();
+        assert_eq!(from_text, from_xml);
+    }
+
+    #[test]
+    fn writer_round_trips() {
+        let g = parse(TEXT).unwrap();
+        let xml = to_sdf3(&g, "pipeline");
+        let back = parse_sdf3(&xml).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn writer_round_trips_awkward_names() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a<b>&\"q\"", Cycles(3), 1).unwrap();
+        let b = g.add_actor("plain", Cycles(4), 0).unwrap();
+        g.add_channel(a, b, 2, 3, 1, 5).unwrap();
+        let back = parse_sdf3(&to_sdf3(&g, "x&y")).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn rate_defaults_to_one_and_expansion_works() {
+        let xml = r#"<sdf3 type="sdf" version="1.0"><applicationGraph name="g">
+            <sdf name="g" type="G">
+              <actor name="a"><port name="o" type="out"/></actor>
+              <actor name="b"><port name="i" type="in" rate="2"/></actor>
+              <channel name="c" srcActor="a" srcPort="o" dstActor="b" dstPort="i"/>
+            </sdf>
+            <sdfProperties>
+              <actorProperties actor="a"><processor type="p" default="true"><executionTime time="10"/></processor></actorProperties>
+              <actorProperties actor="b"><processor type="p" default="true"><executionTime time="20"/></processor></actorProperties>
+            </sdfProperties>
+        </applicationGraph></sdf3>"#;
+        let g = parse_sdf3(xml).unwrap();
+        assert_eq!(g.repetition_vector().unwrap(), vec![2, 1]);
+        assert_eq!(g.channels()[0].words_per_token, 1);
+        let e = g.expand(1).unwrap();
+        assert_eq!(e.graph.len(), 3);
+    }
+
+    #[test]
+    fn default_processor_wins_over_other_processors() {
+        let xml = r#"<sdf3><applicationGraph name="g"><sdf name="g" type="G">
+              <actor name="a"/>
+            </sdf>
+            <sdfProperties>
+              <actorProperties actor="a">
+                <processor type="slow"><executionTime time="999"/></processor>
+                <processor type="fast" default="true"><executionTime time="10"/></processor>
+              </actorProperties>
+            </sdfProperties>
+        </applicationGraph></sdf3>"#;
+        let g = parse_sdf3(xml).unwrap();
+        assert_eq!(g.actors()[0].wcet.as_u64(), 10);
+    }
+
+    #[test]
+    fn comments_and_doctype_are_skipped() {
+        let xml = "<?xml version=\"1.0\"?>\n<!DOCTYPE sdf3>\n<!-- a\nmultiline comment -->\n<sdf3><applicationGraph name=\"g\"><sdf name=\"g\" type=\"G\"><actor name=\"a\"/></sdf>\n<sdfProperties><actorProperties actor=\"a\"><processor type=\"p\" default=\"true\"><executionTime time=\"5\"/></processor></actorProperties></sdfProperties>\n</applicationGraph></sdf3>";
+        let g = parse_sdf3(xml).unwrap();
+        assert_eq!(g.actors().len(), 1);
+        assert_eq!(g.actors()[0].wcet.as_u64(), 5);
+    }
+
+    // ── Error contract: 1-based line numbers, like the text parser ──
+
+    fn err_at(xml: &str) -> (usize, String) {
+        match parse_sdf3(xml).unwrap_err() {
+            SdfError::Parse { line, message } => (line, message),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_xml_is_reported_with_lines() {
+        let (line, msg) = err_at("<sdf3>\n<actor name=\"a\"");
+        assert_eq!(line, 2, "{msg}");
+        assert!(msg.contains("malformed XML"), "{msg}");
+
+        let (line, msg) = err_at("<sdf3>\n<!-- never closed");
+        assert_eq!(line, 2, "{msg}");
+        assert!(msg.contains("unterminated comment"), "{msg}");
+
+        let (line, msg) = err_at("<sdf3>\n  <actor name=a/>\n</sdf3>");
+        assert_eq!(line, 2, "{msg}");
+        assert!(msg.contains("not quoted"), "{msg}");
+
+        let (line, msg) = err_at("<sdf3>\n<sdf>\n</sdfProperties>\n</sdf3>");
+        assert_eq!(line, 3, "{msg}");
+        assert!(msg.contains("closes"), "{msg}");
+
+        let (line, msg) = err_at("<sdf3>\n<sdf>");
+        assert_eq!(line, 2, "{msg}");
+        assert!(msg.contains("never closed"), "{msg}");
+    }
+
+    #[test]
+    fn non_sdf3_document_is_rejected() {
+        let err = parse_sdf3("<html><body/></html>").unwrap_err();
+        assert!(err.to_string().contains("no <sdf3> root"), "{err}");
+    }
+
+    #[test]
+    fn unknown_actor_refs_are_reported_with_lines() {
+        // Channel naming a ghost actor (line 4).
+        let (line, msg) = err_at(
+            "<sdf3><applicationGraph name=\"g\">\n<sdf name=\"g\" type=\"G\">\n<actor name=\"a\"><port name=\"o\" type=\"out\"/></actor>\n<channel name=\"c\" srcActor=\"a\" srcPort=\"o\" dstActor=\"ghost\" dstPort=\"i\"/>\n</sdf>\n<sdfProperties><actorProperties actor=\"a\"><processor type=\"p\" default=\"true\"><executionTime time=\"1\"/></processor></actorProperties></sdfProperties>\n</applicationGraph></sdf3>",
+        );
+        assert_eq!(line, 4, "{msg}");
+        assert!(msg.contains("ghost"), "{msg}");
+
+        // actorProperties naming a ghost actor (line 3).
+        let (line, msg) = err_at(
+            "<sdf3><applicationGraph name=\"g\">\n<sdf name=\"g\" type=\"G\"><actor name=\"a\"/></sdf>\n<sdfProperties><actorProperties actor=\"ghost\"><processor type=\"p\"><executionTime time=\"1\"/></processor></actorProperties></sdfProperties>\n</applicationGraph></sdf3>",
+        );
+        assert_eq!(line, 3, "{msg}");
+        assert!(msg.contains("ghost"), "{msg}");
+
+        // Channel naming a ghost port (line 4).
+        let (line, msg) = err_at(
+            "<sdf3><applicationGraph name=\"g\">\n<sdf name=\"g\" type=\"G\">\n<actor name=\"a\"><port name=\"o\" type=\"out\"/></actor><actor name=\"b\"><port name=\"i\" type=\"in\"/></actor>\n<channel name=\"c\" srcActor=\"a\" srcPort=\"nope\" dstActor=\"b\" dstPort=\"i\"/>\n</sdf>\n<sdfProperties><actorProperties actor=\"a\"><processor type=\"p\" default=\"true\"><executionTime time=\"1\"/></processor></actorProperties><actorProperties actor=\"b\"><processor type=\"p\" default=\"true\"><executionTime time=\"1\"/></processor></actorProperties></sdfProperties>\n</applicationGraph></sdf3>",
+        );
+        assert_eq!(line, 4, "{msg}");
+        assert!(msg.contains("nope"), "{msg}");
+    }
+
+    #[test]
+    fn zero_rates_are_reported_with_lines() {
+        let (line, msg) = err_at(
+            "<sdf3><applicationGraph name=\"g\"><sdf name=\"g\" type=\"G\">\n<actor name=\"a\">\n<port name=\"o\" type=\"out\" rate=\"0\"/>\n</actor></sdf></applicationGraph></sdf3>",
+        );
+        assert_eq!(line, 3, "{msg}");
+        assert!(msg.contains("non-zero"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_actor_is_reported_with_line() {
+        let (line, msg) = err_at(
+            "<sdf3><applicationGraph name=\"g\"><sdf name=\"g\" type=\"G\">\n<actor name=\"a\"/>\n<actor name=\"a\"/>\n</sdf></applicationGraph></sdf3>",
+        );
+        assert_eq!(line, 3, "{msg}");
+        assert!(msg.contains("duplicate actor"), "{msg}");
+    }
+
+    #[test]
+    fn missing_execution_time_is_an_error() {
+        let (line, msg) = err_at(
+            "<sdf3><applicationGraph name=\"g\"><sdf name=\"g\" type=\"G\">\n<actor name=\"a\"/>\n</sdf></applicationGraph></sdf3>",
+        );
+        assert_eq!(line, 2, "{msg}");
+        assert!(msg.contains("executionTime"), "{msg}");
+    }
+
+    #[test]
+    fn malformed_numbers_are_errors() {
+        let (_, msg) = err_at(
+            "<sdf3><applicationGraph name=\"g\"><sdf name=\"g\" type=\"G\"><actor name=\"a\"><port name=\"o\" type=\"out\" rate=\"abc\"/></actor></sdf></applicationGraph></sdf3>",
+        );
+        assert!(msg.contains("invalid number"), "{msg}");
+    }
+
+    #[test]
+    fn missing_required_attributes_are_errors() {
+        let (_, msg) = err_at("<sdf3><sdf><actor/></sdf></sdf3>");
+        assert!(msg.contains("`name` attribute"), "{msg}");
+        let (_, msg) = err_at(
+            "<sdf3><sdf><actor name=\"a\"/><channel name=\"c\" srcActor=\"a\"/></sdf></sdf3>",
+        );
+        assert!(msg.contains("srcPort"), "{msg}");
+    }
+
+    #[test]
+    fn self_closing_context_tags_do_not_leak() {
+        // An empty-element <actor/> produces no Close event; a later
+        // stray <port> (e.g. in an ignored extension section) must not
+        // be attributed to it.
+        let xml = r#"<sdf3><applicationGraph name="g"><sdf name="g" type="G">
+              <actor name="a"/>
+              <port name="stray" type="in" rate="7"/>
+            </sdf>
+            <sdfProperties>
+              <actorProperties actor="a"/>
+              <executionTime time="999"/>
+              <actorProperties actor="a"><processor type="p" default="true"><executionTime time="5"/></processor></actorProperties>
+            </sdfProperties>
+        </applicationGraph></sdf3>"#;
+        let g = parse_sdf3(xml).unwrap();
+        assert_eq!(g.actors().len(), 1);
+        // The stray executionTime after the empty actorProperties did
+        // not overwrite a's WCET; the real properties block did set it.
+        assert_eq!(g.actors()[0].wcet.as_u64(), 5);
+    }
+
+    #[test]
+    fn architecture_and_mapping_sections_are_ignored() {
+        // Full SDF3 tool output also carries architecture and mapping
+        // sections whose elements reuse the names <actor>/<channel>;
+        // only the application graph and sdfProperties feed the import.
+        let xml = r#"<sdf3 type="sdf" version="1.0"><applicationGraph name="g">
+            <sdf name="g" type="G">
+              <actor name="a"><port name="o" type="out"/></actor>
+              <actor name="b"><port name="i" type="in"/></actor>
+              <channel name="c" srcActor="a" srcPort="o" dstActor="b" dstPort="i"/>
+            </sdf>
+            <sdfProperties>
+              <actorProperties actor="a"><processor type="p" default="true"><executionTime time="10"/></processor></actorProperties>
+              <actorProperties actor="b"><processor type="p" default="true"><executionTime time="20"/></processor></actorProperties>
+            </sdfProperties>
+          </applicationGraph>
+          <architectureGraph name="arch">
+            <tile name="t0"/>
+            <channel name="bus" srcActor="ignored" dstActor="alsoIgnored"/>
+          </architectureGraph>
+          <mapping appGraph="g" archGraph="arch">
+            <actor name="a"><tile name="t0"/></actor>
+            <actor name="b"><tile name="t0"/></actor>
+          </mapping>
+        </sdf3>"#;
+        let g = parse_sdf3(xml).unwrap();
+        assert_eq!(g.actors().len(), 2);
+        assert_eq!(g.channels().len(), 1);
+        assert_eq!(g.repetition_vector().unwrap(), vec![1, 1]);
+    }
+
+    #[test]
+    fn default_processor_state_size_wins() {
+        // stateSize follows the same default-wins rule as executionTime:
+        // a later non-default processor must not overwrite the default
+        // processor's memory accesses.
+        let xml = r#"<sdf3><applicationGraph name="g"><sdf name="g" type="G">
+              <actor name="a"/>
+            </sdf>
+            <sdfProperties>
+              <actorProperties actor="a">
+                <processor type="fast" default="true">
+                  <executionTime time="10"/>
+                  <memory><stateSize max="10"/></memory>
+                </processor>
+                <processor type="slow">
+                  <executionTime time="999"/>
+                  <memory><stateSize max="999"/></memory>
+                </processor>
+              </actorProperties>
+            </sdfProperties>
+        </applicationGraph></sdf3>"#;
+        let g = parse_sdf3(xml).unwrap();
+        assert_eq!(g.actors()[0].wcet.as_u64(), 10);
+        assert_eq!(g.actors()[0].accesses, 10);
+    }
+
+    #[test]
+    fn entities_in_attributes_are_unescaped() {
+        let xml = "<sdf3><applicationGraph name=\"g\"><sdf name=\"g\" type=\"G\"><actor name=\"a&amp;b\"/></sdf><sdfProperties><actorProperties actor=\"a&amp;b\"><processor type=\"p\" default=\"true\"><executionTime time=\"1\"/></processor></actorProperties></sdfProperties></applicationGraph></sdf3>";
+        let g = parse_sdf3(xml).unwrap();
+        assert_eq!(g.actors()[0].name, "a&b");
+    }
+}

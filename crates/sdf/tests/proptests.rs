@@ -29,7 +29,10 @@ fn arb_sdf() -> impl Strategy<Value = SdfGraph> {
         .prop_map(|(n, channels, wcets)| {
             let mut g = SdfGraph::new();
             let ids: Vec<_> = (0..n)
-                .map(|i| g.add_actor(format!("a{i}"), Cycles(wcets[i]), (i as u64) * 3))
+                .map(|i| {
+                    g.add_actor(format!("a{i}"), Cycles(wcets[i]), (i as u64) * 3)
+                        .expect("generated names are unique")
+                })
                 .collect();
             for (a, b, p, c, d, w) in channels {
                 g.add_channel(ids[a], ids[b], p, c, d, w).unwrap();
@@ -128,8 +131,8 @@ proptest! {
         words in 1u64..=4,
     ) {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
         g.add_channel(a, b, produce, consume, initial, words).unwrap();
         let bounds = g.buffer_bounds().unwrap();
         let gcd = {
@@ -153,9 +156,9 @@ proptest! {
         initial in 0u64..=6,
     ) {
         let mut g = SdfGraph::new();
-        let a = g.add_actor("a", Cycles(1), 0);
-        let b = g.add_actor("b", Cycles(1), 0);
-        let c = g.add_actor("c", Cycles(1), 0);
+        let a = g.add_actor("a", Cycles(1), 0).unwrap();
+        let b = g.add_actor("b", Cycles(1), 0).unwrap();
+        let c = g.add_actor("c", Cycles(1), 0).unwrap();
         g.add_channel(a, b, produce, consume, initial, 2).unwrap();
         g.add_channel(b, c, consume, produce, 0, 3).unwrap();
         let bounds = g.buffer_bounds().unwrap();

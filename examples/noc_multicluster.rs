@@ -89,5 +89,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(cons_schedule.timing(unpack).release >= frame_arrival);
     assert!(cons_schedule.makespan() > frame_ready);
     println!("composition checks passed.");
+
+    // ── Scaling the fabric: the 4×8 torus (two MPPA chips) ─────────────
+    // The same frame shipped across the wider fabric: more hops, and the
+    // half-ring wrap distances (4 in Y) that only even dimensions have.
+    let wide = Torus::torus4x8();
+    let far = wide.node(2, 4);
+    let mut wide_flows = FlowSet::new();
+    let long_haul = wide_flows.add(Flow::new(wide.node(0, 0), far, 96));
+    let cross = wide_flows.add(Flow::new(wide.node(2, 1), wide.node(2, 6), 256));
+    let wide_bounds = worst_case_latencies(&wide, &wide_flows, &noc_cfg);
+    println!(
+        "\n4×8 torus: {} hops to {far}, frame bounded by t = {} \
+         (vs {} hops on the 4×4 chip)",
+        wide.hops(wide.node(0, 0), far),
+        wide_bounds[long_haul.index()],
+        torus.hops(producer_cluster, consumer_cluster)
+    );
+    let wide_sim = simulate_flows(&wide, &wide_flows, &noc_cfg);
+    assert!(wide_sim.delivered(long_haul) <= wide_bounds[long_haul.index()]);
+    assert!(wide_sim.delivered(cross) <= wide_bounds[cross.index()]);
     Ok(())
 }

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Plot `mia sweep` / `mia-bench sweep` reports (BENCH_sweep.json).
+
+Stdlib-only: reads the JSON report, groups the measured points into
+series keyed by (family, arbiter, algorithm, threads), and renders the
+runtime-vs-size trajectory curves of the paper's Figure 3:
+
+* by default, an ASCII log-log chart straight to the terminal,
+* with `--gnuplot DIR`, a gnuplot data file + script pair (`sweep.dat`,
+  `sweep.gp`) ready for `gnuplot sweep.gp` -> `sweep.svg`,
+* with `--csv`, the flat nine-column table of `mia sweep --csv`
+  (family,arbiter,n,algorithm,threads,status,seconds,makespan,error).
+
+Examples:
+
+    scripts/plot_sweep.py                      # chart BENCH_sweep.json
+    scripts/plot_sweep.py results/sweep.json --gnuplot out/
+    mia sweep --sizes 1000,8000 -o r.json && scripts/plot_sweep.py r.json
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+
+def load_report(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def series_of(report):
+    """{(family, arbiter, algorithm, threads): [(n, seconds)]}, completed
+    points only, sorted by n."""
+    series = {}
+    for point in report["points"]:
+        outcome = point["outcome"]
+        if "Completed" not in outcome:
+            continue
+        # Reports from before the threads axis lack the per-point field.
+        threads = point.get("threads", 1)
+        key = (point["family"], point["arbiter"], point["algorithm"], threads)
+        series.setdefault(key, []).append((point["n"], outcome["Completed"]["seconds"]))
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def label_of(key):
+    family, arbiter, algorithm, threads = key
+    label = f"{family}/{arbiter}/{algorithm}"
+    return label if threads == 1 else f"{label}/t{threads}"
+
+
+def render_ascii(series, width=72, height=20):
+    """One shared log-log canvas, one marker letter per series."""
+    points = [(n, s) for pts in series.values() for (n, s) in pts if s > 0]
+    if not points:
+        return "no completed points to plot\n"
+    xs = [math.log10(n) for n, _ in points]
+    ys = [math.log10(s) for _, s in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghijklmnopqrstuvwxyz"
+    legend = []
+    for index, (key, pts) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        legend.append(f"  {marker} = {label_of(key)}")
+        for n, seconds in pts:
+            if seconds <= 0:
+                continue
+            col = round((math.log10(n) - x_lo) / x_span * (width - 1))
+            row = round((math.log10(seconds) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = [f"log10(seconds) vs log10(n)   [{10 ** y_lo:.2g}s .. {10 ** y_hi:.2g}s]"]
+    lines += ["  |" + "".join(row) for row in grid]
+    lines.append("  +" + "-" * width)
+    lines.append(f"   n: {int(round(10 ** x_lo))} .. {int(round(10 ** x_hi))}")
+    lines.extend(legend)
+    return "\n".join(lines) + "\n"
+
+
+def write_gnuplot(series, out_dir):
+    os.makedirs(out_dir, exist_ok=True)
+    dat_path = os.path.join(out_dir, "sweep.dat")
+    gp_path = os.path.join(out_dir, "sweep.gp")
+    keys = sorted(series)
+    with open(dat_path, "w") as dat:
+        for key in keys:
+            dat.write(f"# {label_of(key)}\n")
+            for n, seconds in series[key]:
+                dat.write(f"{n} {seconds}\n")
+            dat.write("\n\n")  # gnuplot index separator
+    plots = ", \\\n    ".join(
+        f"'sweep.dat' index {i} with linespoints title '{label_of(key)}'"
+        for i, key in enumerate(keys)
+    )
+    with open(gp_path, "w") as gp:
+        gp.write(
+            "set terminal svg size 900,600\n"
+            "set output 'sweep.svg'\n"
+            "set logscale xy\n"
+            "set xlabel 'tasks (n)'\n"
+            "set ylabel 'analysis runtime (s)'\n"
+            "set key left top\n"
+            f"plot {plots}\n"
+        )
+    return dat_path, gp_path
+
+
+def write_csv(report, out):
+    out.write("family,arbiter,n,algorithm,threads,status,seconds,makespan,error\n")
+    for p in report["points"]:
+        outcome = p["outcome"]
+        threads = p.get("threads", 1)
+        if "Completed" in outcome:
+            c = outcome["Completed"]
+            row = ["completed", f"{c['seconds']:.6f}", str(c["makespan"]), ""]
+        elif "TimedOut" in outcome:
+            row = ["timeout", f"{outcome['TimedOut']['budget']:.6f}", "", ""]
+        else:
+            error = outcome["Failed"]["error"].replace(",", ";").replace("\n", " ")
+            row = ["failed", "", "", error]
+        family = p["family"].replace(",", ";")
+        out.write(
+            f"{family},{p['arbiter']},{p['n']},{p['algorithm']},{threads},"
+            + ",".join(row)
+            + "\n"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", nargs="?", default="BENCH_sweep.json",
+                        help="sweep JSON report (default: BENCH_sweep.json)")
+    parser.add_argument("--gnuplot", metavar="DIR",
+                        help="write sweep.dat + sweep.gp into DIR")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit the flat nine-column CSV instead of a chart")
+    args = parser.parse_args()
+
+    report = load_report(args.report)
+    if args.csv:
+        write_csv(report, sys.stdout)
+        return
+    series = series_of(report)
+    if args.gnuplot:
+        dat, gp = write_gnuplot(series, args.gnuplot)
+        print(f"wrote {dat} and {gp} (run: gnuplot {gp})")
+        return
+    sys.stdout.write(render_ascii(series))
+
+
+if __name__ == "__main__":
+    main()
