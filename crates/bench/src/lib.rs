@@ -8,6 +8,7 @@
 //! | `headline` | §V's headline numbers (LS64@256: 270×, NL64@384: 593×) |
 //! | `scale8000` | §VI's ">8000 tasks in reasonable time" claim |
 //! | `sweep` | arbitrary arbiter × family × size grids → one JSON report (Figure 3 in one command; see [`sweep`]) |
+//! | `dse` | interference-aware mapping optimization over the same family grid → `BENCH_dse.json` (see [`dse`]) |
 //! | `ablation` | A1–A4 of `DESIGN.md` (additivity fast path, aggregation, arbiters, banks) |
 //! | `precision` | V2: old-vs-new precision comparison |
 //!
@@ -19,6 +20,7 @@
 //! arbiter × family × size grids measured concurrently into one JSON
 //! report.
 
+pub mod dse;
 pub mod sweep;
 
 use std::sync::mpsc;

@@ -48,13 +48,21 @@ workload inputs: every command taking <workload> accepts a JSON workload
 file, an SDF application (.sdf text format, .sdf3/.xml SDF3 format) or
 the literal `rosace` (the built-in ROSACE avionics case study). SDF
 inputs are expanded to a task DAG first and take [--iterations K]
-[--cores N] [--strategy etf|cyclic|balanced|heft].
+[--cores N] [--strategy etf|cyclic|balanced|heft]; when --iterations is
+absent and the graph declares a hyper-period, --deadline <cycles>
+derives the smallest iteration count covering the deadline.
 
 commands:
   generate --family <LS4|NL64|...> -n <tasks> [--seed S] [-o FILE]
   analyze  <workload> [--algorithm incremental|baseline]
            [--arbiter rr|mppa|tdm|fifo|fp|wrr|regulated] [--deadline N]
            [--threads N] [--gantt] [--dot] [--json FILE] [--chrome FILE]
+  optimize <workload|family> [-n <tasks>] [--strategy anneal|portfolio]
+           [--chains N] [--seed N] [--budget-evals N] [--threads N]
+           [--arbiters rr,mppa,...] [--seed-strategy etf|cyclic|balanced|heft]
+           [--gen-seed N] [--deadline N] [--with-mapping] [--csv] [-o FILE]
+           (search mappings with the real interference analysis as the
+            objective; never returns a mapping worse than the seed)
   sweep    [--families tobita,layered,LS64,rosace,sdf3:app.sdf3,...]
            [--arbiters rr,mppa,...] [--sizes 1000,8000,32000]
            [--algorithms incremental,baseline] [--seed N] [--budget SECS]
@@ -78,6 +86,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match command.as_str() {
         "generate" => generate(rest),
         "analyze" => analyze_cmd(rest),
+        "optimize" => crate::optimize::optimize_cmd(rest),
         "sweep" => crate::sweep::sweep_cmd(rest),
         "simulate" => simulate_cmd(rest),
         "exec" => exec_cmd(rest),
@@ -91,18 +100,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 }
 
 /// Fetches the value following a `--flag`.
-fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+pub(crate) fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
 }
 
-fn has_flag(args: &[String], flag: &str) -> bool {
+pub(crate) fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
-fn positional(args: &[String]) -> Option<&str> {
+pub(crate) fn positional(args: &[String]) -> Option<&str> {
     args.iter()
         .take_while(|a| !a.starts_with("--"))
         .map(String::as_str)
@@ -128,13 +137,13 @@ fn parse_arbiter(name: Option<&str>) -> Result<Box<dyn Arbiter + Send + Sync>, C
 
 /// True when the input names an SDF workload (to expand) rather than a
 /// JSON workload file.
-fn is_sdf_input(path: &str) -> bool {
+pub(crate) fn is_sdf_input(path: &str) -> bool {
     path == "rosace" || path.ends_with(".sdf") || path.ends_with(".sdf3") || path.ends_with(".xml")
 }
 
 /// Loads the SDF graph behind an input token: the built-in `rosace`
 /// preset, an `.sdf3`/`.xml` SDF3 document, or the `.sdf` text format.
-fn load_sdf_graph(path: &str) -> Result<mia_sdf::SdfGraph, CliError> {
+pub(crate) fn load_sdf_graph(path: &str) -> Result<mia_sdf::SdfGraph, CliError> {
     if path == "rosace" {
         return Ok(mia_sdf::rosace());
     }
@@ -152,32 +161,108 @@ fn parse_iterations(args: &[String]) -> Result<u64, CliError> {
         .ok_or_else(|| CliError::Usage("--iterations must be a positive number".into()))
 }
 
-/// Expands an SDF input into an analysable problem, honouring the
-/// shared SDF flags (`--iterations`, `--cores`, `--strategy`).
-fn sdf_problem(path: &str, args: &[String]) -> Result<Problem, CliError> {
-    let cores: usize = opt(args, "--cores")
-        .unwrap_or("16")
+/// The iteration count of an SDF input: an explicit `--iterations`, or —
+/// when absent, the graph declares a hyper-period (like the `rosace`
+/// preset and any SDF3 file carrying the `<hyperPeriod>` property) and a
+/// `--deadline <cycles>` is given — the smallest count whose
+/// hyper-period covers the deadline. Graphs without a hyper-period keep
+/// the historical behaviour (one iteration; `--deadline` still bounds
+/// the schedule); a deadline whose derived count would overflow the
+/// expansion is an error. Default: 1.
+pub(crate) fn sdf_iterations(
+    graph: &mia_sdf::SdfGraph,
+    path: &str,
+    args: &[String],
+) -> Result<u64, CliError> {
+    if opt(args, "--iterations").is_some() {
+        return parse_iterations(args);
+    }
+    let Some(deadline) = opt(args, "--deadline") else {
+        return Ok(1);
+    };
+    // Parse before the hyper-period check so a typo'd deadline is a
+    // usage error on every input, not just period-declaring ones.
+    let deadline: u64 = deadline
         .parse()
-        .map_err(|_| CliError::Usage("--cores must be a number".into()))?;
-    let iterations = parse_iterations(args)?;
-    let graph = load_sdf_graph(path)?;
-    let expansion = graph
-        .expand(iterations)
-        .map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
-    let mapping = match opt(args, "--strategy").unwrap_or("etf") {
-        "etf" => mia_mapping::earliest_finish(&expansion.graph, cores),
-        "cyclic" => mia_mapping::layered_cyclic(&expansion.graph, cores),
-        "balanced" => mia_mapping::load_balanced(&expansion.graph, cores),
-        "heft" => mia_mapping::heft(&expansion.graph, cores, 1),
+        .map_err(|_| CliError::Usage("--deadline must be a number".into()))?;
+    if graph.hyper_period().is_none() {
+        return Ok(1);
+    }
+    graph
+        .iterations_for_deadline(Cycles(deadline))
+        .map_err(|e| {
+            CliError::Usage(format!(
+                "{path}: cannot derive --iterations from --deadline {deadline}: {e}"
+            ))
+        })
+}
+
+/// Builds the mapping of an expanded SDF graph from a strategy-name
+/// flag (`--strategy` for the analysis commands, `--seed-strategy` for
+/// `mia optimize`, which repurposes `--strategy` for the search).
+pub(crate) fn sdf_mapping(
+    graph: &mia_model::TaskGraph,
+    cores: usize,
+    args: &[String],
+    strategy_flag: &str,
+    default_strategy: &str,
+) -> Result<mia_model::Mapping, CliError> {
+    match opt(args, strategy_flag).unwrap_or(default_strategy) {
+        "etf" => mia_mapping::earliest_finish(graph, cores),
+        "cyclic" => mia_mapping::layered_cyclic(graph, cores),
+        "balanced" => mia_mapping::load_balanced(graph, cores),
+        "heft" => mia_mapping::heft(graph, cores, 1),
         other => {
             return Err(CliError::Usage(format!(
                 "unknown strategy `{other}` (etf, cyclic, balanced, heft)"
             )))
         }
     }
-    .map_err(|e| CliError::Analysis(e.to_string()))?;
-    Problem::new(expansion.graph, mapping, Platform::new(cores, cores))
-        .map_err(|e| CliError::Analysis(e.to_string()))
+    .map_err(|e| CliError::Analysis(e.to_string()))
+}
+
+/// Expands an SDF input into an analysable problem, honouring the
+/// shared SDF flags (`--iterations`/`--deadline`, `--cores`, and the
+/// mapping strategy read from `strategy_flag`). Returns the problem
+/// plus the iteration count used.
+pub(crate) fn sdf_problem_full(
+    path: &str,
+    args: &[String],
+    strategy_flag: &str,
+    default_strategy: &str,
+) -> Result<(Problem, u64), CliError> {
+    let cores: usize = opt(args, "--cores")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| CliError::Usage("--cores must be a number".into()))?;
+    let graph = load_sdf_graph(path)?;
+    let iterations = sdf_iterations(&graph, path, args)?;
+    let expansion = graph
+        .expand(iterations)
+        .map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
+    let mapping = sdf_mapping(
+        &expansion.graph,
+        cores,
+        args,
+        strategy_flag,
+        default_strategy,
+    )?;
+    let problem = Problem::new(expansion.graph, mapping, Platform::new(cores, cores))
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    Ok((problem, iterations))
+}
+
+/// [`sdf_problem_full`] with the analysis commands' `--strategy` flag.
+pub(crate) fn sdf_problem_with_iterations(
+    path: &str,
+    args: &[String],
+) -> Result<(Problem, u64), CliError> {
+    sdf_problem_full(path, args, "--strategy", "etf")
+}
+
+/// [`sdf_problem_with_iterations`] without the iteration count.
+fn sdf_problem(path: &str, args: &[String]) -> Result<Problem, CliError> {
+    sdf_problem_with_iterations(path, args).map(|(p, _)| p)
 }
 
 fn load_problem(path: &str, args: &[String]) -> Result<Problem, CliError> {
@@ -385,8 +470,7 @@ fn simulate_cmd(args: &[String]) -> Result<String, CliError> {
 fn sdf_cmd(args: &[String]) -> Result<String, CliError> {
     let path = positional(args)
         .ok_or_else(|| CliError::Usage("sdf needs an .sdf/.sdf3 file or `rosace`".into()))?;
-    let iterations = parse_iterations(args)?;
-    let problem = sdf_problem(path, args)?;
+    let (problem, iterations) = sdf_problem_with_iterations(path, args)?;
     let arbiter = parse_arbiter(opt(args, "--arbiter"))?;
     let schedule = mia_core::analyze(&problem, arbiter.as_ref())
         .map_err(|e| CliError::Analysis(e.to_string()))?;
@@ -580,6 +664,80 @@ mod tests {
         let out = run(&args(&["sdf", "rosace", "--iterations", "2"])).unwrap();
         assert!(out.contains("50 firings"), "{out}");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn deadline_derives_sdf_iterations() {
+        // ROSACE's hyper-period is 2_000_000 cycles (20 ms): a deadline
+        // within one period expands one iteration, 3_000_000 needs two.
+        let out = run(&args(&["sdf", "rosace", "--deadline", "2000000"])).unwrap();
+        assert!(out.contains("expanded 1 iteration(s): 25 firings"), "{out}");
+        let out = run(&args(&["sdf", "rosace", "--deadline", "3000000"])).unwrap();
+        assert!(out.contains("expanded 2 iteration(s): 50 firings"), "{out}");
+        // An explicit --iterations always wins over the derivation.
+        let out = run(&args(&[
+            "sdf",
+            "rosace",
+            "--deadline",
+            "3000000",
+            "--iterations",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("expanded 1 iteration(s)"), "{out}");
+        // `analyze` shares the derivation (and still enforces the
+        // deadline on the schedule, which rosace meets comfortably).
+        let out = run(&args(&["analyze", "rosace", "--deadline", "3000000"])).unwrap();
+        assert!(out.contains("tasks: 50"), "{out}");
+    }
+
+    #[test]
+    fn deadline_without_hyper_period_keeps_the_old_behaviour() {
+        // The .sdf text format declares no hyper-period: `--deadline`
+        // cannot derive iterations there, so it falls back to one
+        // iteration (and, under `analyze`, still bounds the schedule) —
+        // exactly what the flag did before the derivation existed.
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bare.sdf");
+        std::fs::write(&path, "actor a wcet=10\nactor b wcet=20\n").unwrap();
+        let out = run(&args(&[
+            "sdf",
+            path.to_str().unwrap(),
+            "--deadline",
+            "1000",
+        ]))
+        .unwrap();
+        assert!(out.contains("expanded 1 iteration(s)"), "{out}");
+        // …but a typo'd deadline is still a usage error, period or not.
+        let err = run(&args(&[
+            "sdf",
+            path.to_str().unwrap(),
+            "--deadline",
+            "12O0",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        // The schedule deadline itself is still enforced by `analyze`.
+        let err = run(&args(&[
+            "analyze",
+            path.to_str().unwrap(),
+            "--deadline",
+            "5",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("deadline"), "{err}");
+        std::fs::remove_file(path).ok();
+        // An infeasibly far deadline on a period-declaring graph is
+        // rejected before expansion.
+        let err = run(&args(&[
+            "sdf",
+            "rosace",
+            "--deadline",
+            &u64::MAX.to_string(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("deadline"), "{err}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! mia analyze workload.json --arbiter mppa --gantt
 //! mia analyze workload.json --algorithm baseline
 //! mia analyze workload.json --threads 4
+//! mia optimize rosace --budget-evals 200 --seed 7
 //! mia sweep --families tobita,layered --arbiters rr,mppa --sizes 1000,8000,32000
 //! mia simulate workload.json --pattern random --seed 3
 //! mia sdf app.sdf --cores 4 --iterations 2 --strategy etf
@@ -19,6 +20,7 @@
 //! error messages instead of panics.
 
 mod commands;
+mod optimize;
 mod sweep;
 mod workload;
 

@@ -1,0 +1,469 @@
+//! The `mia optimize` subcommand: interference-aware design-space
+//! exploration with the incremental analysis as the objective.
+//!
+//! ```text
+//! mia optimize rosace --budget-evals 200 --seed 7
+//! mia optimize app.sdf3 --iterations 4 --arbiters rr,mppa --csv
+//! mia optimize workload.json --strategy anneal --budget-evals 500
+//! mia optimize layered -n 300 --arbiters rr,mppa -o report.json
+//! ```
+//!
+//! The positional workload accepts every form the rest of the CLI takes
+//! — a JSON workload file (its mapping is the seed the search must beat),
+//! an SDF input (`rosace`, `.sdf`/`.sdf3`/`.xml`; seeded by
+//! `--seed-strategy`, default the paper's layered-cyclic) — plus a
+//! generator family token (`LS16`, `NL4`, `tobita`, `layered`) sized by
+//! `-n` and seeded by `--gen-seed`.
+//!
+//! Flags (all optional):
+//!
+//! | Flag | Meaning | Default |
+//! |------|---------|---------|
+//! | `--strategy anneal\|portfolio` | search strategy | `portfolio` |
+//! | `--chains N` | portfolio chains | `8` |
+//! | `--seed N` | search PRNG seed (runs are deterministic per seed) | `0` |
+//! | `--budget-evals N` | total evaluation budget across chains | `2000` |
+//! | `--threads N` | worker threads (`0` = all cores); wall-clock only, never results | `0` |
+//! | `--arbiters A,B,…` | one independent search per arbiter | `rr` |
+//! | `--seed-strategy S` | seed mapping for SDF/generated inputs (`etf`, `cyclic`, `balanced`, `heft`) | `cyclic` |
+//! | `--gen-seed N` | generator PRNG seed for family tokens | `0` |
+//! | `--cores N` / `--iterations K` / `--deadline C` | shared SDF expansion flags | 16 / 1 / — |
+//! | `--with-mapping` | include the optimized core assignment in the JSON report | off |
+//! | `--csv` | emit the flat CSV table instead of JSON | JSON |
+//! | `-o FILE` | write the report to `FILE` | stdout |
+
+use std::fs;
+use std::time::Instant;
+
+use mia_core::AnalysisOptions;
+use mia_dse::{
+    optimize, render_dse_report, AnnealTuning, DseConfig, DseReportFormat, OptimizeReport,
+    OptimizeRun, SearchSpace, Strategy,
+};
+use mia_model::{BankPolicy, Cycles, Platform, Problem};
+
+use crate::commands::{has_flag, is_sdf_input, opt, positional, sdf_problem_full, CliError};
+use crate::workload::WorkloadFile;
+
+/// Runs `mia optimize` with the raw arguments after the subcommand name.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for malformed flags, [`CliError::Io`]/
+/// [`CliError::Parse`] for unreadable workloads, [`CliError::Analysis`]
+/// when the search itself fails (e.g. the seed mapping is infeasible).
+pub fn optimize_cmd(args: &[String]) -> Result<String, CliError> {
+    let token = positional(args).ok_or_else(|| {
+        CliError::Usage("optimize needs a workload (file, SDF input or family token)".into())
+    })?;
+
+    let parse_num = |flag: &str, default: usize| -> Result<usize, CliError> {
+        opt(args, flag)
+            .map_or(Ok(default), str::parse)
+            .map_err(|_| CliError::Usage(format!("{flag} must be a number")))
+    };
+    let chains = parse_num("--chains", 8)?;
+    if chains == 0 {
+        return Err(CliError::Usage("--chains must be a positive number".into()));
+    }
+    let strategy = match opt(args, "--strategy").unwrap_or("portfolio") {
+        "anneal" if opt(args, "--chains").is_some() => {
+            return Err(CliError::Usage(
+                "--chains only applies to the portfolio strategy".into(),
+            ))
+        }
+        "anneal" => Strategy::Anneal,
+        "portfolio" => Strategy::Portfolio { chains },
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown strategy `{other}` (anneal, portfolio)"
+            )))
+        }
+    };
+    let seed: u64 = opt(args, "--seed")
+        .map_or(Ok(0), str::parse)
+        .map_err(|_| CliError::Usage("--seed must be a number".into()))?;
+    let budget_evals = parse_num("--budget-evals", 2_000)?;
+    let threads = parse_num("--threads", 0)?;
+    let arbiters: Vec<String> = opt(args, "--arbiters")
+        .unwrap_or("rr")
+        .split(',')
+        .map(str::to_owned)
+        .collect();
+    for name in &arbiters {
+        mia_arbiter::by_name_or_err(name).map_err(CliError::Usage)?;
+    }
+
+    let (problem, policy, label) = load_optimize_problem(token, args)?;
+    let mut options = AnalysisOptions::new();
+    if let Some(deadline) = opt(args, "--deadline") {
+        let deadline: u64 = deadline
+            .parse()
+            .map_err(|_| CliError::Usage("--deadline must be a number".into()))?;
+        options = options.deadline(Cycles(deadline));
+    }
+    let n = problem.len();
+    let cores = problem.platform().cores();
+    let space = SearchSpace::new(problem, policy).with_options(options);
+    let config = DseConfig {
+        strategy,
+        seed,
+        budget_evals,
+        threads,
+        tuning: AnnealTuning::default(),
+    };
+
+    let started = Instant::now();
+    let mut runs = Vec::with_capacity(arbiters.len());
+    let mut summary = String::new();
+    for name in &arbiters {
+        let arbiter = mia_arbiter::by_name_or_err(name).map_err(CliError::Usage)?;
+        let run_started = Instant::now();
+        let result = optimize(&space, arbiter.as_ref(), &config)
+            .map_err(|e| CliError::Analysis(format!("{label} / {name}: {e}")))?;
+        let seconds = run_started.elapsed().as_secs_f64();
+        summary.push_str(&format!(
+            "{label} / {name}: makespan {} -> {} ({:+.2}%)  evals {}  cache hit rate {:.1}%  {:.2}s\n",
+            result.seed_makespan,
+            result.best_makespan,
+            -result.improvement_pct(),
+            result.stats.evaluations,
+            result.stats.hit_rate() * 100.0,
+            seconds,
+        ));
+        runs.push(OptimizeRun {
+            workload: label.clone(),
+            arbiter: name.clone(),
+            strategy: strategy.label().to_owned(),
+            n,
+            cores,
+            chains: result.chains,
+            seed_makespan: result.seed_makespan,
+            optimized_makespan: result.best_makespan,
+            improvement_pct: result.improvement_pct(),
+            evaluations: result.stats.evaluations,
+            analyses: result.stats.analyses,
+            cache_hits: result.stats.cache_hits,
+            cache_hit_rate: result.stats.hit_rate(),
+            infeasible: result.stats.infeasible,
+            accepted: result.accepted,
+            best_chain: result.best_chain,
+            seconds,
+            mapping: has_flag(args, "--with-mapping").then(|| {
+                (0..n)
+                    .map(|i| {
+                        result
+                            .best_mapping
+                            .core_of(mia_model::TaskId::from_index(i))
+                            .0
+                    })
+                    .collect()
+            }),
+        });
+    }
+
+    let report = OptimizeReport {
+        seed,
+        budget_evals,
+        strategy: strategy.label().to_owned(),
+        threads,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        runs,
+    };
+    let format = if has_flag(args, "--csv") {
+        DseReportFormat::Csv
+    } else {
+        DseReportFormat::Json
+    };
+    let rendered = render_dse_report(&report, format);
+
+    match opt(args, "-o").or_else(|| opt(args, "--out")) {
+        Some(path) => {
+            fs::write(path, &rendered)?;
+            summary.push_str(&format!("report written to {path}\n"));
+            Ok(summary)
+        }
+        None => {
+            summary.push('\n');
+            summary.push_str(&rendered);
+            summary.push('\n');
+            Ok(summary)
+        }
+    }
+}
+
+/// Resolves the positional workload of `mia optimize` into a seed
+/// problem, the bank policy candidates are re-derived under, and a
+/// report label.
+fn load_optimize_problem(
+    token: &str,
+    args: &[String],
+) -> Result<(Problem, BankPolicy, String), CliError> {
+    if is_sdf_input(token) {
+        // The shared SDF pipeline, seeded from `--seed-strategy`
+        // (default the paper's layered-cyclic — the incumbent the
+        // acceptance criteria measure against; `--strategy` names the
+        // *search* strategy here).
+        let (problem, _) = sdf_problem_full(token, args, "--seed-strategy", "cyclic")?;
+        return Ok((problem, BankPolicy::PerCoreBank, token.to_owned()));
+    }
+    if let Some(family) = mia_bench::sweep::parse_family_token(token) {
+        let n: usize = opt(args, "-n")
+            .or_else(|| opt(args, "--tasks"))
+            .ok_or_else(|| {
+                CliError::Usage(format!(
+                    "optimize {token} needs -n <tasks> (generator family)"
+                ))
+            })?
+            .parse()
+            .map_err(|_| CliError::Usage("-n must be a number".into()))?;
+        let gen_seed: u64 = opt(args, "--gen-seed")
+            .map_or(Ok(0), str::parse)
+            .map_err(|_| CliError::Usage("--gen-seed must be a number".into()))?;
+        let workload = mia_dag_gen::LayeredDag::new(family.config(n, gen_seed)).generate();
+        let platform = Platform::mppa256_cluster();
+        // The generator ships its own layered-cyclic mapping; an
+        // explicit `--seed-strategy` replaces it.
+        let mapping = match opt(args, "--seed-strategy") {
+            None => workload.mapping.clone(),
+            Some(_) => crate::commands::sdf_mapping(
+                &workload.graph,
+                platform.cores(),
+                args,
+                "--seed-strategy",
+                "cyclic",
+            )?,
+        };
+        let problem = Problem::new(workload.graph, mapping, platform)
+            .map_err(|e| CliError::Analysis(e.to_string()))?;
+        return Ok((problem, BankPolicy::PerCoreBank, family.label()));
+    }
+    // A JSON workload file: its own mapping is the seed, its bank policy
+    // governs candidate re-derivation.
+    let text = fs::read_to_string(token)?;
+    let file: WorkloadFile =
+        serde_json::from_str(&text).map_err(|e| CliError::Parse(format!("{token}: {e}")))?;
+    let policy = file.parsed_policy().map_err(|_| {
+        CliError::Parse(format!(
+            "{token}: unknown bank policy `{}`",
+            file.bank_policy
+        ))
+    })?;
+    let problem = file
+        .into_problem()
+        .map_err(|e| CliError::Parse(format!("{token}: {e}")))?;
+    Ok((problem, policy, token.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::run;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn rosace_optimizes_deterministically_and_never_regresses() {
+        // The acceptance-criteria invocation.
+        let out = run(&args(&[
+            "optimize",
+            "rosace",
+            "--budget-evals",
+            "200",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        let again = run(&args(&[
+            "optimize",
+            "rosace",
+            "--budget-evals",
+            "200",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        // Deterministic apart from wall-clock: compare the summary line's
+        // makespans and the JSON's stable fields.
+        let stable = |s: &str| -> (String, String) {
+            let summary = s
+                .lines()
+                .next()
+                .unwrap()
+                .split("  ")
+                .next()
+                .unwrap()
+                .to_owned();
+            let makespans = s
+                .lines()
+                .filter(|l| l.contains("\"seed_makespan\"") || l.contains("\"optimized_makespan\""))
+                .collect::<Vec<_>>()
+                .join("\n");
+            (summary, makespans)
+        };
+        assert_eq!(stable(&out), stable(&again));
+        assert!(out.contains("cache hit rate"), "{out}");
+        assert!(out.contains("\"cache_hit_rate\""), "{out}");
+
+        // Never worse: parse the two makespans from the summary.
+        let line = out.lines().next().unwrap();
+        let grab = |marker: &str| -> u64 {
+            let rest = &line[line.find(marker).unwrap() + marker.len()..];
+            rest.split_whitespace().next().unwrap().parse().unwrap()
+        };
+        let seed_makespan = grab("makespan ");
+        let optimized = grab("-> ");
+        assert!(optimized <= seed_makespan, "{line}");
+    }
+
+    #[test]
+    fn optimize_accepts_family_tokens_and_multiple_arbiters() {
+        let out = run(&args(&[
+            "optimize",
+            "LS4",
+            "-n",
+            "24",
+            "--arbiters",
+            "rr,mppa",
+            "--budget-evals",
+            "60",
+            "--csv",
+        ]))
+        .unwrap();
+        assert!(out.contains(mia_dse::DSE_CSV_HEADER), "{out}");
+        assert!(out.contains("LS4,rr,portfolio,24,"), "{out}");
+        assert!(out.contains("LS4,mppa,portfolio,24,"), "{out}");
+    }
+
+    #[test]
+    fn optimize_accepts_json_workloads_and_writes_reports() {
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let w_path = dir.join("opt-w.json");
+        let r_path = dir.join("opt-r.json");
+        run(&args(&[
+            "generate",
+            "--family",
+            "LS4",
+            "-n",
+            "24",
+            "-o",
+            w_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "optimize",
+            w_path.to_str().unwrap(),
+            "--budget-evals",
+            "50",
+            "--with-mapping",
+            "-o",
+            r_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("report written"), "{out}");
+        let json = std::fs::read_to_string(&r_path).unwrap();
+        assert!(json.contains("\"optimized_makespan\""), "{json}");
+        assert!(json.contains("\"mapping\""), "{json}");
+        std::fs::remove_file(w_path).ok();
+        std::fs::remove_file(r_path).ok();
+    }
+
+    #[test]
+    fn seed_strategy_changes_the_family_token_baseline() {
+        // Generated inputs default to the generator's layered-cyclic
+        // mapping; an explicit --seed-strategy replaces the seed and so
+        // shifts the reported seed_makespan baseline.
+        let base = |extra: &[&str]| -> String {
+            let mut a = vec![
+                "optimize",
+                "NL4",
+                "-n",
+                "48",
+                "--budget-evals",
+                "0",
+                "--csv",
+            ];
+            a.extend_from_slice(extra);
+            run(&args(&a)).unwrap()
+        };
+        let cyclic = base(&[]);
+        let balanced = base(&["--seed-strategy", "balanced"]);
+        let seed_of = |out: &str| -> String {
+            out.lines()
+                .find(|l| l.starts_with("NL4,"))
+                .unwrap()
+                .split(',')
+                .nth(5)
+                .unwrap()
+                .to_owned()
+        };
+        // Different seed mappings analyze differently (48 tasks, 4
+        // layers: balancing visibly departs from cyclic).
+        assert_ne!(seed_of(&cyclic), seed_of(&balanced), "{cyclic}\n{balanced}");
+    }
+
+    #[test]
+    fn bad_optimize_flags_are_usage_errors() {
+        for bad in [
+            vec!["optimize"],
+            vec!["optimize", "rosace", "--strategy", "quantum"],
+            vec!["optimize", "rosace", "--budget-evals", "many"],
+            vec!["optimize", "rosace", "--arbiters", "bogus"],
+            vec!["optimize", "LS4"], // family without -n
+            vec!["optimize", "rosace", "--seed-strategy", "nope"],
+            vec!["optimize", "rosace", "--chains", "0"],
+            vec![
+                "optimize",
+                "rosace",
+                "--strategy",
+                "anneal",
+                "--chains",
+                "4",
+            ],
+        ] {
+            let err = run(&args(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn optimize_threads_do_not_change_the_report() {
+        let one = run(&args(&[
+            "optimize",
+            "rosace",
+            "--budget-evals",
+            "120",
+            "--seed",
+            "3",
+            "--threads",
+            "1",
+            "--csv",
+        ]))
+        .unwrap();
+        let many = run(&args(&[
+            "optimize",
+            "rosace",
+            "--budget-evals",
+            "120",
+            "--seed",
+            "3",
+            "--threads",
+            "8",
+            "--csv",
+        ]))
+        .unwrap();
+        // All CSV columns except the wall-clock column match.
+        let stable = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.starts_with("rosace,"))
+                .map(|l| {
+                    l.rsplit_once(',').expect("csv row").0.to_owned() // drop seconds
+                })
+                .collect()
+        };
+        assert_eq!(stable(&one), stable(&many));
+    }
+}

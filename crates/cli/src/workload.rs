@@ -102,6 +102,21 @@ fn default_policy() -> String {
 }
 
 impl WorkloadFile {
+    /// The [`BankPolicy`] named by the file's `bank_policy` string —
+    /// the single place the accepted aliases are defined.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyPlatform`] for an unknown policy string (the
+    /// same error [`WorkloadFile::into_problem`] reports).
+    pub fn parsed_policy(&self) -> Result<BankPolicy, ModelError> {
+        match self.bank_policy.as_str() {
+            "per-core" | "per_core" | "percore" => Ok(BankPolicy::PerCoreBank),
+            "single" | "shared" => Ok(BankPolicy::SingleBank),
+            _ => Err(ModelError::EmptyPlatform),
+        }
+    }
+
     /// Validates the file into an analysable [`Problem`].
     ///
     /// # Errors
@@ -110,11 +125,7 @@ impl WorkloadFile {
     /// duplicate edges, cycles, mapping/platform mismatches, …), plus
     /// [`ModelError::EmptyPlatform`] for an unknown bank policy string.
     pub fn into_problem(self) -> Result<Problem, ModelError> {
-        let policy = match self.bank_policy.as_str() {
-            "per-core" | "per_core" | "percore" => BankPolicy::PerCoreBank,
-            "single" | "shared" => BankPolicy::SingleBank,
-            _ => return Err(ModelError::EmptyPlatform),
-        };
+        let policy = self.parsed_policy()?;
         let mut graph = TaskGraph::with_capacity(self.tasks.len());
         for spec in &self.tasks {
             let mut builder = Task::builder(&spec.name)

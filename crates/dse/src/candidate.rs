@@ -1,0 +1,405 @@
+//! Candidates: mutable points of the mapping design space.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use mia_model::{Mapping, ModelError, TaskGraph, TaskId};
+
+/// A canonical 128-bit hash of a candidate's mapping, used as the
+/// memo-cache key of [`Evaluator`](crate::Evaluator).
+///
+/// Two candidates hash equal **iff** they describe the same design: the
+/// same per-core execution orders over the same number of cores (which
+/// fully determine a [`Mapping`], and therefore the analysis outcome).
+/// The hash is two independent FNV-1a streams over the canonical
+/// encoding `(core, order…)`; at 128 bits an accidental collision within
+/// a search budget of even billions of evaluations is beyond reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CandidateKey(u64, u64);
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+// A second, unrelated offset basis decorrelates the two streams.
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_step(h: u64, word: u64) -> u64 {
+    let mut h = h;
+    for byte in word.to_le_bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One point of the search space: a complete task-to-core assignment
+/// plus the execution order of every core. Mutated in place by the move
+/// operators; every move returns an [`Undo`] that reverts it exactly.
+///
+/// A candidate always keeps the "every task exactly once" invariant, so
+/// [`Candidate::to_mapping`] never fails structurally; a move can still
+/// produce an *infeasible* design (a cross-core ordering cycle), which
+/// surfaces when the evaluator validates the remap and rejects the
+/// candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// Core index per task.
+    assignment: Vec<u32>,
+    /// Execution order per core; fixed length (the platform's cores).
+    orders: Vec<Vec<TaskId>>,
+}
+
+/// The exact inverse of one applied move (see [`Candidate::propose`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Undo {
+    /// The proposal was degenerate (e.g. it drew the same task twice);
+    /// nothing changed and there is nothing to revert.
+    Noop,
+    /// Revert a task migration.
+    Migrate {
+        /// The migrated task.
+        task: TaskId,
+        /// Core it came from.
+        from: usize,
+        /// Its position on `from` before the move.
+        from_pos: usize,
+        /// Core it went to.
+        to: usize,
+        /// Its position on `to` after the move.
+        to_pos: usize,
+    },
+    /// Revert a cross-core pair swap.
+    Swap {
+        /// First swapped task (now at `pos_b` on `core_b`).
+        a: TaskId,
+        /// Second swapped task (now at `pos_a` on `core_a`).
+        b: TaskId,
+        /// Core `a` came from.
+        core_a: usize,
+        /// Position of `a` before the swap.
+        pos_a: usize,
+        /// Core `b` came from.
+        core_b: usize,
+        /// Position of `b` before the swap.
+        pos_b: usize,
+    },
+    /// Revert an adjacent-pair reorder on one core.
+    Reorder {
+        /// The reordered core.
+        core: usize,
+        /// The left position of the swapped adjacent pair.
+        pos: usize,
+    },
+}
+
+impl Candidate {
+    /// Builds the candidate describing `mapping`, padded with empty
+    /// orders up to `cores` so migrations can colonise idle cores.
+    pub fn from_mapping(mapping: &Mapping, cores: usize) -> Self {
+        let assignment = (0..mapping.len())
+            .map(|i| mapping.core_of(TaskId::from_index(i)).0)
+            .collect();
+        let mut orders: Vec<Vec<TaskId>> = (0..mapping.cores())
+            .map(|c| mapping.order(mia_model::CoreId::from_index(c)).to_vec())
+            .collect();
+        orders.resize_with(cores.max(mapping.cores()), Vec::new);
+        Candidate { assignment, orders }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True when the candidate maps no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Number of cores (fixed for the whole search).
+    pub fn cores(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// The core a task is currently assigned to.
+    pub fn core_of(&self, task: TaskId) -> usize {
+        self.assignment[task.index()] as usize
+    }
+
+    /// Materialises the candidate as a validated [`Mapping`].
+    ///
+    /// # Errors
+    ///
+    /// Structural [`ModelError`]s cannot occur for candidates produced by
+    /// the move operators (tasks are conserved); the `Result` exists for
+    /// hand-built candidates.
+    pub fn to_mapping(&self, graph: &TaskGraph) -> Result<Mapping, ModelError> {
+        Mapping::from_orders(graph, self.orders.clone())
+    }
+
+    /// The canonical memo-cache key of this design (see [`CandidateKey`]).
+    pub fn key(&self) -> CandidateKey {
+        let mut a = FNV_OFFSET_A;
+        let mut b = FNV_OFFSET_B;
+        for (core, order) in self.orders.iter().enumerate() {
+            // The core boundary marker keeps [t0 | t1] distinct from
+            // [t0, t1 | ] even when task ids coincide with core ids.
+            let marker = u64::MAX ^ core as u64;
+            a = fnv_step(a, marker);
+            b = fnv_step(b, marker);
+            for &t in order {
+                a = fnv_step(a, u64::from(t.0));
+                b = fnv_step(b, u64::from(t.0));
+            }
+        }
+        CandidateKey(a, b)
+    }
+
+    /// Proposes one random move, mutating the candidate in place, and
+    /// returns its inverse. The move kind is drawn uniformly from
+    /// {migrate, swap, reorder} when the platform has at least two
+    /// cores, otherwise only reorders are possible. Degenerate draws
+    /// (same task twice, a reorder on a core with fewer than two tasks)
+    /// return [`Undo::Noop`] without touching the candidate — the caller
+    /// counts them as rejected proposals, keeping the PRNG stream (and
+    /// thus the whole search) deterministic.
+    pub fn propose(&mut self, rng: &mut StdRng) -> Undo {
+        let n = self.len();
+        let cores = self.cores();
+        if n == 0 {
+            return Undo::Noop;
+        }
+        let kind = if cores >= 2 {
+            rng.random_range(0..3u32)
+        } else {
+            2
+        };
+        match kind {
+            0 => self.propose_migrate(rng),
+            1 => self.propose_swap(rng),
+            _ => self.propose_reorder(rng),
+        }
+    }
+
+    /// Migrate one task to a random position on a different core.
+    fn propose_migrate(&mut self, rng: &mut StdRng) -> Undo {
+        let task = TaskId::from_index(rng.random_range(0..self.len()));
+        let from = self.core_of(task);
+        let mut to = rng.random_range(0..self.cores() - 1);
+        if to >= from {
+            to += 1;
+        }
+        let from_pos = self.position(task, from);
+        let to_pos = rng.random_range(0..=self.orders[to].len());
+        self.orders[from].remove(from_pos);
+        self.orders[to].insert(to_pos, task);
+        self.assignment[task.index()] = to as u32;
+        Undo::Migrate {
+            task,
+            from,
+            from_pos,
+            to,
+            to_pos,
+        }
+    }
+
+    /// Swap the placements of two tasks on different cores.
+    fn propose_swap(&mut self, rng: &mut StdRng) -> Undo {
+        let a = TaskId::from_index(rng.random_range(0..self.len()));
+        let b = TaskId::from_index(rng.random_range(0..self.len()));
+        let (core_a, core_b) = (self.core_of(a), self.core_of(b));
+        if a == b || core_a == core_b {
+            return Undo::Noop;
+        }
+        let pos_a = self.position(a, core_a);
+        let pos_b = self.position(b, core_b);
+        self.orders[core_a][pos_a] = b;
+        self.orders[core_b][pos_b] = a;
+        self.assignment[a.index()] = core_b as u32;
+        self.assignment[b.index()] = core_a as u32;
+        Undo::Swap {
+            a,
+            b,
+            core_a,
+            pos_a,
+            core_b,
+            pos_b,
+        }
+    }
+
+    /// Swap an adjacent pair within one core's execution order.
+    fn propose_reorder(&mut self, rng: &mut StdRng) -> Undo {
+        let start = rng.random_range(0..self.cores());
+        // Probe for a core with at least two tasks, wrapping once.
+        let Some(core) = (0..self.cores())
+            .map(|k| (start + k) % self.cores())
+            .find(|&c| self.orders[c].len() >= 2)
+        else {
+            return Undo::Noop;
+        };
+        let pos = rng.random_range(0..self.orders[core].len() - 1);
+        self.orders[core].swap(pos, pos + 1);
+        Undo::Reorder { core, pos }
+    }
+
+    /// Reverts a move returned by [`Candidate::propose`].
+    pub fn undo(&mut self, undo: Undo) {
+        match undo {
+            Undo::Noop => {}
+            Undo::Migrate {
+                task,
+                from,
+                from_pos,
+                to,
+                to_pos,
+            } => {
+                self.orders[to].remove(to_pos);
+                self.orders[from].insert(from_pos, task);
+                self.assignment[task.index()] = from as u32;
+            }
+            Undo::Swap {
+                a,
+                b,
+                core_a,
+                pos_a,
+                core_b,
+                pos_b,
+            } => {
+                self.orders[core_a][pos_a] = a;
+                self.orders[core_b][pos_b] = b;
+                self.assignment[a.index()] = core_a as u32;
+                self.assignment[b.index()] = core_b as u32;
+            }
+            Undo::Reorder { core, pos } => self.orders[core].swap(pos, pos + 1),
+        }
+    }
+
+    /// The per-task core assignment, indexed by task id.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    fn position(&self, task: TaskId, core: usize) -> usize {
+        self.orders[core]
+            .iter()
+            .position(|&t| t == task)
+            .expect("assignment and orders stay consistent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_model::{Cycles, Task};
+    use rand::SeedableRng;
+
+    fn graph(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            g.add_task(Task::builder(format!("t{i}")).wcet(Cycles(10)));
+        }
+        g
+    }
+
+    #[test]
+    fn equivalent_mappings_hash_equal() {
+        let g = graph(4);
+        // Built through different constructors, same per-core orders.
+        let a = Mapping::from_assignment(&g, &[0, 1, 0, 1]).unwrap();
+        let b = Mapping::from_orders(
+            &g,
+            vec![vec![TaskId(0), TaskId(2)], vec![TaskId(1), TaskId(3)]],
+        )
+        .unwrap();
+        assert_eq!(
+            Candidate::from_mapping(&a, 2).key(),
+            Candidate::from_mapping(&b, 2).key()
+        );
+        // The key sees the whole space, so a different padded core count
+        // is a different design.
+        assert_ne!(
+            Candidate::from_mapping(&a, 2).key(),
+            Candidate::from_mapping(&a, 3).key()
+        );
+    }
+
+    #[test]
+    fn migrating_a_task_changes_the_key() {
+        let g = graph(4);
+        let m = Mapping::from_assignment(&g, &[0, 1, 0, 1]).unwrap();
+        let mut c = Candidate::from_mapping(&m, 2);
+        let before = c.key();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Find an actual migration among proposals.
+        loop {
+            let undo = c.propose(&mut rng);
+            if let Undo::Migrate { .. } = undo {
+                assert_ne!(c.key(), before, "migration must change the key");
+                c.undo(undo);
+                break;
+            }
+            c.undo(undo);
+        }
+        assert_eq!(c.key(), before);
+    }
+
+    #[test]
+    fn reordering_within_a_core_changes_the_key() {
+        let g = graph(4);
+        let m = Mapping::from_assignment(&g, &[0, 0, 0, 0]).unwrap();
+        let mut c = Candidate::from_mapping(&m, 1);
+        let before = c.key();
+        let mut rng = StdRng::seed_from_u64(0);
+        let undo = c.propose(&mut rng); // single core: always a reorder
+        assert!(matches!(undo, Undo::Reorder { .. }));
+        assert_ne!(c.key(), before);
+        c.undo(undo);
+        assert_eq!(c.key(), before);
+    }
+
+    #[test]
+    fn every_move_round_trips_through_its_undo() {
+        let g = graph(9);
+        let m = Mapping::from_assignment(&g, &[0, 1, 2, 0, 1, 2, 0, 1, 2]).unwrap();
+        let mut c = Candidate::from_mapping(&m, 4);
+        let pristine = c.clone();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 3];
+        for _ in 0..500 {
+            let undo = c.propose(&mut rng);
+            match undo {
+                Undo::Migrate { .. } => seen[0] = true,
+                Undo::Swap { .. } => seen[1] = true,
+                Undo::Reorder { .. } => seen[2] = true,
+                Undo::Noop => {}
+            }
+            // The mutated candidate still maps every task exactly once.
+            c.to_mapping(&g).unwrap();
+            c.undo(undo);
+            assert_eq!(c, pristine);
+        }
+        assert_eq!(seen, [true; 3], "all three operators must fire");
+    }
+
+    #[test]
+    fn moves_never_lose_tasks() {
+        let g = graph(6);
+        let m = Mapping::from_assignment(&g, &[0, 0, 1, 1, 2, 2]).unwrap();
+        let mut c = Candidate::from_mapping(&m, 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..300 {
+            let _ = c.propose(&mut rng); // accept everything
+            let mapping = c.to_mapping(&g).unwrap();
+            assert_eq!(mapping.len(), 6);
+        }
+    }
+
+    #[test]
+    fn empty_candidate_is_inert() {
+        let g = graph(0);
+        let m = Mapping::from_orders(&g, vec![Vec::new(), Vec::new()]).unwrap();
+        let mut c = Candidate::from_mapping(&m, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(c.propose(&mut rng), Undo::Noop);
+        assert!(c.is_empty());
+    }
+}

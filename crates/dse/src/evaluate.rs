@@ -1,0 +1,270 @@
+//! The evaluation hot loop: remap, memoise, analyze.
+
+use std::collections::HashMap;
+
+use mia_core::AnalysisOptions;
+use mia_model::{BankPolicy, Problem};
+
+use crate::{Candidate, CandidateKey, DseError, Objective, ObjectiveError};
+
+/// The fixed part of a design-space exploration: the seed problem (its
+/// mapping is the incumbent the search must never lose to), the bank
+/// policy used to re-derive demands when candidates move tasks, and the
+/// analysis options every evaluation runs under.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    seed: Problem,
+    policy: BankPolicy,
+    options: AnalysisOptions,
+}
+
+impl SearchSpace {
+    /// Builds a space around a validated seed problem.
+    pub fn new(seed: Problem, policy: BankPolicy) -> Self {
+        SearchSpace {
+            seed,
+            policy,
+            options: AnalysisOptions::new(),
+        }
+    }
+
+    /// Sets the analysis options of every evaluation (a deadline here
+    /// turns deadline-missing candidates into rejected ones).
+    pub fn with_options(mut self, options: AnalysisOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The seed problem (graph, platform, incumbent mapping).
+    pub fn seed_problem(&self) -> &Problem {
+        &self.seed
+    }
+
+    /// The demand-derivation policy candidates are validated under.
+    pub fn policy(&self) -> BankPolicy {
+        self.policy
+    }
+
+    /// The analysis options evaluations run under.
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.options
+    }
+
+    /// Number of cores of the space (the platform's, not just those the
+    /// seed mapping uses — migrations may colonise idle cores).
+    pub fn cores(&self) -> usize {
+        self.seed.platform().cores()
+    }
+}
+
+/// Work counters of one evaluator (aggregated across chains by the
+/// portfolio driver).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Total cost lookups (cache hits included).
+    pub evaluations: usize,
+    /// Full analyses actually run (cache misses that were feasible or
+    /// infeasible-by-deadline).
+    pub analyses: usize,
+    /// Lookups served from the memo cache.
+    pub cache_hits: usize,
+    /// Candidates rejected as infeasible (ordering cycles, missed
+    /// deadlines) — cached too, so a revisited dead end is free.
+    pub infeasible: usize,
+}
+
+impl EvalStats {
+    /// Cache hits as a fraction of all lookups (0 when nothing ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.evaluations as f64
+        }
+    }
+
+    /// Component-wise sum (for aggregating chains).
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.evaluations += other.evaluations;
+        self.analyses += other.analyses;
+        self.cache_hits += other.cache_hits;
+        self.infeasible += other.infeasible;
+    }
+}
+
+/// Evaluates candidates against an [`Objective`], memoising outcomes by
+/// canonical mapping key.
+///
+/// The evaluator owns **one** working [`Problem`] — a single clone of
+/// the seed made at construction — and swaps candidate mappings into it
+/// with [`Problem::remap`], so the task graph is never cloned again for
+/// the thousands of evaluations of a search. Rejected moves that are
+/// re-proposed later (a common annealing pattern) hit the memo cache and
+/// skip the analysis entirely.
+pub struct Evaluator<'s, O> {
+    space: &'s SearchSpace,
+    problem: Problem,
+    objective: O,
+    cache: HashMap<CandidateKey, Option<u64>>,
+    stats: EvalStats,
+}
+
+impl<'s, O: Objective> Evaluator<'s, O> {
+    /// Builds an evaluator (clones the seed problem once).
+    pub fn new(space: &'s SearchSpace, objective: O) -> Self {
+        Evaluator {
+            space,
+            problem: space.seed.clone(),
+            objective,
+            cache: HashMap::new(),
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// Pre-seeds the memo cache (the driver evaluates the seed mapping
+    /// once and shares the outcome with every chain).
+    pub fn prime(&mut self, key: CandidateKey, cost: u64) {
+        self.cache.insert(key, Some(cost));
+    }
+
+    /// The cost of `candidate`, or `None` when it is infeasible.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Objective`] when the objective fails fatally (e.g.
+    /// cancellation) — infeasible candidates are a `None`, not an error.
+    pub fn evaluate(&mut self, candidate: &Candidate) -> Result<Option<u64>, DseError> {
+        self.stats.evaluations += 1;
+        let key = candidate.key();
+        if let Some(&cached) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            if cached.is_none() {
+                self.stats.infeasible += 1;
+            }
+            return Ok(cached);
+        }
+        let outcome = self.evaluate_uncached(candidate)?;
+        if outcome.is_none() {
+            self.stats.infeasible += 1;
+        }
+        self.cache.insert(key, outcome);
+        Ok(outcome)
+    }
+
+    fn evaluate_uncached(&mut self, candidate: &Candidate) -> Result<Option<u64>, DseError> {
+        let graph = self.space.seed.graph();
+        let Ok(mapping) = candidate.to_mapping(graph) else {
+            // Hand-built candidates only; move operators conserve tasks.
+            return Ok(None);
+        };
+        if self.problem.remap(mapping, self.space.policy).is_err() {
+            // A cross-core ordering cycle: the candidate cannot execute.
+            return Ok(None);
+        }
+        self.stats.analyses += 1;
+        match self.objective.evaluate(&self.problem) {
+            Ok(cost) => Ok(Some(cost.as_u64())),
+            Err(ObjectiveError::Infeasible(_)) => Ok(None),
+            Err(ObjectiveError::Fatal(m)) => Err(DseError::Objective(m)),
+        }
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// The objective's label.
+    pub fn objective_name(&self) -> &str {
+        self.objective.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_arbiter::RoundRobin;
+    use mia_core::AnalysisOptions;
+    use mia_model::{Cycles, Mapping, Platform, Task, TaskGraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::AnalyzedMakespan;
+
+    fn space() -> SearchSpace {
+        let mut g = TaskGraph::new();
+        for i in 0..6 {
+            g.add_task(Task::builder(format!("t{i}")).wcet(Cycles(50 + i)));
+        }
+        g.add_edge(mia_model::TaskId(0), mia_model::TaskId(3), 5)
+            .unwrap();
+        let m = Mapping::from_assignment(&g, &[0, 0, 0, 1, 1, 1]).unwrap();
+        let p = Problem::new(g, m, Platform::new(4, 4)).unwrap();
+        SearchSpace::new(p, BankPolicy::PerCoreBank)
+    }
+
+    #[test]
+    fn repeated_candidates_hit_the_cache() {
+        let space = space();
+        let rr = RoundRobin::new();
+        let mut eval = Evaluator::new(&space, AnalyzedMakespan::new(&rr, AnalysisOptions::new()));
+        let cand = Candidate::from_mapping(space.seed_problem().mapping(), space.cores());
+        let a = eval.evaluate(&cand).unwrap().unwrap();
+        let b = eval.evaluate(&cand).unwrap().unwrap();
+        assert_eq!(a, b);
+        let stats = eval.stats();
+        assert_eq!(stats.evaluations, 2);
+        assert_eq!(stats.analyses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_move_and_its_revisit_share_one_analysis() {
+        let space = space();
+        let rr = RoundRobin::new();
+        let mut eval = Evaluator::new(&space, AnalyzedMakespan::new(&rr, AnalysisOptions::new()));
+        let mut cand = Candidate::from_mapping(space.seed_problem().mapping(), space.cores());
+        let mut rng = StdRng::seed_from_u64(3);
+        let undo = cand.propose(&mut rng);
+        let first = eval.evaluate(&cand).unwrap();
+        cand.undo(undo);
+        // Re-propose the exact same move by replaying the RNG.
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = cand.propose(&mut rng);
+        let second = eval.evaluate(&cand).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(eval.stats().analyses, 1);
+        assert_eq!(eval.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn infeasible_candidates_are_rejected_and_cached() {
+        // Dependency 0 -> 3; ordering 3 before 0 on one core combined
+        // with 0's core order forms no cycle on separate cores, so build
+        // one explicitly: put both on one core with 3 first.
+        let space = space();
+        let rr = RoundRobin::new();
+        let mut eval = Evaluator::new(&space, AnalyzedMakespan::new(&rr, AnalysisOptions::new()));
+        let g = space.seed_problem().graph();
+        let bad = Mapping::from_orders(
+            g,
+            vec![vec![
+                mia_model::TaskId(3),
+                mia_model::TaskId(0),
+                mia_model::TaskId(1),
+                mia_model::TaskId(2),
+                mia_model::TaskId(4),
+                mia_model::TaskId(5),
+            ]],
+        )
+        .unwrap();
+        let cand = Candidate::from_mapping(&bad, space.cores());
+        assert_eq!(eval.evaluate(&cand).unwrap(), None);
+        assert_eq!(eval.evaluate(&cand).unwrap(), None);
+        let stats = eval.stats();
+        assert_eq!(stats.infeasible, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.analyses, 0);
+    }
+}

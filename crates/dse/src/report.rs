@@ -1,0 +1,181 @@
+//! Serializable reports: the `mia optimize` / `mia-bench dse` artefact.
+
+use serde::Serialize;
+
+/// One optimization run: a workload × arbiter point of a DSE grid,
+/// before/after makespans and the search's work counters. This is the
+/// row format of `BENCH_dse.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct OptimizeRun {
+    /// Workload label ("rosace", "NL16", "sdf3:app.sdf3", a file path…).
+    pub workload: String,
+    /// Arbiter name.
+    pub arbiter: String,
+    /// Strategy label ("anneal" / "portfolio").
+    pub strategy: String,
+    /// Task count of the analyzed DAG.
+    pub n: usize,
+    /// Cores of the platform searched over.
+    pub cores: usize,
+    /// Chains the strategy ran.
+    pub chains: usize,
+    /// Analyzed makespan of the seed mapping.
+    pub seed_makespan: u64,
+    /// Analyzed makespan of the optimized mapping (≤ seed).
+    pub optimized_makespan: u64,
+    /// Relative improvement in percent.
+    pub improvement_pct: f64,
+    /// Cost lookups (including cache hits) plus the seed analysis.
+    pub evaluations: usize,
+    /// Full analyses actually run.
+    pub analyses: usize,
+    /// Lookups served by the memo cache.
+    pub cache_hits: usize,
+    /// `cache_hits / evaluations`.
+    pub cache_hit_rate: f64,
+    /// Candidates rejected as infeasible.
+    pub infeasible: usize,
+    /// Accepted annealing moves.
+    pub accepted: usize,
+    /// Chain that found the winner.
+    pub best_chain: usize,
+    /// Wall-clock seconds of the whole search.
+    pub seconds: f64,
+    /// The optimized core assignment (task-id order), when requested.
+    pub mapping: Option<Vec<u32>>,
+}
+
+/// A batch of runs plus the knobs they shared — serialized as one JSON
+/// document (`BENCH_dse.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct OptimizeReport {
+    /// Base PRNG seed.
+    pub seed: u64,
+    /// Evaluation budget per run.
+    pub budget_evals: usize,
+    /// Strategy label.
+    pub strategy: String,
+    /// Worker threads (wall-clock only; results are thread-invariant).
+    pub threads: usize,
+    /// Total wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Every run, in deterministic workload × arbiter order.
+    pub runs: Vec<OptimizeRun>,
+}
+
+/// Header row of [`report_csv`] — consumers can pin against it.
+pub const DSE_CSV_HEADER: &str = "workload,arbiter,strategy,n,chains,seed_makespan,optimized_makespan,improvement_pct,evaluations,cache_hits,cache_hit_rate,seconds";
+
+/// Output format of an optimize report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DseReportFormat {
+    /// Pretty-printed JSON (the artefact format). The default.
+    #[default]
+    Json,
+    /// A flat CSV table, one row per run (see [`DSE_CSV_HEADER`]).
+    Csv,
+}
+
+/// Serializes a report as pretty-printed JSON.
+pub fn report_json(report: &OptimizeReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+/// Flattens a report into CSV: the [`DSE_CSV_HEADER`] columns, one row
+/// per run. Workload labels are sanitised (commas/newlines replaced) so
+/// every row has exactly twelve columns.
+pub fn report_csv(report: &OptimizeReport) -> String {
+    let mut csv = String::from(DSE_CSV_HEADER);
+    csv.push('\n');
+    for r in &report.runs {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{:.3},{},{},{:.4},{:.6}\n",
+            r.workload.replace(['\n', '\r'], " ").replace(',', ";"),
+            r.arbiter,
+            r.strategy,
+            r.n,
+            r.chains,
+            r.seed_makespan,
+            r.optimized_makespan,
+            r.improvement_pct,
+            r.evaluations,
+            r.cache_hits,
+            r.cache_hit_rate,
+            r.seconds,
+        ));
+    }
+    csv
+}
+
+/// Renders a report in `format`.
+pub fn render_dse_report(report: &OptimizeReport, format: DseReportFormat) -> String {
+    match format {
+        DseReportFormat::Json => report_json(report),
+        DseReportFormat::Csv => report_csv(report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OptimizeReport {
+        OptimizeReport {
+            seed: 7,
+            budget_evals: 200,
+            strategy: "portfolio".into(),
+            threads: 4,
+            wall_seconds: 1.5,
+            runs: vec![OptimizeRun {
+                workload: "rosace, the avionics one".into(),
+                arbiter: "rr".into(),
+                strategy: "portfolio".into(),
+                n: 25,
+                cores: 16,
+                chains: 8,
+                seed_makespan: 1000,
+                optimized_makespan: 900,
+                improvement_pct: 10.0,
+                evaluations: 201,
+                analyses: 150,
+                cache_hits: 51,
+                cache_hit_rate: 0.2537,
+                infeasible: 3,
+                accepted: 40,
+                best_chain: 2,
+                seconds: 0.7,
+                mapping: Some(vec![0, 1, 2]),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_has_the_pinned_fields() {
+        let json = report_json(&sample());
+        for field in [
+            "\"runs\"",
+            "\"seed_makespan\"",
+            "\"optimized_makespan\"",
+            "\"cache_hit_rate\"",
+            "\"improvement_pct\"",
+        ] {
+            assert!(json.contains(field), "missing {field}: {json}");
+        }
+    }
+
+    #[test]
+    fn csv_rows_always_have_twelve_columns() {
+        let csv = report_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], DSE_CSV_HEADER);
+        assert_eq!(lines.len(), 2);
+        // The comma inside the workload label was sanitised away.
+        assert_eq!(
+            lines[1].matches(',').count(),
+            DSE_CSV_HEADER.matches(',').count()
+        );
+        assert!(lines[1].starts_with("rosace; the avionics one,rr,portfolio,25,8,1000,900,"));
+        assert_eq!(render_dse_report(&sample(), DseReportFormat::Csv), csv);
+        assert!(render_dse_report(&sample(), DseReportFormat::Json).contains("\"runs\""));
+    }
+}

@@ -34,9 +34,9 @@ impl Default for AnnealConfig {
 /// Interference-free makespan of an assignment: tasks start at the latest
 /// of their core's availability, their dependencies' finishes and their
 /// minimal release, in topological order. This is the standard cheap cost
-/// proxy for mapping search (the full interference analysis would be the
-/// expensive inner loop the paper's O(n²) algorithm makes affordable —
-/// see the `precision` bench for that combination).
+/// proxy for mapping search; the full interference analysis as the inner
+/// loop — the combination the paper's O(n²) algorithm makes affordable —
+/// lives in `mia-dse` (or plug it into [`anneal_with`] directly).
 ///
 /// # Errors
 ///
@@ -97,6 +97,39 @@ pub fn anneal(
     initial: &Mapping,
     config: &AnnealConfig,
 ) -> Result<Mapping, ModelError> {
+    anneal_with(graph, cores, initial, config, assignment_makespan)
+}
+
+/// The annealing loop of [`anneal`] with a pluggable objective: the cost
+/// of an assignment (one core index per task) is whatever `objective`
+/// returns, not necessarily the interference-free proxy. This is how the
+/// analysis-backed search of `mia-dse` and the classic proxy refinement
+/// share one loop — pass a closure that runs the full interference
+/// analysis to make the annealer interference-aware.
+///
+/// The move set is single-task reassignment (per-core orders always
+/// follow the topological order); for richer moves — migrations at
+/// chosen positions, pair swaps, within-core reordering — use the
+/// candidate search of `mia-dse`. The best visited assignment is
+/// returned, so the result never scores worse than `initial` under
+/// `objective`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Cycle`] for cyclic graphs,
+/// [`ModelError::EmptyPlatform`] if `cores` is zero, and propagates any
+/// error of `objective` (evaluated once on the initial assignment before
+/// the loop and once per move).
+pub fn anneal_with<F>(
+    graph: &TaskGraph,
+    cores: usize,
+    initial: &Mapping,
+    config: &AnnealConfig,
+    mut objective: F,
+) -> Result<Mapping, ModelError>
+where
+    F: FnMut(&TaskGraph, &[usize]) -> Result<Cycles, ModelError>,
+{
     if cores == 0 {
         return Err(ModelError::EmptyPlatform);
     }
@@ -111,7 +144,7 @@ pub fn anneal(
     }
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut cost = assignment_makespan(graph, &assignment)?.as_u64() as f64;
+    let mut cost = objective(graph, &assignment)?.as_u64() as f64;
     let mut best = assignment.clone();
     let mut best_cost = cost;
     let mut temperature = config.initial_temperature;
@@ -124,7 +157,7 @@ pub fn anneal(
             new_core = (new_core + 1) % cores;
         }
         assignment[victim] = new_core;
-        let candidate = assignment_makespan(graph, &assignment)?.as_u64() as f64;
+        let candidate = objective(graph, &assignment)?.as_u64() as f64;
         let accept = candidate <= cost || {
             let p = (-(candidate - cost) / temperature.max(1e-9)).exp();
             rng.random_range(0.0..1.0) < p
@@ -219,6 +252,46 @@ mod tests {
         };
         let refined = anneal(&w.graph, 4, &start, &cfg).unwrap();
         Problem::new(w.graph.clone(), refined, Platform::new(4, 4)).unwrap();
+    }
+
+    #[test]
+    fn anneal_with_custom_objective_minimises_it() {
+        // Objective: number of tasks NOT on core 1 (so the optimum packs
+        // everything onto core 1, the opposite of makespan balancing).
+        let g = unbalanced_graph();
+        let start = layered_cyclic(&g, 2).unwrap();
+        let refined = anneal_with(&g, 2, &start, &AnnealConfig::default(), |_, asg| {
+            Ok(Cycles(asg.iter().filter(|&&c| c != 1).count() as u64))
+        })
+        .unwrap();
+        for t in g.task_ids() {
+            assert_eq!(refined.core_of(t).index(), 1);
+        }
+    }
+
+    #[test]
+    fn anneal_is_the_proxy_specialisation_of_anneal_with() {
+        // The public wrapper and the generalised loop with the proxy
+        // objective walk the same RNG stream and return the same mapping.
+        let g = unbalanced_graph();
+        let start = layered_cyclic(&g, 3).unwrap();
+        let cfg = AnnealConfig {
+            seed: 7,
+            ..AnnealConfig::default()
+        };
+        let a = anneal(&g, 3, &start, &cfg).unwrap();
+        let b = anneal_with(&g, 3, &start, &cfg, assignment_makespan).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn anneal_with_propagates_objective_errors() {
+        let g = unbalanced_graph();
+        let start = layered_cyclic(&g, 2).unwrap();
+        let err = anneal_with(&g, 2, &start, &AnnealConfig::default(), |_, _| {
+            Err(ModelError::EmptyPlatform)
+        });
+        assert!(matches!(err, Err(ModelError::EmptyPlatform)));
     }
 
     #[test]

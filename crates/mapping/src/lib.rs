@@ -16,7 +16,9 @@
 //!   one core,
 //! * [`anneal`] — simulated-annealing refinement of any of the above,
 //!   minimising the interference-free makespan proxy
-//!   ([`assignment_makespan`]).
+//!   ([`assignment_makespan`]); [`anneal_with`] is the same loop with a
+//!   pluggable objective (e.g. the full interference analysis, the way
+//!   `mia-dse` consumes it).
 //!
 //! All strategies return a [`Mapping`] whose per-core orders are
 //! consistent with the dependency graph (they assign in topological
@@ -48,7 +50,7 @@
 mod anneal;
 mod heft;
 
-pub use anneal::{anneal, assignment_makespan, AnnealConfig};
+pub use anneal::{anneal, anneal_with, assignment_makespan, AnnealConfig};
 pub use heft::heft;
 
 use mia_model::{Cycles, Mapping, ModelError, TaskGraph, TaskId};

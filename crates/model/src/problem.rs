@@ -116,6 +116,37 @@ impl Problem {
         })
     }
 
+    /// Replaces the mapping of an existing problem, re-deriving the
+    /// per-bank demands with `policy` and revalidating exactly like
+    /// construction — **without** cloning the task graph.
+    ///
+    /// This is the hot path of design-space exploration (`mia-dse`):
+    /// evaluating a candidate mapping against the analysis means swapping
+    /// the mapping thousands of times on the same graph and platform, and
+    /// cloning the graph per candidate would dominate the search. On
+    /// error the problem is left unchanged (the candidate was infeasible
+    /// — e.g. a cross-core ordering cycle — and the caller rejects it).
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`Problem::with_policy`]: an invalid or
+    /// incomplete mapping, a mapping that overflows the platform, or a
+    /// combined (dependency ∪ core-order) cycle.
+    pub fn remap(&mut self, mapping: Mapping, policy: BankPolicy) -> Result<(), ModelError> {
+        mapping.validate(&self.graph)?;
+        if mapping.cores() > self.platform.cores() {
+            return Err(ModelError::UnknownCore(crate::CoreId::from_index(
+                mapping.cores() - 1,
+            )));
+        }
+        let combined_order = combined_topological_order(&self.graph, &mapping)?;
+        let demands = derive_demands(&self.graph, &mapping, &self.platform, policy)?;
+        self.mapping = mapping;
+        self.demands = demands;
+        self.combined_order = combined_order;
+        Ok(())
+    }
+
     /// The task graph.
     pub fn graph(&self) -> &TaskGraph {
         &self.graph
@@ -291,6 +322,57 @@ mod tests {
             Problem::new(g, m, Platform::new(2, 2)),
             Err(ModelError::Cycle(_))
         ));
+    }
+
+    #[test]
+    fn remap_swaps_mapping_and_rederives_demands() {
+        let g = two_task_graph();
+        let m = Mapping::from_assignment(&g, &[0, 1]).unwrap();
+        let mut p = Problem::new(g.clone(), m, Platform::new(2, 2)).unwrap();
+        // b on core 1: the edge's 2 words land in bank 1.
+        assert_eq!(p.demand(TaskId(0)).get(BankId(1)), 2);
+
+        let swapped = Mapping::from_assignment(&g, &[1, 0]).unwrap();
+        p.remap(swapped, crate::BankPolicy::PerCoreBank).unwrap();
+        // Now b is on core 0: the edge targets bank 0 instead.
+        assert_eq!(p.demand(TaskId(0)).get(BankId(0)), 2);
+        assert_eq!(p.mapping().core_of(TaskId(0)), CoreId(1));
+        // The result is indistinguishable from building from scratch.
+        let fresh = Problem::new(
+            g.clone(),
+            Mapping::from_assignment(&g, &[1, 0]).unwrap(),
+            Platform::new(2, 2),
+        )
+        .unwrap();
+        assert_eq!(p, fresh);
+    }
+
+    #[test]
+    fn failed_remap_leaves_the_problem_unchanged() {
+        // A cross-core ordering cycle (see detects_cross_core_order_cycle)
+        // must reject the candidate without corrupting the problem.
+        let mut g = TaskGraph::new();
+        let x = g.add_task(Task::builder("x").wcet(Cycles(1)));
+        let a = g.add_task(Task::builder("a").wcet(Cycles(1)));
+        let b = g.add_task(Task::builder("b").wcet(Cycles(1)));
+        let y = g.add_task(Task::builder("y").wcet(Cycles(1)));
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(y, x, 1).unwrap();
+        let good = Mapping::from_orders(&g, vec![vec![x, a], vec![y, b]]).unwrap();
+        let mut p = Problem::new(g.clone(), good, Platform::new(2, 2)).unwrap();
+        let before = p.clone();
+        let cyclic = Mapping::from_orders(&g, vec![vec![x, a], vec![b, y]]).unwrap();
+        assert!(matches!(
+            p.remap(cyclic, crate::BankPolicy::PerCoreBank),
+            Err(ModelError::Cycle(_))
+        ));
+        assert_eq!(p, before);
+        let overflow = Mapping::from_assignment(&g, &[0, 1, 2, 3]).unwrap();
+        assert!(matches!(
+            p.remap(overflow, crate::BankPolicy::PerCoreBank),
+            Err(ModelError::UnknownCore(_))
+        ));
+        assert_eq!(p, before);
     }
 
     #[test]

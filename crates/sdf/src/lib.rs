@@ -155,6 +155,9 @@ pub enum SdfError {
     UnknownName(String),
     /// An actor with this name already exists in the graph.
     DuplicateActor(String),
+    /// A deadline-to-iterations conversion was requested but the graph
+    /// declares no hyper-period (see [`SdfGraph::set_hyper_period`]).
+    NoHyperPeriod,
 }
 
 impl fmt::Display for SdfError {
@@ -170,6 +173,12 @@ impl fmt::Display for SdfError {
             SdfError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             SdfError::UnknownName(n) => write!(f, "unknown actor name `{n}`"),
             SdfError::DuplicateActor(n) => write!(f, "duplicate actor `{n}`"),
+            SdfError::NoHyperPeriod => {
+                write!(
+                    f,
+                    "graph declares no hyper-period (cannot derive iterations from a deadline)"
+                )
+            }
         }
     }
 }
@@ -181,12 +190,55 @@ impl Error for SdfError {}
 pub struct SdfGraph {
     actors: Vec<Actor>,
     channels: Vec<Channel>,
+    /// Wall-clock duration of one graph iteration in cycles, if declared.
+    hyper_period: Option<Cycles>,
 }
 
 impl SdfGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         SdfGraph::default()
+    }
+
+    /// Declares the wall-clock duration of one graph iteration
+    /// (hyper-period) in cycles. Multi-rate periodic task sets compiled
+    /// to SDF — like the built-in [`rosace()`] preset — carry this so
+    /// tools can translate a deadline expressed in cycles into an
+    /// iteration count (`mia analyze rosace --deadline N` derives
+    /// `--iterations` from it). The SDF3 writer emits it as a
+    /// `<hyperPeriod time="…"/>` property and the reader restores it;
+    /// foreign SDF3 files simply leave it undeclared.
+    pub fn set_hyper_period(&mut self, period: Cycles) {
+        self.hyper_period = Some(period);
+    }
+
+    /// The declared duration of one graph iteration, if any.
+    pub fn hyper_period(&self) -> Option<Cycles> {
+        self.hyper_period
+    }
+
+    /// The smallest iteration count whose total hyper-period covers
+    /// `deadline` (i.e. `k · hyper_period ≥ deadline`, k ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// * [`SdfError::NoHyperPeriod`] if the graph declares no (or a
+    ///   zero) hyper-period — there is no time base to divide by,
+    /// * [`SdfError::TooLarge`] if the required count exceeds the
+    ///   expansion bounds (the deadline is infeasibly far out).
+    pub fn iterations_for_deadline(&self, deadline: Cycles) -> Result<u64, SdfError> {
+        let period = match self.hyper_period {
+            Some(p) if p > Cycles::ZERO => p,
+            _ => return Err(SdfError::NoHyperPeriod),
+        };
+        let k = deadline.as_u64().div_ceil(period.as_u64()).max(1);
+        // Mirror the expansion's firing cap so the error arrives before
+        // an enormous expansion is attempted.
+        let per_iteration: u64 = self.repetition_vector()?.iter().sum();
+        if per_iteration.saturating_mul(k) > 4_000_000 {
+            return Err(SdfError::TooLarge);
+        }
+        Ok(k)
     }
 
     /// Adds an actor and returns its id.

@@ -48,6 +48,12 @@ use crate::SdfGraph;
 /// delay).
 const FAST_RATE: u64 = 4;
 
+/// Duration of one hyper-period (one graph iteration): 20 ms at the
+/// crate's 100 cycles/µs scale. Declared on the graph so a deadline in
+/// cycles can be translated into an iteration count
+/// ([`SdfGraph::iterations_for_deadline`](crate::SdfGraph::iterations_for_deadline)).
+pub const HYPER_PERIOD: Cycles = Cycles(2_000_000);
+
 /// Builds the ROSACE longitudinal flight controller as an [`SdfGraph`].
 ///
 /// Actors, in definition order (period, WCET in cycles):
@@ -117,6 +123,7 @@ pub fn rosace() -> SdfGraph {
     // 50 Hz commands drive the 200 Hz actuators (delta_e_c, delta_th_c).
     ch(&mut g, vz_control, elevator, FAST_RATE, 1, 0, 2);
     ch(&mut g, va_control, engine, FAST_RATE, 1, 0, 2);
+    g.set_hyper_period(HYPER_PERIOD);
     g
 }
 
@@ -181,6 +188,31 @@ mod tests {
                 task.wcet()
             );
         }
+    }
+
+    #[test]
+    fn declares_the_20ms_hyper_period() {
+        let g = rosace();
+        assert_eq!(g.hyper_period(), Some(HYPER_PERIOD));
+        // One hyper-period covers any deadline up to 20 ms of cycles…
+        assert_eq!(g.iterations_for_deadline(Cycles(1)).unwrap(), 1);
+        assert_eq!(g.iterations_for_deadline(Cycles(2_000_000)).unwrap(), 1);
+        // …and the count grows by whole hyper-periods past that.
+        assert_eq!(g.iterations_for_deadline(Cycles(2_000_001)).unwrap(), 2);
+        assert_eq!(g.iterations_for_deadline(Cycles(10_000_000)).unwrap(), 5);
+        // An absurd deadline overflows the expansion bound with a clear
+        // error instead of attempting a gigantic expansion.
+        assert!(matches!(
+            g.iterations_for_deadline(Cycles(u64::MAX)),
+            Err(crate::SdfError::TooLarge)
+        ));
+        // Graphs without a declared period cannot serve deadlines.
+        let mut bare = SdfGraph::new();
+        bare.add_actor("a", Cycles(10), 0).unwrap();
+        assert!(matches!(
+            bare.iterations_for_deadline(Cycles(100)),
+            Err(crate::SdfError::NoHyperPeriod)
+        ));
     }
 
     #[test]

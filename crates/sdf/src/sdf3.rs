@@ -24,7 +24,11 @@
 //!   are given) and `<stateSize max=…>` (mapped onto the actor's private
 //!   memory accesses),
 //! * `<channelProperties channel=…>` → `<tokenSize sz=…>` (memory words
-//!   per token, default 1).
+//!   per token, default 1),
+//! * `<hyperPeriod time=…>` inside `<sdfProperties>` — a small dialect
+//!   extension declaring the wall-clock duration of one graph iteration
+//!   in cycles ([`SdfGraph::hyper_period`]), which lets the CLI derive
+//!   `--iterations` from a `--deadline`; foreign files simply omit it.
 //!
 //! Everything else (`bufferSize`, throughput constraints, …) is ignored.
 //! Errors follow the text parser's contract: [`SdfError::Parse`] with a
@@ -349,6 +353,7 @@ pub fn parse_sdf3(text: &str) -> Result<SdfGraph, SdfError> {
     let mut props_channel: Option<String> = None; // inside <channelProperties>
     let mut in_default_processor = false;
     let mut saw_sdf3_root = false;
+    let mut hyper_period: Option<u64> = None;
 
     while let Some(tag) = scanner.next_tag()? {
         match tag.kind {
@@ -388,6 +393,7 @@ pub fn parse_sdf3(text: &str) -> Result<SdfGraph, SdfError> {
                     &mut props_channel,
                     &mut in_default_processor,
                     &mut saw_sdf3_root,
+                    &mut hyper_period,
                 )?;
                 if tag.kind == TagKind::Open {
                     stack.push(tag.name);
@@ -420,7 +426,11 @@ pub fn parse_sdf3(text: &str) -> Result<SdfGraph, SdfError> {
         });
     }
 
-    build_graph(actor_order, actors, channels)
+    let mut graph = build_graph(actor_order, actors, channels)?;
+    if let Some(period) = hyper_period {
+        graph.set_hyper_period(Cycles(period));
+    }
+    Ok(graph)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -435,6 +445,7 @@ fn handle_open(
     props_channel: &mut Option<String>,
     in_default_processor: &mut bool,
     saw_sdf3_root: &mut bool,
+    hyper_period: &mut Option<u64>,
 ) -> Result<(), SdfError> {
     // Full SDF3 files also describe architectures and mappings, which
     // reuse element names (`<actor name=…>` bindings inside
@@ -539,6 +550,9 @@ fn handle_open(
                 def.accesses = Some(max);
                 def.accesses_is_default = *in_default_processor;
             }
+        }
+        "hyperPeriod" if in_properties => {
+            *hyper_period = Some(parse_u64(required(tag, "time")?, tag.line, "hyperPeriod")?);
         }
         "tokenSize" => {
             let Some(channel) = props_channel.as_ref() else {
@@ -669,6 +683,9 @@ pub fn to_sdf3(graph: &SdfGraph, name: &str) -> String {
     }
     let _ = writeln!(out, "    </sdf>");
     let _ = writeln!(out, "    <sdfProperties>");
+    if let Some(period) = graph.hyper_period() {
+        let _ = writeln!(out, r#"      <hyperPeriod time="{}"/>"#, period.as_u64());
+    }
     for actor in graph.actors() {
         let _ = writeln!(
             out,
@@ -815,6 +832,33 @@ mod tests {
         </applicationGraph></sdf3>"#;
         let g = parse_sdf3(xml).unwrap();
         assert_eq!(g.actors()[0].wcet.as_u64(), 10);
+    }
+
+    #[test]
+    fn hyper_period_round_trips_and_parses() {
+        // A graph with a declared hyper-period keeps it across the
+        // writer/reader pair; one without stays bare.
+        let mut g = parse(TEXT).unwrap();
+        assert_eq!(g.hyper_period(), None);
+        let bare = parse_sdf3(&to_sdf3(&g, "p")).unwrap();
+        assert_eq!(bare.hyper_period(), None);
+        g.set_hyper_period(Cycles(123_456));
+        let xml = to_sdf3(&g, "p");
+        assert!(xml.contains(r#"<hyperPeriod time="123456"/>"#), "{xml}");
+        let back = parse_sdf3(&xml).unwrap();
+        assert_eq!(back.hyper_period(), Some(Cycles(123_456)));
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn malformed_hyper_period_is_a_parse_error() {
+        let g = parse(TEXT).unwrap();
+        let xml = to_sdf3(&g, "p").replace(
+            "    <sdfProperties>",
+            "    <sdfProperties>\n      <hyperPeriod time=\"soon\"/>",
+        );
+        let err = parse_sdf3(&xml).unwrap_err();
+        assert!(err.to_string().contains("hyperPeriod"), "{err}");
     }
 
     #[test]

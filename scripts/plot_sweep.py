@@ -1,19 +1,22 @@
 #!/usr/bin/env python3
-"""Plot `mia sweep` / `mia-bench sweep` reports (BENCH_sweep.json).
+"""Plot `mia sweep` / `mia-bench sweep` / `mia-bench dse` reports.
 
-Stdlib-only: reads the JSON report, groups the measured points into
-series keyed by (family, arbiter, algorithm, threads), and renders the
-runtime-vs-size trajectory curves of the paper's Figure 3:
+Stdlib-only. Sweep reports (BENCH_sweep.json, a `points` list) become
+the runtime-vs-size trajectory curves of the paper's Figure 3; DSE
+reports (BENCH_dse.json, a `runs` list from `mia optimize` or
+`mia-bench --bin dse`) become seed-vs-optimized makespan bars. The
+format is auto-detected.
 
-* by default, an ASCII log-log chart straight to the terminal,
-* with `--gnuplot DIR`, a gnuplot data file + script pair (`sweep.dat`,
-  `sweep.gp`) ready for `gnuplot sweep.gp` -> `sweep.svg`,
-* with `--csv`, the flat nine-column table of `mia sweep --csv`
-  (family,arbiter,n,algorithm,threads,status,seconds,makespan,error).
+* by default, an ASCII chart straight to the terminal (log-log curves
+  for sweeps, paired bars for DSE reports),
+* with `--gnuplot DIR`, a gnuplot data file + script pair ready for
+  `gnuplot <script>` -> an SVG,
+* with `--csv`, the flat table of the matching `--csv` CLI output.
 
 Examples:
 
     scripts/plot_sweep.py                      # chart BENCH_sweep.json
+    scripts/plot_sweep.py BENCH_dse.json       # seed vs optimized bars
     scripts/plot_sweep.py results/sweep.json --gnuplot out/
     mia sweep --sizes 1000,8000 -o r.json && scripts/plot_sweep.py r.json
 """
@@ -133,17 +136,100 @@ def write_csv(report, out):
         )
 
 
+def dse_label(run):
+    return f"{run['workload']}/{run['arbiter']}/n={run['n']}"
+
+
+def render_dse_ascii(report, width=44):
+    """Paired seed/optimized bars per run, annotated with the
+    improvement and the memo-cache hit rate."""
+    runs = report["runs"]
+    if not runs:
+        return "no runs to plot\n"
+    peak = max(r["seed_makespan"] for r in runs) or 1
+    label_width = max(len(dse_label(r)) for r in runs)
+    lines = [
+        f"analyzed makespan: seed (s) vs optimized (o), budget "
+        f"{report.get('budget_evals', '?')} evals, strategy "
+        f"{report.get('strategy', '?')}"
+    ]
+    for run in runs:
+        bar = lambda v: "#" * max(1, round(v / peak * width))  # noqa: E731
+        gain = run["improvement_pct"]
+        hits = run["cache_hit_rate"] * 100
+        lines.append(
+            f"{dse_label(run):>{label_width}} s {bar(run['seed_makespan']):<{width}} "
+            f"{run['seed_makespan']}"
+        )
+        lines.append(
+            f"{'':>{label_width}} o {bar(run['optimized_makespan']):<{width}} "
+            f"{run['optimized_makespan']} (-{gain:.2f}%, cache hits {hits:.0f}%)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_dse_gnuplot(report, out_dir):
+    os.makedirs(out_dir, exist_ok=True)
+    dat_path = os.path.join(out_dir, "dse.dat")
+    gp_path = os.path.join(out_dir, "dse.gp")
+    with open(dat_path, "w") as dat:
+        dat.write("# label seed optimized\n")
+        for run in report["runs"]:
+            label = dse_label(run).replace(" ", "_")
+            dat.write(
+                f"{label} {run['seed_makespan']} {run['optimized_makespan']}\n"
+            )
+    with open(gp_path, "w") as gp:
+        gp.write(
+            "set terminal svg size 900,600\n"
+            "set output 'dse.svg'\n"
+            "set style data histogram\n"
+            "set style histogram cluster gap 1\n"
+            "set style fill solid 0.8\n"
+            "set xtics rotate by -35\n"
+            "set ylabel 'analyzed makespan (cycles)'\n"
+            "plot 'dse.dat' using 2:xtic(1) title 'seed', \\\n"
+            "     '' using 3 title 'optimized'\n"
+        )
+    return dat_path, gp_path
+
+
+def write_dse_csv(report, out):
+    out.write(
+        "workload,arbiter,strategy,n,chains,seed_makespan,optimized_makespan,"
+        "improvement_pct,evaluations,cache_hits,cache_hit_rate,seconds\n"
+    )
+    for r in report["runs"]:
+        workload = r["workload"].replace(",", ";")
+        out.write(
+            f"{workload},{r['arbiter']},{r['strategy']},{r['n']},{r['chains']},"
+            f"{r['seed_makespan']},{r['optimized_makespan']},"
+            f"{r['improvement_pct']:.3f},{r['evaluations']},{r['cache_hits']},"
+            f"{r['cache_hit_rate']:.4f},{r['seconds']:.6f}\n"
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", nargs="?", default="BENCH_sweep.json",
-                        help="sweep JSON report (default: BENCH_sweep.json)")
+                        help="sweep or DSE JSON report (default: BENCH_sweep.json)")
     parser.add_argument("--gnuplot", metavar="DIR",
-                        help="write sweep.dat + sweep.gp into DIR")
+                        help="write a gnuplot data + script pair into DIR")
     parser.add_argument("--csv", action="store_true",
-                        help="emit the flat nine-column CSV instead of a chart")
+                        help="emit the flat CSV table instead of a chart")
     args = parser.parse_args()
 
     report = load_report(args.report)
+    if "runs" in report and "points" not in report:
+        # A DSE report (mia optimize / mia-bench dse).
+        if args.csv:
+            write_dse_csv(report, sys.stdout)
+        elif args.gnuplot:
+            dat, gp = write_dse_gnuplot(report, args.gnuplot)
+            print(f"wrote {dat} and {gp} (run: gnuplot {gp})")
+        else:
+            sys.stdout.write(render_dse_ascii(report))
+        return
     if args.csv:
         write_csv(report, sys.stdout)
         return

@@ -65,12 +65,14 @@
 //! | [`mrta`] | sporadic-task multicore response-time analysis (ref. \[1\]) |
 //! | [`noc`] | inter-cluster 2D-torus NoC latency bounds (MPPA-256 chip level) |
 //! | [`exec`] | time-triggered dispatch tables + C emission (deployment stage) |
+//! | [`dse`] | design-space exploration with the analysis in the loop |
 //! | [`trace`] | Gantt charts, DOT export, JSON reports |
 
 pub use mia_arbiter as arbiters;
 pub use mia_baseline as baseline;
 pub use mia_core as analysis;
 pub use mia_dag_gen as dag_gen;
+pub use mia_dse as dse;
 pub use mia_exec as exec;
 pub use mia_mapping as mapping_heuristics;
 pub use mia_model as model;
