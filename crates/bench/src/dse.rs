@@ -103,6 +103,10 @@ pub fn run_dse(spec: &DseSpec, progress: &dyn Fn(&OptimizeRun)) -> Result<Optimi
                     evaluations: result.stats.evaluations,
                     analyses: result.stats.analyses,
                     cache_hits: result.stats.cache_hits,
+                    feasible_hits: result.stats.feasible_hits,
+                    infeasible_hits: result.stats.infeasible_hits,
+                    delta_resumes: result.stats.delta_resumes,
+                    bound_cutoffs: result.stats.bound_cutoffs,
                     cache_hit_rate: result.stats.hit_rate(),
                     infeasible: result.stats.infeasible,
                     accepted: result.accepted,
@@ -115,11 +119,22 @@ pub fn run_dse(spec: &DseSpec, progress: &dyn Fn(&OptimizeRun)) -> Result<Optimi
             }
         }
     }
+    // Every grid point shares one worker resolution — record what the
+    // searches actually ran with, and the raw spec separately.
+    let resolved = DseConfig {
+        strategy: spec.strategy,
+        seed: spec.seed,
+        budget_evals: spec.budget_evals,
+        threads: spec.threads,
+        tuning: AnnealTuning::default(),
+    }
+    .resolved_workers();
     Ok(OptimizeReport {
         seed: spec.seed,
         budget_evals: spec.budget_evals,
         strategy: spec.strategy.label().to_owned(),
-        threads: spec.threads,
+        threads: resolved,
+        requested_threads: spec.threads,
         wall_seconds: started.elapsed().as_secs_f64(),
         runs,
     })
@@ -253,8 +268,13 @@ mod tests {
             assert_eq!(run.evaluations, 41);
             assert_eq!(run.workload, "rosace");
         }
+        // The report records the resolved worker count, not the spec's
+        // raw value (here they agree: 1 thread requested, 1 used).
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.requested_threads, 1);
         let json = mia_dse::report_json(&report);
         assert!(json.contains("\"optimized_makespan\""));
+        assert!(json.contains("\"delta_resumes\""));
     }
 
     #[test]

@@ -123,11 +123,12 @@ pub fn optimize_cmd(args: &[String]) -> Result<String, CliError> {
             .map_err(|e| CliError::Analysis(format!("{label} / {name}: {e}")))?;
         let seconds = run_started.elapsed().as_secs_f64();
         summary.push_str(&format!(
-            "{label} / {name}: makespan {} -> {} ({:+.2}%)  evals {}  cache hit rate {:.1}%  {:.2}s\n",
+            "{label} / {name}: makespan {} -> {} ({:+.2}%)  evals {}  delta resumes {}  cache hit rate {:.1}%  {:.2}s\n",
             result.seed_makespan,
             result.best_makespan,
             -result.improvement_pct(),
             result.stats.evaluations,
+            result.stats.delta_resumes,
             result.stats.hit_rate() * 100.0,
             seconds,
         ));
@@ -144,6 +145,10 @@ pub fn optimize_cmd(args: &[String]) -> Result<String, CliError> {
             evaluations: result.stats.evaluations,
             analyses: result.stats.analyses,
             cache_hits: result.stats.cache_hits,
+            feasible_hits: result.stats.feasible_hits,
+            infeasible_hits: result.stats.infeasible_hits,
+            delta_resumes: result.stats.delta_resumes,
+            bound_cutoffs: result.stats.bound_cutoffs,
             cache_hit_rate: result.stats.hit_rate(),
             infeasible: result.stats.infeasible,
             accepted: result.accepted,
@@ -166,7 +171,10 @@ pub fn optimize_cmd(args: &[String]) -> Result<String, CliError> {
         seed,
         budget_evals,
         strategy: strategy.label().to_owned(),
-        threads,
+        // Record the worker count the search actually ran with — the
+        // `0 = all cores` sentinel is kept separately.
+        threads: config.resolved_workers(),
+        requested_threads: threads,
         wall_seconds: started.elapsed().as_secs_f64(),
         runs,
     };

@@ -34,6 +34,7 @@ use mia_model::arbiter::Arbiter;
 use mia_model::scratch::DemandMerge;
 use mia_model::{BankId, CoreId, Cycles, Problem, TaskId};
 
+use crate::checkpoint::SlotSnapshot;
 use crate::{AnalysisStats, InterferenceMode, Observer};
 
 /// Per-core bookkeeping slot for the alive task currently executing on
@@ -112,6 +113,43 @@ impl AliveSlot {
     /// The finish date of the occupying task given its WCET.
     pub(crate) fn finish(&self, wcet: Cycles) -> Cycles {
         self.release + wcet + self.total_inter
+    }
+
+    /// Freezes the busy slot's interference state for a checkpoint. Only
+    /// current-generation entries are captured; the accounted-pairs set is
+    /// deliberately *not* part of the snapshot — every source task enters
+    /// the alive set exactly once per run, so a source accounted in the
+    /// prefix can never be offered to this destination again in the
+    /// resumed suffix, and within one accounting call the fresh
+    /// generation installed by [`AliveSlot::restore`] deduplicates as
+    /// usual.
+    pub(crate) fn snapshot(&self) -> SlotSnapshot {
+        debug_assert!(self.busy, "snapshotting an empty slot");
+        SlotSnapshot {
+            task: self.task,
+            release: self.release,
+            total_inter: self.total_inter,
+            bank_inter: self
+                .bank_stamp
+                .iter()
+                .enumerate()
+                .filter(|&(_, &stamp)| stamp == self.generation)
+                .map(|(bank, _)| (BankId::from_index(bank), self.bank_inter[bank]))
+                .collect(),
+            merge: self.merge.export(),
+        }
+    }
+
+    /// Re-occupies a fresh slot from a checkpoint snapshot, as if the
+    /// recorded prefix had opened the task and accounted its interferers
+    /// here.
+    pub(crate) fn restore(&mut self, snap: &SlotSnapshot) {
+        self.open(snap.task, snap.release);
+        self.total_inter = snap.total_inter;
+        for &(bank, inter) in &snap.bank_inter {
+            self.bank_inter_set(bank, inter);
+        }
+        self.merge.restore(&snap.merge);
     }
 
     /// Accounts `src_task` (alive on `src_core`) as an interferer of this

@@ -9,7 +9,10 @@ use mia_model::arbiter::Arbiter;
 use mia_model::{Cycles, Problem, Schedule, TaskId};
 
 use crate::alive::{account_newly, AliveSlot};
-use crate::engine::{run_cursor, scan_next_finish, SlotView, StepEngine};
+use crate::checkpoint::{Checkpoint, CheckpointLog, SlotSnapshot};
+use crate::engine::{
+    resume_cursor, run_cursor, run_cursor_recorded, scan_next_finish, Resume, SlotView, StepEngine,
+};
 use crate::{AnalysisError, AnalysisOptions, NoopObserver, Observer};
 
 /// Counters describing the work an analysis run performed; useful for
@@ -92,6 +95,128 @@ where
         schedule: Schedule::from_timings(timings),
         stats,
     })
+}
+
+/// [`analyze_with`] that additionally records [`Checkpoint`]s of the
+/// cursor driver into `log` as the run progresses. The filled log (plus
+/// the returned schedule) is what [`analyze_delta_with`] and
+/// [`resume_analyze_with`] resume from after a local mapping change.
+///
+/// # Errors
+///
+/// As [`analyze_with`].
+pub fn analyze_checkpointed_with<A, O>(
+    problem: &Problem,
+    arbiter: &A,
+    options: &AnalysisOptions,
+    observer: &mut O,
+    log: &mut CheckpointLog,
+) -> Result<AnalysisReport, AnalysisError>
+where
+    A: Arbiter + ?Sized,
+    O: Observer + ?Sized,
+{
+    let mut engine = ScanEngine::new(problem, arbiter, options);
+    let (timings, stats) = run_cursor_recorded(problem, options, &mut engine, observer, log)?;
+    Ok(AnalysisReport {
+        schedule: Schedule::from_timings(timings),
+        stats,
+    })
+}
+
+/// Resumes a recorded analysis from `checkpoint` on the scanning engine:
+/// only the suffix of the run is re-executed (and only its events reach
+/// the observer), yet the returned schedule and stats are complete and
+/// bit-identical to a from-scratch [`analyze_with`] of `problem`.
+///
+/// `prior` is the schedule of the run that recorded the checkpoint; the
+/// caller must have verified the admission rule
+/// ([`Checkpoint::admits`]) for whatever changed between that run's
+/// problem and this one. Pass a `log` to keep recording the suffix.
+///
+/// # Errors
+///
+/// As [`analyze_with`].
+pub fn resume_analyze_with<A, O>(
+    problem: &Problem,
+    arbiter: &A,
+    options: &AnalysisOptions,
+    observer: &mut O,
+    checkpoint: &Checkpoint,
+    prior: &Schedule,
+    log: Option<&mut CheckpointLog>,
+) -> Result<AnalysisReport, AnalysisError>
+where
+    A: Arbiter + ?Sized,
+    O: Observer + ?Sized,
+{
+    let mut engine = ScanEngine::new(problem, arbiter, options);
+    let (timings, stats) = resume_cursor(
+        problem,
+        options,
+        &mut engine,
+        observer,
+        Resume {
+            checkpoint,
+            prior: prior.timings(),
+        },
+        log,
+    )?;
+    Ok(AnalysisReport {
+        schedule: Schedule::from_timings(timings),
+        stats,
+    })
+}
+
+/// Delta re-analysis: analyzes `problem` — which must differ from the
+/// run recorded in `log` (whose schedule was `prior`) only at order
+/// positions at or after the `(core, position)` pairs in `changed` —
+/// resuming from the latest admissible checkpoint, or from scratch when
+/// the whole prefix is invalidated.
+///
+/// Returns the report, the checkpoint log of *this* run (sharing the
+/// admissible prefix with `log`, which is left untouched — callers keep
+/// it valid for the base mapping), and whether the delta path actually
+/// skipped work.
+///
+/// # Errors
+///
+/// As [`analyze_with`].
+pub fn analyze_delta_with<A, O>(
+    problem: &Problem,
+    arbiter: &A,
+    options: &AnalysisOptions,
+    observer: &mut O,
+    log: &CheckpointLog,
+    changed: &[(usize, usize)],
+    prior: &Schedule,
+) -> Result<(AnalysisReport, CheckpointLog, bool), AnalysisError>
+where
+    A: Arbiter + ?Sized,
+    O: Observer + ?Sized,
+{
+    if prior.len() == problem.len() {
+        if let Some(checkpoint) = log.best_for(changed) {
+            if checkpoint.skips_work() {
+                let mut branch = log.branch_at(checkpoint.step());
+                let report = resume_analyze_with(
+                    problem,
+                    arbiter,
+                    options,
+                    observer,
+                    checkpoint,
+                    prior,
+                    Some(&mut branch),
+                )?;
+                return Ok((report, branch, true));
+            }
+        }
+    }
+    // Prefix invalidated (or resuming would not skip anything): fall back
+    // to a full run, recording a fresh log for the next move.
+    let mut fresh = CheckpointLog::new();
+    let report = analyze_checkpointed_with(problem, arbiter, options, observer, &mut fresh)?;
+    Ok((report, fresh, false))
 }
 
 /// The paper's scanning cursor as a [`StepEngine`]: owns the full
@@ -186,8 +311,26 @@ where
         Ok(())
     }
 
-    fn next_finish(&mut self, _t: Cycles) -> Cycles {
-        scan_next_finish(self, self.problem)
+    fn next_finish(&mut self, t: Cycles) -> Cycles {
+        scan_next_finish(self, self.problem, t)
+    }
+
+    fn snapshot_slots(&self) -> Option<Vec<Option<SlotSnapshot>>> {
+        Some(
+            self.slots
+                .iter()
+                .map(|s| s.busy.then(|| s.snapshot()))
+                .collect(),
+        )
+    }
+
+    fn restore_slots(&mut self, slots: &[Option<SlotSnapshot>]) {
+        debug_assert_eq!(slots.len(), self.slots.len());
+        for (slot, snap) in self.slots.iter_mut().zip(slots) {
+            if let Some(snap) = snap {
+                slot.restore(snap);
+            }
+        }
     }
 }
 

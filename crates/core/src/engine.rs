@@ -16,13 +16,21 @@
 //!   next cursor position is found ([`StepEngine::next_finish`]: a slot
 //!   scan or a lazily invalidated heap).
 //!
+//! The driver is additionally **resumable**: a run may record
+//! [`Checkpoint`]s of its own state into a [`CheckpointLog`], and
+//! [`resume_cursor`] re-enters the loop from such a checkpoint instead of
+//! from `t = 0`, replaying only the suffix of the run. This is the core
+//! of the delta re-analysis used by the DSE inner loop (see
+//! [`crate::checkpoint`] for the invalidation rule).
+//!
 //! The cross-engine conformance harness (`tests/conformance.rs`, built on
 //! [`crate::testkit`]) pins all implementors to bit-identical schedules,
-//! work counters and observer event streams, with `mia-baseline` as the
-//! independent fixed-point oracle.
+//! work counters and observer event streams — for full *and* resumed
+//! runs — with `mia-baseline` as the independent fixed-point oracle.
 
 use mia_model::{CoreId, Cycles, Problem, TaskId, TaskTiming};
 
+use crate::checkpoint::{Checkpoint, CheckpointLog, SlotSnapshot};
 use crate::{AnalysisError, AnalysisOptions, AnalysisStats, Observer};
 
 /// One engine's view of the task alive on a core: exactly the state the
@@ -101,12 +109,32 @@ pub(crate) trait StepEngine {
     /// [`Cycles::MAX`] when every core is idle. `&mut` so heap-backed
     /// implementations can drop stale entries while searching.
     fn next_finish(&mut self, t: Cycles) -> Cycles;
+
+    /// Freezes the interference state of every busy slot for a
+    /// [`Checkpoint`], or `None` when this engine cannot snapshot its
+    /// slots cheaply (the parallel engine's live state is sharded across
+    /// workers, so recorded runs use the sequential engines instead).
+    fn snapshot_slots(&self) -> Option<Vec<Option<SlotSnapshot>>> {
+        None
+    }
+
+    /// Re-occupies the slots from a checkpoint taken on any engine, as if
+    /// the recorded prefix had just been executed. Called once, before the
+    /// driver loop, on an otherwise fresh engine.
+    fn restore_slots(&mut self, slots: &[Option<SlotSnapshot>]);
 }
 
-/// Scans every busy slot for the earliest finish date — the default
-/// [`StepEngine::next_finish`] strategy (Algorithm 1, lines 24–28),
-/// shared by the scanning and layer-parallel engines.
-pub(crate) fn scan_next_finish<E>(engine: &E, problem: &Problem) -> Cycles
+/// Scans every busy slot for the earliest finish date strictly after `t`
+/// — the default [`StepEngine::next_finish`] strategy (Algorithm 1,
+/// lines 24–28), shared by the scanning and layer-parallel engines.
+///
+/// After the close/open fixed point no busy slot can still finish at or
+/// before the cursor, so the `fin > t` filter is structural rather than
+/// load-bearing — but it makes the "strictly after `t`" contract hold by
+/// construction (and keeps the `t_next > t` cursor-advance invariant
+/// enforced in release builds, where the `debug_assert!` is compiled
+/// out), instead of relying on every engine's fixed point being exact.
+pub(crate) fn scan_next_finish<E>(engine: &E, problem: &Problem, t: Cycles) -> Cycles
 where
     E: StepEngine + ?Sized,
 {
@@ -114,10 +142,24 @@ where
     let mut t_next = Cycles::MAX;
     for core in 0..engine.cores() {
         if let Some(view) = engine.slot(core) {
-            t_next = t_next.min(view.finish(graph.task(view.task).wcet()));
+            let fin = view.finish(graph.task(view.task).wcet());
+            if fin > t {
+                t_next = t_next.min(fin);
+            }
         }
     }
     t_next
+}
+
+/// Where [`resume_cursor`] re-enters the loop: a checkpoint plus the
+/// timings of the run that recorded it (the prefix's closed tasks keep
+/// their prior timings verbatim — the prefix is bit-identical by the
+/// checkpoint admission rule).
+pub(crate) struct Resume<'a> {
+    /// The driver state to re-enter at.
+    pub(crate) checkpoint: &'a Checkpoint,
+    /// Per-task timings of the recorded run (indexed by task id).
+    pub(crate) prior: &'a [TaskTiming],
 }
 
 /// Drives one incremental analysis to completion over `engine` — the
@@ -141,6 +183,66 @@ pub(crate) fn run_cursor<E, O>(
     options: &AnalysisOptions,
     engine: &mut E,
     observer: &mut O,
+) -> Result<(Vec<TaskTiming>, AnalysisStats), AnalysisError>
+where
+    E: StepEngine,
+    O: Observer + ?Sized,
+{
+    drive(problem, options, engine, observer, None, None)
+}
+
+/// [`run_cursor`] that additionally records [`Checkpoint`]s into `log`
+/// (no-op on engines that cannot snapshot their slots).
+pub(crate) fn run_cursor_recorded<E, O>(
+    problem: &Problem,
+    options: &AnalysisOptions,
+    engine: &mut E,
+    observer: &mut O,
+    log: &mut CheckpointLog,
+) -> Result<(Vec<TaskTiming>, AnalysisStats), AnalysisError>
+where
+    E: StepEngine,
+    O: Observer + ?Sized,
+{
+    drive(problem, options, engine, observer, None, Some(log))
+}
+
+/// Re-enters the cursor loop at `resume.checkpoint` on a fresh `engine`,
+/// replaying only the suffix of the run. The observer sees only the
+/// suffix's events (the stream is a suffix of the full run's stream);
+/// timings and stats come back complete — prefix timings are taken from
+/// `resume.prior`, prefix counters from the checkpoint — and are
+/// bit-identical to a from-scratch run's.
+///
+/// The caller is responsible for the admission rule: `problem` must agree
+/// with the recorded run on everything the checkpoint's prefix observed
+/// (see [`Checkpoint::admits`](crate::checkpoint::Checkpoint::admits)).
+///
+/// # Errors
+///
+/// As [`run_cursor`].
+pub(crate) fn resume_cursor<E, O>(
+    problem: &Problem,
+    options: &AnalysisOptions,
+    engine: &mut E,
+    observer: &mut O,
+    resume: Resume<'_>,
+    log: Option<&mut CheckpointLog>,
+) -> Result<(Vec<TaskTiming>, AnalysisStats), AnalysisError>
+where
+    E: StepEngine,
+    O: Observer + ?Sized,
+{
+    drive(problem, options, engine, observer, Some(resume), log)
+}
+
+fn drive<E, O>(
+    problem: &Problem,
+    options: &AnalysisOptions,
+    engine: &mut E,
+    observer: &mut O,
+    resume: Option<Resume<'_>>,
+    mut recorder: Option<&mut CheckpointLog>,
 ) -> Result<(Vec<TaskTiming>, AnalysisStats), AnalysisError>
 where
     E: StepEngine,
@@ -174,11 +276,66 @@ where
     let mut newly: Vec<usize> = Vec::with_capacity(cores);
 
     let mut t = Cycles::ZERO;
-    observer.on_cursor(t);
+    match resume {
+        None => observer.on_cursor(t),
+        Some(Resume { checkpoint, prior }) => {
+            // Re-enter at the checkpoint: the recorded prefix is
+            // bit-identical under the admission rule, so its outcome can
+            // be installed wholesale instead of replayed. The prefix's
+            // events were emitted by the recorded run — including the
+            // `on_cursor` for this instant — so none are re-emitted here.
+            debug_assert_eq!(prior.len(), n, "prior timings must cover the graph");
+            debug_assert_eq!(checkpoint.next_idx.len(), cores);
+            t = checkpoint.t;
+            stats = checkpoint.stats;
+            next_idx.copy_from_slice(&checkpoint.next_idx);
+            mr_ptr = checkpoint.mr_ptr;
+            engine.restore_slots(&checkpoint.slots);
+            // Tasks alive at the checkpoint: opened but not yet closed.
+            let mut alive = vec![false; n];
+            for snap in checkpoint.slots.iter().flatten() {
+                alive[snap.task.index()] = true;
+                alive_count += 1;
+            }
+            // Everything before `next_idx` on each core was opened in the
+            // prefix; whatever is not still alive closed there, keeps its
+            // prior timing and releases its successors.
+            #[allow(clippy::needless_range_loop)] // index drives several arrays
+            for core_idx in 0..cores {
+                let order = mapping.order(CoreId::from_index(core_idx));
+                for &task in &order[..next_idx[core_idx]] {
+                    is_open[task.index()] = true;
+                    if !alive[task.index()] {
+                        timings[task.index()] = Some(prior[task.index()]);
+                        closed_count += 1;
+                        for e in graph.successors(task) {
+                            pending[e.dst.index()] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
 
     while closed_count < n {
         if options.is_cancelled() {
             return Err(AnalysisError::Cancelled);
+        }
+        // Snapshot the loop state *before* this iteration runs: a
+        // checkpoint re-enters exactly here.
+        if let Some(log) = recorder.as_deref_mut() {
+            if log.wants(stats.cursor_steps) {
+                if let Some(slots) = engine.snapshot_slots() {
+                    log.record(Checkpoint {
+                        step: stats.cursor_steps,
+                        t,
+                        next_idx: next_idx.clone(),
+                        mr_ptr,
+                        stats,
+                        slots,
+                    });
+                }
+            }
         }
         stats.cursor_steps += 1;
 

@@ -30,7 +30,8 @@ use mia_model::arbiter::Arbiter;
 use mia_model::{Cycles, Problem, Schedule, TaskId};
 
 use crate::analysis::ScanEngine;
-use crate::engine::{run_cursor, SlotView, StepEngine};
+use crate::checkpoint::{Checkpoint, CheckpointLog, SlotSnapshot};
+use crate::engine::{resume_cursor, run_cursor, Resume, SlotView, StepEngine};
 use crate::{
     AnalysisError, AnalysisOptions, AnalysisReport, AnalysisStats, NoopObserver, Observer,
 };
@@ -103,6 +104,48 @@ where
     })
 }
 
+/// Resumes a recorded analysis from `checkpoint` on the event-driven
+/// engine. Checkpoints are engine-agnostic: one recorded by the scanning
+/// engine resumes here (the heap is re-seeded from the restored slots)
+/// and yields the same bit-identical suffix.
+///
+/// See [`crate::resume_analyze_with`] for the contract on `checkpoint`
+/// and `prior`.
+///
+/// # Errors
+///
+/// Same as [`crate::analyze_with`].
+pub fn resume_analyze_event_driven_with<A, O>(
+    problem: &Problem,
+    arbiter: &A,
+    options: &AnalysisOptions,
+    observer: &mut O,
+    checkpoint: &Checkpoint,
+    prior: &Schedule,
+    log: Option<&mut CheckpointLog>,
+) -> Result<AnalysisReport, AnalysisError>
+where
+    A: Arbiter + ?Sized,
+    O: Observer + ?Sized,
+{
+    let mut engine = HeapEngine::new(problem, arbiter, options);
+    let (timings, stats) = resume_cursor(
+        problem,
+        options,
+        &mut engine,
+        observer,
+        Resume {
+            checkpoint,
+            prior: prior.timings(),
+        },
+        log,
+    )?;
+    Ok(AnalysisReport {
+        schedule: Schedule::from_timings(timings),
+        stats,
+    })
+}
+
 /// The event-driven cursor as a [`StepEngine`]: the scanning engine's
 /// slot view and interference phase, with only the *cursor search*
 /// replaced by a lazily invalidated heap of candidate finish events.
@@ -168,6 +211,25 @@ where
                 .push(Reverse((s.finish(graph.task(s.task).wcet()), core_idx)));
         }
         Ok(())
+    }
+
+    fn snapshot_slots(&self) -> Option<Vec<Option<SlotSnapshot>>> {
+        self.inner.snapshot_slots()
+    }
+
+    fn restore_slots(&mut self, slots: &[Option<SlotSnapshot>]) {
+        self.inner.restore_slots(slots);
+        // Re-seed the heap with the restored finish dates; refreshed
+        // entries will follow as interference accrues in the suffix.
+        let graph = self.inner.problem().graph();
+        for (core_idx, slot) in self.inner.slots.iter().enumerate() {
+            if slot.busy {
+                self.finish_events.push(Reverse((
+                    slot.finish(graph.task(slot.task).wcet()),
+                    core_idx,
+                )));
+            }
+        }
     }
 
     fn next_finish(&mut self, t: Cycles) -> Cycles {

@@ -93,6 +93,7 @@
 mod alive;
 mod analysis;
 mod cancel;
+mod checkpoint;
 mod engine;
 mod error;
 mod events;
@@ -101,10 +102,16 @@ mod options;
 mod parallel;
 pub mod testkit;
 
-pub use analysis::{analyze, analyze_with, AnalysisReport, AnalysisStats};
+pub use analysis::{
+    analyze, analyze_checkpointed_with, analyze_delta_with, analyze_with, resume_analyze_with,
+    AnalysisReport, AnalysisStats,
+};
 pub use cancel::CancelToken;
+pub use checkpoint::{Checkpoint, CheckpointLog};
 pub use error::AnalysisError;
-pub use events::{analyze_event_driven, analyze_event_driven_with};
+pub use events::{
+    analyze_event_driven, analyze_event_driven_with, resume_analyze_event_driven_with,
+};
 pub use observer::{NoopObserver, Observer};
 pub use options::{AnalysisOptions, InterferenceMode};
-pub use parallel::{analyze_parallel, analyze_parallel_with};
+pub use parallel::{analyze_parallel, analyze_parallel_with, resume_analyze_parallel_with};

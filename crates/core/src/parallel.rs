@@ -69,7 +69,8 @@ use mia_model::arbiter::Arbiter;
 use mia_model::{BankId, CoreId, Cycles, Problem, Schedule, TaskId};
 
 use crate::alive::{account_destination, AliveSlot};
-use crate::engine::{run_cursor, scan_next_finish, SlotView, StepEngine};
+use crate::checkpoint::{Checkpoint, CheckpointLog, SlotSnapshot};
+use crate::engine::{resume_cursor, run_cursor, scan_next_finish, Resume, SlotView, StepEngine};
 use crate::{
     AnalysisError, AnalysisOptions, AnalysisReport, AnalysisStats, NoopObserver, Observer,
 };
@@ -82,6 +83,10 @@ struct StepMsg {
     newly: Vec<(usize, TaskId, Cycles)>,
     /// Task alive on each core after this step's opens (`None` = idle).
     occupants: Vec<Option<TaskId>>,
+    /// When set, this step is a one-shot restore round (before the cursor
+    /// loop of a resumed run): workers rebuild their owned slots from the
+    /// checkpoint snapshots instead of accounting anything.
+    restore: Option<Vec<Option<SlotSnapshot>>>,
 }
 
 /// A worker-recorded interference event: destination core, task, bank
@@ -214,17 +219,88 @@ where
     A: Arbiter + Sync + ?Sized,
     O: Observer + ?Sized,
 {
+    let workers = resolve_workers(problem, threads);
+    if workers <= 1 {
+        return crate::analyze_with(problem, arbiter, options, observer);
+    }
+    run_pool(problem, arbiter, options, workers, observer, None, None)
+}
+
+/// Resumes a recorded analysis from `checkpoint` on the layer-parallel
+/// engine: the driver restores its metadata mirror, the pool rebuilds the
+/// owned slots in a one-shot restore round, and only the suffix of the
+/// run is re-executed. Prefix work counters come from the checkpoint, the
+/// workers count the suffix, and the merge yields totals bit-identical to
+/// a from-scratch run — for every thread count.
+///
+/// See [`crate::resume_analyze_with`] for the contract on `checkpoint`
+/// and `prior`. With one worker the call falls through to the sequential
+/// resume.
+///
+/// # Errors
+///
+/// Same as [`crate::analyze_with`].
+#[allow(clippy::too_many_arguments)] // mirrors resume_analyze_with + threads
+pub fn resume_analyze_parallel_with<A, O>(
+    problem: &Problem,
+    arbiter: &A,
+    options: &AnalysisOptions,
+    threads: usize,
+    observer: &mut O,
+    checkpoint: &Checkpoint,
+    prior: &Schedule,
+    log: Option<&mut CheckpointLog>,
+) -> Result<AnalysisReport, AnalysisError>
+where
+    A: Arbiter + Sync + ?Sized,
+    O: Observer + ?Sized,
+{
+    let workers = resolve_workers(problem, threads);
+    if workers <= 1 {
+        return crate::analysis::resume_analyze_with(
+            problem, arbiter, options, observer, checkpoint, prior, log,
+        );
+    }
+    run_pool(
+        problem,
+        arbiter,
+        options,
+        workers,
+        observer,
+        Some((checkpoint, prior)),
+        log,
+    )
+}
+
+/// The effective pool size: `threads` (or the machine's available
+/// parallelism when 0), never more than one worker per core.
+fn resolve_workers(problem: &Problem, threads: usize) -> usize {
     let cores = problem.mapping().cores();
-    let workers = if threads == 0 {
+    if threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
         threads
     }
-    .min(cores.max(1));
-    if workers <= 1 {
-        return crate::analyze_with(problem, arbiter, options, observer);
-    }
+    .min(cores.max(1))
+}
 
+/// The shared pool driver behind [`analyze_parallel_with`] and
+/// [`resume_analyze_parallel_with`] (callers have already resolved
+/// `workers > 1`).
+fn run_pool<A, O>(
+    problem: &Problem,
+    arbiter: &A,
+    options: &AnalysisOptions,
+    workers: usize,
+    observer: &mut O,
+    resume: Option<(&Checkpoint, &Schedule)>,
+    log: Option<&mut CheckpointLog>,
+) -> Result<AnalysisReport, AnalysisError>
+where
+    A: Arbiter + Sync + ?Sized,
+    O: Observer + ?Sized,
+{
+    let cores = problem.mapping().cores();
     let mode = options.interference_mode;
     let access = problem.platform().access_cycles();
 
@@ -233,6 +309,7 @@ where
             quit: false,
             newly: Vec::with_capacity(cores),
             occupants: vec![None; cores],
+            restore: None,
         }),
         start: Barrier::new(workers + 1),
         done: Barrier::new(workers + 1),
@@ -269,7 +346,20 @@ where
                 shared: &shared,
                 newly_events: Vec::new(),
             };
-            run_cursor(problem, options, &mut engine, observer)
+            match resume {
+                None => run_cursor(problem, options, &mut engine, observer),
+                Some((checkpoint, prior)) => resume_cursor(
+                    problem,
+                    options,
+                    &mut engine,
+                    observer,
+                    Resume {
+                        checkpoint,
+                        prior: prior.timings(),
+                    },
+                    log,
+                ),
+            }
         }));
 
         // Shut the pool down whether the run succeeded, failed or
@@ -288,9 +378,12 @@ where
         Ok(result) => result?,
         Err(payload) => std::panic::resume_unwind(payload),
     };
+    // Added, not assigned: a from-scratch driver contributes zero here,
+    // while a resumed one starts from the checkpoint's prefix counters
+    // and the workers count only the suffix.
     let worker_stats = Shared::lock_ignoring_poison(&shared.worker_stats);
-    stats.pairs_considered = worker_stats.pairs_considered;
-    stats.ibus_calls = worker_stats.ibus_calls;
+    stats.pairs_considered += worker_stats.pairs_considered;
+    stats.ibus_calls += worker_stats.ibus_calls;
     drop(worker_stats);
     Ok(AnalysisReport {
         schedule: Schedule::from_timings(timings),
@@ -390,8 +483,39 @@ impl StepEngine for ParallelEngine<'_, '_> {
         Ok(())
     }
 
-    fn next_finish(&mut self, _t: Cycles) -> Cycles {
-        scan_next_finish(self, self.problem)
+    fn next_finish(&mut self, t: Cycles) -> Cycles {
+        scan_next_finish(self, self.problem, t)
+    }
+
+    fn restore_slots(&mut self, slots: &[Option<SlotSnapshot>]) {
+        // The driver's mirror first, then a one-shot barrier round so
+        // every worker rebuilds the heavy state of the slots it owns.
+        for (m, snap) in self.meta.iter_mut().zip(slots) {
+            match snap {
+                Some(s) => {
+                    *m = MetaSlot {
+                        busy: true,
+                        task: s.task,
+                        release: s.release,
+                        total_inter: s.total_inter,
+                    };
+                }
+                None => m.busy = false,
+            }
+        }
+        self.shared
+            .step
+            .lock()
+            .expect("driver owns step lock")
+            .restore = Some(slots.to_vec());
+        self.shared.start.wait();
+        // Workers restore their owned slots here.
+        self.shared.done.wait();
+        self.shared
+            .step
+            .lock()
+            .expect("driver owns step lock")
+            .restore = None;
     }
 }
 
@@ -454,6 +578,19 @@ fn worker_loop<A>(
             let msg = Shared::lock_ignoring_poison(&shared.step);
             if msg.quit {
                 break;
+            }
+            if let Some(snaps) = msg.restore.as_deref() {
+                // One-shot restore round of a resumed run: rebuild the
+                // owned slots from the checkpoint and skip accounting.
+                // Fresh pools only — every slot is still unoccupied.
+                for core in (worker_id..cores).step_by(workers) {
+                    if let Some(snap) = &snaps[core] {
+                        slots[local[core]].restore(snap);
+                    }
+                }
+                drop(msg);
+                shared.done.wait();
+                continue;
             }
             newly.clone_from(&msg.newly);
             occupants.clone_from(&msg.occupants);

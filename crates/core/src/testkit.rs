@@ -46,8 +46,9 @@ use mia_model::arbiter::Arbiter;
 use mia_model::{BankId, CoreId, Cycles, Problem, Schedule, TaskId};
 
 use crate::{
-    analyze_event_driven_with, analyze_parallel_with, analyze_with, AnalysisError, AnalysisOptions,
-    AnalysisStats, Observer,
+    analyze_event_driven_with, analyze_parallel_with, analyze_with,
+    resume_analyze_event_driven_with, resume_analyze_parallel_with, resume_analyze_with,
+    AnalysisError, AnalysisOptions, AnalysisStats, Checkpoint, CheckpointLog, Observer,
 };
 
 /// One event of the incremental analysis, as delivered through
@@ -168,6 +169,70 @@ impl EngineKind {
             EngineKind::Parallel { threads } => {
                 analyze_parallel_with(problem, arbiter, options, threads, &mut log)?
             }
+        };
+        Ok(EngineRun {
+            schedule: report.schedule,
+            stats: report.stats,
+            events: log.events,
+        })
+    }
+
+    /// Runs the scanning engine on `problem`, recording checkpoints into
+    /// `log` alongside the full event stream — the recording side of the
+    /// delta-resume conformance checks.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::analyze_with`].
+    pub fn record<A>(
+        problem: &Problem,
+        arbiter: &A,
+        options: &AnalysisOptions,
+        log: &mut CheckpointLog,
+    ) -> Result<EngineRun, AnalysisError>
+    where
+        A: Arbiter + Sync + ?Sized,
+    {
+        let mut events = EventLog::default();
+        let report = crate::analyze_checkpointed_with(problem, arbiter, options, &mut events, log)?;
+        Ok(EngineRun {
+            schedule: report.schedule,
+            stats: report.stats,
+            events: events.events,
+        })
+    }
+
+    /// Resumes this engine from `checkpoint` (recorded by
+    /// [`EngineKind::record`] for the run that produced `prior`),
+    /// capturing the suffix event stream. The returned schedule and stats
+    /// are complete; `events` holds only the resumed suffix — the harness
+    /// pins it as a strict suffix of the full run's stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::analyze_with`].
+    pub fn run_resumed<A>(
+        self,
+        problem: &Problem,
+        arbiter: &A,
+        options: &AnalysisOptions,
+        checkpoint: &Checkpoint,
+        prior: &Schedule,
+    ) -> Result<EngineRun, AnalysisError>
+    where
+        A: Arbiter + Sync + ?Sized,
+    {
+        let mut log = EventLog::default();
+        let report = match self {
+            EngineKind::Sequential => {
+                resume_analyze_with(problem, arbiter, options, &mut log, checkpoint, prior, None)?
+            }
+            EngineKind::EventDriven => resume_analyze_event_driven_with(
+                problem, arbiter, options, &mut log, checkpoint, prior, None,
+            )?,
+            EngineKind::Parallel { threads } => resume_analyze_parallel_with(
+                problem, arbiter, options, threads, &mut log, checkpoint, prior, None,
+            )?,
         };
         Ok(EngineRun {
             schedule: report.schedule,

@@ -24,7 +24,9 @@
 //! pinned (`CASES`) so CI runs a fixed, reproducible workload.
 
 use mia_core::testkit::{EngineKind, EngineRun, Event};
-use mia_core::{AnalysisOptions, InterferenceMode};
+use mia_core::{
+    analyze_delta_with, AnalysisOptions, CheckpointLog, InterferenceMode, NoopObserver,
+};
 use mia_dag_gen::{topologies, Family, LayeredDag, Workload};
 use mia_model::{Arbiter, Cycles, Platform, Problem};
 use proptest::prelude::*;
@@ -198,6 +200,190 @@ fn sdf_benchmark_families_conform() {
                 let run =
                     assert_conformance(&problem, arbiter.as_ref(), mode, &THREAD_COUNTS, &label);
                 assert!(run.stats.ibus_calls > 0, "{label}: no IBUS calls");
+            }
+        }
+    }
+}
+
+/// Resumes every engine from a spread of recorded checkpoints and pins
+/// the outcome bit-identical to the full run: same schedule, same work
+/// counters, and a resumed event stream that is a strict suffix of the
+/// full stream (the prefix's events were already emitted by the
+/// recording run).
+fn assert_resume_conformance(
+    problem: &Problem,
+    arbiter: &(dyn Arbiter + Send + Sync),
+    mode: InterferenceMode,
+    threads: &[usize],
+    label: &str,
+) {
+    let options = AnalysisOptions::new().interference_mode(mode);
+    let mut log = CheckpointLog::new();
+    let full = EngineKind::record(problem, arbiter, &options, &mut log)
+        .unwrap_or_else(|e| panic!("{label}: recording run failed: {e}"));
+    assert!(!log.is_empty(), "{label}: nothing recorded");
+    // A spread of re-entry points: the earliest, a mid-run one, the last.
+    let picks = [0, log.len() / 2, log.len() - 1];
+    for &idx in &picks {
+        let ckpt = &log.checkpoints()[idx];
+        for kind in EngineKind::all(threads) {
+            let resumed = kind
+                .run_resumed(problem, arbiter, &options, ckpt, &full.schedule)
+                .unwrap_or_else(|e| panic!("{label}: {kind} resume @{} failed: {e}", ckpt.step()));
+            assert_eq!(
+                resumed.schedule,
+                full.schedule,
+                "{label}: {kind} resumed schedule diverged @{}",
+                ckpt.step()
+            );
+            assert_eq!(
+                resumed.stats,
+                full.stats,
+                "{label}: {kind} resumed work counters diverged @{}",
+                ckpt.step()
+            );
+            assert!(
+                full.events.ends_with(&resumed.events),
+                "{label}: {kind} resumed events are not a suffix @{}",
+                ckpt.step()
+            );
+            if ckpt.step() > 0 {
+                assert!(
+                    resumed.events.len() < full.events.len(),
+                    "{label}: {kind} resume @{} replayed the whole run",
+                    ckpt.step()
+                );
+            }
+        }
+    }
+}
+
+/// Delta-resume conformance: every engine, resumed from checkpoints
+/// recorded by the scanning engine, must replay the suffix bit-exactly —
+/// for every registered arbiter and interference mode.
+#[test]
+fn resumed_runs_are_bit_identical_across_engines() {
+    for (arb_idx, arbiter) in arbiters().iter().enumerate() {
+        for mode in MODES {
+            let seed = 9_000 + 31 * arb_idx as u64;
+            let problem = workload(Family::FixedLayerSize(8), 56, seed);
+            let label = format!("resume / {} / {mode:?} seed={seed}", arbiter.name());
+            assert_resume_conformance(&problem, arbiter.as_ref(), mode, &THREAD_COUNTS, &label);
+        }
+    }
+}
+
+/// The tentpole end-to-end check at this layer: change the mapping at a
+/// late order position, run [`analyze_delta_with`] against the recorded
+/// base run, and pin the result bit-identical to a from-scratch analysis
+/// of the changed problem — actually skipping work. An early change must
+/// fall back to a full run and still agree.
+#[test]
+fn delta_reanalysis_matches_from_scratch_after_a_mapping_change() {
+    let problem = workload(Family::FixedLayerSize(8), 64, 11);
+    let rr = mia_arbiter::by_name("rr").unwrap();
+    let options = AnalysisOptions::new();
+
+    let mut log = CheckpointLog::new();
+    let base = EngineKind::record(&problem, rr.as_ref(), &options, &mut log).unwrap();
+
+    // A late local move: swap the last two tasks of the busiest core.
+    let mapping = problem.mapping();
+    let (core, len) = (0..mapping.cores())
+        .map(|c| (c, mapping.order(mia_model::CoreId::from_index(c)).len()))
+        .max_by_key(|&(_, len)| len)
+        .unwrap();
+    assert!(len >= 2, "workload must load the busiest core");
+    let mut orders: Vec<Vec<mia_model::TaskId>> = (0..mapping.cores())
+        .map(|c| mapping.order(mia_model::CoreId::from_index(c)).to_vec())
+        .collect();
+    orders[core].swap(len - 2, len - 1);
+    let late = Problem::new(
+        problem.graph().clone(),
+        mia_model::Mapping::from_orders(problem.graph(), orders.clone()).unwrap(),
+        problem.platform().clone(),
+    )
+    .unwrap();
+    let changed = [(core, len - 2), (core, len - 1)];
+    let (delta, branch, resumed) = analyze_delta_with(
+        &late,
+        rr.as_ref(),
+        &options,
+        &mut NoopObserver,
+        &log,
+        &changed,
+        &base.schedule,
+    )
+    .unwrap();
+    assert!(resumed, "a last-position change must resume, not restart");
+    assert!(!branch.is_empty());
+    let scratch = EngineKind::Sequential
+        .run(&late, rr.as_ref(), &options)
+        .unwrap();
+    assert_eq!(delta.schedule, scratch.schedule);
+    assert_eq!(delta.stats, scratch.stats);
+
+    // An order-position-0 move invalidates every checkpoint: the fall
+    // back is a full, freshly recorded run with the same answer.
+    orders[core].swap(0, 1);
+    let early = Problem::new(
+        problem.graph().clone(),
+        mia_model::Mapping::from_orders(problem.graph(), orders).unwrap(),
+        problem.platform().clone(),
+    )
+    .unwrap();
+    let (full, fresh, resumed) = analyze_delta_with(
+        &early,
+        rr.as_ref(),
+        &options,
+        &mut NoopObserver,
+        &log,
+        &[(core, 0), (core, 1)],
+        &base.schedule,
+    )
+    .unwrap();
+    assert!(!resumed, "a position-0 change must invalidate the prefix");
+    assert!(
+        !fresh.is_empty(),
+        "the fallback re-records for the next move"
+    );
+    let scratch = EngineKind::Sequential
+        .run(&early, rr.as_ref(), &options)
+        .unwrap();
+    assert_eq!(full.schedule, scratch.schedule);
+    assert_eq!(full.stats, scratch.stats);
+}
+
+/// Regression for the `next_finish` contract ("strictly after `t`"): on
+/// zero-length chains several tasks open *and* close at one instant, so
+/// a stale finish date equal to the cursor must never be returned as the
+/// next position. Pins that the cursor strictly advances — the invariant
+/// a `debug_assert!` used to carry alone, now guaranteed by construction
+/// in release builds too.
+#[test]
+fn cursor_strictly_advances_through_zero_length_chains() {
+    let platform = Platform::new(4, 4);
+    let w = topologies::chain(8, 4, Cycles(0), 2);
+    let problem = w.into_problem(&platform).expect("valid workload");
+    for arbiter in arbiters() {
+        for mode in MODES {
+            for kind in EngineKind::all(&[2]) {
+                let options = AnalysisOptions::new().interference_mode(mode);
+                let run = kind
+                    .run(&problem, arbiter.as_ref(), &options)
+                    .unwrap_or_else(|e| panic!("{kind} failed: {e}"));
+                let cursors: Vec<Cycles> = run
+                    .events
+                    .iter()
+                    .filter_map(|e| match e {
+                        Event::Cursor(t) => Some(*t),
+                        _ => None,
+                    })
+                    .collect();
+                assert!(
+                    cursors.windows(2).all(|w| w[0] < w[1]),
+                    "{kind} cursor stalled: {cursors:?}"
+                );
             }
         }
     }

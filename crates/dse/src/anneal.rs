@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::{Candidate, DseError, EvalStats, Evaluator, Objective};
+use crate::{Candidate, DseError, EvalStats, Evaluator, MoveGuide, Objective};
 
 /// Tuning knobs of the annealing chains.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +52,14 @@ pub(crate) struct ChainOutcome {
 /// improvement (the portfolio's shared best-so-far); it receives the
 /// new cost and must not influence the chain — determinism across
 /// thread counts depends on chains being steered only by their own RNG.
+///
+/// The chain drives the delta machinery end to end: moves come from the
+/// dependency-aware generators, every evaluation is a delta
+/// [`Evaluator::evaluate_move`] relative to the last accepted candidate,
+/// and the Metropolis draw happens **up front** — accepting a worsening
+/// of Δ with probability `exp(-Δ/T)` is exactly accepting when
+/// `Δ ≤ -T·ln(u)`, so that threshold is passed down as a rejection bound
+/// and hopeless candidates abort mid-analysis.
 pub(crate) fn run_chain<O: Objective>(
     evaluator: &mut Evaluator<'_, O>,
     seed_candidate: &Candidate,
@@ -62,6 +70,9 @@ pub(crate) fn run_chain<O: Objective>(
     publish: &mut dyn FnMut(u64),
 ) -> Result<ChainOutcome, DseError> {
     let mut rng = StdRng::seed_from_u64(rng_seed);
+    evaluator.begin(seed_candidate)?;
+    let graph = evaluator.space().seed_problem().graph();
+    let guide = MoveGuide::new(graph);
     let mut current = seed_candidate.clone();
     let mut current_cost = seed_cost;
     let mut best = seed_candidate.clone();
@@ -70,22 +81,19 @@ pub(crate) fn run_chain<O: Objective>(
     let mut temperature = tuning.start_temperature(seed_cost);
 
     for _ in 0..budget {
-        let undo = current.propose(&mut rng);
-        let verdict = evaluator.evaluate(&current)?;
+        let undo = current.propose_guided(graph, &guide, &mut rng);
+        let changed = current.changed_positions(graph, undo);
+        let slack =
+            -rng.random_range(0.0..1.0_f64).max(f64::MIN_POSITIVE).ln() * temperature.max(1e-9);
+        let bound = current_cost.saturating_add(slack.min(u64::MAX as f64 / 4.0) as u64);
+        let verdict = evaluator.evaluate_move(&current, &changed, Some(bound))?;
         // A degenerate proposal (Undo::Noop) left the candidate
         // unchanged: its evaluation is a guaranteed cache hit and it
         // counts as a rejected move, per the Candidate contract.
-        let accept = !matches!(undo, crate::Undo::Noop)
-            && match verdict {
-                None => false, // infeasible: ordering cycle or missed deadline
-                Some(cost) if cost <= current_cost => true,
-                Some(cost) => {
-                    let worsening = (cost - current_cost) as f64;
-                    let p = (-worsening / temperature.max(1e-9)).exp();
-                    rng.random_range(0.0..1.0) < p
-                }
-            };
+        let accept =
+            !matches!(undo, crate::Undo::Noop) && verdict.is_some_and(|cost| cost <= bound);
         if accept {
+            evaluator.accept_last(&current)?;
             accepted += 1;
             current_cost = verdict.expect("only feasible candidates are accepted");
             if current_cost < best_cost {

@@ -22,6 +22,111 @@ const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
+/// How many fresh draws a guided operator makes before giving up with
+/// [`Undo::Noop`]. Small: a failed attempt already consumed entropy, so
+/// long retry loops would skew the move-kind distribution budget.
+const GUIDED_ATTEMPTS: usize = 4;
+
+/// An index in `0..n`, biased toward the tail: the max of three uniform
+/// draws (cubic CDF, expectation `3n/4`). The guided operators use it
+/// to favour late temporal positions — the later the first changed
+/// slot, the deeper a delta re-analysis can resume.
+fn tail_biased(rng: &mut StdRng, n: usize) -> usize {
+    let a = rng.random_range(0..n);
+    let b = rng.random_range(0..n);
+    let c = rng.random_range(0..n);
+    a.max(b).max(c)
+}
+
+/// Precomputed dependency context for the guided move operators.
+///
+/// `ranks` is each task's longest-path layer (topological rank). Two
+/// facts make it the feasibility oracle the operators need:
+///
+/// * **equal rank ⇒ independent** — a path strictly increases the rank,
+///   so same-rank tasks can never depend on each other (in either
+///   direction, through any number of hops);
+/// * **rank-sorted orders ⇒ globally feasible** — if every core's
+///   execution order is non-decreasing in rank, any cycle through
+///   precedence + order edges would have to strictly increase the rank
+///   somewhere and never decrease it, which is impossible. Moves that
+///   preserve per-core rank-sortedness therefore cannot create a
+///   cross-core ordering cycle, multi-hop or not.
+///
+/// Seeds whose orders are *not* rank-sorted (hand-written JSON
+/// mappings) degrade gracefully: the windows become heuristic and the
+/// evaluator's remap validation stays the authority.
+#[derive(Debug, Clone)]
+pub struct MoveGuide {
+    /// Longest-path layer per task, indexed by task id.
+    ranks: Vec<u32>,
+    /// Task ids sorted by `(rank, id)`; the tail is the temporal tail.
+    by_rank: Vec<TaskId>,
+    /// `by_rank[class_start[r]..class_start[r + 1]]` is rank class `r`.
+    class_start: Vec<usize>,
+}
+
+impl MoveGuide {
+    /// Computes the ranks of `graph` (O(tasks + edges), once per chain).
+    pub fn new(graph: &TaskGraph) -> Self {
+        let n = graph.len();
+        let mut ranks = vec![0u32; n];
+        let mut indegree: Vec<usize> = (0..n)
+            .map(|i| graph.in_degree(TaskId::from_index(i)))
+            .collect();
+        let mut queue: Vec<TaskId> = (0..n)
+            .map(TaskId::from_index)
+            .filter(|&t| indegree[t.index()] == 0)
+            .collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let t = queue[head];
+            head += 1;
+            for e in graph.successors(t) {
+                let d = e.dst.index();
+                ranks[d] = ranks[d].max(ranks[t.index()] + 1);
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    queue.push(e.dst);
+                }
+            }
+        }
+        let mut by_rank: Vec<TaskId> = (0..n).map(TaskId::from_index).collect();
+        by_rank.sort_by_key(|&t| (ranks[t.index()], t.index()));
+        let max_rank = ranks.iter().copied().max().unwrap_or(0) as usize;
+        let mut class_start = vec![0usize; max_rank + 2];
+        for &r in &ranks {
+            class_start[r as usize + 1] += 1;
+        }
+        for i in 1..class_start.len() {
+            class_start[i] += class_start[i - 1];
+        }
+        MoveGuide {
+            ranks,
+            by_rank,
+            class_start,
+        }
+    }
+
+    /// The topological rank of `task`.
+    pub fn rank(&self, task: TaskId) -> u32 {
+        self.ranks[task.index()]
+    }
+
+    /// Every task sharing `task`'s rank (including `task` itself) —
+    /// pairwise independent by construction.
+    fn class_of(&self, task: TaskId) -> &[TaskId] {
+        let r = self.rank(task) as usize;
+        &self.by_rank[self.class_start[r]..self.class_start[r + 1]]
+    }
+
+    /// A tail-biased task draw: late ranks are favoured so the moves it
+    /// feeds invalidate late schedule prefixes.
+    fn draw_task(&self, rng: &mut StdRng) -> TaskId {
+        self.by_rank[tail_biased(rng, self.by_rank.len())]
+    }
+}
+
 #[inline]
 fn fnv_step(h: u64, word: u64) -> u64 {
     let mut h = h;
@@ -154,6 +259,74 @@ impl Candidate {
         CandidateKey(a, b)
     }
 
+    /// The `(core, order position)` pairs whose content the move behind
+    /// `undo` changed, **as seen by the analysis** — the invalidation
+    /// set that decides which recorded checkpoint a delta re-analysis
+    /// may resume from ([`mia_core::Checkpoint::admits`]). Must be
+    /// called on the *post-move* candidate.
+    ///
+    /// Two kinds of entries:
+    ///
+    /// * the touched order slots themselves (removals and insertions
+    ///   shift every later slot on that core, but the earliest touched
+    ///   position per core already covers the shifted tail for the
+    ///   strictly-beyond admission rule);
+    /// * for every task whose **core** changed (migrates and swaps, not
+    ///   reorders): the current slot of each of its direct
+    ///   predecessors. A producer's write lands in its consumer's bank
+    ///   (`derive_demands` sends both endpoints of an edge to the bank
+    ///   owned by the consumer's core), so re-coring the consumer
+    ///   silently re-banks the producer's demand vector — a prefix that
+    ///   opened the producer observed stale demands and must not be
+    ///   reused.
+    pub fn changed_positions(&self, graph: &TaskGraph, undo: Undo) -> Vec<(usize, usize)> {
+        let mut changed = match undo {
+            Undo::Noop => Vec::new(),
+            Undo::Reorder { core, pos } => vec![(core, pos)],
+            Undo::Migrate {
+                task,
+                from,
+                from_pos,
+                to,
+                to_pos,
+            } => {
+                let mut v = vec![(from, from_pos), (to, to_pos)];
+                self.push_rebanked_producers(graph, task, &mut v);
+                v
+            }
+            Undo::Swap {
+                a,
+                b,
+                core_a,
+                pos_a,
+                core_b,
+                pos_b,
+            } => {
+                let mut v = vec![(core_a, pos_a), (core_b, pos_b)];
+                self.push_rebanked_producers(graph, a, &mut v);
+                self.push_rebanked_producers(graph, b, &mut v);
+                v
+            }
+        };
+        changed.sort_unstable();
+        changed.dedup();
+        changed
+    }
+
+    /// Appends the current slots of `task`'s direct predecessors — the
+    /// tasks whose demand vectors change when `task` changes core.
+    fn push_rebanked_producers(
+        &self,
+        graph: &TaskGraph,
+        task: TaskId,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        for e in graph.predecessors(task) {
+            let core = self.core_of(e.src);
+            out.push((core, self.position(e.src, core)));
+        }
+    }
+
     /// Proposes one random move, mutating the candidate in place, and
     /// returns its inverse. The move kind is drawn uniformly from
     /// {migrate, swap, reorder} when the platform has at least two
@@ -239,6 +412,171 @@ impl Candidate {
         let pos = rng.random_range(0..self.orders[core].len() - 1);
         self.orders[core].swap(pos, pos + 1);
         Undo::Reorder { core, pos }
+    }
+
+    /// Dependency-aware [`Candidate::propose`]: same move kinds and
+    /// kind distribution, but the operators consult `guide`'s
+    /// topological ranks so proposals preserve per-core
+    /// rank-sortedness — which makes them feasible **by construction**,
+    /// multi-hop cycles included (see [`MoveGuide`]) — and draw tasks
+    /// tail-biased so the delta re-analysis behind each evaluation can
+    /// resume from a late checkpoint. Exhausted attempts (and seeds
+    /// whose orders defeat the rank heuristic) return [`Undo::Noop`],
+    /// keeping the PRNG stream deterministic; the evaluator's remap
+    /// validation remains the authority on feasibility.
+    pub fn propose_guided(
+        &mut self,
+        graph: &TaskGraph,
+        guide: &MoveGuide,
+        rng: &mut StdRng,
+    ) -> Undo {
+        let n = self.len();
+        let cores = self.cores();
+        if n == 0 {
+            return Undo::Noop;
+        }
+        let kind = if cores >= 2 {
+            rng.random_range(0..3u32)
+        } else {
+            2
+        };
+        match kind {
+            0 => self.guided_migrate(graph, guide, rng),
+            1 => self.guided_swap(graph, guide, rng),
+            _ => self.guided_reorder(graph, guide, rng),
+        }
+    }
+
+    /// Migrate one (tail-biased) task into the window of its target
+    /// core that keeps the order rank-sorted, intersected with the
+    /// window its direct predecessors/successors there allow.
+    fn guided_migrate(&mut self, graph: &TaskGraph, guide: &MoveGuide, rng: &mut StdRng) -> Undo {
+        for _ in 0..GUIDED_ATTEMPTS {
+            let task = guide.draw_task(rng);
+            let from = self.core_of(task);
+            let mut to = rng.random_range(0..self.cores() - 1);
+            if to >= from {
+                to += 1;
+            }
+            let r = guide.rank(task);
+            // The rank-sorted insertion window: after every lower rank,
+            // before every higher rank. On a rank-sorted order these are
+            // the partition points and the window is never empty.
+            let mut lo = self.orders[to]
+                .iter()
+                .filter(|&&t| guide.rank(t) < r)
+                .count();
+            let mut hi = self.orders[to]
+                .iter()
+                .filter(|&&t| guide.rank(t) <= r)
+                .count();
+            // Intersect with the direct-dependency window — the
+            // authority when the order is not rank-sorted.
+            for e in graph.predecessors(task) {
+                if self.core_of(e.src) == to {
+                    lo = lo.max(self.position(e.src, to) + 1);
+                }
+            }
+            for e in graph.successors(task) {
+                if self.core_of(e.dst) == to {
+                    hi = hi.min(self.position(e.dst, to));
+                }
+            }
+            if lo > hi {
+                continue;
+            }
+            let to_pos = rng.random_range(lo..=hi);
+            let from_pos = self.position(task, from);
+            self.orders[from].remove(from_pos);
+            self.orders[to].insert(to_pos, task);
+            self.assignment[task.index()] = to as u32;
+            return Undo::Migrate {
+                task,
+                from,
+                from_pos,
+                to,
+                to_pos,
+            };
+        }
+        Undo::Noop
+    }
+
+    /// Swap a (tail-biased) task with a **same-rank** partner on
+    /// another core. Equal rank means provably independent — no path in
+    /// either direction — and slotting a task between neighbours that
+    /// accepted the same rank keeps both orders rank-sorted, so the
+    /// swap cannot create a cycle.
+    fn guided_swap(&mut self, graph: &TaskGraph, guide: &MoveGuide, rng: &mut StdRng) -> Undo {
+        for _ in 0..GUIDED_ATTEMPTS {
+            let a = guide.draw_task(rng);
+            let class = guide.class_of(a);
+            let b = class[rng.random_range(0..class.len())];
+            let (core_a, core_b) = (self.core_of(a), self.core_of(b));
+            if a == b || core_a == core_b {
+                continue;
+            }
+            let pos_a = self.position(a, core_a);
+            let pos_b = self.position(b, core_b);
+            // The direct-dependency check still guards non-rank-sorted
+            // orders (equal-rank tasks never carry a direct edge).
+            if !self.fits(graph, b, core_a, pos_a) || !self.fits(graph, a, core_b, pos_b) {
+                continue;
+            }
+            self.orders[core_a][pos_a] = b;
+            self.orders[core_b][pos_b] = a;
+            self.assignment[a.index()] = core_b as u32;
+            self.assignment[b.index()] = core_a as u32;
+            return Undo::Swap {
+                a,
+                b,
+                core_a,
+                pos_a,
+                core_b,
+                pos_b,
+            };
+        }
+        Undo::Noop
+    }
+
+    /// Swap a (tail-biased) adjacent pair within one core, skipping
+    /// producer/consumer pairs (the current order is feasible, so only
+    /// the left-to-right edge can exist; swapping it would deadlock the
+    /// core). Cross-rank reorders can still be multi-hop infeasible;
+    /// remap validation catches those cheaply.
+    fn guided_reorder(&mut self, graph: &TaskGraph, _guide: &MoveGuide, rng: &mut StdRng) -> Undo {
+        for _ in 0..GUIDED_ATTEMPTS {
+            let start = rng.random_range(0..self.cores());
+            let Some(core) = (0..self.cores())
+                .map(|k| (start + k) % self.cores())
+                .find(|&c| self.orders[c].len() >= 2)
+            else {
+                return Undo::Noop;
+            };
+            let pos = tail_biased(rng, self.orders[core].len() - 1);
+            let (first, second) = (self.orders[core][pos], self.orders[core][pos + 1]);
+            if graph.successors(first).any(|e| e.dst == second) {
+                continue;
+            }
+            self.orders[core].swap(pos, pos + 1);
+            return Undo::Reorder { core, pos };
+        }
+        Undo::Noop
+    }
+
+    /// True when `task` placed at `pos` on `core` respects its direct
+    /// dependencies against the tasks currently ordered there.
+    fn fits(&self, graph: &TaskGraph, task: TaskId, core: usize, pos: usize) -> bool {
+        for e in graph.predecessors(task) {
+            if self.core_of(e.src) == core && self.position(e.src, core) > pos {
+                return false;
+            }
+        }
+        for e in graph.successors(task) {
+            if self.core_of(e.dst) == core && self.position(e.dst, core) < pos {
+                return false;
+            }
+        }
+        true
     }
 
     /// Reverts a move returned by [`Candidate::propose`].
@@ -391,6 +729,97 @@ mod tests {
             let mapping = c.to_mapping(&g).unwrap();
             assert_eq!(mapping.len(), 6);
         }
+    }
+
+    /// A two-chain graph: 0 -> 1 -> 2 and 3 -> 4 -> 5.
+    fn chained_graph() -> TaskGraph {
+        let mut g = graph(6);
+        g.add_edge(TaskId(0), TaskId(1), 4).unwrap();
+        g.add_edge(TaskId(1), TaskId(2), 4).unwrap();
+        g.add_edge(TaskId(3), TaskId(4), 4).unwrap();
+        g.add_edge(TaskId(4), TaskId(5), 4).unwrap();
+        g
+    }
+
+    #[test]
+    fn changed_positions_cover_the_touched_slots_and_rebanked_producers() {
+        let g = chained_graph();
+        let m = Mapping::from_assignment(&g, &[0, 0, 0, 1, 1, 1]).unwrap();
+        let mut c = Candidate::from_mapping(&m, 2);
+
+        // A reorder reassigns no cores: only the touched slot.
+        let undo = Undo::Reorder { core: 0, pos: 1 };
+        c.orders[0].swap(1, 2);
+        assert_eq!(c.changed_positions(&g, undo), vec![(0, 1)]);
+        c.undo(undo);
+
+        // Migrating task 4 re-banks the demand of its producer, task 3:
+        // the changed set must include 3's slot (core 1, position 0).
+        c.orders[1].remove(1);
+        c.orders[0].push(TaskId(4));
+        c.assignment[4] = 0;
+        let undo = Undo::Migrate {
+            task: TaskId(4),
+            from: 1,
+            from_pos: 1,
+            to: 0,
+            to_pos: 3,
+        };
+        assert_eq!(c.changed_positions(&g, undo), vec![(0, 3), (1, 0), (1, 1)]);
+        c.undo(undo);
+
+        // A no-op changes nothing.
+        assert!(c.changed_positions(&g, Undo::Noop).is_empty());
+    }
+
+    #[test]
+    fn move_guide_ranks_are_longest_path_layers() {
+        let g = chained_graph();
+        let guide = MoveGuide::new(&g);
+        for (task, rank) in [(0, 0), (1, 1), (2, 2), (3, 0), (4, 1), (5, 2)] {
+            assert_eq!(guide.rank(TaskId(task)), rank, "task {task}");
+        }
+        // Same-rank classes pair the independent chain counterparts.
+        assert_eq!(guide.class_of(TaskId(1)), &[TaskId(1), TaskId(4)]);
+    }
+
+    #[test]
+    fn guided_moves_round_trip_and_respect_direct_dependencies() {
+        let g = chained_graph();
+        let m = Mapping::from_assignment(&g, &[0, 0, 0, 1, 1, 1]).unwrap();
+        let guide = MoveGuide::new(&g);
+        let mut c = Candidate::from_mapping(&m, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 3];
+        for _ in 0..600 {
+            let pristine = c.clone();
+            let undo = c.propose_guided(&g, &guide, &mut rng);
+            match undo {
+                Undo::Migrate { .. } => seen[0] = true,
+                Undo::Swap { .. } => seen[1] = true,
+                Undo::Reorder { .. } => seen[2] = true,
+                Undo::Noop => {}
+            }
+            // No guided move inverts a direct dependency on any core.
+            for order in &c.orders {
+                for (i, &t) in order.iter().enumerate() {
+                    for e in g.successors(t) {
+                        if c.core_of(e.dst) == c.core_of(t) {
+                            let j = order.iter().position(|&x| x == e.dst).unwrap();
+                            assert!(j > i, "direct dependency inverted by {undo:?}");
+                        }
+                    }
+                }
+            }
+            c.undo(undo);
+            assert_eq!(c, pristine);
+            // Keep exploring from accepted states too.
+            let undo = c.propose_guided(&g, &guide, &mut rng);
+            if c.to_mapping(&g).is_err() {
+                c.undo(undo);
+            }
+        }
+        assert_eq!(seen, [true; 3], "all three guided operators must fire");
     }
 
     #[test]

@@ -3,9 +3,9 @@
 use std::collections::HashMap;
 
 use mia_core::AnalysisOptions;
-use mia_model::{BankPolicy, Problem};
+use mia_model::{BankPolicy, Cycles, Problem};
 
-use crate::{Candidate, CandidateKey, DseError, Objective, ObjectiveError};
+use crate::{Candidate, CandidateKey, DseError, MoveVerdict, Objective, ObjectiveError};
 
 /// The fixed part of a design-space exploration: the seed problem (its
 /// mapping is the incumbent the search must never lose to), the bank
@@ -63,23 +63,39 @@ impl SearchSpace {
 pub struct EvalStats {
     /// Total cost lookups (cache hits included).
     pub evaluations: usize,
-    /// Full analyses actually run (cache misses that were feasible or
-    /// infeasible-by-deadline).
+    /// Analyses actually run — full, delta-resumed, or cut off at a
+    /// bound (cache misses only).
     pub analyses: usize,
-    /// Lookups served from the memo cache.
+    /// Lookups served from the memo cache (exact costs, cached dead
+    /// ends and cached cutoffs alike).
     pub cache_hits: usize,
+    /// Cache hits that returned a usable exact cost — the productive
+    /// kind. `hit_rate` is built on these.
+    pub feasible_hits: usize,
+    /// Cache hits that merely re-rejected a memoised infeasible dead
+    /// end.
+    pub infeasible_hits: usize,
     /// Candidates rejected as infeasible (ordering cycles, missed
     /// deadlines) — cached too, so a revisited dead end is free.
     pub infeasible: usize,
+    /// Evaluations that resumed from a recorded checkpoint instead of
+    /// analyzing from scratch (the delta re-analysis fast path).
+    pub delta_resumes: usize,
+    /// Evaluations cut off mid-analysis because the cost provably
+    /// exceeded the caller's rejection bound.
+    pub bound_cutoffs: usize,
 }
 
 impl EvalStats {
-    /// Cache hits as a fraction of all lookups (0 when nothing ran).
+    /// Cache hits that returned a usable cost, as a fraction of all
+    /// lookups (0 when nothing ran). Hits on memoised dead ends are
+    /// deliberately excluded: re-rejecting a known-infeasible candidate
+    /// saves nothing worth advertising as cache efficiency.
     pub fn hit_rate(&self) -> f64 {
         if self.evaluations == 0 {
             0.0
         } else {
-            self.cache_hits as f64 / self.evaluations as f64
+            self.feasible_hits as f64 / self.evaluations as f64
         }
     }
 
@@ -88,8 +104,24 @@ impl EvalStats {
         self.evaluations += other.evaluations;
         self.analyses += other.analyses;
         self.cache_hits += other.cache_hits;
+        self.feasible_hits += other.feasible_hits;
+        self.infeasible_hits += other.infeasible_hits;
         self.infeasible += other.infeasible;
+        self.delta_resumes += other.delta_resumes;
+        self.bound_cutoffs += other.bound_cutoffs;
     }
+}
+
+/// One memoised evaluation outcome.
+#[derive(Debug, Clone, Copy)]
+enum Cached {
+    /// Completed with this exact cost.
+    Exact(u64),
+    /// Structurally or deadline infeasible — final under any bound.
+    Infeasible,
+    /// Cut off above this bound; a revisit under a larger bound must
+    /// re-evaluate.
+    AboveBound(u64),
 }
 
 /// Evaluates candidates against an [`Objective`], memoising outcomes by
@@ -105,8 +137,12 @@ pub struct Evaluator<'s, O> {
     space: &'s SearchSpace,
     problem: Problem,
     objective: O,
-    cache: HashMap<CandidateKey, Option<u64>>,
+    cache: HashMap<CandidateKey, Cached>,
     stats: EvalStats,
+    /// Key of the candidate whose state the objective holds as
+    /// promotable scratch (set only by a fresh, feasible
+    /// [`Evaluator::evaluate_move`]).
+    scratch_key: Option<CandidateKey>,
 }
 
 impl<'s, O: Objective> Evaluator<'s, O> {
@@ -118,13 +154,32 @@ impl<'s, O: Objective> Evaluator<'s, O> {
             objective,
             cache: HashMap::new(),
             stats: EvalStats::default(),
+            scratch_key: None,
         }
+    }
+
+    /// The search space this evaluator explores.
+    pub fn space(&self) -> &'s SearchSpace {
+        self.space
     }
 
     /// Pre-seeds the memo cache (the driver evaluates the seed mapping
     /// once and shares the outcome with every chain).
     pub fn prime(&mut self, key: CandidateKey, cost: u64) {
-        self.cache.insert(key, Some(cost));
+        self.cache.insert(key, Cached::Exact(cost));
+    }
+
+    /// Establishes `candidate` as the objective's delta base (one full
+    /// recorded analysis for delta-aware objectives, a remap otherwise).
+    /// Chains call this once on their seed before proposing moves; the
+    /// work is not counted in [`EvalStats`] — it is setup, not search.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Objective`] on fatal objective failure.
+    pub fn begin(&mut self, candidate: &Candidate) -> Result<(), DseError> {
+        self.scratch_key = None;
+        self.rebase(candidate)
     }
 
     /// The cost of `candidate`, or `None` when it is infeasible.
@@ -135,19 +190,35 @@ impl<'s, O: Objective> Evaluator<'s, O> {
     /// cancellation) — infeasible candidates are a `None`, not an error.
     pub fn evaluate(&mut self, candidate: &Candidate) -> Result<Option<u64>, DseError> {
         self.stats.evaluations += 1;
+        self.scratch_key = None;
         let key = candidate.key();
-        if let Some(&cached) = self.cache.get(&key) {
-            self.stats.cache_hits += 1;
-            if cached.is_none() {
-                self.stats.infeasible += 1;
+        match self.cache.get(&key) {
+            Some(Cached::Exact(cost)) => {
+                let cost = *cost;
+                self.stats.cache_hits += 1;
+                self.stats.feasible_hits += 1;
+                return Ok(Some(cost));
             }
-            return Ok(cached);
+            Some(Cached::Infeasible) => {
+                self.stats.cache_hits += 1;
+                self.stats.infeasible_hits += 1;
+                self.stats.infeasible += 1;
+                return Ok(None);
+            }
+            // A memoised cutoff has no exact cost: re-evaluate in full.
+            Some(Cached::AboveBound(_)) | None => {}
         }
         let outcome = self.evaluate_uncached(candidate)?;
         if outcome.is_none() {
             self.stats.infeasible += 1;
         }
-        self.cache.insert(key, outcome);
+        self.cache.insert(
+            key,
+            match outcome {
+                Some(cost) => Cached::Exact(cost),
+                None => Cached::Infeasible,
+            },
+        );
         Ok(outcome)
     }
 
@@ -165,6 +236,137 @@ impl<'s, O: Objective> Evaluator<'s, O> {
         match self.objective.evaluate(&self.problem) {
             Ok(cost) => Ok(Some(cost.as_u64())),
             Err(ObjectiveError::Infeasible(_)) => Ok(None),
+            Err(ObjectiveError::Fatal(m)) => Err(DseError::Objective(m)),
+        }
+    }
+
+    /// The cost of `candidate` knowing it differs from the objective's
+    /// promoted base only at `changed` (see
+    /// [`Candidate::changed_positions`]) and that the caller rejects any
+    /// cost above `bound`: the objective may resume mid-run from a
+    /// recorded checkpoint and may cut the analysis off at the bound.
+    ///
+    /// Returns the exact cost when one is known — possibly above
+    /// `bound`; the caller applies its own acceptance rule — or `None`
+    /// when the candidate was rejected without an exact cost (infeasible
+    /// or cut off).
+    ///
+    /// # Errors
+    ///
+    /// As [`Evaluator::evaluate`].
+    pub fn evaluate_move(
+        &mut self,
+        candidate: &Candidate,
+        changed: &[(usize, usize)],
+        bound: Option<u64>,
+    ) -> Result<Option<u64>, DseError> {
+        self.stats.evaluations += 1;
+        self.scratch_key = None;
+        let key = candidate.key();
+        match self.cache.get(&key) {
+            Some(Cached::Exact(cost)) => {
+                let cost = *cost;
+                self.stats.cache_hits += 1;
+                self.stats.feasible_hits += 1;
+                self.objective.invalidate();
+                return Ok(Some(cost));
+            }
+            Some(Cached::Infeasible) => {
+                self.stats.cache_hits += 1;
+                self.stats.infeasible_hits += 1;
+                self.stats.infeasible += 1;
+                self.objective.invalidate();
+                return Ok(None);
+            }
+            Some(Cached::AboveBound(b)) if bound.is_some_and(|nb| nb <= *b) => {
+                // Cut off under a bound at least this generous before:
+                // certainly above the current one too.
+                self.stats.cache_hits += 1;
+                self.objective.invalidate();
+                return Ok(None);
+            }
+            Some(Cached::AboveBound(_)) | None => {}
+        }
+        let graph = self.space.seed.graph();
+        let Ok(mapping) = candidate.to_mapping(graph) else {
+            // Hand-built candidates only; move operators conserve tasks.
+            self.stats.infeasible += 1;
+            self.cache.insert(key, Cached::Infeasible);
+            return Ok(None);
+        };
+        if self.problem.remap(mapping, self.space.policy).is_err() {
+            // A cross-core ordering cycle: the candidate cannot execute.
+            self.stats.infeasible += 1;
+            self.cache.insert(key, Cached::Infeasible);
+            return Ok(None);
+        }
+        self.stats.analyses += 1;
+        match self
+            .objective
+            .evaluate_move(&self.problem, changed, bound.map(Cycles))
+        {
+            Ok((MoveVerdict::Feasible(cost), resumed)) => {
+                if resumed {
+                    self.stats.delta_resumes += 1;
+                }
+                self.scratch_key = Some(key);
+                let cost = cost.as_u64();
+                self.cache.insert(key, Cached::Exact(cost));
+                Ok(Some(cost))
+            }
+            Ok((MoveVerdict::Infeasible(_), _)) | Err(ObjectiveError::Infeasible(_)) => {
+                self.stats.infeasible += 1;
+                self.cache.insert(key, Cached::Infeasible);
+                Ok(None)
+            }
+            Ok((MoveVerdict::AboveBound, _)) => {
+                self.stats.bound_cutoffs += 1;
+                if let Some(b) = bound {
+                    self.cache.insert(key, Cached::AboveBound(b));
+                }
+                Ok(None)
+            }
+            Err(ObjectiveError::Fatal(m)) => Err(DseError::Objective(m)),
+        }
+    }
+
+    /// Tells the evaluator that the caller accepted the candidate of the
+    /// last [`Evaluator::evaluate_move`]: the objective's recorded
+    /// scratch state is promoted to the base subsequent moves resume
+    /// from. When the accepted cost came from the memo cache there is no
+    /// recorded state, so the base is rebuilt outright.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Objective`] on fatal objective failure while
+    /// rebuilding.
+    pub fn accept_last(&mut self, candidate: &Candidate) -> Result<(), DseError> {
+        if self.scratch_key.take() == Some(candidate.key()) {
+            self.objective.promote();
+            return Ok(());
+        }
+        self.objective.invalidate();
+        self.rebase(candidate)
+    }
+
+    /// Remaps the working problem to `candidate` and re-establishes the
+    /// objective's delta base there.
+    fn rebase(&mut self, candidate: &Candidate) -> Result<(), DseError> {
+        self.objective.invalidate();
+        let graph = self.space.seed.graph();
+        let Ok(mapping) = candidate.to_mapping(graph) else {
+            // Unreachable for accepted candidates (they validated once
+            // already): leave the objective without a base.
+            self.objective.promote();
+            return Ok(());
+        };
+        if self.problem.remap(mapping, self.space.policy).is_err() {
+            self.objective.promote();
+            return Ok(());
+        }
+        match self.objective.establish_base(&self.problem) {
+            Ok(()) => Ok(()),
+            Err(ObjectiveError::Infeasible(_)) => Ok(()),
             Err(ObjectiveError::Fatal(m)) => Err(DseError::Objective(m)),
         }
     }
@@ -216,6 +418,8 @@ mod tests {
         assert_eq!(stats.evaluations, 2);
         assert_eq!(stats.analyses, 1);
         assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.feasible_hits, 1);
+        assert_eq!(stats.infeasible_hits, 0);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -266,5 +470,80 @@ mod tests {
         assert_eq!(stats.infeasible, 2);
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.analyses, 0);
+        // The dead-end revisit is an infeasible hit, not a productive
+        // one: it must not inflate the hit rate.
+        assert_eq!(stats.infeasible_hits, 1);
+        assert_eq!(stats.feasible_hits, 0);
+        assert!(stats.hit_rate().abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_move_resumes_from_the_base_and_matches_a_full_evaluation() {
+        let space = space();
+        let rr = RoundRobin::new();
+        let graph = space.seed_problem().graph();
+        let seed = Candidate::from_mapping(space.seed_problem().mapping(), space.cores());
+
+        // Reference: a fresh evaluator pricing the moved candidate from
+        // scratch.
+        let mut reference =
+            Evaluator::new(&space, AnalyzedMakespan::new(&rr, AnalysisOptions::new()));
+        let guide = crate::MoveGuide::new(graph);
+        let mut moved = seed.clone();
+        let mut rng = StdRng::seed_from_u64(17);
+        let undo = moved.propose_guided(graph, &guide, &mut rng);
+        assert_ne!(undo, crate::Undo::Noop);
+        let expected = reference.evaluate(&moved).unwrap();
+
+        // Delta path: establish the seed as base, then price the move.
+        let mut eval = Evaluator::new(&space, AnalyzedMakespan::new(&rr, AnalysisOptions::new()));
+        eval.begin(&seed).unwrap();
+        let changed = moved.changed_positions(graph, undo);
+        let got = eval.evaluate_move(&moved, &changed, None).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(eval.stats().analyses, 1);
+
+        // Accepting promotes the move's state; pricing a follow-up move
+        // relative to it still matches a from-scratch evaluation.
+        eval.accept_last(&moved).unwrap();
+        let undo = moved.propose_guided(graph, &guide, &mut rng);
+        let changed = moved.changed_positions(graph, undo);
+        let expected = reference.evaluate(&moved).unwrap();
+        assert_eq!(
+            eval.evaluate_move(&moved, &changed, None).unwrap(),
+            expected
+        );
+    }
+
+    #[test]
+    fn a_bound_cuts_off_hopeless_candidates_and_caches_the_cutoff() {
+        let space = space();
+        let rr = RoundRobin::new();
+        let mut eval = Evaluator::new(&space, AnalyzedMakespan::new(&rr, AnalysisOptions::new()));
+        let cand = Candidate::from_mapping(space.seed_problem().mapping(), space.cores());
+        let cost = eval.evaluate(&cand).unwrap().unwrap();
+
+        // Same mapping through a cold evaluator, priced under a bound it
+        // cannot meet: rejected without an exact cost.
+        let mut bounded =
+            Evaluator::new(&space, AnalyzedMakespan::new(&rr, AnalysisOptions::new()));
+        assert_eq!(
+            bounded.evaluate_move(&cand, &[], Some(cost - 1)).unwrap(),
+            None
+        );
+        assert_eq!(bounded.stats().bound_cutoffs, 1);
+        assert_eq!(bounded.stats().infeasible, 0, "a cutoff is not a dead end");
+
+        // A revisit under an equal-or-tighter bound is a free cache hit;
+        // a looser bound re-evaluates to the exact cost.
+        assert_eq!(
+            bounded.evaluate_move(&cand, &[], Some(cost - 1)).unwrap(),
+            None
+        );
+        assert_eq!(bounded.stats().cache_hits, 1);
+        assert_eq!(
+            bounded.evaluate_move(&cand, &[], Some(cost)).unwrap(),
+            Some(cost)
+        );
     }
 }

@@ -84,9 +84,9 @@ mod portfolio;
 mod report;
 
 pub use anneal::AnnealTuning;
-pub use candidate::{Candidate, CandidateKey, Undo};
+pub use candidate::{Candidate, CandidateKey, MoveGuide, Undo};
 pub use evaluate::{EvalStats, Evaluator, SearchSpace};
-pub use objective::{AnalyzedMakespan, Objective, ObjectiveError, ProxyMakespan};
+pub use objective::{AnalyzedMakespan, MoveVerdict, Objective, ObjectiveError, ProxyMakespan};
 pub use portfolio::{optimize, optimize_with_objective, DseConfig, DseResult, Strategy};
 pub use report::{
     render_dse_report, report_csv, report_json, DseReportFormat, OptimizeReport, OptimizeRun,

@@ -1,8 +1,11 @@
 //! Objectives: what the search minimises.
 
-use mia_core::{analyze_with, AnalysisError, AnalysisOptions, NoopObserver};
+use mia_core::{
+    analyze_checkpointed_with, analyze_delta_with, analyze_with, AnalysisError, AnalysisOptions,
+    CheckpointLog, NoopObserver,
+};
 use mia_model::arbiter::Arbiter;
-use mia_model::{Cycles, Problem};
+use mia_model::{Cycles, Problem, Schedule};
 
 /// How an evaluation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,10 +17,43 @@ pub enum ObjectiveError {
     Fatal(String),
 }
 
+/// The outcome of one bounded move evaluation
+/// (see [`Objective::evaluate_move`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoveVerdict {
+    /// The evaluation completed: this is the exact cost.
+    Feasible(Cycles),
+    /// The candidate cannot be scheduled at all (ordering deadlock, or a
+    /// deadline the options enforce was missed).
+    Infeasible(String),
+    /// The evaluation was cut off: the cost provably exceeds the bound
+    /// the caller passed. Its exact value — and its feasibility under a
+    /// larger bound — is unknown.
+    AboveBound,
+}
+
 /// A cost function over validated problems. Implementations are called
 /// thousands of times per search, always on the **same** graph and
 /// platform with different mappings — only per-call state (an arbiter,
 /// analysis options) belongs in the implementor.
+///
+/// # Delta protocol
+///
+/// The search loop evaluates candidates that each differ from the last
+/// *accepted* one by a single move. Objectives that can exploit that
+/// implement the four optional hooks: [`establish_base`] records the
+/// accepted incumbent, [`evaluate_move`] evaluates a neighbour knowing
+/// what changed (and under a rejection bound), and the caller then
+/// either [`promote`]s the scratch state (the move was accepted) or
+/// [`invalidate`]s it. The defaults fall back to a plain full
+/// [`evaluate`], so objectives without delta support keep working
+/// unchanged.
+///
+/// [`establish_base`]: Objective::establish_base
+/// [`evaluate_move`]: Objective::evaluate_move
+/// [`promote`]: Objective::promote
+/// [`invalidate`]: Objective::invalidate
+/// [`evaluate`]: Objective::evaluate
 pub trait Objective {
     /// Label used in reports ("analyzed", "proxy", …).
     fn name(&self) -> &str;
@@ -29,6 +65,63 @@ pub trait Objective {
     /// [`ObjectiveError::Infeasible`] rejects this candidate only;
     /// [`ObjectiveError::Fatal`] aborts the search.
     fn evaluate(&mut self, problem: &Problem) -> Result<Cycles, ObjectiveError>;
+
+    /// Evaluates `problem` knowing it differs from the last
+    /// [`promote`](Objective::promote)d base only at the given
+    /// `(core, order position)` pairs (see
+    /// [`Candidate::changed_positions`](crate::Candidate::changed_positions)),
+    /// and that the caller rejects any cost above `bound`. Returns the
+    /// verdict plus whether the evaluation actually resumed from a
+    /// recorded checkpoint. The default ignores both hints and runs
+    /// [`Objective::evaluate`] in full.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectiveError::Fatal`] aborts the search (infeasibility is a
+    /// verdict here, not an error).
+    fn evaluate_move(
+        &mut self,
+        problem: &Problem,
+        changed: &[(usize, usize)],
+        bound: Option<Cycles>,
+    ) -> Result<(MoveVerdict, bool), ObjectiveError> {
+        let _ = (changed, bound);
+        match self.evaluate(problem) {
+            Ok(cost) => Ok((MoveVerdict::Feasible(cost), false)),
+            Err(ObjectiveError::Infeasible(m)) => Ok((MoveVerdict::Infeasible(m), false)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Records `problem` as the base that subsequent
+    /// [`evaluate_move`](Objective::evaluate_move) calls are relative
+    /// to. No-op for objectives without delta support.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectiveError::Fatal`] aborts the search; an infeasible base
+    /// merely leaves delta support disabled.
+    fn establish_base(&mut self, problem: &Problem) -> Result<(), ObjectiveError> {
+        let _ = problem;
+        Ok(())
+    }
+
+    /// The caller accepted the last
+    /// [`evaluate_move`](Objective::evaluate_move): its recorded state
+    /// becomes the new base.
+    fn promote(&mut self) {}
+
+    /// The last [`evaluate_move`](Objective::evaluate_move)'s recorded
+    /// state must not become a base (the caller served the cost from a
+    /// cache, or rejected the candidate structurally).
+    fn invalidate(&mut self) {}
+}
+
+/// The recorded outcome of one full or resumed analysis: everything a
+/// later delta evaluation needs to resume mid-run.
+struct DeltaState {
+    log: CheckpointLog,
+    schedule: Schedule,
 }
 
 /// The real thing: the analyzed makespan under an arbiter — WCETs plus
@@ -37,9 +130,20 @@ pub trait Objective {
 /// search *interference-aware*: a mapping that looks balanced to the
 /// proxy can lose here because it piles communicating tasks onto
 /// conflicting banks.
+///
+/// It implements the full delta protocol: every evaluation records a
+/// [`CheckpointLog`], and [`Objective::evaluate_move`] resumes from the
+/// latest checkpoint of the accepted base whose prefix the move provably
+/// cannot affect ([`mia_core::analyze_delta_with`]). A `bound` is folded
+/// into the analysis deadline, so provably-rejected candidates abort
+/// mid-run instead of being priced exactly.
 pub struct AnalyzedMakespan<'a> {
     arbiter: &'a (dyn Arbiter + Send + Sync),
     options: AnalysisOptions,
+    /// Recorded state of the last promoted (accepted) evaluation.
+    base: Option<DeltaState>,
+    /// Recorded state of the last `evaluate_move`, awaiting promotion.
+    scratch: Option<DeltaState>,
 }
 
 impl<'a> AnalyzedMakespan<'a> {
@@ -47,7 +151,12 @@ impl<'a> AnalyzedMakespan<'a> {
     /// deadline in the options makes deadline-missing candidates
     /// infeasible rather than accepted-but-late).
     pub fn new(arbiter: &'a (dyn Arbiter + Send + Sync), options: AnalysisOptions) -> Self {
-        AnalyzedMakespan { arbiter, options }
+        AnalyzedMakespan {
+            arbiter,
+            options,
+            base: None,
+            scratch: None,
+        }
     }
 }
 
@@ -65,6 +174,104 @@ impl Objective for AnalyzedMakespan<'_> {
             ) => Err(ObjectiveError::Infeasible(e.to_string())),
             Err(e) => Err(ObjectiveError::Fatal(e.to_string())),
         }
+    }
+
+    fn evaluate_move(
+        &mut self,
+        problem: &Problem,
+        changed: &[(usize, usize)],
+        bound: Option<Cycles>,
+    ) -> Result<(MoveVerdict, bool), ObjectiveError> {
+        self.scratch = None;
+        let user_deadline = self.options.deadline;
+        let mut options = self.options.clone();
+        options.deadline = match (user_deadline, bound) {
+            (Some(d), Some(b)) => Some(d.min(b)),
+            (Some(d), None) => Some(d),
+            (None, b) => b,
+        };
+        let run = match &self.base {
+            Some(base) => analyze_delta_with(
+                problem,
+                self.arbiter,
+                &options,
+                &mut NoopObserver,
+                &base.log,
+                changed,
+                &base.schedule,
+            ),
+            None => {
+                let mut log = CheckpointLog::new();
+                analyze_checkpointed_with(
+                    problem,
+                    self.arbiter,
+                    &options,
+                    &mut NoopObserver,
+                    &mut log,
+                )
+                .map(|report| (report, log, false))
+            }
+        };
+        match run {
+            Ok((report, log, resumed)) => {
+                let cost = report.schedule.makespan();
+                self.scratch = Some(DeltaState {
+                    log,
+                    schedule: report.schedule,
+                });
+                Ok((MoveVerdict::Feasible(cost), resumed))
+            }
+            Err(e @ AnalysisError::DeadlineExceeded { .. }) => {
+                // Crossing the caller's bound is a rejection with unknown
+                // exact cost; crossing the problem's own deadline is a
+                // genuinely infeasible candidate.
+                let cut_by_bound = bound.is_some_and(|b| user_deadline.is_none_or(|d| b < d));
+                if cut_by_bound {
+                    Ok((MoveVerdict::AboveBound, false))
+                } else {
+                    Ok((MoveVerdict::Infeasible(e.to_string()), false))
+                }
+            }
+            Err(e @ AnalysisError::TaskDeadlineMissed { .. }) => {
+                Ok((MoveVerdict::Infeasible(e.to_string()), false))
+            }
+            Err(e) => Err(ObjectiveError::Fatal(e.to_string())),
+        }
+    }
+
+    fn establish_base(&mut self, problem: &Problem) -> Result<(), ObjectiveError> {
+        self.base = None;
+        self.scratch = None;
+        let mut log = CheckpointLog::new();
+        match analyze_checkpointed_with(
+            problem,
+            self.arbiter,
+            &self.options,
+            &mut NoopObserver,
+            &mut log,
+        ) {
+            Ok(report) => {
+                self.base = Some(DeltaState {
+                    log,
+                    schedule: report.schedule,
+                });
+                Ok(())
+            }
+            // An infeasible base disables delta resumption but is not an
+            // error: every subsequent move evaluates in full.
+            Err(
+                AnalysisError::DeadlineExceeded { .. } | AnalysisError::TaskDeadlineMissed { .. },
+            ) => Ok(()),
+            Err(e) => Err(ObjectiveError::Fatal(e.to_string())),
+        }
+    }
+
+    fn promote(&mut self) {
+        self.base = self.scratch.take();
+    }
+
+    fn invalidate(&mut self) {
+        self.scratch = None;
     }
 }
 
@@ -135,5 +342,58 @@ mod tests {
             tight.evaluate(&p),
             Err(ObjectiveError::Infeasible(_))
         ));
+    }
+
+    #[test]
+    fn evaluate_move_matches_evaluate_and_promotes_a_base() {
+        let p = contended_problem();
+        let rr = RoundRobin::new();
+        let mut obj = AnalyzedMakespan::new(&rr, AnalysisOptions::new());
+        let full = obj.evaluate(&p).unwrap();
+
+        obj.establish_base(&p).unwrap();
+        assert!(obj.base.is_some());
+        // The "move" changes nothing observable beyond the end of every
+        // order: the evaluation may resume, and the cost must agree.
+        let (verdict, _resumed) = obj.evaluate_move(&p, &[(0, 5), (1, 5)], None).unwrap();
+        assert_eq!(verdict, MoveVerdict::Feasible(full));
+        assert!(obj.scratch.is_some());
+        obj.promote();
+        assert!(obj.base.is_some());
+        assert!(obj.scratch.is_none());
+        obj.invalidate();
+        obj.promote();
+        assert!(obj.base.is_none(), "promoting an invalidated move demotes");
+    }
+
+    #[test]
+    fn a_bound_below_the_cost_cuts_the_evaluation_off() {
+        let p = contended_problem();
+        let rr = RoundRobin::new();
+        let mut obj = AnalyzedMakespan::new(&rr, AnalysisOptions::new());
+        let (verdict, _) = obj.evaluate_move(&p, &[], Some(Cycles(120))).unwrap();
+        assert_eq!(verdict, MoveVerdict::AboveBound);
+        assert!(obj.scratch.is_none(), "a cutoff leaves no promotable state");
+        // A bound at or above the cost completes exactly.
+        let (verdict, _) = obj.evaluate_move(&p, &[], Some(Cycles(160))).unwrap();
+        assert_eq!(verdict, MoveVerdict::Feasible(Cycles(160)));
+    }
+
+    #[test]
+    fn a_real_deadline_beats_the_bound_classification() {
+        let p = contended_problem();
+        let rr = RoundRobin::new();
+        // User deadline 120 is the binding limit even under a huge bound:
+        // the candidate is infeasible, not merely above the bound.
+        let mut obj = AnalyzedMakespan::new(&rr, AnalysisOptions::new().deadline(Cycles(120)));
+        let (verdict, _) = obj.evaluate_move(&p, &[], Some(Cycles(10_000))).unwrap();
+        assert!(matches!(verdict, MoveVerdict::Infeasible(_)));
+        // The default implementation (no delta support) reports
+        // infeasibility the same way.
+        let mut proxy = ProxyMakespan;
+        proxy.establish_base(&p).unwrap();
+        let (verdict, resumed) = proxy.evaluate_move(&p, &[], Some(Cycles(1))).unwrap();
+        assert_eq!(verdict, MoveVerdict::Feasible(Cycles(150)));
+        assert!(!resumed, "the default never resumes");
     }
 }

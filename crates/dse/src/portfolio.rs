@@ -76,6 +76,22 @@ impl Default for DseConfig {
     }
 }
 
+impl DseConfig {
+    /// The worker count this configuration actually runs with: the
+    /// requested `threads` — or the machine's available parallelism when
+    /// 0 — capped at the chain count. Reports should record this instead
+    /// of the raw `threads` spec (a recorded `0` says nothing about what
+    /// ran).
+    pub fn resolved_workers(&self) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.threads
+        };
+        requested.min(self.strategy.chains()).max(1)
+    }
+}
+
 /// The outcome of a search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DseResult {
@@ -216,12 +232,7 @@ where
         )
     };
 
-    let workers = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        config.threads
-    }
-    .min(chains);
+    let workers = config.resolved_workers();
 
     if workers <= 1 {
         for (chain, slot) in outcomes.iter().enumerate() {

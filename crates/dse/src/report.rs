@@ -27,11 +27,20 @@ pub struct OptimizeRun {
     pub improvement_pct: f64,
     /// Cost lookups (including cache hits) plus the seed analysis.
     pub evaluations: usize,
-    /// Full analyses actually run.
+    /// Analyses actually run (full or delta-resumed).
     pub analyses: usize,
-    /// Lookups served by the memo cache.
+    /// Lookups served by the memo cache (all outcomes).
     pub cache_hits: usize,
-    /// `cache_hits / evaluations`.
+    /// Cache hits that returned a feasible cost.
+    pub feasible_hits: usize,
+    /// Cache hits that returned a known-infeasible verdict.
+    pub infeasible_hits: usize,
+    /// Analyses that resumed from a checkpoint instead of starting over.
+    pub delta_resumes: usize,
+    /// Evaluations aborted early because the cost passed the Metropolis
+    /// rejection bound.
+    pub bound_cutoffs: usize,
+    /// `feasible_hits / evaluations` — useful cache work only.
     pub cache_hit_rate: f64,
     /// Candidates rejected as infeasible.
     pub infeasible: usize,
@@ -55,8 +64,12 @@ pub struct OptimizeReport {
     pub budget_evals: usize,
     /// Strategy label.
     pub strategy: String,
-    /// Worker threads (wall-clock only; results are thread-invariant).
+    /// Worker threads actually used (the resolved count, never the `0 =
+    /// all cores` sentinel); wall-clock only, results are
+    /// thread-invariant.
     pub threads: usize,
+    /// The raw `--threads` spec as given (`0` = all cores).
+    pub requested_threads: usize,
     /// Total wall-clock seconds.
     pub wall_seconds: f64,
     /// Every run, in deterministic workload × arbiter order.
@@ -64,7 +77,7 @@ pub struct OptimizeReport {
 }
 
 /// Header row of [`report_csv`] — consumers can pin against it.
-pub const DSE_CSV_HEADER: &str = "workload,arbiter,strategy,n,chains,seed_makespan,optimized_makespan,improvement_pct,evaluations,cache_hits,cache_hit_rate,seconds";
+pub const DSE_CSV_HEADER: &str = "workload,arbiter,strategy,n,chains,seed_makespan,optimized_makespan,improvement_pct,evaluations,cache_hits,feasible_hits,infeasible_hits,delta_resumes,cache_hit_rate,seconds";
 
 /// Output format of an optimize report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -83,13 +96,13 @@ pub fn report_json(report: &OptimizeReport) -> String {
 
 /// Flattens a report into CSV: the [`DSE_CSV_HEADER`] columns, one row
 /// per run. Workload labels are sanitised (commas/newlines replaced) so
-/// every row has exactly twelve columns.
+/// every row has exactly fifteen columns.
 pub fn report_csv(report: &OptimizeReport) -> String {
     let mut csv = String::from(DSE_CSV_HEADER);
     csv.push('\n');
     for r in &report.runs {
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{},{:.3},{},{},{:.4},{:.6}\n",
+            "{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{:.4},{:.6}\n",
             r.workload.replace(['\n', '\r'], " ").replace(',', ";"),
             r.arbiter,
             r.strategy,
@@ -100,6 +113,9 @@ pub fn report_csv(report: &OptimizeReport) -> String {
             r.improvement_pct,
             r.evaluations,
             r.cache_hits,
+            r.feasible_hits,
+            r.infeasible_hits,
+            r.delta_resumes,
             r.cache_hit_rate,
             r.seconds,
         ));
@@ -125,6 +141,7 @@ mod tests {
             budget_evals: 200,
             strategy: "portfolio".into(),
             threads: 4,
+            requested_threads: 0,
             wall_seconds: 1.5,
             runs: vec![OptimizeRun {
                 workload: "rosace, the avionics one".into(),
@@ -139,7 +156,11 @@ mod tests {
                 evaluations: 201,
                 analyses: 150,
                 cache_hits: 51,
-                cache_hit_rate: 0.2537,
+                feasible_hits: 44,
+                infeasible_hits: 7,
+                delta_resumes: 120,
+                bound_cutoffs: 18,
+                cache_hit_rate: 0.2189,
                 infeasible: 3,
                 accepted: 40,
                 best_chain: 2,
@@ -158,15 +179,26 @@ mod tests {
             "\"optimized_makespan\"",
             "\"cache_hit_rate\"",
             "\"improvement_pct\"",
+            "\"feasible_hits\"",
+            "\"infeasible_hits\"",
+            "\"delta_resumes\"",
+            "\"bound_cutoffs\"",
+            "\"requested_threads\"",
         ] {
             assert!(json.contains(field), "missing {field}: {json}");
         }
     }
 
     #[test]
-    fn csv_rows_always_have_twelve_columns() {
+    fn csv_rows_always_have_fifteen_columns() {
         let csv = report_csv(&sample());
         let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "workload,arbiter,strategy,n,chains,seed_makespan,optimized_makespan,\
+             improvement_pct,evaluations,cache_hits,feasible_hits,infeasible_hits,\
+             delta_resumes,cache_hit_rate,seconds"
+        );
         assert_eq!(lines[0], DSE_CSV_HEADER);
         assert_eq!(lines.len(), 2);
         // The comma inside the workload label was sanitised away.
@@ -174,7 +206,14 @@ mod tests {
             lines[1].matches(',').count(),
             DSE_CSV_HEADER.matches(',').count()
         );
+        assert_eq!(DSE_CSV_HEADER.matches(',').count(), 14);
         assert!(lines[1].starts_with("rosace; the avionics one,rr,portfolio,25,8,1000,900,"));
+        // The counter columns land where the header says they do.
+        let cols: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(cols[9], "51"); // cache_hits
+        assert_eq!(cols[10], "44"); // feasible_hits
+        assert_eq!(cols[11], "7"); // infeasible_hits
+        assert_eq!(cols[12], "120"); // delta_resumes
         assert_eq!(render_dse_report(&sample(), DseReportFormat::Csv), csv);
         assert!(render_dse_report(&sample(), DseReportFormat::Json).contains("\"runs\""));
     }

@@ -8,11 +8,16 @@
 //!    and every counter).
 
 use mia_arbiter::{MppaTree, RoundRobin};
-use mia_core::analyze;
+use mia_core::{analyze, AnalysisOptions};
 use mia_dag_gen::{Family, LayeredDag};
-use mia_dse::{optimize, DseConfig, DseResult, SearchSpace, Strategy};
+use mia_dse::{
+    optimize, AnalyzedMakespan, Candidate, DseConfig, DseResult, Evaluator, MoveGuide, SearchSpace,
+    Strategy,
+};
 use mia_model::{arbiter::Arbiter, BankPolicy, Platform, Problem};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn generated_space(layers: usize, n: usize, gen_seed: u64, cores: usize) -> SearchSpace {
     let mut config = Family::FixedLayers(layers).config(n, gen_seed);
@@ -95,6 +100,42 @@ proptest! {
         };
         prop_assert_eq!(run(1), run(16));
     }
+
+    /// Contract 3: delta re-analysis is invisible. Along a random walk of
+    /// dependency-aware moves, [`Evaluator::evaluate_move`] (which resumes
+    /// from the last accepted candidate's checkpoints whenever the change
+    /// admits it) returns exactly what an independent full evaluation of
+    /// the same candidate returns — same feasibility verdict, same cost.
+    #[test]
+    fn delta_evaluation_matches_a_full_analysis_on_random_walks(
+        n in 12usize..32,
+        gen_seed in 0u64..500,
+        walk_seed in 0u64..500,
+    ) {
+        let space = generated_space(3, n, gen_seed, 4);
+        let rr = RoundRobin::new();
+        let mut delta = Evaluator::new(&space, AnalyzedMakespan::new(&rr, AnalysisOptions::new()));
+        let mut full = Evaluator::new(&space, AnalyzedMakespan::new(&rr, AnalysisOptions::new()));
+        let graph = space.seed_problem().graph();
+        let guide = MoveGuide::new(graph);
+        let mut current = Candidate::from_mapping(space.seed_problem().mapping(), space.cores());
+        delta.begin(&current).unwrap();
+        let mut rng = StdRng::seed_from_u64(walk_seed);
+        for step in 0..25 {
+            let undo = current.propose_guided(graph, &guide, &mut rng);
+            let changed = current.changed_positions(graph, undo);
+            let moved = delta.evaluate_move(&current, &changed, None).unwrap();
+            let reference = full.evaluate(&current).unwrap();
+            prop_assert_eq!(moved, reference, "walk step {}", step);
+            if moved.is_some() {
+                // Accept every feasible move: the walk drags the delta
+                // base through many promotions.
+                delta.accept_last(&current).unwrap();
+            } else {
+                current.undo(undo);
+            }
+        }
+    }
 }
 
 /// The acceptance-criteria scenario: on the ROSACE expansion the search
@@ -127,21 +168,34 @@ fn rosace_optimizes_against_the_layered_cyclic_seed() {
     assert!(a.stats.hit_rate() > 0.0 && a.stats.hit_rate() < 1.0);
 }
 
-/// The evaluation budget is respected exactly: `budget_evals` proposals
-/// across all chains plus the one seed analysis.
+/// The evaluation budget is respected exactly — `budget_evals` proposals
+/// across all chains plus the one seed analysis — for **both** strategies
+/// and regardless of the worker-thread count. A search that silently
+/// burned extra analyses (or skipped budgeted ones) would corrupt every
+/// candidates-per-second measurement built on this counter.
 #[test]
 fn budget_is_respected_exactly() {
     let space = generated_space(3, 24, 1, 4);
-    for chains in [1usize, 3, 7] {
-        let config = DseConfig {
-            strategy: Strategy::Portfolio { chains },
-            seed: 2,
-            budget_evals: 100,
-            threads: 1,
-            ..DseConfig::default()
-        };
-        let r = optimize(&space, &RoundRobin::new(), &config).unwrap();
-        assert_eq!(r.stats.evaluations, 101, "chains={chains}");
-        assert_eq!(r.chains, chains);
+    for threads in [1usize, 16] {
+        for (strategy, expected_chains) in [
+            (Strategy::Anneal, 1usize),
+            (Strategy::Portfolio { chains: 1 }, 1),
+            (Strategy::Portfolio { chains: 3 }, 3),
+            (Strategy::Portfolio { chains: 7 }, 7),
+        ] {
+            let config = DseConfig {
+                strategy,
+                seed: 2,
+                budget_evals: 100,
+                threads,
+                ..DseConfig::default()
+            };
+            let r = optimize(&space, &RoundRobin::new(), &config).unwrap();
+            assert_eq!(
+                r.stats.evaluations, 101,
+                "strategy={strategy:?} threads={threads}"
+            );
+            assert_eq!(r.chains, expected_chains);
+        }
     }
 }

@@ -153,6 +153,35 @@ impl DemandMerge {
         &self.touched
     }
 
+    /// Exports every live `(bank, core, accesses)` entry — including
+    /// explicitly accumulated zeros, which still mark a core as an
+    /// interferer of a bank — in first-touch bank order and ascending
+    /// core order within a bank. [`DemandMerge::restore`] rebuilds an
+    /// indistinguishable accumulator from the result; the analysis
+    /// checkpointing in `mia-core` uses the pair to freeze and thaw
+    /// per-slot merge state.
+    pub fn export(&self) -> Vec<(BankId, CoreId, u64)> {
+        let mut out = Vec::new();
+        for &bank in &self.touched {
+            let row = bank.index() * self.cores;
+            for core in 0..self.cores {
+                if self.stamp[row + core] == self.generation {
+                    out.push((bank, CoreId::from_index(core), self.accesses[row + core]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Resets the accumulator and replays `entries` (as produced by
+    /// [`DemandMerge::export`]) into it.
+    pub fn restore(&mut self, entries: &[(BankId, CoreId, u64)]) {
+        self.reset();
+        for &(bank, core, accesses) in entries {
+            self.add(bank, core, accesses);
+        }
+    }
+
     /// Builds the aggregated interferer set for `bank` — one
     /// [`InterfererDemand`] per contributing core, ascending by core id —
     /// into an internal reusable buffer and returns it.
@@ -218,6 +247,43 @@ mod tests {
             .collect();
         assert_eq!(set, vec![(CoreId(2), 20), (CoreId(5), 50), (CoreId(7), 70)]);
         assert!(m.bank_set(BankId(0)).len() == 3);
+    }
+
+    #[test]
+    fn export_restore_round_trips_including_stamped_zeros() {
+        let mut m = DemandMerge::new(3, 4);
+        m.add(BankId(2), CoreId(3), 9);
+        m.add(BankId(0), CoreId(1), 0); // a zero still marks an interferer
+        m.add(BankId(2), CoreId(0), 4);
+        let exported = m.export();
+        assert_eq!(
+            exported,
+            vec![
+                (BankId(2), CoreId(0), 4),
+                (BankId(2), CoreId(3), 9),
+                (BankId(0), CoreId(1), 0),
+            ]
+        );
+        let mut copy = DemandMerge::new(3, 4);
+        copy.restore(&exported);
+        assert_eq!(copy.touched_banks(), m.touched_banks());
+        for bank in 0..3 {
+            let bank = BankId(bank);
+            // bank_set includes stamped zeros, so interferer sets (and
+            // hence arbiter inputs) must match entry for entry.
+            assert_eq!(copy.bank_set(bank).to_vec(), {
+                let mut orig = DemandMerge::new(3, 4);
+                orig.restore(&exported);
+                orig.bank_set(bank).to_vec()
+            });
+            for core in 0..4 {
+                assert_eq!(
+                    copy.get(bank, CoreId::from_index(core)),
+                    m.get(bank, CoreId::from_index(core))
+                );
+            }
+        }
+        assert_eq!(copy.bank_set(BankId(0)).len(), 1);
     }
 
     #[test]

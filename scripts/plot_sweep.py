@@ -197,7 +197,8 @@ def write_dse_gnuplot(report, out_dir):
 def write_dse_csv(report, out):
     out.write(
         "workload,arbiter,strategy,n,chains,seed_makespan,optimized_makespan,"
-        "improvement_pct,evaluations,cache_hits,cache_hit_rate,seconds\n"
+        "improvement_pct,evaluations,cache_hits,feasible_hits,infeasible_hits,"
+        "delta_resumes,cache_hit_rate,seconds\n"
     )
     for r in report["runs"]:
         workload = r["workload"].replace(",", ";")
@@ -205,6 +206,10 @@ def write_dse_csv(report, out):
             f"{workload},{r['arbiter']},{r['strategy']},{r['n']},{r['chains']},"
             f"{r['seed_makespan']},{r['optimized_makespan']},"
             f"{r['improvement_pct']:.3f},{r['evaluations']},{r['cache_hits']},"
+            # Reports from before the delta re-analysis lack the split
+            # counters; default them to zero so old artefacts still plot.
+            f"{r.get('feasible_hits', 0)},{r.get('infeasible_hits', 0)},"
+            f"{r.get('delta_resumes', 0)},"
             f"{r['cache_hit_rate']:.4f},{r['seconds']:.6f}\n"
         )
 
