@@ -1,0 +1,66 @@
+//! Load-generator for the `mia serve` daemon: spawn it in-process,
+//! hammer it with concurrent clients, and emit `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p mia-bench --bin serve -- \
+//!     --clients 1,4,8 --requests 20 --workload rosace -o BENCH_serve.json
+//! ```
+//!
+//! Each client count is measured twice — `uncached` (token targets,
+//! full analysis per request) and `cached` (one resident handle, memo
+//! hits after the first completion). Progress goes to stderr, one line
+//! per grid point.
+
+use std::process::ExitCode;
+
+use mia_bench::serve::{parse_serve_spec, run_serve_bench};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (spec, out) = match parse_serve_spec(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serve: {} client counts × 2 modes × {} requests/client against `{}`",
+        spec.clients.len(),
+        spec.requests_per_client,
+        spec.workload,
+    );
+    let report = run_serve_bench(&spec, &|p| {
+        eprintln!(
+            "  clients {:>3} {:>8}: {} ok / {} err, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, {:.1} req/s",
+            p.clients, p.mode, p.requests, p.errors, p.p50_ms, p.p95_ms, p.p99_ms, p.throughput_rps,
+        );
+    });
+    match out {
+        Some(path) => {
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("serve: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "serve: {} points in {:.1}s -> {path}",
+                report.points.len(),
+                report.wall_seconds
+            );
+        }
+        None => match mia_bench::write_json("serve", &report) {
+            Ok(path) => eprintln!(
+                "serve: {} points in {:.1}s -> {}",
+                report.points.len(),
+                report.wall_seconds,
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("serve: cannot write results/serve.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
+    ExitCode::SUCCESS
+}

@@ -21,6 +21,7 @@
 //! report.
 
 pub mod dse;
+pub mod serve;
 pub mod sweep;
 
 use std::sync::mpsc;

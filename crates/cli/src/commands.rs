@@ -72,7 +72,14 @@ commands:
   exec     <workload> [--arbiter ...] [--prefix NAME] [--c FILE] [--json FILE]
   sdf      <app.sdf|app.sdf3|rosace> [--cores N] [--iterations K]
            [--strategy etf|cyclic|balanced|heft]
-  dot      <workload>";
+  dot      <workload>
+  serve    [--addr HOST:PORT] [--workers N] [--max-pending N]
+           [--request-budget-ms MS] [--port-file FILE]
+           (persistent analysis daemon: holds problems resident, serves
+            analyze/simulate/optimize/sweep over length-prefixed JSON)
+  client   <method> [workload] [--addr HOST:PORT] [--handle H] [options...]
+           (one request against a running `mia serve`; method is one of
+            load, analyze, simulate, optimize, sweep, ping, stats, shutdown)";
 
 /// Entry point used by the `mia` binary; returns the rendered output.
 ///
@@ -92,6 +99,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "exec" => exec_cmd(rest),
         "sdf" => sdf_cmd(rest),
         "dot" => dot_cmd(rest),
+        "serve" => crate::serve::serve_cmd(rest),
+        "client" => crate::serve::client_cmd(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n{USAGE}"
@@ -265,7 +274,7 @@ fn sdf_problem(path: &str, args: &[String]) -> Result<Problem, CliError> {
     sdf_problem_with_iterations(path, args).map(|(p, _)| p)
 }
 
-fn load_problem(path: &str, args: &[String]) -> Result<Problem, CliError> {
+pub(crate) fn load_problem(path: &str, args: &[String]) -> Result<Problem, CliError> {
     if is_sdf_input(path) {
         return sdf_problem(path, args);
     }
@@ -306,6 +315,14 @@ fn analyze_cmd(args: &[String]) -> Result<String, CliError> {
     let path =
         positional(args).ok_or_else(|| CliError::Usage("analyze needs a workload file".into()))?;
     let problem = load_problem(path, args)?;
+    render_analysis(&problem, args)
+}
+
+/// Everything `analyze` does after the workload is loaded. Shared by
+/// the one-shot command and the `mia serve` engine, so a served
+/// `analyze` reply is byte-identical to the CLI's output for the same
+/// problem and flags.
+pub(crate) fn render_analysis(problem: &Problem, args: &[String]) -> Result<String, CliError> {
     let arbiter = parse_arbiter(opt(args, "--arbiter"))?;
     let mut options = AnalysisOptions::new().task_deadlines(true);
     if let Some(d) = opt(args, "--deadline") {
@@ -322,7 +339,7 @@ fn analyze_cmd(args: &[String]) -> Result<String, CliError> {
     let schedule = match algorithm {
         "incremental" | "new" if threads != 1 => {
             mia_core::analyze_parallel_with(
-                &problem,
+                problem,
                 arbiter.as_ref(),
                 &options,
                 threads,
@@ -332,7 +349,7 @@ fn analyze_cmd(args: &[String]) -> Result<String, CliError> {
             .schedule
         }
         "incremental" | "new" => {
-            analyze_with(&problem, arbiter.as_ref(), &options, &mut NoopObserver)
+            analyze_with(problem, arbiter.as_ref(), &options, &mut NoopObserver)
                 .map_err(|e| CliError::Analysis(e.to_string()))?
                 .schedule
         }
@@ -346,7 +363,7 @@ fn analyze_cmd(args: &[String]) -> Result<String, CliError> {
             if let Some(d) = options.deadline {
                 opts = opts.deadline(d);
             }
-            mia_baseline::analyze_with(&problem, arbiter.as_ref(), &opts)
+            mia_baseline::analyze_with(problem, arbiter.as_ref(), &opts)
                 .map_err(|e| CliError::Analysis(e.to_string()))?
                 .schedule
         }
@@ -367,21 +384,21 @@ fn analyze_cmd(args: &[String]) -> Result<String, CliError> {
         schedule.makespan(),
         schedule.total_interference()
     ));
-    out.push_str(&mia_trace::schedule_table(&problem, &schedule));
+    out.push_str(&mia_trace::schedule_table(problem, &schedule));
     if has_flag(args, "--gantt") {
         out.push('\n');
-        out.push_str(&mia_trace::gantt(&problem, &schedule));
+        out.push_str(&mia_trace::gantt(problem, &schedule));
     }
     if has_flag(args, "--dot") {
         out.push('\n');
         out.push_str(&mia_trace::to_dot(problem.graph()));
     }
     if let Some(path) = opt(args, "--json") {
-        fs::write(path, mia_trace::schedule_json(&problem, &schedule))?;
+        fs::write(path, mia_trace::schedule_json(problem, &schedule))?;
         out.push_str(&format!("\nschedule written to {path}\n"));
     }
     if let Some(path) = opt(args, "--chrome") {
-        fs::write(path, mia_trace::to_chrome_trace(&problem, &schedule))?;
+        fs::write(path, mia_trace::to_chrome_trace(problem, &schedule))?;
         out.push_str(&format!(
             "\nChrome trace written to {path} (open in chrome://tracing or ui.perfetto.dev)\n"
         ));
@@ -433,8 +450,14 @@ fn simulate_cmd(args: &[String]) -> Result<String, CliError> {
     let path =
         positional(args).ok_or_else(|| CliError::Usage("simulate needs a workload file".into()))?;
     let problem = load_problem(path, args)?;
+    render_simulation(&problem, args)
+}
+
+/// Everything `simulate` does after the workload is loaded (shared with
+/// the `mia serve` engine; see [`render_analysis`]).
+pub(crate) fn render_simulation(problem: &Problem, args: &[String]) -> Result<String, CliError> {
     let arbiter = parse_arbiter(opt(args, "--arbiter"))?;
-    let schedule = mia_core::analyze(&problem, arbiter.as_ref())
+    let schedule = mia_core::analyze(problem, arbiter.as_ref())
         .map_err(|e| CliError::Analysis(e.to_string()))?;
     let pattern = match opt(args, "--pattern").unwrap_or("burst-start") {
         "burst-start" | "burst" => AccessPattern::BurstStart,
@@ -448,7 +471,7 @@ fn simulate_cmd(args: &[String]) -> Result<String, CliError> {
         }
     };
     let seed: u64 = opt(args, "--seed").unwrap_or("0").parse().unwrap_or(0);
-    let run = simulate(&problem, &schedule, &SimConfig::new(pattern).seed(seed))
+    let run = simulate(problem, &schedule, &SimConfig::new(pattern).seed(seed))
         .map_err(|e| CliError::Analysis(e.to_string()))?;
     let mut out = format!(
         "simulated ({pattern:?}, seed {seed}): makespan {} vs analysed {}\n",

@@ -21,8 +21,10 @@
 
 mod commands;
 mod optimize;
+mod serve;
 mod sweep;
 mod workload;
 
 pub use commands::{run, CliError};
+pub use serve::CliEngine;
 pub use workload::{EdgeSpec, PlatformSpec, TaskSpec, WorkloadFile};

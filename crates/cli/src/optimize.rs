@@ -56,7 +56,20 @@ pub fn optimize_cmd(args: &[String]) -> Result<String, CliError> {
     let token = positional(args).ok_or_else(|| {
         CliError::Usage("optimize needs a workload (file, SDF input or family token)".into())
     })?;
+    let (problem, policy, label) = load_optimize_problem(token, args)?;
+    optimize_loaded(problem, policy, &label, args)
+}
 
+/// Everything `optimize` does after the seed problem is loaded. Shared
+/// by the one-shot command and the `mia serve` engine — a served
+/// `optimize` against a resident handle runs exactly this code, so the
+/// reply differs from the CLI only in the wall-clock fields.
+pub(crate) fn optimize_loaded(
+    problem: Problem,
+    policy: BankPolicy,
+    label: &str,
+    args: &[String],
+) -> Result<String, CliError> {
     let parse_num = |flag: &str, default: usize| -> Result<usize, CliError> {
         opt(args, flag)
             .map_or(Ok(default), str::parse)
@@ -94,7 +107,6 @@ pub fn optimize_cmd(args: &[String]) -> Result<String, CliError> {
         mia_arbiter::by_name_or_err(name).map_err(CliError::Usage)?;
     }
 
-    let (problem, policy, label) = load_optimize_problem(token, args)?;
     let mut options = AnalysisOptions::new();
     if let Some(deadline) = opt(args, "--deadline") {
         let deadline: u64 = deadline
@@ -133,7 +145,7 @@ pub fn optimize_cmd(args: &[String]) -> Result<String, CliError> {
             seconds,
         ));
         runs.push(OptimizeRun {
-            workload: label.clone(),
+            workload: label.to_owned(),
             arbiter: name.clone(),
             strategy: strategy.label().to_owned(),
             n,
@@ -202,8 +214,10 @@ pub fn optimize_cmd(args: &[String]) -> Result<String, CliError> {
 
 /// Resolves the positional workload of `mia optimize` into a seed
 /// problem, the bank policy candidates are re-derived under, and a
-/// report label.
-fn load_optimize_problem(
+/// report label. Also the `load` method of the `mia serve` engine: it
+/// accepts every workload form any served method needs (JSON files, SDF
+/// inputs, generator family tokens).
+pub(crate) fn load_optimize_problem(
     token: &str,
     args: &[String],
 ) -> Result<(Problem, BankPolicy, String), CliError> {

@@ -55,7 +55,7 @@ pub(crate) struct SlotSnapshot {
 }
 
 /// Driver state at the top of one cursor iteration: enough to re-enter
-/// [`run_cursor`](crate::engine::run_cursor)'s loop as if the prefix had
+/// `run_cursor`'s loop (`crate::engine`, private) as if the prefix had
 /// just been executed.
 ///
 /// Opaque outside `mia-core`; obtained from a [`CheckpointLog`] filled by

@@ -1,0 +1,143 @@
+//! The shared cross-request memo cache.
+//!
+//! Keyed by `(method, workload label, CandidateKey, args)`: the
+//! [`CandidateKey`] is the existing canonical 128-bit mapping hash from
+//! `mia-dse` (equal per-core orders ⇔ equal key). The label rides along
+//! because the mapping hash covers only the per-core task orders — two
+//! *different* workloads that happen to map the same shape onto the
+//! same cores would otherwise collide. With both components, two
+//! requests hit the same entry exactly when they run the same method
+//! with the same flags against the same workload and design. Only
+//! resident-problem requests are cached — a workload token names a file
+//! whose content can change between requests, so token-target requests
+//! always recompute.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mia_dse::CandidateKey;
+
+/// One memo entry's identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    method: String,
+    label: String,
+    design: CandidateKey,
+    args: Vec<String>,
+}
+
+/// The cache: rendered outputs by request identity, plus hit/miss
+/// counters surfaced through the server's `stats` method.
+#[derive(Debug, Default)]
+pub struct MemoCache {
+    entries: Mutex<HashMap<MemoKey, Arc<String>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MemoCache::default()
+    }
+
+    /// Looks up a memoized output, counting a hit or miss.
+    pub fn lookup(
+        &self,
+        method: &str,
+        label: &str,
+        design: CandidateKey,
+        args: &[String],
+    ) -> Option<Arc<String>> {
+        let key = MemoKey {
+            method: method.to_owned(),
+            label: label.to_owned(),
+            design,
+            args: args.to_vec(),
+        };
+        let found = self.entries.lock().expect("cache lock").get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a computed output. Concurrent identical misses may both
+    /// compute and store; last write wins, which is harmless because
+    /// equal keys imply equal outputs for deterministic engines.
+    pub fn insert(
+        &self,
+        method: &str,
+        label: &str,
+        design: CandidateKey,
+        args: &[String],
+        output: Arc<String>,
+    ) {
+        let key = MemoKey {
+            method: method.to_owned(),
+            label: label.to_owned(),
+            design,
+            args: args.to_vec(),
+        };
+        self.entries.lock().expect("cache lock").insert(key, output);
+    }
+
+    /// Total lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct memoized entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mia_dse::Candidate;
+    use mia_model::{Cycles, Mapping, Task, TaskGraph};
+
+    fn key_of(assignment: &[u32]) -> CandidateKey {
+        let mut g = TaskGraph::new();
+        for i in 0..assignment.len() {
+            g.add_task(Task::builder(format!("t{i}")).wcet(Cycles(10)));
+        }
+        let mapping = Mapping::from_assignment(&g, assignment).unwrap();
+        Candidate::from_mapping(&mapping, 4).key()
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted_per_identity() {
+        let cache = MemoCache::new();
+        let a = key_of(&[0, 1]);
+        let b = key_of(&[1, 0]);
+        assert!(cache.lookup("analyze", "w", a, &[]).is_none());
+        cache.insert("analyze", "w", a, &[], Arc::new("out".into()));
+        assert_eq!(
+            cache.lookup("analyze", "w", a, &[]).unwrap().as_str(),
+            "out"
+        );
+        // Different design, method, label or args: all miss.
+        assert!(cache.lookup("analyze", "w", b, &[]).is_none());
+        assert!(cache.lookup("simulate", "w", a, &[]).is_none());
+        assert!(cache.lookup("analyze", "other", a, &[]).is_none());
+        assert!(cache.lookup("analyze", "w", a, &["--csv".into()]).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 5);
+        assert_eq!(cache.len(), 1);
+    }
+}

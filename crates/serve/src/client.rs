@@ -1,0 +1,214 @@
+//! The blocking client: one connection, framed requests, verified
+//! replies.
+//!
+//! [`Client`] is deliberately synchronous — it sends one frame and
+//! blocks for the matching reply. Pipelining (several requests in
+//! flight on one connection) is exercised by the test suite with raw
+//! frames; the bench opens one client per simulated user instead, which
+//! matches how the CLI `mia client` subcommand behaves.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+use crate::protocol::{Reply, ReplyBody, Request, PROTOCOL_VERSION};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Io(String),
+    /// The server closed the connection without replying.
+    Disconnected,
+    /// The reply frame was not a valid reply document.
+    BadReply(String),
+    /// The reply's echoed id did not match the request.
+    IdMismatch {
+        /// The id the request carried.
+        sent: u64,
+        /// The id the reply echoed.
+        got: u64,
+    },
+    /// The server spoke a different protocol version.
+    VersionMismatch {
+        /// The version the server replied with.
+        server: u32,
+    },
+    /// The server answered with a structured error.
+    Server {
+        /// The error kind (one of [`crate::protocol::kind`]).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client io error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::BadReply(e) => write!(f, "malformed reply: {e}"),
+            ClientError::IdMismatch { sent, got } => {
+                write!(f, "reply id {got} does not match request id {sent}")
+            }
+            ClientError::VersionMismatch { server } => write!(
+                f,
+                "server speaks protocol version {server}, this client speaks {PROTOCOL_VERSION}"
+            ),
+            ClientError::Server { kind, message } => write!(f, "{kind}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// A blocking connection to a `mia serve` daemon.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the address is unreachable.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Sends `request` (stamping a fresh id when the caller left it 0)
+    /// and blocks for the reply, verifying the echoed id and the
+    /// server's protocol version.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] for transport failures, malformed or mismatched
+    /// replies, and structured server errors.
+    pub fn request(&mut self, mut request: Request) -> Result<ReplyBody, ClientError> {
+        if request.id == 0 {
+            request.id = self.next_id;
+            self.next_id += 1;
+        }
+        let sent = request.id;
+        let payload =
+            serde_json::to_string(&request).map_err(|e| ClientError::BadReply(e.to_string()))?;
+        write_frame(&mut self.stream, payload.as_bytes())?;
+        let reply = self.read_reply()?;
+        if reply.version != PROTOCOL_VERSION {
+            return Err(ClientError::VersionMismatch {
+                server: reply.version,
+            });
+        }
+        if reply.id != sent {
+            return Err(ClientError::IdMismatch {
+                sent,
+                got: reply.id,
+            });
+        }
+        match (reply.ok, reply.error) {
+            (Some(body), _) => Ok(body),
+            (None, Some(err)) => Err(ClientError::Server {
+                kind: err.kind,
+                message: err.message,
+            }),
+            (None, None) => Err(ClientError::BadReply(
+                "reply carries neither ok nor error".to_owned(),
+            )),
+        }
+    }
+
+    /// Reads and decodes one reply frame.
+    fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        let Some(payload) = read_frame(&mut self.stream, MAX_FRAME_LEN)? else {
+            return Err(ClientError::Disconnected);
+        };
+        let text = String::from_utf8(payload)
+            .map_err(|_| ClientError::BadReply("reply is not UTF-8".to_owned()))?;
+        serde_json::from_str(&text).map_err(|e| ClientError::BadReply(e.to_string()))
+    }
+
+    /// `ping` round-trip.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn ping(&mut self) -> Result<String, ClientError> {
+        Ok(self.request(Request::new(0, "ping"))?.output)
+    }
+
+    /// Loads `token` resident, returning the handle.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn load(&mut self, token: &str, args: &[String]) -> Result<u64, ClientError> {
+        let body = self.request(Request::new(0, "load").workload(token).args(args))?;
+        body.handle
+            .ok_or_else(|| ClientError::BadReply("load reply carries no handle".to_owned()))
+    }
+
+    /// Runs `method` against a workload token.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn run(
+        &mut self,
+        method: &str,
+        token: &str,
+        args: &[String],
+    ) -> Result<ReplyBody, ClientError> {
+        self.request(Request::new(0, method).workload(token).args(args))
+    }
+
+    /// Runs `method` against a resident handle.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn run_resident(
+        &mut self,
+        method: &str,
+        handle: u64,
+        args: &[String],
+    ) -> Result<ReplyBody, ClientError> {
+        self.request(Request::new(0, method).handle(handle).args(args))
+    }
+
+    /// Fetches the daemon's counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; also [`ClientError::BadReply`] when the
+    /// stats payload does not parse.
+    pub fn stats(&mut self) -> Result<crate::server::StatsSnapshot, ClientError> {
+        let body = self.request(Request::new(0, "stats"))?;
+        serde_json::from_str(&body.output).map_err(|e| ClientError::BadReply(e.to_string()))
+    }
+
+    /// Asks the daemon to stop.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<String, ClientError> {
+        Ok(self.request(Request::new(0, "shutdown"))?.output)
+    }
+}

@@ -1,0 +1,116 @@
+//! The engine abstraction: what the daemon serves.
+//!
+//! `mia-serve` owns transport, admission and caching; the actual
+//! workload loading and analysis rendering are injected through
+//! [`Engine`]. The production implementor is `mia_cli::CliEngine`,
+//! which routes every method through the same code paths as the
+//! one-shot CLI so served replies are byte-identical to `mia <cmd>`
+//! output; the test and bench suites substitute lighter engines.
+
+use std::time::Duration;
+
+use mia_dse::{Candidate, CandidateKey};
+use mia_model::{BankPolicy, Problem};
+
+use crate::protocol::kind;
+
+/// A problem held resident by the daemon, as returned by
+/// [`Engine::load`].
+#[derive(Debug, Clone)]
+pub struct Loaded {
+    /// The validated, analysis-ready problem.
+    pub problem: Problem,
+    /// The bank policy candidates are re-derived under (`optimize`).
+    pub policy: BankPolicy,
+    /// Report label (the token the problem was loaded from).
+    pub label: String,
+}
+
+impl Loaded {
+    /// The canonical 128-bit mapping hash of the resident problem —
+    /// the memo-cache key component that identifies the design (see
+    /// [`CandidateKey`]).
+    pub fn candidate_key(&self) -> CandidateKey {
+        Candidate::from_mapping(self.problem.mapping(), self.problem.platform().cores()).key()
+    }
+}
+
+/// What a request runs against.
+#[derive(Debug, Clone, Copy)]
+pub enum Target<'a> {
+    /// A workload token resolved per request (the CLI's vocabulary).
+    Token(&'a str),
+    /// A problem already resident in the daemon's store.
+    Resident(&'a Loaded),
+    /// No workload input (methods like `sweep` build their own).
+    None,
+}
+
+/// A structured engine failure, mapped verbatim onto the reply's
+/// [`ErrorBody`](crate::protocol::ErrorBody).
+#[derive(Debug, Clone)]
+pub struct EngineError {
+    /// One of the [`kind`] constants.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl EngineError {
+    /// A usage-class error.
+    pub fn usage(message: impl Into<String>) -> Self {
+        EngineError {
+            kind: kind::USAGE,
+            message: message.into(),
+        }
+    }
+
+    /// An analysis-class error.
+    pub fn analysis(message: impl Into<String>) -> Self {
+        EngineError {
+            kind: kind::ANALYSIS,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The analysis oracle a [`Server`](crate::Server) exposes over TCP.
+///
+/// Implementations must be thread-safe: the worker pool calls `run`
+/// concurrently from every worker.
+pub trait Engine: Send + Sync + 'static {
+    /// Parses and validates `token` into a resident problem.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] describing why the workload cannot be built.
+    fn load(&self, token: &str, args: &[String]) -> Result<Loaded, EngineError>;
+
+    /// Runs `method` against `target` with the CLI-style `args` tail,
+    /// returning the rendered output. `budget` is the wall-clock that
+    /// remains of the request's deadline, when the server enforces one;
+    /// engines should cancel cooperatively when they can.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] for bad inputs or failed analyses.
+    fn run(
+        &self,
+        method: &str,
+        target: Target<'_>,
+        args: &[String],
+        budget: Option<Duration>,
+    ) -> Result<String, EngineError>;
+
+    /// The workload-running methods this engine serves (`load` and the
+    /// built-in `ping`/`stats`/`shutdown` are handled by the server).
+    fn methods(&self) -> &'static [&'static str];
+}

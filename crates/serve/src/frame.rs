@@ -1,0 +1,205 @@
+//! The length-prefixed framing codec.
+//!
+//! A frame is a 4-byte big-endian payload length followed by exactly
+//! that many payload bytes (UTF-8 JSON at the protocol layer — the
+//! codec itself is byte-agnostic). The length prefix is validated
+//! against a hard ceiling *before* any payload allocation, so a hostile
+//! or corrupted prefix cannot make the server reserve gigabytes.
+//!
+//! Error taxonomy (the robustness suite pins all of it):
+//!
+//! * a clean EOF **between** frames is not an error — [`read_frame`]
+//!   returns `Ok(None)`, the normal end of a connection;
+//! * an EOF **inside** a frame (truncated prefix or truncated payload)
+//!   is [`FrameError::Truncated`];
+//! * a prefix above the ceiling is [`FrameError::TooLarge`];
+//! * transport failures surface as [`FrameError::Io`].
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's payload, in bytes (16 MiB). Large enough
+/// for any report the CLI renders, small enough that a corrupted length
+/// prefix cannot drive an allocation spike.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Decoding failures of the framing layer.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The length prefix exceeds the ceiling; no payload was read.
+    TooLarge {
+        /// The advertised payload length.
+        len: u32,
+        /// The ceiling it exceeded.
+        max: u32,
+    },
+    /// The stream ended inside a frame (prefix or payload).
+    Truncated {
+        /// Bytes the frame still owed when the stream ended.
+        missing: usize,
+    },
+    /// The transport failed mid-frame.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Truncated { missing } => {
+                write!(f, "stream ended inside a frame ({missing} bytes missing)")
+            }
+            FrameError::Io(e) => write!(f, "frame io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            // `read_exact` reports a mid-frame EOF this way; the exact
+            // shortfall is unknown at that point.
+            FrameError::Truncated { missing: 1 }
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// Writes one frame (prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// [`io::Error`] from the underlying writer; payloads above
+/// [`MAX_FRAME_LEN`] are rejected as [`io::ErrorKind::InvalidInput`]
+/// so a peer that would drop the frame anyway never receives it.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("payload of {} bytes exceeds the frame limit", payload.len()),
+            )
+        })?;
+    // One coalesced write: a separate 4-byte prefix write would
+    // interact with Nagle + delayed ACK on TCP streams (a ~40 ms stall
+    // per frame while the kernel holds the payload back).
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame's payload, or `Ok(None)` on a clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+///
+/// [`FrameError`] for oversized prefixes, truncation and transport
+/// failures (see the module docs for the taxonomy).
+pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    missing: prefix.len() - filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > max_len {
+        return Err(FrameError::TooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_single_and_back_to_back_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"world!").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_LEN).unwrap().unwrap(),
+            b"hello"
+        );
+        assert_eq!(read_frame(&mut r, MAX_FRAME_LEN).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_LEN).unwrap().unwrap(),
+            b"world!"
+        );
+        assert!(read_frame(&mut r, MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        // A prefix claiming 4 GiB must fail fast with no payload read.
+        let mut r = Cursor::new(0xFFFF_FFFFu32.to_be_bytes().to_vec());
+        match read_frame(&mut r, MAX_FRAME_LEN).unwrap_err() {
+            FrameError::TooLarge { len, max } => {
+                assert_eq!(len, 0xFFFF_FFFF);
+                assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => panic!("expected TooLarge, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_prefix_and_payload_are_truncation_errors() {
+        let mut r = Cursor::new(vec![0, 0]);
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME_LEN),
+            Err(FrameError::Truncated { .. })
+        ));
+        let mut bytes = 10u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"abc"); // 7 bytes short
+        let mut r = Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME_LEN),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn writer_refuses_payloads_above_the_limit() {
+        struct NullSink;
+        impl std::io::Write for NullSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // Claiming a huge slice without allocating it: use a small real
+        // payload with a tiny ceiling via the public constant instead —
+        // the check is `len > MAX_FRAME_LEN`, so exercise the error path
+        // with a vector just over a tiny budget is not possible through
+        // the public API. Allocate one byte over the ceiling lazily.
+        let big = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let err = write_frame(&mut NullSink, &big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

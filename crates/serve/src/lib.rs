@@ -1,0 +1,47 @@
+//! Analysis-as-a-service: a persistent daemon that keeps problems
+//! resident and serves the interference analysis over TCP.
+//!
+//! One-shot `mia analyze` pays workload parsing, validation and process
+//! start-up on every invocation. For interactive exploration and for
+//! driving the analysis from other tools, `mia serve` amortizes that
+//! cost: problems are loaded once and held resident, repeated identical
+//! requests hit a shared memo cache keyed by the canonical
+//! [`CandidateKey`](mia_dse::CandidateKey) mapping hash, and a bounded
+//! admission queue sheds load explicitly (`overloaded`) instead of
+//! queueing without limit.
+//!
+//! The crate is transport + protocol + scheduling only; the actual
+//! workload loading and report rendering are injected through the
+//! [`Engine`] trait. The production engine (`mia_cli::CliEngine`)
+//! routes every method through the exact code paths of the one-shot
+//! CLI, which is what makes the served-vs-CLI conformance suite able to
+//! demand byte-identical output.
+//!
+//! Layout:
+//!
+//! * [`frame`] — length-prefixed framing codec (4-byte big-endian
+//!   length + JSON payload, hard 16 MiB ceiling);
+//! * [`protocol`] — versioned request/reply schema and error kinds;
+//! * [`engine`] — the [`Engine`] abstraction and [`Loaded`] problems;
+//! * [`cache`] — the shared cross-request [`MemoCache`];
+//! * [`server`] — acceptor, reader threads, bounded queue, worker
+//!   pool, deadline budgets, graceful shutdown;
+//! * [`client`] — a blocking framed [`Client`];
+//! * [`testkit`] — [`ServeHandle`]/[`ToyEngine`] harness reused by the
+//!   integration tests and the load-generator bench.
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod frame;
+pub mod protocol;
+pub mod server;
+pub mod testkit;
+
+pub use cache::MemoCache;
+pub use client::{Client, ClientError};
+pub use engine::{Engine, EngineError, Loaded, Target};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+pub use protocol::{kind, ErrorBody, Reply, ReplyBody, Request, PROTOCOL_VERSION};
+pub use server::{ServeConfig, Server, StatsSnapshot};
+pub use testkit::{normalize_timings, ServeHandle, ToyEngine};

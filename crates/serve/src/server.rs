@@ -1,0 +1,626 @@
+//! The daemon: TCP acceptor, bounded admission queue, worker pool,
+//! resident problem store and shared memo cache.
+//!
+//! # Threading model
+//!
+//! * One **acceptor** thread blocks on `TcpListener::accept` and spawns
+//!   a reader thread per connection.
+//! * One **reader** thread per connection decodes frames, answers the
+//!   cheap control methods (`ping`, `stats`, `shutdown`) inline, and
+//!   submits everything else to the admission queue. When the queue is
+//!   at `max_pending` the reader immediately replies
+//!   [`kind::OVERLOADED`] — the daemon never makes a client wait on an
+//!   unbounded backlog.
+//! * A fixed pool of **worker** threads drains the queue. A worker
+//!   first charges the request's queue wait against its deadline budget
+//!   (replying [`kind::DEADLINE`] without running when the budget is
+//!   already gone), then resolves the target (resident handle or
+//!   workload token), consults the memo cache for resident targets, and
+//!   runs the engine.
+//!
+//! Replies go through a per-connection writer mutex, so pipelined
+//! requests from one connection can complete out of order — the echoed
+//! request id is the correlation key. A client that disconnects
+//! mid-request only costs the worker a failed write; the error is
+//! swallowed and the worker moves on (pinned by the robustness suite).
+//!
+//! # Shutdown semantics
+//!
+//! A `shutdown` request (or [`Server::shutdown`]) flips the shared stop
+//! flag, wakes the acceptor with a loopback connection, and wakes every
+//! worker. In-flight requests complete and their replies are written;
+//! queued-but-unstarted requests are drained with a
+//! [`kind::SHUTDOWN`] error so no client hangs. [`Server::wait`] then
+//! joins the acceptor and the pool.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::MemoCache;
+use crate::engine::{Engine, Loaded, Target};
+use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+use crate::protocol::{kind, Reply, ReplyBody, Request, PROTOCOL_VERSION};
+
+/// Server configuration (the `mia serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (0 = available parallelism).
+    pub workers: usize,
+    /// Admission-queue bound; a full queue replies `overloaded`.
+    pub max_pending: usize,
+    /// Per-request wall-clock budget, queue wait included.
+    pub request_budget: Option<Duration>,
+    /// Frame payload ceiling.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 0,
+            max_pending: 64,
+            request_budget: None,
+            max_frame_len: MAX_FRAME_LEN,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The worker count the pool actually runs with (resolves the
+    /// `0 = available parallelism` sentinel).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers != 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// A monotonic snapshot of the daemon's counters, served by the
+/// `stats` method as JSON.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests decoded (control methods included).
+    pub requests: u64,
+    /// Successful replies written.
+    pub replies_ok: u64,
+    /// Error replies written (overloaded/deadline included).
+    pub replies_err: u64,
+    /// Requests refused because the admission queue was full.
+    pub overloaded: u64,
+    /// Requests whose budget expired before they ran.
+    pub deadline_expired: u64,
+    /// Memo-cache hits.
+    pub cache_hits: u64,
+    /// Memo-cache misses.
+    pub cache_misses: u64,
+    /// Distinct memoized outputs.
+    pub cache_entries: u64,
+    /// Problems loaded resident.
+    pub loads: u64,
+    /// Problems currently resident.
+    pub resident: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    replies_ok: AtomicU64,
+    replies_err: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_expired: AtomicU64,
+    loads: AtomicU64,
+}
+
+/// One queued unit of work: the decoded request plus where its reply
+/// goes and when it was admitted (for budget accounting).
+struct Job {
+    request: Request,
+    writer: Arc<Mutex<TcpStream>>,
+    admitted: Instant,
+}
+
+/// The admission queue: a bounded deque + condvar. `closed` drains
+/// writers on shutdown.
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    max_pending: usize,
+}
+
+impl Queue {
+    /// Admits a job unless the queue is full or the server is stopping
+    /// (the job comes back so the caller can answer the client). The
+    /// stop check happens under the queue lock: `request_stop` sets the
+    /// flag before draining, so a job can never slip in after the drain
+    /// and sit unanswered.
+    fn push(&self, job: Job, stop: &AtomicBool) -> Result<(), (Box<Job>, bool)> {
+        let mut jobs = self.jobs.lock().expect("queue lock");
+        if stop.load(Ordering::SeqCst) {
+            return Err((Box::new(job), true));
+        }
+        if jobs.len() >= self.max_pending {
+            return Err((Box::new(job), false));
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the server stops and the
+    /// queue is empty.
+    fn pop(&self, stop: &AtomicBool) -> Option<Job> {
+        let mut jobs = self.jobs.lock().expect("queue lock");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
+            }
+            if stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            jobs = self.ready.wait(jobs).expect("queue lock");
+        }
+    }
+}
+
+/// Everything the reader/worker threads share.
+struct Shared {
+    engine: Arc<dyn Engine>,
+    queue: Queue,
+    cache: MemoCache,
+    store: Mutex<HashMap<u64, Arc<Loaded>>>,
+    next_handle: AtomicU64,
+    stats: Counters,
+    stop: AtomicBool,
+    budget: Option<Duration>,
+    max_frame_len: u32,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            replies_ok: self.stats.replies_ok.load(Ordering::Relaxed),
+            replies_err: self.stats.replies_err.load(Ordering::Relaxed),
+            overloaded: self.stats.overloaded.load(Ordering::Relaxed),
+            deadline_expired: self.stats.deadline_expired.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_entries: self.cache.len() as u64,
+            loads: self.stats.loads.load(Ordering::Relaxed),
+            resident: self.store.lock().expect("store lock").len() as u64,
+        }
+    }
+
+    /// Serializes and writes a reply, counting it. Write failures mean
+    /// the client went away — swallowed so the caller moves on.
+    fn send(&self, writer: &Mutex<TcpStream>, reply: &Reply) {
+        match reply.error {
+            None => self.stats.replies_ok.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.stats.replies_err.fetch_add(1, Ordering::Relaxed),
+        };
+        let bytes = reply.to_bytes();
+        let mut stream = writer.lock().expect("writer lock");
+        let _ = write_frame(&mut *stream, &bytes);
+    }
+}
+
+/// A running daemon. Dropping the server shuts it down and joins every
+/// thread, so tests cannot leak listeners.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts the acceptor and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the address cannot be bound.
+    pub fn start(engine: Arc<dyn Engine>, config: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            queue: Queue {
+                jobs: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+                max_pending: config.max_pending.max(1),
+            },
+            cache: MemoCache::new(),
+            store: Mutex::new(HashMap::new()),
+            next_handle: AtomicU64::new(1),
+            stats: Counters::default(),
+            stop: AtomicBool::new(false),
+            budget: config.request_budget,
+            max_frame_len: config.max_frame_len,
+        });
+
+        let mut threads = Vec::new();
+        for worker in 0..config.resolved_workers() {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("mia-serve-worker-{worker}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mia-serve-acceptor".to_owned())
+                    .spawn(move || acceptor_loop(&listener, &shared))
+                    .expect("spawn acceptor"),
+            );
+        }
+        Ok(Server {
+            shared,
+            local_addr,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time view of the daemon's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// True once a shutdown was requested (by a client or locally).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful stop: wakes the acceptor and workers, drains
+    /// queued-but-unstarted jobs with `shutdown` errors.
+    pub fn shutdown(&self) {
+        request_stop(&self.shared, self.local_addr);
+    }
+
+    /// Blocks until every thread exits (after [`Server::shutdown`] or a
+    /// client `shutdown` request), returning the final counters.
+    pub fn wait(mut self) -> StatsSnapshot {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.shared.snapshot()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        request_stop(&self.shared, self.local_addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn request_stop(shared: &Arc<Shared>, local_addr: SocketAddr) {
+    if shared.stop.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Drain unstarted jobs so their clients get an answer, not a hang.
+    let drained: Vec<Job> = {
+        let mut jobs = shared.queue.jobs.lock().expect("queue lock");
+        jobs.drain(..).collect()
+    };
+    for job in drained {
+        shared.send(
+            &job.writer,
+            &Reply::error(job.request.id, kind::SHUTDOWN, "server is shutting down"),
+        );
+    }
+    shared.queue.ready.notify_all();
+    // Unblock the acceptor's blocking `accept`.
+    let _ = TcpStream::connect(local_addr);
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Replies are small; never let Nagle hold them back.
+        let _ = stream.set_nodelay(true);
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        let local_addr = listener.local_addr().expect("listener addr");
+        // Reader threads are detached: they exit on EOF, frame error or
+        // stop, and never outlive useful work (workers hold their own
+        // writer clones).
+        let _ = std::thread::Builder::new()
+            .name("mia-serve-conn".to_owned())
+            .spawn(move || reader_loop(stream, &shared, local_addr));
+    }
+}
+
+/// Decodes one connection's frames until EOF, error or shutdown.
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, local_addr: SocketAddr) {
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut reader, shared.max_frame_len) {
+            Ok(Some(payload)) => payload,
+            // Clean EOF or mid-frame disconnect: the connection is gone
+            // either way.
+            Ok(None) | Err(FrameError::Truncated { .. }) | Err(FrameError::Io(_)) => return,
+            Err(e @ FrameError::TooLarge { .. }) => {
+                // The stream cannot be resynchronized (the payload was
+                // never read); answer once, then drop the connection.
+                shared.send(&writer, &Reply::error(0, kind::PARSE, e.to_string()));
+                return;
+            }
+        };
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let text = match String::from_utf8(payload) {
+            Ok(text) => text,
+            Err(_) => {
+                shared.send(
+                    &writer,
+                    &Reply::error(0, kind::PARSE, "request frame is not UTF-8"),
+                );
+                continue;
+            }
+        };
+        let request: Request = match serde_json::from_str(&text) {
+            Ok(request) => request,
+            Err(e) => {
+                // Framing is intact, so the connection stays usable.
+                shared.send(
+                    &writer,
+                    &Reply::error(0, kind::PARSE, format!("bad request: {e}")),
+                );
+                continue;
+            }
+        };
+        if request.version != PROTOCOL_VERSION {
+            shared.send(
+                &writer,
+                &Reply::error(
+                    request.id,
+                    kind::VERSION,
+                    format!(
+                        "protocol version mismatch: client sent {}, server speaks {PROTOCOL_VERSION}",
+                        request.version
+                    ),
+                ),
+            );
+            continue;
+        }
+        match request.method.as_str() {
+            "ping" => {
+                shared.send(
+                    &writer,
+                    &Reply::ok(request.id, ReplyBody::output("pong".into())),
+                );
+            }
+            "stats" => {
+                let body = ReplyBody::output(
+                    serde_json::to_string_pretty(&shared.snapshot()).expect("stats serialize"),
+                );
+                shared.send(&writer, &Reply::ok(request.id, body));
+            }
+            "shutdown" => {
+                shared.send(
+                    &writer,
+                    &Reply::ok(request.id, ReplyBody::output("shutting down".into())),
+                );
+                if let Ok(stream) = writer.lock() {
+                    let _ = (&*stream).flush();
+                }
+                request_stop(shared, local_addr);
+                return;
+            }
+            method if method == "load" || shared.engine.methods().contains(&method) => {
+                let job = Job {
+                    request,
+                    writer: Arc::clone(&writer),
+                    admitted: Instant::now(),
+                };
+                if let Err((job, stopping)) = shared.queue.push(job, &shared.stop) {
+                    let (kind, message) = if stopping {
+                        (kind::SHUTDOWN, "server is shutting down".to_owned())
+                    } else {
+                        shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                        (
+                            kind::OVERLOADED,
+                            format!(
+                                "admission queue full ({} pending); retry later",
+                                shared.queue.max_pending
+                            ),
+                        )
+                    };
+                    shared.send(&writer, &Reply::error(job.request.id, kind, message));
+                }
+            }
+            other => {
+                shared.send(
+                    &writer,
+                    &Reply::error(
+                        request.id,
+                        kind::UNKNOWN_METHOD,
+                        format!(
+                            "unknown method `{other}` (expected load, {}, ping, stats or shutdown)",
+                            shared.engine.methods().join(", ")
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop(&shared.stop) {
+        let reply = execute(shared, &job);
+        shared.send(&job.writer, &reply);
+    }
+}
+
+/// Runs one admitted job to a reply.
+fn execute(shared: &Shared, job: &Job) -> Reply {
+    let request = &job.request;
+    // Charge the queue wait against the deadline budget.
+    let remaining = match shared.budget {
+        None => None,
+        Some(budget) => match budget.checked_sub(job.admitted.elapsed()) {
+            Some(left) if !left.is_zero() => Some(left),
+            _ => {
+                shared
+                    .stats
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                return Reply::error(
+                    request.id,
+                    kind::DEADLINE,
+                    format!(
+                        "request budget of {} ms exhausted while queued",
+                        shared.budget.map_or(0, |b| b.as_millis())
+                    ),
+                );
+            }
+        },
+    };
+
+    if request.method == "load" {
+        let Some(token) = request.workload.as_deref() else {
+            return Reply::error(request.id, kind::USAGE, "load needs a workload token");
+        };
+        return match shared.engine.load(token, &request.args) {
+            Ok(loaded) => {
+                let tasks = loaded.problem.len() as u64;
+                let cores = loaded.problem.platform().cores() as u64;
+                let handle = shared.next_handle.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .store
+                    .lock()
+                    .expect("store lock")
+                    .insert(handle, Arc::new(loaded));
+                shared.stats.loads.fetch_add(1, Ordering::Relaxed);
+                Reply::ok(
+                    request.id,
+                    ReplyBody {
+                        output: format!("loaded {token}: {tasks} tasks on {cores} cores"),
+                        handle: Some(handle),
+                        tasks: Some(tasks),
+                        cores: Some(cores),
+                        cached: false,
+                    },
+                )
+            }
+            Err(e) => Reply::error(request.id, e.kind, e.message),
+        };
+    }
+
+    // Resolve the target: resident handle beats workload token.
+    let resident: Option<Arc<Loaded>> = match request.handle {
+        None => None,
+        Some(handle) => match shared.store.lock().expect("store lock").get(&handle) {
+            Some(loaded) => Some(Arc::clone(loaded)),
+            None => {
+                return Reply::error(
+                    request.id,
+                    kind::UNKNOWN_HANDLE,
+                    format!("no resident problem with handle {handle} (did you `load`?)"),
+                )
+            }
+        },
+    };
+
+    if let Some(loaded) = resident {
+        // Resident targets go through the shared memo cache.
+        let design = loaded.candidate_key();
+        if let Some(cached) =
+            shared
+                .cache
+                .lookup(&request.method, &loaded.label, design, &request.args)
+        {
+            return Reply::ok(
+                request.id,
+                ReplyBody {
+                    output: (*cached).clone(),
+                    handle: request.handle,
+                    tasks: None,
+                    cores: None,
+                    cached: true,
+                },
+            );
+        }
+        return match shared.engine.run(
+            &request.method,
+            Target::Resident(&loaded),
+            &request.args,
+            remaining,
+        ) {
+            Ok(output) => {
+                shared.cache.insert(
+                    &request.method,
+                    &loaded.label,
+                    design,
+                    &request.args,
+                    Arc::new(output.clone()),
+                );
+                Reply::ok(
+                    request.id,
+                    ReplyBody {
+                        output,
+                        handle: request.handle,
+                        tasks: None,
+                        cores: None,
+                        cached: false,
+                    },
+                )
+            }
+            Err(e) => Reply::error(request.id, e.kind, e.message),
+        };
+    }
+
+    let target = match request.workload.as_deref() {
+        Some(token) => Target::Token(token),
+        None => Target::None,
+    };
+    match shared
+        .engine
+        .run(&request.method, target, &request.args, remaining)
+    {
+        Ok(output) => Reply::ok(request.id, ReplyBody::output(output)),
+        Err(e) => Reply::error(request.id, e.kind, e.message),
+    }
+}

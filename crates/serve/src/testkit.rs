@@ -1,0 +1,305 @@
+//! In-process test harness for the daemon.
+//!
+//! [`ServeHandle`] spawns a [`Server`] on an ephemeral loopback port,
+//! hands out connected [`Client`]s, and shuts the daemon down cleanly —
+//! every integration test and the load-generator bench drive the daemon
+//! through it, so "start a server, talk to it, stop it" is written
+//! once.
+//!
+//! [`ToyEngine`] is a deterministic stand-in engine with a configurable
+//! artificial delay: fast enough for protocol/robustness tests, slow
+//! enough (when asked) to hold workers busy and force the admission
+//! queue into its `overloaded` and `deadline` paths on demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mia_model::{BankPolicy, Cycles, Mapping, Platform, Problem, Task, TaskGraph};
+
+use crate::client::Client;
+use crate::engine::{Engine, EngineError, Loaded, Target};
+use crate::server::{ServeConfig, Server, StatsSnapshot};
+
+/// A daemon running in-process on an ephemeral port.
+pub struct ServeHandle {
+    server: Option<Server>,
+}
+
+impl ServeHandle {
+    /// Starts `engine` on `127.0.0.1:0` with the given knobs (the
+    /// `addr` field of `config` is overridden).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the loopback listener cannot be bound — a test
+    /// environment failure, not a condition tests should handle.
+    pub fn spawn(engine: Arc<dyn Engine>, mut config: ServeConfig) -> ServeHandle {
+        config.addr = "127.0.0.1:0".to_owned();
+        let server = Server::start(engine, &config).expect("bind ephemeral loopback port");
+        ServeHandle {
+            server: Some(server),
+        }
+    }
+
+    /// Starts `engine` with default knobs.
+    pub fn spawn_default(engine: Arc<dyn Engine>) -> ServeHandle {
+        ServeHandle::spawn(engine, ServeConfig::default())
+    }
+
+    /// The daemon's bound address, e.g. to hand to raw `TcpStream`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`ServeHandle::shutdown`] consumed the server.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.as_ref().expect("server running").local_addr()
+    }
+
+    /// A fresh connected client.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the daemon cannot be reached (it is in-process, so
+    /// this means the harness itself is broken).
+    pub fn client(&self) -> Client {
+        Client::connect(self.addr()).expect("connect to in-process daemon")
+    }
+
+    /// Current daemon counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`ServeHandle::shutdown`] consumed the server.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.server.as_ref().expect("server running").stats()
+    }
+
+    /// Stops the daemon and joins every thread, returning the final
+    /// counters. Idempotent via `Drop` — a test that panics first still
+    /// tears the daemon down.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        let server = self.server.take().expect("server running");
+        server.shutdown();
+        server.wait()
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+            server.wait();
+        }
+    }
+}
+
+/// A deterministic in-memory engine for protocol-level tests.
+///
+/// * `load` accepts any token and builds a tiny two-task problem, or
+///   fails structurally for the token `"bad"` (error-path tests).
+/// * `analyze`/`simulate` render `"<method> <label-or-token> [args…]"`
+///   after sleeping the configured delay, so outputs are predictable
+///   and latency is controllable.
+/// * the method `"fail"` always returns an analysis error.
+pub struct ToyEngine {
+    delay: Duration,
+    /// Number of `run` calls that actually executed (reached the
+    /// engine, i.e. were not served from the memo cache).
+    runs: AtomicU64,
+}
+
+impl ToyEngine {
+    /// An engine that answers immediately.
+    pub fn instant() -> Self {
+        ToyEngine::with_delay(Duration::ZERO)
+    }
+
+    /// An engine that sleeps `delay` inside every `run`.
+    pub fn with_delay(delay: Duration) -> Self {
+        ToyEngine {
+            delay,
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    /// How many `run` calls reached the engine.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::SeqCst)
+    }
+
+    /// The problem every `load` builds.
+    fn toy_problem() -> Problem {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::builder("a").wcet(Cycles(10)));
+        let b = g.add_task(Task::builder("b").wcet(Cycles(10)));
+        g.add_edge(a, b, 4).expect("toy edge");
+        let m = Mapping::from_assignment(&g, &[0, 1]).expect("toy mapping");
+        Problem::new(g, m, Platform::new(2, 2)).expect("toy problem")
+    }
+}
+
+impl Engine for ToyEngine {
+    fn load(&self, token: &str, _args: &[String]) -> Result<Loaded, EngineError> {
+        if token == "bad" {
+            return Err(EngineError::usage("toy engine refuses the token `bad`"));
+        }
+        Ok(Loaded {
+            problem: ToyEngine::toy_problem(),
+            policy: BankPolicy::PerCoreBank,
+            label: token.to_owned(),
+        })
+    }
+
+    fn run(
+        &self,
+        method: &str,
+        target: Target<'_>,
+        args: &[String],
+        _budget: Option<Duration>,
+    ) -> Result<String, EngineError> {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        if method == "fail" {
+            return Err(EngineError::analysis("toy engine asked to fail"));
+        }
+        let subject = match target {
+            Target::Token(token) => token.to_owned(),
+            Target::Resident(loaded) => loaded.label.clone(),
+            Target::None => "<none>".to_owned(),
+        };
+        let mut out = format!("{method} {subject}");
+        for a in args {
+            out.push(' ');
+            out.push_str(a);
+        }
+        out.push('\n');
+        Ok(out)
+    }
+
+    fn methods(&self) -> &'static [&'static str] {
+        &["analyze", "simulate", "fail"]
+    }
+}
+
+/// Zeroes wall-clock values so served and one-shot `optimize` outputs
+/// (which embed elapsed seconds) can be compared structurally. Two
+/// passes: `"seconds": <number>` / `"wall_seconds": <number>` JSON
+/// fields (our own serializer, so the `"key": value` shape is stable),
+/// then whitespace-delimited `<float>s` duration tokens from the human
+/// summary lines (e.g. `1.23s` at the end of an optimize summary).
+#[must_use]
+pub fn normalize_timings(report: &str) -> String {
+    let mut out = String::with_capacity(report.len());
+    let mut rest = report;
+    while let Some(pos) = find_timing_key(rest) {
+        let (key_at, key_len) = pos;
+        // Copy through the key and the colon, then skip the number.
+        let value_at = key_at + key_len;
+        out.push_str(&rest[..value_at]);
+        let tail = &rest[value_at..];
+        let num_len = tail
+            .char_indices()
+            .take_while(|(_, c)| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        out.push('0');
+        rest = &tail[num_len..];
+    }
+    out.push_str(rest);
+    zero_duration_tokens(&out)
+}
+
+/// Replaces every standalone `<digits[.digits]>s` word with `0.00s`.
+fn zero_duration_tokens(report: &str) -> String {
+    let mut out = String::with_capacity(report.len());
+    let mut word = String::new();
+    for c in report.chars() {
+        if c.is_whitespace() {
+            push_normalized_word(&mut out, &word);
+            word.clear();
+            out.push(c);
+        } else {
+            word.push(c);
+        }
+    }
+    push_normalized_word(&mut out, &word);
+    out
+}
+
+fn push_normalized_word(out: &mut String, word: &str) {
+    let is_duration = word.strip_suffix('s').is_some_and(|num| {
+        !num.is_empty()
+            && num.chars().all(|c| c.is_ascii_digit() || c == '.')
+            && num.chars().any(|c| c.is_ascii_digit())
+    });
+    if is_duration {
+        out.push_str("0.00s");
+    } else {
+        out.push_str(word);
+    }
+}
+
+/// Finds the earliest `"seconds":` / `"wall_seconds":` key, returning
+/// (offset, length-through-colon-and-spaces).
+fn find_timing_key(s: &str) -> Option<(usize, usize)> {
+    ["\"seconds\":", "\"wall_seconds\":"]
+        .iter()
+        .filter_map(|key| {
+            s.find(key).map(|at| {
+                let mut len = key.len();
+                len += s[at + len..].chars().take_while(|c| *c == ' ').count();
+                (at, len)
+            })
+        })
+        .min_by_key(|(at, _)| *at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_timings_zeroes_wall_clock_fields() {
+        let report = r#"{"seconds": 1.25, "best": 7, "wall_seconds": 0.003}"#;
+        assert_eq!(
+            normalize_timings(report),
+            r#"{"seconds": 0, "best": 7, "wall_seconds": 0}"#
+        );
+        // Human summary lines embed elapsed time as a `<float>s` word.
+        let summary = "w / rr: makespan 9 -> 8  cache hit rate 50.0%  1.73s\ndone";
+        assert_eq!(
+            normalize_timings(summary),
+            "w / rr: makespan 9 -> 8  cache hit rate 50.0%  0.00s\ndone"
+        );
+        // Idempotent and inert on reports without timing fields.
+        let clean = r#"{"makespan": 42}"#;
+        assert_eq!(normalize_timings(clean), clean);
+        assert_eq!(
+            normalize_timings(&normalize_timings(report)),
+            normalize_timings(report)
+        );
+    }
+
+    #[test]
+    fn toy_engine_is_deterministic() {
+        let e = ToyEngine::instant();
+        let loaded = e.load("demo", &[]).unwrap();
+        assert_eq!(loaded.problem.len(), 2);
+        let out = e
+            .run(
+                "analyze",
+                Target::Resident(&loaded),
+                &["--x".to_owned()],
+                None,
+            )
+            .unwrap();
+        assert_eq!(out, "analyze demo --x\n");
+        assert_eq!(e.runs(), 1);
+        assert!(e.load("bad", &[]).is_err());
+        assert!(e.run("fail", Target::None, &[], None).is_err());
+    }
+}

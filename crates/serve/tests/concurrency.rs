@@ -1,0 +1,216 @@
+//! Concurrency behaviour: pipelined ids, parallel clients, the shared
+//! memo cache, admission control at saturation, and deadline budgets.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mia_serve::frame::{read_frame, write_frame, MAX_FRAME_LEN};
+use mia_serve::protocol::{kind, Reply, Request};
+use mia_serve::testkit::{ServeHandle, ToyEngine};
+use mia_serve::ServeConfig;
+
+#[test]
+fn many_threads_times_many_requests_all_replies_match_their_ids() {
+    const THREADS: usize = 8;
+    const REQUESTS: usize = 25;
+    let handle = ServeHandle::spawn_default(Arc::new(ToyEngine::instant()));
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let handle = &handle;
+            scope.spawn(move || {
+                let mut client = handle.client();
+                for r in 0..REQUESTS {
+                    let tag = format!("--tag-{t}-{r}");
+                    let body = client
+                        .run("analyze", "w", std::slice::from_ref(&tag))
+                        .expect("request served");
+                    // Client::request verifies the echoed id; the output
+                    // proves the right request's args came back.
+                    assert_eq!(body.output, format!("analyze w {tag}\n"));
+                }
+            });
+        }
+    });
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.replies_ok, (THREADS * REQUESTS) as u64);
+    assert_eq!(stats.replies_err, 0);
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_come_back_by_id() {
+    // A slow engine and several workers: replies may overtake each
+    // other, and the echoed id is the only correlation.
+    const PIPELINED: u64 = 12;
+    let engine = Arc::new(ToyEngine::with_delay(Duration::from_millis(20)));
+    let handle = ServeHandle::spawn(
+        engine,
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+    );
+
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    for id in 1..=PIPELINED {
+        let request = Request::new(id, "analyze").workload(&format!("w{id}"));
+        let payload = serde_json::to_string(&request).unwrap();
+        write_frame(&mut stream, payload.as_bytes()).expect("send");
+    }
+    let mut seen = Vec::new();
+    for _ in 0..PIPELINED {
+        let bytes = read_frame(&mut stream, MAX_FRAME_LEN)
+            .expect("read")
+            .expect("reply");
+        let reply: Reply =
+            serde_json::from_str(&String::from_utf8(bytes).unwrap()).expect("parses");
+        let body = reply.ok.expect("served");
+        assert_eq!(body.output, format!("analyze w{}\n", reply.id));
+        seen.push(reply.id);
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, (1..=PIPELINED).collect::<Vec<_>>());
+}
+
+#[test]
+fn repeated_identical_analyze_hits_the_shared_memo_cache() {
+    const THREADS: usize = 6;
+    const REQUESTS: usize = 10;
+    let engine = Arc::new(ToyEngine::instant());
+    let handle = ServeHandle::spawn_default(Arc::clone(&engine) as Arc<dyn mia_serve::Engine>);
+
+    // One resident problem every thread hammers with identical args.
+    let resident = handle.client().load("shared", &[]).expect("load");
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let handle = &handle;
+            scope.spawn(move || {
+                let mut client = handle.client();
+                for _ in 0..REQUESTS {
+                    let body = client
+                        .run_resident("analyze", resident, &[])
+                        .expect("served");
+                    assert_eq!(body.output, "analyze shared\n");
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * REQUESTS) as u64;
+    let stats = handle.stats();
+    // Every request either hit the cache or computed-and-stored.
+    assert_eq!(stats.cache_hits + stats.cache_misses, total);
+    assert!(stats.cache_hits > 0, "repeats must hit: {stats:?}");
+    assert_eq!(stats.cache_entries, 1, "one identity, one entry");
+    // The engine ran exactly once per miss (concurrent misses may race,
+    // but every run is accounted as a miss).
+    assert_eq!(engine.runs(), stats.cache_misses);
+    // A second identical burst from a fresh client is pure hits.
+    let before = stats.cache_hits;
+    let mut client = handle.client();
+    let body = client.run_resident("analyze", resident, &[]).expect("hit");
+    assert!(body.cached, "reply flags the memo hit");
+    assert_eq!(handle.stats().cache_hits, before + 1);
+    // Different args miss: the key covers the full argument tail.
+    let body = client
+        .run_resident("analyze", resident, &["--other".to_owned()])
+        .expect("served");
+    assert!(!body.cached);
+    handle.shutdown();
+}
+
+#[test]
+fn saturation_returns_overloaded_not_a_hang() {
+    // One worker stuck on a slow request + a queue of one: concurrent
+    // submitters must get an explicit `overloaded` error immediately.
+    const CLIENTS: usize = 8;
+    let engine = Arc::new(ToyEngine::with_delay(Duration::from_millis(300)));
+    let handle = ServeHandle::spawn(
+        engine,
+        ServeConfig {
+            workers: 1,
+            max_pending: 1,
+            ..ServeConfig::default()
+        },
+    );
+
+    let outcomes: Vec<Result<(), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let handle = &handle;
+                scope.spawn(move || {
+                    let mut client = handle.client();
+                    client
+                        .run("analyze", "w", &[])
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+
+    let served = outcomes.iter().filter(|o| o.is_ok()).count();
+    let overloaded = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(m) if m.contains(kind::OVERLOADED)))
+        .count();
+    assert_eq!(served + overloaded, CLIENTS, "{outcomes:?}");
+    assert!(served >= 1, "someone must be served: {outcomes:?}");
+    assert!(overloaded >= 1, "queue of 1 must shed load: {outcomes:?}");
+    let stats = handle.shutdown();
+    assert_eq!(stats.overloaded, overloaded as u64);
+}
+
+#[test]
+fn queue_wait_is_charged_against_the_request_budget() {
+    // Budget 80 ms, engine takes 250 ms per request, one worker: the
+    // first request runs (its budget was intact when dequeued); the
+    // request queued behind it expires before it starts.
+    let engine = Arc::new(ToyEngine::with_delay(Duration::from_millis(250)));
+    let handle = ServeHandle::spawn(
+        engine,
+        ServeConfig {
+            workers: 1,
+            request_budget: Some(Duration::from_millis(80)),
+            ..ServeConfig::default()
+        },
+    );
+
+    let outcomes: Vec<Result<(), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let handle = &handle;
+                scope.spawn(move || {
+                    let mut client = handle.client();
+                    client
+                        .run("analyze", "w", &[])
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+
+    let expired = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(m) if m.contains(kind::DEADLINE)))
+        .count();
+    assert!(expired >= 1, "queued requests must expire: {outcomes:?}");
+    assert!(
+        outcomes.iter().any(|o| o.is_ok()),
+        "the first request still completes: {outcomes:?}"
+    );
+    let stats = handle.shutdown();
+    assert_eq!(stats.deadline_expired, expired as u64);
+}

@@ -1,0 +1,91 @@
+//! Property tests for the framing codec: arbitrary byte prefixes must
+//! decode to a clean value or a structured error — never a panic, never
+//! an oversized allocation.
+
+use std::io::Cursor;
+
+use mia_serve::frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Feeding completely random bytes to the decoder is always safe:
+    /// every outcome is one of the documented cases.
+    #[test]
+    fn random_byte_prefixes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = Cursor::new(bytes.clone());
+        match read_frame(&mut r, MAX_FRAME_LEN) {
+            // A clean EOF is only legal at a frame boundary.
+            Ok(None) => prop_assert!(bytes.is_empty()),
+            // A full decode means the prefix announced exactly the rest.
+            Ok(Some(payload)) => {
+                prop_assert!(bytes.len() >= 4);
+                let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+                prop_assert_eq!(payload.len() as u32, len);
+                prop_assert_eq!(&payload[..], &bytes[4..4 + payload.len()]);
+            }
+            // The prefix exceeded the ceiling: reported before any
+            // payload read, with the advertised length echoed back.
+            Err(FrameError::TooLarge { len, max }) => {
+                prop_assert!(len > MAX_FRAME_LEN);
+                prop_assert_eq!(max, MAX_FRAME_LEN);
+            }
+            // The stream ended inside the prefix or the payload.
+            Err(FrameError::Truncated { .. }) => {
+                if bytes.len() >= 4 {
+                    let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+                    prop_assert!(len <= MAX_FRAME_LEN);
+                    prop_assert!((bytes.len() - 4) < len as usize);
+                }
+            }
+            Err(FrameError::Io(e)) => prop_assert!(false, "in-memory reader cannot fail: {e}"),
+        }
+    }
+
+    /// Write-then-read restores every payload byte-for-byte, including
+    /// multi-frame streams.
+    #[test]
+    fn round_trip_preserves_payloads(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..512),
+            1..8,
+        )
+    ) {
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut r = Cursor::new(buf);
+        for p in &payloads {
+            let got = read_frame(&mut r, MAX_FRAME_LEN).unwrap().unwrap();
+            prop_assert_eq!(&got, p);
+        }
+        prop_assert!(read_frame(&mut r, MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    /// Chopping a valid stream anywhere inside a frame yields
+    /// `Truncated`, and at a boundary yields clean decodes then EOF.
+    #[test]
+    fn truncation_anywhere_is_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let cut = ((buf.len() as f64) * cut_fraction) as usize;
+        let mut r = Cursor::new(buf[..cut].to_vec());
+        match read_frame(&mut r, MAX_FRAME_LEN) {
+            Ok(None) => prop_assert_eq!(cut, 0),
+            Ok(Some(got)) => {
+                prop_assert_eq!(cut, buf.len());
+                prop_assert_eq!(got, payload);
+            }
+            Err(FrameError::Truncated { .. }) => {
+                prop_assert!(cut > 0 && cut < buf.len());
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+}
