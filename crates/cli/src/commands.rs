@@ -66,7 +66,7 @@ commands:
   sweep    [--families tobita,layered,LS64,rosace,sdf3:app.sdf3,...]
            [--arbiters rr,mppa,...] [--sizes 1000,8000,32000]
            [--algorithms incremental,baseline] [--seed N] [--budget SECS]
-           [--jobs N] [--threads N,M,...] [--csv] [-o FILE]
+           [--jobs N] [--threads N,M,...] [--repeats N] [--csv] [-o FILE]
            (batch grid -> one JSON/CSV report; tobita = LS16, layered = NL16)
   simulate <workload> [--pattern burst-start|burst-end|uniform|random] [--seed S]
   exec     <workload> [--arbiter ...] [--prefix NAME] [--c FILE] [--json FILE]
@@ -336,17 +336,19 @@ pub(crate) fn render_analysis(problem: &Problem, args: &[String]) -> Result<Stri
         .unwrap_or("1")
         .parse()
         .map_err(|_| CliError::Usage("--threads must be a number".into()))?;
+    let mut parallel = None;
     let schedule = match algorithm {
         "incremental" | "new" if threads != 1 => {
-            mia_core::analyze_parallel_with(
+            let report = mia_core::analyze_parallel_with(
                 problem,
                 arbiter.as_ref(),
                 &options,
                 threads,
                 &mut NoopObserver,
             )
-            .map_err(|e| CliError::Analysis(e.to_string()))?
-            .schedule
+            .map_err(|e| CliError::Analysis(e.to_string()))?;
+            parallel = report.parallel;
+            report.schedule
         }
         "incremental" | "new" => {
             analyze_with(problem, arbiter.as_ref(), &options, &mut NoopObserver)
@@ -379,6 +381,18 @@ pub(crate) fn render_analysis(problem: &Problem, args: &[String]) -> Result<Stri
         arbiter.name(),
         problem.len()
     ));
+    if let Some(info) = parallel {
+        let engage = match info.engage_width {
+            Some(w) if info.auto_tuned => format!("auto({w})"),
+            Some(w) => w.to_string(),
+            None if info.auto_tuned => "auto".to_owned(),
+            None => "-".to_owned(),
+        };
+        out.push_str(&format!(
+            "parallel: workers={}   engage={engage}   fanout={}   inline={}\n",
+            info.workers, info.fanout_steps, info.inline_steps
+        ));
+    }
     out.push_str(&format!(
         "makespan: {}   total interference: {}\n\n",
         schedule.makespan(),
@@ -578,6 +592,37 @@ mod tests {
 
         let out = run(&args(&["dot", &path_str])).unwrap();
         assert!(out.contains("digraph"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn analyze_surfaces_pool_engagement_only_with_threads() {
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("threads.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        run(&args(&[
+            "generate", "--family", "LS4", "-n", "32", "--seed", "5", "-o", &path_str,
+        ]))
+        .unwrap();
+
+        // Default --threads 1: sequential cursor, no pool line — the
+        // `mia serve` smoke test byte-compares this output.
+        let seq = run(&args(&["analyze", &path_str])).unwrap();
+        assert!(!seq.contains("parallel:"), "{seq}");
+
+        // --threads 2: the pool (or its fallback) reports itself, and
+        // the schedule lines are unchanged.
+        let par = run(&args(&["analyze", &path_str, "--threads", "2"])).unwrap();
+        assert!(par.contains("parallel: workers="), "{par}");
+        assert!(par.contains("engage="), "{par}");
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("parallel:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&seq), strip(&par));
         std::fs::remove_file(path).ok();
     }
 

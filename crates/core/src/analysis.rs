@@ -6,7 +6,7 @@
 //! [`run_cursor`] loop of the [`engine` module](crate::engine).
 
 use mia_model::arbiter::Arbiter;
-use mia_model::{Cycles, Problem, Schedule, TaskId};
+use mia_model::{Cycles, Problem, Schedule, TaskId, TaskTable};
 
 use crate::alive::{account_newly, AliveSlot};
 use crate::checkpoint::{Checkpoint, CheckpointLog, SlotSnapshot};
@@ -31,6 +31,35 @@ pub struct AnalysisStats {
     pub max_alive: usize,
 }
 
+/// How the parallel engine executed a run: pool size, engagement
+/// threshold and the inline/fan-out split. Attached to
+/// [`AnalysisReport::parallel`] by [`crate::analyze_parallel_with`] so
+/// benchmark sweeps can record the auto-tuned threshold and reproduce a
+/// measurement exactly (pin it back via
+/// [`AnalysisOptions::parallel_engage`](crate::AnalysisOptions::parallel_engage)).
+///
+/// Deliberately *not* part of [`AnalysisStats`]: the conformance harness
+/// pins stats bit-equal across engines, while this is a timing-side
+/// execution trace that legitimately differs per host and pool size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelInfo {
+    /// Partitions the slot table was split into (1 = the run fell through
+    /// to the sequential path).
+    pub workers: usize,
+    /// The engagement threshold in effect: interference phases at least
+    /// this wide were fanned out to the pool. `None` when the pool was
+    /// never spawned (no usable host parallelism, or a single worker).
+    pub engage_width: Option<usize>,
+    /// True when `engage_width` came from the measured auto-tuner rather
+    /// than [`AnalysisOptions::parallel_engage`](crate::AnalysisOptions::parallel_engage).
+    pub auto_tuned: bool,
+    /// Interference phases fanned out to the worker pool.
+    pub fanout_steps: usize,
+    /// Interference phases run inline on the driver (below the
+    /// threshold, or no pool).
+    pub inline_steps: usize,
+}
+
 /// The result of [`analyze_with`]: the schedule plus run statistics.
 #[derive(Debug, Clone)]
 pub struct AnalysisReport {
@@ -38,6 +67,9 @@ pub struct AnalysisReport {
     pub schedule: Schedule,
     /// Work counters for this run.
     pub stats: AnalysisStats,
+    /// How the parallel engine executed this run; `None` for the
+    /// sequential engines.
+    pub parallel: Option<ParallelInfo>,
 }
 
 /// Runs the incremental analysis with default options and no observer.
@@ -94,6 +126,7 @@ where
     Ok(AnalysisReport {
         schedule: Schedule::from_timings(timings),
         stats,
+        parallel: None,
     })
 }
 
@@ -121,6 +154,7 @@ where
     Ok(AnalysisReport {
         schedule: Schedule::from_timings(timings),
         stats,
+        parallel: None,
     })
 }
 
@@ -165,6 +199,7 @@ where
     Ok(AnalysisReport {
         schedule: Schedule::from_timings(timings),
         stats,
+        parallel: None,
     })
 }
 
@@ -311,8 +346,8 @@ where
         Ok(())
     }
 
-    fn next_finish(&mut self, t: Cycles) -> Cycles {
-        scan_next_finish(self, self.problem, t)
+    fn next_finish(&mut self, table: &TaskTable, t: Cycles) -> Cycles {
+        scan_next_finish(self, table, t)
     }
 
     fn snapshot_slots(&self) -> Option<Vec<Option<SlotSnapshot>>> {

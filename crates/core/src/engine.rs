@@ -10,11 +10,15 @@
 //!
 //! * their **alive-slot view** — the scanning and event-driven engines
 //!   own the full [`AliveSlot`](crate::alive) bookkeeping, the parallel
-//!   engine keeps a lightweight metadata mirror while the heavy state
-//!   lives with its worker pool — and
+//!   engine shares one slot table between the driver and its persistent
+//!   worker pool under a phase-ownership protocol — and
 //! * their **interference phase** ([`StepEngine::account`]) plus how the
 //!   next cursor position is found ([`StepEngine::next_finish`]: a slot
 //!   scan or a lazily invalidated heap).
+//!
+//! The driver compacts the graph into a [`TaskTable`] (dense WCET and
+//! release columns, CSR successor lists) once per run, so the per-step
+//! loops below never chase `Task` or edge-list pointers.
 //!
 //! The driver is additionally **resumable**: a run may record
 //! [`Checkpoint`]s of its own state into a [`CheckpointLog`], and
@@ -28,7 +32,7 @@
 //! work counters and observer event streams — for full *and* resumed
 //! runs — with `mia-baseline` as the independent fixed-point oracle.
 
-use mia_model::{CoreId, Cycles, Problem, TaskId, TaskTiming};
+use mia_model::{CoreId, Cycles, Problem, TaskId, TaskTable, TaskTiming};
 
 use crate::checkpoint::{Checkpoint, CheckpointLog, SlotSnapshot};
 use crate::{AnalysisError, AnalysisOptions, AnalysisStats, Observer};
@@ -107,13 +111,15 @@ pub(crate) trait StepEngine {
 
     /// The earliest finish date of a busy slot strictly after `t`, or
     /// [`Cycles::MAX`] when every core is idle. `&mut` so heap-backed
-    /// implementations can drop stale entries while searching.
-    fn next_finish(&mut self, t: Cycles) -> Cycles;
+    /// implementations can drop stale entries while searching; `table` is
+    /// the driver's per-run [`TaskTable`] (for WCET lookups).
+    fn next_finish(&mut self, table: &TaskTable, t: Cycles) -> Cycles;
 
     /// Freezes the interference state of every busy slot for a
     /// [`Checkpoint`], or `None` when this engine cannot snapshot its
-    /// slots cheaply (the parallel engine's live state is sharded across
-    /// workers, so recorded runs use the sequential engines instead).
+    /// slots cheaply. Every shipped engine can: the parallel engine's
+    /// slot table is driver-owned between phases, so it snapshots (and
+    /// records checkpoints) exactly like the sequential engines.
     fn snapshot_slots(&self) -> Option<Vec<Option<SlotSnapshot>>> {
         None
     }
@@ -134,15 +140,14 @@ pub(crate) trait StepEngine {
 /// construction (and keeps the `t_next > t` cursor-advance invariant
 /// enforced in release builds, where the `debug_assert!` is compiled
 /// out), instead of relying on every engine's fixed point being exact.
-pub(crate) fn scan_next_finish<E>(engine: &E, problem: &Problem, t: Cycles) -> Cycles
+pub(crate) fn scan_next_finish<E>(engine: &E, table: &TaskTable, t: Cycles) -> Cycles
 where
     E: StepEngine + ?Sized,
 {
-    let graph = problem.graph();
     let mut t_next = Cycles::MAX;
     for core in 0..engine.cores() {
         if let Some(view) = engine.slot(core) {
-            let fin = view.finish(graph.task(view.task).wcet());
+            let fin = view.finish(table.wcet(view.task));
             if fin > t {
                 t_next = t_next.min(fin);
             }
@@ -254,11 +259,21 @@ where
     let cores = engine.cores();
     debug_assert_eq!(cores, mapping.cores());
 
+    // Compact the graph into dense columns once: the loops below touch
+    // only WCETs, release dates and successor lists, and at 10⁶ tasks the
+    // `Task`/edge-list indirection of the full graph dominates them.
+    let table = TaskTable::new(graph);
+
     let mut stats = AnalysisStats::default();
     let mut timings: Vec<Option<TaskTiming>> = vec![None; n];
 
-    // Remaining unfinished dependencies per task (`τ.deps`).
-    let mut pending: Vec<usize> = graph.task_ids().map(|t| graph.in_degree(t)).collect();
+    // Remaining unfinished dependencies per task (`τ.deps`), compacted to
+    // u32 (an in-degree cannot exceed the u32 edge capacity asserted by
+    // the table).
+    let mut pending: Vec<u32> = graph
+        .task_ids()
+        .map(|t| graph.in_degree(t) as u32)
+        .collect();
     // Next position in each core's execution order (`S_k`, as an index
     // rather than a stack so the mapping stays borrowed immutably).
     let mut next_idx: Vec<usize> = vec![0; cores];
@@ -266,8 +281,14 @@ where
     let mut closed_count = 0usize;
 
     // Future minimal release dates, ascending (cursor jump targets).
-    let mut min_rels: Vec<(Cycles, TaskId)> =
-        graph.iter().map(|(id, t)| (t.min_release(), id)).collect();
+    // Tasks releasable at t = 0 can never be a *future* jump target — the
+    // cursor starts there — so only positive dates are kept (typically a
+    // tiny minority, which keeps this sort out of the 10⁶-task profile).
+    let mut min_rels: Vec<(Cycles, TaskId)> = graph
+        .iter()
+        .filter(|(_, t)| t.min_release() > Cycles::ZERO)
+        .map(|(id, t)| (t.min_release(), id))
+        .collect();
     min_rels.sort();
     let mut mr_ptr = 0usize;
     let mut is_open = vec![false; n];
@@ -308,8 +329,8 @@ where
                     if !alive[task.index()] {
                         timings[task.index()] = Some(prior[task.index()]);
                         closed_count += 1;
-                        for e in graph.successors(task) {
-                            pending[e.dst.index()] -= 1;
+                        for &succ in table.successors(task) {
+                            pending[succ.index()] -= 1;
                         }
                     }
                 }
@@ -350,7 +371,7 @@ where
                 let Some(view) = engine.slot(core_idx) else {
                     continue;
                 };
-                let wcet = graph.task(view.task).wcet();
+                let wcet = table.wcet(view.task);
                 if view.finish(wcet) != t {
                     continue;
                 }
@@ -373,8 +394,8 @@ where
                 engine.close_slot(core_idx);
                 timings[view.task.index()] = Some(timing);
                 observer.on_close(view.task, CoreId::from_index(core_idx), t);
-                for e in graph.successors(view.task) {
-                    pending[e.dst.index()] -= 1; // lines 5–6
+                for &succ in table.successors(view.task) {
+                    pending[succ.index()] -= 1; // lines 5–6
                 }
                 alive_count -= 1;
                 closed_count += 1;
@@ -392,7 +413,7 @@ where
                 let Some(&head) = order.get(next_idx[core_idx]) else {
                     continue;
                 };
-                if pending[head.index()] == 0 && graph.task(head).min_release() <= t {
+                if pending[head.index()] == 0 && table.min_release(head) <= t {
                     next_idx[core_idx] += 1;
                     engine.open_slot(core_idx, head, t);
                     is_open[head.index()] = true;
@@ -419,7 +440,7 @@ where
                 let Some(view) = engine.slot(core_idx) else {
                     continue;
                 };
-                let fin = view.finish(graph.task(view.task).wcet());
+                let fin = view.finish(table.wcet(view.task));
                 if fin > deadline {
                     return Err(AnalysisError::DeadlineExceeded {
                         makespan: fin,
@@ -435,7 +456,7 @@ where
 
         // t ← min(next alive finish, next future minimal release)
         // (lines 24–29).
-        let mut t_next = engine.next_finish(t);
+        let mut t_next = engine.next_finish(&table, t);
         while let Some(&(mr, task)) = min_rels.get(mr_ptr) {
             if is_open[task.index()] || mr <= t {
                 mr_ptr += 1;

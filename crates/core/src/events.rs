@@ -27,7 +27,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use mia_model::arbiter::Arbiter;
-use mia_model::{Cycles, Problem, Schedule, TaskId};
+use mia_model::{Cycles, Problem, Schedule, TaskId, TaskTable};
 
 use crate::analysis::ScanEngine;
 use crate::checkpoint::{Checkpoint, CheckpointLog, SlotSnapshot};
@@ -101,6 +101,7 @@ where
     Ok(AnalysisReport {
         schedule: Schedule::from_timings(timings),
         stats,
+        parallel: None,
     })
 }
 
@@ -143,6 +144,7 @@ where
     Ok(AnalysisReport {
         schedule: Schedule::from_timings(timings),
         stats,
+        parallel: None,
     })
 }
 
@@ -232,18 +234,16 @@ where
         }
     }
 
-    fn next_finish(&mut self, t: Cycles) -> Cycles {
+    fn next_finish(&mut self, table: &TaskTable, t: Cycles) -> Cycles {
         // The earliest *valid* finish event: an entry is valid only if
         // the task currently alive on its core still finishes exactly
         // then; stale entries are dropped on pop.
-        let graph = self.inner.problem().graph();
         loop {
             match self.finish_events.peek() {
                 None => break Cycles::MAX,
                 Some(&Reverse((when, core_idx))) => {
                     let slot = &self.inner.slots[core_idx];
-                    let valid =
-                        when > t && slot.busy && slot.finish(graph.task(slot.task).wcet()) == when;
+                    let valid = when > t && slot.busy && slot.finish(table.wcet(slot.task)) == when;
                     if valid {
                         break when;
                     }

@@ -52,7 +52,10 @@
 //!   the cursor-cost ablation;
 //! * [`analyze_parallel`] — the layer-parallel engine: at every instant
 //!   the alive set is an anti-chain ("layer") of the DAG whose members
-//!   are updated concurrently by a scoped worker pool. See the
+//!   are updated concurrently by a persistent worker pool partitioned by
+//!   destination core. Phases narrower than a measured engagement
+//!   threshold run inline (never slower than sequential); the threshold
+//!   in effect is reported via [`ParallelInfo`]. See the
 //!   [`parallel` module docs](analyze_parallel) and `ARCHITECTURE.md`.
 //!
 //! The [`testkit`] module runs any engine on any scenario and captures
@@ -104,7 +107,7 @@ pub mod testkit;
 
 pub use analysis::{
     analyze, analyze_checkpointed_with, analyze_delta_with, analyze_with, resume_analyze_with,
-    AnalysisReport, AnalysisStats,
+    AnalysisReport, AnalysisStats, ParallelInfo,
 };
 pub use cancel::CancelToken;
 pub use checkpoint::{Checkpoint, CheckpointLog};

@@ -1,4 +1,4 @@
-//! Layer-parallel execution of Algorithm 1 with `std::thread::scope`.
+//! Layer-parallel execution of Algorithm 1 on a persistent worker pool.
 //!
 //! # The layer decomposition
 //!
@@ -11,23 +11,45 @@
 //! problem data. The analysis therefore proceeds level by level over
 //! those temporal layers: the shared cursor driver
 //! ([`run_cursor`](crate::engine)) walks the levels, and the members of
-//! each level are updated by a pool of scoped worker threads.
+//! each wide-enough level are updated by a persistent pool of worker
+//! threads.
 //!
-//! # The engine split
+//! # Persistent workers, epoch handoff
 //!
 //! The cursor control flow itself is **not** duplicated here: this module
-//! only implements the [`StepEngine`] customization points. Its slot view
-//! is a lightweight [`MetaSlot`] mirror (task, release, total
-//! interference) kept on the driver thread, while the heavy
-//! generation-stamped [`AliveSlot`] state lives with the owning workers.
-//! Worker `w` of `W` permanently owns the alive slots of all cores `c`
-//! with `c % W == w` (round-robin, matching the generator's cyclic
-//! mapping so layer work spreads evenly). Per interference phase the
-//! engine publishes the newly opened tasks plus an occupancy snapshot,
-//! releases the pool through a barrier, and collects the updated
-//! interference totals through a second barrier. Slots never migrate, so
-//! the per-slot scratch buffers stay worker-local for the whole run and
-//! the hot path remains allocation-free.
+//! only implements the [`StepEngine`] customization points. The
+//! [`AliveSlot`] table is a single shared array; **partition `p` of `W`
+//! owns the slots of all cores `c` with `c % W == p`** (round-robin,
+//! matching the generator's cyclic mapping so layer work spreads evenly),
+//! and the driver itself works partition `W − 1` so `--threads N` spawns
+//! only `N − 1` extra threads. Ownership is phase-scoped: between phases
+//! the driver has exclusive access to every slot (it opens, closes,
+//! snapshots and restores them directly, which also makes this engine
+//! checkpoint-capable), and during a fan-out phase each partition has
+//! exclusive access to its own slots. There are no locks or barriers on
+//! the hot path — the driver publishes a phase by bumping an epoch
+//! counter (release store + unpark), each worker acknowledges by storing
+//! the epoch it completed (release store the driver acquires), and
+//! workers created once per analysis spin briefly, then yield, then park
+//! between phases.
+//!
+//! # The engagement threshold
+//!
+//! Fanning a phase out costs two handoffs; it pays off only when the
+//! layer is wide enough that the offloaded accounting outweighs them. The
+//! engine therefore keeps an **engagement threshold**: phases narrower
+//! than it run inline on the driver, exactly like the sequential engine.
+//! By default the threshold is auto-tuned from measurements — the pool
+//! handoff cost is calibrated once at start-up, the per-destination
+//! accounting cost is an EWMA over the inline phases, and the threshold
+//! is where fan-out breaks even (with a ×2 safety margin). On hosts
+//! without usable parallelism the pool is not spawned at all and the call
+//! falls through to the sequential path, so `--threads 16` is never
+//! slower than `--threads 1` by more than the gate check itself.
+//! [`AnalysisOptions::parallel_engage`] pins the threshold instead (and
+//! forces the pool up), and either way the threshold in effect is
+//! reported via [`ParallelInfo`] on the [`AnalysisReport`] so a sweep can
+//! be reproduced exactly.
 //!
 //! # Bit-exact by construction
 //!
@@ -37,87 +59,134 @@
 //! response times *and work counters* identical to [`crate::analyze`] —
 //! the cross-engine conformance harness (`tests/conformance.rs`) and the
 //! property tests in `tests/parallel_equivalence.rs` enforce this for
-//! every arbiter, interference mode and thread count.
+//! every arbiter, interference mode, thread count and threshold.
 //!
 //! Observers are fully supported: cursor, open and close events are
 //! emitted by the shared driver on the calling thread, and per-bank
-//! interference events are recorded by the workers and relayed in the
-//! canonical sequential order (grouped by destination core, ascending)
-//! once each phase completes — so even the observer event stream is
-//! bit-identical to the sequential engines'. The relay only runs when
-//! [`Observer::wants_interference`] says so; the default
-//! [`NoopObserver`] keeps the hot path relay-free.
+//! interference events of fanned-out phases are recorded into per-worker
+//! buffers and relayed in the canonical sequential order (grouped by
+//! destination core, ascending) once the phase completes — so even the
+//! observer event stream is bit-identical to the sequential engines'. The
+//! relay only runs when [`Observer::wants_interference`] says so; the
+//! default [`NoopObserver`] keeps the hot path relay-free.
 //!
 //! Panics — e.g. from a faulty user arbiter — are confined per phase and
 //! re-raised on the calling thread after the pool shuts down, exactly as
-//! the sequential analysis would have propagated them (no deadlocked
-//! barriers).
+//! the sequential analysis would have propagated them (a panicked worker
+//! still acknowledges its epoch, so the protocol never wedges).
 //!
 //! # When it pays off
 //!
-//! The parallel engine trades two barrier crossings per opening step for
-//! concurrent `IBUS` evaluation across the layer. It wins when the
-//! per-step interference work is substantial — many cores, many banks,
-//! expensive arbiters, exact (aggregate) recomputation — and loses on
-//! small platforms where the sequential hot path is already cheap. For
-//! grid-level parallelism (many independent analyses), prefer the sweep
-//! driver in `mia-bench`, which runs whole analyses concurrently.
+//! The pool wins when per-step interference work is substantial — many
+//! cores, many banks, expensive arbiters, exact (aggregate)
+//! recomputation — and stays out of the way (inline path) when it is
+//! not. For grid-level parallelism (many independent analyses), prefer
+//! the sweep driver in `mia-bench`, which runs whole analyses
+//! concurrently.
 
-use std::sync::{Barrier, Mutex};
+// The one place in the workspace that needs `unsafe`: the shared slot
+// table is handed between the driver and the pool by an epoch counter
+// (release/acquire), not by locks, so its cells are `UnsafeCell`s whose
+// exclusivity is a protocol invariant instead of a type-system one. Every
+// `unsafe` block below carries a SAFETY comment tying it to that
+// invariant; everything else in the workspace stays `deny(unsafe_code)`.
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
+use std::time::{Duration, Instant};
 
 use mia_model::arbiter::Arbiter;
-use mia_model::{BankId, CoreId, Cycles, Problem, Schedule, TaskId};
+use mia_model::{BankId, Cycles, Problem, Schedule, TaskId, TaskTable};
 
 use crate::alive::{account_destination, AliveSlot};
 use crate::checkpoint::{Checkpoint, CheckpointLog, SlotSnapshot};
 use crate::engine::{resume_cursor, run_cursor, scan_next_finish, Resume, SlotView, StepEngine};
 use crate::{
-    AnalysisError, AnalysisOptions, AnalysisReport, AnalysisStats, NoopObserver, Observer,
+    AnalysisError, AnalysisOptions, AnalysisReport, AnalysisStats, InterferenceMode, NoopObserver,
+    Observer, ParallelInfo,
 };
 
-/// One step's instructions for the worker pool.
-struct StepMsg {
-    /// True once the driver is done: workers exit their loop.
-    quit: bool,
-    /// Newly opened tasks, ascending by core index.
-    newly: Vec<(usize, TaskId, Cycles)>,
+/// A shared alive slot. Mutable access is disciplined by the epoch
+/// protocol — driver-exclusive between phases, partition-exclusive during
+/// a fan-out phase — never by a lock.
+#[repr(transparent)]
+struct SlotCell(UnsafeCell<AliveSlot>);
+
+// SAFETY: see the struct doc — every `&mut` derived from the cell is
+// phase-scoped to exactly one thread, and handoffs are ordered by the
+// release/acquire epoch and done counters.
+unsafe impl Sync for SlotCell {}
+
+/// What kind of work a published phase carries.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PhaseKind {
+    /// No-op round used to measure the handoff cost at start-up.
+    Calibrate,
+    /// An interference phase: account the published layer.
+    Account,
+}
+
+/// The phase instructions, written by the driver between phases and read
+/// by every worker during one.
+struct Cmd {
+    kind: PhaseKind,
+    /// Newly opened cores, ascending.
+    newly: Vec<usize>,
     /// Task alive on each core after this step's opens (`None` = idle).
     occupants: Vec<Option<TaskId>>,
-    /// When set, this step is a one-shot restore round (before the cursor
-    /// loop of a resumed run): workers rebuild their owned slots from the
-    /// checkpoint snapshots instead of accounting anything.
-    restore: Option<Vec<Option<SlotSnapshot>>>,
 }
+
+/// Shared cell around [`Cmd`]; same phase-scoped discipline as
+/// [`SlotCell`] (driver writes strictly between phases).
+struct CmdCell(UnsafeCell<Cmd>);
+
+// SAFETY: as for `SlotCell` — exclusive writer between phases, shared
+// readers during one, ordered by the epoch handoff.
+unsafe impl Sync for CmdCell {}
 
 /// A worker-recorded interference event: destination core, task, bank
 /// and the task's new total interference (the `on_interference`
 /// payload plus the core used to restore the sequential order).
 type InterEvent = (usize, TaskId, BankId, Cycles);
 
+/// Per-worker event buffer, written by its owning worker during a phase
+/// and drained by the driver after it.
+struct OutCell(UnsafeCell<Vec<InterEvent>>);
+
+// SAFETY: as for `SlotCell` — one exclusive owner per phase side.
+unsafe impl Sync for OutCell {}
+
 /// State shared between the driver and the pool.
 struct Shared {
-    step: Mutex<StepMsg>,
-    /// Released by the driver once a step is published.
-    start: Barrier,
-    /// Crossed by everyone once the step's accounting is complete.
-    done: Barrier,
-    /// Updated `(core, total_interference)` pairs of the current step.
-    results: Mutex<Vec<(usize, Cycles)>>,
-    /// Per-bank interference events of the current step, recorded by the
-    /// workers when `relay_events` is set and relayed to the caller's
-    /// observer in canonical order by the driver.
-    events: Mutex<Vec<InterEvent>>,
+    /// The phase counter: bumped (release) by the driver to publish a
+    /// phase, acquired by workers on wake-up.
+    epoch: AtomicU64,
+    /// Set (before the final epoch bump) once the driver is done: workers
+    /// exit their loop.
+    quit: AtomicBool,
+    /// Set by the first worker whose phase panicked; later phases become
+    /// no-ops and the driver abandons the run.
+    panicked: AtomicBool,
+    /// The current phase's instructions.
+    cmd: CmdCell,
+    /// Per-worker acknowledgement: the last epoch each worker completed.
+    done: Vec<AtomicU64>,
+    /// Per-worker interference event buffers (only filled when
+    /// `relay_events`).
+    outs: Vec<OutCell>,
     /// Whether workers should record interference events at all
     /// (`Observer::wants_interference` of the caller's observer).
     relay_events: bool,
+    /// First panic payload caught in a worker's phase; the driver
+    /// re-raises it after shutting the pool down — matching the
+    /// sequential analysis, where the same panic would propagate
+    /// directly.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     /// Work counters merged by workers on shutdown.
     worker_stats: Mutex<AnalysisStats>,
-    /// First panic payload caught in a worker's accounting phase. A
-    /// panicked worker keeps servicing the barriers (doing no work), so
-    /// the protocol never deadlocks; the driver re-raises this payload
-    /// after shutting the pool down — matching the sequential analysis,
-    /// where the same panic would propagate directly.
-    worker_panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 impl Shared {
@@ -127,20 +196,104 @@ impl Shared {
     fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
         m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
+}
 
-    fn worker_panicked(&self) -> bool {
-        Shared::lock_ignoring_poison(&self.worker_panic).is_some()
+/// The driver's handle on the pool: publish a phase, wait for every
+/// worker to acknowledge it.
+struct Pool<'a> {
+    shared: &'a Shared,
+    /// Thread handles of the spawned workers, for unparking.
+    threads: &'a [Thread],
+    /// The driver's mirror of the published epoch.
+    epoch: u64,
+}
+
+impl Pool<'_> {
+    /// Publishes the current [`Cmd`] as a new phase and wakes the pool.
+    fn publish(&mut self) {
+        self.epoch += 1;
+        self.shared.epoch.store(self.epoch, Ordering::Release);
+        for t in self.threads {
+            t.unpark();
+        }
+    }
+
+    /// Waits until every worker has acknowledged the published epoch.
+    /// Spin-then-yield: phases are short and the driver immediately needs
+    /// the results, so parking the driver is not worth the wake-up.
+    fn wait(&self) {
+        for done in &self.shared.done {
+            let mut spins = 0u32;
+            while done.load(Ordering::Acquire) != self.epoch {
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// The driver's own partition index (the last one — workers take
+    /// the indices below it).
+    fn driver_partition(&self) -> usize {
+        self.shared.done.len()
     }
 }
 
-/// The driver's lightweight view of one alive slot (the heavy
-/// interference state lives with the owning worker).
-#[derive(Clone, Copy)]
-struct MetaSlot {
-    busy: bool,
-    task: TaskId,
-    release: Cycles,
-    total_inter: Cycles,
+/// The engagement decision state: the width at which fan-out breaks even.
+struct Engagement {
+    /// A pinned threshold ([`AnalysisOptions::parallel_engage`]);
+    /// disables the auto-tuner.
+    fixed: Option<usize>,
+    /// Current threshold; `usize::MAX` until tuned (every phase inline).
+    threshold: usize,
+    /// Calibrated cost of one publish/wait round trip, nanoseconds.
+    handoff_ns: f64,
+    /// EWMA of the per-destination accounting cost, nanoseconds.
+    per_dest_ns: f64,
+    /// Pool partitions (workers including the driver).
+    partitions: usize,
+}
+
+impl Engagement {
+    fn new(fixed: Option<usize>, partitions: usize) -> Self {
+        Engagement {
+            fixed,
+            threshold: fixed.unwrap_or(usize::MAX),
+            handoff_ns: 0.0,
+            per_dest_ns: 0.0,
+            partitions,
+        }
+    }
+
+    /// Folds one timed inline phase into the cost model and re-derives
+    /// the threshold: fan-out saves `(W−1)/W` of the accounting but costs
+    /// two handoffs, so engage where the saving covers twice that (the ×2
+    /// keeps borderline layers inline — a wrong "inline" costs a fraction
+    /// of a phase, a wrong "fan out" costs two handoffs every step).
+    fn observe_inline(&mut self, width: usize, ns: f64) {
+        if self.fixed.is_some() || width == 0 {
+            return;
+        }
+        let per = ns / width as f64;
+        self.per_dest_ns = if self.per_dest_ns == 0.0 {
+            per
+        } else {
+            0.8 * self.per_dest_ns + 0.2 * per
+        };
+        let w = self.partitions as f64;
+        let gain = self.per_dest_ns * (w - 1.0) / w;
+        if gain > 0.0 {
+            self.threshold = ((2.0 * self.handoff_ns / gain).ceil() as usize).max(2);
+        }
+    }
+
+    /// The threshold to report: `None` while the tuner has not engaged.
+    fn effective(&self) -> Option<usize> {
+        (self.threshold != usize::MAX).then_some(self.threshold)
+    }
 }
 
 /// Runs the layer-parallel analysis with default options.
@@ -148,8 +301,9 @@ struct MetaSlot {
 /// `threads == 0` uses the machine's available parallelism. The result is
 /// bit-identical to [`crate::analyze`]: at every cursor instant the alive
 /// set forms an independent layer of the DAG whose members are updated
-/// concurrently by a scoped worker pool, each destination processing its
-/// interferers in exactly the sequential order (see `ARCHITECTURE.md`).
+/// concurrently by a persistent worker pool partitioned by destination
+/// core, each destination processing its interferers in exactly the
+/// sequential order (see `ARCHITECTURE.md`).
 ///
 /// # Errors
 ///
@@ -199,11 +353,14 @@ where
 /// observer.
 ///
 /// `threads == 0` uses the machine's available parallelism; with one
-/// worker (or a single-core problem) the call falls through to the
-/// sequential [`crate::analyze_with`]. Either way the schedule, the work
-/// counters **and the observer event stream** are bit-identical to the
-/// sequential analysis (interference events are relayed from the worker
-/// pool in canonical order; see the module documentation above).
+/// worker, a single-core problem, or — unless
+/// [`AnalysisOptions::parallel_engage`] pins a threshold — a host without
+/// usable parallelism, the call falls through to the sequential
+/// [`crate::analyze_with`] (so the parallel entry point is never slower
+/// than the sequential one where a pool cannot help). Either way the
+/// schedule, the work counters **and the observer event stream** are
+/// bit-identical to the sequential analysis, and
+/// [`AnalysisReport::parallel`] records how the run actually executed.
 ///
 /// # Errors
 ///
@@ -220,22 +377,24 @@ where
     O: Observer + ?Sized,
 {
     let workers = resolve_workers(problem, threads);
-    if workers <= 1 {
-        return crate::analyze_with(problem, arbiter, options, observer);
+    if !pool_worthwhile(workers, options) {
+        let mut report = crate::analyze_with(problem, arbiter, options, observer)?;
+        report.parallel = Some(fallback_info(options));
+        return Ok(report);
     }
     run_pool(problem, arbiter, options, workers, observer, None, None)
 }
 
 /// Resumes a recorded analysis from `checkpoint` on the layer-parallel
-/// engine: the driver restores its metadata mirror, the pool rebuilds the
-/// owned slots in a one-shot restore round, and only the suffix of the
-/// run is re-executed. Prefix work counters come from the checkpoint, the
-/// workers count the suffix, and the merge yields totals bit-identical to
-/// a from-scratch run — for every thread count.
+/// engine: the driver restores the shared slot table directly (it owns it
+/// between phases) and only the suffix of the run is re-executed. Prefix
+/// work counters come from the checkpoint, the workers count the suffix,
+/// and the merge yields totals bit-identical to a from-scratch run — for
+/// every thread count.
 ///
 /// See [`crate::resume_analyze_with`] for the contract on `checkpoint`
-/// and `prior`. With one worker the call falls through to the sequential
-/// resume.
+/// and `prior`. The sequential fallback conditions are those of
+/// [`analyze_parallel_with`].
 ///
 /// # Errors
 ///
@@ -256,10 +415,12 @@ where
     O: Observer + ?Sized,
 {
     let workers = resolve_workers(problem, threads);
-    if workers <= 1 {
-        return crate::analysis::resume_analyze_with(
+    if !pool_worthwhile(workers, options) {
+        let mut report = crate::analysis::resume_analyze_with(
             problem, arbiter, options, observer, checkpoint, prior, log,
-        );
+        )?;
+        report.parallel = Some(fallback_info(options));
+        return Ok(report);
     }
     run_pool(
         problem,
@@ -284,6 +445,27 @@ fn resolve_workers(problem: &Problem, threads: usize) -> usize {
     .min(cores.max(1))
 }
 
+/// Whether to spawn the pool at all: more than one partition, and either
+/// a pinned threshold (tests and reproduction runs force the pool) or a
+/// host that can actually run the partitions concurrently.
+fn pool_worthwhile(workers: usize, options: &AnalysisOptions) -> bool {
+    workers > 1
+        && (options.parallel_engage.is_some()
+            || std::thread::available_parallelism().map_or(1, |p| p.get()) > 1)
+}
+
+/// The [`ParallelInfo`] attached when the call fell through to the
+/// sequential path.
+fn fallback_info(options: &AnalysisOptions) -> ParallelInfo {
+    ParallelInfo {
+        workers: 1,
+        engage_width: None,
+        auto_tuned: options.parallel_engage.is_none(),
+        fanout_steps: 0,
+        inline_steps: 0,
+    }
+}
+
 /// The shared pool driver behind [`analyze_parallel_with`] and
 /// [`resume_analyze_parallel_with`] (callers have already resolved
 /// `workers > 1`).
@@ -303,50 +485,85 @@ where
     let cores = problem.mapping().cores();
     let mode = options.interference_mode;
     let access = problem.platform().access_cycles();
+    // The driver works partition `workers − 1` itself.
+    let spawned = workers - 1;
 
+    let slots: Vec<SlotCell> = AliveSlot::for_problem(problem)
+        .into_iter()
+        .map(|s| SlotCell(UnsafeCell::new(s)))
+        .collect();
     let shared = Shared {
-        step: Mutex::new(StepMsg {
-            quit: false,
+        epoch: AtomicU64::new(0),
+        quit: AtomicBool::new(false),
+        panicked: AtomicBool::new(false),
+        cmd: CmdCell(UnsafeCell::new(Cmd {
+            kind: PhaseKind::Calibrate,
             newly: Vec::with_capacity(cores),
-            occupants: vec![None; cores],
-            restore: None,
-        }),
-        start: Barrier::new(workers + 1),
-        done: Barrier::new(workers + 1),
-        results: Mutex::new(Vec::with_capacity(cores)),
-        events: Mutex::new(Vec::new()),
+            occupants: Vec::with_capacity(cores),
+        })),
+        done: (0..spawned).map(|_| AtomicU64::new(0)).collect(),
+        outs: (0..spawned)
+            .map(|_| OutCell(UnsafeCell::new(Vec::new())))
+            .collect(),
         relay_events: observer.wants_interference(),
+        panic_payload: Mutex::new(None),
         worker_stats: Mutex::new(AnalysisStats::default()),
-        worker_panic: Mutex::new(None),
     };
 
     let driver_result = std::thread::scope(|scope| {
-        for worker_id in 0..workers {
+        // Handles live outside the catch_unwind closure so the shutdown
+        // sequence below can always unpark the pool, even when the driver
+        // itself panicked.
+        let mut threads: Vec<Thread> = Vec::with_capacity(spawned);
+        for worker_id in 0..spawned {
             let shared = &shared;
-            scope.spawn(move || {
-                worker_loop(problem, arbiter, mode, access, shared, worker_id, workers);
+            let slots = slots.as_slice();
+            let handle = scope.spawn(move || {
+                worker_loop(
+                    problem, arbiter, mode, access, shared, slots, worker_id, workers,
+                );
             });
+            threads.push(handle.thread().clone());
         }
 
-        // Catch driver-side panics so the pool is always released before
-        // the scope joins it — otherwise a panicking driver would leave
-        // workers parked on the start barrier forever.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut engine = ParallelEngine {
-                meta: vec![
-                    MetaSlot {
-                        busy: false,
-                        task: TaskId(0),
-                        release: Cycles::ZERO,
-                        total_inter: Cycles::ZERO,
-                    };
-                    cores
-                ],
-                problem,
+            let mut pool = Pool {
                 shared: &shared,
-                newly_events: Vec::new(),
+                threads: &threads,
+                epoch: 0,
             };
-            match resume {
+            let mut engage = Engagement::new(options.parallel_engage, workers);
+            if engage.fixed.is_none() {
+                // Calibrate the handoff cost with no-op rounds: the first
+                // few warm the pool up (thread start-up, first parks),
+                // the rest are averaged.
+                let mut total_ns = 0.0;
+                for round in 0..12 {
+                    let t0 = Instant::now();
+                    pool.publish();
+                    pool.wait();
+                    if round >= 4 {
+                        total_ns += t0.elapsed().as_nanos() as f64;
+                    }
+                }
+                engage.handoff_ns = total_ns / 8.0;
+            }
+            let mut engine = ParallelEngine {
+                problem,
+                arbiter,
+                mode,
+                access,
+                slots: &slots,
+                pool,
+                engage,
+                relay: shared.relay_events,
+                fanout_steps: 0,
+                inline_steps: 0,
+                occupants: Vec::with_capacity(cores),
+                driver_events: Vec::new(),
+                merge_events: Vec::new(),
+            };
+            let run = match resume {
                 None => run_cursor(problem, options, &mut engine, observer),
                 Some((checkpoint, prior)) => resume_cursor(
                     problem,
@@ -359,22 +576,35 @@ where
                     },
                     log,
                 ),
-            }
+            };
+            run.map(|(timings, stats)| {
+                (
+                    timings,
+                    stats,
+                    engine.engage.effective(),
+                    engine.fanout_steps,
+                    engine.inline_steps,
+                )
+            })
         }));
 
         // Shut the pool down whether the run succeeded, failed or
-        // panicked; workers are parked on the start barrier.
-        Shared::lock_ignoring_poison(&shared.step).quit = true;
-        shared.start.wait();
+        // panicked. `quit` is ordered before the epoch bump, so a worker
+        // acquiring the new epoch always sees it.
+        shared.quit.store(true, Ordering::Release);
+        shared.epoch.fetch_add(1, Ordering::Release);
+        for t in &threads {
+            t.unpark();
+        }
         result
     });
 
     // A worker panic outranks whatever the driver returned: re-raise it
     // here, exactly as the sequential analysis would have propagated it.
-    if let Some(payload) = Shared::lock_ignoring_poison(&shared.worker_panic).take() {
+    if let Some(payload) = Shared::lock_ignoring_poison(&shared.panic_payload).take() {
         std::panic::resume_unwind(payload);
     }
-    let (timings, mut stats) = match driver_result {
+    let (timings, mut stats, engage_width, fanout_steps, inline_steps) = match driver_result {
         Ok(result) => result?,
         Err(payload) => std::panic::resume_unwind(payload),
     };
@@ -388,282 +618,385 @@ where
     Ok(AnalysisReport {
         schedule: Schedule::from_timings(timings),
         stats,
+        parallel: Some(ParallelInfo {
+            workers,
+            engage_width,
+            auto_tuned: options.parallel_engage.is_none(),
+            fanout_steps,
+            inline_steps,
+        }),
     })
 }
 
-/// The layer-parallel [`StepEngine`]: a [`MetaSlot`] mirror on the
-/// driver thread, with the interference phase fanned out to the pool.
-struct ParallelEngine<'p, 'sh> {
-    meta: Vec<MetaSlot>,
-    problem: &'p Problem,
-    shared: &'sh Shared,
-    /// Reusable buffer for draining and ordering relayed interference
-    /// events (only used when `shared.relay_events`).
-    newly_events: Vec<InterEvent>,
+/// The layer-parallel [`StepEngine`]: direct access to the shared slot
+/// table between phases, interference phases either inline or fanned out
+/// to the pool depending on the layer width.
+struct ParallelEngine<'a, A: ?Sized> {
+    problem: &'a Problem,
+    arbiter: &'a A,
+    mode: InterferenceMode,
+    access: Cycles,
+    slots: &'a [SlotCell],
+    pool: Pool<'a>,
+    engage: Engagement,
+    relay: bool,
+    fanout_steps: usize,
+    inline_steps: usize,
+    // Reusable per-step buffers (no allocation inside the loop).
+    occupants: Vec<Option<TaskId>>,
+    /// Events of the driver's own partition during a fan-out phase.
+    driver_events: Vec<InterEvent>,
+    /// Merge buffer for relaying all partitions' events in order.
+    merge_events: Vec<InterEvent>,
 }
 
-impl StepEngine for ParallelEngine<'_, '_> {
+impl<A> ParallelEngine<'_, A>
+where
+    A: Arbiter + Sync + ?Sized,
+{
+    /// Exclusive slot access between phases (the driver owns the table
+    /// whenever no phase is in flight).
+    fn slot_mut(&mut self, core: usize) -> &mut AliveSlot {
+        // SAFETY: `&mut self` + phase-scoped ownership — `account` never
+        // leaves a phase in flight.
+        unsafe { &mut *self.slots[core].0.get() }
+    }
+
+    /// Runs one interference phase inline on the driver, exactly like the
+    /// sequential engine (same order, same observer, same stats).
+    fn account_inline<O>(&mut self, newly: &[usize], observer: &mut O, stats: &mut AnalysisStats)
+    where
+        O: Observer + ?Sized,
+    {
+        for core in 0..self.slots.len() {
+            if self.occupants[core].is_none() {
+                continue;
+            }
+            // SAFETY: no phase in flight; the driver owns every slot.
+            let dest = unsafe { &mut *self.slots[core].0.get() };
+            let dest_is_new = newly.binary_search(&core).is_ok();
+            account_destination(
+                self.problem,
+                self.arbiter,
+                self.mode,
+                self.access,
+                dest,
+                core,
+                dest_is_new,
+                newly,
+                &self.occupants,
+                observer,
+                stats,
+            );
+        }
+    }
+
+    /// Publishes one interference phase to the pool, accounts the
+    /// driver's own partition, waits, and relays events in order.
+    fn fan_out<O>(
+        &mut self,
+        newly: &[usize],
+        observer: &mut O,
+        stats: &mut AnalysisStats,
+    ) -> Result<(), AnalysisError>
+    where
+        O: Observer + ?Sized,
+    {
+        {
+            // SAFETY: no phase in flight; the driver owns the command.
+            let cmd = unsafe { &mut *self.pool.shared.cmd.0.get() };
+            cmd.kind = PhaseKind::Account;
+            cmd.newly.clear();
+            cmd.newly.extend_from_slice(newly);
+            cmd.occupants.clear();
+            cmd.occupants.extend_from_slice(&self.occupants);
+        }
+        self.pool.publish();
+        // SAFETY: during the phase the command is read-only everywhere.
+        let cmd = unsafe { &*self.pool.shared.cmd.0.get() };
+        self.driver_events.clear();
+        let events = self.relay.then_some(&mut self.driver_events);
+        account_partition(
+            self.problem,
+            self.arbiter,
+            self.mode,
+            self.access,
+            self.slots,
+            cmd,
+            self.pool.driver_partition(),
+            self.engage.partitions,
+            events,
+            stats,
+        );
+        self.pool.wait();
+        if self.pool.shared.panicked.load(Ordering::Acquire) {
+            // Abandon the run; the caller re-raises the worker's
+            // payload, so this placeholder error is never seen.
+            return Err(AnalysisError::Cancelled);
+        }
+        if self.relay {
+            // Restore the canonical sequential event order: destinations
+            // ascending by core, each destination's events in the order
+            // its partition produced them (stable sort; every partition
+            // records its cores' chunks contiguously and ascending).
+            self.merge_events.clear();
+            self.merge_events.append(&mut self.driver_events);
+            for out in &self.pool.shared.outs {
+                // SAFETY: all workers acknowledged the epoch; the driver
+                // owns the buffers again.
+                let buf = unsafe { &mut *out.0.get() };
+                self.merge_events.append(buf);
+            }
+            self.merge_events.sort_by_key(|&(core, _, _, _)| core);
+            for &(_, task, bank, total) in &self.merge_events {
+                observer.on_interference(task, bank, total);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<A> StepEngine for ParallelEngine<'_, A>
+where
+    A: Arbiter + Sync + ?Sized,
+{
     fn cores(&self) -> usize {
-        self.meta.len()
+        self.slots.len()
     }
 
     fn slot(&self, core: usize) -> Option<SlotView> {
-        let m = &self.meta[core];
-        m.busy.then_some(SlotView {
-            task: m.task,
-            release: m.release,
-            total_inter: m.total_inter,
+        // SAFETY: called by the driver between phases (shared read).
+        let s = unsafe { &*self.slots[core].0.get() };
+        s.busy.then_some(SlotView {
+            task: s.task,
+            release: s.release,
+            total_inter: s.total_inter,
         })
     }
 
     fn close_slot(&mut self, core: usize) {
-        self.meta[core].busy = false;
+        self.slot_mut(core).close();
     }
 
     fn open_slot(&mut self, core: usize, task: TaskId, release: Cycles) {
-        self.meta[core] = MetaSlot {
-            busy: true,
-            task,
-            release,
-            total_inter: Cycles::ZERO,
-        };
+        self.slot_mut(core).open(task, release);
     }
 
     fn account<O>(
         &mut self,
         newly: &[usize],
         observer: &mut O,
-        _stats: &mut AnalysisStats,
+        stats: &mut AnalysisStats,
     ) -> Result<(), AnalysisError>
     where
         O: Observer + ?Sized,
     {
-        // Nothing opened at this instant: nothing to account, skip the
-        // barrier crossings entirely (matching `account_newly`'s early
-        // return). Worker-side `ibus`/`pairs` counters are merged by the
-        // caller after the pool shuts down.
+        // Nothing opened at this instant: nothing to account (matching
+        // `account_newly`'s early return).
         if newly.is_empty() {
             return Ok(());
         }
-        {
-            let mut msg = self.shared.step.lock().expect("driver owns step lock");
-            msg.newly.clear();
-            msg.newly.extend(newly.iter().map(|&core| {
-                let m = &self.meta[core];
-                (core, m.task, m.release)
-            }));
-            for (slot, m) in msg.occupants.iter_mut().zip(&self.meta) {
-                *slot = m.busy.then_some(m.task);
-            }
+        self.occupants.clear();
+        for core in 0..self.slots.len() {
+            // SAFETY: no phase in flight; shared read by the driver.
+            let s = unsafe { &*self.slots[core].0.get() };
+            self.occupants.push(s.busy.then_some(s.task));
         }
-        self.shared.start.wait();
-        // Workers account their destinations here.
-        self.shared.done.wait();
-        if self.shared.worker_panicked() {
-            // Abandon the run; the caller re-raises the worker's
-            // payload, so this placeholder error is never seen.
-            return Err(AnalysisError::Cancelled);
+        let width = self.occupants.iter().flatten().count();
+        if width >= self.engage.threshold {
+            self.fanout_steps += 1;
+            return self.fan_out(newly, observer, stats);
         }
-        for (core_idx, total) in Shared::lock_ignoring_poison(&self.shared.results).drain(..) {
-            self.meta[core_idx].total_inter = total;
-        }
-        if self.shared.relay_events {
-            // Restore the canonical sequential event order: destinations
-            // ascending by core, each destination's events in the order
-            // its worker produced them (stable sort; every worker pushes
-            // its per-core chunks contiguously and in ascending order).
-            self.newly_events.clear();
-            self.newly_events
-                .append(&mut Shared::lock_ignoring_poison(&self.shared.events));
-            self.newly_events.sort_by_key(|&(core, _, _, _)| core);
-            for &(_, task, bank, total) in &self.newly_events {
-                observer.on_interference(task, bank, total);
-            }
+        self.inline_steps += 1;
+        let timed = self.engage.fixed.is_none();
+        let t0 = timed.then(Instant::now);
+        self.account_inline(newly, observer, stats);
+        if let Some(t0) = t0 {
+            self.engage
+                .observe_inline(width, t0.elapsed().as_nanos() as f64);
         }
         Ok(())
     }
 
-    fn next_finish(&mut self, t: Cycles) -> Cycles {
-        scan_next_finish(self, self.problem, t)
+    fn next_finish(&mut self, table: &TaskTable, t: Cycles) -> Cycles {
+        scan_next_finish(self, table, t)
+    }
+
+    fn snapshot_slots(&self) -> Option<Vec<Option<SlotSnapshot>>> {
+        Some(
+            self.slots
+                .iter()
+                .map(|cell| {
+                    // SAFETY: driver-exclusive between phases.
+                    let s = unsafe { &*cell.0.get() };
+                    s.busy.then(|| s.snapshot())
+                })
+                .collect(),
+        )
     }
 
     fn restore_slots(&mut self, slots: &[Option<SlotSnapshot>]) {
-        // The driver's mirror first, then a one-shot barrier round so
-        // every worker rebuilds the heavy state of the slots it owns.
-        for (m, snap) in self.meta.iter_mut().zip(slots) {
-            match snap {
-                Some(s) => {
-                    *m = MetaSlot {
-                        busy: true,
-                        task: s.task,
-                        release: s.release,
-                        total_inter: s.total_inter,
-                    };
-                }
-                None => m.busy = false,
+        // The driver owns the shared table between phases, so a resumed
+        // run restores it directly — no pool round needed; workers see
+        // the restored state through the next phase's epoch handoff.
+        debug_assert_eq!(slots.len(), self.slots.len());
+        for (core, snap) in slots.iter().enumerate() {
+            if let Some(snap) = snap {
+                self.slot_mut(core).restore(snap);
             }
         }
-        self.shared
-            .step
-            .lock()
-            .expect("driver owns step lock")
-            .restore = Some(slots.to_vec());
-        self.shared.start.wait();
-        // Workers restore their owned slots here.
-        self.shared.done.wait();
-        self.shared
-            .step
-            .lock()
-            .expect("driver owns step lock")
-            .restore = None;
     }
 }
 
 /// Worker-side observer recording `(core, task, bank, total)` events so
 /// the driver can relay them to the caller's observer in order.
-struct EventRecorder {
+struct EventRecorder<'a> {
     core: usize,
-    events: Vec<InterEvent>,
+    events: &'a mut Vec<InterEvent>,
 }
 
-impl Observer for EventRecorder {
+impl Observer for EventRecorder<'_> {
     fn on_interference(&mut self, task: TaskId, bank: BankId, total: Cycles) {
         self.events.push((self.core, task, bank, total));
     }
 }
 
-/// One pool worker: owns the slots of cores `c` with
-/// `c % workers == worker_id` and services interference phases until the
-/// driver publishes `quit`.
-fn worker_loop<A>(
+/// Accounts one partition of a published phase: every occupied
+/// destination core with `core % partitions == partition`, ascending, in
+/// the canonical per-destination order. Shared by the workers and the
+/// driver's own partition.
+#[allow(clippy::too_many_arguments)]
+fn account_partition<A>(
     problem: &Problem,
     arbiter: &A,
-    mode: crate::InterferenceMode,
+    mode: InterferenceMode,
     access: Cycles,
-    shared: &Shared,
-    worker_id: usize,
-    workers: usize,
+    slots: &[SlotCell],
+    cmd: &Cmd,
+    partition: usize,
+    partitions: usize,
+    mut events: Option<&mut Vec<InterEvent>>,
+    stats: &mut AnalysisStats,
 ) where
     A: Arbiter + Sync + ?Sized,
 {
-    let cores = problem.mapping().cores();
-    let banks = problem.platform().banks();
-    let tasks = problem.len();
-    // Local slots for the owned cores; `local[core]` maps into them.
-    let mut slots: Vec<AliveSlot> = Vec::new();
-    let mut local: Vec<usize> = vec![usize::MAX; cores];
-    for core in (worker_id..cores).step_by(workers) {
-        local[core] = slots.len();
-        slots.push(AliveSlot::new(
-            CoreId::from_index(core),
-            banks,
-            cores,
-            tasks,
-        ));
-    }
-
-    let mut stats = AnalysisStats::default();
-    let mut newly: Vec<(usize, TaskId, Cycles)> = Vec::with_capacity(cores);
-    let mut newly_cores: Vec<usize> = Vec::with_capacity(cores);
-    let mut occupants: Vec<Option<TaskId>> = Vec::with_capacity(cores);
-    let mut out: Vec<(usize, Cycles)> = Vec::with_capacity(slots.len());
-    let mut recorder = EventRecorder {
-        core: 0,
-        events: Vec::new(),
-    };
-
-    loop {
-        shared.start.wait();
-        {
-            let msg = Shared::lock_ignoring_poison(&shared.step);
-            if msg.quit {
-                break;
-            }
-            if let Some(snaps) = msg.restore.as_deref() {
-                // One-shot restore round of a resumed run: rebuild the
-                // owned slots from the checkpoint and skip accounting.
-                // Fresh pools only — every slot is still unoccupied.
-                for core in (worker_id..cores).step_by(workers) {
-                    if let Some(snap) = &snaps[core] {
-                        slots[local[core]].restore(snap);
-                    }
-                }
-                drop(msg);
-                shared.done.wait();
-                continue;
-            }
-            newly.clone_from(&msg.newly);
-            occupants.clone_from(&msg.occupants);
+    for core in (partition..slots.len()).step_by(partitions) {
+        if cmd.occupants[core].is_none() {
+            continue;
         }
+        // SAFETY: during a fan-out phase partition `partition` has
+        // exclusive access to the slots of its cores.
+        let dest = unsafe { &mut *slots[core].0.get() };
+        let dest_is_new = cmd.newly.binary_search(&core).is_ok();
+        match events.as_deref_mut() {
+            Some(buf) => {
+                let mut recorder = EventRecorder { core, events: buf };
+                account_destination(
+                    problem,
+                    arbiter,
+                    mode,
+                    access,
+                    dest,
+                    core,
+                    dest_is_new,
+                    &cmd.newly,
+                    &cmd.occupants,
+                    &mut recorder,
+                    stats,
+                );
+            }
+            None => account_destination(
+                problem,
+                arbiter,
+                mode,
+                access,
+                dest,
+                core,
+                dest_is_new,
+                &cmd.newly,
+                &cmd.occupants,
+                &mut NoopObserver,
+                stats,
+            ),
+        }
+    }
+}
 
-        // The accounting phase is panic-confined: a panicking arbiter
-        // must not strand the driver (and the sibling workers) on the
-        // `done` barrier. The first payload is stashed for the driver to
-        // re-raise; after that every worker just services the barriers
-        // until the driver publishes `quit`.
-        if !shared.worker_panicked() {
+/// Blocks until the epoch moves past `last`: spin briefly (the driver
+/// usually publishes back-to-back phases), then yield, then park with a
+/// timeout (parking is cheap for the long gaps between wide layers; the
+/// timeout guards against a lost unpark race).
+fn wait_for_phase(shared: &Shared, last: u64) -> u64 {
+    let mut spins = 0u32;
+    loop {
+        let e = shared.epoch.load(Ordering::Acquire);
+        if e != last {
+            return e;
+        }
+        spins += 1;
+        if spins < 128 {
+            std::hint::spin_loop();
+        } else if spins < 192 {
+            std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(Duration::from_micros(200));
+        }
+    }
+}
+
+/// One pool worker: persistently owns partition `worker_id` (cores `c`
+/// with `c % partitions == worker_id`) and services phases until the
+/// driver publishes `quit`.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<A>(
+    problem: &Problem,
+    arbiter: &A,
+    mode: InterferenceMode,
+    access: Cycles,
+    shared: &Shared,
+    slots: &[SlotCell],
+    worker_id: usize,
+    partitions: usize,
+) where
+    A: Arbiter + Sync + ?Sized,
+{
+    let mut stats = AnalysisStats::default();
+    let mut last = 0u64;
+    loop {
+        let e = wait_for_phase(shared, last);
+        // `quit` is published before the final epoch bump (release), so
+        // acquiring the bumped epoch makes it visible here.
+        if shared.quit.load(Ordering::Acquire) {
+            break;
+        }
+        last = e;
+        // A phase is panic-confined: a panicking arbiter must not strand
+        // the driver waiting for this worker's acknowledgement. The first
+        // payload is stashed for the driver to re-raise; after that every
+        // worker just acknowledges phases until the driver quits.
+        if !shared.panicked.load(Ordering::Acquire) {
             let phase = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                newly_cores.clear();
-                newly_cores.extend(newly.iter().map(|&(c, _, _)| c));
-
-                // Open the newly occupied slots this worker owns. Closes
-                // are not forwarded to the pool (occupancy travels in
-                // the step message), so a slot may still be marked busy
-                // from its previous task — release it first.
-                for &(core, task, release) in &newly {
-                    if local[core] != usize::MAX {
-                        let slot = &mut slots[local[core]];
-                        slot.close();
-                        slot.open(task, release);
-                    }
-                }
-                // Account every owned, occupied destination in the
-                // sequential per-destination order.
-                out.clear();
-                recorder.events.clear();
-                for core in (worker_id..cores).step_by(workers) {
-                    if occupants[core].is_none() {
-                        continue;
-                    }
-                    let slot = &mut slots[local[core]];
-                    let dest_is_new = newly_cores.binary_search(&core).is_ok();
-                    let before = slot.total_inter;
-                    let observer: &mut dyn Observer = if shared.relay_events {
-                        recorder.core = core;
-                        &mut recorder
-                    } else {
-                        &mut NoopObserver
-                    };
-                    account_destination(
-                        problem,
-                        arbiter,
-                        mode,
-                        access,
-                        slot,
-                        core,
-                        dest_is_new,
-                        &newly_cores,
-                        &occupants,
-                        observer,
+                // SAFETY: command is read-only during a phase.
+                let cmd = unsafe { &*shared.cmd.0.get() };
+                if cmd.kind == PhaseKind::Account {
+                    let events = shared.relay_events.then(|| {
+                        // SAFETY: this worker exclusively owns its out
+                        // buffer during the phase; the driver drained it
+                        // after the previous one.
+                        unsafe { &mut *shared.outs[worker_id].0.get() }
+                    });
+                    account_partition(
+                        problem, arbiter, mode, access, slots, cmd, worker_id, partitions, events,
                         &mut stats,
                     );
-                    if slot.total_inter != before {
-                        out.push((core, slot.total_inter));
-                    }
-                }
-                if !out.is_empty() {
-                    Shared::lock_ignoring_poison(&shared.results).extend_from_slice(&out);
-                }
-                if !recorder.events.is_empty() {
-                    Shared::lock_ignoring_poison(&shared.events)
-                        .extend_from_slice(&recorder.events);
                 }
             }));
             if let Err(payload) = phase {
-                Shared::lock_ignoring_poison(&shared.worker_panic).get_or_insert(payload);
+                Shared::lock_ignoring_poison(&shared.panic_payload).get_or_insert(payload);
+                shared.panicked.store(true, Ordering::Release);
             }
         }
-        shared.done.wait();
+        shared.done[worker_id].store(e, Ordering::Release);
     }
 
     let mut merged = Shared::lock_ignoring_poison(&shared.worker_stats);
@@ -675,7 +1008,7 @@ fn worker_loop<A>(
 mod tests {
     use super::*;
     use mia_model::arbiter::InterfererDemand;
-    use mia_model::{Mapping, Platform, Task, TaskGraph};
+    use mia_model::{CoreId, Mapping, Platform, Task, TaskGraph};
 
     struct Rr;
 
@@ -717,6 +1050,12 @@ mod tests {
         Problem::new(g, m, Platform::new(4, 4)).unwrap()
     }
 
+    /// Options that pin the threshold to 1: every non-empty phase fans
+    /// out, and the pool is spawned even on single-CPU hosts.
+    fn pinned() -> AnalysisOptions {
+        AnalysisOptions::new().parallel_engage(1)
+    }
+
     #[test]
     fn figure1_matches_sequential_for_every_pool_size() {
         let p = figure1();
@@ -727,7 +1066,63 @@ mod tests {
                     .unwrap();
             assert_eq!(seq.schedule, par.schedule, "threads = {threads}");
             assert_eq!(seq.stats, par.stats, "threads = {threads}");
+            assert!(par.parallel.is_some(), "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn pinned_engagement_fans_out_and_matches_sequential() {
+        let p = figure1();
+        let seq = crate::analyze_with(&p, &Rr, &AnalysisOptions::new(), &mut NoopObserver).unwrap();
+        for threads in [2usize, 3, 4, 8] {
+            let par =
+                analyze_parallel_with(&p, &Rr, &pinned(), threads, &mut NoopObserver).unwrap();
+            assert_eq!(seq.schedule, par.schedule, "threads = {threads}");
+            assert_eq!(seq.stats, par.stats, "threads = {threads}");
+            let info = par.parallel.expect("pool engaged");
+            assert_eq!(info.workers, threads.min(4), "threads = {threads}");
+            assert_eq!(info.engage_width, Some(1));
+            assert!(!info.auto_tuned);
+            assert!(info.fanout_steps > 0, "threads = {threads}");
+            assert_eq!(info.inline_steps, 0, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn auto_tuned_pool_matches_sequential_and_reports_itself() {
+        // The public gate skips the pool on hosts without parallelism, so
+        // exercise the auto-tuner through the pool driver directly.
+        let p = figure1();
+        let seq = crate::analyze_with(&p, &Rr, &AnalysisOptions::new(), &mut NoopObserver).unwrap();
+        let par = run_pool(
+            &p,
+            &Rr,
+            &AnalysisOptions::new(),
+            2,
+            &mut NoopObserver,
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(seq.schedule, par.schedule);
+        assert_eq!(seq.stats, par.stats);
+        let info = par.parallel.expect("pool ran");
+        assert_eq!(info.workers, 2);
+        assert!(info.auto_tuned);
+        // Every phase went somewhere, and the split is exhaustive.
+        assert!(info.fanout_steps + info.inline_steps > 0);
+    }
+
+    #[test]
+    fn fallback_still_reports_parallel_info() {
+        let p = figure1();
+        let par =
+            analyze_parallel_with(&p, &Rr, &AnalysisOptions::new(), 1, &mut NoopObserver).unwrap();
+        let info = par.parallel.expect("fallback info attached");
+        assert_eq!(info.workers, 1);
+        assert_eq!(info.engage_width, None);
+        assert_eq!(info.fanout_steps, 0);
+        assert_eq!(info.inline_steps, 0);
     }
 
     #[test]
@@ -742,19 +1137,23 @@ mod tests {
     #[test]
     fn deadline_and_cancellation_behave_like_analyze() {
         let p = figure1();
-        let opts = AnalysisOptions::new().deadline(Cycles(6));
+        let opts = AnalysisOptions::new()
+            .deadline(Cycles(6))
+            .parallel_engage(1);
         let err = analyze_parallel_with(&p, &Rr, &opts, 2, &mut NoopObserver).unwrap_err();
         assert!(matches!(err, AnalysisError::DeadlineExceeded { .. }));
 
         let token = crate::CancelToken::new();
         token.cancel();
-        let opts = AnalysisOptions::new().cancel_token(token);
+        let opts = AnalysisOptions::new()
+            .cancel_token(token)
+            .parallel_engage(1);
         let err = analyze_parallel_with(&p, &Rr, &opts, 2, &mut NoopObserver).unwrap_err();
         assert_eq!(err, AnalysisError::Cancelled);
     }
 
     #[test]
-    fn observer_stream_matches_sequential() {
+    fn observer_stream_matches_sequential_with_pool_engaged() {
         #[derive(Default, PartialEq, Debug)]
         struct Log {
             lines: Vec<String>,
@@ -777,8 +1176,9 @@ mod tests {
         let mut seq_log = Log::default();
         let mut par_log = Log::default();
         let seq = crate::analyze_with(&p, &Rr, &AnalysisOptions::new(), &mut seq_log).unwrap();
-        let par = analyze_parallel_with(&p, &Rr, &AnalysisOptions::new(), 2, &mut par_log).unwrap();
+        let par = analyze_parallel_with(&p, &Rr, &pinned(), 2, &mut par_log).unwrap();
         assert_eq!(seq.schedule, par.schedule);
+        assert!(par.parallel.expect("pool engaged").fanout_steps > 0);
         assert!(seq_log.lines.iter().any(|l| l.starts_with("inter")));
         assert_eq!(seq_log, par_log);
     }
@@ -786,8 +1186,9 @@ mod tests {
     #[test]
     fn panicking_arbiter_propagates_instead_of_deadlocking() {
         // A faulty user arbiter must behave like in the sequential
-        // analysis: the panic reaches the caller. The naive barrier
-        // protocol would instead deadlock the driver forever.
+        // analysis: the panic reaches the caller — with the pool spawned
+        // and every phase fanned out, so the worker-side confinement is
+        // what is under test.
         struct Bomb;
         impl Arbiter for Bomb {
             fn name(&self) -> &str {
@@ -808,7 +1209,9 @@ mod tests {
         // the test output.
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let caught = std::panic::catch_unwind(|| analyze_parallel(&p, &Bomb, 2));
+        let caught = std::panic::catch_unwind(|| {
+            analyze_parallel_with(&p, &Bomb, &pinned(), 2, &mut NoopObserver)
+        });
         std::panic::set_hook(prev);
         let payload = caught.expect_err("panic must propagate");
         let message = payload
@@ -826,7 +1229,9 @@ mod tests {
         let mut g2 = p.graph().clone();
         g2.task_mut(TaskId(3)).set_deadline(Some(Cycles(4)));
         let p2 = Problem::new(g2, p.mapping().clone(), p.platform().clone()).unwrap();
-        let opts = AnalysisOptions::new().task_deadlines(true);
+        let opts = AnalysisOptions::new()
+            .task_deadlines(true)
+            .parallel_engage(1);
         let err = analyze_parallel_with(&p2, &Rr, &opts, 2, &mut NoopObserver).unwrap_err();
         assert!(matches!(err, AnalysisError::TaskDeadlineMissed { .. }));
     }

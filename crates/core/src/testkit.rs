@@ -119,6 +119,16 @@ pub enum EngineKind {
         /// Worker pool size (0 = available parallelism).
         threads: usize,
     },
+    /// The layer-parallel engine with a pinned engagement threshold
+    /// ([`AnalysisOptions::parallel_engage`]): the pool is spawned even
+    /// on hosts without usable parallelism, so the harness exercises the
+    /// fan-out path everywhere.
+    ParallelPinned {
+        /// Worker pool size (0 = available parallelism).
+        threads: usize,
+        /// The pinned engagement threshold (1 = fan out every phase).
+        engage_width: usize,
+    },
 }
 
 impl fmt::Display for EngineKind {
@@ -127,20 +137,28 @@ impl fmt::Display for EngineKind {
             EngineKind::Sequential => write!(f, "sequential"),
             EngineKind::EventDriven => write!(f, "event-driven"),
             EngineKind::Parallel { threads } => write!(f, "parallel({threads})"),
+            EngineKind::ParallelPinned {
+                threads,
+                engage_width,
+            } => write!(f, "parallel({threads},engage={engage_width})"),
         }
     }
 }
 
 impl EngineKind {
-    /// Every engine: sequential, event-driven, and one parallel entry
-    /// per requested thread count.
+    /// Every engine: sequential, event-driven, and per requested thread
+    /// count one auto-gated parallel entry plus one with the engagement
+    /// threshold pinned to 1 (every phase fanned out — the pool runs even
+    /// where the auto gate would fall through to the sequential path).
     pub fn all(thread_counts: &[usize]) -> Vec<EngineKind> {
         let mut kinds = vec![EngineKind::Sequential, EngineKind::EventDriven];
-        kinds.extend(
-            thread_counts
-                .iter()
-                .map(|&threads| EngineKind::Parallel { threads }),
-        );
+        for &threads in thread_counts {
+            kinds.push(EngineKind::Parallel { threads });
+            kinds.push(EngineKind::ParallelPinned {
+                threads,
+                engage_width: 1,
+            });
+        }
         kinds
     }
 
@@ -168,6 +186,13 @@ impl EngineKind {
             }
             EngineKind::Parallel { threads } => {
                 analyze_parallel_with(problem, arbiter, options, threads, &mut log)?
+            }
+            EngineKind::ParallelPinned {
+                threads,
+                engage_width,
+            } => {
+                let pinned = options.clone().parallel_engage(engage_width);
+                analyze_parallel_with(problem, arbiter, &pinned, threads, &mut log)?
             }
         };
         Ok(EngineRun {
@@ -233,6 +258,15 @@ impl EngineKind {
             EngineKind::Parallel { threads } => resume_analyze_parallel_with(
                 problem, arbiter, options, threads, &mut log, checkpoint, prior, None,
             )?,
+            EngineKind::ParallelPinned {
+                threads,
+                engage_width,
+            } => {
+                let pinned = options.clone().parallel_engage(engage_width);
+                resume_analyze_parallel_with(
+                    problem, arbiter, &pinned, threads, &mut log, checkpoint, prior, None,
+                )?
+            }
         };
         Ok(EngineRun {
             schedule: report.schedule,
@@ -249,10 +283,13 @@ mod tests {
     #[test]
     fn engine_kinds_enumerate_and_render() {
         let kinds = EngineKind::all(&[2, 16]);
-        assert_eq!(kinds.len(), 4);
+        assert_eq!(kinds.len(), 6);
         assert_eq!(kinds[0].to_string(), "sequential");
         assert_eq!(kinds[1].to_string(), "event-driven");
-        assert_eq!(kinds[3].to_string(), "parallel(16)");
+        assert_eq!(kinds[2].to_string(), "parallel(2)");
+        assert_eq!(kinds[3].to_string(), "parallel(2,engage=1)");
+        assert_eq!(kinds[4].to_string(), "parallel(16)");
+        assert_eq!(kinds[5].to_string(), "parallel(16,engage=1)");
     }
 
     #[test]

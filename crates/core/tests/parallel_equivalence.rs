@@ -3,7 +3,7 @@
 //! response times), same work counters, same error behaviour — on any
 //! workload, any arbiter and any pool size.
 
-use mia_arbiter::{Fifo, FixedPriority, MppaTree, RoundRobin, Tdm};
+use mia_arbiter::{RoundRobin, REGISTRY};
 use mia_core::{
     analyze_parallel, analyze_parallel_with, analyze_with, AnalysisOptions, InterferenceMode,
     NoopObserver,
@@ -19,14 +19,12 @@ fn workload(family: Family, total: usize, seed: u64) -> Problem {
         .expect("valid workload")
 }
 
+/// Every registered arbiter, by canonical name — the full 7-entry grid.
 fn arbiters() -> Vec<Box<dyn Arbiter + Send + Sync>> {
-    vec![
-        Box::new(RoundRobin::new()),
-        Box::new(MppaTree::cluster16()),
-        Box::new(Tdm::new()),
-        Box::new(Fifo::new()),
-        Box::new(FixedPriority::by_core_id()),
-    ]
+    REGISTRY
+        .iter()
+        .map(|e| mia_arbiter::by_name(e.canonical).expect("registry name resolves"))
+        .collect()
 }
 
 proptest! {
@@ -57,6 +55,41 @@ proptest! {
             prop_assert_eq!(seq.stats.ibus_calls, par.stats.ibus_calls);
             prop_assert_eq!(seq.stats.pairs_considered, par.stats.pairs_considered);
             prop_assert_eq!(seq.stats.max_alive, par.stats.max_alive);
+        }
+    }
+
+    /// Layer widths straddling a pinned engagement threshold: with the
+    /// cutoff pinned at 4 and layer sizes from 2 to 8, every run mixes
+    /// inline phases (narrow layers, below the cutoff) and fanned-out
+    /// phases (wide layers) — the handoff boundary itself is what's under
+    /// test. Schedules and every work counter must match the sequential
+    /// engine for all 7 registered arbiters and pools of 2, 3 and 16.
+    #[test]
+    fn parallel_matches_sequential_around_engagement_threshold(
+        seed in 0u64..10_000,
+        total in 12usize..80,
+        ls in prop::sample::select(vec![2usize, 3, 4, 5, 8]),
+        threads in prop::sample::select(vec![2usize, 3, 16]),
+    ) {
+        const CUTOFF: usize = 4;
+        let p = workload(Family::FixedLayerSize(ls), total, seed);
+        let opts = AnalysisOptions::new().parallel_engage(CUTOFF);
+        for arb in arbiters() {
+            let seq = analyze_with(
+                &p, arb.as_ref(), &AnalysisOptions::new(), &mut NoopObserver,
+            ).unwrap();
+            let par = analyze_parallel_with(
+                &p, arb.as_ref(), &opts, threads, &mut NoopObserver,
+            ).unwrap();
+            prop_assert_eq!(
+                &seq.schedule, &par.schedule,
+                "arbiter {} ls {} threads {}", arb.name(), ls, threads
+            );
+            prop_assert_eq!(&seq.stats, &par.stats,
+                "arbiter {} ls {} threads {}", arb.name(), ls, threads);
+            let info = par.parallel.expect("pool engaged");
+            prop_assert_eq!(info.engage_width, Some(CUTOFF));
+            prop_assert!(!info.auto_tuned);
         }
     }
 

@@ -166,6 +166,19 @@ impl Workload {
     }
 }
 
+/// Pair count per layer boundary above which [`LayeredDag::generate`]
+/// switches from dense Bernoulli edge sampling to sparse geometric
+/// skipping (2²⁶ ≈ 67M pairs). Every workload committed in the repo —
+/// including the 100k-task sweep points — sits below this gate, so their
+/// graphs are unaffected; only million-task generations take the sparse
+/// path.
+const SPARSE_PAIR_LIMIT: usize = 1 << 26;
+
+/// Expected out-degree cap on the sparse path: the effective edge
+/// probability is clamped to `SPARSE_TARGET_OUT_DEGREE / next_layer_size`
+/// so edge count grows linearly (not quadratically) with layer size.
+const SPARSE_TARGET_OUT_DEGREE: f64 = 64.0;
+
 /// The layer-by-layer random DAG generator (Tobita–Kasahara style).
 #[derive(Debug, Clone)]
 pub struct LayeredDag {
@@ -263,14 +276,56 @@ impl LayeredDag {
             let (here, next) = (&layer_members[layer], &layer_members[layer + 1]);
             let mut has_successor = vec![false; here.len()];
             let mut has_predecessor = vec![false; next.len()];
-            for (i, &src) in here.iter().enumerate() {
-                for (j, &dst) in next.iter().enumerate() {
-                    if rng.random_bool(cfg.edge_probability) {
-                        let words = rng.random_range(cfg.edge_words.clone());
-                        let words = charge(&mut budget, src, dst, words);
-                        graph.add_edge(src, dst, words).expect("valid forward edge");
-                        has_successor[i] = true;
-                        has_predecessor[j] = true;
+            if here.len().saturating_mul(next.len()) > SPARSE_PAIR_LIMIT {
+                // Sparse path: at million-task scale a dense Bernoulli
+                // draw per (src, dst) pair is quadratic in the layer size
+                // and the resulting graph would not fit in memory either.
+                // Cap the expected out-degree and jump straight between
+                // hits with geometric gaps (each gap ~ Geom(p_eff), the
+                // standard inversion `floor(ln U / ln(1 − p))`) — the
+                // same marginal edge distribution, O(edges) time. Every
+                // committed workload sits below the gate, so their graphs
+                // are byte-identical to the dense path's.
+                let p_eff = cfg
+                    .edge_probability
+                    .min(SPARSE_TARGET_OUT_DEGREE / next.len() as f64);
+                if p_eff > 0.0 {
+                    let ln_keep = (1.0 - p_eff).ln();
+                    for (i, &src) in here.iter().enumerate() {
+                        let mut j = 0usize;
+                        loop {
+                            let u: f64 = rng.random_range(0.0..1.0);
+                            if u <= 0.0 {
+                                break; // measure-zero draw; skip the row
+                            }
+                            let gap = (u.ln() / ln_keep).floor();
+                            if gap >= (next.len() - j) as f64 {
+                                break;
+                            }
+                            j += gap as usize;
+                            let dst = next[j];
+                            let words = rng.random_range(cfg.edge_words.clone());
+                            let words = charge(&mut budget, src, dst, words);
+                            graph.add_edge(src, dst, words).expect("valid forward edge");
+                            has_successor[i] = true;
+                            has_predecessor[j] = true;
+                            j += 1;
+                            if j >= next.len() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            } else {
+                for (i, &src) in here.iter().enumerate() {
+                    for (j, &dst) in next.iter().enumerate() {
+                        if rng.random_bool(cfg.edge_probability) {
+                            let words = rng.random_range(cfg.edge_words.clone());
+                            let words = charge(&mut budget, src, dst, words);
+                            graph.add_edge(src, dst, words).expect("valid forward edge");
+                            has_successor[i] = true;
+                            has_predecessor[j] = true;
+                        }
                     }
                 }
             }
@@ -435,6 +490,37 @@ mod tests {
                 assert!(w.graph.out_degree(id) > 0, "task {id} lacks successors");
             }
         }
+    }
+
+    #[test]
+    fn sparse_path_keeps_connectivity_and_bounds_degree() {
+        // Two layers of 8200 tasks: 67.24M pairs, just over the sparse
+        // gate — the geometric-skipping path must still produce a fully
+        // connected bipartite step with out-degrees around the cap.
+        let cfg = LayeredDagConfig {
+            layers: 2,
+            layer_size: 8200,
+            remainder: 0,
+            seed: 11,
+            ..LayeredDagConfig::default()
+        };
+        assert!(cfg.layer_size * cfg.layer_size > super::SPARSE_PAIR_LIMIT);
+        let w = LayeredDag::new(cfg).generate();
+        let mut max_out = 0;
+        for (id, _) in w.graph.iter() {
+            if w.layers[id.index()] == 0 {
+                assert!(w.graph.out_degree(id) > 0, "task {id} lacks successors");
+                max_out = max_out.max(w.graph.out_degree(id));
+            } else {
+                assert!(w.graph.in_degree(id) > 0, "task {id} lacks predecessors");
+            }
+        }
+        // Expected out-degree is SPARSE_TARGET_OUT_DEGREE; a dense draw
+        // at p = 0.5 would give ~4100. Allow generous sampling slack.
+        assert!(
+            max_out < 3 * super::SPARSE_TARGET_OUT_DEGREE as usize,
+            "sparse path failed to cap the out-degree (max {max_out})"
+        );
     }
 
     #[test]

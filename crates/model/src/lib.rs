@@ -19,7 +19,10 @@
 //! * [`Problem`]: a validated bundle of graph + mapping + platform that the
 //!   analysis crates consume, and
 //! * [`scratch::DemandMerge`]: reusable generation-stamped merge buffers
-//!   shared by the analysis hot paths (`mia-core`, `mia-baseline`).
+//!   shared by the analysis hot paths (`mia-core`, `mia-baseline`), and
+//! * [`TaskTable`]: a structure-of-arrays compaction of the graph (dense
+//!   WCET/release columns plus CSR successor lists) built once per
+//!   analysis run for the cursor hot loop.
 //!
 //! # Example
 //!
@@ -59,6 +62,7 @@ mod platform;
 mod problem;
 mod schedule;
 pub mod scratch;
+mod table;
 mod task;
 mod time;
 
@@ -72,5 +76,6 @@ pub use platform::Platform;
 pub use problem::Problem;
 pub use schedule::{Schedule, ScheduleViolation, TaskTiming};
 pub use scratch::DemandMerge;
+pub use table::TaskTable;
 pub use task::{Task, TaskBuilder};
 pub use time::Cycles;

@@ -1,0 +1,165 @@
+//! A structure-of-arrays compaction of the task graph for analysis hot
+//! loops.
+//!
+//! [`TaskGraph`] stores rich [`Task`](crate::Task) records (name, demand
+//! map, deadline, …) plus edge lists behind two levels of indirection
+//! (`Vec<EdgeId>` per task into a shared `Vec<Edge>`). That layout is
+//! right for construction and editing, but the cursor driver of the
+//! incremental analysis touches only three fields — WCET, minimal release
+//! date, successor ids — once per task per run, and at 10⁶ tasks the
+//! pointer-chasing and the cold `Task` cache lines dominate the loop.
+//!
+//! [`TaskTable`] flattens exactly those fields: dense per-task arrays for
+//! WCET and minimal release, and the successor lists compacted into a
+//! single CSR (offsets + targets) pair so a task's successors are one
+//! contiguous slice. It is built once per analysis run in `O(n + e)` and
+//! is immutable afterwards, so engines and worker pools can share it
+//! freely.
+
+use crate::{Cycles, TaskGraph, TaskId};
+
+/// Dense, read-only per-task columns of a [`TaskGraph`]: the fields the
+/// analysis cursor reads once per task, laid out for sequential access.
+/// See the [module documentation](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskTable {
+    /// WCET per task, indexed by task id.
+    wcet: Vec<Cycles>,
+    /// Minimal release date per task, indexed by task id.
+    min_release: Vec<Cycles>,
+    /// CSR offsets into `succ_targets`; length `n + 1`.
+    succ_offsets: Vec<u32>,
+    /// Successor task ids, grouped by source task in edge-insertion
+    /// order (matching [`TaskGraph::successors`]).
+    succ_targets: Vec<TaskId>,
+}
+
+impl TaskTable {
+    /// Compacts `graph` into dense columns; `O(n + e)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` edges (such a graph
+    /// cannot be built in memory anyway).
+    pub fn new(graph: &TaskGraph) -> Self {
+        let n = graph.len();
+        let e = graph.edge_count();
+        assert!(
+            u32::try_from(e).is_ok(),
+            "task graph exceeds u32 edge capacity"
+        );
+        let mut wcet = Vec::with_capacity(n);
+        let mut min_release = Vec::with_capacity(n);
+        let mut succ_offsets = Vec::with_capacity(n + 1);
+        let mut succ_targets = Vec::with_capacity(e);
+        succ_offsets.push(0);
+        for (id, task) in graph.iter() {
+            wcet.push(task.wcet());
+            min_release.push(task.min_release());
+            succ_targets.extend(graph.successors(id).map(|edge| edge.dst));
+            succ_offsets.push(succ_targets.len() as u32);
+        }
+        TaskTable {
+            wcet,
+            min_release,
+            succ_offsets,
+            succ_targets,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.wcet.len()
+    }
+
+    /// True when the table covers no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.wcet.is_empty()
+    }
+
+    /// The WCET of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[inline]
+    pub fn wcet(&self, task: TaskId) -> Cycles {
+        self.wcet[task.index()]
+    }
+
+    /// The minimal release date of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[inline]
+    pub fn min_release(&self, task: TaskId) -> Cycles {
+        self.min_release[task.index()]
+    }
+
+    /// The successors of `task` as one contiguous slice, in the same
+    /// order as [`TaskGraph::successors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[inline]
+    pub fn successors(&self, task: TaskId) -> &[TaskId] {
+        let lo = self.succ_offsets[task.index()] as usize;
+        let hi = self.succ_offsets[task.index() + 1] as usize;
+        &self.succ_targets[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Task;
+
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::builder("a").wcet(Cycles(3)));
+        let b = g.add_task(Task::builder("b").wcet(Cycles(5)).min_release(Cycles(2)));
+        let c = g.add_task(Task::builder("c").wcet(Cycles(7)));
+        let d = g.add_task(Task::builder("d").wcet(Cycles(11)));
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(a, c, 1).unwrap();
+        g.add_edge(b, d, 1).unwrap();
+        g.add_edge(c, d, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn columns_match_the_graph() {
+        let g = diamond();
+        let t = TaskTable::new(&g);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        for (id, task) in g.iter() {
+            assert_eq!(t.wcet(id), task.wcet());
+            assert_eq!(t.min_release(id), task.min_release());
+            let from_graph: Vec<TaskId> = g.successors(id).map(|e| e.dst).collect();
+            assert_eq!(t.successors(id), from_graph.as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_table() {
+        let t = TaskTable::new(&TaskGraph::new());
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn successor_order_is_insertion_order() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::builder("a"));
+        let z = g.add_task(Task::builder("z"));
+        let m = g.add_task(Task::builder("m"));
+        g.add_edge(a, z, 1).unwrap();
+        g.add_edge(a, m, 1).unwrap();
+        let t = TaskTable::new(&g);
+        assert_eq!(t.successors(a), &[z, m]);
+        assert_eq!(t.successors(z), &[] as &[TaskId]);
+    }
+}

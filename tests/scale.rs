@@ -124,6 +124,75 @@ fn one_hundred_thousand_task_makespan_is_pinned() {
     assert!(report.stats.cursor_steps <= 2 * problem.len() + 1);
 }
 
+/// The million-task pin (ROADMAP "Raise the scale axis to 1M"): the
+/// makespan is a fixed constant, the run stays inside a generous CI
+/// budget, and the persistent-pool parallel engine reproduces the
+/// sequential result bit for bit — both through the public entry point
+/// (auto-gated: real pool on multi-core hosts, sequential fallback
+/// elsewhere) and with the pool forced up via a pinned engagement
+/// threshold above the platform width (workers spawned and parked, every
+/// phase inline — the pool lifecycle at 10⁶ tasks with no handoff tax).
+///
+/// Release-only, like the 32k/100k pins; CI runs it in the dedicated
+/// `scale` job.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: run with cargo test --release"
+)]
+fn one_million_task_makespan_is_pinned() {
+    let workload = LayeredDag::new(Family::FixedLayerSize(64).config(1_000_000, 7)).generate();
+    let problem = workload.into_problem(&Platform::mppa256_cluster()).unwrap();
+    let t0 = Instant::now();
+    let seq = analyze_with(
+        &problem,
+        &RoundRobin::new(),
+        &AnalysisOptions::new(),
+        &mut NoopObserver,
+    )
+    .unwrap();
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed.as_secs() < 300,
+        "1M tasks took {elapsed:?} — over the CI budget"
+    );
+    assert_eq!(seq.schedule.makespan(), Cycles(90_817_068));
+    assert_eq!(seq.schedule.len(), 1_000_000);
+    assert!(seq.stats.max_alive <= 16);
+    assert!(seq.stats.cursor_steps <= 2 * problem.len() + 1);
+
+    // Public entry point: pool on hosts with parallelism, fallback
+    // elsewhere — bit-identical either way.
+    let par = mia::analysis::analyze_parallel_with(
+        &problem,
+        &RoundRobin::new(),
+        &AnalysisOptions::new(),
+        16,
+        &mut NoopObserver,
+    )
+    .unwrap();
+    assert_eq!(par.schedule, seq.schedule);
+    assert_eq!(par.stats, seq.stats);
+
+    // Pool forced up regardless of host: the threshold sits above the
+    // 16-core platform width, so workers spawn, park and shut down while
+    // every phase runs inline — the persistent-pool lifecycle at 10⁶
+    // tasks without paying 10⁶ handoffs on single-CPU CI runners.
+    let pinned = mia::analysis::analyze_parallel_with(
+        &problem,
+        &RoundRobin::new(),
+        &AnalysisOptions::new().parallel_engage(17),
+        16,
+        &mut NoopObserver,
+    )
+    .unwrap();
+    assert_eq!(pinned.schedule, seq.schedule);
+    assert_eq!(pinned.stats, seq.stats);
+    let info = pinned.parallel.expect("pool spawned");
+    assert_eq!(info.workers, 16);
+    assert_eq!(info.engage_width, Some(17));
+}
+
 #[test]
 fn makespan_grows_with_task_count_within_a_family() {
     let platform = Platform::mppa256_cluster();
