@@ -26,12 +26,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Pareto mode folds the arbiter axis into each run's joint search,
+    // so the grid is families × sizes with the arbiters inside.
+    let arbiter_runs = if spec.pareto { 1 } else { spec.arbiters.len() };
     eprintln!(
-        "dse: {} grid points ({} families × {} sizes × {} arbiters), {} evals each",
-        spec.families.len() * spec.sizes.len() * spec.arbiters.len(),
+        "dse: {} grid points ({} families × {} sizes × {}), {} evals each",
+        spec.families.len() * spec.sizes.len() * arbiter_runs,
         spec.families.len(),
         spec.sizes.len(),
-        spec.arbiters.len(),
+        if spec.pareto {
+            format!("arbiters {} folded", spec.arbiters.join("+"))
+        } else {
+            format!("{} arbiters", spec.arbiters.len())
+        },
         spec.budget_evals,
     );
     let report = match run_dse(&spec, &|run| {

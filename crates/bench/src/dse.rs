@@ -18,7 +18,8 @@
 use std::time::Instant;
 
 use mia_dse::{
-    optimize, AnnealTuning, DseConfig, OptimizeReport, OptimizeRun, SearchSpace, Strategy,
+    optimize, optimize_joint, AnnealTuning, DseConfig, FrontRow, OptimizeReport, OptimizeRun,
+    ParetoConfig, SearchSpace, Strategy,
 };
 use mia_model::BankPolicy;
 
@@ -42,6 +43,9 @@ pub struct DseSpec {
     pub budget_evals: usize,
     /// Worker threads per search (0 = all cores). Wall-clock only.
     pub threads: usize,
+    /// Multi-objective mode: fold the arbiter list into one joint
+    /// search per grid point and report the Pareto front.
+    pub pareto: bool,
 }
 
 impl Default for DseSpec {
@@ -59,6 +63,7 @@ impl Default for DseSpec {
             seed: 7,
             budget_evals: 2_000,
             threads: 0,
+            pareto: false,
         }
     }
 }
@@ -74,61 +79,95 @@ impl Default for DseSpec {
 pub fn run_dse(spec: &DseSpec, progress: &dyn Fn(&OptimizeRun)) -> Result<OptimizeReport, String> {
     let started = Instant::now();
     let mut runs = Vec::new();
-    for family in &spec.families {
-        for &n in &spec.sizes {
-            let problem = family.problem(n, spec.seed)?;
-            let space = SearchSpace::new(problem, BankPolicy::PerCoreBank);
-            let config = DseConfig {
-                strategy: spec.strategy,
-                seed: spec.seed,
-                budget_evals: spec.budget_evals,
-                threads: spec.threads,
-                tuning: AnnealTuning::default(),
-            };
-            for arbiter_name in &spec.arbiters {
-                let arbiter = mia_arbiter::by_name_or_err(arbiter_name)?;
-                let run_started = Instant::now();
-                let result = optimize(&space, arbiter.as_ref(), &config)
-                    .map_err(|e| format!("{} / {arbiter_name}: {e}", family.label()))?;
-                let run = OptimizeRun {
-                    workload: family.label(),
-                    arbiter: arbiter_name.clone(),
-                    strategy: spec.strategy.label().to_owned(),
-                    n: space.seed_problem().len(),
-                    cores: space.seed_problem().platform().cores(),
-                    chains: result.chains,
-                    seed_makespan: result.seed_makespan,
-                    optimized_makespan: result.best_makespan,
-                    improvement_pct: result.improvement_pct(),
-                    evaluations: result.stats.evaluations,
-                    analyses: result.stats.analyses,
-                    cache_hits: result.stats.cache_hits,
-                    feasible_hits: result.stats.feasible_hits,
-                    infeasible_hits: result.stats.infeasible_hits,
-                    delta_resumes: result.stats.delta_resumes,
-                    bound_cutoffs: result.stats.bound_cutoffs,
-                    cache_hit_rate: result.stats.hit_rate(),
-                    infeasible: result.stats.infeasible,
-                    accepted: result.accepted,
-                    best_chain: result.best_chain,
-                    seconds: run_started.elapsed().as_secs_f64(),
-                    mapping: None,
-                };
-                progress(&run);
-                runs.push(run);
-            }
-        }
-    }
-    // Every grid point shares one worker resolution — record what the
-    // searches actually ran with, and the raw spec separately.
-    let resolved = DseConfig {
+    let make_config = || DseConfig {
         strategy: spec.strategy,
         seed: spec.seed,
         budget_evals: spec.budget_evals,
         threads: spec.threads,
         tuning: AnnealTuning::default(),
+        pareto: spec.pareto.then(ParetoConfig::default),
+    };
+    let make_run = |space: &SearchSpace,
+                    family_label: String,
+                    arbiter: String,
+                    result: &mia_dse::DseResult,
+                    seconds: f64| OptimizeRun {
+        workload: family_label,
+        arbiter,
+        strategy: spec.strategy.label().to_owned(),
+        n: space.seed_problem().len(),
+        cores: space.seed_problem().platform().cores(),
+        chains: result.chains,
+        seed_makespan: result.seed_makespan,
+        optimized_makespan: result.best_makespan,
+        improvement_pct: result.improvement_pct(),
+        evaluations: result.stats.evaluations,
+        analyses: result.stats.analyses,
+        cache_hits: result.stats.cache_hits,
+        feasible_hits: result.stats.feasible_hits,
+        infeasible_hits: result.stats.infeasible_hits,
+        delta_resumes: result.stats.delta_resumes,
+        bound_cutoffs: result.stats.bound_cutoffs,
+        cache_hit_rate: result.stats.hit_rate(),
+        infeasible: result.stats.infeasible,
+        accepted: result.accepted,
+        best_chain: result.best_chain,
+        seconds,
+        mapping: None,
+        front_size: result.front.len(),
+        hypervolume: result.hypervolume,
+        front: result.front.iter().map(FrontRow::from_point).collect(),
+    };
+    for family in &spec.families {
+        for &n in &spec.sizes {
+            let problem = family.problem(n, spec.seed)?;
+            let space = SearchSpace::new(problem, BankPolicy::PerCoreBank);
+            let config = make_config();
+            if spec.pareto {
+                // One joint search per grid point: the arbiter list
+                // becomes a search axis instead of an outer loop.
+                let boxed: Vec<_> = spec
+                    .arbiters
+                    .iter()
+                    .map(|name| mia_arbiter::by_name_or_err(name))
+                    .collect::<Result<_, _>>()?;
+                let refs: Vec<&(dyn mia_model::arbiter::Arbiter + Send + Sync)> =
+                    boxed.iter().map(std::convert::AsRef::as_ref).collect();
+                let arbiter_label = spec.arbiters.join("+");
+                let run_started = Instant::now();
+                let result = optimize_joint(&space, &refs, &config)
+                    .map_err(|e| format!("{} / {arbiter_label}: {e}", family.label()))?;
+                let run = make_run(
+                    &space,
+                    family.label(),
+                    arbiter_label,
+                    &result,
+                    run_started.elapsed().as_secs_f64(),
+                );
+                progress(&run);
+                runs.push(run);
+            } else {
+                for arbiter_name in &spec.arbiters {
+                    let arbiter = mia_arbiter::by_name_or_err(arbiter_name)?;
+                    let run_started = Instant::now();
+                    let result = optimize(&space, arbiter.as_ref(), &config)
+                        .map_err(|e| format!("{} / {arbiter_name}: {e}", family.label()))?;
+                    let run = make_run(
+                        &space,
+                        family.label(),
+                        arbiter_name.clone(),
+                        &result,
+                        run_started.elapsed().as_secs_f64(),
+                    );
+                    progress(&run);
+                    runs.push(run);
+                }
+            }
+        }
     }
-    .resolved_workers();
+    // Every grid point shares one worker resolution — record what the
+    // searches actually ran with, and the raw spec separately.
+    let resolved = make_config().resolved_workers();
     Ok(OptimizeReport {
         seed: spec.seed,
         budget_evals: spec.budget_evals,
@@ -152,6 +191,7 @@ pub fn run_dse(spec: &DseSpec, progress: &dyn Fn(&OptimizeRun)) -> Result<Optimi
 /// --seed N                                  [7]
 /// --budget-evals N                          [2000]
 /// --threads N (0 = all cores)               [0]
+/// --pareto                                  scalar by default
 /// --csv                                     JSON by default
 /// -o, --out FILE                            [stdout]
 /// ```
@@ -224,6 +264,11 @@ pub fn parse_dse_spec(args: &[String]) -> Result<(DseSpec, Option<String>, bool)
                     .map_err(|_| "--threads must be a number".to_owned())?;
             }
             "-o" | "--out" => out = Some(value_of(args, i, flag)?),
+            "--pareto" => {
+                spec.pareto = true;
+                i += 1;
+                continue;
+            }
             "--csv" => {
                 csv = true;
                 i += 1;
@@ -258,6 +303,7 @@ mod tests {
             seed: 7,
             budget_evals: 40,
             threads: 1,
+            pareto: false,
         };
         let seen = std::cell::Cell::new(0);
         let report = run_dse(&spec, &|_| seen.set(seen.get() + 1)).unwrap();
@@ -287,6 +333,7 @@ mod tests {
             seed: 2,
             budget_evals: 60,
             threads: 2,
+            pareto: false,
         };
         let a = run_dse(&spec, &|_| {}).unwrap();
         let b = run_dse(&spec, &|_| {}).unwrap();
@@ -313,6 +360,7 @@ mod tests {
             "500",
             "--threads",
             "4",
+            "--pareto",
             "--csv",
             "-o",
             "x.json",
@@ -328,6 +376,7 @@ mod tests {
         assert_eq!(spec.seed, 9);
         assert_eq!(spec.budget_evals, 500);
         assert_eq!(spec.threads, 4);
+        assert!(spec.pareto);
         assert!(csv);
         assert_eq!(out.as_deref(), Some("x.json"));
     }
@@ -343,6 +392,34 @@ mod tests {
         assert!(bad(&["--strategy", "quantum"]).contains("unknown strategy"));
         assert!(bad(&["--chains", "0"]).contains("--chains"));
         assert!(bad(&["--frobnicate", "1"]).contains("unknown dse flag"));
+    }
+
+    #[test]
+    fn pareto_grids_fold_the_arbiters_and_report_fronts() {
+        let spec = DseSpec {
+            families: vec![SweepFamily::Rosace],
+            arbiters: vec!["rr".to_owned(), "mppa".to_owned()],
+            sizes: vec![25],
+            strategy: Strategy::Portfolio { chains: 3 },
+            seed: 7,
+            budget_evals: 90,
+            threads: 1,
+            pareto: true,
+        };
+        let report = run_dse(&spec, &|_| {}).unwrap();
+        // One joint run per grid point, not one per arbiter.
+        assert_eq!(report.runs.len(), 1);
+        let run = &report.runs[0];
+        assert_eq!(run.arbiter, "rr+mppa");
+        assert!(run.front_size >= 1, "{run:?}");
+        assert_eq!(run.front.len(), run.front_size);
+        assert!(run.hypervolume >= 0.0);
+        // The front's best makespan is the scalar result.
+        let best = run.front.iter().map(|f| f.makespan).min().unwrap();
+        assert_eq!(best, run.optimized_makespan);
+        let json = mia_dse::report_json(&report);
+        assert!(json.contains("\"front\""));
+        assert!(json.contains("\"min_slack\""));
     }
 
     #[test]

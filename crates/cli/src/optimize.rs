@@ -24,7 +24,10 @@
 //! | `--seed N` | search PRNG seed (runs are deterministic per seed) | `0` |
 //! | `--budget-evals N` | total evaluation budget across chains | `2000` |
 //! | `--threads N` | worker threads (`0` = all cores); wall-clock only, never results | `0` |
-//! | `--arbiters A,B,…` | one independent search per arbiter | `rr` |
+//! | `--arbiters A,B,…` | one independent search per arbiter (folded into *one* joint search under `--pareto`) | `rr` |
+//! | `--pareto` | multi-objective joint search; the report gains the Pareto front | off |
+//! | `--objectives A,B,…` | dominance axes (`makespan`, `slack`, `bank`); implies `--pareto` | all three |
+//! | `--front-capacity N` | cap on reported front points (`0` = unbounded) | `64` |
 //! | `--seed-strategy S` | seed mapping for SDF/generated inputs (`etf`, `cyclic`, `balanced`, `heft`) | `cyclic` |
 //! | `--gen-seed N` | generator PRNG seed for family tokens | `0` |
 //! | `--cores N` / `--iterations K` / `--deadline C` | shared SDF expansion flags | 16 / 1 / — |
@@ -37,8 +40,8 @@ use std::time::Instant;
 
 use mia_core::AnalysisOptions;
 use mia_dse::{
-    optimize, render_dse_report, AnnealTuning, DseConfig, DseReportFormat, OptimizeReport,
-    OptimizeRun, SearchSpace, Strategy,
+    optimize, optimize_joint, render_dse_report, AnnealTuning, DseConfig, DseReportFormat,
+    FrontRow, ObjMask, OptimizeReport, OptimizeRun, ParetoConfig, SearchSpace, Strategy,
 };
 use mia_model::{BankPolicy, Cycles, Platform, Problem};
 
@@ -114,6 +117,17 @@ pub(crate) fn optimize_loaded(
             .map_err(|_| CliError::Usage("--deadline must be a number".into()))?;
         options = options.deadline(Cycles(deadline));
     }
+    // Multi-objective mode: `--pareto` (or an explicit `--objectives`
+    // mask, which implies it) switches the search to the joint-axis
+    // front-reporting driver. Without either flag, the scalar path below
+    // is byte-identical to the pre-Pareto CLI.
+    let pareto_requested = has_flag(args, "--pareto") || opt(args, "--objectives").is_some();
+    let mask = match opt(args, "--objectives") {
+        Some(spec) => ObjMask::parse(spec).map_err(CliError::Usage)?,
+        None => ObjMask::all(),
+    };
+    let front_capacity = parse_num("--front-capacity", 64)?;
+
     let n = problem.len();
     let cores = problem.platform().cores();
     let space = SearchSpace::new(problem, policy).with_options(options);
@@ -123,60 +137,96 @@ pub(crate) fn optimize_loaded(
         budget_evals,
         threads,
         tuning: AnnealTuning::default(),
+        pareto: pareto_requested.then_some(ParetoConfig {
+            mask,
+            capacity: front_capacity,
+        }),
     };
 
     let started = Instant::now();
-    let mut runs = Vec::with_capacity(arbiters.len());
+    let mut runs = Vec::new();
     let mut summary = String::new();
-    for name in &arbiters {
-        let arbiter = mia_arbiter::by_name_or_err(name).map_err(CliError::Usage)?;
+    let make_run = |name: &str, result: &mia_dse::DseResult, seconds: f64| OptimizeRun {
+        workload: label.to_owned(),
+        arbiter: name.to_owned(),
+        strategy: strategy.label().to_owned(),
+        n,
+        cores,
+        chains: result.chains,
+        seed_makespan: result.seed_makespan,
+        optimized_makespan: result.best_makespan,
+        improvement_pct: result.improvement_pct(),
+        evaluations: result.stats.evaluations,
+        analyses: result.stats.analyses,
+        cache_hits: result.stats.cache_hits,
+        feasible_hits: result.stats.feasible_hits,
+        infeasible_hits: result.stats.infeasible_hits,
+        delta_resumes: result.stats.delta_resumes,
+        bound_cutoffs: result.stats.bound_cutoffs,
+        cache_hit_rate: result.stats.hit_rate(),
+        infeasible: result.stats.infeasible,
+        accepted: result.accepted,
+        best_chain: result.best_chain,
+        seconds,
+        mapping: has_flag(args, "--with-mapping").then(|| {
+            (0..n)
+                .map(|i| {
+                    result
+                        .best_mapping
+                        .core_of(mia_model::TaskId::from_index(i))
+                        .0
+                })
+                .collect()
+        }),
+        front_size: result.front.len(),
+        hypervolume: result.hypervolume,
+        front: result.front.iter().map(FrontRow::from_point).collect(),
+    };
+
+    if config.pareto.is_some() {
+        // One joint run folds the whole arbiter list into the search.
+        let boxed: Vec<_> = arbiters
+            .iter()
+            .map(|name| mia_arbiter::by_name_or_err(name).map_err(CliError::Usage))
+            .collect::<Result<_, _>>()?;
+        let refs: Vec<&(dyn mia_model::arbiter::Arbiter + Send + Sync)> =
+            boxed.iter().map(std::convert::AsRef::as_ref).collect();
+        let name = arbiters.join("+");
         let run_started = Instant::now();
-        let result = optimize(&space, arbiter.as_ref(), &config)
+        let result = optimize_joint(&space, &refs, &config)
             .map_err(|e| CliError::Analysis(format!("{label} / {name}: {e}")))?;
         let seconds = run_started.elapsed().as_secs_f64();
         summary.push_str(&format!(
-            "{label} / {name}: makespan {} -> {} ({:+.2}%)  evals {}  delta resumes {}  cache hit rate {:.1}%  {:.2}s\n",
+            "{label} / {name}: makespan {} -> {} ({:+.2}%)  front {} ({})  hypervolume {:.4}  evals {}  {:.2}s\n",
             result.seed_makespan,
             result.best_makespan,
             -result.improvement_pct(),
+            result.front.len(),
+            mask.label(),
+            result.hypervolume,
             result.stats.evaluations,
-            result.stats.delta_resumes,
-            result.stats.hit_rate() * 100.0,
             seconds,
         ));
-        runs.push(OptimizeRun {
-            workload: label.to_owned(),
-            arbiter: name.clone(),
-            strategy: strategy.label().to_owned(),
-            n,
-            cores,
-            chains: result.chains,
-            seed_makespan: result.seed_makespan,
-            optimized_makespan: result.best_makespan,
-            improvement_pct: result.improvement_pct(),
-            evaluations: result.stats.evaluations,
-            analyses: result.stats.analyses,
-            cache_hits: result.stats.cache_hits,
-            feasible_hits: result.stats.feasible_hits,
-            infeasible_hits: result.stats.infeasible_hits,
-            delta_resumes: result.stats.delta_resumes,
-            bound_cutoffs: result.stats.bound_cutoffs,
-            cache_hit_rate: result.stats.hit_rate(),
-            infeasible: result.stats.infeasible,
-            accepted: result.accepted,
-            best_chain: result.best_chain,
-            seconds,
-            mapping: has_flag(args, "--with-mapping").then(|| {
-                (0..n)
-                    .map(|i| {
-                        result
-                            .best_mapping
-                            .core_of(mia_model::TaskId::from_index(i))
-                            .0
-                    })
-                    .collect()
-            }),
-        });
+        runs.push(make_run(&name, &result, seconds));
+    } else {
+        for name in &arbiters {
+            let arbiter = mia_arbiter::by_name_or_err(name).map_err(CliError::Usage)?;
+            let run_started = Instant::now();
+            let result = optimize(&space, arbiter.as_ref(), &config)
+                .map_err(|e| CliError::Analysis(format!("{label} / {name}: {e}")))?;
+            let seconds = run_started.elapsed().as_secs_f64();
+            summary.push_str(&format!(
+                "{label} / {name}: makespan {} -> {} ({:+.2}%)  evals {}  delta resumes {}  cache hit rate {:.1}%  {:.2}s\n",
+                result.seed_makespan,
+                result.best_makespan,
+                -result.improvement_pct(),
+                result.stats.evaluations,
+                result.stats.delta_resumes,
+                result.stats.hit_rate() * 100.0,
+                seconds,
+            ));
+            runs.push(make_run(name, &result, seconds));
+        }
     }
 
     let report = OptimizeReport {
@@ -449,6 +499,99 @@ mod tests {
             let err = run(&args(&bad)).unwrap_err();
             assert!(matches!(err, CliError::Usage(_)), "{bad:?}: {err}");
         }
+    }
+
+    #[test]
+    fn pareto_mode_folds_the_arbiters_into_one_front_reporting_run() {
+        let out = run(&args(&[
+            "optimize",
+            "LS4",
+            "-n",
+            "24",
+            "--arbiters",
+            "rr,mppa",
+            "--budget-evals",
+            "240",
+            "--seed",
+            "7",
+            "--pareto",
+        ]))
+        .unwrap();
+        // One joint run, not one per arbiter.
+        assert!(out.contains("LS4 / rr+mppa:"), "{out}");
+        assert!(out.contains("front "), "{out}");
+        for field in [
+            "\"front_size\"",
+            "\"hypervolume\"",
+            "\"front\"",
+            "\"min_slack\"",
+        ] {
+            assert!(out.contains(field), "missing {field}: {out}");
+        }
+        // The front's makespan-best never exceeds the scalar result of
+        // a single-arbiter search; the joint run gets a proportionally
+        // larger budget since it spreads chains over two variants and
+        // the full weight-profile rotation.
+        let scalar = run(&args(&[
+            "optimize",
+            "LS4",
+            "-n",
+            "24",
+            "--arbiters",
+            "rr",
+            "--budget-evals",
+            "120",
+            "--seed",
+            "7",
+            "--csv",
+        ]))
+        .unwrap();
+        let grab = |s: &str, marker: &str| -> u64 {
+            let line = s.lines().find(|l| l.contains(marker)).unwrap();
+            let rest = &line[line.find("-> ").unwrap() + 3..];
+            rest.split_whitespace().next().unwrap().parse().unwrap()
+        };
+        let joint_best = grab(&out, "rr+mppa");
+        let scalar_best: u64 = scalar
+            .lines()
+            .find(|l| l.starts_with("LS4,rr,"))
+            .unwrap()
+            .split(',')
+            .nth(6)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(joint_best <= scalar_best, "{joint_best} > {scalar_best}");
+    }
+
+    #[test]
+    fn objectives_flag_masks_dominance_and_implies_pareto() {
+        let out = run(&args(&[
+            "optimize",
+            "LS4",
+            "-n",
+            "24",
+            "--budget-evals",
+            "60",
+            "--objectives",
+            "makespan,bank",
+            "--csv",
+        ]))
+        .unwrap();
+        // CSV rows carry the front columns (13 = front_size).
+        let row = out.lines().find(|l| l.starts_with("LS4,rr,")).unwrap();
+        let front_size: usize = row.split(',').nth(13).unwrap().parse().unwrap();
+        assert!(front_size >= 1, "{out}");
+        let err = run(&args(&[
+            "optimize",
+            "LS4",
+            "-n",
+            "24",
+            "--objectives",
+            "latency",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
     }
 
     #[test]

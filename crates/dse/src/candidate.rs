@@ -3,18 +3,22 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use mia_model::{Mapping, ModelError, TaskGraph, TaskId};
+use mia_model::{BankPolicy, Mapping, ModelError, TaskGraph, TaskId};
 
-/// A canonical 128-bit hash of a candidate's mapping, used as the
+/// A canonical 128-bit hash of a candidate's design, used as the
 /// memo-cache key of [`Evaluator`](crate::Evaluator).
 ///
 /// Two candidates hash equal **iff** they describe the same design: the
 /// same per-core execution orders over the same number of cores (which
-/// fully determine a [`Mapping`], and therefore the analysis outcome).
+/// fully determine a [`Mapping`], and therefore the analysis outcome),
+/// plus — since the joint-axis search — the same arbiter variant,
+/// active-core budget and explicit bank placement.
 /// The hash is two independent FNV-1a streams over the canonical
-/// encoding `(core, order…)`; at 128 bits an accidental collision within
-/// a search budget of even billions of evaluations is beyond reach.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// encoding `(core, order…, axes)`; at 128 bits an accidental collision
+/// within a search budget of even billions of evaluations is beyond
+/// reach. The derived `Ord` is arbitrary but stable — the deterministic
+/// last-resort tie-break of [`crate::ParetoArchive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct CandidateKey(u64, u64);
 
 const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
@@ -151,6 +155,33 @@ pub struct Candidate {
     assignment: Vec<u32>,
     /// Execution order per core; fixed length (the platform's cores).
     orders: Vec<Vec<TaskId>>,
+    /// Arbiter variant index (joint-axis searches; 0 otherwise).
+    arbiter: u32,
+    /// Cores the search may place tasks on (`1..=cores()`); migrations
+    /// only target cores below this budget. Scalar searches leave it at
+    /// `cores()`, which makes the restriction vacuous.
+    active_cores: u32,
+    /// Explicit task→bank placement; `None` until the first bank move
+    /// materialises it from the search space's policy.
+    banks: Option<Vec<u32>>,
+}
+
+/// The joint-axis configuration of [`Candidate::propose_joint`]: which
+/// extra design axes (beyond mapping and order) the move distribution
+/// may touch, and their extents.
+#[derive(Debug, Clone, Copy)]
+pub struct JointAxes {
+    /// Number of arbiter variants (>1 enables arbiter-switch moves).
+    pub arbiters: u32,
+    /// Platform bank count (>1 enables task-to-bank remap moves).
+    pub banks: u32,
+    /// The policy explicit bank placements start from when a bank move
+    /// first materialises them.
+    pub policy: BankPolicy,
+    /// Enable active-core grow/shrink moves.
+    pub resize_cores: bool,
+    /// Enable task-to-bank remap moves.
+    pub remap_banks: bool,
 }
 
 /// The exact inverse of one applied move (see [`Candidate::propose`]).
@@ -194,6 +225,28 @@ pub enum Undo {
         /// The left position of the swapped adjacent pair.
         pos: usize,
     },
+    /// Revert an arbiter-variant switch (joint-axis searches).
+    SwitchArbiter {
+        /// Variant before the switch.
+        from: u32,
+    },
+    /// Revert an active-core budget change (joint-axis searches).
+    ResizeCores {
+        /// Budget before the move.
+        from: u32,
+    },
+    /// Revert a task-to-bank remap (joint-axis searches).
+    RemapBank {
+        /// The re-banked task.
+        task: TaskId,
+        /// Its bank before the move.
+        from: u32,
+        /// True when this move materialised the explicit bank vector
+        /// from the policy default; the undo then restores `banks` to
+        /// `None` so the round trip is exact (including [`PartialEq`]
+        /// and the memo key).
+        materialized: bool,
+    },
 }
 
 impl Candidate {
@@ -207,7 +260,32 @@ impl Candidate {
             .map(|c| mapping.order(mia_model::CoreId::from_index(c)).to_vec())
             .collect();
         orders.resize_with(cores.max(mapping.cores()), Vec::new);
-        Candidate { assignment, orders }
+        let active_cores = orders.len() as u32;
+        Candidate {
+            assignment,
+            orders,
+            arbiter: 0,
+            active_cores,
+            banks: None,
+        }
+    }
+
+    /// The arbiter variant this design runs under (0 outside joint
+    /// searches).
+    pub fn arbiter(&self) -> u32 {
+        self.arbiter
+    }
+
+    /// The active-core budget (equal to [`Candidate::cores`] outside
+    /// joint searches).
+    pub fn active_cores(&self) -> u32 {
+        self.active_cores
+    }
+
+    /// The explicit task→bank placement, when a bank move materialised
+    /// one (`None` means the search space's policy default applies).
+    pub fn banks(&self) -> Option<&[u32]> {
+        self.banks.as_deref()
     }
 
     /// Number of tasks.
@@ -254,6 +332,29 @@ impl Candidate {
             for &t in order {
                 a = fnv_step(a, u64::from(t.0));
                 b = fnv_step(b, u64::from(t.0));
+            }
+        }
+        // Joint design axes. Hashed unconditionally so the key of a
+        // plain candidate stays a pure function of its design, never of
+        // the search mode that produced it.
+        a = fnv_step(a, u64::from(self.arbiter));
+        b = fnv_step(b, u64::from(self.arbiter));
+        a = fnv_step(a, u64::from(self.active_cores));
+        b = fnv_step(b, u64::from(self.active_cores));
+        match &self.banks {
+            // Distinct sentinels keep `None` apart from any explicit
+            // placement (bank ids are < u64::MAX - 1).
+            None => {
+                a = fnv_step(a, u64::MAX);
+                b = fnv_step(b, u64::MAX);
+            }
+            Some(banks) => {
+                a = fnv_step(a, u64::MAX - 1);
+                b = fnv_step(b, u64::MAX - 1);
+                for &bank in banks {
+                    a = fnv_step(a, u64::from(bank));
+                    b = fnv_step(b, u64::from(bank));
+                }
             }
         }
         CandidateKey(a, b)
@@ -305,6 +406,24 @@ impl Candidate {
                 let mut v = vec![(core_a, pos_a), (core_b, pos_b)];
                 self.push_rebanked_producers(graph, a, &mut v);
                 self.push_rebanked_producers(graph, b, &mut v);
+                v
+            }
+            // An arbiter switch re-prices every access: invalidate the
+            // whole schedule (the earliest slot of every core). The
+            // delta objective additionally refuses cross-variant
+            // resumption on its own, so this is belt and braces for
+            // objectives without variant awareness.
+            Undo::SwitchArbiter { .. } => (0..self.cores()).map(|c| (c, 0)).collect(),
+            // The budget shapes future proposals only; the schedule of
+            // the current design is untouched.
+            Undo::ResizeCores { .. } => Vec::new(),
+            // Re-banking a task moves its own accesses and those of its
+            // producers (both endpoints of an edge charge the
+            // consumer's bank).
+            Undo::RemapBank { task, .. } => {
+                let core = self.core_of(task);
+                let mut v = vec![(core, self.position(task, core))];
+                self.push_rebanked_producers(graph, task, &mut v);
                 v
             }
         };
@@ -360,6 +479,11 @@ impl Candidate {
         let mut to = rng.random_range(0..self.cores() - 1);
         if to >= from {
             to += 1;
+        }
+        // Vacuous outside joint searches (the budget is all cores), so
+        // the scalar PRNG stream is untouched.
+        if to >= self.active_cores as usize {
+            return Undo::Noop;
         }
         let from_pos = self.position(task, from);
         let to_pos = rng.random_range(0..=self.orders[to].len());
@@ -457,6 +581,10 @@ impl Candidate {
             let mut to = rng.random_range(0..self.cores() - 1);
             if to >= from {
                 to += 1;
+            }
+            // Vacuous outside joint searches: the budget is all cores.
+            if to >= self.active_cores as usize {
+                continue;
             }
             let r = guide.rank(task);
             // The rank-sorted insertion window: after every lower rank,
@@ -563,6 +691,137 @@ impl Candidate {
         Undo::Noop
     }
 
+    /// Joint-axis [`Candidate::propose_guided`]: the same three guided
+    /// mapping moves plus — where `axes` enables them — an
+    /// arbiter-variant switch, an active-core budget grow/shrink and a
+    /// task-to-bank remap, all first-class moves with exact undos. The
+    /// kind is one uniform draw over the *available* kinds, so axes a
+    /// platform cannot express (one arbiter, one bank) cost no entropy.
+    ///
+    /// Like every proposal operator this never panics on degenerate
+    /// seeds (including orders that are not rank-sorted): a draw that
+    /// cannot be applied returns [`Undo::Noop`] and the evaluator's
+    /// remap validation stays the authority on feasibility.
+    pub fn propose_joint(
+        &mut self,
+        graph: &TaskGraph,
+        guide: &MoveGuide,
+        axes: &JointAxes,
+        rng: &mut StdRng,
+    ) -> Undo {
+        if self.is_empty() {
+            return Undo::Noop;
+        }
+        // Mapping moves are the workhorses (weight 2 each); axis moves
+        // are occasional jumps to another region of the design space
+        // (weight 1 each) — a joint chain must not spend half its
+        // budget on moves that rarely pay per proposal.
+        let mut kinds = [0u8; 9];
+        let mut count = 0usize;
+        if self.cores() >= 2 {
+            kinds[count..count + 4].copy_from_slice(&[0, 0, 1, 1]); // guided migrate + swap
+            count += 4;
+        }
+        kinds[count] = 2; // guided reorder
+        kinds[count + 1] = 2;
+        count += 2;
+        if axes.arbiters > 1 {
+            kinds[count] = 3;
+            count += 1;
+        }
+        if axes.resize_cores && self.cores() >= 2 {
+            kinds[count] = 4;
+            count += 1;
+        }
+        if axes.remap_banks && axes.banks > 1 {
+            kinds[count] = 5;
+            count += 1;
+        }
+        match kinds[rng.random_range(0..count)] {
+            0 => self.guided_migrate(graph, guide, rng),
+            1 => self.guided_swap(graph, guide, rng),
+            2 => self.guided_reorder(graph, guide, rng),
+            3 => self.switch_arbiter(axes.arbiters, rng),
+            4 => self.resize_cores(rng),
+            _ => self.remap_bank(axes, rng),
+        }
+    }
+
+    /// Jump straight to `variant` with an exact undo — the staggered
+    /// chain start of the joint-axis portfolio (chain *i* opens on
+    /// variant *i* mod *n*, so every arbiter is explored from proposal
+    /// zero instead of waiting on a lucky switch draw). Already there
+    /// is a [`Undo::Noop`].
+    pub fn jump_to_variant(&mut self, variant: u32) -> Undo {
+        if variant == self.arbiter {
+            return Undo::Noop;
+        }
+        let from = self.arbiter;
+        self.arbiter = variant;
+        Undo::SwitchArbiter { from }
+    }
+
+    /// Switch to a uniformly drawn *different* arbiter variant.
+    fn switch_arbiter(&mut self, variants: u32, rng: &mut StdRng) -> Undo {
+        let from = self.arbiter;
+        let mut next = rng.random_range(0..variants - 1);
+        if next >= from {
+            next += 1;
+        }
+        self.arbiter = next;
+        Undo::SwitchArbiter { from }
+    }
+
+    /// Grow or shrink the active-core budget by one. Growing requires
+    /// head-room; shrinking requires the retired core to be empty (a
+    /// migrate move has to drain it first), so the budget invariant —
+    /// no task on a core at or beyond the budget — is preserved.
+    fn resize_cores(&mut self, rng: &mut StdRng) -> Undo {
+        let from = self.active_cores;
+        if rng.random_bool(0.5) {
+            if (self.active_cores as usize) < self.cores() {
+                self.active_cores += 1;
+                return Undo::ResizeCores { from };
+            }
+        } else if self.active_cores > 1 && self.orders[self.active_cores as usize - 1].is_empty() {
+            self.active_cores -= 1;
+            return Undo::ResizeCores { from };
+        }
+        Undo::Noop
+    }
+
+    /// Move one uniformly drawn task to a uniformly drawn *different*
+    /// bank, materialising the explicit bank vector from the policy on
+    /// first use (SINTEO's per-task bank variables).
+    fn remap_bank(&mut self, axes: &JointAxes, rng: &mut StdRng) -> Undo {
+        if axes.banks < 2 {
+            return Undo::Noop;
+        }
+        let task = TaskId::from_index(rng.random_range(0..self.len()));
+        let materialized = self.banks.is_none();
+        if materialized {
+            let single = matches!(axes.policy, BankPolicy::SingleBank);
+            let derived = self
+                .assignment
+                .iter()
+                .map(|&core| if single { 0 } else { core % axes.banks })
+                .collect();
+            self.banks = Some(derived);
+        }
+        let banks = self.banks.as_mut().expect("materialised above");
+        let from = banks[task.index()];
+        let mut to = rng.random_range(0..axes.banks - 1);
+        if to >= from {
+            to += 1;
+        }
+        banks[task.index()] = to;
+        Undo::RemapBank {
+            task,
+            from,
+            materialized,
+        }
+    }
+
     /// True when `task` placed at `pos` on `core` respects its direct
     /// dependencies against the tasks currently ordered there.
     fn fits(&self, graph: &TaskGraph, task: TaskId, core: usize, pos: usize) -> bool {
@@ -608,6 +867,19 @@ impl Candidate {
                 self.assignment[b.index()] = core_b as u32;
             }
             Undo::Reorder { core, pos } => self.orders[core].swap(pos, pos + 1),
+            Undo::SwitchArbiter { from } => self.arbiter = from,
+            Undo::ResizeCores { from } => self.active_cores = from,
+            Undo::RemapBank {
+                task,
+                from,
+                materialized,
+            } => {
+                if materialized {
+                    self.banks = None;
+                } else if let Some(banks) = self.banks.as_mut() {
+                    banks[task.index()] = from;
+                }
+            }
         }
     }
 
@@ -709,6 +981,8 @@ mod tests {
                 Undo::Swap { .. } => seen[1] = true,
                 Undo::Reorder { .. } => seen[2] = true,
                 Undo::Noop => {}
+                // propose() never emits the joint-axis moves.
+                other => panic!("unexpected joint move {other:?}"),
             }
             // The mutated candidate still maps every task exactly once.
             c.to_mapping(&g).unwrap();
@@ -799,6 +1073,8 @@ mod tests {
                 Undo::Swap { .. } => seen[1] = true,
                 Undo::Reorder { .. } => seen[2] = true,
                 Undo::Noop => {}
+                // propose_guided() never emits the joint-axis moves.
+                other => panic!("unexpected joint move {other:?}"),
             }
             // No guided move inverts a direct dependency on any core.
             for order in &c.orders {
@@ -820,6 +1096,176 @@ mod tests {
             }
         }
         assert_eq!(seen, [true; 3], "all three guided operators must fire");
+    }
+
+    fn joint_axes() -> JointAxes {
+        JointAxes {
+            arbiters: 3,
+            banks: 4,
+            policy: BankPolicy::PerCoreBank,
+            resize_cores: true,
+            remap_banks: true,
+        }
+    }
+
+    #[test]
+    fn axis_changes_are_part_of_the_key() {
+        let g = graph(4);
+        let m = Mapping::from_assignment(&g, &[0, 1, 0, 1]).unwrap();
+        let base = Candidate::from_mapping(&m, 2);
+        let mut c = base.clone();
+        c.arbiter = 1;
+        assert_ne!(c.key(), base.key(), "arbiter variant");
+        let mut c = base.clone();
+        c.active_cores = 1;
+        assert_ne!(c.key(), base.key(), "core budget");
+        let mut c = base.clone();
+        c.banks = Some(vec![0, 1, 0, 1]);
+        assert_ne!(c.key(), base.key(), "explicit banks differ from None");
+    }
+
+    #[test]
+    fn every_joint_move_round_trips_through_its_undo() {
+        let g = chained_graph();
+        let m = Mapping::from_assignment(&g, &[0, 0, 0, 1, 1, 1]).unwrap();
+        let guide = MoveGuide::new(&g);
+        let axes = joint_axes();
+        let mut c = Candidate::from_mapping(&m, 4);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut seen = [false; 6];
+        for _ in 0..1500 {
+            let pristine = c.clone();
+            let undo = c.propose_joint(&g, &guide, &axes, &mut rng);
+            match undo {
+                Undo::Migrate { .. } => seen[0] = true,
+                Undo::Swap { .. } => seen[1] = true,
+                Undo::Reorder { .. } => seen[2] = true,
+                Undo::SwitchArbiter { .. } => seen[3] = true,
+                Undo::ResizeCores { .. } => seen[4] = true,
+                Undo::RemapBank { .. } => seen[5] = true,
+                Undo::Noop => {}
+            }
+            // Structural invariants hold mid-move…
+            c.to_mapping(&g).unwrap();
+            assert!(c.arbiter < axes.arbiters);
+            assert!(c.active_cores >= 1 && c.active_cores as usize <= c.cores());
+            if let Some(banks) = c.banks() {
+                assert!(banks.iter().all(|&b| b < axes.banks));
+            }
+            // …and the undo is exact, axes included (PartialEq covers
+            // arbiter, active_cores and banks).
+            c.undo(undo);
+            assert_eq!(c, pristine);
+            // Walk the space too, so later moves start from varied
+            // states (keep only states that stay feasible).
+            let undo = c.propose_joint(&g, &guide, &axes, &mut rng);
+            if c.to_mapping(&g).is_err() {
+                c.undo(undo);
+            }
+        }
+        assert_eq!(seen, [true; 6], "all six joint operators must fire");
+    }
+
+    #[test]
+    fn bank_moves_materialise_and_dematerialise_exactly() {
+        let g = graph(4);
+        let m = Mapping::from_assignment(&g, &[0, 1, 0, 1]).unwrap();
+        let axes = joint_axes();
+        let mut c = Candidate::from_mapping(&m, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(c.banks().is_none());
+        let undo = c.remap_bank(&axes, &mut rng);
+        let Undo::RemapBank {
+            task,
+            from,
+            materialized,
+        } = undo
+        else {
+            panic!("expected a bank move, got {undo:?}");
+        };
+        assert!(materialized, "first bank move materialises the vector");
+        // PerCoreBank default: bank = core % banks; the moved task left
+        // its derived bank.
+        let banks = c.banks().unwrap();
+        assert_eq!(from, c.core_of(task) as u32 % axes.banks);
+        assert_ne!(banks[task.index()], from);
+        for (i, &b) in banks.iter().enumerate() {
+            if i != task.index() {
+                assert_eq!(b, c.core_of(TaskId::from_index(i)) as u32 % axes.banks);
+            }
+        }
+        c.undo(undo);
+        assert!(
+            c.banks().is_none(),
+            "undoing the materialising move restores None"
+        );
+    }
+
+    #[test]
+    fn shrink_requires_an_empty_core_and_migrations_respect_the_budget() {
+        let g = graph(4);
+        let m = Mapping::from_assignment(&g, &[0, 1, 2, 3]).unwrap();
+        let mut c = Candidate::from_mapping(&m, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Every core is occupied: no shrink can fire.
+        for _ in 0..50 {
+            let undo = c.resize_cores(&mut rng);
+            match undo {
+                Undo::Noop => {}
+                Undo::ResizeCores { .. } => {
+                    panic!("grew past the platform or shrank an occupied core")
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Drain core 3, then shrink; migrations must then avoid core 3.
+        let drained = TaskId(3);
+        c.orders[3].clear();
+        c.orders[0].push(drained);
+        c.assignment[3] = 0;
+        loop {
+            if let Undo::ResizeCores { from } = c.resize_cores(&mut rng) {
+                assert_eq!(from, 4);
+                break;
+            }
+        }
+        assert_eq!(c.active_cores(), 3);
+        let guide = MoveGuide::new(&g);
+        for _ in 0..400 {
+            let undo = c.guided_migrate(&g, &guide, &mut rng);
+            assert!(
+                c.orders[3].is_empty(),
+                "migration targeted a retired core ({undo:?})"
+            );
+            c.undo(undo);
+        }
+    }
+
+    #[test]
+    fn joint_proposals_reject_gracefully_on_non_rank_sorted_seeds() {
+        // A feasible order that is NOT rank-sorted: task 3 (rank 0)
+        // runs after task 1 (rank 1) on core 0. The guide's windows are
+        // then heuristic; proposals must degrade to Noop or feasible
+        // moves, never panic.
+        let g = chained_graph();
+        let m = Mapping::from_orders(
+            &g,
+            vec![
+                vec![TaskId(0), TaskId(1), TaskId(3), TaskId(2)],
+                vec![TaskId(4), TaskId(5)],
+            ],
+        )
+        .unwrap();
+        let guide = MoveGuide::new(&g);
+        let axes = joint_axes();
+        let mut c = Candidate::from_mapping(&m, 2);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..1000 {
+            let pristine = c.clone();
+            let undo = c.propose_joint(&g, &guide, &axes, &mut rng);
+            c.undo(undo);
+            assert_eq!(c, pristine);
+        }
     }
 
     #[test]

@@ -3,9 +3,9 @@
 use std::collections::HashMap;
 
 use mia_core::AnalysisOptions;
-use mia_model::{BankPolicy, Cycles, Problem};
+use mia_model::{BankId, BankPolicy, Cycles, Problem};
 
-use crate::{Candidate, CandidateKey, DseError, MoveVerdict, Objective, ObjectiveError};
+use crate::{Candidate, CandidateKey, DseError, MoveVerdict, ObjVec, Objective, ObjectiveError};
 
 /// The fixed part of a design-space exploration: the seed problem (its
 /// mapping is the incumbent the search must never lose to), the bank
@@ -115,8 +115,8 @@ impl EvalStats {
 /// One memoised evaluation outcome.
 #[derive(Debug, Clone, Copy)]
 enum Cached {
-    /// Completed with this exact cost.
-    Exact(u64),
+    /// Completed with this exact objective vector.
+    Exact(ObjVec),
     /// Structurally or deadline infeasible — final under any bound.
     Infeasible,
     /// Cut off above this bound; a revisit under a larger bound must
@@ -165,7 +165,7 @@ impl<'s, O: Objective> Evaluator<'s, O> {
 
     /// Pre-seeds the memo cache (the driver evaluates the seed mapping
     /// once and shares the outcome with every chain).
-    pub fn prime(&mut self, key: CandidateKey, cost: u64) {
+    pub fn prime(&mut self, key: CandidateKey, cost: ObjVec) {
         self.cache.insert(key, Cached::Exact(cost));
     }
 
@@ -182,13 +182,14 @@ impl<'s, O: Objective> Evaluator<'s, O> {
         self.rebase(candidate)
     }
 
-    /// The cost of `candidate`, or `None` when it is infeasible.
+    /// The objective vector of `candidate`, or `None` when it is
+    /// infeasible.
     ///
     /// # Errors
     ///
     /// [`DseError::Objective`] when the objective fails fatally (e.g.
     /// cancellation) — infeasible candidates are a `None`, not an error.
-    pub fn evaluate(&mut self, candidate: &Candidate) -> Result<Option<u64>, DseError> {
+    pub fn evaluate(&mut self, candidate: &Candidate) -> Result<Option<ObjVec>, DseError> {
         self.stats.evaluations += 1;
         self.scratch_key = None;
         let key = candidate.key();
@@ -222,31 +223,46 @@ impl<'s, O: Objective> Evaluator<'s, O> {
         Ok(outcome)
     }
 
-    fn evaluate_uncached(&mut self, candidate: &Candidate) -> Result<Option<u64>, DseError> {
+    fn evaluate_uncached(&mut self, candidate: &Candidate) -> Result<Option<ObjVec>, DseError> {
         let graph = self.space.seed.graph();
         let Ok(mapping) = candidate.to_mapping(graph) else {
             // Hand-built candidates only; move operators conserve tasks.
             return Ok(None);
         };
-        if self.problem.remap(mapping, self.space.policy).is_err() {
+        if self.remap_to(candidate, mapping).is_err() {
             // A cross-core ordering cycle: the candidate cannot execute.
             return Ok(None);
         }
+        self.objective.select_variant(candidate.arbiter() as usize);
         self.stats.analyses += 1;
         match self.objective.evaluate(&self.problem) {
-            Ok(cost) => Ok(Some(cost.as_u64())),
+            Ok(cost) => Ok(Some(cost)),
             Err(ObjectiveError::Infeasible(_)) => Ok(None),
             Err(ObjectiveError::Fatal(m)) => Err(DseError::Objective(m)),
         }
     }
 
-    /// The cost of `candidate` knowing it differs from the objective's
-    /// promoted base only at `changed` (see
+    /// Swaps `mapping` into the working problem, honouring the
+    /// candidate's explicit bank placement when it carries one (joint
+    /// bank moves) and the space's policy otherwise.
+    fn remap_to(&mut self, candidate: &Candidate, mapping: mia_model::Mapping) -> Result<(), ()> {
+        match candidate.banks() {
+            Some(banks) => {
+                let banks: Vec<BankId> = banks.iter().map(|&b| BankId(b)).collect();
+                self.problem.remap_with_banks(mapping, &banks)
+            }
+            None => self.problem.remap(mapping, self.space.policy),
+        }
+        .map_err(|_| ())
+    }
+
+    /// The objective vector of `candidate` knowing it differs from the
+    /// objective's promoted base only at `changed` (see
     /// [`Candidate::changed_positions`]) and that the caller rejects any
-    /// cost above `bound`: the objective may resume mid-run from a
-    /// recorded checkpoint and may cut the analysis off at the bound.
+    /// **makespan** above `bound`: the objective may resume mid-run from
+    /// a recorded checkpoint and may cut the analysis off at the bound.
     ///
-    /// Returns the exact cost when one is known — possibly above
+    /// Returns the exact vector when one is known — possibly above
     /// `bound`; the caller applies its own acceptance rule — or `None`
     /// when the candidate was rejected without an exact cost (infeasible
     /// or cut off).
@@ -259,7 +275,7 @@ impl<'s, O: Objective> Evaluator<'s, O> {
         candidate: &Candidate,
         changed: &[(usize, usize)],
         bound: Option<u64>,
-    ) -> Result<Option<u64>, DseError> {
+    ) -> Result<Option<ObjVec>, DseError> {
         self.stats.evaluations += 1;
         self.scratch_key = None;
         let key = candidate.key();
@@ -294,12 +310,13 @@ impl<'s, O: Objective> Evaluator<'s, O> {
             self.cache.insert(key, Cached::Infeasible);
             return Ok(None);
         };
-        if self.problem.remap(mapping, self.space.policy).is_err() {
+        if self.remap_to(candidate, mapping).is_err() {
             // A cross-core ordering cycle: the candidate cannot execute.
             self.stats.infeasible += 1;
             self.cache.insert(key, Cached::Infeasible);
             return Ok(None);
         }
+        self.objective.select_variant(candidate.arbiter() as usize);
         self.stats.analyses += 1;
         match self
             .objective
@@ -310,7 +327,6 @@ impl<'s, O: Objective> Evaluator<'s, O> {
                     self.stats.delta_resumes += 1;
                 }
                 self.scratch_key = Some(key);
-                let cost = cost.as_u64();
                 self.cache.insert(key, Cached::Exact(cost));
                 Ok(Some(cost))
             }
@@ -360,10 +376,11 @@ impl<'s, O: Objective> Evaluator<'s, O> {
             self.objective.promote();
             return Ok(());
         };
-        if self.problem.remap(mapping, self.space.policy).is_err() {
+        if self.remap_to(candidate, mapping).is_err() {
             self.objective.promote();
             return Ok(());
         }
+        self.objective.select_variant(candidate.arbiter() as usize);
         match self.objective.establish_base(&self.problem) {
             Ok(()) => Ok(()),
             Err(ObjectiveError::Infeasible(_)) => Ok(()),
@@ -528,7 +545,9 @@ mod tests {
         let mut bounded =
             Evaluator::new(&space, AnalyzedMakespan::new(&rr, AnalysisOptions::new()));
         assert_eq!(
-            bounded.evaluate_move(&cand, &[], Some(cost - 1)).unwrap(),
+            bounded
+                .evaluate_move(&cand, &[], Some(cost.makespan - 1))
+                .unwrap(),
             None
         );
         assert_eq!(bounded.stats().bound_cutoffs, 1);
@@ -537,13 +556,59 @@ mod tests {
         // A revisit under an equal-or-tighter bound is a free cache hit;
         // a looser bound re-evaluates to the exact cost.
         assert_eq!(
-            bounded.evaluate_move(&cand, &[], Some(cost - 1)).unwrap(),
+            bounded
+                .evaluate_move(&cand, &[], Some(cost.makespan - 1))
+                .unwrap(),
             None
         );
         assert_eq!(bounded.stats().cache_hits, 1);
         assert_eq!(
-            bounded.evaluate_move(&cand, &[], Some(cost)).unwrap(),
+            bounded
+                .evaluate_move(&cand, &[], Some(cost.makespan))
+                .unwrap(),
             Some(cost)
         );
+    }
+
+    #[test]
+    fn banked_candidates_evaluate_through_their_explicit_placement() {
+        let space = space();
+        let rr = RoundRobin::new();
+        let mut eval = Evaluator::new(&space, AnalyzedMakespan::new(&rr, AnalysisOptions::new()));
+        let plain = Candidate::from_mapping(space.seed_problem().mapping(), space.cores());
+        let base = eval.evaluate(&plain).unwrap().unwrap();
+
+        // Pile every task onto bank 0: the same mapping, a different
+        // (worse or equal) bank profile — and a different memo key.
+        let guide = crate::MoveGuide::new(space.seed_problem().graph());
+        let axes = crate::JointAxes {
+            arbiters: 1,
+            banks: 4,
+            policy: BankPolicy::PerCoreBank,
+            resize_cores: false,
+            remap_banks: true,
+        };
+        let mut banked = plain.clone();
+        let mut rng = StdRng::seed_from_u64(5);
+        let undo = loop {
+            let undo = banked.propose_joint(space.seed_problem().graph(), &guide, &axes, &mut rng);
+            match undo {
+                crate::Undo::RemapBank { .. } => break undo,
+                other => banked.undo(other),
+            }
+        };
+        assert_ne!(banked.key(), plain.key());
+        let changed = banked.changed_positions(space.seed_problem().graph(), undo);
+        eval.begin(&plain).unwrap();
+        let moved = eval
+            .evaluate_move(&banked, &changed, None)
+            .unwrap()
+            .unwrap();
+        // A cold evaluator pricing the same banked candidate from
+        // scratch must agree with the delta path exactly.
+        let mut cold = Evaluator::new(&space, AnalyzedMakespan::new(&rr, AnalysisOptions::new()));
+        let fresh = cold.evaluate(&banked).unwrap().unwrap();
+        assert_eq!(moved, fresh, "delta and full evaluation agree");
+        assert_eq!(base.neg_slack, 0);
     }
 }

@@ -46,6 +46,21 @@
 //! starts at the seed mapping and is only replaced on strict
 //! improvement.
 //!
+//! # Multi-objective, joint-axis search
+//!
+//! Every evaluation actually prices a small fixed vector ([`ObjVec`]:
+//! makespan, negated min-slack, peak bank load); the scalar search is
+//! the 1-component special case and its arithmetic, counters and PRNG
+//! streams are pinned byte-for-byte. Enabling [`DseConfig::pareto`]
+//! switches the chains to [`Candidate::propose_joint`] — the mapping
+//! moves plus arbiter-switch, active-core resize and task-to-bank remap
+//! as first-class moves with exact undos — steered by per-chain
+//! scalarisation profiles, and every exactly-priced design lands in a
+//! deterministic [`ParetoArchive`]. [`optimize_joint`] runs the whole
+//! arbiter list as one joint search and reports the merged front
+//! ([`DseResult::front`]), bit-identical across thread counts like the
+//! scalar result.
+//!
 //! # Example
 //!
 //! ```
@@ -80,17 +95,23 @@ mod anneal;
 mod candidate;
 mod evaluate;
 mod objective;
+mod pareto;
 mod portfolio;
 mod report;
 
-pub use anneal::AnnealTuning;
-pub use candidate::{Candidate, CandidateKey, MoveGuide, Undo};
+pub use anneal::{AnnealTuning, WeightProfile};
+pub use candidate::{Candidate, CandidateKey, JointAxes, MoveGuide, Undo};
 pub use evaluate::{EvalStats, Evaluator, SearchSpace};
-pub use objective::{AnalyzedMakespan, MoveVerdict, Objective, ObjectiveError, ProxyMakespan};
-pub use portfolio::{optimize, optimize_with_objective, DseConfig, DseResult, Strategy};
+pub use objective::{
+    AnalyzedMakespan, MoveVerdict, ObjVec, Objective, ObjectiveError, ProxyMakespan,
+};
+pub use pareto::{ObjMask, ParetoArchive, ParetoPoint};
+pub use portfolio::{
+    optimize, optimize_joint, optimize_with_objective, DseConfig, DseResult, ParetoConfig, Strategy,
+};
 pub use report::{
-    render_dse_report, report_csv, report_json, DseReportFormat, OptimizeReport, OptimizeRun,
-    DSE_CSV_HEADER,
+    render_dse_report, report_csv, report_json, DseReportFormat, FrontRow, OptimizeReport,
+    OptimizeRun, DSE_CSV_HEADER,
 };
 
 use std::fmt;

@@ -1,0 +1,499 @@
+//! Deterministic bounded Pareto archive.
+//!
+//! Multi-objective chains publish every exactly-priced design into a
+//! [`ParetoArchive`]; the portfolio merges the per-chain archives and
+//! reports the resulting front. Two invariants carry the whole design:
+//!
+//! 1. **Mutual non-domination** — after any insertion sequence the
+//!    archive holds only designs no other archived design dominates
+//!    under the active [`ObjMask`].
+//! 2. **Insertion-order independence** — the archived *set* is a pure
+//!    function of the inserted *multiset*. Dominance filtering is
+//!    naturally order-free; ties (several designs with equal active
+//!    objective components) are broken by keeping the lexicographically
+//!    smallest [`ParetoPoint`], which is again order-free. Capacity
+//!    pruning would *not* be order-free if applied incrementally
+//!    (dropping a point mid-stream loses information later insertions
+//!    could have needed), so the archive keeps the full non-dominated
+//!    set and applies capacity only in [`ParetoArchive::front`], as a
+//!    pure function of the final set.
+//!
+//! Together these make the reported front bit-identical across thread
+//! counts and chain interleavings — the same determinism contract the
+//! scalar portfolio already pins.
+
+use crate::candidate::CandidateKey;
+use crate::objective::ObjVec;
+
+/// Which [`ObjVec`] components participate in dominance, in the
+/// canonical `[makespan, slack, bank]` order of
+/// [`ObjVec::components`]. Masked-out components are ignored both for
+/// dominance and for tie-break equality (the full lexicographic
+/// [`ParetoPoint`] order still consults them, keeping ties
+/// deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjMask {
+    /// Minimise the analyzed makespan.
+    pub makespan: bool,
+    /// Maximise the tightest deadline slack (minimise `neg_slack`).
+    pub slack: bool,
+    /// Minimise the heaviest per-bank load.
+    pub bank: bool,
+}
+
+impl Default for ObjMask {
+    fn default() -> Self {
+        ObjMask::all()
+    }
+}
+
+impl ObjMask {
+    /// All three objectives active.
+    #[must_use]
+    pub fn all() -> Self {
+        ObjMask {
+            makespan: true,
+            slack: true,
+            bank: true,
+        }
+    }
+
+    /// The scalar special case: makespan only.
+    #[must_use]
+    pub fn makespan_only() -> Self {
+        ObjMask {
+            makespan: true,
+            slack: false,
+            bank: false,
+        }
+    }
+
+    /// Parses a comma-separated objective list (`"makespan,slack,bank"`
+    /// in any order).
+    ///
+    /// # Errors
+    ///
+    /// Unknown names, duplicates and empty lists are rejected with a
+    /// message naming the offender.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut mask = ObjMask {
+            makespan: false,
+            slack: false,
+            bank: false,
+        };
+        for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let slot = match name {
+                "makespan" => &mut mask.makespan,
+                "slack" => &mut mask.slack,
+                "bank" => &mut mask.bank,
+                other => {
+                    return Err(format!(
+                        "unknown objective '{other}' (expected makespan, slack or bank)"
+                    ))
+                }
+            };
+            if *slot {
+                return Err(format!("objective '{name}' listed twice"));
+            }
+            *slot = true;
+        }
+        if mask.count() == 0 {
+            return Err("at least one objective is required".to_string());
+        }
+        Ok(mask)
+    }
+
+    /// Canonical label (`"makespan,slack,bank"` ordering).
+    #[must_use]
+    pub fn label(&self) -> String {
+        let names: Vec<&str> = [
+            ("makespan", self.makespan),
+            ("slack", self.slack),
+            ("bank", self.bank),
+        ]
+        .iter()
+        .filter_map(|&(n, on)| on.then_some(n))
+        .collect();
+        names.join(",")
+    }
+
+    /// Number of active objectives.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        usize::from(self.makespan) + usize::from(self.slack) + usize::from(self.bank)
+    }
+
+    fn flags(&self) -> [bool; 3] {
+        [self.makespan, self.slack, self.bank]
+    }
+
+    /// `a` dominates `b`: no active component worse, at least one
+    /// strictly better.
+    #[must_use]
+    pub fn dominates(&self, a: &ObjVec, b: &ObjVec) -> bool {
+        let (ca, cb) = (a.components(), b.components());
+        let mut strictly = false;
+        for (i, on) in self.flags().iter().enumerate() {
+            if !on {
+                continue;
+            }
+            if ca[i] > cb[i] {
+                return false;
+            }
+            if ca[i] < cb[i] {
+                strictly = true;
+            }
+        }
+        strictly
+    }
+
+    /// Equality restricted to active components.
+    #[must_use]
+    pub fn masked_eq(&self, a: &ObjVec, b: &ObjVec) -> bool {
+        let (ca, cb) = (a.components(), b.components());
+        self.flags()
+            .iter()
+            .enumerate()
+            .all(|(i, &on)| !on || ca[i] == cb[i])
+    }
+}
+
+/// One archived design: its objective vector plus everything needed to
+/// reconstruct it (assignment, explicit banks, arbiter variant, active
+/// core budget). The derived `Ord` (objective vector first, then the
+/// design payload, then the design key) is the deterministic total
+/// order the archive sorts and tie-breaks by.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ParetoPoint {
+    /// The exact objective vector.
+    pub obj: ObjVec,
+    /// Task→core assignment (`assignment[task]`).
+    pub assignment: Vec<u32>,
+    /// Explicit task→bank placement; `None` means the search space's
+    /// policy-derived default.
+    pub banks: Option<Vec<u32>>,
+    /// Arbiter variant index (into the joint search's arbiter list).
+    pub arbiter: u32,
+    /// Cores the design was allowed to use.
+    pub active_cores: u32,
+    /// The design's structural key (orders included) — the final
+    /// tie-break.
+    pub key: CandidateKey,
+}
+
+/// Deterministic bounded Pareto archive (see the module docs for the
+/// two invariants and why capacity lives in [`ParetoArchive::front`]).
+#[derive(Debug, Clone)]
+pub struct ParetoArchive {
+    mask: ObjMask,
+    capacity: usize,
+    /// The full mutually non-dominated set, kept sorted by the
+    /// [`ParetoPoint`] total order.
+    points: Vec<ParetoPoint>,
+}
+
+impl ParetoArchive {
+    /// An empty archive. `capacity` bounds the *reported* front
+    /// ([`ParetoArchive::front`]); `0` means unbounded.
+    #[must_use]
+    pub fn new(mask: ObjMask, capacity: usize) -> Self {
+        ParetoArchive {
+            mask,
+            capacity,
+            points: Vec::new(),
+        }
+    }
+
+    /// The active dominance mask.
+    #[must_use]
+    pub fn mask(&self) -> ObjMask {
+        self.mask
+    }
+
+    /// Number of archived (non-dominated) designs before capacity
+    /// pruning.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has survived insertion yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The full non-dominated set in the canonical order.
+    #[must_use]
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Inserts a design. Returns `true` when the point survives (it is
+    /// not dominated by, nor tie-broken away against, an archived
+    /// point); dominated archived points are evicted.
+    pub fn insert(&mut self, point: ParetoPoint) -> bool {
+        if self
+            .points
+            .iter()
+            .any(|q| self.mask.dominates(&q.obj, &point.obj))
+        {
+            return false;
+        }
+        // Tie-break: at most one design per masked-equal objective
+        // class, the lexicographically smallest.
+        if let Some(i) = self
+            .points
+            .iter()
+            .position(|q| self.mask.masked_eq(&q.obj, &point.obj))
+        {
+            if point < self.points[i] {
+                self.points.remove(i);
+            } else {
+                return false;
+            }
+        }
+        let mask = self.mask;
+        self.points.retain(|q| !mask.dominates(&point.obj, &q.obj));
+        let at = self.points.partition_point(|q| *q < point);
+        self.points.insert(at, point);
+        true
+    }
+
+    /// Merges another archive's surviving points into this one
+    /// (set-union semantics: the result equals inserting both
+    /// insertion streams in any order).
+    pub fn merge(&mut self, other: &ParetoArchive) {
+        for p in &other.points {
+            self.insert(p.clone());
+        }
+    }
+
+    /// The reported front: the non-dominated set, capacity-pruned as a
+    /// pure function of the final set. Pruning always keeps the best
+    /// point of every active objective, then fills the budget with
+    /// evenly spaced points along the canonical order — a crowding-style
+    /// spread that needs no distance arithmetic and cannot depend on
+    /// insertion order.
+    #[must_use]
+    pub fn front(&self) -> Vec<ParetoPoint> {
+        let n = self.points.len();
+        if self.capacity == 0 || n <= self.capacity {
+            return self.points.clone();
+        }
+        let mut keep = vec![false; n];
+        let mut kept = 0usize;
+        // Extremes first: the minimiser of each active component
+        // (ties resolved by the canonical order — first wins). A
+        // capacity below the active-axis count keeps extremes in
+        // canonical axis order until the budget is gone.
+        for (axis, on) in self.mask.flags().iter().enumerate() {
+            if !on || kept >= self.capacity {
+                continue;
+            }
+            let best = (0..n)
+                .min_by_key(|&i| self.points[i].obj.components()[axis])
+                .expect("non-empty");
+            if !keep[best] {
+                keep[best] = true;
+                kept += 1;
+            }
+        }
+        // Fill the remaining budget with an even spread over the sorted
+        // set (indices are a pure function of n and capacity).
+        let mut slot = 0usize;
+        while kept < self.capacity && slot < self.capacity {
+            let idx = if self.capacity == 1 {
+                0
+            } else {
+                slot * (n - 1) / (self.capacity - 1)
+            };
+            if !keep[idx] {
+                keep[idx] = true;
+                kept += 1;
+            }
+            slot += 1;
+        }
+        // Any leftover budget: walk the set in order.
+        let mut i = 0;
+        while kept < self.capacity && i < n {
+            if !keep[i] {
+                keep[i] = true;
+                kept += 1;
+            }
+            i += 1;
+        }
+        self.points
+            .iter()
+            .zip(&keep)
+            .filter(|&(_, &k)| k)
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// A deterministic hypervolume *proxy* against a reference vector
+    /// (normally the seed design): the sum over reported front points of
+    /// the *padded* normalised box volume `Π(1 + gainᵢ) − 1` over active
+    /// objectives, where `gainᵢ` is the point's improvement on axis `i`
+    /// relative to `|reference|`. Unlike the plain box product this does
+    /// not vanish when a point merely ties the reference on one axis, so
+    /// single-axis improvements still register. Boxes overlap, so this
+    /// over-counts true hypervolume — but it is zero exactly when no
+    /// point improves on anything, monotone in front quality, cheap, and
+    /// bit-stable (fixed iteration order, pure f64 sums), which is all
+    /// the reports need from it.
+    #[must_use]
+    pub fn hypervolume_proxy(&self, reference: &ObjVec) -> f64 {
+        let refc = reference.components();
+        let mut total = 0.0f64;
+        for p in self.front() {
+            let pc = p.obj.components();
+            let mut volume = 1.0f64;
+            for (axis, on) in self.mask.flags().iter().enumerate() {
+                if !on {
+                    continue;
+                }
+                let scale = refc[axis].unsigned_abs().max(1) as f64;
+                let gain = refc[axis].saturating_sub(pc[axis]).max(0) as f64;
+                volume *= 1.0 + gain / scale;
+            }
+            total += volume - 1.0;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(makespan: u64, neg_slack: i64, bank_peak: u64) -> ParetoPoint {
+        ParetoPoint {
+            obj: ObjVec {
+                makespan,
+                neg_slack,
+                bank_peak,
+            },
+            assignment: vec![0],
+            banks: None,
+            arbiter: 0,
+            active_cores: 1,
+            key: CandidateKey::default(),
+        }
+    }
+
+    #[test]
+    fn dominated_points_never_survive() {
+        let mut a = ParetoArchive::new(ObjMask::all(), 0);
+        assert!(a.insert(point(10, 0, 10)));
+        assert!(!a.insert(point(11, 0, 10)), "strictly worse on one axis");
+        assert!(a.insert(point(9, 0, 12)), "a trade-off survives");
+        assert!(a.insert(point(8, 0, 8)), "dominates everything so far");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.points()[0].obj.makespan, 8);
+    }
+
+    #[test]
+    fn archive_is_insertion_order_independent() {
+        let pts = [
+            point(10, -5, 30),
+            point(12, -9, 10),
+            point(10, -5, 30), // duplicate
+            point(8, 0, 50),
+            point(11, -5, 30), // dominated by the first
+            point(9, -2, 40),
+        ];
+        let mut forward = ParetoArchive::new(ObjMask::all(), 0);
+        let mut backward = ParetoArchive::new(ObjMask::all(), 0);
+        for p in &pts {
+            forward.insert(p.clone());
+        }
+        for p in pts.iter().rev() {
+            backward.insert(p.clone());
+        }
+        assert_eq!(forward.points(), backward.points());
+        assert_eq!(forward.front(), backward.front());
+    }
+
+    #[test]
+    fn masked_axes_are_invisible_to_dominance() {
+        let mut a = ParetoArchive::new(ObjMask::makespan_only(), 0);
+        assert!(a.insert(point(10, 0, 10)));
+        assert!(
+            a.insert(point(10, -50, 1)),
+            "equal active axis: the lexicographically smaller twin replaces"
+        );
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.points()[0].obj.neg_slack, -50);
+        assert!(
+            !a.insert(point(12, -99, 0)),
+            "worse on the only active axis"
+        );
+        assert!(a.insert(point(9, 0, 99)));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn ties_keep_the_lexicographically_smallest_design() {
+        let mut with_banks = point(10, 0, 10);
+        with_banks.banks = Some(vec![1]);
+        let plain = point(10, 0, 10);
+        let mut a = ParetoArchive::new(ObjMask::all(), 0);
+        assert!(a.insert(with_banks.clone()));
+        assert!(a.insert(plain.clone()), "None < Some: smaller design wins");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.points()[0], plain);
+        assert!(!a.insert(with_banks), "the larger twin stays out");
+    }
+
+    #[test]
+    fn capacity_prunes_only_the_reported_front() {
+        let mut a = ParetoArchive::new(ObjMask::all(), 3);
+        for i in 0..10u64 {
+            // A clean 10-point front: makespan up, bank peak down.
+            assert!(a.insert(point(10 + i, 0, 100 - i)));
+        }
+        assert_eq!(a.len(), 10, "the archive itself stays complete");
+        let front = a.front();
+        assert_eq!(front.len(), 3);
+        // Extremes survive pruning.
+        assert_eq!(front.first().unwrap().obj.makespan, 10);
+        assert_eq!(front.last().unwrap().obj.bank_peak, 91);
+    }
+
+    #[test]
+    fn parse_and_label_round_trip() {
+        let mask = ObjMask::parse("bank, makespan").unwrap();
+        assert_eq!(mask.label(), "makespan,bank");
+        assert_eq!(mask.count(), 2);
+        assert_eq!(
+            ObjMask::parse("makespan,slack,bank").unwrap(),
+            ObjMask::all()
+        );
+        assert!(ObjMask::parse("makespan,makespan").is_err());
+        assert!(ObjMask::parse("latency").is_err());
+        assert!(ObjMask::parse("").is_err());
+    }
+
+    #[test]
+    fn hypervolume_proxy_grows_with_front_quality() {
+        let seed = ObjVec {
+            makespan: 100,
+            neg_slack: 0,
+            bank_peak: 100,
+        };
+        let mut small = ParetoArchive::new(ObjMask::all(), 0);
+        small.insert(point(90, 0, 100));
+        let mut large = ParetoArchive::new(ObjMask::all(), 0);
+        large.insert(point(50, 0, 100));
+        large.insert(point(100, 0, 40));
+        let hv_small = small.hypervolume_proxy(&seed);
+        let hv_large = large.hypervolume_proxy(&seed);
+        assert!(hv_small > 0.0);
+        assert!(hv_large > hv_small, "{hv_large} vs {hv_small}");
+        // The seed itself contributes nothing.
+        let mut just_seed = ParetoArchive::new(ObjMask::all(), 0);
+        just_seed.insert(point(100, 0, 100));
+        assert_eq!(just_seed.hypervolume_proxy(&seed), 0.0);
+    }
+}

@@ -7,10 +7,11 @@ use std::sync::Mutex;
 use mia_model::arbiter::Arbiter;
 use mia_model::Mapping;
 
-use crate::anneal::{run_chain, ChainOutcome};
+use crate::anneal::{point_of, run_chain, run_pareto_chain, ChainOutcome, ParetoChainSetup};
+use crate::pareto::{ObjMask, ParetoArchive, ParetoPoint};
 use crate::{
-    AnalyzedMakespan, AnnealTuning, Candidate, DseError, EvalStats, Evaluator, Objective,
-    ObjectiveError, SearchSpace,
+    AnalyzedMakespan, AnnealTuning, Candidate, DseError, EvalStats, Evaluator, JointAxes, ObjVec,
+    Objective, ObjectiveError, SearchSpace, WeightProfile,
 };
 
 /// Which search strategy [`optimize`] runs.
@@ -45,6 +46,25 @@ impl Strategy {
     }
 }
 
+/// Multi-objective search settings (see [`DseConfig::pareto`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParetoConfig {
+    /// Which objectives participate in dominance.
+    pub mask: ObjMask,
+    /// Capacity of the reported front (0 = unbounded).
+    pub capacity: usize,
+}
+
+impl Default for ParetoConfig {
+    /// All three objectives, a 64-point reported front.
+    fn default() -> Self {
+        ParetoConfig {
+            mask: ObjMask::all(),
+            capacity: 64,
+        }
+    }
+}
+
 /// Configuration of one [`optimize`] run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DseConfig {
@@ -61,6 +81,10 @@ pub struct DseConfig {
     pub threads: usize,
     /// Annealing temperature schedule.
     pub tuning: AnnealTuning,
+    /// `Some` switches the chains to the joint-axis multi-objective
+    /// search and fills [`DseResult::front`]; `None` (the default) is
+    /// the scalar search, bit-identical to the pre-vector code.
+    pub pareto: Option<ParetoConfig>,
 }
 
 impl Default for DseConfig {
@@ -72,6 +96,7 @@ impl Default for DseConfig {
             budget_evals: 2_000,
             threads: 0,
             tuning: AnnealTuning::default(),
+            pareto: None,
         }
     }
 }
@@ -109,6 +134,16 @@ pub struct DseResult {
     pub stats: EvalStats,
     /// Accepted moves across all chains.
     pub accepted: usize,
+    /// The seed design's full objective vector (reference point of the
+    /// hypervolume proxy).
+    pub seed_objectives: ObjVec,
+    /// The merged, capacity-pruned Pareto front (empty in scalar mode).
+    /// Always contains the seed design or something dominating it, and
+    /// its makespan-best point never exceeds `best_makespan`.
+    pub front: Vec<ParetoPoint>,
+    /// Hypervolume proxy of `front` against `seed_objectives` (0 in
+    /// scalar mode).
+    pub hypervolume: f64,
 }
 
 impl DseResult {
@@ -172,8 +207,35 @@ pub fn optimize(
     arbiter: &(dyn Arbiter + Send + Sync),
     config: &DseConfig,
 ) -> Result<DseResult, DseError> {
-    optimize_with_objective(space, config, |_chain| {
+    run_portfolio(space, config, 1, |_chain| {
         AnalyzedMakespan::new(arbiter, space.options().clone())
+    })
+}
+
+/// [`optimize`] over a whole arbiter *list*: the arbiter choice becomes
+/// a first-class move of the search ([`crate::Undo::SwitchArbiter`]),
+/// so one joint run explores mappings,
+/// orders, bank placements, core budgets and arbiters together instead
+/// of an outer per-arbiter grid. Most useful with
+/// [`DseConfig::pareto`] enabled — the merged front then spans all
+/// variants; in scalar mode the extra variants are still searched but
+/// only the makespan winner is reported.
+///
+/// # Errors
+///
+/// See [`optimize`].
+///
+/// # Panics
+///
+/// Panics when `arbiters` is empty.
+pub fn optimize_joint(
+    space: &SearchSpace,
+    arbiters: &[&(dyn Arbiter + Send + Sync)],
+    config: &DseConfig,
+) -> Result<DseResult, DseError> {
+    assert!(!arbiters.is_empty(), "at least one arbiter");
+    run_portfolio(space, config, arbiters.len() as u32, |_chain| {
+        AnalyzedMakespan::with_arbiters(arbiters.to_vec(), space.options().clone())
     })
 }
 
@@ -193,12 +255,29 @@ where
     O: Objective,
     F: Fn(usize) -> O + Sync,
 {
+    run_portfolio(space, config, 1, make_objective)
+}
+
+/// The shared driver behind [`optimize`], [`optimize_joint`] and
+/// [`optimize_with_objective`]. `arbiter_variants` is the number of
+/// arbiter variants the objective understands (1 disables
+/// arbiter-switch moves).
+fn run_portfolio<O, F>(
+    space: &SearchSpace,
+    config: &DseConfig,
+    arbiter_variants: u32,
+    make_objective: F,
+) -> Result<DseResult, DseError>
+where
+    O: Objective,
+    F: Fn(usize) -> O + Sync,
+{
     let seed_candidate = Candidate::from_mapping(space.seed_problem().mapping(), space.cores());
     let seed_key = seed_candidate.key();
 
     // Evaluate the seed once, directly on the seed problem.
-    let seed_makespan = match make_objective(0).evaluate(space.seed_problem()) {
-        Ok(cost) => cost.as_u64(),
+    let seed_obj = match make_objective(0).evaluate(space.seed_problem()) {
+        Ok(cost) => cost,
         Err(ObjectiveError::Infeasible(m)) => {
             return Err(DseError::Objective(format!(
                 "seed mapping is infeasible: {m}"
@@ -206,6 +285,7 @@ where
         }
         Err(ObjectiveError::Fatal(m)) => return Err(DseError::Objective(m)),
     };
+    let seed_makespan = seed_obj.makespan;
 
     let chains = config.strategy.chains();
     // Distribute the proposal budget over the chains (front chains take
@@ -214,22 +294,60 @@ where
         config.budget_evals / chains + usize::from(chain < config.budget_evals % chains)
     };
 
+    // The Pareto rotation: chain i anneals profile cycle[i % len], so a
+    // portfolio covers every corner of the active objective space.
+    let profiles = config
+        .pareto
+        .as_ref()
+        .map(|pc| WeightProfile::cycle(&pc.mask));
+    let axes = JointAxes {
+        arbiters: arbiter_variants,
+        banks: space.seed_problem().platform().banks() as u32,
+        policy: space.policy(),
+        resize_cores: true,
+        remap_banks: true,
+    };
+
     let shared = SharedBest::new();
     let outcomes: Vec<Mutex<Option<Result<ChainOutcome, DseError>>>> =
         (0..chains).map(|_| Mutex::new(None)).collect();
 
     let run_one = |chain: usize| -> Result<ChainOutcome, DseError> {
         let mut evaluator = Evaluator::new(space, make_objective(chain));
-        evaluator.prime(seed_key, seed_makespan);
-        run_chain(
-            &mut evaluator,
-            &seed_candidate,
-            seed_makespan,
-            budget_of(chain),
-            chain_seed(config.seed, chain),
-            &config.tuning,
-            &mut |cost| shared.publish(cost, chain),
-        )
+        evaluator.prime(seed_key, seed_obj);
+        match (&config.pareto, &profiles) {
+            (Some(pc), Some(profiles)) => {
+                let setup = ParetoChainSetup {
+                    axes,
+                    profile: profiles[chain % profiles.len()],
+                    mask: pc.mask,
+                    capacity: 0, // chains keep their full set; pruning is global
+                    // Stagger opening variants in blocks of one full
+                    // profile rotation, so every (variant, profile)
+                    // pair gets a chain before any pair gets two.
+                    start_variant: ((chain / profiles.len()) as u32) % arbiter_variants,
+                    tuning: config.tuning,
+                };
+                run_pareto_chain(
+                    &mut evaluator,
+                    &seed_candidate,
+                    seed_obj,
+                    budget_of(chain),
+                    chain_seed(config.seed, chain),
+                    &setup,
+                    &mut |cost| shared.publish(cost, chain),
+                )
+            }
+            _ => run_chain(
+                &mut evaluator,
+                &seed_candidate,
+                seed_makespan,
+                budget_of(chain),
+                chain_seed(config.seed, chain),
+                &config.tuning,
+                &mut |cost| shared.publish(cost, chain),
+            ),
+        }
     };
 
     let workers = config.resolved_workers();
@@ -284,6 +402,24 @@ where
         _ => (seed_makespan, 0, space.seed_problem().mapping().clone()),
     };
 
+    // The merged front: the seed point plus every chain's archive. The
+    // merge is a set union under dominance, so chain order (and hence
+    // thread interleaving) cannot change it.
+    let (front, hypervolume) = match &config.pareto {
+        Some(pc) => {
+            let mut merged = ParetoArchive::new(pc.mask, pc.capacity);
+            merged.insert(point_of(&seed_candidate, seed_obj));
+            for outcome in &chain_results {
+                if let Some(archive) = &outcome.archive {
+                    merged.merge(archive);
+                }
+            }
+            let hv = merged.hypervolume_proxy(&seed_obj);
+            (merged.front(), hv)
+        }
+        None => (Vec::new(), 0.0),
+    };
+
     Ok(DseResult {
         seed_makespan,
         best_makespan,
@@ -292,6 +428,9 @@ where
         chains,
         stats,
         accepted,
+        seed_objectives: seed_obj,
+        front,
+        hypervolume,
     })
 }
 
@@ -414,5 +553,63 @@ mod tests {
         };
         let r = optimize_with_objective(&space, &config, |_| ProxyMakespan).unwrap();
         assert!(r.best_makespan < r.seed_makespan);
+    }
+
+    fn pareto_config(chains: usize, threads: usize) -> DseConfig {
+        DseConfig {
+            strategy: Strategy::Portfolio { chains },
+            seed: 11,
+            budget_evals: 400,
+            threads,
+            pareto: Some(ParetoConfig::default()),
+            ..DseConfig::default()
+        }
+    }
+
+    #[test]
+    fn pareto_mode_reports_a_front_no_worse_than_the_seed() {
+        let space = packed_space(12, 4);
+        let r = optimize(&space, &RoundRobin::new(), &pareto_config(4, 2)).unwrap();
+        assert!(!r.front.is_empty());
+        // Mutual non-domination under the configured mask.
+        let mask = ObjMask::all();
+        for a in &r.front {
+            for b in &r.front {
+                if a.key != b.key {
+                    assert!(!mask.dominates(&a.obj, &b.obj), "{:?} dominates {:?}", a, b);
+                }
+            }
+        }
+        // The front's makespan-best point is exactly the scalar winner.
+        let best = r.front.iter().map(|p| p.obj.makespan).min().unwrap();
+        assert_eq!(best, r.best_makespan);
+        assert!(r.best_makespan <= r.seed_makespan);
+        assert!(r.hypervolume >= 0.0);
+        assert_eq!(r.seed_objectives.makespan, r.seed_makespan);
+    }
+
+    #[test]
+    fn pareto_mode_is_deterministic_across_thread_counts() {
+        let space = packed_space(10, 4);
+        let one = optimize(&space, &RoundRobin::new(), &pareto_config(5, 1)).unwrap();
+        let many = optimize(&space, &RoundRobin::new(), &pareto_config(5, 16)).unwrap();
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn joint_search_spans_the_arbiter_list() {
+        use mia_arbiter::Fifo;
+        let space = packed_space(10, 4);
+        let rr = RoundRobin::new();
+        let fifo = Fifo::new();
+        let arbiters: Vec<&(dyn mia_model::arbiter::Arbiter + Send + Sync)> = vec![&rr, &fifo];
+        let r = optimize_joint(&space, &arbiters, &pareto_config(4, 2)).unwrap();
+        assert!(r.best_makespan <= r.seed_makespan);
+        assert!(!r.front.is_empty());
+        // Every archived arbiter index stays inside the list.
+        assert!(r
+            .front
+            .iter()
+            .all(|p| (p.arbiter as usize) < arbiters.len()));
     }
 }

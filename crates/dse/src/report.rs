@@ -2,6 +2,45 @@
 
 use serde::Serialize;
 
+use crate::pareto::ParetoPoint;
+
+/// One point of a reported Pareto front: the objective triple plus the
+/// design that achieves it. Rows are emitted in the archive's canonical
+/// (deterministic) order.
+#[derive(Debug, Clone, Serialize)]
+pub struct FrontRow {
+    /// Analyzed makespan in cycles.
+    pub makespan: u64,
+    /// Minimum slack over deadlined tasks (negative = a deadline would
+    /// be missed under a tighter bound; `None`-deadline tasks ignored).
+    pub min_slack: i64,
+    /// Peak per-bank demand in words.
+    pub bank_peak: u64,
+    /// Index of the arbiter variant this design runs under.
+    pub arbiter: u32,
+    /// Cores the design actually uses.
+    pub active_cores: u32,
+    /// Task-to-core assignment, task-id order.
+    pub assignment: Vec<u32>,
+    /// Explicit task-to-bank placement, when the search remapped banks.
+    pub banks: Option<Vec<u32>>,
+}
+
+impl FrontRow {
+    /// Flattens an archive point into the report row.
+    pub fn from_point(p: &ParetoPoint) -> Self {
+        FrontRow {
+            makespan: p.obj.makespan,
+            min_slack: -p.obj.neg_slack,
+            bank_peak: p.obj.bank_peak,
+            arbiter: p.arbiter,
+            active_cores: p.active_cores,
+            assignment: p.assignment.clone(),
+            banks: p.banks.clone(),
+        }
+    }
+}
+
 /// One optimization run: a workload × arbiter point of a DSE grid,
 /// before/after makespans and the search's work counters. This is the
 /// row format of `BENCH_dse.json`.
@@ -52,6 +91,13 @@ pub struct OptimizeRun {
     pub seconds: f64,
     /// The optimized core assignment (task-id order), when requested.
     pub mapping: Option<Vec<u32>>,
+    /// Points on the reported Pareto front (0 in scalar mode).
+    pub front_size: usize,
+    /// Hypervolume proxy of the front against the seed objectives (0 in
+    /// scalar mode).
+    pub hypervolume: f64,
+    /// The front itself (empty in scalar mode).
+    pub front: Vec<FrontRow>,
 }
 
 /// A batch of runs plus the knobs they shared — serialized as one JSON
@@ -76,8 +122,10 @@ pub struct OptimizeReport {
     pub runs: Vec<OptimizeRun>,
 }
 
-/// Header row of [`report_csv`] — consumers can pin against it.
-pub const DSE_CSV_HEADER: &str = "workload,arbiter,strategy,n,chains,seed_makespan,optimized_makespan,improvement_pct,evaluations,cache_hits,feasible_hits,infeasible_hits,delta_resumes,cache_hit_rate,seconds";
+/// Header row of [`report_csv`] — consumers can pin against it. New
+/// columns are inserted *before* the trailing `cache_hit_rate,seconds`
+/// pair so `rsplit`-based consumers keep working.
+pub const DSE_CSV_HEADER: &str = "workload,arbiter,strategy,n,chains,seed_makespan,optimized_makespan,improvement_pct,evaluations,cache_hits,feasible_hits,infeasible_hits,delta_resumes,front_size,hypervolume,cache_hit_rate,seconds";
 
 /// Output format of an optimize report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -96,13 +144,13 @@ pub fn report_json(report: &OptimizeReport) -> String {
 
 /// Flattens a report into CSV: the [`DSE_CSV_HEADER`] columns, one row
 /// per run. Workload labels are sanitised (commas/newlines replaced) so
-/// every row has exactly fifteen columns.
+/// every row has exactly seventeen columns.
 pub fn report_csv(report: &OptimizeReport) -> String {
     let mut csv = String::from(DSE_CSV_HEADER);
     csv.push('\n');
     for r in &report.runs {
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{:.4},{:.6}\n",
+            "{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{:.4},{:.4},{:.6}\n",
             r.workload.replace(['\n', '\r'], " ").replace(',', ";"),
             r.arbiter,
             r.strategy,
@@ -116,6 +164,8 @@ pub fn report_csv(report: &OptimizeReport) -> String {
             r.feasible_hits,
             r.infeasible_hits,
             r.delta_resumes,
+            r.front_size,
+            r.hypervolume,
             r.cache_hit_rate,
             r.seconds,
         ));
@@ -166,6 +216,17 @@ mod tests {
                 best_chain: 2,
                 seconds: 0.7,
                 mapping: Some(vec![0, 1, 2]),
+                front_size: 2,
+                hypervolume: 0.125,
+                front: vec![FrontRow {
+                    makespan: 900,
+                    min_slack: 40,
+                    bank_peak: 12,
+                    arbiter: 0,
+                    active_cores: 16,
+                    assignment: vec![0, 1, 2],
+                    banks: None,
+                }],
             }],
         }
     }
@@ -184,20 +245,26 @@ mod tests {
             "\"delta_resumes\"",
             "\"bound_cutoffs\"",
             "\"requested_threads\"",
+            "\"front_size\"",
+            "\"hypervolume\"",
+            "\"front\"",
+            "\"min_slack\"",
+            "\"bank_peak\"",
+            "\"active_cores\"",
         ] {
             assert!(json.contains(field), "missing {field}: {json}");
         }
     }
 
     #[test]
-    fn csv_rows_always_have_fifteen_columns() {
+    fn csv_rows_always_have_seventeen_columns() {
         let csv = report_csv(&sample());
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(
             lines[0],
             "workload,arbiter,strategy,n,chains,seed_makespan,optimized_makespan,\
              improvement_pct,evaluations,cache_hits,feasible_hits,infeasible_hits,\
-             delta_resumes,cache_hit_rate,seconds"
+             delta_resumes,front_size,hypervolume,cache_hit_rate,seconds"
         );
         assert_eq!(lines[0], DSE_CSV_HEADER);
         assert_eq!(lines.len(), 2);
@@ -206,7 +273,7 @@ mod tests {
             lines[1].matches(',').count(),
             DSE_CSV_HEADER.matches(',').count()
         );
-        assert_eq!(DSE_CSV_HEADER.matches(',').count(), 14);
+        assert_eq!(DSE_CSV_HEADER.matches(',').count(), 16);
         assert!(lines[1].starts_with("rosace; the avionics one,rr,portfolio,25,8,1000,900,"));
         // The counter columns land where the header says they do.
         let cols: Vec<&str> = lines[1].split(',').collect();
@@ -214,6 +281,14 @@ mod tests {
         assert_eq!(cols[10], "44"); // feasible_hits
         assert_eq!(cols[11], "7"); // infeasible_hits
         assert_eq!(cols[12], "120"); // delta_resumes
+        assert_eq!(cols[13], "2"); // front_size
+        assert_eq!(cols[14], "0.1250"); // hypervolume
+                                        // The trailing pair is still `cache_hit_rate,seconds` — rsplit
+                                        // consumers keep working.
+        let (rest, seconds) = lines[1].rsplit_once(',').unwrap();
+        let (_, rate) = rest.rsplit_once(',').unwrap();
+        assert_eq!(seconds, "0.700000");
+        assert_eq!(rate, "0.2189");
         assert_eq!(render_dse_report(&sample(), DseReportFormat::Csv), csv);
         assert!(render_dse_report(&sample(), DseReportFormat::Json).contains("\"runs\""));
     }

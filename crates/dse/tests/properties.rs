@@ -11,11 +11,14 @@ use mia_arbiter::{MppaTree, RoundRobin};
 use mia_core::{analyze, AnalysisOptions};
 use mia_dag_gen::{Family, LayeredDag};
 use mia_dse::{
-    optimize, AnalyzedMakespan, Candidate, DseConfig, DseResult, Evaluator, MoveGuide, SearchSpace,
-    Strategy,
+    optimize, AnalyzedMakespan, Candidate, CandidateKey, DseConfig, DseResult, Evaluator,
+    MoveGuide, ObjMask, ObjVec, ParetoArchive, ParetoConfig, ParetoPoint, SearchSpace, Strategy,
 };
 use mia_model::{arbiter::Arbiter, BankPolicy, Platform, Problem};
 use proptest::prelude::*;
+// `mia_dse::Strategy` shadows the prelude's trait of the same name;
+// re-import it anonymously so `prop_map` stays callable.
+use proptest::strategy::Strategy as _;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -135,6 +138,131 @@ proptest! {
                 current.undo(undo);
             }
         }
+    }
+}
+
+/// A random archive point over a small objective lattice (small ranges
+/// force plenty of dominance and tie collisions).
+fn arb_point() -> impl proptest::strategy::Strategy<Value = ParetoPoint> {
+    (0u64..12, -6i64..6, 0u64..12, 0u32..3, 1u32..5).prop_map(
+        |(makespan, neg_slack, bank_peak, arbiter, active_cores)| ParetoPoint {
+            obj: ObjVec {
+                makespan,
+                neg_slack,
+                bank_peak,
+            },
+            assignment: vec![arbiter, active_cores],
+            banks: (arbiter == 2).then(|| vec![active_cores]),
+            arbiter,
+            active_cores,
+            key: CandidateKey::default(),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Contract 4: whatever stream of designs is archived, the surviving
+    /// set is mutually non-dominated under the active mask, and so is
+    /// the capacity-pruned reported front.
+    #[test]
+    fn pareto_archive_is_mutually_non_dominated(
+        points in proptest::collection::vec(arb_point(), 1..60),
+        capacity in 0usize..6,
+    ) {
+        let mask = ObjMask::all();
+        let mut archive = ParetoArchive::new(mask, capacity);
+        for p in points {
+            archive.insert(p);
+        }
+        for set in [archive.points().to_vec(), archive.front()] {
+            for a in &set {
+                for b in &set {
+                    if a != b {
+                        prop_assert!(
+                            !mask.dominates(&a.obj, &b.obj),
+                            "{:?} dominates {:?}", a.obj, b.obj
+                        );
+                    }
+                }
+            }
+        }
+        prop_assert!(capacity == 0 || archive.front().len() <= capacity);
+    }
+
+    /// Contract 5: the archive is a set, not a sequence — any insertion
+    /// order (and any split into merged sub-archives) converges on the
+    /// same points, the same reported front and the same hypervolume.
+    #[test]
+    fn pareto_archive_is_insertion_order_independent(
+        points in proptest::collection::vec(arb_point(), 1..40),
+        split in 0usize..40,
+        capacity in 0usize..5,
+    ) {
+        let mask = ObjMask::all();
+        let mut forward = ParetoArchive::new(mask, capacity);
+        for p in &points {
+            forward.insert(p.clone());
+        }
+        let mut backward = ParetoArchive::new(mask, capacity);
+        for p in points.iter().rev() {
+            backward.insert(p.clone());
+        }
+        // A merge of disjoint sub-streams must land on the same set.
+        let split = split.min(points.len());
+        let mut left = ParetoArchive::new(mask, capacity);
+        let mut right = ParetoArchive::new(mask, capacity);
+        for p in &points[..split] {
+            left.insert(p.clone());
+        }
+        for p in &points[split..] {
+            right.insert(p.clone());
+        }
+        left.merge(&right);
+        let reference = ObjVec { makespan: 12, neg_slack: 6, bank_peak: 12 };
+        prop_assert_eq!(forward.points(), backward.points());
+        prop_assert_eq!(forward.points(), left.points());
+        prop_assert_eq!(forward.front(), backward.front());
+        prop_assert_eq!(forward.front(), left.front());
+        prop_assert_eq!(
+            forward.hypervolume_proxy(&reference),
+            left.hypervolume_proxy(&reference)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Contract 6: the multi-objective joint search is as thread-count
+    /// invariant as the scalar one — result, front and hypervolume are
+    /// bit-identical between `--threads 1` and `--threads 16`.
+    #[test]
+    fn pareto_mode_is_bit_identical_across_thread_counts(
+        n in 10usize..26,
+        gen_seed in 0u64..300,
+        search_seed in 0u64..300,
+    ) {
+        let space = generated_space(3, n, gen_seed, 4);
+        let rr = RoundRobin::new();
+        let run = |threads: usize| -> DseResult {
+            let config = DseConfig {
+                strategy: Strategy::Portfolio { chains: 4 },
+                seed: search_seed,
+                budget_evals: 80,
+                threads,
+                pareto: Some(ParetoConfig::default()),
+                ..DseConfig::default()
+            };
+            optimize(&space, &rr, &config).unwrap()
+        };
+        let (one, many) = (run(1), run(16));
+        prop_assert_eq!(&one, &many);
+        prop_assert!(!one.front.is_empty());
+        // The front never loses to the scalar winner.
+        let best = one.front.iter().map(|p| p.obj.makespan).min().unwrap();
+        prop_assert_eq!(best, one.best_makespan);
     }
 }
 

@@ -231,6 +231,61 @@ pub fn derive_demands(
     Ok(demands)
 }
 
+/// [`derive_demands`] with an explicit per-task home bank instead of a
+/// policy-derived one: task `t`'s private accesses land in `banks[t]`,
+/// and every edge `p -> c` puts both endpoints' accesses in the
+/// *consumer's* home bank `banks[c]` — the data lives where the
+/// consumer reads it, exactly as under [`BankPolicy::PerCoreBank`].
+///
+/// When `banks[t] == BankId(core_of(t).0 % platform.banks())` for every
+/// task, the result is identical to
+/// `derive_demands(…, BankPolicy::PerCoreBank)`; explicit banks exist
+/// so a search can decouple memory placement from core placement
+/// (task-to-bank remapping as a first-class design variable).
+///
+/// # Errors
+///
+/// [`ModelError::LengthMismatch`] if `mapping` or `banks` does not
+/// cover the graph, [`ModelError::UnknownBank`] for a bank outside the
+/// platform.
+pub fn derive_demands_with_banks(
+    graph: &TaskGraph,
+    mapping: &Mapping,
+    platform: &Platform,
+    banks: &[BankId],
+) -> Result<Vec<BankDemand>, ModelError> {
+    if mapping.len() != graph.len() {
+        return Err(ModelError::LengthMismatch {
+            expected: graph.len(),
+            found: mapping.len(),
+        });
+    }
+    if banks.len() != graph.len() {
+        return Err(ModelError::LengthMismatch {
+            expected: graph.len(),
+            found: banks.len(),
+        });
+    }
+    for &bank in banks {
+        if bank.index() >= platform.banks() {
+            return Err(ModelError::UnknownBank(bank));
+        }
+    }
+    let mut demands = vec![BankDemand::new(); graph.len()];
+    for (id, task) in graph.iter() {
+        let bank = banks[id.index()];
+        for (_, n) in task.private_demand().iter() {
+            demands[id.index()].add(bank, n);
+        }
+    }
+    for edge in graph.edges() {
+        let target = banks[edge.dst.index()];
+        demands[edge.src.index()].add(target, edge.words);
+        demands[edge.dst.index()].add(target, edge.words);
+    }
+    Ok(demands)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +393,39 @@ mod tests {
         let _ = g2.add_task(Task::builder("x"));
         let short = Mapping::from_assignment(&g2, &[0]).unwrap();
         let err = derive_demands(&g, &short, &p, BankPolicy::SingleBank).unwrap_err();
+        assert!(matches!(err, ModelError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn explicit_core_derived_banks_match_the_policy() {
+        let (g, m, p) = diamond();
+        let derived = derive_demands(&g, &m, &p, BankPolicy::PerCoreBank).unwrap();
+        let banks: Vec<BankId> = (0..g.len())
+            .map(|i| BankId(m.core_of(crate::TaskId::from_index(i)).0 % p.banks() as u32))
+            .collect();
+        let explicit = derive_demands_with_banks(&g, &m, &p, &banks).unwrap();
+        assert_eq!(derived, explicit);
+    }
+
+    #[test]
+    fn remapping_a_home_bank_moves_the_consumer_traffic() {
+        let (g, m, p) = diamond();
+        // Move c's home bank from its core bank (0) to bank 1: the
+        // a→c edge's 6 words now hit bank 1 at both endpoints.
+        let banks = vec![BankId(0), BankId(1), BankId(1)];
+        let d = derive_demands_with_banks(&g, &m, &p, &banks).unwrap();
+        assert_eq!(d[0].get(BankId(1)), 4 + 6); // both edges leave a
+        assert_eq!(d[2].get(BankId(1)), 6);
+        assert_eq!(d[2].get(BankId(0)), 0);
+    }
+
+    #[test]
+    fn explicit_banks_are_validated() {
+        let (g, m, p) = diamond();
+        let err =
+            derive_demands_with_banks(&g, &m, &p, &[BankId(0), BankId(9), BankId(0)]).unwrap_err();
+        assert!(matches!(err, ModelError::UnknownBank(_)));
+        let err = derive_demands_with_banks(&g, &m, &p, &[BankId(0)]).unwrap_err();
         assert!(matches!(err, ModelError::LengthMismatch { .. }));
     }
 }

@@ -58,6 +58,7 @@ mod error;
 mod graph;
 mod ids;
 mod mapping;
+mod metrics;
 mod platform;
 mod problem;
 mod schedule;
@@ -67,11 +68,12 @@ mod task;
 mod time;
 
 pub use arbiter::Arbiter;
-pub use demand::{derive_demands, BankDemand, BankPolicy};
+pub use demand::{derive_demands, derive_demands_with_banks, BankDemand, BankPolicy};
 pub use error::ModelError;
 pub use graph::{Edge, TaskGraph};
 pub use ids::{BankId, CoreId, EdgeId, TaskId};
 pub use mapping::Mapping;
+pub use metrics::{bank_loads, ScheduleMetrics};
 pub use platform::Platform;
 pub use problem::Problem;
 pub use schedule::{Schedule, ScheduleViolation, TaskTiming};

@@ -1,0 +1,174 @@
+//! Secondary schedule metrics: per-task slack and per-bank contention.
+//!
+//! The analysis itself prices exactly one thing — the schedule. Search
+//! layers above it (multi-objective DSE, reporting) also care about
+//! *how close* a feasible schedule sails to its deadlines and *how
+//! lopsided* the memory traffic lands on the banks. [`ScheduleMetrics`]
+//! derives both from a finished [`Schedule`] and its [`Problem`]
+//! without touching the conformance-pinned analysis counters: it is a
+//! pure read-side summary, cheap enough to compute after every
+//! evaluation of a search loop.
+
+use crate::demand::BankDemand;
+use crate::ids::{BankId, TaskId};
+use crate::problem::Problem;
+use crate::schedule::Schedule;
+use crate::time::Cycles;
+
+/// Read-side summary of a schedule: deadline slack and bank pressure.
+///
+/// Slack is measured against each task's *relative* deadline, exactly
+/// like [`Schedule::check`]: `slack = deadline − response_time`, so a
+/// feasible schedule has non-negative slack for every deadline task and
+/// an unchecked (simulated) schedule may report negative slack.
+/// Bank loads are derived from the problem's [`BankDemand`]s — the
+/// traffic each task issues per bank under the current mapping — summed
+/// over all tasks. They depend on the mapping and bank placement, not
+/// on the arbiter, which is what makes them a useful second axis: two
+/// schedules with the same makespan can differ sharply in how much
+/// traffic their hottest bank absorbs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleMetrics {
+    /// Per-task slack (`deadline − response_time`), `None` for tasks
+    /// without a deadline. Indexed by task id.
+    pub slacks: Vec<Option<i64>>,
+    /// The tightest slack over all deadline tasks; `None` when no task
+    /// has a deadline. Negative when a deadline is missed.
+    pub min_slack: Option<i64>,
+    /// Total accesses per bank, summed over every task. Indexed by
+    /// bank id; length is the platform's bank count.
+    pub bank_totals: Vec<u64>,
+    /// The heaviest per-bank total (0 on an empty problem).
+    pub bank_peak: u64,
+}
+
+impl ScheduleMetrics {
+    /// Derives the metrics of `schedule` under `problem`.
+    ///
+    /// `schedule` must cover the problem's tasks (it always does when it
+    /// came out of an analysis or simulation of the same problem);
+    /// missing timings count as zero response time.
+    #[must_use]
+    pub fn compute(schedule: &Schedule, problem: &Problem) -> Self {
+        let mut slacks = Vec::with_capacity(problem.len());
+        let mut min_slack = None;
+        for index in 0..problem.len() {
+            let task = TaskId::from_index(index);
+            let slack = problem.graph().task(task).deadline().map(|deadline| {
+                let response = if index < schedule.len() {
+                    schedule.timing(task).response_time()
+                } else {
+                    Cycles(0)
+                };
+                to_i64(deadline.0) - to_i64(response.0)
+            });
+            if let Some(s) = slack {
+                min_slack = Some(min_slack.map_or(s, |m: i64| m.min(s)));
+            }
+            slacks.push(slack);
+        }
+        let (bank_totals, bank_peak) = bank_loads(problem);
+        ScheduleMetrics {
+            slacks,
+            min_slack,
+            bank_totals,
+            bank_peak,
+        }
+    }
+}
+
+/// Per-bank total accesses under the problem's current demands, plus
+/// the peak. Shared by [`ScheduleMetrics::compute`] and callers that
+/// only need the bank axis (no schedule required — bank pressure is a
+/// property of the mapping, not the arbiter).
+#[must_use]
+pub fn bank_loads(problem: &Problem) -> (Vec<u64>, u64) {
+    let banks = problem.platform().banks();
+    let mut totals = vec![0u64; banks];
+    for demand in problem.demands() {
+        accumulate(demand, &mut totals);
+    }
+    let peak = totals.iter().copied().max().unwrap_or(0);
+    (totals, peak)
+}
+
+fn accumulate(demand: &BankDemand, totals: &mut [u64]) {
+    for (BankId(bank), accesses) in demand.iter() {
+        if let Some(slot) = totals.get_mut(bank as usize) {
+            *slot = slot.saturating_add(accesses);
+        }
+    }
+}
+
+/// Clamps a `u64` cycle count into `i64` slack space.
+fn to_i64(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mapping, Platform, Task, TaskGraph, TaskTiming};
+
+    fn problem() -> Problem {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::builder("a").wcet(Cycles(10)).deadline(Cycles(40)));
+        let b = g.add_task(Task::builder("b").wcet(Cycles(10)));
+        let c = g.add_task(Task::builder("c").wcet(Cycles(5)).deadline(Cycles(20)));
+        g.add_edge(a, c, 7).unwrap();
+        g.add_edge(b, c, 3).unwrap();
+        let m = Mapping::from_assignment(&g, &[0, 1, 0]).unwrap();
+        Problem::new(g, m, Platform::new(2, 2)).unwrap()
+    }
+
+    fn timing(wcet: u64, interference: u64) -> TaskTiming {
+        TaskTiming {
+            release: Cycles(0),
+            wcet: Cycles(wcet),
+            interference: Cycles(interference),
+        }
+    }
+
+    #[test]
+    fn slack_is_deadline_minus_response_time() {
+        let p = problem();
+        // Response times: a = 30, c = 18.
+        let s = Schedule::from_timings(vec![timing(10, 20), timing(10, 0), timing(5, 13)]);
+        let m = ScheduleMetrics::compute(&s, &p);
+        assert_eq!(m.slacks, vec![Some(10), None, Some(2)]);
+        assert_eq!(m.min_slack, Some(2));
+    }
+
+    #[test]
+    fn missed_deadlines_show_as_negative_slack() {
+        let p = problem();
+        let s = Schedule::from_timings(vec![timing(10, 20), timing(10, 0), timing(5, 20)]);
+        let m = ScheduleMetrics::compute(&s, &p);
+        assert_eq!(m.min_slack, Some(-5));
+    }
+
+    #[test]
+    fn no_deadlines_means_no_slack_axis() {
+        let mut g = TaskGraph::new();
+        g.add_task(Task::builder("x").wcet(Cycles(1)));
+        let m = Mapping::from_assignment(&g, &[0]).unwrap();
+        let p = Problem::new(g, m, Platform::new(1, 1)).unwrap();
+        let s = Schedule::from_timings(vec![timing(1, 0)]);
+        let metrics = ScheduleMetrics::compute(&s, &p);
+        assert_eq!(metrics.min_slack, None);
+        assert_eq!(metrics.slacks, vec![None]);
+    }
+
+    #[test]
+    fn bank_totals_sum_every_demand() {
+        let p = problem();
+        // PerCoreBank on 2 cores / 2 banks: a,c on core 0 → bank 0;
+        // b on core 1 → bank 1. Edge a→c (7 words): both ends hit
+        // bank_of(core_of(c)) = bank 0 → 14. Edge b→c (3 words): both
+        // ends hit bank 0 → 6. Total bank 0 = 20, bank 1 = 0.
+        let s = Schedule::from_timings(vec![timing(10, 0), timing(10, 0), timing(5, 0)]);
+        let m = ScheduleMetrics::compute(&s, &p);
+        assert_eq!(m.bank_totals, vec![20, 0]);
+        assert_eq!(m.bank_peak, 20);
+    }
+}

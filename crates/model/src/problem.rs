@@ -147,6 +147,36 @@ impl Problem {
         Ok(())
     }
 
+    /// Like [`Problem::remap`], but with an explicit per-task home bank
+    /// instead of a policy-derived one
+    /// (see [`crate::derive_demands_with_banks`]). On error the problem
+    /// is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Problem::remap`] rejects, plus
+    /// [`ModelError::LengthMismatch`] when `banks` does not cover the
+    /// graph and [`ModelError::UnknownBank`] for out-of-range banks.
+    pub fn remap_with_banks(
+        &mut self,
+        mapping: Mapping,
+        banks: &[crate::BankId],
+    ) -> Result<(), ModelError> {
+        mapping.validate(&self.graph)?;
+        if mapping.cores() > self.platform.cores() {
+            return Err(ModelError::UnknownCore(crate::CoreId::from_index(
+                mapping.cores() - 1,
+            )));
+        }
+        let combined_order = combined_topological_order(&self.graph, &mapping)?;
+        let demands =
+            crate::derive_demands_with_banks(&self.graph, &mapping, &self.platform, banks)?;
+        self.mapping = mapping;
+        self.demands = demands;
+        self.combined_order = combined_order;
+        Ok(())
+    }
+
     /// The task graph.
     pub fn graph(&self) -> &TaskGraph {
         &self.graph

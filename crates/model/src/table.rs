@@ -20,7 +20,7 @@ use crate::{Cycles, TaskGraph, TaskId};
 
 /// Dense, read-only per-task columns of a [`TaskGraph`]: the fields the
 /// analysis cursor reads once per task, laid out for sequential access.
-/// See the [module documentation](self).
+/// See the module documentation in `table.rs`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskTable {
     /// WCET per task, indexed by task id.

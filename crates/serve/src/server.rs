@@ -40,6 +40,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use mia_dse::CandidateKey;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::MemoCache;
@@ -612,6 +613,54 @@ fn execute(shared: &Shared, job: &Job) -> Reply {
         };
     }
 
+    // File-backed tokens go through the memo cache under an
+    // mtime-stamped label: repeats of the same request are served from
+    // memory until the file changes on disk, at which point the stamp —
+    // and with it the cache key — moves on, so a stale analysis can
+    // never be replayed. Non-file tokens (presets like `rosace`,
+    // generator families) are rebuilt per request as before.
+    if let Some((token, stamp)) = request
+        .workload
+        .as_deref()
+        .and_then(|t| file_stamp(t).map(|s| (t, s)))
+    {
+        let label = format!("{token}@mtime={stamp}");
+        let design = CandidateKey::default();
+        if let Some(cached) = shared
+            .cache
+            .lookup(&request.method, &label, design, &request.args)
+        {
+            return Reply::ok(
+                request.id,
+                ReplyBody {
+                    output: (*cached).clone(),
+                    handle: None,
+                    tasks: None,
+                    cores: None,
+                    cached: true,
+                },
+            );
+        }
+        return match shared.engine.run(
+            &request.method,
+            Target::Token(token),
+            &request.args,
+            remaining,
+        ) {
+            Ok(output) => {
+                shared.cache.insert(
+                    &request.method,
+                    &label,
+                    design,
+                    &request.args,
+                    Arc::new(output.clone()),
+                );
+                Reply::ok(request.id, ReplyBody::output(output))
+            }
+            Err(e) => Reply::error(request.id, e.kind, e.message),
+        };
+    }
+
     let target = match request.workload.as_deref() {
         Some(token) => Target::Token(token),
         None => Target::None,
@@ -623,4 +672,18 @@ fn execute(shared: &Shared, job: &Job) -> Reply {
         Ok(output) => Reply::ok(request.id, ReplyBody::output(output)),
         Err(e) => Reply::error(request.id, e.kind, e.message),
     }
+}
+
+/// The modification stamp of a file-backed workload token: nanoseconds
+/// since the epoch of the file's mtime. `None` for tokens that are not
+/// files on disk (preset names, generator family tokens) — those are
+/// not cacheable by path identity.
+fn file_stamp(token: &str) -> Option<u128> {
+    let modified = std::fs::metadata(token).ok()?.modified().ok()?;
+    Some(
+        modified
+            .duration_since(std::time::UNIX_EPOCH)
+            .ok()?
+            .as_nanos(),
+    )
 }

@@ -1,0 +1,109 @@
+//! Mtime-based memo invalidation for file-backed workload tokens.
+//!
+//! A token that names a file on disk is served from the memo cache
+//! under an mtime-stamped label: repeats are hits, but the moment the
+//! file's modification time changes the stamp — and with it the cache
+//! key — moves on, so the daemon can never replay an analysis of a
+//! stale file. Tokens that are not files (presets, generator families)
+//! stay uncached on the one-shot path.
+
+use std::fs;
+use std::sync::Arc;
+use std::time::{Duration, UNIX_EPOCH};
+
+use mia_serve::testkit::{ServeHandle, ToyEngine};
+
+/// A scratch workload file whose mtime the test controls exactly.
+struct StampedFile {
+    path: std::path::PathBuf,
+}
+
+impl StampedFile {
+    fn create(name: &str) -> StampedFile {
+        let path = std::env::temp_dir().join(format!(
+            "mia_serve_invalidation_{}_{name}.json",
+            std::process::id()
+        ));
+        fs::write(&path, "{}").expect("write scratch workload");
+        StampedFile { path }
+    }
+
+    fn token(&self) -> String {
+        self.path.to_str().expect("utf8 temp path").to_owned()
+    }
+
+    /// Pins the file's mtime to an exact epoch offset — deterministic
+    /// and immune to filesystem timestamp granularity.
+    fn set_mtime(&self, seconds: u64) {
+        let file = fs::File::options()
+            .write(true)
+            .open(&self.path)
+            .expect("reopen scratch workload");
+        file.set_modified(UNIX_EPOCH + Duration::from_secs(seconds))
+            .expect("set mtime");
+    }
+}
+
+impl Drop for StampedFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+#[test]
+fn file_tokens_are_cached_until_the_file_changes() {
+    let engine = Arc::new(ToyEngine::instant());
+    let handle = ServeHandle::spawn_default(Arc::clone(&engine) as Arc<dyn mia_serve::Engine>);
+    let file = StampedFile::create("cached");
+    file.set_mtime(1_000);
+    let token = file.token();
+    let mut client = handle.client();
+
+    // First request computes and stores.
+    let body = client.run("analyze", &token, &[]).expect("served");
+    assert!(!body.cached);
+    assert_eq!(engine.runs(), 1);
+
+    // An identical repeat is a pure memo hit — the engine never runs.
+    let body = client.run("analyze", &token, &[]).expect("served");
+    assert!(body.cached, "repeat of an unchanged file must hit");
+    assert_eq!(engine.runs(), 1);
+    assert_eq!(handle.stats().cache_hits, 1);
+
+    // Touching the file moves the mtime stamp: the old entry is dead,
+    // the request recomputes against the current file.
+    file.set_mtime(2_000);
+    let body = client.run("analyze", &token, &[]).expect("served");
+    assert!(!body.cached, "a changed file must not be served stale");
+    assert_eq!(engine.runs(), 2);
+
+    // And the refreshed result is itself memoised again.
+    let body = client.run("analyze", &token, &[]).expect("served");
+    assert!(body.cached);
+    assert_eq!(engine.runs(), 2);
+
+    // The argument tail is part of the key.
+    let body = client
+        .run("analyze", &token, &["--other".to_owned()])
+        .expect("served");
+    assert!(!body.cached);
+    assert_eq!(engine.runs(), 3);
+
+    handle.shutdown();
+}
+
+#[test]
+fn non_file_tokens_stay_on_the_uncached_one_shot_path() {
+    let engine = Arc::new(ToyEngine::instant());
+    let handle = ServeHandle::spawn_default(Arc::clone(&engine) as Arc<dyn mia_serve::Engine>);
+    let mut client = handle.client();
+
+    for expected_runs in 1..=3 {
+        let body = client.run("analyze", "rosace", &[]).expect("served");
+        assert!(!body.cached, "preset tokens are rebuilt per request");
+        assert_eq!(engine.runs(), expected_runs);
+    }
+    assert_eq!(handle.stats().cache_entries, 0);
+
+    handle.shutdown();
+}

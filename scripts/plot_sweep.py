@@ -198,7 +198,7 @@ def write_dse_csv(report, out):
     out.write(
         "workload,arbiter,strategy,n,chains,seed_makespan,optimized_makespan,"
         "improvement_pct,evaluations,cache_hits,feasible_hits,infeasible_hits,"
-        "delta_resumes,cache_hit_rate,seconds\n"
+        "delta_resumes,front_size,hypervolume,cache_hit_rate,seconds\n"
     )
     for r in report["runs"]:
         workload = r["workload"].replace(",", ";")
@@ -206,12 +206,108 @@ def write_dse_csv(report, out):
             f"{workload},{r['arbiter']},{r['strategy']},{r['n']},{r['chains']},"
             f"{r['seed_makespan']},{r['optimized_makespan']},"
             f"{r['improvement_pct']:.3f},{r['evaluations']},{r['cache_hits']},"
-            # Reports from before the delta re-analysis lack the split
-            # counters; default them to zero so old artefacts still plot.
+            # Reports from before the delta re-analysis / Pareto fronts
+            # lack the newer fields; default them so old artefacts still
+            # plot.
             f"{r.get('feasible_hits', 0)},{r.get('infeasible_hits', 0)},"
             f"{r.get('delta_resumes', 0)},"
+            f"{r.get('front_size', 0)},{r.get('hypervolume', 0.0):.4f},"
             f"{r['cache_hit_rate']:.4f},{r['seconds']:.6f}\n"
         )
+
+
+def has_front(report):
+    """True for multi-objective reports (any run carries a Pareto front).
+    Pre-Pareto artefacts simply lack the field and plot as before."""
+    return any(r.get("front") for r in report.get("runs", []))
+
+
+def scatter_ascii(points, title, width=58, height=12):
+    """One 2-D scatter canvas; `points` is [(x, y)], marker `*`."""
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1
+    y_span = (y_hi - y_lo) or 1
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = [f"{title}   [y: {y_lo} .. {y_hi}]"]
+    lines += ["  |" + "".join(row) for row in grid]
+    lines.append("  +" + "-" * width)
+    lines.append(f"   x: {x_lo} .. {x_hi}")
+    return "\n".join(lines)
+
+
+# The 2-D projections of the 3-objective front worth looking at.
+FRONT_PROJECTIONS = (
+    ("bank_peak", "peak bank load (words) vs makespan (cycles)"),
+    ("min_slack", "min slack (cycles) vs makespan (cycles)"),
+)
+
+
+def render_front_ascii(report):
+    """Per run: the front size + hypervolume, then the 2-D projections
+    of the Pareto front as ASCII scatters."""
+    lines = []
+    for run in report["runs"]:
+        front = run.get("front") or []
+        if not front:
+            continue
+        lines.append(
+            f"{dse_label(run)}: {len(front)} Pareto point(s), "
+            f"hypervolume {run.get('hypervolume', 0.0):.4f}"
+        )
+        for field, title in FRONT_PROJECTIONS:
+            points = [(p["makespan"], p[field]) for p in front]
+            lines.append(scatter_ascii(points, title))
+    return "\n".join(lines) + "\n"
+
+
+def write_front_gnuplot(report, out_dir):
+    os.makedirs(out_dir, exist_ok=True)
+    dat_path = os.path.join(out_dir, "dse_front.dat")
+    gp_path = os.path.join(out_dir, "dse_front.gp")
+    indexed = []
+    with open(dat_path, "w") as dat:
+        dat.write("# makespan min_slack bank_peak active_cores arbiter\n")
+        for run in report["runs"]:
+            front = run.get("front") or []
+            if not front:
+                continue
+            dat.write(f"# {dse_label(run)}\n")
+            for p in front:
+                dat.write(
+                    f"{p['makespan']} {p['min_slack']} {p['bank_peak']} "
+                    f"{p.get('active_cores', 0)} {p.get('arbiter', 0)}\n"
+                )
+            dat.write("\n\n")  # gnuplot index separator
+            indexed.append(dse_label(run))
+    bank = ", \\\n    ".join(
+        f"'dse_front.dat' index {i} using 1:3 with points pt 7 title '{label}'"
+        for i, label in enumerate(indexed)
+    )
+    slack = ", \\\n    ".join(
+        f"'dse_front.dat' index {i} using 1:2 with points pt 7 title '{label}'"
+        for i, label in enumerate(indexed)
+    )
+    with open(gp_path, "w") as gp:
+        gp.write(
+            "set terminal svg size 1200,500\n"
+            "set output 'dse_front.svg'\n"
+            "set multiplot layout 1,2\n"
+            "set xlabel 'analyzed makespan (cycles)'\n"
+            "set ylabel 'peak bank load (words)'\n"
+            "set key right top\n"
+            f"plot {bank}\n"
+            "set ylabel 'min slack (cycles)'\n"
+            f"plot {slack}\n"
+            "unset multiplot\n"
+        )
+    return dat_path, gp_path
 
 
 def main():
@@ -226,14 +322,21 @@ def main():
 
     report = load_report(args.report)
     if "runs" in report and "points" not in report:
-        # A DSE report (mia optimize / mia-bench dse).
+        # A DSE report (mia optimize / mia-bench dse). Multi-objective
+        # runs (any run with a `front`) additionally get the Pareto
+        # front projections.
         if args.csv:
             write_dse_csv(report, sys.stdout)
         elif args.gnuplot:
             dat, gp = write_dse_gnuplot(report, args.gnuplot)
             print(f"wrote {dat} and {gp} (run: gnuplot {gp})")
+            if has_front(report):
+                dat, gp = write_front_gnuplot(report, args.gnuplot)
+                print(f"wrote {dat} and {gp} (run: gnuplot {gp})")
         else:
             sys.stdout.write(render_dse_ascii(report))
+            if has_front(report):
+                sys.stdout.write(render_front_ascii(report))
         return
     if args.csv:
         write_csv(report, sys.stdout)
