@@ -32,8 +32,8 @@ fn main() -> ExitCode {
     );
     let report = run_serve_bench(&spec, &|p| {
         eprintln!(
-            "  clients {:>3} {:>8}: {} ok / {} err, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, {:.1} req/s",
-            p.clients, p.mode, p.requests, p.errors, p.p50_ms, p.p95_ms, p.p99_ms, p.throughput_rps,
+            "  clients {:>3} {:>8}: {} ok / {} err, p50 {:.2} / p90 {:.2} / p99 {:.2} / max {:.2} ms, {:.1} req/s",
+            p.clients, p.mode, p.requests, p.errors, p.p50_ms, p.p90_ms, p.p99_ms, p.max_ms, p.throughput_rps,
         );
     });
     match out {

@@ -196,14 +196,22 @@ pub struct ServePoint {
     pub errors: usize,
     /// Median request latency, milliseconds.
     pub p50_ms: f64,
+    /// 90th-percentile latency, milliseconds.
+    pub p90_ms: f64,
     /// 95th-percentile latency, milliseconds.
     pub p95_ms: f64,
     /// 99th-percentile latency, milliseconds.
     pub p99_ms: f64,
+    /// Worst observed latency, milliseconds.
+    pub max_ms: f64,
     /// Completed requests per wall-clock second across all clients.
     pub throughput_rps: f64,
     /// Daemon memo-cache hits after the point (monotonic per daemon).
     pub cache_hits: u64,
+    /// Log2-bucket histogram of per-request latency in *nanoseconds*.
+    /// Its `count` equals `requests`; any quantile is derivable from the
+    /// buckets, where the nearest-rank fields above pin exact samples.
+    pub latency_hist: mia_obs::HistogramSnapshot,
 }
 
 /// The committed `BENCH_serve.json` schema.
@@ -258,6 +266,10 @@ fn measure_point(
 
     let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
     let errors: Mutex<usize> = Mutex::new(0);
+    // Every success lands in the histogram too (atomic, shared across
+    // the client threads), so `latency_hist.count == requests` by
+    // construction.
+    let hist = mia_obs::Histogram::default();
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..clients {
@@ -272,7 +284,11 @@ fn measure_point(
                         None => client.run("analyze", &spec.workload, &[]),
                     };
                     match reply {
-                        Ok(_) => mine.push(t0.elapsed().as_secs_f64() * 1e3),
+                        Ok(_) => {
+                            let elapsed = t0.elapsed();
+                            hist.observe_duration(elapsed);
+                            mine.push(elapsed.as_secs_f64() * 1e3);
+                        }
                         Err(_) => failed += 1,
                     }
                 }
@@ -292,14 +308,17 @@ fn measure_point(
         requests: sorted.len(),
         errors: errors.into_inner().expect("error lock"),
         p50_ms: percentile(&sorted, 50.0),
+        p90_ms: percentile(&sorted, 90.0),
         p95_ms: percentile(&sorted, 95.0),
         p99_ms: percentile(&sorted, 99.0),
+        max_ms: sorted.last().copied().unwrap_or(0.0),
         throughput_rps: if elapsed > 0.0 {
             sorted.len() as f64 / elapsed
         } else {
             0.0
         },
         cache_hits: stats.cache_hits,
+        latency_hist: hist.snapshot().trimmed(),
     };
     progress(&point);
     point
@@ -363,8 +382,16 @@ mod tests {
         for p in &report.points {
             assert_eq!(p.errors, 0, "{p:?}");
             assert_eq!(p.requests, p.clients * 2, "{p:?}");
-            assert!(p.p50_ms <= p.p95_ms && p.p95_ms <= p.p99_ms, "{p:?}");
+            assert!(p.p50_ms <= p.p90_ms && p.p90_ms <= p.p95_ms, "{p:?}");
+            assert!(p.p95_ms <= p.p99_ms && p.p99_ms <= p.max_ms, "{p:?}");
             assert!(p.throughput_rps > 0.0, "{p:?}");
+            // The histogram saw exactly the successful requests — same
+            // `elapsed` per request as the sample list, so the exact max
+            // agrees too (modulo f64 formatting of the ms figure).
+            assert_eq!(p.latency_hist.count as usize, p.requests, "{p:?}");
+            #[allow(clippy::cast_precision_loss)]
+            let hist_max_ms = p.latency_hist.max as f64 / 1e6;
+            assert!((hist_max_ms - p.max_ms).abs() < 1e-3, "{p:?}");
         }
         // The cached points actually hit the memo cache.
         let cached_hits: u64 = report

@@ -57,16 +57,19 @@ commands:
   analyze  <workload> [--algorithm incremental|baseline]
            [--arbiter rr|mppa|tdm|fifo|fp|wrr|regulated] [--deadline N]
            [--threads N] [--gantt] [--dot] [--json FILE] [--chrome FILE]
+           [--profile FILE]  (runtime telemetry as a Chrome trace)
   optimize <workload|family> [-n <tasks>] [--strategy anneal|portfolio]
            [--chains N] [--seed N] [--budget-evals N] [--threads N]
            [--arbiters rr,mppa,...] [--seed-strategy etf|cyclic|balanced|heft]
            [--gen-seed N] [--deadline N] [--with-mapping] [--csv] [-o FILE]
+           [--profile FILE]
            (search mappings with the real interference analysis as the
             objective; never returns a mapping worse than the seed)
   sweep    [--families tobita,layered,LS64,rosace,sdf3:app.sdf3,...]
            [--arbiters rr,mppa,...] [--sizes 1000,8000,32000]
            [--algorithms incremental,baseline] [--seed N] [--budget SECS]
            [--jobs N] [--threads N,M,...] [--repeats N] [--csv] [-o FILE]
+           [--profile FILE]
            (batch grid -> one JSON/CSV report; tobita = LS16, layered = NL16)
   simulate <workload> [--pattern burst-start|burst-end|uniform|random] [--seed S]
   exec     <workload> [--arbiter ...] [--prefix NAME] [--c FILE] [--json FILE]
@@ -79,7 +82,8 @@ commands:
             analyze/simulate/optimize/sweep over length-prefixed JSON)
   client   <method> [workload] [--addr HOST:PORT] [--handle H] [options...]
            (one request against a running `mia serve`; method is one of
-            load, analyze, simulate, optimize, sweep, ping, stats, shutdown)";
+            load, analyze, simulate, optimize, sweep, ping, stats, metrics,
+            shutdown)";
 
 /// Entry point used by the `mia` binary; returns the rendered output.
 ///
@@ -114,6 +118,42 @@ pub(crate) fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Arms the process-global telemetry when the caller passed
+/// `--profile <out.json>` and returns the output path. Spans buffered
+/// by earlier runs in this process are dropped so the trace covers this
+/// command only. The gate is left on afterwards: one-shot commands exit
+/// right away, and the served surface rejects `--profile` outright.
+pub(crate) fn profile_start(args: &[String]) -> Option<&str> {
+    let path = opt(args, "--profile")?;
+    mia_obs::set_enabled(true);
+    drop(mia_obs::take_spans());
+    Some(path)
+}
+
+/// Drains the spans recorded since [`profile_start`] and writes them to
+/// `path` as Chrome trace JSON — runtime-only, or side by side with a
+/// schedule when the caller has one. Appends the confirmation line to
+/// `out`.
+pub(crate) fn profile_finish(
+    path: &str,
+    schedule: Option<(&Problem, &mia_model::Schedule)>,
+    out: &mut String,
+) -> Result<(), CliError> {
+    let spans = mia_obs::take_spans();
+    let trace = match schedule {
+        Some((problem, schedule)) => {
+            mia_trace::to_chrome_trace_with_runtime(problem, schedule, &spans)
+        }
+        None => mia_trace::spans_to_chrome_trace(&spans),
+    };
+    fs::write(path, trace)?;
+    out.push_str(&format!(
+        "\nruntime profile written to {path} ({} spans; open in chrome://tracing or ui.perfetto.dev)\n",
+        spans.len()
+    ));
+    Ok(())
 }
 
 pub(crate) fn has_flag(args: &[String], flag: &str) -> bool {
@@ -331,6 +371,10 @@ pub(crate) fn render_analysis(problem: &Problem, args: &[String]) -> Result<Stri
             .map_err(|_| CliError::Usage("--deadline must be a number".into()))?;
         options = options.deadline(Cycles(d));
     }
+    // Arm telemetry before the analysis dispatch: the engine resolves
+    // its metric handles once at run start, so the gate must be on by
+    // then for the run's spans to be recorded at all.
+    let profile = profile_start(args);
     let algorithm = opt(args, "--algorithm").unwrap_or("incremental");
     let threads: usize = opt(args, "--threads")
         .unwrap_or("1")
@@ -416,6 +460,9 @@ pub(crate) fn render_analysis(problem: &Problem, args: &[String]) -> Result<Stri
         out.push_str(&format!(
             "\nChrome trace written to {path} (open in chrome://tracing or ui.perfetto.dev)\n"
         ));
+    }
+    if let Some(path) = profile {
+        profile_finish(path, Some((problem, &schedule)), &mut out)?;
     }
     Ok(out)
 }
@@ -896,6 +943,57 @@ mod tests {
         assert!(trace.contains("\"ph\":\"X\""));
         std::fs::remove_file(w_path).ok();
         std::fs::remove_file(t_path).ok();
+    }
+
+    #[test]
+    fn profile_flag_exports_runtime_spans_on_all_three_commands() {
+        // One test drives every `--profile` surface *sequentially*:
+        // `take_spans` drains the process-global span buffers, so
+        // concurrent profile runs would steal each other's spans.
+        let dir = std::env::temp_dir().join("mia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        let path_str = path.to_str().unwrap().to_owned();
+
+        let out = run(&args(&["analyze", "rosace", "--profile", &path_str])).unwrap();
+        assert!(out.contains("runtime profile written"), "{out}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.contains("\"ph\":\"X\""), "{trace}");
+        assert!(trace.contains("\"analysis.run\""), "{trace}");
+        assert!(trace.contains("\"analysis.close_open\""), "{trace}");
+        // The schedule rides along in the same trace file.
+        assert!(trace.contains("schedule"), "{trace}");
+
+        let out = run(&args(&[
+            "optimize",
+            "rosace",
+            "--budget-evals",
+            "40",
+            "--profile",
+            &path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("runtime profile written"), "{out}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            trace.contains("\"dse.validate\"") || trace.contains("\"dse.full_analysis\""),
+            "{trace}"
+        );
+
+        let out = run(&args(&[
+            "sweep",
+            "--families",
+            "LS4",
+            "--sizes",
+            "16",
+            "--profile",
+            &path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("runtime profile written"), "{out}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.contains("\"analysis.run\""), "{trace}");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -45,7 +45,10 @@ use mia_dse::{
 };
 use mia_model::{BankPolicy, Cycles, Platform, Problem};
 
-use crate::commands::{has_flag, is_sdf_input, opt, positional, sdf_problem_full, CliError};
+use crate::commands::{
+    has_flag, is_sdf_input, opt, positional, profile_finish, profile_start, sdf_problem_full,
+    CliError,
+};
 use crate::workload::WorkloadFile;
 
 /// Runs `mia optimize` with the raw arguments after the subcommand name.
@@ -127,6 +130,10 @@ pub(crate) fn optimize_loaded(
         None => ObjMask::all(),
     };
     let front_capacity = parse_num("--front-capacity", 64)?;
+
+    // Arm telemetry before the search starts: the evaluator resolves
+    // its metric handles in `Evaluator::new`.
+    let profile = profile_start(args);
 
     let n = problem.len();
     let cores = problem.platform().cores();
@@ -247,6 +254,9 @@ pub(crate) fn optimize_loaded(
     };
     let rendered = render_dse_report(&report, format);
 
+    if let Some(path) = profile {
+        profile_finish(path, None, &mut summary)?;
+    }
     match opt(args, "-o").or_else(|| opt(args, "--out")) {
         Some(path) => {
             fs::write(path, &rendered)?;

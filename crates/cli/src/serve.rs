@@ -32,7 +32,7 @@ use crate::optimize::{load_optimize_problem, optimize_loaded};
 /// Flags that make a subcommand write files *on the server*; rejected
 /// over the wire so a remote client cannot scribble on the daemon's
 /// filesystem and so replies always carry the full output.
-const FILE_FLAGS: &[&str] = &["--json", "--chrome", "-o", "--out", "--c"];
+const FILE_FLAGS: &[&str] = &["--json", "--chrome", "--profile", "-o", "--out", "--c"];
 
 /// The production engine: the full CLI surface behind the daemon.
 pub struct CliEngine;
@@ -198,7 +198,8 @@ fn client_error(e: ClientError) -> CliError {
 pub fn client_cmd(args: &[String]) -> Result<String, CliError> {
     let Some((method, rest)) = args.split_first() else {
         return Err(CliError::Usage(
-            "client needs a method (load, analyze, simulate, optimize, sweep, ping, stats, shutdown)"
+            "client needs a method (load, analyze, simulate, optimize, sweep, ping, stats, \
+             metrics, shutdown)"
                 .into(),
         ));
     };

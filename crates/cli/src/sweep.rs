@@ -30,7 +30,7 @@ use std::fs;
 
 use mia_bench::sweep::{parse_spec, render_report, run_sweep};
 
-use crate::commands::CliError;
+use crate::commands::{profile_finish, profile_start, CliError};
 
 /// Runs `mia sweep` with the raw arguments after the subcommand name.
 ///
@@ -43,7 +43,19 @@ use crate::commands::CliError;
 /// [`CliError::Usage`] for unknown flags or malformed grid tokens,
 /// [`CliError::Io`] if the report cannot be written.
 pub fn sweep_cmd(args: &[String]) -> Result<String, CliError> {
-    let (spec, out, format) = parse_spec(args).map_err(CliError::Usage)?;
+    // `parse_spec` is shared with the `sweep` binary of `mia-bench` and
+    // rejects flags it does not know, so the CLI-only `--profile` pair
+    // is peeled off before the grid spec is parsed.
+    let profile = profile_start(args);
+    let stripped: Vec<String> = match args.iter().position(|a| a == "--profile") {
+        Some(i) => {
+            let mut rest = args.to_vec();
+            rest.drain(i..(i + 2).min(rest.len()));
+            rest
+        }
+        None => args.to_vec(),
+    };
+    let (spec, out, format) = parse_spec(&stripped).map_err(CliError::Usage)?;
     let report = run_sweep(&spec, &|_| {});
     let rendered = render_report(&report, format);
 
@@ -72,6 +84,9 @@ pub fn sweep_cmd(args: &[String]) -> Result<String, CliError> {
         "completed: {}   timeouts: {timeouts}   failures: {failures}\n",
         report.points.len() - timeouts - failures
     ));
+    if let Some(path) = profile {
+        profile_finish(path, None, &mut summary)?;
+    }
 
     match out {
         Some(path) => {

@@ -37,6 +37,48 @@ use mia_model::{CoreId, Cycles, Problem, TaskId, TaskTable, TaskTiming};
 use crate::checkpoint::{Checkpoint, CheckpointLog, SlotSnapshot};
 use crate::{AnalysisError, AnalysisOptions, AnalysisStats, Observer};
 
+/// Telemetry handles for one profiled drive: per-phase latency
+/// histograms in the global [`mia_obs`] registry, resolved once per run
+/// so the loop never touches the registry's name map. Only constructed
+/// when the global gate is on — the disabled path of the whole driver
+/// is a single relaxed load + branch at entry. Everything recorded here
+/// stays off [`AnalysisStats`] (same contract as
+/// [`ParallelInfo`](crate::ParallelInfo)), so conformance bit-identity
+/// holds with telemetry on or off.
+struct DriveProfile {
+    close_open: std::sync::Arc<mia_obs::Histogram>,
+    account: std::sync::Arc<mia_obs::Histogram>,
+    advance: std::sync::Arc<mia_obs::Histogram>,
+    checkpoint_write: std::sync::Arc<mia_obs::Histogram>,
+}
+
+impl DriveProfile {
+    fn new() -> DriveProfile {
+        let registry = mia_obs::global();
+        DriveProfile {
+            close_open: registry.histogram("analysis.close_open_ns"),
+            account: registry.histogram("analysis.account_ns"),
+            advance: registry.histogram("analysis.advance_ns"),
+            checkpoint_write: registry.histogram("analysis.checkpoint_write_ns"),
+        }
+    }
+
+    /// Stamps a phase start (`None` when not profiling, so call sites
+    /// stay one-liners).
+    fn begin(prof: Option<&DriveProfile>) -> Option<u64> {
+        prof.map(|_| mia_obs::now_ns())
+    }
+
+    /// Records a finished phase into its histogram and as a span.
+    fn end(&self, name: &'static str, hist: &mia_obs::Histogram, start: Option<u64>) {
+        if let Some(start_ns) = start {
+            let dur_ns = mia_obs::now_ns().saturating_sub(start_ns);
+            hist.observe(dur_ns);
+            mia_obs::record_span(name, start_ns, dur_ns);
+        }
+    }
+}
+
 /// One engine's view of the task alive on a core: exactly the state the
 /// shared driver needs to close tasks, enforce deadlines and compute
 /// finish dates. Copied out per query, so engines stay free to store the
@@ -259,6 +301,11 @@ where
     let cores = engine.cores();
     debug_assert_eq!(cores, mapping.cores());
 
+    // One gate load for the whole run; the per-phase sites below are
+    // plain `Option` checks.
+    let prof = mia_obs::enabled().then(DriveProfile::new);
+    let _run_span = mia_obs::span("analysis.run");
+
     // Compact the graph into dense columns once: the loops below touch
     // only WCETs, release dates and successor lists, and at 10⁶ tasks the
     // `Task`/edge-list indirection of the full graph dominates them.
@@ -346,6 +393,7 @@ where
         // checkpoint re-enters exactly here.
         if let Some(log) = recorder.as_deref_mut() {
             if log.wants(stats.cursor_steps) {
+                let started = DriveProfile::begin(prof.as_ref());
                 if let Some(slots) = engine.snapshot_slots() {
                     log.record(Checkpoint {
                         step: stats.cursor_steps,
@@ -356,6 +404,9 @@ where
                         slots,
                     });
                 }
+                if let Some(p) = prof.as_ref() {
+                    p.end("analysis.checkpoint_write", &p.checkpoint_write, started);
+                }
             }
         }
         stats.cursor_steps += 1;
@@ -363,6 +414,7 @@ where
         // Fixed point at cursor position t: close every task ending at t,
         // then open every eligible task. Repeats only for zero-length
         // chains (a task that opens and finishes at the same instant).
+        let fixed_point_started = DriveProfile::begin(prof.as_ref());
         loop {
             let mut changed = false;
 
@@ -427,11 +479,20 @@ where
 
             // Interference between new tasks and the rest of A, both
             // directions (lines 17–23) — the engine's customization point.
+            let account_started = DriveProfile::begin(prof.as_ref());
             engine.account(&newly, observer, &mut stats)?;
+            if let Some(p) = prof.as_ref() {
+                if !newly.is_empty() {
+                    p.end("analysis.account", &p.account, account_started);
+                }
+            }
 
             if !changed {
                 break;
             }
+        }
+        if let Some(p) = prof.as_ref() {
+            p.end("analysis.close_open", &p.close_open, fixed_point_started);
         }
 
         // Unschedulability check against the optional global deadline.
@@ -456,6 +517,7 @@ where
 
         // t ← min(next alive finish, next future minimal release)
         // (lines 24–29).
+        let advance_started = DriveProfile::begin(prof.as_ref());
         let mut t_next = engine.next_finish(&table, t);
         while let Some(&(mr, task)) = min_rels.get(mr_ptr) {
             if is_open[task.index()] || mr <= t {
@@ -464,6 +526,9 @@ where
             }
             t_next = t_next.min(mr);
             break;
+        }
+        if let Some(p) = prof.as_ref() {
+            p.end("analysis.advance", &p.advance, advance_started);
         }
         if t_next == Cycles::MAX {
             let stuck = graph

@@ -94,7 +94,7 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::Thread;
 use std::time::{Duration, Instant};
 
@@ -239,6 +239,61 @@ impl Pool<'_> {
     /// the indices below it).
     fn driver_partition(&self) -> usize {
         self.shared.done.len()
+    }
+}
+
+/// Driver-side telemetry handles, resolved from the global registry once
+/// per run and only when [`mia_obs::enabled`] — the disabled path costs
+/// one relaxed load per engagement decision.
+struct PoolProfile {
+    fan_out: Arc<mia_obs::Histogram>,
+    driver_wait: Arc<mia_obs::Histogram>,
+    fanout_steps: Arc<mia_obs::Counter>,
+    inline_steps: Arc<mia_obs::Counter>,
+}
+
+impl PoolProfile {
+    fn new() -> Self {
+        let reg = mia_obs::global();
+        Self {
+            fan_out: reg.histogram("parallel.fan_out_ns"),
+            driver_wait: reg.histogram("parallel.driver_wait_ns"),
+            fanout_steps: reg.counter("parallel.fanout_steps"),
+            inline_steps: reg.counter("parallel.inline_steps"),
+        }
+    }
+}
+
+/// Worker-side telemetry handles: handoff wait vs. accounting work, per
+/// phase. Resolved once per worker at spawn.
+struct WorkerProfile {
+    wait: Arc<mia_obs::Histogram>,
+    work: Arc<mia_obs::Histogram>,
+}
+
+impl WorkerProfile {
+    fn new() -> Self {
+        let reg = mia_obs::global();
+        Self {
+            wait: reg.histogram("parallel.worker_wait_ns"),
+            work: reg.histogram("parallel.worker_work_ns"),
+        }
+    }
+}
+
+/// Starts a timed section when profiling is on (shared by both profile
+/// structs; mirrors the engine's `DriveProfile`).
+fn prof_begin(on: bool) -> Option<u64> {
+    on.then(mia_obs::now_ns)
+}
+
+/// Finishes a timed section: one histogram observation plus a span for
+/// the Chrome-trace export.
+fn prof_end(name: &'static str, hist: &mia_obs::Histogram, started: Option<u64>) {
+    if let Some(start) = started {
+        let dur = mia_obs::now_ns().saturating_sub(start);
+        hist.observe(dur);
+        mia_obs::record_span(name, start, dur);
     }
 }
 
@@ -559,6 +614,7 @@ where
                 relay: shared.relay_events,
                 fanout_steps: 0,
                 inline_steps: 0,
+                prof: mia_obs::enabled().then(PoolProfile::new),
                 occupants: Vec::with_capacity(cores),
                 driver_events: Vec::new(),
                 merge_events: Vec::new(),
@@ -642,6 +698,8 @@ struct ParallelEngine<'a, A: ?Sized> {
     relay: bool,
     fanout_steps: usize,
     inline_steps: usize,
+    /// Driver-side telemetry, present only when profiling is enabled.
+    prof: Option<PoolProfile>,
     // Reusable per-step buffers (no allocation inside the loop).
     occupants: Vec<Option<TaskId>>,
     /// Events of the driver's own partition during a fan-out phase.
@@ -702,6 +760,7 @@ where
     where
         O: Observer + ?Sized,
     {
+        let phase_started = prof_begin(self.prof.is_some());
         {
             // SAFETY: no phase in flight; the driver owns the command.
             let cmd = unsafe { &mut *self.pool.shared.cmd.0.get() };
@@ -728,7 +787,11 @@ where
             events,
             stats,
         );
+        let wait_started = prof_begin(self.prof.is_some());
         self.pool.wait();
+        if let Some(p) = &self.prof {
+            prof_end("parallel.driver_wait", &p.driver_wait, wait_started);
+        }
         if self.pool.shared.panicked.load(Ordering::Acquire) {
             // Abandon the run; the caller re-raises the worker's
             // payload, so this placeholder error is never seen.
@@ -751,6 +814,9 @@ where
             for &(_, task, bank, total) in &self.merge_events {
                 observer.on_interference(task, bank, total);
             }
+        }
+        if let Some(p) = &self.prof {
+            prof_end("parallel.fan_out", &p.fan_out, phase_started);
         }
         Ok(())
     }
@@ -805,9 +871,15 @@ where
         let width = self.occupants.iter().flatten().count();
         if width >= self.engage.threshold {
             self.fanout_steps += 1;
+            if let Some(p) = &self.prof {
+                p.fanout_steps.inc();
+            }
             return self.fan_out(newly, observer, stats);
         }
         self.inline_steps += 1;
+        if let Some(p) = &self.prof {
+            p.inline_steps.inc();
+        }
         let timed = self.engage.fixed.is_none();
         let t0 = timed.then(Instant::now);
         self.account_inline(newly, observer, stats);
@@ -962,8 +1034,13 @@ fn worker_loop<A>(
 {
     let mut stats = AnalysisStats::default();
     let mut last = 0u64;
+    let prof = mia_obs::enabled().then(WorkerProfile::new);
     loop {
+        let wait_started = prof_begin(prof.is_some());
         let e = wait_for_phase(shared, last);
+        if let Some(p) = &prof {
+            prof_end("parallel.worker_wait", &p.wait, wait_started);
+        }
         // `quit` is published before the final epoch bump (release), so
         // acquiring the bumped epoch makes it visible here.
         if shared.quit.load(Ordering::Acquire) {
@@ -979,6 +1056,7 @@ fn worker_loop<A>(
                 // SAFETY: command is read-only during a phase.
                 let cmd = unsafe { &*shared.cmd.0.get() };
                 if cmd.kind == PhaseKind::Account {
+                    let work_started = prof_begin(prof.is_some());
                     let events = shared.relay_events.then(|| {
                         // SAFETY: this worker exclusively owns its out
                         // buffer during the phase; the driver drained it
@@ -989,6 +1067,9 @@ fn worker_loop<A>(
                         problem, arbiter, mode, access, slots, cmd, worker_id, partitions, events,
                         &mut stats,
                     );
+                    if let Some(p) = &prof {
+                        prof_end("parallel.worker_work", &p.work, work_started);
+                    }
                 }
             }));
             if let Err(payload) = phase {

@@ -404,6 +404,37 @@ fn degenerate_pool_sizes_conform() {
     );
 }
 
+/// The telemetry contract: flipping the process-global `mia-obs` gate
+/// must not change anything observable. Runtime timing lives off
+/// `AnalysisStats` (like `ParallelInfo`), so schedules, work counters
+/// and observer streams stay bit-identical with telemetry on and off,
+/// on every engine and in every interference mode.
+#[test]
+fn telemetry_gate_does_not_change_any_engine_output() {
+    let problem = workload(Family::FixedLayerSize(16), 48, 4117);
+    let rr = mia_arbiter::by_name("rr").unwrap();
+    for mode in MODES {
+        let options = AnalysisOptions::new().interference_mode(mode);
+        for kind in EngineKind::all(&[2, 16]) {
+            mia_obs::set_enabled(false);
+            let off = kind
+                .run(&problem, rr.as_ref(), &options)
+                .unwrap_or_else(|e| panic!("{kind} / {mode:?} off: {e}"));
+            mia_obs::set_enabled(true);
+            let on = kind
+                .run(&problem, rr.as_ref(), &options)
+                .unwrap_or_else(|e| panic!("{kind} / {mode:?} on: {e}"));
+            // Drop this round's spans and restore the default gate so
+            // the rest of the suite runs on the cheap disabled path.
+            mia_obs::set_enabled(false);
+            drop(mia_obs::take_spans());
+            assert_eq!(on.schedule, off.schedule, "{kind} / {mode:?}: schedule");
+            assert_eq!(on.stats, off.stats, "{kind} / {mode:?}: stats");
+            assert_eq!(on.events, off.events, "{kind} / {mode:?}: events");
+        }
+    }
+}
+
 /// The empty problem: every engine agrees on the empty schedule and the
 /// empty-but-for-the-initial-cursor event stream.
 #[test]

@@ -23,6 +23,37 @@ use rand::{RngExt, SeedableRng};
 use crate::pareto::{ObjMask, ParetoArchive, ParetoPoint};
 use crate::{Candidate, DseError, EvalStats, Evaluator, JointAxes, MoveGuide, ObjVec, Objective};
 
+/// Chain-side telemetry: proposal-generation time plus the end-to-end
+/// pricing time of each proposal, keyed by the move kind that produced
+/// it ([`crate::Undo::kind_name`]). Resolved once per chain, only when
+/// [`mia_obs::enabled`].
+struct ChainProfile {
+    propose: std::sync::Arc<mia_obs::Histogram>,
+}
+
+impl ChainProfile {
+    fn new() -> Self {
+        ChainProfile {
+            propose: mia_obs::global().histogram("dse.propose_ns"),
+        }
+    }
+
+    fn observe_propose(&self, started: u64) {
+        self.propose
+            .observe(mia_obs::now_ns().saturating_sub(started));
+    }
+
+    /// Records one priced proposal under its move kind. The per-kind
+    /// histogram set is small (seven kinds) and the registry lookup is
+    /// a lock plus a map probe, paid only on the profiled path.
+    fn observe_move(kind: &str, started: u64) {
+        let dur = mia_obs::now_ns().saturating_sub(started);
+        mia_obs::global()
+            .histogram(&format!("dse.move.{kind}_ns"))
+            .observe(dur);
+    }
+}
+
 /// Tuning knobs of the annealing chains.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnnealTuning {
@@ -197,14 +228,23 @@ pub(crate) fn run_chain<O: Objective>(
     let mut best_cost = seed_cost;
     let mut accepted = 0usize;
     let mut temperature = tuning.start_temperature(seed_cost);
+    let prof = mia_obs::enabled().then(ChainProfile::new);
 
     for _ in 0..budget {
+        let propose_started = prof.as_ref().map(|_| mia_obs::now_ns());
         let undo = current.propose_guided(graph, &guide, &mut rng);
         let changed = current.changed_positions(graph, undo);
+        if let (Some(p), Some(t0)) = (&prof, propose_started) {
+            p.observe_propose(t0);
+        }
         let slack =
             -rng.random_range(0.0..1.0_f64).max(f64::MIN_POSITIVE).ln() * temperature.max(1e-9);
         let bound = current_cost.saturating_add(slack.min(u64::MAX as f64 / 4.0) as u64);
+        let move_started = prof.as_ref().map(|_| mia_obs::now_ns());
         let verdict = evaluator.evaluate_move(&current, &changed, Some(bound))?;
+        if let Some(t0) = move_started {
+            ChainProfile::observe_move(undo.kind_name(), t0);
+        }
         // A degenerate proposal (Undo::Noop) left the candidate
         // unchanged: its evaluation is a guaranteed cache hit and it
         // counts as a rejected move, per the Candidate contract.
@@ -294,9 +334,14 @@ pub(crate) fn run_pareto_chain<O: Objective>(
         }
     }
 
+    let prof = mia_obs::enabled().then(ChainProfile::new);
     for _ in 0..budget {
+        let propose_started = prof.as_ref().map(|_| mia_obs::now_ns());
         let undo = current.propose_joint(graph, &guide, &setup.axes, &mut rng);
         let changed = current.changed_positions(graph, undo);
+        if let (Some(p), Some(t0)) = (&prof, propose_started) {
+            p.observe_propose(t0);
+        }
         let draw = rng.random_range(0.0..1.0_f64).max(f64::MIN_POSITIVE);
         // Makespan chains bound the analysis exactly like the scalar
         // chain; trade-off chains need exact vectors for the archive,
@@ -308,7 +353,11 @@ pub(crate) fn run_pareto_chain<O: Objective>(
                 .saturating_add(slack.min(u64::MAX as f64 / 4.0) as u64)
         });
         let score_slack = -draw.ln() * (temperature / score_scale).max(1e-12);
+        let move_started = prof.as_ref().map(|_| mia_obs::now_ns());
         let verdict = evaluator.evaluate_move(&current, &changed, bound)?;
+        if let Some(t0) = move_started {
+            ChainProfile::observe_move(undo.kind_name(), t0);
+        }
         if let Some(obj) = verdict {
             archive.insert(point_of(&current, obj));
         }

@@ -249,6 +249,22 @@ pub enum Undo {
     },
 }
 
+impl Undo {
+    /// A stable label for the move this undo reverts, used as the
+    /// per-move-kind key in telemetry metric names.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Undo::Noop => "noop",
+            Undo::Migrate { .. } => "migrate",
+            Undo::Swap { .. } => "swap",
+            Undo::Reorder { .. } => "reorder",
+            Undo::SwitchArbiter { .. } => "switch_arbiter",
+            Undo::ResizeCores { .. } => "resize_cores",
+            Undo::RemapBank { .. } => "remap_bank",
+        }
+    }
+}
+
 impl Candidate {
     /// Builds the candidate describing `mapping`, padded with empty
     /// orders up to `cores` so migrations can colonise idle cores.

@@ -112,6 +112,44 @@ impl EvalStats {
     }
 }
 
+/// Telemetry handles of one evaluator, resolved from the global registry
+/// once at construction and only when [`mia_obs::enabled`] — the search
+/// hot loop pays one `Option` check per section otherwise.
+struct EvalProfile {
+    memo_probe: std::sync::Arc<mia_obs::Histogram>,
+    validate: std::sync::Arc<mia_obs::Histogram>,
+    full_analysis: std::sync::Arc<mia_obs::Histogram>,
+    delta_resume: std::sync::Arc<mia_obs::Histogram>,
+}
+
+impl EvalProfile {
+    fn new() -> Self {
+        let reg = mia_obs::global();
+        EvalProfile {
+            memo_probe: reg.histogram("dse.memo_probe_ns"),
+            validate: reg.histogram("dse.validate_ns"),
+            full_analysis: reg.histogram("dse.full_analysis_ns"),
+            delta_resume: reg.histogram("dse.delta_resume_ns"),
+        }
+    }
+
+    fn begin(prof: Option<&EvalProfile>) -> Option<u64> {
+        prof.map(|_| mia_obs::now_ns())
+    }
+
+    /// One histogram observation; analysis-scale sections also record a
+    /// span (memo probes are sub-microsecond noise on a timeline).
+    fn end(hist: &mia_obs::Histogram, span: Option<&'static str>, started: Option<u64>) {
+        if let Some(start) = started {
+            let dur = mia_obs::now_ns().saturating_sub(start);
+            hist.observe(dur);
+            if let Some(name) = span {
+                mia_obs::record_span(name, start, dur);
+            }
+        }
+    }
+}
+
 /// One memoised evaluation outcome.
 #[derive(Debug, Clone, Copy)]
 enum Cached {
@@ -143,6 +181,9 @@ pub struct Evaluator<'s, O> {
     /// promotable scratch (set only by a fresh, feasible
     /// [`Evaluator::evaluate_move`]).
     scratch_key: Option<CandidateKey>,
+    /// Telemetry, present only when profiling was enabled at
+    /// construction.
+    prof: Option<EvalProfile>,
 }
 
 impl<'s, O: Objective> Evaluator<'s, O> {
@@ -155,6 +196,7 @@ impl<'s, O: Objective> Evaluator<'s, O> {
             cache: HashMap::new(),
             stats: EvalStats::default(),
             scratch_key: None,
+            prof: mia_obs::enabled().then(EvalProfile::new),
         }
     }
 
@@ -193,9 +235,13 @@ impl<'s, O: Objective> Evaluator<'s, O> {
         self.stats.evaluations += 1;
         self.scratch_key = None;
         let key = candidate.key();
-        match self.cache.get(&key) {
+        let probe_started = EvalProfile::begin(self.prof.as_ref());
+        let cached = self.cache.get(&key).copied();
+        if let Some(p) = &self.prof {
+            EvalProfile::end(&p.memo_probe, None, probe_started);
+        }
+        match cached {
             Some(Cached::Exact(cost)) => {
-                let cost = *cost;
                 self.stats.cache_hits += 1;
                 self.stats.feasible_hits += 1;
                 return Ok(Some(cost));
@@ -225,17 +271,31 @@ impl<'s, O: Objective> Evaluator<'s, O> {
 
     fn evaluate_uncached(&mut self, candidate: &Candidate) -> Result<Option<ObjVec>, DseError> {
         let graph = self.space.seed.graph();
+        let validate_started = EvalProfile::begin(self.prof.as_ref());
         let Ok(mapping) = candidate.to_mapping(graph) else {
             // Hand-built candidates only; move operators conserve tasks.
             return Ok(None);
         };
-        if self.remap_to(candidate, mapping).is_err() {
+        let remapped = self.remap_to(candidate, mapping);
+        if let Some(p) = &self.prof {
+            EvalProfile::end(&p.validate, Some("dse.validate"), validate_started);
+        }
+        if remapped.is_err() {
             // A cross-core ordering cycle: the candidate cannot execute.
             return Ok(None);
         }
         self.objective.select_variant(candidate.arbiter() as usize);
         self.stats.analyses += 1;
-        match self.objective.evaluate(&self.problem) {
+        let analysis_started = EvalProfile::begin(self.prof.as_ref());
+        let outcome = self.objective.evaluate(&self.problem);
+        if let Some(p) = &self.prof {
+            EvalProfile::end(
+                &p.full_analysis,
+                Some("dse.full_analysis"),
+                analysis_started,
+            );
+        }
+        match outcome {
             Ok(cost) => Ok(Some(cost)),
             Err(ObjectiveError::Infeasible(_)) => Ok(None),
             Err(ObjectiveError::Fatal(m)) => Err(DseError::Objective(m)),
@@ -279,9 +339,13 @@ impl<'s, O: Objective> Evaluator<'s, O> {
         self.stats.evaluations += 1;
         self.scratch_key = None;
         let key = candidate.key();
-        match self.cache.get(&key) {
+        let probe_started = EvalProfile::begin(self.prof.as_ref());
+        let cached = self.cache.get(&key).copied();
+        if let Some(p) = &self.prof {
+            EvalProfile::end(&p.memo_probe, None, probe_started);
+        }
+        match cached {
             Some(Cached::Exact(cost)) => {
-                let cost = *cost;
                 self.stats.cache_hits += 1;
                 self.stats.feasible_hits += 1;
                 self.objective.invalidate();
@@ -294,7 +358,7 @@ impl<'s, O: Objective> Evaluator<'s, O> {
                 self.objective.invalidate();
                 return Ok(None);
             }
-            Some(Cached::AboveBound(b)) if bound.is_some_and(|nb| nb <= *b) => {
+            Some(Cached::AboveBound(b)) if bound.is_some_and(|nb| nb <= b) => {
                 // Cut off under a bound at least this generous before:
                 // certainly above the current one too.
                 self.stats.cache_hits += 1;
@@ -304,13 +368,18 @@ impl<'s, O: Objective> Evaluator<'s, O> {
             Some(Cached::AboveBound(_)) | None => {}
         }
         let graph = self.space.seed.graph();
+        let validate_started = EvalProfile::begin(self.prof.as_ref());
         let Ok(mapping) = candidate.to_mapping(graph) else {
             // Hand-built candidates only; move operators conserve tasks.
             self.stats.infeasible += 1;
             self.cache.insert(key, Cached::Infeasible);
             return Ok(None);
         };
-        if self.remap_to(candidate, mapping).is_err() {
+        let remapped = self.remap_to(candidate, mapping);
+        if let Some(p) = &self.prof {
+            EvalProfile::end(&p.validate, Some("dse.validate"), validate_started);
+        }
+        if remapped.is_err() {
             // A cross-core ordering cycle: the candidate cannot execute.
             self.stats.infeasible += 1;
             self.cache.insert(key, Cached::Infeasible);
@@ -318,10 +387,24 @@ impl<'s, O: Objective> Evaluator<'s, O> {
         }
         self.objective.select_variant(candidate.arbiter() as usize);
         self.stats.analyses += 1;
-        match self
+        let analysis_started = EvalProfile::begin(self.prof.as_ref());
+        let outcome = self
             .objective
-            .evaluate_move(&self.problem, changed, bound.map(Cycles))
-        {
+            .evaluate_move(&self.problem, changed, bound.map(Cycles));
+        if let Some(p) = &self.prof {
+            // A resumed evaluation is the delta fast path; everything
+            // else ran (or was cut off) as a full analysis.
+            if matches!(&outcome, Ok((_, true))) {
+                EvalProfile::end(&p.delta_resume, Some("dse.delta_resume"), analysis_started);
+            } else {
+                EvalProfile::end(
+                    &p.full_analysis,
+                    Some("dse.full_analysis"),
+                    analysis_started,
+                );
+            }
+        }
+        match outcome {
             Ok((MoveVerdict::Feasible(cost), resumed)) => {
                 if resumed {
                     self.stats.delta_resumes += 1;

@@ -1,0 +1,457 @@
+//! The metric registry: atomic counters, gauges and log2 histograms.
+//!
+//! Everything here is lock-free on the record path (the registry's name
+//! map is only locked on handle lookup; hot sites cache the returned
+//! `Arc` handles) and snapshot-consistent enough for monitoring: a
+//! snapshot taken concurrently with writers may be mid-update by a few
+//! observations, but every observation lands in exactly one bucket and
+//! the per-histogram invariants (bucket sum == count) hold for any
+//! quiescent read.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets: one zero bucket + one per power of two
+/// up to `u64::MAX` (bucket `i ≥ 1` covers `[2^(i-1), 2^i)`).
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic up/down gauge (queue depth, busy workers).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log2 latency histogram.
+///
+/// Bucket 0 counts zero observations; bucket `i ≥ 1` counts values in
+/// `[2^(i-1), 2^i)`, so any `u64` lands in exactly one bucket and
+/// quantiles are derivable from the buckets alone (to within a factor
+/// of two, tightened by the recorded exact maximum).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// The bucket index a value lands in.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the whole histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A serializable copy of a [`Histogram`], with quantile estimation and
+/// order-free merging.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`BUCKETS` entries; trailing empty
+    /// buckets may be trimmed by [`HistogramSnapshot::trimmed`]).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, modulo 2^64.
+    pub sum: u64,
+    /// Exact maximum observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The inclusive value range bucket `i` covers.
+    fn bucket_range(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 0)
+        } else if i >= 64 {
+            (1 << 63, u64::MAX)
+        } else {
+            (1 << (i - 1), (1 << i) - 1)
+        }
+    }
+
+    /// Bounds `(lo, hi)` bracketing the `q`-quantile (`0 ≤ q ≤ 1`) of
+    /// the recorded distribution: the true nearest-rank quantile lies in
+    /// `lo ..= hi`. Both are 0 for an empty histogram.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        // Nearest-rank: the k-th smallest observation, 1-based.
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_precision_loss)]
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = HistogramSnapshot::bucket_range(i);
+                return (lo, hi.min(self.max));
+            }
+        }
+        (self.max, self.max)
+    }
+
+    /// A point estimate of the `q`-quantile: the upper bound of the
+    /// bucket holding the nearest-rank observation, clamped to the exact
+    /// recorded maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+
+    /// Mean observed value (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let m = self.sum as f64 / self.count as f64;
+            m
+        }
+    }
+
+    /// Merges another snapshot in (bucket-wise sum; commutative and
+    /// associative, so shard merges are order-free).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        // Wrapping, matching the atomic adds on the record path: the
+        // merged sum stays "sum of all observations mod 2^64", so
+        // merging equals observing the concatenation.
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b = b.wrapping_add(o);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// A copy with trailing empty buckets trimmed (compact JSON).
+    #[must_use]
+    pub fn trimmed(&self) -> HistogramSnapshot {
+        let mut s = self.clone();
+        while s.buckets.last() == Some(&0) {
+            s.buckets.pop();
+        }
+        s
+    }
+}
+
+/// A named counter value in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamedCounter {
+    /// Metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// A named gauge value in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Gauge value.
+    pub value: i64,
+}
+
+/// A named histogram in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamedHistogram {
+    /// Metric name.
+    pub name: String,
+    /// The histogram contents.
+    pub hist: HistogramSnapshot,
+}
+
+/// A point-in-time, name-sorted copy of a whole [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<NamedCounter>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<NamedHistogram>,
+}
+
+impl RegistrySnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| &h.hist)
+    }
+}
+
+/// A set of named metrics. Handle lookup locks the name map once; the
+/// returned `Arc` handles record lock-free, so hot sites resolve their
+/// metrics up front and keep the handles.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter map");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge map");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// A point-in-time copy of every metric, name-sorted (the `BTreeMap`
+    /// iteration order), with histogram buckets trimmed for compactness.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("counter map")
+                .iter()
+                .map(|(name, c)| NamedCounter {
+                    name: name.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("gauge map")
+                .iter()
+                .map(|(name, g)| GaugeSnapshot {
+                    name: name.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("histogram map")
+                .iter()
+                .map(|(name, h)| NamedHistogram {
+                    name: name.clone(),
+                    hist: h.snapshot().trimmed(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_covers_the_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Every bucket's range round-trips through bucket_of.
+        for i in 0..BUCKETS {
+            let (lo, hi) = HistogramSnapshot::bucket_range(i);
+            assert_eq!(bucket_of(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(hi), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_and_mean() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.max, 100);
+        let (lo, hi) = s.quantile_bounds(0.5);
+        assert!(lo <= 50 && 50 <= hi, "p50 in [{lo}, {hi}]");
+        assert_eq!(s.quantile(1.0), 100);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        // Empty histogram.
+        let empty = Histogram::default().snapshot();
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.observe(3);
+        a.observe(1000);
+        b.observe(0);
+        b.observe(u64::MAX);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 4);
+        assert_eq!(m.max, u64::MAX);
+        assert_eq!(m.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn registry_round_trips_through_json() {
+        let r = Registry::new();
+        r.counter("req").add(7);
+        r.gauge("depth").set(-2);
+        r.histogram("lat").observe(42);
+        r.histogram("lat").observe(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("req"), Some(7));
+        assert_eq!(snap.gauge("depth"), Some(-2));
+        assert_eq!(snap.histogram("lat").map(|h| h.count), Some(2));
+        assert_eq!(snap.counter("absent"), None);
+        let json = serde_json::to_string_pretty(&snap).expect("serialize");
+        let back: RegistrySnapshot = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, snap);
+        // The same name returns the same metric.
+        assert_eq!(r.counter("req").get(), 7);
+    }
+
+    #[test]
+    fn trimmed_drops_trailing_empty_buckets_only() {
+        let h = Histogram::default();
+        h.observe(5);
+        let full = h.snapshot();
+        let t = full.trimmed();
+        assert_eq!(t.buckets.len(), bucket_of(5) + 1);
+        assert_eq!(t.quantile(0.5), full.quantile(0.5));
+        let mut merged = t.clone();
+        merged.merge(&full);
+        assert_eq!(merged.count, 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the log2 histogram: the invariants every
+//! consumer (quantile reports, bench artefacts, shard merges) relies
+//! on, over arbitrary observation streams.
+
+use mia_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Mixed-magnitude observations: small latencies, mid-range values and
+/// full-range u64s, so every bucket region gets exercised.
+fn observations() -> BoxedStrategy<Vec<u64>> {
+    let value = prop_oneof![
+        0u64..16,
+        1u64..4096,
+        1u64..u64::MAX / 2,
+        Just(0u64),
+        Just(u64::MAX),
+    ];
+    proptest::collection::vec(value, 0..256)
+}
+
+fn filled(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+/// The nearest-rank quantile of a value set (the exact answer the
+/// histogram's bucket walk approximates).
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    #[allow(clippy::cast_sign_loss, clippy::cast_precision_loss)]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Bucket counts always sum to the observation count, and every
+    /// observation is within [0, max].
+    #[test]
+    fn bucket_counts_sum_to_observation_count(values in observations()) {
+        let s = filled(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        prop_assert_eq!(s.max, values.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(s.sum, values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+    }
+
+    /// Buckets are monotone in bound: the cumulative count through
+    /// bucket i equals the number of observations ≤ the bucket's upper
+    /// bound (buckets partition the value range in increasing order).
+    #[test]
+    fn buckets_are_monotone_in_bound(values in observations()) {
+        let s = filled(&values);
+        let mut cumulative = 0u64;
+        let mut prev = 0u64;
+        for (i, &n) in s.buckets.iter().enumerate() {
+            cumulative += n;
+            // Upper inclusive bound of bucket i.
+            let bound = if i == 0 { 0 } else if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+            let at_most = values.iter().filter(|&&v| v <= bound).count() as u64;
+            prop_assert_eq!(cumulative, at_most, "through bucket {}", i);
+            prop_assert!(cumulative >= prev);
+            prev = cumulative;
+        }
+        prop_assert_eq!(cumulative, s.count);
+    }
+
+    /// Merge is commutative and agrees with observing the concatenation.
+    #[test]
+    fn merge_is_commutative(a in observations(), b in observations()) {
+        let (sa, sb) = (filled(&a), filled(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        let together: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(&ab.trimmed(), &filled(&together).trimmed());
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        a in observations(),
+        b in observations(),
+        c in observations(),
+    ) {
+        let (sa, sb, sc) = (filled(&a), filled(&b), filled(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Quantile bounds bracket the true nearest-rank quantile, and the
+    /// point estimate is the upper bound clamped to the exact max.
+    #[test]
+    fn quantile_estimates_bracket_the_true_value(
+        values in observations().prop_filter("non-empty", |v| !v.is_empty()),
+        q in 0.0f64..1.0,
+    ) {
+        let s = filled(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let truth = true_quantile(&sorted, q);
+        let (lo, hi) = s.quantile_bounds(q);
+        prop_assert!(lo <= truth && truth <= hi, "{} not in [{}, {}]", truth, lo, hi);
+        prop_assert_eq!(s.quantile(q), hi);
+        prop_assert!(hi <= s.max);
+        // The tail quantile is exact: max is recorded, not estimated.
+        prop_assert_eq!(s.quantile(1.0), *sorted.last().unwrap());
+    }
+
+    /// Snapshots survive a JSON round trip bit-for-bit.
+    #[test]
+    fn snapshot_json_round_trips(values in observations()) {
+        let s = filled(&values).trimmed();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, s);
+    }
+}

@@ -203,6 +203,18 @@ impl Client {
         serde_json::from_str(&body.output).map_err(|e| ClientError::BadReply(e.to_string()))
     }
 
+    /// Fetches the daemon's metric registry (counters, gauges and
+    /// per-method latency histograms).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; also [`ClientError::BadReply`] when the
+    /// metrics payload does not parse.
+    pub fn metrics(&mut self) -> Result<mia_obs::RegistrySnapshot, ClientError> {
+        let body = self.request(Request::new(0, "metrics"))?;
+        serde_json::from_str(&body.output).map_err(|e| ClientError::BadReply(e.to_string()))
+    }
+
     /// Asks the daemon to stop.
     ///
     /// # Errors

@@ -114,6 +114,10 @@ pub struct StatsSnapshot {
     pub loads: u64,
     /// Problems currently resident.
     pub resident: u64,
+    /// Jobs sitting in the admission queue right now.
+    pub queue_depth: u64,
+    /// Workers currently executing a job.
+    pub workers_busy: u64,
 }
 
 #[derive(Debug, Default)]
@@ -190,6 +194,17 @@ struct Shared {
     stop: AtomicBool,
     budget: Option<Duration>,
     max_frame_len: u32,
+    /// This server's own metric registry (served by the `metrics`
+    /// method). Per-server and always on — unlike the process-global
+    /// registry it is not behind [`mia_obs::enabled`], so concurrent
+    /// servers in one process never see each other's numbers.
+    obs: mia_obs::Registry,
+    /// Request-lifecycle instruments, resolved from `obs` once at
+    /// start-up (the per-method execute histograms are looked up per
+    /// request — the method set is tiny).
+    queue_depth: Arc<mia_obs::Gauge>,
+    workers_busy: Arc<mia_obs::Gauge>,
+    queue_wait: Arc<mia_obs::Histogram>,
 }
 
 impl Shared {
@@ -206,6 +221,8 @@ impl Shared {
             cache_entries: self.cache.len() as u64,
             loads: self.stats.loads.load(Ordering::Relaxed),
             resident: self.store.lock().expect("store lock").len() as u64,
+            queue_depth: self.queue.jobs.lock().expect("queue lock").len() as u64,
+            workers_busy: self.workers_busy.get().max(0) as u64,
         }
     }
 
@@ -239,6 +256,10 @@ impl Server {
     pub fn start(engine: Arc<dyn Engine>, config: &ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let obs = mia_obs::Registry::default();
+        let queue_depth = obs.gauge("serve.queue_depth");
+        let workers_busy = obs.gauge("serve.workers_busy");
+        let queue_wait = obs.histogram("serve.queue_wait_ns");
         let shared = Arc::new(Shared {
             engine,
             queue: Queue {
@@ -253,6 +274,10 @@ impl Server {
             stop: AtomicBool::new(false),
             budget: config.request_budget,
             max_frame_len: config.max_frame_len,
+            obs,
+            queue_depth,
+            workers_busy,
+            queue_wait,
         });
 
         let mut threads = Vec::new();
@@ -331,6 +356,7 @@ fn request_stop(shared: &Arc<Shared>, local_addr: SocketAddr) {
         jobs.drain(..).collect()
     };
     for job in drained {
+        shared.queue_depth.dec();
         shared.send(
             &job.writer,
             &Reply::error(job.request.id, kind::SHUTDOWN, "server is shutting down"),
@@ -438,6 +464,13 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, local_addr: SocketAddr) 
                 );
                 shared.send(&writer, &Reply::ok(request.id, body));
             }
+            "metrics" => {
+                let body = ReplyBody::output(
+                    serde_json::to_string_pretty(&shared.obs.snapshot())
+                        .expect("metrics serialize"),
+                );
+                shared.send(&writer, &Reply::ok(request.id, body));
+            }
             "shutdown" => {
                 shared.send(
                     &writer,
@@ -455,20 +488,23 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, local_addr: SocketAddr) 
                     writer: Arc::clone(&writer),
                     admitted: Instant::now(),
                 };
-                if let Err((job, stopping)) = shared.queue.push(job, &shared.stop) {
-                    let (kind, message) = if stopping {
-                        (kind::SHUTDOWN, "server is shutting down".to_owned())
-                    } else {
-                        shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
-                        (
-                            kind::OVERLOADED,
-                            format!(
-                                "admission queue full ({} pending); retry later",
-                                shared.queue.max_pending
-                            ),
-                        )
-                    };
-                    shared.send(&writer, &Reply::error(job.request.id, kind, message));
+                match shared.queue.push(job, &shared.stop) {
+                    Ok(()) => shared.queue_depth.inc(),
+                    Err((job, stopping)) => {
+                        let (kind, message) = if stopping {
+                            (kind::SHUTDOWN, "server is shutting down".to_owned())
+                        } else {
+                            shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                            (
+                                kind::OVERLOADED,
+                                format!(
+                                    "admission queue full ({} pending); retry later",
+                                    shared.queue.max_pending
+                                ),
+                            )
+                        };
+                        shared.send(&writer, &Reply::error(job.request.id, kind, message));
+                    }
                 }
             }
             other => {
@@ -478,7 +514,7 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, local_addr: SocketAddr) 
                         request.id,
                         kind::UNKNOWN_METHOD,
                         format!(
-                            "unknown method `{other}` (expected load, {}, ping, stats or shutdown)",
+                            "unknown method `{other}` (expected load, {}, ping, stats, metrics or shutdown)",
                             shared.engine.methods().join(", ")
                         ),
                     ),
@@ -490,7 +526,29 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, local_addr: SocketAddr) 
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop(&shared.stop) {
+        shared.queue_depth.dec();
+        // Queue wait, observed at dequeue. The span is recorded
+        // retroactively into the process-global span buffer (a no-op
+        // unless profiling is enabled), so a profiled run shows each
+        // request's wait next to the analysis phases it delayed.
+        let waited = job.admitted.elapsed();
+        let wait_ns = u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX);
+        shared.queue_wait.observe(wait_ns);
+        mia_obs::record_span(
+            "serve.queue_wait",
+            mia_obs::now_ns().saturating_sub(wait_ns),
+            wait_ns,
+        );
+        shared.workers_busy.inc();
+        let exec_started = mia_obs::now_ns();
         let reply = execute(shared, &job);
+        let exec_ns = mia_obs::now_ns().saturating_sub(exec_started);
+        shared
+            .obs
+            .histogram(&format!("serve.request.{}_ns", job.request.method))
+            .observe(exec_ns);
+        mia_obs::record_span("serve.execute", exec_started, exec_ns);
+        shared.workers_busy.dec();
         shared.send(&job.writer, &reply);
     }
 }

@@ -34,9 +34,36 @@ fn many_threads_times_many_requests_all_replies_match_their_ids() {
         }
     });
 
+    let total = (THREADS * REQUESTS) as u64;
+    // The metric registry cross-checks the counters: every executed
+    // request put exactly one observation in its method's latency
+    // histogram and one in the queue-wait histogram.
+    let metrics = handle.client().metrics().expect("metrics");
+    let observed: u64 = metrics
+        .histograms
+        .iter()
+        .filter(|h| h.name.starts_with("serve.request."))
+        .map(|h| h.hist.count)
+        .sum();
+    assert_eq!(observed, total, "one histogram observation per request");
+    let wait = metrics
+        .histogram("serve.queue_wait_ns")
+        .expect("queue-wait histogram");
+    assert_eq!(wait.count, total);
+    assert!(wait.max >= wait.quantile(0.5));
+    // Quiesced daemon: nothing queued, nobody executing.
+    assert_eq!(metrics.gauge("serve.queue_depth"), Some(0));
+    assert_eq!(metrics.gauge("serve.workers_busy"), Some(0));
+
     let stats = handle.shutdown();
-    assert_eq!(stats.replies_ok, (THREADS * REQUESTS) as u64);
+    assert_eq!(
+        stats.replies_ok,
+        total + 1,
+        "requests plus the metrics call"
+    );
     assert_eq!(stats.replies_err, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.workers_busy, 0);
 }
 
 #[test]
@@ -105,6 +132,8 @@ fn repeated_identical_analyze_hits_the_shared_memo_cache() {
     assert_eq!(stats.cache_hits + stats.cache_misses, total);
     assert!(stats.cache_hits > 0, "repeats must hit: {stats:?}");
     assert_eq!(stats.cache_entries, 1, "one identity, one entry");
+    assert_eq!(stats.resident, 1, "the one loaded problem is resident");
+    assert_eq!(stats.queue_depth, 0, "quiesced queue");
     // The engine ran exactly once per miss (concurrent misses may race,
     // but every run is accounted as a miss).
     assert_eq!(engine.runs(), stats.cache_misses);

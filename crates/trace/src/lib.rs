@@ -40,7 +40,7 @@
 mod chrome;
 mod svg;
 
-pub use chrome::to_chrome_trace;
+pub use chrome::{spans_to_chrome_trace, to_chrome_trace, to_chrome_trace_with_runtime};
 pub use svg::{to_svg, SvgOptions};
 
 use std::collections::BTreeMap;
